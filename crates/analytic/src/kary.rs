@@ -1,0 +1,204 @@
+//! Exact k-ary-tree cost formulas (Eqs. 3–9).
+//!
+//! All quantities are computed in `u128` so every supported (k, d) is
+//! exact; `f_max` is additionally exposed as an exact rational.
+
+/// Closed-form cost model of a complete k-ary tree with depth `d`
+/// (root at depth 0, leaves at depth `d`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KaryCosts {
+    /// Arity (k ≥ 1; k = 1 degenerates to a path).
+    pub k: u32,
+    /// Depth (d ≥ 0).
+    pub d: u32,
+    /// Total node count `N`.
+    pub n: u128,
+    /// Leaf count `k^d`.
+    pub leaves: u128,
+    /// Internal (forwarding) node count `N − leaves`.
+    pub internal: u128,
+    /// Eq. 4: total flooding cost `CF = 3N − 2`.
+    pub flooding: u128,
+    /// Eq. 6: maximum query-dissemination cost
+    /// `CQDmax = internal + (N − 1)`.
+    pub cqd_max: u128,
+    /// Eq. 7: maximum update cost `CUDmax = 2(N − 1)`.
+    pub cud_max: u128,
+}
+
+impl KaryCosts {
+    /// Compute the model for `(k, d)`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or the tree exceeds `u128` range.
+    pub fn compute(k: u32, d: u32) -> Self {
+        assert!(k >= 1, "arity must be at least 1");
+        let kk = k as u128;
+        let leaves = kk.checked_pow(d).expect("k^d overflows u128");
+        let n: u128 = if k == 1 {
+            d as u128 + 1
+        } else {
+            (kk.checked_pow(d + 1).expect("k^(d+1) overflows u128") - 1) / (kk - 1)
+        };
+        let internal = n - leaves;
+        // A tree always has N − 1 edges.
+        let edges = n - 1;
+        let flooding = n + 2 * edges;
+        let cqd_max = internal + edges;
+        let cud_max = 2 * edges;
+        KaryCosts { k, d, n, leaves, internal, flooding, cqd_max, cud_max }
+    }
+
+    /// Eq. 9: maximum updates per query keeping DirQ under flooding,
+    /// as an exact rational `(numerator, denominator)`:
+    /// `fMax = (CF − CQDmax) / CUDmax`.
+    ///
+    /// Returns `None` for degenerate trees with no edges (d = 0).
+    pub fn f_max_exact(&self) -> Option<(u128, u128)> {
+        if self.cud_max == 0 {
+            return None;
+        }
+        Some((self.flooding - self.cqd_max, self.cud_max))
+    }
+
+    /// Eq. 9 as a float.
+    pub fn f_max(&self) -> Option<f64> {
+        self.f_max_exact().map(|(num, den)| num as f64 / den as f64)
+    }
+
+    /// The identity behind Eq. 8: `CQDmax + fMax·CUDmax = CF` exactly.
+    /// Exposed for property tests.
+    pub fn budget_identity_holds(&self) -> bool {
+        match self.f_max_exact() {
+            Some((num, den)) => {
+                // cqd + (num/den)·cud == cf  ⇔  cqd·den + num·cud == cf·den
+                self.cqd_max * den + num * self.cud_max == self.flooding * den
+            }
+            None => true,
+        }
+    }
+
+    /// Closed-form cross-checks from the paper (valid for k ≥ 2):
+    /// `CF = (3k^(d+1) − 2k − 1)/(k − 1)`,
+    /// `CQDmax = (k^(d+1) + k^d − k − 1)/(k − 1)`,
+    /// `CUDmax = 2(k^(d+1) − k)/(k − 1)`.
+    pub fn closed_forms(&self) -> Option<(u128, u128, u128)> {
+        if self.k < 2 {
+            return None;
+        }
+        let k = self.k as u128;
+        let kd = k.pow(self.d);
+        let kd1 = k.pow(self.d + 1);
+        let cf = (3 * kd1 - 2 * k - 1) / (k - 1);
+        let cqd = (kd1 + kd - k - 1) / (k - 1);
+        let cud = 2 * (kd1 - k) / (k - 1);
+        Some((cf, cqd, cud))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_worked_example_k2_d4() {
+        let c = KaryCosts::compute(2, 4);
+        assert_eq!(c.n, 31);
+        assert_eq!(c.leaves, 16);
+        assert_eq!(c.internal, 15);
+        assert_eq!(c.flooding, 91);
+        assert_eq!(c.cqd_max, 45);
+        assert_eq!(c.cud_max, 60);
+        // fMax = 46/60 ≈ 0.7667, the paper's "0.76".
+        assert_eq!(c.f_max_exact(), Some((46, 60)));
+        let f = c.f_max().unwrap();
+        assert!((f - 0.766_666_7).abs() < 1e-6);
+        // The paper truncates to two decimals.
+        assert_eq!(format!("{:.2}", (f * 100.0).floor() / 100.0), "0.76");
+    }
+
+    #[test]
+    fn path_graph_degenerate_case() {
+        // k = 1, d = 4: a 5-node path.
+        let c = KaryCosts::compute(1, 4);
+        assert_eq!(c.n, 5);
+        assert_eq!(c.leaves, 1);
+        assert_eq!(c.internal, 4);
+        assert_eq!(c.flooding, 13); // 5 + 2·4
+        assert_eq!(c.cqd_max, 8); // 4 tx + 4 rx
+        assert_eq!(c.cud_max, 8);
+    }
+
+    #[test]
+    fn root_only_tree() {
+        let c = KaryCosts::compute(3, 0);
+        assert_eq!(c.n, 1);
+        assert_eq!(c.flooding, 1); // one broadcast, nobody listens
+        assert_eq!(c.cqd_max, 0);
+        assert_eq!(c.cud_max, 0);
+        assert_eq!(c.f_max(), None);
+    }
+
+    #[test]
+    fn closed_forms_match_counts() {
+        for k in 2u32..=8 {
+            for d in 1u32..=8 {
+                let c = KaryCosts::compute(k, d);
+                let (cf, cqd, cud) = c.closed_forms().unwrap();
+                assert_eq!(cf, c.flooding, "CF mismatch at k={k} d={d}");
+                assert_eq!(cqd, c.cqd_max, "CQD mismatch at k={k} d={d}");
+                assert_eq!(cud, c.cud_max, "CUD mismatch at k={k} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn dirq_worst_case_cheaper_than_flooding() {
+        // CQDmax < CF for every non-trivial tree: directed dissemination
+        // beats flooding even before the update budget is spent.
+        for k in 1u32..=8 {
+            for d in 1u32..=10 {
+                let c = KaryCosts::compute(k, d);
+                assert!(c.cqd_max < c.flooding, "k={k} d={d}");
+            }
+        }
+    }
+
+    proptest! {
+        /// The budget identity CQD + fMax·CUD = CF holds exactly.
+        #[test]
+        fn prop_budget_identity(k in 1u32..=8, d in 0u32..=12) {
+            let c = KaryCosts::compute(k, d);
+            prop_assert!(c.budget_identity_holds());
+        }
+
+        /// fMax lies in (0, 1]: fewer than one update per query is always
+        /// safe on trees of depth ≥ 1; never more than ~1 in the worst case.
+        #[test]
+        fn prop_f_max_range(k in 1u32..=8, d in 1u32..=12) {
+            let c = KaryCosts::compute(k, d);
+            let f = c.f_max().unwrap();
+            prop_assert!(f > 0.0 && f <= 1.0, "fMax={f} at k={k} d={d}");
+        }
+
+        /// fMax decreases with depth for fixed k: deeper trees spend more
+        /// on updates per query, so the safe budget shrinks.
+        #[test]
+        fn prop_f_max_monotone_in_depth(k in 2u32..=8, d in 1u32..=10) {
+            let shallow = KaryCosts::compute(k, d).f_max().unwrap();
+            let deep = KaryCosts::compute(k, d + 1).f_max().unwrap();
+            prop_assert!(deep < shallow, "fMax must shrink with depth (k={k} d={d})");
+        }
+
+        /// Structural counts: N = leaves + internal, edges = N − 1 implied
+        /// by the cost relations.
+        #[test]
+        fn prop_structural_counts(k in 1u32..=6, d in 0u32..=10) {
+            let c = KaryCosts::compute(k, d);
+            prop_assert_eq!(c.n, c.leaves + c.internal);
+            prop_assert_eq!(c.flooding, c.n + 2 * (c.n - 1));
+            prop_assert_eq!(c.cud_max, 2 * (c.n - 1));
+        }
+    }
+}

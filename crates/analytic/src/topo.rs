@@ -1,0 +1,144 @@
+//! The cost model generalised to concrete topologies.
+//!
+//! The paper derives its bounds on complete k-ary trees "due to the nature
+//! of DirQ", but its simulated network is a 50-node irregular graph. These
+//! calculators apply the same counting rules to any [`Topology`] +
+//! [`SpanningTree`] pair, which is what the scenario engine and the ATC
+//! budget computation actually use.
+
+use dirq_net::{NodeId, SpanningTree, Topology};
+
+/// Cost bounds for a concrete deployment.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TopologyCosts {
+    /// Nodes attached to the tree.
+    pub n: u64,
+    /// Undirected radio links among attached nodes.
+    pub links: u64,
+    /// Internal (forwarding) tree nodes.
+    pub internal: u64,
+    /// Flooding cost `N + 2·links` (broadcasts heard by every neighbour).
+    pub flooding: f64,
+    /// Max query-dissemination cost `internal + (N − 1)`.
+    pub cqd_max: f64,
+    /// Max update cost `2(N − 1)`.
+    pub cud_max: f64,
+}
+
+impl TopologyCosts {
+    /// Compute over the attached portion of `tree` within `topo`.
+    pub fn compute(topo: &Topology, tree: &SpanningTree) -> Self {
+        assert_eq!(topo.len(), tree.len(), "topology/tree size mismatch");
+        let attached: Vec<NodeId> =
+            topo.nodes().filter(|&n| tree.is_attached(n)).collect();
+        let n = attached.len() as u64;
+        let mut links = 0u64;
+        for &a in &attached {
+            for &b in topo.neighbors(a) {
+                if b > a && tree.is_attached(b) {
+                    links += 1;
+                }
+            }
+        }
+        let internal =
+            attached.iter().filter(|&&v| !tree.children(v).is_empty()).count() as u64;
+        let edges = n.saturating_sub(1) as f64;
+        TopologyCosts {
+            n,
+            links,
+            internal,
+            flooding: n as f64 + 2.0 * links as f64,
+            cqd_max: internal as f64 + edges,
+            cud_max: 2.0 * edges,
+        }
+    }
+
+    /// `fMax = (CF − CQDmax)/CUDmax`: the per-query update budget that
+    /// keeps worst-case DirQ below flooding (`None` for edgeless trees).
+    pub fn f_max(&self) -> Option<f64> {
+        (self.cud_max > 0.0).then(|| (self.flooding - self.cqd_max) / self.cud_max)
+    }
+
+    /// Network-wide update budget per hour: `fMax × queries_per_hour`.
+    /// This is the paper's `Umax/Hr` reference line in Fig. 6.
+    pub fn u_max_per_hour(&self, queries_per_hour: f64) -> Option<f64> {
+        self.f_max().map(|f| f * queries_per_hour)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kary::KaryCosts;
+
+    #[test]
+    fn matches_kary_model_on_exact_trees() {
+        for (k, d) in [(2u32, 4u32), (3, 3), (8, 2), (2, 1)] {
+            let (topo, tree) = SpanningTree::complete_kary(k as usize, d);
+            let tc = TopologyCosts::compute(&topo, &tree);
+            let kc = KaryCosts::compute(k, d);
+            assert_eq!(tc.n as u128, kc.n);
+            assert_eq!(tc.flooding as u128, kc.flooding, "k={k} d={d}");
+            assert_eq!(tc.cqd_max as u128, kc.cqd_max, "k={k} d={d}");
+            assert_eq!(tc.cud_max as u128, kc.cud_max, "k={k} d={d}");
+            let tf = tc.f_max().unwrap();
+            let kf = kc.f_max().unwrap();
+            assert!((tf - kf).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn extra_radio_links_raise_flooding_only() {
+        // A 4-node path as tree, but with an extra chord 0–3 in the radio
+        // graph: flooding pays for the chord, the tree costs do not.
+        let topo = Topology::from_edges(
+            4,
+            &[
+                (NodeId(0), NodeId(1)),
+                (NodeId(1), NodeId(2)),
+                (NodeId(2), NodeId(3)),
+                (NodeId(0), NodeId(3)),
+            ],
+        );
+        let tree = SpanningTree::bfs(&topo, NodeId::ROOT);
+        // BFS over this ring: 0 -> {1, 3}, 1 -> 2 (3 attaches under 0).
+        let tc = TopologyCosts::compute(&topo, &tree);
+        assert_eq!(tc.n, 4);
+        assert_eq!(tc.links, 4);
+        assert_eq!(tc.flooding, 4.0 + 8.0);
+        assert_eq!(tc.cud_max, 6.0);
+        // internal nodes: 0 and 1.
+        assert_eq!(tc.internal, 2);
+        assert_eq!(tc.cqd_max, 2.0 + 3.0);
+    }
+
+    #[test]
+    fn detached_nodes_excluded() {
+        let (topo, mut tree) = SpanningTree::complete_kary(2, 2);
+        tree.detach_subtree(NodeId(1)); // removes 1, 3, 4
+        let tc = TopologyCosts::compute(&topo, &tree);
+        assert_eq!(tc.n, 4);
+        // Remaining radio links among {0, 2, 5, 6}: 0-2, 2-5, 2-6.
+        assert_eq!(tc.links, 3);
+        assert_eq!(tc.internal, 2); // 0 and 2
+    }
+
+    #[test]
+    fn u_max_scales_with_query_rate() {
+        let (topo, tree) = SpanningTree::complete_kary(2, 4);
+        let tc = TopologyCosts::compute(&topo, &tree);
+        let u20 = tc.u_max_per_hour(20.0).unwrap();
+        let u40 = tc.u_max_per_hour(40.0).unwrap();
+        assert!((u40 / u20 - 2.0).abs() < 1e-12);
+        // k=2, d=4: fMax = 46/60.
+        assert!((u20 - 20.0 * 46.0 / 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fmax_none_for_single_node() {
+        let topo = Topology::from_edges(1, &[]);
+        let tree = SpanningTree::new(1, NodeId::ROOT);
+        let tc = TopologyCosts::compute(&topo, &tree);
+        assert_eq!(tc.f_max(), None);
+    }
+}

@@ -1,0 +1,47 @@
+//! Microbenchmarks of the DES kernel's pending-event set.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dirq_sim::{EventQueue, SimTime};
+
+fn bench_push_pop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue/push_pop");
+    for n in [1_000u64, 10_000, 100_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = EventQueue::with_capacity(n as usize);
+                // Pseudo-random but deterministic times.
+                let mut s = 0x12345u64;
+                for i in 0..n {
+                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    q.push(SimTime(s % (n * 4)), i);
+                }
+                let mut acc = 0u64;
+                while let Some((_, v)) = q.pop() {
+                    acc = acc.wrapping_add(v);
+                }
+                black_box(acc)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_interleaved(c: &mut Criterion) {
+    // The simulator's steady-state pattern: pop one, schedule a couple.
+    c.bench_function("event_queue/interleaved_steady_state", |b| {
+        let mut q = EventQueue::new();
+        for i in 0..1024u64 {
+            q.push(SimTime(i), i);
+        }
+        b.iter(|| {
+            let (t, v) = q.pop().unwrap();
+            q.push(SimTime(t.ticks() + 13), v);
+            q.push(SimTime(t.ticks() + 29), v ^ 1);
+            let _ = q.pop();
+            black_box(q.len())
+        });
+    });
+}
+
+criterion_group!(benches, bench_push_pop, bench_interleaved);
+criterion_main!(benches);

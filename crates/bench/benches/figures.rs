@@ -1,0 +1,79 @@
+//! Smoke-scale regeneration of **every figure and table** of the paper
+//! under `cargo bench`: each harness function runs at miniature epoch
+//! counts so the full evaluation pipeline (world → LMAC → DirQ → metrics →
+//! tables) is exercised and timed. The real 20 000-epoch figures come from
+//! the `fig5_accuracy`/`fig6_updates`/`fig7_overshoot`/`tab_analytic`/
+//! `cost_ratio` binaries.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dirq_bench::args::HarnessArgs;
+use dirq_bench::experiments;
+
+fn quick_args() -> HarnessArgs {
+    HarnessArgs { epochs: 400, seed: 11, threads: 0 }
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig5_smoke", |b| {
+        b.iter(|| black_box(experiments::fig5(&quick_args()).len()));
+    });
+    g.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig6_smoke", |b| {
+        b.iter(|| {
+            let (summary, series) = experiments::fig6(&quick_args());
+            black_box((summary.len(), series.len()))
+        });
+    });
+    g.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig7_smoke", |b| {
+        b.iter(|| {
+            let (summary, series) = experiments::fig7(&quick_args());
+            black_box((summary.len(), series.len()))
+        });
+    });
+    g.finish();
+}
+
+fn bench_tab_analytic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("tab_analytic_smoke", |b| {
+        b.iter(|| {
+            let t = experiments::analytic_table();
+            let v = experiments::analytic_validation(&quick_args());
+            black_box((t.len(), v.len()))
+        });
+    });
+    g.finish();
+}
+
+fn bench_cost_ratio(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("cost_ratio_smoke", |b| {
+        b.iter(|| black_box(experiments::cost_ratio(&quick_args()).len()));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig5,
+    bench_fig6,
+    bench_fig7,
+    bench_tab_analytic,
+    bench_cost_ratio
+);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! End-to-end scenario throughput: epochs per second for full DirQ and
+//! flooding simulations (the unit of cost for every figure in the paper).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dirq_core::{run_scenario, AtcConfig, DeltaPolicy, Protocol, ScenarioConfig};
+
+fn scenario(protocol: Protocol, policy: DeltaPolicy, epochs: u64) -> ScenarioConfig {
+    ScenarioConfig {
+        protocol,
+        delta_policy: policy,
+        epochs,
+        measure_from_epoch: 0,
+        ..ScenarioConfig::paper(5)
+    }
+}
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_sim/200_epochs");
+    group.sample_size(10);
+    for (name, protocol, policy) in [
+        ("dirq_fixed5", Protocol::Dirq, DeltaPolicy::Fixed(5.0)),
+        ("dirq_atc", Protocol::Dirq, DeltaPolicy::Adaptive(AtcConfig::default())),
+        ("flooding", Protocol::Flooding, DeltaPolicy::Fixed(5.0)),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let r = run_scenario(scenario(protocol, policy, 200));
+                black_box(r.metrics.total_cost())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_network_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_sim/network_size_100_epochs");
+    group.sample_size(10);
+    for n in [25usize, 50, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            // Scale the field with √n so node density (and therefore the
+            // 2-hop degree the TDMA schedule must colour) stays constant.
+            let side = 100.0 * (n as f64 / 50.0).sqrt();
+            b.iter(|| {
+                let r = run_scenario(ScenarioConfig {
+                    n_nodes: n,
+                    side,
+                    epochs: 100,
+                    measure_from_epoch: 0,
+                    lmac: dirq_lmac::LmacConfig { slots_per_frame: 64, ..Default::default() },
+                    ..ScenarioConfig::paper(6)
+                });
+                black_box(r.queries_injected)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocols, bench_network_sizes);
+criterion_main!(benches);

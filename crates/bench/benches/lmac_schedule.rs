@@ -1,0 +1,82 @@
+//! Microbenchmarks of the LMAC substrate: slot assignment and the
+//! steady-state frame loop.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dirq_lmac::{LmacConfig, LmacNetwork};
+use dirq_net::placement::{Placement, SinkPlacement};
+use dirq_net::radio::UnitDisk;
+use dirq_net::Topology;
+use dirq_sim::RngFactory;
+
+fn topo(n: usize) -> Topology {
+    // Constant density and constant radio range: the field grows with √n,
+    // so the 2-hop degree (what the TDMA schedule must colour) stays flat.
+    let side = 100.0 * (n as f64 / 50.0).sqrt();
+    let mut rng = RngFactory::new(1).stream("bench-topo");
+    Topology::deploy_connected(
+        n,
+        &Placement::UniformRandom { side },
+        SinkPlacement::Corner,
+        &UnitDisk::new(28.0),
+        &mut rng,
+        500,
+    )
+    .expect("connected deployment")
+}
+
+fn bench_greedy_assignment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lmac/assign_slots_greedy");
+    for n in [50usize, 200] {
+        let t = topo(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &t, |b, t| {
+            b.iter(|| {
+                let mut net: LmacNetwork<u32> =
+                    LmacNetwork::new(LmacConfig { slots_per_frame: 64, ..Default::default() }, t.clone());
+                net.assign_slots_greedy();
+                black_box(net.all_converged())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_steady_frame(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lmac/advance_frame");
+    for n in [50usize, 200] {
+        let t = topo(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &t, |b, t| {
+            let mut net: LmacNetwork<u32> = LmacNetwork::new(
+                LmacConfig { slots_per_frame: 64, ..Default::default() },
+                t.clone(),
+            );
+            net.assign_slots_greedy();
+            let mut rng = RngFactory::new(2).stream("bench-mac");
+            b.iter(|| {
+                let inds = net.advance_frame(&mut rng);
+                black_box(inds.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_join_convergence(c: &mut Criterion) {
+    // Full distributed slot election from scratch.
+    c.bench_function("lmac/join_convergence_50", |b| {
+        let t = topo(50);
+        b.iter(|| {
+            let mut net: LmacNetwork<u32> = LmacNetwork::new(LmacConfig::default(), t.clone());
+            let mut rng = RngFactory::new(3).stream("bench-join");
+            let mut frames = 0;
+            while !(net.all_converged() && net.schedule_conflicts().is_empty()) {
+                net.advance_frame(&mut rng);
+                frames += 1;
+                assert!(frames < 200, "join failed to converge");
+            }
+            black_box(frames)
+        });
+    });
+}
+
+criterion_group!(benches, bench_greedy_assignment, bench_steady_frame, bench_join_convergence);
+criterion_main!(benches);

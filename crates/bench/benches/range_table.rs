@@ -1,0 +1,77 @@
+//! Microbenchmarks of the Range Table — the per-node data structure every
+//! sensor reading and child update touches (paper Section 4.1).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dirq_core::{RangeEntry, RangeTable};
+use dirq_net::NodeId;
+
+fn table_with_children(n: usize) -> RangeTable {
+    let mut t = RangeTable::new();
+    t.observe_own(20.0, 0.5);
+    for i in 0..n {
+        t.set_child(
+            NodeId(i as u32 + 1),
+            RangeEntry { min: i as f64, max: i as f64 + 2.0 },
+        );
+    }
+    t
+}
+
+fn bench_observe_own(c: &mut Criterion) {
+    let mut group = c.benchmark_group("range_table/observe_own");
+    // Alternating in-window and escaping readings: the realistic mix.
+    group.bench_function("mixed", |b| {
+        let mut t = RangeTable::new();
+        t.observe_own(20.0, 1.0);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let r = if i.is_multiple_of(4) { 20.0 + (i % 7) as f64 } else { 20.3 };
+            black_box(t.observe_own(black_box(r), 1.0))
+        });
+    });
+    group.finish();
+}
+
+fn bench_aggregate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("range_table/aggregate");
+    for n in [1usize, 8, 64] {
+        let t = table_with_children(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &t, |b, t| {
+            b.iter(|| black_box(t.aggregate()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_set_child(c: &mut Criterion) {
+    let mut group = c.benchmark_group("range_table/set_child");
+    for n in [8usize, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut t = table_with_children(n);
+            let mut i = 0u32;
+            b.iter(|| {
+                i += 1;
+                let child = NodeId(i % n as u32 + 1);
+                black_box(t.set_child(child, RangeEntry { min: i as f64, max: i as f64 + 1.0 }))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_pending_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("range_table/pending_update");
+    for n in [8usize, 64] {
+        let mut t = table_with_children(n);
+        let agg = t.aggregate().unwrap();
+        t.mark_transmitted(agg);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &t, |b, t| {
+            b.iter(|| black_box(t.pending_update(0.5)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_observe_own, bench_aggregate, bench_set_child, bench_pending_update);
+criterion_main!(benches);

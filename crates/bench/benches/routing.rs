@@ -1,0 +1,62 @@
+//! Microbenchmarks of the query-routing decision: given a node's range
+//! tables, which children does a range query descend to?
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dirq_core::{DeltaPolicy, DirqNode, NodeConfig};
+use dirq_data::{QueryId, RangeQuery, SensorType};
+use dirq_net::NodeId;
+
+fn node_with_children(n: usize) -> DirqNode {
+    let cfg = NodeConfig {
+        delta_policy: DeltaPolicy::Fixed(5.0),
+        reference_spans: vec![20.0],
+        variability_alpha: 0.2,
+        tx_threshold_factor: 1.0,
+    };
+    let mut node = DirqNode::new(NodeId(1), cfg);
+    let _ = node.set_parent(Some(NodeId(0)));
+    let _ = node.sample(SensorType(0), 20.0);
+    for i in 0..n {
+        let base = (i as f64) * 3.0;
+        let _ = node.on_update(NodeId(i as u32 + 2), SensorType(0), base, base + 2.0);
+    }
+    node
+}
+
+fn bench_on_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing/on_query");
+    for n in [2usize, 8, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut node = node_with_children(n);
+            let mut qid = 0u64;
+            b.iter(|| {
+                qid += 1;
+                let q = RangeQuery::value(QueryId(qid), SensorType(0), 5.0, 5.0 + (qid % 40) as f64);
+                black_box(node.on_query(black_box(&q)))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_cascaded_update(c: &mut Criterion) {
+    // An update arriving from a child, possibly cascading to the parent:
+    // the steady-state hot path of the whole protocol.
+    let mut group = c.benchmark_group("routing/on_update");
+    for n in [8usize, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut node = node_with_children(n);
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                let child = NodeId((i % n as u64) as u32 + 2);
+                let min = (i % 100) as f64 * 0.5;
+                black_box(node.on_update(child, SensorType(0), min, min + 2.0))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_on_query, bench_cascaded_update);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Ad-hoc calibration probe (not part of the published harness).
+
+use dirq_core::{run_scenario, AtcConfig, DeltaPolicy, Protocol, ScenarioConfig};
+
+fn atc_convergence() {
+    let r = run_scenario(ScenarioConfig {
+        delta_policy: DeltaPolicy::Adaptive(AtcConfig::default()),
+        target_fraction: 0.4,
+        epochs: 20_000,
+        measure_from_epoch: 2_000,
+        ..ScenarioConfig::paper(42)
+    });
+    let umax100 = r.u_max_per_hour * 100.0 / r.hour_epochs as f64;
+    println!("umax/100ep = {umax100:.0}, final ratio = {:.3}", r.cost_ratio_vs_flooding().unwrap());
+    for chunk_start in (0..200).step_by(20) {
+        let upd: f64 = (chunk_start..chunk_start + 20)
+            .map(|b| r.metrics.updates_per_bucket.sum(b))
+            .sum::<f64>()
+            / 20.0;
+        let delta = r
+            .delta_trace
+            .iter()
+            .filter(|(e, _)| (chunk_start as u64 * 100..(chunk_start as u64 + 20) * 100).contains(e))
+            .map(|&(_, d)| d)
+            .sum::<f64>()
+            / 20.0;
+        println!(
+            "epochs {:>6}-{:>6}: upd/100ep={:>6.0}  meanδ={:.2}",
+            chunk_start * 100,
+            (chunk_start + 20) * 100,
+            upd,
+            delta
+        );
+    }
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--atc-long") {
+        atc_convergence();
+        return;
+    }
+    let epochs = 4000;
+    let base = ScenarioConfig {
+        epochs,
+        measure_from_epoch: 400,
+        ..ScenarioConfig::paper(42)
+    };
+
+    // Flooding reference.
+    let flood = run_scenario(ScenarioConfig { protocol: Protocol::Flooding, ..base.clone() });
+    println!(
+        "flooding: cost/query measured={:.1} analytic={:.1}",
+        flood.cost_per_query().unwrap(),
+        flood.flooding_cost_per_query()
+    );
+    println!(
+        "analytic: N={} links={} CF={:.0} CQDmax={:.0} CUDmax={:.0} fmax={:.3} Umax/hr={:.0} (per100ep={:.0})",
+        flood.analytic.n,
+        flood.analytic.links,
+        flood.analytic.flooding,
+        flood.analytic.cqd_max,
+        flood.analytic.cud_max,
+        flood.analytic.f_max().unwrap(),
+        flood.u_max_per_hour,
+        flood.u_max_per_hour * 100.0 / flood.hour_epochs as f64,
+    );
+
+    for (label, policy) in [
+        ("d=3%", DeltaPolicy::Fixed(3.0)),
+        ("d=5%", DeltaPolicy::Fixed(5.0)),
+        ("d=9%", DeltaPolicy::Fixed(9.0)),
+        ("ATC ", DeltaPolicy::Adaptive(AtcConfig::default())),
+    ] {
+        for target in [0.2, 0.4, 0.6] {
+            let r = run_scenario(ScenarioConfig {
+                delta_policy: policy,
+                target_fraction: target,
+                ..base.clone()
+            });
+            let m = &r.metrics;
+            let upd_per_100 = m.updates_per_bucket.total() / (epochs as f64 / 100.0);
+            let umax_per_100 = r.u_max_per_hour * 100.0 / r.hour_epochs as f64;
+            println!(
+                "{label} tgt={target:.1}: should={:.1}% recv={:.1}% src={:.1}% wrong={:.1}% overshoot={:.2}% recall={:.3} upd/100ep={:.0} (umax/100ep={:.0}) cost/q={:.1} ratio={:.3} meanδ={:.2}",
+                m.mean_over_queries(|o| o.pct_should()).unwrap_or(0.0),
+                m.mean_over_queries(|o| o.pct_received()).unwrap_or(0.0),
+                m.mean_over_queries(|o| o.pct_sources()).unwrap_or(0.0),
+                m.mean_over_queries(|o| o.pct_should_not()).unwrap_or(0.0),
+                r.mean_overshoot_pct(),
+                m.mean_over_queries(|o| o.source_recall()).unwrap_or(0.0),
+                upd_per_100,
+                umax_per_100,
+                r.cost_per_query().unwrap_or(0.0),
+                r.cost_ratio_vs_flooding().unwrap_or(0.0),
+                r.delta_trace.last().map(|&(_, d)| d).unwrap_or(0.0),
+            );
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! Adaptive Threshold Control (Section 6).
+//!
+//! The ICPPW paper defers ATC's internals to an unavailable companion paper
+//! \[13\] but pins down its **contract**, which this module satisfies:
+//!
+//! * each node adjusts its threshold `δ` **autonomously** from locally
+//!   available information;
+//! * the inputs are (a) the number of queries expected over the next hour
+//!   (the root's `EHr` broadcast) and (b) the **rate of variation of the
+//!   measured parameter**;
+//! * the outcome is that network-wide update traffic is throttled such that
+//!   total DirQ cost stays at roughly 45–55 % of flooding (Fig. 6) while
+//!   accuracy degrades only mildly (~3.6 % overshoot, Fig. 7).
+//!
+//! ## Reconstructed mechanism
+//!
+//! The root knows the analytic budget (Section 5, [`dirq_analytic`]) and
+//! the measured per-query dissemination cost; from those it derives a
+//! per-node **update budget** `u*` (transmissions per node per epoch) that
+//! would land total cost mid-band, and ships it inside the `EHr` message.
+//!
+//! Each node then runs two local estimators:
+//!
+//! * `σ̂` — an EWMA of the per-epoch absolute change of its readings (the
+//!   paper's "rate of variation"), and
+//! * `r̂` — an EWMA of its own update transmission rate;
+//!
+//! and combines two corrections every adjustment window:
+//!
+//! * **feedforward**: for a drifting signal, a `±δ` window re-centres about
+//!   every `2δ/σ̂` epochs, so the δ that meets the budget directly is
+//!   `δ_ff = σ̂ / (2·u*)`;
+//! * **feedback**: `δ_fb = δ · (r̂/u*)^gain` corrects the model error.
+//!
+//! The new δ is the geometric blend of the two, clamped to configured
+//! bounds. Both corrections use only node-local state plus the broadcast
+//! budget — exactly the autonomy the paper claims.
+
+use dirq_sim::stats::Ewma;
+
+/// How a node's threshold is chosen.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum DeltaPolicy {
+    /// Fixed δ as a percentage of the sensor's reference span (the paper's
+    /// δ = 3 %, 5 %, 9 % runs).
+    Fixed(f64),
+    /// Adaptive Threshold Control.
+    Adaptive(AtcConfig),
+}
+
+/// ATC tuning parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AtcConfig {
+    /// Initial δ (percent of reference span) before any adaptation.
+    pub initial_delta_pct: f64,
+    /// Lower clamp for δ (percent).
+    pub min_delta_pct: f64,
+    /// Upper clamp for δ (percent).
+    pub max_delta_pct: f64,
+    /// Feedback exponent on the rate ratio.
+    pub gain: f64,
+    /// Epochs between adjustments.
+    pub adjust_period: u64,
+    /// EWMA smoothing factor for the update-rate estimate.
+    pub rate_alpha: f64,
+    /// Weight of the feedforward term in the geometric blend (0 = feedback
+    /// only, 1 = feedforward only).
+    pub feedforward_weight: f64,
+    /// Per-adjustment clamp on the multiplicative step (stability).
+    pub max_step: f64,
+}
+
+impl Default for AtcConfig {
+    fn default() -> Self {
+        AtcConfig {
+            initial_delta_pct: 5.0,
+            min_delta_pct: 0.2,
+            max_delta_pct: 40.0,
+            gain: 0.6,
+            adjust_period: 50,
+            rate_alpha: 0.3,
+            feedforward_weight: 0.15,
+            max_step: 2.0,
+        }
+    }
+}
+
+/// Per-node ATC state.
+#[derive(Clone, Debug)]
+pub struct AtcController {
+    cfg: AtcConfig,
+    delta_pct: f64,
+    /// Updates sent in the current adjustment window.
+    sent_in_window: u64,
+    epochs_in_window: u64,
+    rate: Ewma,
+    /// Target update transmissions per epoch (from the latest EHr).
+    budget_per_epoch: Option<f64>,
+}
+
+impl AtcController {
+    /// Fresh controller at the configured initial δ.
+    pub fn new(cfg: AtcConfig) -> Self {
+        assert!(cfg.initial_delta_pct > 0.0, "initial delta must be positive");
+        assert!(
+            cfg.min_delta_pct > 0.0 && cfg.min_delta_pct <= cfg.max_delta_pct,
+            "delta clamps must satisfy 0 < min <= max"
+        );
+        assert!(cfg.adjust_period > 0, "adjust period must be positive");
+        assert!(cfg.max_step > 1.0, "max_step must exceed 1");
+        assert!((0.0..=1.0).contains(&cfg.feedforward_weight), "blend weight in [0,1]");
+        AtcController {
+            delta_pct: cfg.initial_delta_pct,
+            sent_in_window: 0,
+            epochs_in_window: 0,
+            rate: Ewma::new(cfg.rate_alpha),
+            budget_per_epoch: None,
+            cfg,
+        }
+    }
+
+    /// Current δ in percent of the reference span.
+    pub fn delta_pct(&self) -> f64 {
+        self.delta_pct
+    }
+
+    /// The most recent per-node budget (updates/epoch), if any EHr arrived.
+    pub fn budget(&self) -> Option<f64> {
+        self.budget_per_epoch
+    }
+
+    /// Smoothed observed update rate (updates/epoch).
+    pub fn observed_rate(&self) -> Option<f64> {
+        self.rate.value()
+    }
+
+    /// Record that this node transmitted one Update/Retract message.
+    pub fn on_update_sent(&mut self) {
+        self.sent_in_window += 1;
+    }
+
+    /// Receive the hourly budget from the root.
+    pub fn on_budget(&mut self, per_node_budget_per_epoch: f64) {
+        if per_node_budget_per_epoch.is_finite() && per_node_budget_per_epoch >= 0.0 {
+            self.budget_per_epoch = Some(per_node_budget_per_epoch);
+        }
+    }
+
+    /// Advance one epoch; `sigma_hat` is the node's current estimate of the
+    /// per-epoch absolute signal change **in percent of the reference
+    /// span** (same unit as δ). Returns `Some(new_delta_pct)` when an
+    /// adjustment fired this epoch.
+    pub fn on_epoch_end(&mut self, sigma_hat_pct: Option<f64>) -> Option<f64> {
+        self.epochs_in_window += 1;
+        if self.epochs_in_window < self.cfg.adjust_period {
+            return None;
+        }
+        let window_rate = self.sent_in_window as f64 / self.epochs_in_window as f64;
+        self.sent_in_window = 0;
+        self.epochs_in_window = 0;
+        self.rate.observe(window_rate);
+
+        let Some(budget) = self.budget_per_epoch else {
+            return None; // no EHr yet: keep the initial δ
+        };
+        // A zero/negative budget means the root wants (almost) no updates:
+        // saturate δ at its ceiling.
+        let budget = budget.max(1e-6);
+
+        // Feedback: steer the observed rate towards the budget.
+        let observed = self.rate.value_or(window_rate).max(budget / 16.0);
+        let fb = self.delta_pct * (observed / budget).powf(self.cfg.gain);
+
+        // Feedforward: drift model  rate ≈ σ̂ / (2δ)  ⇒  δ* = σ̂/(2·budget).
+        let target = match sigma_hat_pct {
+            Some(s) if s > 0.0 => {
+                let ff = s / (2.0 * budget);
+                let w = self.cfg.feedforward_weight;
+                fb.powf(1.0 - w) * ff.powf(w)
+            }
+            _ => fb,
+        };
+
+        let step = (target / self.delta_pct)
+            .clamp(1.0 / self.cfg.max_step, self.cfg.max_step);
+        self.delta_pct =
+            (self.delta_pct * step).clamp(self.cfg.min_delta_pct, self.cfg.max_delta_pct);
+        Some(self.delta_pct)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(period: u64) -> AtcConfig {
+        AtcConfig { adjust_period: period, ..Default::default() }
+    }
+
+    #[test]
+    fn no_adjustment_before_period() {
+        let mut c = AtcController::new(cfg(10));
+        c.on_budget(0.1);
+        for _ in 0..9 {
+            assert_eq!(c.on_epoch_end(Some(1.0)), None);
+        }
+        assert!(c.on_epoch_end(Some(1.0)).is_some());
+    }
+
+    #[test]
+    fn no_adjustment_without_budget() {
+        let mut c = AtcController::new(cfg(5));
+        for _ in 0..20 {
+            c.on_update_sent();
+            let _ = c.on_epoch_end(Some(1.0));
+        }
+        assert_eq!(c.delta_pct(), c.cfg.initial_delta_pct, "δ frozen until EHr arrives");
+    }
+
+    #[test]
+    fn over_budget_raises_delta() {
+        let mut c = AtcController::new(AtcConfig {
+            adjust_period: 10,
+            feedforward_weight: 0.0,
+            ..Default::default()
+        });
+        c.on_budget(0.05); // allow 0.5 updates per window
+        let before = c.delta_pct();
+        // Send 10 updates per window: heavily over budget.
+        for _ in 0..10 {
+            for _ in 0..10 {
+                c.on_update_sent();
+                let _ = c.on_epoch_end(None);
+            }
+        }
+        assert!(
+            c.delta_pct() > before * 2.0,
+            "δ should grow under overload: {} -> {}",
+            before,
+            c.delta_pct()
+        );
+    }
+
+    #[test]
+    fn under_budget_lowers_delta() {
+        let mut c = AtcController::new(AtcConfig {
+            adjust_period: 10,
+            feedforward_weight: 0.0,
+            ..Default::default()
+        });
+        c.on_budget(0.5);
+        let before = c.delta_pct();
+        for _ in 0..100 {
+            let _ = c.on_epoch_end(None); // zero updates sent
+        }
+        assert!(
+            c.delta_pct() < before / 2.0,
+            "δ should shrink when silent: {} -> {}",
+            before,
+            c.delta_pct()
+        );
+    }
+
+    #[test]
+    fn clamps_respected() {
+        let mut c = AtcController::new(AtcConfig {
+            adjust_period: 1,
+            min_delta_pct: 1.0,
+            max_delta_pct: 10.0,
+            feedforward_weight: 0.0,
+            ..Default::default()
+        });
+        c.on_budget(1000.0); // effectively unlimited → δ falls
+        for _ in 0..200 {
+            let _ = c.on_epoch_end(None);
+        }
+        assert!(c.delta_pct() >= 1.0);
+        c.on_budget(1e-9); // effectively zero → δ rises
+        for _ in 0..200 {
+            c.on_update_sent();
+            let _ = c.on_epoch_end(None);
+        }
+        assert!(c.delta_pct() <= 10.0);
+    }
+
+    #[test]
+    fn feedforward_converges_near_model_optimum() {
+        // Pure feedforward: σ̂ = 2 %/epoch, budget = 0.2 updates/epoch
+        // ⇒ δ* = 2 / (2·0.2) = 5 %.
+        let mut c = AtcController::new(AtcConfig {
+            adjust_period: 5,
+            feedforward_weight: 1.0,
+            initial_delta_pct: 20.0,
+            ..Default::default()
+        });
+        c.on_budget(0.2);
+        for _ in 0..400 {
+            let _ = c.on_epoch_end(Some(2.0));
+        }
+        assert!(
+            (c.delta_pct() - 5.0).abs() < 0.5,
+            "feedforward should settle near 5%, got {}",
+            c.delta_pct()
+        );
+    }
+
+    #[test]
+    fn step_clamp_limits_swing() {
+        let mut c = AtcController::new(AtcConfig {
+            adjust_period: 1,
+            max_step: 1.5,
+            feedforward_weight: 0.0,
+            ..Default::default()
+        });
+        c.on_budget(0.01);
+        let before = c.delta_pct();
+        for _ in 0..50 {
+            c.on_update_sent();
+        }
+        let after = c.on_epoch_end(None).unwrap();
+        assert!(after / before <= 1.5 + 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "adjust period")]
+    fn zero_period_rejected() {
+        let _ = AtcController::new(AtcConfig { adjust_period: 0, ..Default::default() });
+    }
+
+    #[test]
+    fn invalid_budget_ignored() {
+        let mut c = AtcController::new(cfg(5));
+        c.on_budget(f64::NAN);
+        assert_eq!(c.budget(), None);
+        c.on_budget(-1.0);
+        assert_eq!(c.budget(), None);
+        c.on_budget(0.25);
+        assert_eq!(c.budget(), Some(0.25));
+    }
+}

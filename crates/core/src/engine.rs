@@ -1,0 +1,1271 @@
+//! The scenario engine.
+//!
+//! Wires every substrate together and runs the paper's experiment loop:
+//! one epoch = one LMAC frame; each epoch the world advances, nodes sample
+//! their sensors (DirQ), the root injects calibrated queries every
+//! `query_period` epochs, the MAC carries the traffic, and the metrics
+//! collector scores each query against its injection-time ground truth.
+//!
+//! The engine deliberately keeps two views apart:
+//!
+//! * **protocol state** — what nodes actually know (parents, children,
+//!   range tables, MAC neighbour tables). All protocol behaviour, including
+//!   tree repair after deaths, uses only this.
+//! * **oracle state** — the generator's world readings and liveness flags,
+//!   used solely for ground truth and measurement.
+
+use dirq_data::sensor::SensorAssignment;
+use dirq_data::workload::CalibratedQuery;
+use dirq_data::{
+    QueryGenerator, QueryId, RangeQuery, SensorCatalog, SensorWorld, WorldConfig,
+};
+use dirq_lmac::network::MacStats;
+use dirq_lmac::{Destination, LmacConfig, LmacNetwork, MacIndication};
+use dirq_net::churn::ChurnPlan;
+use dirq_net::placement::{Placement, SinkPlacement};
+use dirq_net::radio::UnitDisk;
+use dirq_net::{NodeId, SpanningTree, Topology};
+use dirq_sim::stats::Ewma;
+use dirq_sim::{RngFactory, SimRng};
+
+use dirq_analytic::TopologyCosts;
+
+use crate::atc::DeltaPolicy;
+use crate::flooding::FloodingNode;
+use crate::messages::{DirqMessage, EhrMessage};
+use crate::metrics::{Metrics, QueryOutcome};
+use crate::node::{DirqNode, NodeConfig, Outgoing};
+use crate::sampling::{Sampler, SamplingStrategy};
+
+/// Which dissemination protocol a run uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Protocol {
+    /// Directed query dissemination (the paper's contribution).
+    Dirq,
+    /// The flooding baseline of Section 5.1.
+    Flooding,
+}
+
+/// How the spanning tree is built at deployment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TreeKind {
+    /// Shortest-hop BFS tree.
+    Bfs,
+    /// Randomised tree bounded by fan-out `k` and depth `d` (the paper's
+    /// evaluation network: 50 nodes, k = 8, d = 10).
+    BoundedRandom {
+        /// Maximum fan-out.
+        k: usize,
+        /// Maximum depth.
+        d: u32,
+    },
+    /// Exact complete k-ary tree with the tree edges as the radio graph
+    /// (for validating the Section 5 analytic model). Overrides `n_nodes`.
+    CompleteKary {
+        /// Arity.
+        k: usize,
+        /// Depth.
+        d: u32,
+    },
+}
+
+/// Scripted churn for a scenario.
+#[derive(Clone, Debug)]
+pub enum ChurnSpec {
+    /// Fixed topology.
+    None,
+    /// Kill `deaths` random non-root nodes at uniform epochs in
+    /// `[from_epoch, until_epoch)`.
+    RandomDeaths {
+        /// Number of victims.
+        deaths: usize,
+        /// Window start epoch.
+        from_epoch: u64,
+        /// Window end epoch (exclusive).
+        until_epoch: u64,
+    },
+    /// An explicit plan.
+    Explicit(ChurnPlan),
+}
+
+/// Full configuration of one simulation run.
+#[derive(Clone, Debug)]
+pub struct ScenarioConfig {
+    /// Master seed; every stream derives from it.
+    pub seed: u64,
+    /// Number of nodes (including the root). Ignored for
+    /// [`TreeKind::CompleteKary`].
+    pub n_nodes: usize,
+    /// Deployment square side, metres.
+    pub side: f64,
+    /// Radio range, metres (unit-disk model).
+    pub radio_range: f64,
+    /// Run length in epochs (the paper: 20 000).
+    pub epochs: u64,
+    /// Queries fire every this many epochs (the paper: 20).
+    pub query_period: u64,
+    /// Target involved-node fraction (the paper: 0.2 / 0.4 / 0.6).
+    pub target_fraction: f64,
+    /// Fraction of sensing nodes carrying each sensor type.
+    pub sensor_coverage: f64,
+    /// Threshold policy.
+    pub delta_policy: DeltaPolicy,
+    /// Protocol under test.
+    pub protocol: Protocol,
+    /// Epochs per "hour" (EHr period).
+    pub hour_epochs: u64,
+    /// Spanning-tree construction.
+    pub tree: TreeKind,
+    /// MAC parameters.
+    pub lmac: LmacConfig,
+    /// Topology churn.
+    pub churn: ChurnSpec,
+    /// Synthetic-world parameters (defaults to the 4-type environmental
+    /// scenario when `None`).
+    pub world: Option<WorldConfig>,
+    /// Epochs to wait after injection before scoring a query.
+    pub completion_window: u64,
+    /// Warm-up epochs excluded from aggregate statistics.
+    pub measure_from_epoch: u64,
+    /// ATC cost target as a fraction of flooding cost (the paper's band is
+    /// 45–55 %, centred at 0.5).
+    pub atc_band_center: f64,
+    /// Sensor acquisition strategy (the paper assumes every epoch; the
+    /// predictive variant implements its Section 8 future work).
+    pub sampling: SamplingStrategy,
+    /// Location extension: when true, nodes know their own positions and
+    /// advertise subtree bounding boxes (the paper's optional *static
+    /// location attribute*).
+    pub location_enabled: bool,
+    /// Fraction of generated queries that are spatially scoped (requires
+    /// `location_enabled`).
+    pub spatial_query_fraction: f64,
+    /// Multiplier on δ for the Fig. 3 transmission test (1.0 = paper rule;
+    /// 0.0 = transmit every aggregate change — see the `ablations` binary).
+    pub tx_threshold_factor: f64,
+}
+
+impl ScenarioConfig {
+    /// The paper's evaluation setup: 50 nodes, 20 000 epochs, queries every
+    /// 20 epochs, 4 sensor types, bounded tree (k = 8, d = 10).
+    pub fn paper(seed: u64) -> Self {
+        ScenarioConfig {
+            seed,
+            n_nodes: 50,
+            side: 100.0,
+            radio_range: 28.0,
+            epochs: 20_000,
+            query_period: 20,
+            target_fraction: 0.4,
+            sensor_coverage: 0.8,
+            delta_policy: DeltaPolicy::Fixed(5.0),
+            protocol: Protocol::Dirq,
+            hour_epochs: 400,
+            tree: TreeKind::BoundedRandom { k: 8, d: 10 },
+            lmac: LmacConfig::default(),
+            churn: ChurnSpec::None,
+            world: None,
+            completion_window: 16,
+            measure_from_epoch: 400,
+            atc_band_center: 0.5,
+            sampling: SamplingStrategy::EveryEpoch,
+            location_enabled: false,
+            spatial_query_fraction: 0.0,
+            tx_threshold_factor: 1.0,
+        }
+    }
+
+    /// A scaled-down variant for tests (2 000 epochs).
+    pub fn paper_small(seed: u64) -> Self {
+        ScenarioConfig { epochs: 2_000, measure_from_epoch: 200, ..ScenarioConfig::paper(seed) }
+    }
+}
+
+/// Result of one run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// All collected metrics.
+    pub metrics: Metrics,
+    /// Nodes in the deployment.
+    pub n_nodes: usize,
+    /// Epochs simulated.
+    pub epochs: u64,
+    /// Analytic costs of the initial deployment.
+    pub analytic: TopologyCosts,
+    /// `Umax/hr` — the Fig. 6 reference line: `fMax × (N−1) × queries/hr`.
+    pub u_max_per_hour: f64,
+    /// Epochs per hour used in the run.
+    pub hour_epochs: u64,
+    /// Queries injected.
+    pub queries_injected: usize,
+    /// MAC-level statistics.
+    pub mac_stats: MacStats,
+    /// MAC data-ledger total (cross-check of the category tallies).
+    pub mac_data_cost: f64,
+    /// MAC control-ledger total (LMAC overhead, excluded from comparisons).
+    pub mac_control_cost: f64,
+    /// Final δ (percent) per node.
+    pub final_delta_pcts: Vec<f64>,
+    /// Mean δ (percent) over sensing nodes, sampled every 100 epochs.
+    pub delta_trace: Vec<(u64, f64)>,
+    /// Sensor acquisitions performed (Section 8 extension accounting).
+    pub samples_taken: u64,
+    /// Sensor acquisitions avoided by the predictive sampler.
+    pub samples_skipped: u64,
+}
+
+impl RunResult {
+    /// Measured DirQ cost per query over the measurement window.
+    pub fn cost_per_query(&self) -> Option<f64> {
+        let q = self.metrics.measured_queries();
+        (q > 0).then(|| self.metrics.total_cost() / q as f64)
+    }
+
+    /// Analytic flooding cost per query on the initial deployment (Eq. 3).
+    pub fn flooding_cost_per_query(&self) -> f64 {
+        self.analytic.flooding
+    }
+
+    /// Measured cost relative to analytic flooding — the paper's headline
+    /// "DirQ spends between 45 % and 55 % the cost of flooding".
+    pub fn cost_ratio_vs_flooding(&self) -> Option<f64> {
+        self.cost_per_query().map(|c| c / self.flooding_cost_per_query())
+    }
+
+    /// Mean overshoot over the measurement window (Fig. 7's average).
+    pub fn mean_overshoot_pct(&self) -> f64 {
+        self.metrics.overshoot.mean()
+    }
+}
+
+/// An in-flight query being scored.
+struct PendingQuery {
+    query: RangeQuery,
+    epoch: u64,
+    truth: dirq_data::workload::GroundTruth,
+    received: Vec<bool>,
+    tx: u64,
+    rx: u64,
+}
+
+/// The simulation engine.
+pub struct Engine {
+    cfg: ScenarioConfig,
+    topo: Topology,
+    mac: LmacNetwork<DirqMessage>,
+    world: SensorWorld,
+    nodes: Vec<DirqNode>,
+    flood: Vec<FloodingNode>,
+    alive: Vec<bool>,
+    qgen: QueryGenerator,
+    churn: ChurnPlan,
+    pending: Vec<PendingQuery>,
+    metrics: Metrics,
+    epoch: u64,
+    mac_rng: SimRng,
+    /// Root-side EWMA of measured per-query dissemination cost (drives the
+    /// ATC budget).
+    cqd_estimate: Ewma,
+    /// Root-side integral correction on the disseminated budget: if the
+    /// realized update traffic overshoots the desired level, hand out a
+    /// tighter budget next hour (and vice versa).
+    budget_multiplier: f64,
+    /// Update transmissions counted at the previous EHr broadcast.
+    updates_at_last_ehr: f64,
+    /// Epoch at which each node lost its path to the root (`None` =
+    /// currently attached); drives the repair fallback.
+    detached_since: Vec<Option<u64>>,
+    /// Predictive samplers per (node, sensor type); `None` under
+    /// [`SamplingStrategy::EveryEpoch`].
+    samplers: Option<Vec<Vec<Sampler>>>,
+    u_max_per_hour: f64,
+    analytic0: TopologyCosts,
+    delta_trace: Vec<(u64, f64)>,
+    queries_injected: usize,
+}
+
+impl Engine {
+    /// Build a fully initialised engine (topology deployed, tree built,
+    /// MAC converged, world at epoch 0).
+    pub fn new(cfg: ScenarioConfig) -> Self {
+        let factory = RngFactory::new(cfg.seed);
+
+        // --- topology + initial tree ---------------------------------------
+        let (topo, mut tree_opt) = match cfg.tree {
+            TreeKind::CompleteKary { k, d } => {
+                let (topo, tree) = SpanningTree::complete_kary(k, d);
+                (topo, Some(tree))
+            }
+            _ => {
+                let mut rng = factory.stream("deploy");
+                let topo = Topology::deploy_connected(
+                    cfg.n_nodes,
+                    &Placement::UniformRandom { side: cfg.side },
+                    SinkPlacement::Corner,
+                    &UnitDisk::new(cfg.radio_range),
+                    &mut rng,
+                    500,
+                )
+                .expect("no connected deployment found; raise density or radio range");
+                (topo, None)
+            }
+        };
+        let n = topo.len();
+
+        // --- churn ----------------------------------------------------------
+        let churn = match &cfg.churn {
+            ChurnSpec::None => ChurnPlan::none(),
+            ChurnSpec::RandomDeaths { deaths, from_epoch, until_epoch } => {
+                ChurnPlan::random_deaths(
+                    n,
+                    *deaths,
+                    *from_epoch,
+                    *until_epoch,
+                    &mut factory.stream("churn"),
+                )
+            }
+            ChurnSpec::Explicit(plan) => plan.clone(),
+        };
+        let mut alive = vec![true; n];
+        for node in churn.initially_offline() {
+            alive[node.index()] = false;
+        }
+
+        // --- spanning tree over the initially alive nodes --------------------
+        let tree = match (&mut tree_opt, cfg.tree) {
+            (Some(t), _) => std::mem::replace(t, SpanningTree::new(1, NodeId::ROOT)),
+            (None, TreeKind::Bfs) => {
+                SpanningTree::bfs_filtered(&topo, NodeId::ROOT, |v| alive[v.index()])
+            }
+            (None, TreeKind::BoundedRandom { k, d }) => {
+                let mut rng = factory.stream("tree");
+                let mut built = None;
+                for _ in 0..100 {
+                    if let Some(t) = SpanningTree::bounded_random(&topo, NodeId::ROOT, k, d, &mut rng)
+                    {
+                        built = Some(t);
+                        break;
+                    }
+                }
+                let mut t = built.unwrap_or_else(|| {
+                    panic!("bounded_random(k={k}, d={d}) failed 100 times on this topology")
+                });
+                // Detach initially-offline nodes (and their subtrees — the
+                // orphans re-attach through the repair path once alive
+                // neighbours exist; for simplicity offline nodes are only
+                // supported as leaves here).
+                for node in churn.initially_offline() {
+                    if t.is_attached(node) {
+                        t.detach_subtree(node);
+                    }
+                }
+                t
+            }
+            (None, TreeKind::CompleteKary { .. }) => unreachable!(),
+        };
+
+        // --- MAC --------------------------------------------------------------
+        let mut mac = LmacNetwork::new(cfg.lmac, topo.clone());
+        for i in 0..n {
+            if !alive[i] {
+                mac.set_alive(NodeId::from_index(i), false);
+            }
+        }
+        mac.assign_slots_greedy();
+
+        // --- world + workload --------------------------------------------------
+        let world_cfg = cfg.world.clone().unwrap_or_else(|| WorldConfig::environmental(cfg.side));
+        let catalog = SensorCatalog::environmental();
+        assert_eq!(
+            world_cfg.types.len(),
+            catalog.len(),
+            "custom WorldConfig must cover the 4 environmental types"
+        );
+        let assignment = SensorAssignment::heterogeneous(
+            n,
+            catalog.len(),
+            cfg.sensor_coverage,
+            &mut factory.stream("assignment"),
+        );
+        let world = SensorWorld::new(&world_cfg, catalog, assignment, &topo, &factory);
+        assert!(
+            cfg.spatial_query_fraction == 0.0 || cfg.location_enabled,
+            "spatial queries require location_enabled"
+        );
+        let qgen =
+            QueryGenerator::new(cfg.target_fraction, cfg.query_period, factory.stream("workload"))
+                .with_spatial_fraction(cfg.spatial_query_fraction);
+
+        // --- protocol nodes ------------------------------------------------------
+        let node_cfg = NodeConfig {
+            delta_policy: cfg.delta_policy,
+            reference_spans: world_cfg.reference_spans(),
+            variability_alpha: 0.2,
+            tx_threshold_factor: cfg.tx_threshold_factor,
+        };
+        let mut nodes: Vec<DirqNode> = (0..n)
+            .map(|i| DirqNode::new(NodeId::from_index(i), node_cfg.clone()))
+            .collect();
+        // Quiet tree initialisation: both endpoints already agree, so the
+        // Attach handshakes are skipped.
+        for i in 0..n {
+            let id = NodeId::from_index(i);
+            if let Some(p) = tree.parent(id) {
+                let _ = nodes[i].set_parent(Some(p));
+            }
+            for &c in tree.children(id) {
+                nodes[i].add_child(c);
+            }
+        }
+
+        let analytic0 = TopologyCosts::compute(&topo, &tree);
+        let queries_per_hour = cfg.hour_epochs as f64 / cfg.query_period as f64;
+        let u_max_per_hour = analytic0
+            .f_max()
+            .map(|f| f * (analytic0.n.saturating_sub(1)) as f64 * queries_per_hour)
+            .unwrap_or(0.0);
+
+        Engine {
+            metrics: Metrics::new(cfg.measure_from_epoch),
+            mac_rng: factory.stream("mac"),
+            flood: (0..n).map(|_| FloodingNode::new()).collect(),
+            cqd_estimate: Ewma::new(0.2),
+            budget_multiplier: 1.0,
+            updates_at_last_ehr: 0.0,
+            detached_since: vec![None; n],
+            samplers: match cfg.sampling {
+                SamplingStrategy::EveryEpoch => None,
+                SamplingStrategy::Predictive(pc) => Some(
+                    (0..n)
+                        .map(|_| (0..world.catalog().len()).map(|_| Sampler::new(pc)).collect())
+                        .collect(),
+                ),
+            },
+            delta_trace: Vec::new(),
+            pending: Vec::new(),
+            queries_injected: 0,
+            epoch: 0,
+            u_max_per_hour,
+            analytic0,
+            cfg,
+            topo,
+            mac,
+            world,
+            nodes,
+            alive,
+            qgen,
+            churn,
+        }
+    }
+
+    /// Current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The deployment graph.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Protocol state of one node.
+    pub fn node(&self, id: NodeId) -> &DirqNode {
+        &self.nodes[id.index()]
+    }
+
+    /// Liveness oracle.
+    pub fn is_alive(&self, id: NodeId) -> bool {
+        self.alive[id.index()]
+    }
+
+    /// Collected metrics so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The synthetic world (oracle state).
+    pub fn world(&self) -> &SensorWorld {
+        &self.world
+    }
+
+    /// Post-deployment extensibility (paper Section 4.1/Fig. 4): equip
+    /// `node` with an additional sensor at runtime. From the next epoch the
+    /// node samples the new type; the resulting Updates create the missing
+    /// Range Tables up the tree without any global reconfiguration.
+    pub fn add_sensor(&mut self, node: NodeId, stype: dirq_data::SensorType) {
+        self.world.assignment_mut().add(node.index(), stype);
+    }
+
+    /// Remove a sensor from a node at runtime; the node retracts or shrinks
+    /// its advertisement accordingly.
+    pub fn remove_sensor(&mut self, node: NodeId, stype: dirq_data::SensorType) {
+        self.world.assignment_mut().remove(node.index(), stype);
+        let outs = self.nodes[node.index()].drop_own_sensor(stype);
+        self.dispatch_outgoing(node, outs);
+    }
+
+    /// Reconstruct the spanning tree implied by the protocol state
+    /// (children lists + matching parent pointers), used for ground truth.
+    pub fn protocol_tree(&self) -> SpanningTree {
+        let n = self.topo.len();
+        let mut tree = SpanningTree::new(n, NodeId::ROOT);
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(NodeId::ROOT);
+        while let Some(u) = queue.pop_front() {
+            for &c in self.nodes[u.index()].children() {
+                if self.alive[c.index()]
+                    && !tree.is_attached(c)
+                    && self.nodes[c.index()].parent() == Some(u)
+                {
+                    tree.attach(c, u);
+                    queue.push_back(c);
+                }
+            }
+        }
+        tree
+    }
+
+    /// Run the configured number of epochs and return the results.
+    pub fn run(mut self) -> RunResult {
+        for _ in 0..self.cfg.epochs {
+            self.step_epoch();
+        }
+        // Score whatever is still in flight.
+        let leftovers: Vec<PendingQuery> = std::mem::take(&mut self.pending);
+        for p in leftovers {
+            self.finalize_query(p);
+        }
+        let final_delta_pcts = self.nodes.iter().map(|n| n.delta_pct()).collect();
+        let (samples_taken, samples_skipped) = match &self.samplers {
+            None => {
+                // Every alive sensing (node, type) pair samples each epoch;
+                // exact bookkeeping is only kept for the predictive mode.
+                (0, 0)
+            }
+            Some(samplers) => samplers
+                .iter()
+                .flatten()
+                .fold((0u64, 0u64), |(t, s), sm| (t + sm.samples_taken(), s + sm.samples_skipped())),
+        };
+        RunResult {
+            metrics: self.metrics,
+            n_nodes: self.topo.len(),
+            epochs: self.cfg.epochs,
+            analytic: self.analytic0,
+            u_max_per_hour: self.u_max_per_hour,
+            hour_epochs: self.cfg.hour_epochs,
+            queries_injected: self.queries_injected,
+            mac_stats: *self.mac.stats(),
+            mac_data_cost: self.mac.data_ledger().total_cost(),
+            mac_control_cost: self.mac.control_ledger().total_cost(),
+            final_delta_pcts,
+            delta_trace: self.delta_trace,
+            samples_taken,
+            samples_skipped,
+        }
+    }
+
+    /// Advance exactly one epoch (public for fine-grained tests).
+    pub fn step_epoch(&mut self) {
+        if self.epoch > 0 {
+            self.world.advance_epoch(&self.topo);
+        }
+
+        self.apply_churn();
+        if self.cfg.protocol == Protocol::Dirq {
+            if self.epoch == 0 && self.cfg.location_enabled {
+                // Localisation bootstrap: every node learns its position and
+                // the bounding-box adverts converge through the first frames.
+                for i in 1..self.nodes.len() {
+                    let node = NodeId::from_index(i);
+                    if self.alive[i] {
+                        let pos = self.topo.position(node);
+                        let outs = self.nodes[i].set_position(pos);
+                        self.dispatch_outgoing(node, outs);
+                    }
+                }
+            }
+            self.repair_orphans();
+            if self.epoch.is_multiple_of(self.cfg.hour_epochs) {
+                self.broadcast_ehr();
+            }
+            self.sample_sensors();
+        }
+        if self.qgen.should_fire(self.epoch) {
+            self.inject_query();
+        }
+        self.run_mac_frame();
+        self.end_epoch_housekeeping();
+        self.epoch += 1;
+    }
+
+    // --- epoch phases -----------------------------------------------------------
+
+    fn apply_churn(&mut self) {
+        let events: Vec<dirq_net::churn::ChurnEvent> = self.churn.at_epoch(self.epoch).collect();
+        for ev in events {
+            match ev {
+                dirq_net::churn::ChurnEvent::Death(node) => {
+                    self.alive[node.index()] = false;
+                    self.mac.set_alive(node, false);
+                    self.detached_since[node.index()] = None;
+                }
+                dirq_net::churn::ChurnEvent::Birth(node) => {
+                    self.alive[node.index()] = true;
+                    self.mac.set_alive(node, true);
+                    // Fresh protocol state: the node joins from scratch.
+                    let cfg = NodeConfig {
+                        delta_policy: self.cfg.delta_policy,
+                        reference_spans: self
+                            .cfg
+                            .world
+                            .clone()
+                            .unwrap_or_else(|| WorldConfig::environmental(self.cfg.side))
+                            .reference_spans(),
+                        variability_alpha: 0.2,
+                        tx_threshold_factor: self.cfg.tx_threshold_factor,
+                    };
+                    self.nodes[node.index()] = DirqNode::new(node, cfg);
+                    if self.cfg.location_enabled {
+                        let pos = self.topo.position(node);
+                        // Orphan: the advert flows on attach.
+                        let _ = self.nodes[node.index()].set_position(pos);
+                    }
+                    self.flood[node.index()] = FloodingNode::new();
+                }
+            }
+        }
+    }
+
+    /// Re-attach detached nodes.
+    ///
+    /// Primary (local) path: an orphan adopts the MAC neighbour advertising
+    /// the smallest gateway distance (the paper's cross-layer repair).
+    /// Candidates are tried in distance order under a cycle guard so a
+    /// transiently stale best choice cannot livelock the node.
+    ///
+    /// Fallback path: distance-vector staleness can strand whole dangling
+    /// regions (count-to-infinity), a failure mode the paper does not
+    /// address. Any node detached from the root for more than
+    /// `DETACH_FALLBACK_EPOCHS` re-parents onto a MAC neighbour that *is*
+    /// attached (sending a Detach to its still-alive old parent). In a real
+    /// deployment the same information comes from LMAC's gateway-distance
+    /// field aging out; the simulator takes the direct route.
+    fn repair_orphans(&mut self) {
+        const DETACH_FALLBACK_EPOCHS: u64 = 25;
+        let tree = self.protocol_tree();
+
+        // Track how long each alive node has been detached from the root.
+        for i in 1..self.nodes.len() {
+            let node = NodeId::from_index(i);
+            if !self.alive[i] || tree.is_attached(node) {
+                self.detached_since[i] = None;
+            } else if self.detached_since[i].is_none() {
+                self.detached_since[i] = Some(self.epoch);
+            }
+        }
+
+        // Primary: orphans (no parent at all) use the MAC gateway metric.
+        for i in 1..self.nodes.len() {
+            let node = NodeId::from_index(i);
+            if !self.alive[i] || self.nodes[i].parent().is_some() {
+                continue;
+            }
+            let table = self.mac.neighbor_table(node);
+            let mut candidates: Vec<(u16, NodeId)> = table
+                .nodes()
+                .filter_map(|nb| {
+                    let info = table.get(nb).expect("listed neighbour");
+                    (info.gateway_dist != u16::MAX).then_some((info.gateway_dist, nb))
+                })
+                .collect();
+            candidates.sort_unstable();
+            let Some(parent) =
+                candidates.iter().map(|&(_, c)| c).find(|&c| !self.would_cycle(node, c))
+            else {
+                continue;
+            };
+            let outs = self.nodes[i].set_parent(Some(parent));
+            self.dispatch_outgoing(node, outs);
+        }
+
+        // Fallback: long-detached nodes (orphan heads without usable
+        // metrics, or interiors of dangling regions) adopt an attached
+        // MAC neighbour directly.
+        for i in 1..self.nodes.len() {
+            let node = NodeId::from_index(i);
+            if !self.alive[i] {
+                continue;
+            }
+            let Some(since) = self.detached_since[i] else { continue };
+            if self.epoch.saturating_sub(since) < DETACH_FALLBACK_EPOCHS {
+                continue;
+            }
+            let new_parent = self
+                .mac
+                .neighbor_table(node)
+                .nodes()
+                .filter(|&nb| tree.is_attached(nb))
+                .min_by_key(|&nb| (tree.depth(nb).unwrap_or(u32::MAX), nb));
+            let Some(new_parent) = new_parent else { continue };
+            if self.nodes[i].parent() == Some(new_parent) {
+                continue;
+            }
+            // Tell the old parent (if any, still alive) to drop us.
+            if let Some(old) = self.nodes[i].parent() {
+                if self.alive[old.index()]
+                    && self.mac.enqueue(node, Destination::unicast(old), DirqMessage::Detach)
+                {
+                    self.record_tx(&DirqMessage::Detach);
+                }
+            }
+            self.detached_since[i] = None;
+            let outs = self.nodes[i].set_parent(Some(new_parent));
+            self.dispatch_outgoing(node, outs);
+        }
+    }
+
+    fn would_cycle(&self, node: NodeId, candidate_parent: NodeId) -> bool {
+        let mut cur = Some(candidate_parent);
+        let mut steps = 0;
+        while let Some(p) = cur {
+            if p == node {
+                return true;
+            }
+            steps += 1;
+            if steps > self.nodes.len() {
+                return true;
+            }
+            cur = self.nodes[p.index()].parent();
+        }
+        false
+    }
+
+    /// Root-side hourly control: compute the per-node update budget from
+    /// the analytic model + measured query cost, and flood it down the
+    /// tree (the paper's `EHr` message).
+    fn broadcast_ehr(&mut self) {
+        let tree = self.protocol_tree();
+        let costs = TopologyCosts::compute(&self.topo, &tree);
+        let n_sensing = costs.n.saturating_sub(1).max(1) as f64;
+        let queries_per_hour = self.cfg.hour_epochs as f64 / self.cfg.query_period as f64;
+        self.u_max_per_hour = costs
+            .f_max()
+            .map(|f| f * n_sensing * queries_per_hour)
+            .unwrap_or(self.u_max_per_hour);
+
+        // Target: total cost per query = band_center × CF.
+        // Prior for CQD before any measurement: half the worst case.
+        let cqd = self.cqd_estimate.value_or(costs.cqd_max * 0.5);
+        let control_overhead_per_query = 2.0; // EHr amortised: ~2N msgs/hour ÷ (hour/period) queries
+        let budget_cost = (self.cfg.atc_band_center * costs.flooding - cqd
+            - control_overhead_per_query)
+            .max(0.0);
+        // Each update message costs 2 (tx + rx).
+        let updates_per_query = budget_cost / 2.0;
+
+        // Outer loop: compare the realized update traffic since the last
+        // EHr against the desired level and correct the handed-out budget.
+        // (The gateway sees the converged update stream; the simulator uses
+        // the exact network-wide count.)
+        let total_updates = self.metrics.updates_per_bucket.total();
+        let realized_last_hour = total_updates - self.updates_at_last_ehr;
+        self.updates_at_last_ehr = total_updates;
+        if self.epoch > 0 && updates_per_query > 0.0 {
+            let realized_per_query = realized_last_hour / queries_per_hour.max(1.0);
+            let err = (realized_per_query / updates_per_query).max(0.05);
+            self.budget_multiplier =
+                (self.budget_multiplier * err.powf(-0.7)).clamp(0.05, 10.0);
+        }
+        let per_node_budget_per_epoch = self.budget_multiplier * updates_per_query
+            / (self.cfg.query_period as f64 * n_sensing);
+
+        let msg = EhrMessage { queries_per_hour, per_node_budget_per_epoch };
+        let outs = self.nodes[0].on_ehr(msg);
+        self.dispatch_outgoing(NodeId::ROOT, outs);
+    }
+
+    fn sample_sensors(&mut self) {
+        for i in 1..self.nodes.len() {
+            let node = NodeId::from_index(i);
+            if !self.alive[i] {
+                continue;
+            }
+            for stype in self.world.catalog().types() {
+                if self.world.assignment().has(i, stype) {
+                    if let Some(samplers) = &mut self.samplers {
+                        if !samplers[i][stype.index()].should_sample() {
+                            continue;
+                        }
+                    }
+                    let Some(reading) = self.world.reading(i, stype) else { continue };
+                    let outs = self.nodes[i].sample(stype, reading);
+                    self.dispatch_outgoing(node, outs);
+                    if let Some(samplers) = &mut self.samplers {
+                        let window = self.nodes[i]
+                            .table(stype)
+                            .and_then(|t| t.own())
+                            .map(|e| (e.min, e.max));
+                        samplers[i][stype.index()].on_sampled(reading, window);
+                    }
+                }
+            }
+        }
+    }
+
+    fn inject_query(&mut self) {
+        let tree = self.protocol_tree();
+        let alive = &self.alive;
+        let positions: &[dirq_net::Position] =
+            if self.cfg.location_enabled { self.topo.positions() } else { &[] };
+        let Some(CalibratedQuery { query, truth }) =
+            self.qgen.generate(&self.world, positions, &tree, |n: NodeId| alive[n.index()])
+        else {
+            return;
+        };
+        self.queries_injected += 1;
+        self.pending.push(PendingQuery {
+            query,
+            epoch: self.epoch,
+            truth,
+            received: vec![false; self.topo.len()],
+            tx: 0,
+            rx: 0,
+        });
+        match self.cfg.protocol {
+            Protocol::Dirq => {
+                let outs = self.nodes[0].on_query(&query);
+                self.dispatch_outgoing(NodeId::ROOT, outs);
+            }
+            Protocol::Flooding => {
+                self.flood[0].should_rebroadcast(query.id);
+                if self.mac.enqueue(NodeId::ROOT, Destination::Broadcast, DirqMessage::FloodQuery(query))
+                {
+                    self.record_tx(&DirqMessage::FloodQuery(query));
+                }
+            }
+        }
+    }
+
+    fn run_mac_frame(&mut self) {
+        let slots = self.cfg.lmac.slots_per_frame;
+        for _ in 0..slots {
+            let inds = self.mac.advance_slot(&mut self.mac_rng);
+            for ind in inds {
+                self.dispatch_indication(ind);
+            }
+        }
+    }
+
+    fn end_epoch_housekeeping(&mut self) {
+        if self.cfg.protocol == Protocol::Dirq {
+            for i in 1..self.nodes.len() {
+                if self.alive[i] {
+                    self.nodes[i].end_epoch();
+                }
+            }
+        }
+        // Finalise queries whose completion window elapsed.
+        let due_epoch = self.epoch;
+        let window = self.cfg.completion_window;
+        let mut i = 0;
+        while i < self.pending.len() {
+            if due_epoch.saturating_sub(self.pending[i].epoch) >= window {
+                let p = self.pending.swap_remove(i);
+                self.finalize_query(p);
+            } else {
+                i += 1;
+            }
+        }
+        // δ trace every 100 epochs.
+        if self.epoch.is_multiple_of(100) {
+            let (sum, count) = self
+                .nodes
+                .iter()
+                .enumerate()
+                .skip(1)
+                .filter(|(i, _)| self.alive[*i])
+                .fold((0.0, 0u32), |(s, c), (_, n)| (s + n.delta_pct(), c + 1));
+            if count > 0 {
+                self.delta_trace.push((self.epoch, sum / f64::from(count)));
+            }
+        }
+    }
+
+    // --- message plumbing -----------------------------------------------------
+
+    fn record_tx(&mut self, msg: &DirqMessage) {
+        self.metrics.on_tx(msg.category(), self.epoch);
+        if let Some(id) = query_id_of(msg) {
+            if let Some(p) = self.pending.iter_mut().find(|p| p.query.id == id) {
+                p.tx += 1;
+            }
+        }
+    }
+
+    fn record_rx(&mut self, msg: &DirqMessage) {
+        self.metrics.on_rx(msg.category(), self.epoch);
+        if let Some(id) = query_id_of(msg) {
+            if let Some(p) = self.pending.iter_mut().find(|p| p.query.id == id) {
+                p.rx += 1;
+            }
+        }
+    }
+
+    fn dispatch_outgoing(&mut self, from: NodeId, outs: Vec<Outgoing>) {
+        for out in outs {
+            match out {
+                Outgoing::ToParent(msg) => {
+                    let Some(parent) = self.nodes[from.index()].parent() else {
+                        continue;
+                    };
+                    if self.mac.enqueue(from, Destination::unicast(parent), msg.clone()) {
+                        self.record_tx(&msg);
+                    }
+                }
+                Outgoing::ToChildren(dests, msg) => {
+                    if dests.is_empty() {
+                        continue;
+                    }
+                    if self.mac.enqueue(from, Destination::Multicast(dests), msg.clone()) {
+                        self.record_tx(&msg);
+                    }
+                }
+                Outgoing::DeliverLocal(_query) => {
+                    // The node believes it is a source. Reception has
+                    // already been recorded; true-source accounting happens
+                    // at finalisation against ground truth.
+                }
+            }
+        }
+    }
+
+    fn dispatch_indication(&mut self, ind: MacIndication<DirqMessage>) {
+        match ind {
+            MacIndication::Delivered { to, from, payload } => {
+                self.record_rx(&payload);
+                match payload {
+                    DirqMessage::Update { stype, min, max } => {
+                        let outs = self.nodes[to.index()].on_update(from, stype, min, max);
+                        self.dispatch_outgoing(to, outs);
+                    }
+                    DirqMessage::Retract { stype } => {
+                        let outs = self.nodes[to.index()].on_retract(from, stype);
+                        self.dispatch_outgoing(to, outs);
+                    }
+                    DirqMessage::Attach => {
+                        if self.nodes[to.index()].parent() != Some(from) {
+                            self.nodes[to.index()].on_attach(from);
+                        }
+                    }
+                    DirqMessage::Detach => {
+                        let outs = self.nodes[to.index()].on_child_lost(from);
+                        self.dispatch_outgoing(to, outs);
+                    }
+                    DirqMessage::GeoAdvert(rect) => {
+                        let outs = self.nodes[to.index()].on_geo_advert(from, rect);
+                        self.dispatch_outgoing(to, outs);
+                    }
+                    DirqMessage::Ehr(msg) => {
+                        let outs = self.nodes[to.index()].on_ehr(msg);
+                        self.dispatch_outgoing(to, outs);
+                    }
+                    DirqMessage::Query(q) => {
+                        if !to.is_root() {
+                            if let Some(p) = self.pending.iter_mut().find(|p| p.query.id == q.id) {
+                                p.received[to.index()] = true;
+                            }
+                        }
+                        let outs = self.nodes[to.index()].on_query(&q);
+                        self.dispatch_outgoing(to, outs);
+                    }
+                    DirqMessage::FloodQuery(q) => {
+                        // The root hears rebroadcasts too (that reception is
+                        // part of flooding's 2·links cost) but does not
+                        // count as a *reached* node — it injected the query.
+                        if !to.is_root() {
+                            if let Some(p) = self.pending.iter_mut().find(|p| p.query.id == q.id) {
+                                p.received[to.index()] = true;
+                            }
+                        }
+                        if self.flood[to.index()].should_rebroadcast(q.id)
+                            && self
+                                .mac
+                                .enqueue(to, Destination::Broadcast, DirqMessage::FloodQuery(q))
+                        {
+                            self.record_tx(&DirqMessage::FloodQuery(q));
+                        }
+                    }
+                }
+            }
+            MacIndication::NeighborDied { observer, dead } => {
+                if self.cfg.protocol != Protocol::Dirq {
+                    return;
+                }
+                if self.nodes[observer.index()].parent() == Some(dead) {
+                    let outs = self.nodes[observer.index()].set_parent(None);
+                    self.dispatch_outgoing(observer, outs);
+                } else if self.nodes[observer.index()].children().contains(&dead) {
+                    let outs = self.nodes[observer.index()].on_child_lost(dead);
+                    self.dispatch_outgoing(observer, outs);
+                }
+            }
+            MacIndication::NeighborNew { .. } => {
+                // Attachment is initiated by the joining node via the
+                // repair loop; nothing to do on the observer side.
+            }
+            MacIndication::Undeliverable { .. } => {
+                // Lost messages heal through the liveness upcalls and the
+                // re-advertisement on re-attachment.
+            }
+        }
+    }
+
+    fn finalize_query(&mut self, p: PendingQuery) {
+        let received = p.received.iter().filter(|&&r| r).count();
+        let mut received_should = 0;
+        let mut sources_reached = 0;
+        for (i, &r) in p.received.iter().enumerate() {
+            if r && p.truth.involved[i] {
+                received_should += 1;
+            }
+            if r && p.truth.sources.contains(&NodeId::from_index(i)) {
+                sources_reached += 1;
+            }
+        }
+        self.cqd_estimate.observe((p.tx + p.rx) as f64);
+        self.metrics.on_query_done(QueryOutcome {
+            id: p.query.id,
+            epoch: p.epoch,
+            stype: p.query.stype,
+            should_receive: p.truth.involved_count,
+            true_sources: p.truth.sources.len(),
+            received,
+            received_should,
+            received_should_not: received - received_should,
+            sources_reached,
+            n_nodes: self.topo.len(),
+        });
+    }
+}
+
+fn query_id_of(msg: &DirqMessage) -> Option<QueryId> {
+    match msg {
+        DirqMessage::Query(q) | DirqMessage::FloodQuery(q) => Some(q.id),
+        _ => None,
+    }
+}
+
+/// Convenience: build and run a scenario in one call.
+pub fn run_scenario(cfg: ScenarioConfig) -> RunResult {
+    Engine::new(cfg).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(seed: u64) -> ScenarioConfig {
+        ScenarioConfig {
+            epochs: 500,
+            measure_from_epoch: 100,
+            ..ScenarioConfig::paper(seed)
+        }
+    }
+
+    #[test]
+    fn dirq_run_completes_and_injects_queries() {
+        let r = run_scenario(small(1));
+        assert_eq!(r.epochs, 500);
+        // Queries at epochs 20, 40, …, 480 → 24 of them.
+        assert_eq!(r.queries_injected, 24);
+        assert_eq!(r.metrics.outcomes.len(), 24);
+        assert!(r.metrics.update_cost.tx > 0, "updates must flow");
+    }
+
+    #[test]
+    fn queries_reach_most_relevant_nodes() {
+        let r = run_scenario(small(2));
+        let mean_recall = r
+            .metrics
+            .mean_over_queries(|o| o.source_recall())
+            .expect("measured queries exist");
+        assert!(
+            mean_recall > 0.9,
+            "DirQ should reach >90% of true sources, got {mean_recall:.3}"
+        );
+    }
+
+    #[test]
+    fn dirq_cheaper_than_flooding() {
+        let dirq = run_scenario(small(3));
+        let flood = run_scenario(ScenarioConfig {
+            protocol: Protocol::Flooding,
+            ..small(3)
+        });
+        let dc = dirq.cost_per_query().unwrap();
+        let fc = flood.cost_per_query().unwrap();
+        assert!(
+            dc < fc,
+            "DirQ per-query cost {dc:.1} should undercut flooding {fc:.1}"
+        );
+    }
+
+    #[test]
+    fn flooding_cost_matches_analytic() {
+        let r = run_scenario(ScenarioConfig {
+            protocol: Protocol::Flooding,
+            ..small(4)
+        });
+        let measured = r.cost_per_query().unwrap();
+        let analytic = r.flooding_cost_per_query();
+        let rel = (measured - analytic).abs() / analytic;
+        assert!(
+            rel < 0.02,
+            "flooding measured {measured:.1} vs analytic {analytic:.1} (rel {rel:.3})"
+        );
+    }
+
+    #[test]
+    fn flooding_reaches_everyone() {
+        let r = run_scenario(ScenarioConfig {
+            protocol: Protocol::Flooding,
+            ..small(5)
+        });
+        let mean_received = r
+            .metrics
+            .mean_over_queries(|o| o.received as f64)
+            .unwrap();
+        // All nodes except the root receive every flooded query.
+        assert!(
+            (mean_received - (r.n_nodes - 1) as f64).abs() < 0.5,
+            "flooding reached {mean_received:.1} of {} nodes",
+            r.n_nodes - 1
+        );
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = run_scenario(small(7));
+        let b = run_scenario(small(7));
+        assert_eq!(a.metrics.update_cost.tx, b.metrics.update_cost.tx);
+        assert_eq!(a.metrics.outcomes.len(), b.metrics.outcomes.len());
+        for (x, y) in a.metrics.outcomes.iter().zip(&b.metrics.outcomes) {
+            assert_eq!(x.received, y.received);
+            assert_eq!(x.should_receive, y.should_receive);
+        }
+        assert_eq!(a.mac_data_cost, b.mac_data_cost);
+    }
+
+    #[test]
+    fn larger_delta_sends_fewer_updates() {
+        let lo = run_scenario(ScenarioConfig {
+            delta_policy: DeltaPolicy::Fixed(3.0),
+            ..small(8)
+        });
+        let hi = run_scenario(ScenarioConfig {
+            delta_policy: DeltaPolicy::Fixed(9.0),
+            ..small(8)
+        });
+        assert!(
+            hi.metrics.update_cost.tx < lo.metrics.update_cost.tx,
+            "δ=9% ({}) should send fewer updates than δ=3% ({})",
+            hi.metrics.update_cost.tx,
+            lo.metrics.update_cost.tx
+        );
+    }
+
+    #[test]
+    fn category_costs_cover_mac_ledger() {
+        let r = run_scenario(small(9));
+        // The MAC data ledger counts every data message over the whole run;
+        // category tallies skip the warm-up, so ledger >= categories.
+        let categories = r.metrics.total_cost();
+        assert!(r.mac_data_cost >= categories);
+        assert!(categories > 0.0);
+    }
+
+    #[test]
+    fn kary_tree_scenario_runs() {
+        let r = run_scenario(ScenarioConfig {
+            tree: TreeKind::CompleteKary { k: 2, d: 4 },
+            epochs: 300,
+            measure_from_epoch: 100,
+            ..ScenarioConfig::paper(10)
+        });
+        assert_eq!(r.n_nodes, 31);
+        assert_eq!(r.analytic.flooding, 91.0);
+        assert!(r.queries_injected > 0);
+    }
+
+    #[test]
+    fn churn_deaths_recovered_by_repair() {
+        let r = run_scenario(ScenarioConfig {
+            churn: ChurnSpec::RandomDeaths { deaths: 5, from_epoch: 100, until_epoch: 200 },
+            epochs: 600,
+            measure_from_epoch: 50,
+            ..ScenarioConfig::paper(11)
+        });
+        assert!(r.mac_stats.deaths_detected > 0, "LMAC must notice the deaths");
+        // Queries injected well after the churn window must still find
+        // their sources.
+        let late: Vec<f64> = r
+            .metrics
+            .outcomes
+            .iter()
+            .filter(|o| o.epoch >= 300)
+            .map(|o| o.source_recall())
+            .collect();
+        assert!(!late.is_empty());
+        let mean = late.iter().sum::<f64>() / late.len() as f64;
+        assert!(mean > 0.85, "post-churn recall {mean:.3} too low");
+    }
+
+    #[test]
+    fn predictive_sampling_cuts_acquisitions() {
+        use crate::sampling::{PredictiveConfig, SamplingStrategy};
+        let baseline = run_scenario(small(14));
+        let predictive = run_scenario(ScenarioConfig {
+            sampling: SamplingStrategy::Predictive(PredictiveConfig::default()),
+            ..small(14)
+        });
+        assert!(predictive.samples_skipped > 0, "predictive mode must skip something");
+        let skip_ratio = predictive.samples_skipped as f64
+            / (predictive.samples_taken + predictive.samples_skipped) as f64;
+        assert!(
+            skip_ratio > 0.2,
+            "expected a meaningful sampling saving, got {skip_ratio:.3}"
+        );
+        // Accuracy cost must stay bounded: recall within a few points.
+        let base_recall =
+            baseline.metrics.mean_over_queries(|o| o.source_recall()).unwrap();
+        let pred_recall =
+            predictive.metrics.mean_over_queries(|o| o.source_recall()).unwrap();
+        assert!(
+            pred_recall > base_recall - 0.1,
+            "predictive sampling degraded recall too much: {base_recall:.3} -> {pred_recall:.3}"
+        );
+    }
+
+    #[test]
+    fn atc_policy_runs_and_adapts() {
+        let r = run_scenario(ScenarioConfig {
+            delta_policy: DeltaPolicy::Adaptive(crate::atc::AtcConfig::default()),
+            epochs: 1500,
+            measure_from_epoch: 500,
+            ..ScenarioConfig::paper(12)
+        });
+        // δ must have moved away from the initial value on most nodes.
+        let moved = r
+            .final_delta_pcts
+            .iter()
+            .skip(1)
+            .filter(|&&d| (d - 5.0).abs() > 0.5)
+            .count();
+        assert!(
+            moved > r.n_nodes / 2,
+            "ATC should have adjusted most nodes' δ (moved: {moved})"
+        );
+        assert!(!r.delta_trace.is_empty());
+    }
+}

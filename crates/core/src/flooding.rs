@@ -1,0 +1,75 @@
+//! The flooding baseline (Section 5.1).
+//!
+//! "When performing a flooding operation, a node transmits a message to its
+//! neighbours using a broadcast operation … this behaviour is followed by
+//! all nodes in the network no matter where the nodes may be located and is
+//! carried out regardless of the number of neighbours a node has."
+//!
+//! Each node therefore rebroadcasts every query exactly once — even a node
+//! whose only neighbour is the one it heard the query from. Total cost on N
+//! nodes with L links: `N` transmissions + `2L` receptions (Eq. 3).
+
+use dirq_data::QueryId;
+
+/// Per-node flooding state: which query ids this node has already
+/// rebroadcast.
+#[derive(Clone, Debug, Default)]
+pub struct FloodingNode {
+    seen: Vec<QueryId>,
+}
+
+/// Bound on remembered query ids (queries are one-shot and arrive every 20
+/// epochs; 64 is ample).
+const SEEN_CAP: usize = 64;
+
+impl FloodingNode {
+    /// Fresh state.
+    pub fn new() -> Self {
+        FloodingNode::default()
+    }
+
+    /// Process a received (or injected) query. Returns `true` exactly once
+    /// per query id: the caller must then rebroadcast.
+    pub fn should_rebroadcast(&mut self, id: QueryId) -> bool {
+        if self.seen.contains(&id) {
+            return false;
+        }
+        if self.seen.len() == SEEN_CAP {
+            self.seen.remove(0);
+        }
+        self.seen.push(id);
+        true
+    }
+
+    /// Number of distinct queries seen.
+    pub fn seen_count(&self) -> usize {
+        self.seen.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rebroadcasts_exactly_once() {
+        let mut n = FloodingNode::new();
+        assert!(n.should_rebroadcast(QueryId(1)));
+        assert!(!n.should_rebroadcast(QueryId(1)));
+        assert!(n.should_rebroadcast(QueryId(2)));
+        assert!(!n.should_rebroadcast(QueryId(2)));
+        assert_eq!(n.seen_count(), 2);
+    }
+
+    #[test]
+    fn memory_bounded() {
+        let mut n = FloodingNode::new();
+        for i in 0..200 {
+            assert!(n.should_rebroadcast(QueryId(i)));
+        }
+        assert_eq!(n.seen_count(), SEEN_CAP);
+        // Very old ids have been forgotten (acceptable: queries are
+        // one-shot and short-lived).
+        assert!(n.should_rebroadcast(QueryId(0)));
+    }
+}

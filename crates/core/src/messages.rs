@@ -1,0 +1,112 @@
+//! Protocol messages.
+//!
+//! These are the payloads carried by LMAC data sections. Sizes are small
+//! (a few words) — consistent with the paper's premise that update messages
+//! are cheap tuples.
+
+use dirq_data::{RangeQuery, SensorType};
+use dirq_net::Rect;
+
+/// Adaptive-threshold parameters broadcast by the root once per "hour"
+/// (Section 4: the `EHr` estimate message), extended with the derived
+/// per-node update budget so each node can steer its threshold
+/// autonomously from purely local arithmetic.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EhrMessage {
+    /// Expected queries over the next hour (the paper's `EHr`).
+    pub queries_per_hour: f64,
+    /// Target update transmissions per node per epoch, derived at the root
+    /// from the analytic budget (Section 5) and the measured query cost.
+    pub per_node_budget_per_epoch: f64,
+}
+
+/// A DirQ/flooding protocol message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum DirqMessage {
+    /// Range-aggregate advertisement from a child to its parent
+    /// (Section 4.1's Update Message: the `(min(THmin), max(THmax))`
+    /// tuple for one sensor type).
+    Update {
+        /// Sensor type the aggregate covers.
+        stype: SensorType,
+        /// `min(THmin)` over the child's table.
+        min: f64,
+        /// `max(THmax)` over the child's table.
+        max: f64,
+    },
+    /// The child no longer has any range information for `stype` (its last
+    /// carrier died or the sensor was removed): drop the table entry.
+    Retract {
+        /// Sensor type to withdraw.
+        stype: SensorType,
+    },
+    /// A directed query travelling down the tree (multicast to the
+    /// children whose advertised ranges overlap).
+    Query(RangeQuery),
+    /// The hourly threshold-control message travelling down the tree.
+    Ehr(EhrMessage),
+    /// Tree maintenance: the sender adopts the receiver as its parent
+    /// (sent after repair or birth; followed by Updates re-advertising the
+    /// sender's aggregates).
+    Attach,
+    /// Tree maintenance: the sender stops being the receiver's child (sent
+    /// to a still-alive old parent when re-parenting during repair).
+    Detach,
+    /// Location extension: the sender's subtree bounding box (static
+    /// attribute advertisement; sent on attach and on topology changes).
+    GeoAdvert(Rect),
+    /// A query disseminated by the flooding baseline (every node
+    /// rebroadcasts it exactly once).
+    FloodQuery(RangeQuery),
+}
+
+impl DirqMessage {
+    /// Coarse accounting category for the cost breakdown.
+    pub fn category(&self) -> MessageCategory {
+        match self {
+            DirqMessage::Update { .. } | DirqMessage::Retract { .. } => MessageCategory::Update,
+            DirqMessage::Query(_) | DirqMessage::FloodQuery(_) => MessageCategory::Query,
+            DirqMessage::Ehr(_)
+            | DirqMessage::Attach
+            | DirqMessage::Detach
+            | DirqMessage::GeoAdvert(_) => MessageCategory::Control,
+        }
+    }
+}
+
+/// Cost-accounting buckets mirroring the paper's Section 5 decomposition:
+/// `CTD = CQD + CUD` (plus the small control category the paper folds into
+/// the update mechanism).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MessageCategory {
+    /// Query dissemination (`CQD`).
+    Query,
+    /// Range-update maintenance (`CUD`).
+    Update,
+    /// EHr dissemination and tree maintenance.
+    Control,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dirq_data::QueryId;
+
+    #[test]
+    fn categories() {
+        let q = RangeQuery::value(QueryId(1), SensorType(0), 0.0, 1.0);
+        assert_eq!(
+            DirqMessage::Update { stype: SensorType(0), min: 0.0, max: 1.0 }.category(),
+            MessageCategory::Update
+        );
+        assert_eq!(DirqMessage::Retract { stype: SensorType(1) }.category(), MessageCategory::Update);
+        assert_eq!(DirqMessage::Query(q).category(), MessageCategory::Query);
+        assert_eq!(DirqMessage::FloodQuery(q).category(), MessageCategory::Query);
+        assert_eq!(
+            DirqMessage::Ehr(EhrMessage { queries_per_hour: 1.0, per_node_budget_per_epoch: 0.1 })
+                .category(),
+            MessageCategory::Control
+        );
+        assert_eq!(DirqMessage::Attach.category(), MessageCategory::Control);
+    }
+}

@@ -1,0 +1,748 @@
+//! The per-node DirQ protocol state machine.
+//!
+//! [`DirqNode`] holds everything a node stores: its place in the spanning
+//! tree (parent + children), one [`RangeTable`] per sensor type with range
+//! information anywhere in its subtree, and the threshold controller. All
+//! handlers are pure state transitions returning [`Outgoing`] actions; the
+//! scenario engine maps those onto LMAC transmissions. This keeps the
+//! protocol unit-testable without a simulator.
+
+use std::collections::BTreeMap;
+
+use dirq_data::{QueryId, RangeQuery, SensorType};
+use dirq_net::{NodeId, Position};
+use dirq_sim::stats::Ewma;
+
+use crate::atc::{AtcController, DeltaPolicy};
+use crate::geo::GeoTable;
+use crate::messages::{DirqMessage, EhrMessage};
+use crate::range_table::{RangeEntry, RangeTable};
+
+/// An action requested by a protocol handler.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Outgoing {
+    /// Unicast to the node's current parent.
+    ToParent(DirqMessage),
+    /// Multicast to the listed children.
+    ToChildren(Vec<NodeId>, DirqMessage),
+    /// The query matched this node's own advertised range: hand the query
+    /// to the local application (the node is a *source* in DirQ's eyes).
+    DeliverLocal(RangeQuery),
+}
+
+/// Static per-node protocol parameters.
+#[derive(Clone, Debug)]
+pub struct NodeConfig {
+    /// Threshold policy (fixed δ or ATC).
+    pub delta_policy: DeltaPolicy,
+    /// Reference span per sensor type (δ% is relative to this), indexed by
+    /// `SensorType`.
+    pub reference_spans: Vec<f64>,
+    /// EWMA smoothing for the signal-variability estimate.
+    pub variability_alpha: f64,
+    /// Multiplier on δ for the *transmission* test (Fig. 3). 1.0 = the
+    /// paper's rule; 0.0 = transmit on every aggregate change (ablation).
+    pub tx_threshold_factor: f64,
+}
+
+impl NodeConfig {
+    /// Reference span for `stype` (falls back to 1.0 for unknown types so
+    /// late-registered sensors still work).
+    pub fn reference_span(&self, stype: SensorType) -> f64 {
+        self.reference_spans.get(stype.index()).copied().unwrap_or(1.0)
+    }
+}
+
+/// The DirQ state of one sensor node.
+#[derive(Clone, Debug)]
+pub struct DirqNode {
+    id: NodeId,
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+    tables: BTreeMap<SensorType, RangeTable>,
+    delta_pct: f64,
+    atc: Option<AtcController>,
+    /// Per-type EWMA of |Δreading| per epoch, in percent of reference span.
+    variability: BTreeMap<SensorType, Ewma>,
+    last_reading: BTreeMap<SensorType, f64>,
+    /// Query ids already processed (duplicate suppression after repairs).
+    seen_queries: Vec<QueryId>,
+    /// Location extension: subtree bounding boxes (empty when localisation
+    /// is unavailable — DirQ works without it).
+    geo: GeoTable,
+    updates_sent: u64,
+    cfg: NodeConfig,
+}
+
+/// Bound on the duplicate-suppression memory.
+const SEEN_QUERIES_CAP: usize = 64;
+
+impl DirqNode {
+    /// Fresh node with no tree links and empty tables.
+    pub fn new(id: NodeId, cfg: NodeConfig) -> Self {
+        let (delta_pct, atc) = match cfg.delta_policy {
+            DeltaPolicy::Fixed(pct) => {
+                assert!(pct > 0.0, "fixed δ must be positive");
+                (pct, None)
+            }
+            DeltaPolicy::Adaptive(acfg) => {
+                let c = AtcController::new(acfg);
+                (c.delta_pct(), Some(c))
+            }
+        };
+        DirqNode {
+            id,
+            parent: None,
+            children: Vec::new(),
+            tables: BTreeMap::new(),
+            delta_pct,
+            atc,
+            variability: BTreeMap::new(),
+            last_reading: BTreeMap::new(),
+            seen_queries: Vec::new(),
+            geo: GeoTable::new(),
+            updates_sent: 0,
+            cfg,
+        }
+    }
+
+    /// Node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Current parent.
+    pub fn parent(&self) -> Option<NodeId> {
+        self.parent
+    }
+
+    /// Current children (protocol view).
+    pub fn children(&self) -> &[NodeId] {
+        &self.children
+    }
+
+    /// Current δ in percent of the reference span.
+    pub fn delta_pct(&self) -> f64 {
+        self.delta_pct
+    }
+
+    /// Absolute δ for a sensor type.
+    pub fn delta_abs(&self, stype: SensorType) -> f64 {
+        self.delta_pct / 100.0 * self.cfg.reference_span(stype)
+    }
+
+    /// Total Update/Retract messages this node has transmitted.
+    pub fn updates_sent(&self) -> u64 {
+        self.updates_sent
+    }
+
+    /// Range table for `stype`, if present.
+    pub fn table(&self, stype: SensorType) -> Option<&RangeTable> {
+        self.tables.get(&stype)
+    }
+
+    /// Sensor types with a table at this node (i.e. present somewhere in
+    /// its subtree — the paper's Fig. 4).
+    pub fn table_types(&self) -> impl Iterator<Item = SensorType> + '_ {
+        self.tables.keys().copied()
+    }
+
+    /// Smoothed signal variability for ATC, in percent of span (max over
+    /// carried types: the most volatile sensor drives the update rate).
+    pub fn sigma_hat_pct(&self) -> Option<f64> {
+        self.variability
+            .values()
+            .filter_map(|e| e.value())
+            .fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.max(v))))
+    }
+
+    // --- tree maintenance ---------------------------------------------------
+
+    /// Adopt a new parent (or become an orphan with `None`). Returns the
+    /// messages to send to the new parent: an `Attach` followed by a full
+    /// re-advertisement of every non-empty table aggregate.
+    pub fn set_parent(&mut self, parent: Option<NodeId>) -> Vec<Outgoing> {
+        self.parent = parent;
+        let mut out = Vec::new();
+        if parent.is_some() {
+            out.push(Outgoing::ToParent(DirqMessage::Attach));
+            for (stype, table) in &mut self.tables {
+                if let Some(agg) = table.aggregate() {
+                    table.mark_transmitted(agg);
+                    out.push(Outgoing::ToParent(DirqMessage::Update {
+                        stype: *stype,
+                        min: agg.min,
+                        max: agg.max,
+                    }));
+                }
+            }
+            self.updates_sent += out.len() as u64 - 1;
+            if let Some(atc) = &mut self.atc {
+                for _ in 1..out.len() {
+                    atc.on_update_sent();
+                }
+            }
+            if let Some(rect) = self.geo.aggregate() {
+                self.geo.mark_advertised(rect);
+                out.push(Outgoing::ToParent(DirqMessage::GeoAdvert(rect)));
+            }
+        }
+        out
+    }
+
+    /// Location extension: record this node's own (static) position and
+    /// advertise the resulting subtree hull.
+    pub fn set_position(&mut self, pos: Position) -> Vec<Outgoing> {
+        self.geo.set_own(pos);
+        self.flush_geo()
+    }
+
+    /// This node's position, if localised.
+    pub fn position(&self) -> Option<Position> {
+        self.geo.own()
+    }
+
+    /// The location table (read access for tests/diagnostics).
+    pub fn geo_table(&self) -> &GeoTable {
+        &self.geo
+    }
+
+    /// A child advertised its subtree bounding box.
+    pub fn on_geo_advert(&mut self, from: NodeId, rect: dirq_net::Rect) -> Vec<Outgoing> {
+        self.add_child(from);
+        if self.geo.set_child(from, rect) {
+            self.flush_geo()
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn flush_geo(&mut self) -> Vec<Outgoing> {
+        let Some(rect) = self.geo.pending_advert() else {
+            return Vec::new();
+        };
+        self.geo.mark_advertised(rect);
+        if self.id.is_root() || self.parent.is_none() {
+            return Vec::new();
+        }
+        vec![Outgoing::ToParent(DirqMessage::GeoAdvert(rect))]
+    }
+
+    /// Register `child` (idempotent).
+    pub fn add_child(&mut self, child: NodeId) {
+        if let Err(i) = self.children.binary_search(&child) {
+            self.children.insert(i, child);
+        }
+    }
+
+    /// A child vanished (death or re-parenting): drop it from the child
+    /// list and every table, cascading updates/retracts upward.
+    pub fn on_child_lost(&mut self, child: NodeId) -> Vec<Outgoing> {
+        if let Ok(i) = self.children.binary_search(&child) {
+            self.children.remove(i);
+        }
+        let mut out = Vec::new();
+        let stypes: Vec<SensorType> = self.tables.keys().copied().collect();
+        for stype in stypes {
+            let changed = self
+                .tables
+                .get_mut(&stype)
+                .map(|t| t.remove_child(child))
+                .unwrap_or(false);
+            if changed {
+                out.extend(self.flush_table(stype));
+            }
+        }
+        if self.geo.remove_child(child) {
+            out.extend(self.flush_geo());
+        }
+        out
+    }
+
+    // --- sensing ------------------------------------------------------------
+
+    /// Process this epoch's reading for a carried sensor type.
+    pub fn sample(&mut self, stype: SensorType, reading: f64) -> Vec<Outgoing> {
+        // Variability estimate (percent of span per epoch) for ATC.
+        let span = self.cfg.reference_span(stype);
+        if let Some(prev) = self.last_reading.insert(stype, reading) {
+            let pct = ((reading - prev).abs() / span) * 100.0;
+            self.variability
+                .entry(stype)
+                .or_insert_with(|| Ewma::new(self.cfg.variability_alpha))
+                .observe(pct);
+        }
+
+        let delta = self.delta_abs(stype);
+        let table = self.tables.entry(stype).or_default();
+        if table.observe_own(reading, delta) {
+            self.flush_table(stype)
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// The node's sensor for `stype` was removed.
+    pub fn drop_own_sensor(&mut self, stype: SensorType) -> Vec<Outgoing> {
+        let changed = self.tables.get_mut(&stype).map(|t| t.clear_own()).unwrap_or(false);
+        if changed {
+            self.flush_table(stype)
+        } else {
+            Vec::new()
+        }
+    }
+
+    // --- message handlers ----------------------------------------------------
+
+    /// An Update arrived from a child.
+    pub fn on_update(&mut self, from: NodeId, stype: SensorType, min: f64, max: f64) -> Vec<Outgoing> {
+        self.add_child(from);
+        let table = self.tables.entry(stype).or_default();
+        let changed = table.set_child(from, RangeEntry { min, max });
+        if changed {
+            self.flush_table(stype)
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// A Retract arrived from a child.
+    pub fn on_retract(&mut self, from: NodeId, stype: SensorType) -> Vec<Outgoing> {
+        let changed = self
+            .tables
+            .get_mut(&stype)
+            .map(|t| t.remove_child(from))
+            .unwrap_or(false);
+        if changed {
+            self.flush_table(stype)
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// An Attach arrived: adopt the sender as a child (its Updates follow).
+    pub fn on_attach(&mut self, from: NodeId) {
+        self.add_child(from);
+    }
+
+    /// A query arrived (or was injected, at the root). Returns the local
+    /// delivery (if the node's own advertised range matches) and the
+    /// forwarding multicast to the children whose aggregates overlap.
+    ///
+    /// Duplicate query ids (possible transiently after tree repairs) are
+    /// ignored.
+    pub fn on_query(&mut self, query: &RangeQuery) -> Vec<Outgoing> {
+        if self.seen_queries.contains(&query.id) {
+            return Vec::new();
+        }
+        if self.seen_queries.len() == SEEN_QUERIES_CAP {
+            self.seen_queries.remove(0);
+        }
+        self.seen_queries.push(query.id);
+
+        let mut out = Vec::new();
+        if let Some(table) = self.tables.get(&query.stype) {
+            if let Some(own) = table.own() {
+                // Local delivery: value overlap, plus (when both the query
+                // and the node are localised) the region must contain us.
+                let in_region = match (query.region, self.geo.own()) {
+                    (Some(r), Some(pos)) => r.contains(&pos),
+                    _ => true, // no region, or no localisation: cannot prune
+                };
+                if own.overlaps(query.lo, query.hi) && in_region {
+                    out.push(Outgoing::DeliverLocal(*query));
+                }
+            }
+            let relevant: Vec<NodeId> = table
+                .children()
+                .iter()
+                .filter(|(_, e)| e.overlaps(query.lo, query.hi))
+                .map(|&(c, _)| c)
+                // Only forward to nodes we still consider children.
+                .filter(|c| self.children.binary_search(c).is_ok())
+                // Spatial pruning: skip children whose advertised subtree
+                // box misses the query region (unknown boxes are forwarded
+                // conservatively).
+                .filter(|c| match (query.region, self.geo.child_rect(*c)) {
+                    (Some(region), Some(rect)) => rect.intersects(&region),
+                    _ => true,
+                })
+                .collect();
+            if !relevant.is_empty() {
+                out.push(Outgoing::ToChildren(relevant, DirqMessage::Query(*query)));
+            }
+        }
+        out
+    }
+
+    /// The hourly EHr/budget message arrived: update ATC and forward the
+    /// message to all children.
+    pub fn on_ehr(&mut self, msg: EhrMessage) -> Vec<Outgoing> {
+        if let Some(atc) = &mut self.atc {
+            atc.on_budget(msg.per_node_budget_per_epoch);
+        }
+        if self.children.is_empty() {
+            Vec::new()
+        } else {
+            vec![Outgoing::ToChildren(self.children.clone(), DirqMessage::Ehr(msg))]
+        }
+    }
+
+    /// End-of-epoch housekeeping: drive the ATC adjustment.
+    pub fn end_epoch(&mut self) {
+        let sigma = self.sigma_hat_pct();
+        if let Some(atc) = &mut self.atc {
+            if let Some(new_delta) = atc.on_epoch_end(sigma) {
+                self.delta_pct = new_delta;
+            }
+        }
+    }
+
+    // --- internals ------------------------------------------------------------
+
+    /// After a table mutation: emit an Update or Retract to the parent per
+    /// the Fig. 3 rule. The root marks aggregates transmitted without
+    /// sending (its "parent" is the wired server).
+    fn flush_table(&mut self, stype: SensorType) -> Vec<Outgoing> {
+        let delta = self.delta_abs(stype) * self.cfg.tx_threshold_factor;
+        let Some(table) = self.tables.get_mut(&stype) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        if table.pending_retract() {
+            table.mark_retracted();
+            self.tables.remove(&stype);
+            if !self.id.is_root() && self.parent.is_some() {
+                self.updates_sent += 1;
+                if let Some(atc) = &mut self.atc {
+                    atc.on_update_sent();
+                }
+                out.push(Outgoing::ToParent(DirqMessage::Retract { stype }));
+            }
+        } else if let Some(agg) = table.pending_update(delta) {
+            table.mark_transmitted(agg);
+            if !self.id.is_root() && self.parent.is_some() {
+                self.updates_sent += 1;
+                if let Some(atc) = &mut self.atc {
+                    atc.on_update_sent();
+                }
+                out.push(Outgoing::ToParent(DirqMessage::Update {
+                    stype,
+                    min: agg.min,
+                    max: agg.max,
+                }));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dirq_data::QueryId;
+
+    fn cfg() -> NodeConfig {
+        NodeConfig {
+            delta_policy: DeltaPolicy::Fixed(5.0),
+            reference_spans: vec![20.0, 40.0],
+            variability_alpha: 0.2,
+            tx_threshold_factor: 1.0,
+        }
+    }
+
+    fn t0() -> SensorType {
+        SensorType(0)
+    }
+
+    fn query(id: u64, lo: f64, hi: f64) -> RangeQuery {
+        RangeQuery::value(QueryId(id), t0(), lo, hi)
+    }
+
+    fn mk(id: u32) -> DirqNode {
+        let mut n = DirqNode::new(NodeId(id), cfg());
+        if id != 0 {
+            // Give non-root nodes a parent so updates are emitted.
+            let _ = n.set_parent(Some(NodeId(0)));
+        }
+        n
+    }
+
+    #[test]
+    fn delta_abs_scales_with_span() {
+        let n = mk(1);
+        assert_eq!(n.delta_pct(), 5.0);
+        assert_eq!(n.delta_abs(SensorType(0)), 1.0); // 5% of 20
+        assert_eq!(n.delta_abs(SensorType(1)), 2.0); // 5% of 40
+    }
+
+    #[test]
+    fn first_sample_emits_update() {
+        let mut n = mk(1);
+        let out = n.sample(t0(), 20.0);
+        assert_eq!(
+            out,
+            vec![Outgoing::ToParent(DirqMessage::Update { stype: t0(), min: 19.0, max: 21.0 })]
+        );
+        assert_eq!(n.updates_sent(), 1);
+    }
+
+    #[test]
+    fn small_changes_suppressed() {
+        let mut n = mk(1);
+        n.sample(t0(), 20.0);
+        // Inside the ±1.0 window: no tuple replacement, no update.
+        assert!(n.sample(t0(), 20.5).is_empty());
+        assert!(n.sample(t0(), 19.2).is_empty());
+        assert_eq!(n.updates_sent(), 1);
+    }
+
+    #[test]
+    fn escape_triggers_update_beyond_delta() {
+        let mut n = mk(1);
+        n.sample(t0(), 20.0); // tx [19, 21]
+        // Escape to 22.5: own tuple [21.5, 23.5]; aggregate moved by 2.5 > 1.
+        let out = n.sample(t0(), 22.5);
+        assert_eq!(
+            out,
+            vec![Outgoing::ToParent(DirqMessage::Update { stype: t0(), min: 21.5, max: 23.5 })]
+        );
+    }
+
+    #[test]
+    fn escape_within_delta_of_last_tx_is_silent() {
+        let mut n = mk(1);
+        n.sample(t0(), 20.0); // own [19,21], tx [19,21]
+        // Escape to 21.8: own tuple becomes [20.8, 22.8]; min moved +1.8 > δ?
+        // min 19→20.8 = 1.8 > 1 → fires. Pick an escape that moves both ends
+        // by ≤ δ: reading 21.9 → [20.9, 22.9]: max moved 1.9 > 1 — fires too.
+        // With this δ the paper's rule can only stay silent when the
+        // aggregate is dominated by children; verify via a child update.
+        let mut p = mk(2);
+        p.on_update(NodeId(5), t0(), 0.0, 100.0);
+        // p transmitted [0,100]. A tiny own reading inside: aggregate
+        // unchanged → silent.
+        let out = p.sample(t0(), 50.0);
+        assert!(out.is_empty(), "aggregate [0,100] swallowed [49,51]: {out:?}");
+    }
+
+    #[test]
+    fn child_update_cascades_when_significant() {
+        let mut n = mk(1);
+        n.sample(t0(), 20.0); // tx [19, 21]
+        let out = n.on_update(NodeId(7), t0(), 5.0, 8.0);
+        assert_eq!(
+            out,
+            vec![Outgoing::ToParent(DirqMessage::Update { stype: t0(), min: 5.0, max: 21.0 })]
+        );
+        assert_eq!(n.children(), &[NodeId(7)]);
+        // A further child change inside the transmitted aggregate: silent.
+        let out = n.on_update(NodeId(7), t0(), 5.5, 8.0);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn root_absorbs_updates_without_sending() {
+        let mut root = DirqNode::new(NodeId::ROOT, cfg());
+        let out = root.on_update(NodeId(3), t0(), 1.0, 2.0);
+        assert!(out.is_empty(), "root has no parent to update");
+        assert_eq!(root.updates_sent(), 0);
+        // But it stores the information for routing.
+        assert!(root.table(t0()).is_some());
+    }
+
+    #[test]
+    fn retract_on_last_entry_removed() {
+        let mut n = mk(1);
+        n.on_update(NodeId(9), t0(), 1.0, 2.0);
+        let out = n.on_child_lost(NodeId(9));
+        assert_eq!(out, vec![Outgoing::ToParent(DirqMessage::Retract { stype: t0() })]);
+        assert!(n.table(t0()).is_none(), "empty table dropped");
+        assert!(n.children().is_empty());
+    }
+
+    #[test]
+    fn child_loss_with_remaining_data_updates() {
+        let mut n = mk(1);
+        n.sample(t0(), 20.0); // [19,21]
+        n.on_update(NodeId(9), t0(), 0.0, 50.0); // tx [0,50]
+        let out = n.on_child_lost(NodeId(9));
+        // Aggregate shrinks back to [19,21]: both ends moved > δ.
+        assert_eq!(
+            out,
+            vec![Outgoing::ToParent(DirqMessage::Update { stype: t0(), min: 19.0, max: 21.0 })]
+        );
+    }
+
+    #[test]
+    fn query_routing_to_overlapping_children_only() {
+        let mut n = mk(1);
+        n.on_update(NodeId(3), t0(), 0.0, 10.0);
+        n.on_update(NodeId(4), t0(), 20.0, 30.0);
+        n.on_update(NodeId(5), t0(), 40.0, 50.0);
+        let out = n.on_query(&query(1, 25.0, 45.0));
+        assert_eq!(
+            out,
+            vec![Outgoing::ToChildren(
+                vec![NodeId(4), NodeId(5)],
+                DirqMessage::Query(query(1, 25.0, 45.0))
+            )]
+        );
+    }
+
+    #[test]
+    fn query_delivers_locally_on_own_overlap() {
+        let mut n = mk(1);
+        n.sample(t0(), 20.0); // own [19, 21]
+        let out = n.on_query(&query(2, 20.5, 30.0));
+        assert_eq!(out, vec![Outgoing::DeliverLocal(query(2, 20.5, 30.0))]);
+        // Own range [19,21] vs [30,40]: no delivery, no children: nothing.
+        let out = n.on_query(&query(3, 30.0, 40.0));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn duplicate_queries_suppressed() {
+        let mut n = mk(1);
+        n.sample(t0(), 20.0);
+        assert_eq!(n.on_query(&query(7, 0.0, 100.0)).len(), 1);
+        assert!(n.on_query(&query(7, 0.0, 100.0)).is_empty());
+    }
+
+    #[test]
+    fn query_for_unknown_type_goes_nowhere() {
+        let mut n = mk(1);
+        n.sample(t0(), 20.0);
+        let q = RangeQuery::value(QueryId(9), SensorType(3), 0.0, 1.0);
+        assert!(n.on_query(&q).is_empty());
+    }
+
+    #[test]
+    fn ehr_forwarded_to_children() {
+        let mut n = mk(1);
+        n.add_child(NodeId(2));
+        n.add_child(NodeId(3));
+        let msg = EhrMessage { queries_per_hour: 20.0, per_node_budget_per_epoch: 0.1 };
+        let out = n.on_ehr(msg);
+        assert_eq!(
+            out,
+            vec![Outgoing::ToChildren(vec![NodeId(2), NodeId(3)], DirqMessage::Ehr(msg))]
+        );
+        // Leaf: absorbed silently.
+        let mut leaf = mk(4);
+        assert!(leaf.on_ehr(msg).is_empty());
+    }
+
+    #[test]
+    fn set_parent_readvertises_tables() {
+        let mut n = mk(1);
+        n.sample(t0(), 20.0);
+        n.on_update(NodeId(8), SensorType(1), 5.0, 6.0);
+        let out = n.set_parent(Some(NodeId(2)));
+        assert_eq!(out.len(), 3); // Attach + 2 table advertisements
+        assert_eq!(out[0], Outgoing::ToParent(DirqMessage::Attach));
+        assert!(matches!(
+            out[1],
+            Outgoing::ToParent(DirqMessage::Update { stype: SensorType(0), .. })
+        ));
+        assert!(matches!(
+            out[2],
+            Outgoing::ToParent(DirqMessage::Update { stype: SensorType(1), .. })
+        ));
+    }
+
+    #[test]
+    fn orphan_emits_nothing_and_buffers_state() {
+        let mut n = mk(1);
+        n.sample(t0(), 20.0);
+        let out = n.set_parent(None);
+        assert!(out.is_empty());
+        // Sampling while orphaned mutates the table but sends nothing.
+        let out = n.sample(t0(), 40.0);
+        assert!(out.is_empty());
+        assert!(n.table(t0()).is_some());
+    }
+
+    #[test]
+    fn variability_estimate_tracks_changes() {
+        let mut n = mk(1);
+        assert_eq!(n.sigma_hat_pct(), None);
+        n.sample(t0(), 20.0);
+        n.sample(t0(), 21.0); // |Δ| = 1.0 = 5% of span 20
+        let sigma = n.sigma_hat_pct().unwrap();
+        assert!((sigma - 5.0).abs() < 1e-9, "sigma {sigma}");
+    }
+
+    #[test]
+    fn geo_advert_flows_and_prunes_routing() {
+        use dirq_net::{Position, Rect};
+        let mut n = mk(1);
+        n.sample(t0(), 20.0);
+        // Two children with identical value ranges but disjoint regions.
+        n.on_update(NodeId(3), t0(), 0.0, 100.0);
+        n.on_update(NodeId(4), t0(), 0.0, 100.0);
+        let west = Rect::new(Position::new(0.0, 0.0), Position::new(10.0, 10.0));
+        let east = Rect::new(Position::new(50.0, 0.0), Position::new(60.0, 10.0));
+        let out = n.on_geo_advert(NodeId(3), west);
+        assert!(
+            matches!(out.as_slice(), [Outgoing::ToParent(DirqMessage::GeoAdvert(_))]),
+            "hull change must be advertised: {out:?}"
+        );
+        n.on_geo_advert(NodeId(4), east);
+
+        // A query scoped to the west region must skip the east child.
+        let q = query(11, 0.0, 100.0)
+            .with_region(Rect::new(Position::new(0.0, 0.0), Position::new(20.0, 20.0)));
+        let out = n.on_query(&q);
+        let forwarded: Vec<NodeId> = out
+            .iter()
+            .find_map(|o| match o {
+                Outgoing::ToChildren(cs, _) => Some(cs.clone()),
+                _ => None,
+            })
+            .unwrap_or_default();
+        assert_eq!(forwarded, vec![NodeId(3)], "east child must be pruned");
+    }
+
+    #[test]
+    fn geo_local_delivery_requires_region_membership() {
+        use dirq_net::{Position, Rect};
+        let mut n = mk(1);
+        n.set_position(Position::new(30.0, 30.0));
+        n.sample(t0(), 20.0);
+        let inside = query(21, 0.0, 100.0)
+            .with_region(Rect::centered(Position::new(30.0, 30.0), 5.0));
+        assert!(n
+            .on_query(&inside)
+            .iter()
+            .any(|o| matches!(o, Outgoing::DeliverLocal(_))));
+        let outside = query(22, 0.0, 100.0)
+            .with_region(Rect::centered(Position::new(90.0, 90.0), 5.0));
+        assert!(!n
+            .on_query(&outside)
+            .iter()
+            .any(|o| matches!(o, Outgoing::DeliverLocal(_))));
+    }
+
+    #[test]
+    fn unlocalised_node_ignores_region_conservatively() {
+        use dirq_net::{Position, Rect};
+        let mut n = mk(1);
+        n.sample(t0(), 20.0); // no set_position
+        let q = query(31, 0.0, 100.0)
+            .with_region(Rect::centered(Position::new(90.0, 90.0), 1.0));
+        // Cannot prune without knowing its own position: delivers locally.
+        assert!(n.on_query(&q).iter().any(|o| matches!(o, Outgoing::DeliverLocal(_))));
+    }
+
+    #[test]
+    fn multiple_tables_supported() {
+        // Paper Fig. 4: a node keeps tables for types it does not carry
+        // itself when they exist in its subtree.
+        let mut n = mk(1);
+        n.on_update(NodeId(2), SensorType(0), 0.0, 1.0);
+        n.on_update(NodeId(3), SensorType(1), 5.0, 6.0);
+        assert_eq!(n.table_types().count(), 2);
+        assert!(n.table(SensorType(0)).unwrap().own().is_none());
+    }
+}

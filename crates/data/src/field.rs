@@ -1,0 +1,253 @@
+//! Spatially correlated base fields.
+//!
+//! "Sensor values of nodes located close to one another are spatially
+//! related" — we realise this with a smooth random field: a sum of
+//! Gaussian radial-basis bumps with random centres, amplitudes and a
+//! characteristic correlation length. Two nodes much closer than the
+//! correlation length see nearly identical base values; far-apart nodes are
+//! nearly independent.
+
+use dirq_net::Position;
+use dirq_sim::SimRng;
+use rand::Rng;
+
+/// One Gaussian bump.
+#[derive(Clone, Copy, Debug)]
+struct Bump {
+    center: Position,
+    amplitude: f64,
+    /// 1/(2σ²), precomputed.
+    inv_two_sigma_sq: f64,
+}
+
+/// Spatial structure of a field.
+#[derive(Clone, Debug)]
+enum FieldKind {
+    /// Smooth sum of Gaussian bumps.
+    Smooth(Vec<Bump>),
+    /// Plateaued microclimates: the value is the level of the nearest cell
+    /// centre (a Voronoi partition). Models distinct habitats — meadow,
+    /// canopy shade, creek bed — whose readings cluster tightly around
+    /// well-separated levels.
+    Cellular(Vec<(Position, f64)>),
+}
+
+/// A scalar field over the deployment plane.
+#[derive(Clone, Debug)]
+pub struct SpatialField {
+    base: f64,
+    kind: FieldKind,
+}
+
+impl SpatialField {
+    /// A constant field (no spatial structure).
+    pub fn constant(base: f64) -> Self {
+        SpatialField { base, kind: FieldKind::Smooth(Vec::new()) }
+    }
+
+    /// Cellular field: `n_cells` Voronoi cells whose levels are evenly
+    /// spaced across `[-amplitude, amplitude]` (±20 % jitter), assigned to
+    /// random cell positions. Values are constant within a cell, so
+    /// simultaneous readings cluster around well-*separated* levels — the
+    /// even spacing guarantees a minimum gap between adjacent clusters.
+    pub fn cellular(
+        base: f64,
+        amplitude: f64,
+        n_cells: usize,
+        side: f64,
+        rng: &mut SimRng,
+    ) -> Self {
+        assert!(n_cells > 0, "need at least one cell");
+        assert!(side > 0.0, "field side must be positive");
+        let gap = if n_cells > 1 { 2.0 * amplitude / (n_cells - 1) as f64 } else { 0.0 };
+        let mut levels: Vec<f64> = (0..n_cells)
+            .map(|i| {
+                let centre = -amplitude + gap * i as f64;
+                let jitter = if gap > 0.0 { rng.gen_range(-0.2 * gap..0.2 * gap) } else { 0.0 };
+                centre + jitter
+            })
+            .collect();
+        // Shuffle so spatially adjacent cells do not get adjacent levels.
+        for i in (1..levels.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            levels.swap(i, j);
+        }
+        let cells = levels
+            .into_iter()
+            .map(|level| {
+                (
+                    Position::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side)),
+                    level,
+                )
+            })
+            .collect();
+        SpatialField { base, kind: FieldKind::Cellular(cells) }
+    }
+
+    /// Random field over a `side × side` area: `n_bumps` bumps with
+    /// amplitudes uniform in `[-amplitude, amplitude]` and standard
+    /// deviation `correlation_len`.
+    pub fn random(
+        base: f64,
+        amplitude: f64,
+        correlation_len: f64,
+        n_bumps: usize,
+        side: f64,
+        rng: &mut SimRng,
+    ) -> Self {
+        assert!(correlation_len > 0.0, "correlation length must be positive");
+        assert!(side > 0.0, "field side must be positive");
+        let bumps = (0..n_bumps)
+            .map(|_| Bump {
+                center: Position::new(
+                    rng.gen_range(-0.2 * side..1.2 * side),
+                    rng.gen_range(-0.2 * side..1.2 * side),
+                ),
+                amplitude: rng.gen_range(-amplitude..=amplitude),
+                inv_two_sigma_sq: 1.0 / (2.0 * correlation_len * correlation_len),
+            })
+            .collect();
+        SpatialField { base, kind: FieldKind::Smooth(bumps) }
+    }
+
+    /// Field value at `pos`.
+    pub fn value(&self, pos: &Position) -> f64 {
+        match &self.kind {
+            FieldKind::Smooth(bumps) => {
+                let mut v = self.base;
+                for b in bumps {
+                    let d2 = pos.distance_sq(&b.center);
+                    v += b.amplitude * (-d2 * b.inv_two_sigma_sq).exp();
+                }
+                v
+            }
+            FieldKind::Cellular(cells) => {
+                let mut best = f64::INFINITY;
+                let mut level = 0.0;
+                for (c, l) in cells {
+                    let d2 = pos.distance_sq(c);
+                    if d2 < best {
+                        best = d2;
+                        level = *l;
+                    }
+                }
+                self.base + level
+            }
+        }
+    }
+
+    /// The flat baseline.
+    pub fn base(&self) -> f64 {
+        self.base
+    }
+
+    /// Empirical correlation diagnostic: mean absolute field difference at
+    /// a given separation, estimated from `samples` random pairs. Used by
+    /// tests to verify "closer ⇒ more similar".
+    pub fn mean_abs_difference(
+        &self,
+        separation: f64,
+        side: f64,
+        samples: usize,
+        rng: &mut SimRng,
+    ) -> f64 {
+        let mut total = 0.0;
+        for _ in 0..samples {
+            let a = Position::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side));
+            let angle = rng.gen_range(0.0..std::f64::consts::TAU);
+            let b = Position::new(
+                a.x + separation * angle.cos(),
+                a.y + separation * angle.sin(),
+            );
+            total += (self.value(&a) - self.value(&b)).abs();
+        }
+        total / samples as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dirq_sim::RngFactory;
+
+    fn rng(label: &str) -> SimRng {
+        RngFactory::new(21).stream(label)
+    }
+
+    #[test]
+    fn constant_field_everywhere_equal() {
+        let f = SpatialField::constant(42.0);
+        assert_eq!(f.value(&Position::new(0.0, 0.0)), 42.0);
+        assert_eq!(f.value(&Position::new(1e6, -3.0)), 42.0);
+    }
+
+    #[test]
+    fn random_field_is_deterministic_per_rng() {
+        let f1 = SpatialField::random(10.0, 5.0, 20.0, 8, 100.0, &mut rng("field"));
+        let f2 = SpatialField::random(10.0, 5.0, 20.0, 8, 100.0, &mut rng("field"));
+        let p = Position::new(33.0, 71.0);
+        assert_eq!(f1.value(&p), f2.value(&p));
+    }
+
+    #[test]
+    fn nearby_points_more_similar_than_distant() {
+        let f = SpatialField::random(20.0, 6.0, 25.0, 10, 100.0, &mut rng("corr"));
+        let mut r = rng("corr-sample");
+        let near = f.mean_abs_difference(2.0, 100.0, 4000, &mut r);
+        let far = f.mean_abs_difference(80.0, 100.0, 4000, &mut r);
+        assert!(
+            near < far * 0.5,
+            "spatial correlation too weak: near={near:.3} far={far:.3}"
+        );
+    }
+
+    #[test]
+    fn amplitude_bounds_field_excursion() {
+        let f = SpatialField::random(0.0, 1.0, 10.0, 5, 50.0, &mut rng("amp"));
+        // Value is bounded by the sum of |amplitudes| ≤ n_bumps × amplitude.
+        for i in 0..100 {
+            let p = Position::new((i % 10) as f64 * 5.0, (i / 10) as f64 * 5.0);
+            assert!(f.value(&p).abs() <= 5.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "correlation length must be positive")]
+    fn zero_correlation_rejected() {
+        let _ = SpatialField::random(0.0, 1.0, 0.0, 1, 10.0, &mut rng("bad"));
+    }
+
+    #[test]
+    fn cellular_values_come_from_cell_levels() {
+        let f = SpatialField::cellular(100.0, 10.0, 5, 100.0, &mut rng("cells"));
+        // Sample a grid: every value must lie within base ± amplitude and
+        // the number of distinct values must not exceed the cell count.
+        let mut values: Vec<f64> = Vec::new();
+        for i in 0..20 {
+            for j in 0..20 {
+                let v = f.value(&Position::new(i as f64 * 5.0, j as f64 * 5.0));
+                assert!((90.0..=110.0).contains(&v));
+                values.push(v);
+            }
+        }
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        values.dedup();
+        assert!(values.len() <= 5, "at most 5 distinct plateau levels, got {}", values.len());
+        assert!(values.len() >= 2, "field should have spatial structure");
+    }
+
+    #[test]
+    fn cellular_is_locally_constant() {
+        let f = SpatialField::cellular(0.0, 10.0, 4, 100.0, &mut rng("cells2"));
+        // Two points a hair apart are almost surely in the same cell.
+        let a = Position::new(40.0, 40.0);
+        let b = Position::new(40.01, 40.0);
+        assert_eq!(f.value(&a), f.value(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one cell")]
+    fn cellular_zero_cells_rejected() {
+        let _ = SpatialField::cellular(0.0, 1.0, 0, 10.0, &mut rng("bad2"));
+    }
+}

@@ -1,0 +1,93 @@
+//! Upcalls from the MAC to the upper layer.
+//!
+//! DirQ's cross-layer integration (paper Section 4.2) consumes exactly
+//! these events: message deliveries, dead-neighbour detections and
+//! new-neighbour detections.
+
+use dirq_net::NodeId;
+
+/// Addressing of one data message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Destination {
+    /// All alive neighbours are intended receivers (flooding uses this; a
+    /// reception is counted — and delivered — at every hearer).
+    Broadcast,
+    /// Only the listed neighbours are intended receivers. Other hearers
+    /// skip the data section after reading the control header, so they pay
+    /// no data-reception cost — this matches the paper's unicast
+    /// cost-accounting ("we only consider edges for unicast operations").
+    Multicast(Vec<NodeId>),
+}
+
+impl Destination {
+    /// Unicast = multicast to one node.
+    pub fn unicast(to: NodeId) -> Destination {
+        Destination::Multicast(vec![to])
+    }
+
+    /// Whether `node` is an intended receiver.
+    pub fn includes(&self, node: NodeId) -> bool {
+        match self {
+            Destination::Broadcast => true,
+            Destination::Multicast(list) => list.contains(&node),
+        }
+    }
+}
+
+/// One MAC-to-upper-layer event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MacIndication<P> {
+    /// A data message addressed to `to` arrived from one-hop neighbour
+    /// `from`.
+    Delivered {
+        /// Receiving node.
+        to: NodeId,
+        /// Transmitting (one-hop) node.
+        from: NodeId,
+        /// Upper-layer payload.
+        payload: P,
+    },
+    /// `observer`'s MAC declared one-hop neighbour `dead` unreachable
+    /// (unheard for `max_missed_frames` frames).
+    NeighborDied {
+        /// Node whose neighbour table changed.
+        observer: NodeId,
+        /// The vanished neighbour.
+        dead: NodeId,
+    },
+    /// `observer`'s MAC heard `new` for the first time.
+    NeighborNew {
+        /// Node whose neighbour table changed.
+        observer: NodeId,
+        /// The newly heard neighbour.
+        new: NodeId,
+    },
+    /// A queued message could not be delivered to `to` (not an alive
+    /// neighbour of `from` at transmission time). The upper layer decides
+    /// whether to re-route.
+    Undeliverable {
+        /// Transmitting node.
+        from: NodeId,
+        /// Intended receiver that could not be reached.
+        to: NodeId,
+        /// The undelivered payload.
+        payload: P,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn destination_membership() {
+        let b = Destination::Broadcast;
+        assert!(b.includes(NodeId(7)));
+        let m = Destination::Multicast(vec![NodeId(1), NodeId(2)]);
+        assert!(m.includes(NodeId(1)));
+        assert!(!m.includes(NodeId(3)));
+        let u = Destination::unicast(NodeId(4));
+        assert!(u.includes(NodeId(4)));
+        assert!(!u.includes(NodeId(5)));
+    }
+}

@@ -1,0 +1,208 @@
+//! Per-node neighbour tables.
+//!
+//! Each MAC instance tracks, for every neighbour it has heard: the slot the
+//! neighbour owns, the neighbour's advertised 1-hop occupancy (giving this
+//! node 2-hop knowledge), its advertised gateway hop distance, and the last
+//! frame it was heard in. Staleness drives LMAC's dead-neighbour upcall.
+
+use dirq_net::NodeId;
+
+use crate::slots::SlotSet;
+
+/// What a node knows about one neighbour.
+#[derive(Clone, Copy, Debug)]
+pub struct NeighborInfo {
+    /// Slot the neighbour transmits in (`None` while it is still joining).
+    pub slot: Option<u16>,
+    /// The neighbour's advertised 1-hop occupied-slot bitmap.
+    pub occupied: SlotSet,
+    /// The neighbour's advertised hop distance to the gateway
+    /// (`u16::MAX` = unknown).
+    pub gateway_dist: u16,
+    /// Frame number in which the neighbour was last heard.
+    pub last_heard_frame: u64,
+}
+
+/// A node's view of its one-hop neighbourhood.
+#[derive(Clone, Debug, Default)]
+pub struct NeighborTable {
+    entries: Vec<(NodeId, NeighborInfo)>,
+}
+
+impl NeighborTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        NeighborTable::default()
+    }
+
+    /// Record hearing `node` in `frame`; returns `true` when the neighbour
+    /// is new to the table (triggering LMAC's new-neighbour upcall).
+    pub fn heard(
+        &mut self,
+        node: NodeId,
+        slot: Option<u16>,
+        occupied: SlotSet,
+        gateway_dist: u16,
+        frame: u64,
+    ) -> bool {
+        match self.entries.binary_search_by_key(&node, |e| e.0) {
+            Ok(i) => {
+                let e = &mut self.entries[i].1;
+                e.slot = slot;
+                e.occupied = occupied;
+                e.gateway_dist = gateway_dist;
+                e.last_heard_frame = frame;
+                false
+            }
+            Err(i) => {
+                self.entries.insert(
+                    i,
+                    (node, NeighborInfo { slot, occupied, gateway_dist, last_heard_frame: frame }),
+                );
+                true
+            }
+        }
+    }
+
+    /// Look up a neighbour.
+    pub fn get(&self, node: NodeId) -> Option<&NeighborInfo> {
+        self.entries
+            .binary_search_by_key(&node, |e| e.0)
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// Remove a neighbour; returns whether it was present.
+    pub fn remove(&mut self, node: NodeId) -> bool {
+        match self.entries.binary_search_by_key(&node, |e| e.0) {
+            Ok(i) => {
+                self.entries.remove(i);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Neighbours unheard since `frame - max_missed` (exclusive), i.e.
+    /// candidates for a dead-neighbour upcall at `frame`.
+    pub fn stale(&self, frame: u64, max_missed: u32) -> Vec<NodeId> {
+        self.entries
+            .iter()
+            .filter(|(_, info)| frame.saturating_sub(info.last_heard_frame) > u64::from(max_missed))
+            .map(|&(n, _)| n)
+            .collect()
+    }
+
+    /// Union of all neighbours' slots and advertised occupancies — the
+    /// 2-hop occupancy picture used for slot selection.
+    pub fn two_hop_occupancy(&self) -> SlotSet {
+        let mut s = SlotSet::EMPTY;
+        for (_, info) in &self.entries {
+            if let Some(slot) = info.slot {
+                s.insert(slot);
+            }
+            s.union_with(info.occupied);
+        }
+        s
+    }
+
+    /// Slots owned by direct neighbours only (1-hop occupancy) — this is
+    /// what a node advertises in its own control section.
+    pub fn one_hop_occupancy(&self) -> SlotSet {
+        let mut s = SlotSet::EMPTY;
+        for (_, info) in &self.entries {
+            if let Some(slot) = info.slot {
+                s.insert(slot);
+            }
+        }
+        s
+    }
+
+    /// Smallest advertised gateway distance among neighbours
+    /// (`u16::MAX` when none known).
+    pub fn min_gateway_dist(&self) -> u16 {
+        self.entries.iter().map(|(_, i)| i.gateway_dist).min().unwrap_or(u16::MAX)
+    }
+
+    /// All known neighbour ids, ascending.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.entries.iter().map(|&(n, _)| n)
+    }
+
+    /// Number of known neighbours.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heard_inserts_then_updates() {
+        let mut t = NeighborTable::new();
+        assert!(t.heard(NodeId(3), Some(5), SlotSet::EMPTY, 2, 10));
+        assert!(!t.heard(NodeId(3), Some(6), SlotSet::EMPTY, 1, 11));
+        let info = t.get(NodeId(3)).unwrap();
+        assert_eq!(info.slot, Some(6));
+        assert_eq!(info.gateway_dist, 1);
+        assert_eq!(info.last_heard_frame, 11);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn staleness_detection() {
+        let mut t = NeighborTable::new();
+        t.heard(NodeId(1), Some(0), SlotSet::EMPTY, 1, 10);
+        t.heard(NodeId(2), Some(1), SlotSet::EMPTY, 1, 14);
+        // max_missed = 3: stale iff frame - last_heard > 3.
+        assert_eq!(t.stale(14, 3), vec![NodeId(1)]);
+        assert!(t.stale(13, 3).is_empty());
+        assert_eq!(t.stale(100, 3), vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn occupancy_union() {
+        let mut t = NeighborTable::new();
+        t.heard(NodeId(1), Some(2), [4u16].into_iter().collect(), 1, 0);
+        t.heard(NodeId(2), Some(3), [5u16].into_iter().collect(), 1, 0);
+        let one = t.one_hop_occupancy();
+        assert_eq!(one.iter().collect::<Vec<_>>(), vec![2, 3]);
+        let two = t.two_hop_occupancy();
+        assert_eq!(two.iter().collect::<Vec<_>>(), vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn joining_neighbour_without_slot() {
+        let mut t = NeighborTable::new();
+        t.heard(NodeId(9), None, SlotSet::EMPTY, u16::MAX, 0);
+        assert!(t.one_hop_occupancy().is_empty());
+        assert_eq!(t.min_gateway_dist(), u16::MAX);
+    }
+
+    #[test]
+    fn remove_and_min_gateway() {
+        let mut t = NeighborTable::new();
+        t.heard(NodeId(1), Some(0), SlotSet::EMPTY, 4, 0);
+        t.heard(NodeId(2), Some(1), SlotSet::EMPTY, 2, 0);
+        assert_eq!(t.min_gateway_dist(), 2);
+        assert!(t.remove(NodeId(2)));
+        assert_eq!(t.min_gateway_dist(), 4);
+        assert!(!t.remove(NodeId(2)));
+    }
+
+    #[test]
+    fn nodes_sorted() {
+        let mut t = NeighborTable::new();
+        t.heard(NodeId(5), None, SlotSet::EMPTY, 0, 0);
+        t.heard(NodeId(1), None, SlotSet::EMPTY, 0, 0);
+        t.heard(NodeId(3), None, SlotSet::EMPTY, 0, 0);
+        assert_eq!(t.nodes().collect::<Vec<_>>(), vec![NodeId(1), NodeId(3), NodeId(5)]);
+    }
+}

@@ -1,0 +1,208 @@
+//! Topology-churn schedules.
+//!
+//! Section 4.2 of the paper: "The Range Tables of DirQ are able to adapt to
+//! changes within the network topology due to dead nodes or the addition of
+//! new nodes." A [`ChurnPlan`] scripts those changes for an experiment:
+//! which nodes die or come online at which epoch. The protocol layer learns
+//! of them only through LMAC's cross-layer notifications.
+
+use dirq_sim::SimRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::ids::NodeId;
+
+/// A single scripted topology change.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChurnEvent {
+    /// The node stops transmitting and receiving forever.
+    Death(NodeId),
+    /// The node comes online (used for post-deployment additions; the node
+    /// must exist in the topology but is silent before this epoch).
+    Birth(NodeId),
+}
+
+impl ChurnEvent {
+    /// The node the event concerns.
+    pub fn node(&self) -> NodeId {
+        match *self {
+            ChurnEvent::Death(n) | ChurnEvent::Birth(n) => n,
+        }
+    }
+}
+
+/// Scripted churn: a list of `(epoch, event)` pairs sorted by epoch.
+#[derive(Clone, Debug, Default)]
+pub struct ChurnPlan {
+    events: Vec<(u64, ChurnEvent)>,
+}
+
+impl ChurnPlan {
+    /// An empty plan (fixed topology).
+    pub fn none() -> Self {
+        ChurnPlan::default()
+    }
+
+    /// Build from unsorted events.
+    pub fn new(mut events: Vec<(u64, ChurnEvent)>) -> Self {
+        events.sort_by_key(|&(e, ev)| (e, ev.node()));
+        let plan = ChurnPlan { events };
+        plan.validate();
+        plan
+    }
+
+    /// Random plan: kill `deaths` distinct non-root nodes at uniform epochs
+    /// in `[from_epoch, until_epoch)`.
+    pub fn random_deaths(
+        n_nodes: usize,
+        deaths: usize,
+        from_epoch: u64,
+        until_epoch: u64,
+        rng: &mut SimRng,
+    ) -> Self {
+        assert!(deaths < n_nodes, "cannot kill every node (root must survive)");
+        assert!(from_epoch < until_epoch, "empty epoch window");
+        let mut victims: Vec<NodeId> =
+            (1..n_nodes).map(NodeId::from_index).collect();
+        victims.shuffle(rng);
+        victims.truncate(deaths);
+        let events = victims
+            .into_iter()
+            .map(|v| (rng.gen_range(from_epoch..until_epoch), ChurnEvent::Death(v)))
+            .collect();
+        ChurnPlan::new(events)
+    }
+
+    /// All events, sorted by epoch.
+    pub fn events(&self) -> &[(u64, ChurnEvent)] {
+        &self.events
+    }
+
+    /// Events scheduled for exactly `epoch`.
+    pub fn at_epoch(&self, epoch: u64) -> impl Iterator<Item = ChurnEvent> + '_ {
+        let start = self.events.partition_point(|&(e, _)| e < epoch);
+        self.events[start..]
+            .iter()
+            .take_while(move |&&(e, _)| e == epoch)
+            .map(|&(_, ev)| ev)
+    }
+
+    /// Whether the plan contains no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Nodes that are born after epoch 0 (initially offline).
+    pub fn initially_offline(&self) -> Vec<NodeId> {
+        self.events
+            .iter()
+            .filter_map(|&(e, ev)| match ev {
+                ChurnEvent::Birth(n) if e > 0 => Some(n),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn validate(&self) {
+        // A node may die at most once, be born at most once, and if both,
+        // the birth must precede the death. The root may not die.
+        let mut seen_death = std::collections::HashSet::new();
+        let mut birth_epoch = std::collections::HashMap::new();
+        for &(e, ev) in &self.events {
+            match ev {
+                ChurnEvent::Death(n) => {
+                    assert!(!n.is_root(), "the root/sink cannot die in a churn plan");
+                    assert!(seen_death.insert(n), "{n} dies twice");
+                    if let Some(&b) = birth_epoch.get(&n) {
+                        assert!(b < e, "{n} dies at epoch {e} before its birth at {b}");
+                    }
+                }
+                ChurnEvent::Birth(n) => {
+                    assert!(
+                        birth_epoch.insert(n, e).is_none(),
+                        "{n} is born twice"
+                    );
+                    assert!(!seen_death.contains(&n), "{n} is born after dying");
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dirq_sim::RngFactory;
+
+    #[test]
+    fn empty_plan() {
+        let p = ChurnPlan::none();
+        assert!(p.is_empty());
+        assert_eq!(p.at_epoch(5).count(), 0);
+    }
+
+    #[test]
+    fn events_sorted_and_queryable_by_epoch() {
+        let p = ChurnPlan::new(vec![
+            (30, ChurnEvent::Death(NodeId(3))),
+            (10, ChurnEvent::Death(NodeId(1))),
+            (10, ChurnEvent::Birth(NodeId(9))),
+        ]);
+        assert_eq!(p.len(), 3);
+        let at10: Vec<ChurnEvent> = p.at_epoch(10).collect();
+        assert_eq!(at10.len(), 2);
+        assert_eq!(p.at_epoch(30).count(), 1);
+        assert_eq!(p.at_epoch(20).count(), 0);
+    }
+
+    #[test]
+    fn random_deaths_kills_distinct_nonroot_nodes() {
+        let mut rng = RngFactory::new(4).stream("churn");
+        let p = ChurnPlan::random_deaths(50, 10, 100, 1000, &mut rng);
+        assert_eq!(p.len(), 10);
+        let mut nodes: Vec<NodeId> = p.events().iter().map(|&(_, ev)| ev.node()).collect();
+        nodes.sort();
+        nodes.dedup();
+        assert_eq!(nodes.len(), 10, "victims must be distinct");
+        assert!(nodes.iter().all(|n| !n.is_root()));
+        assert!(p.events().iter().all(|&(e, _)| (100..1000).contains(&e)));
+    }
+
+    #[test]
+    fn initially_offline_lists_late_births() {
+        let p = ChurnPlan::new(vec![
+            (0, ChurnEvent::Birth(NodeId(5))),
+            (100, ChurnEvent::Birth(NodeId(6))),
+        ]);
+        assert_eq!(p.initially_offline(), vec![NodeId(6)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "root/sink cannot die")]
+    fn root_death_rejected() {
+        let _ = ChurnPlan::new(vec![(1, ChurnEvent::Death(NodeId::ROOT))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dies twice")]
+    fn double_death_rejected() {
+        let _ = ChurnPlan::new(vec![
+            (1, ChurnEvent::Death(NodeId(2))),
+            (2, ChurnEvent::Death(NodeId(2))),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "born after dying")]
+    fn birth_after_death_rejected() {
+        let _ = ChurnPlan::new(vec![
+            (1, ChurnEvent::Death(NodeId(2))),
+            (2, ChurnEvent::Birth(NodeId(2))),
+        ]);
+    }
+}

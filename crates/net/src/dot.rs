@@ -1,0 +1,110 @@
+//! Graphviz (DOT) export of topologies and spanning trees.
+//!
+//! Debug/documentation aid: `dot -Tsvg` renders the deployment with tree
+//! edges bold and pure radio links dashed.
+
+use std::fmt::Write as _;
+
+use crate::graph::Topology;
+use crate::ids::NodeId;
+use crate::tree::SpanningTree;
+
+/// Render the radio graph alone.
+pub fn topology_dot(topo: &Topology) -> String {
+    render(topo, None)
+}
+
+/// Render the radio graph with `tree` edges highlighted.
+pub fn topology_with_tree_dot(topo: &Topology, tree: &SpanningTree) -> String {
+    render(topo, Some(tree))
+}
+
+fn render(topo: &Topology, tree: Option<&SpanningTree>) -> String {
+    let mut out = String::from("graph wsn {\n  node [shape=circle, fontsize=10];\n");
+    for n in topo.nodes() {
+        let p = topo.position(n);
+        let style = if n.is_root() { ", style=filled, fillcolor=gold" } else { "" };
+        let _ = writeln!(
+            out,
+            "  {} [pos=\"{:.1},{:.1}!\"{}];",
+            n.index(),
+            p.x,
+            p.y,
+            style
+        );
+    }
+    for a in topo.nodes() {
+        for &b in topo.neighbors(a) {
+            if a < b {
+                let is_tree_edge = tree
+                    .map(|t| t.parent(a) == Some(b) || t.parent(b) == Some(a))
+                    .unwrap_or(false);
+                let attrs = if is_tree_edge {
+                    " [penwidth=2]"
+                } else if tree.is_some() {
+                    " [style=dashed, color=gray]"
+                } else {
+                    ""
+                };
+                let _ = writeln!(out, "  {} -- {}{};", a.index(), b.index(), attrs);
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render only the spanning tree as a directed graph (parent → child).
+pub fn tree_dot(tree: &SpanningTree) -> String {
+    let mut out = String::from("digraph tree {\n  node [shape=circle, fontsize=10];\n");
+    for i in 0..tree.len() {
+        let n = NodeId::from_index(i);
+        if tree.is_attached(n) {
+            for &c in tree.children(n) {
+                let _ = writeln!(out, "  {} -> {};", n.index(), c.index());
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_dot_contains_all_edges() {
+        let topo = Topology::from_edges(3, &[(NodeId(0), NodeId(1)), (NodeId(1), NodeId(2))]);
+        let dot = topology_dot(&topo);
+        assert!(dot.contains("0 -- 1"));
+        assert!(dot.contains("1 -- 2"));
+        assert!(dot.starts_with("graph wsn {"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn tree_edges_highlighted() {
+        let (topo, tree) = SpanningTree::complete_kary(2, 1);
+        let dot = topology_with_tree_dot(&topo, &tree);
+        assert!(dot.contains("penwidth=2"));
+        assert!(dot.contains("fillcolor=gold"), "root should be highlighted");
+    }
+
+    #[test]
+    fn tree_dot_directed() {
+        let (_, tree) = SpanningTree::complete_kary(2, 1);
+        let dot = tree_dot(&tree);
+        assert!(dot.contains("0 -> 1"));
+        assert!(dot.contains("0 -> 2"));
+    }
+
+    #[test]
+    fn detached_nodes_have_no_tree_edges() {
+        let (_, mut tree) = SpanningTree::complete_kary(2, 2);
+        tree.detach_subtree(NodeId(1));
+        let dot = tree_dot(&tree);
+        assert!(!dot.contains("1 ->"));
+        assert!(!dot.contains("-> 3"));
+    }
+}

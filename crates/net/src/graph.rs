@@ -1,0 +1,285 @@
+//! The connectivity graph.
+//!
+//! A [`Topology`] is the immutable radio graph computed once at deployment:
+//! node positions plus a symmetric adjacency structure. Runtime liveness
+//! (deaths/births) is layered on top by the MAC and protocol engines — the
+//! graph itself records every node that will ever exist.
+
+use dirq_sim::SimRng;
+
+use crate::geometry::Position;
+use crate::ids::NodeId;
+use crate::placement::{Placement, SinkPlacement};
+use crate::radio::RadioModel;
+
+/// An immutable radio connectivity graph.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    positions: Vec<Position>,
+    /// Sorted neighbour lists, symmetric.
+    adjacency: Vec<Vec<NodeId>>,
+    link_count: usize,
+}
+
+impl Topology {
+    /// Build the graph implied by `positions` under `radio`.
+    pub fn from_positions<R: RadioModel>(positions: Vec<Position>, radio: &R) -> Self {
+        let n = positions.len();
+        let mut adjacency: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        let mut link_count = 0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if radio.connected(i, &positions[i], j, &positions[j]) {
+                    adjacency[i].push(NodeId::from_index(j));
+                    adjacency[j].push(NodeId::from_index(i));
+                    link_count += 1;
+                }
+            }
+        }
+        // Lists are built in increasing order already, but make the
+        // invariant explicit for future mutations.
+        for l in &mut adjacency {
+            l.sort_unstable();
+        }
+        Topology { positions, adjacency, link_count }
+    }
+
+    /// Deploy `n` nodes with `placement`/`sink`, retrying fresh placements
+    /// until the graph is connected (up to `max_attempts`).
+    ///
+    /// Returns `None` when no connected deployment was found — callers
+    /// should increase density or range rather than loop further.
+    pub fn deploy_connected<R: RadioModel>(
+        n: usize,
+        placement: &Placement,
+        sink: SinkPlacement,
+        radio: &R,
+        rng: &mut SimRng,
+        max_attempts: usize,
+    ) -> Option<Self> {
+        for _ in 0..max_attempts {
+            let positions = placement.generate(n, sink, rng);
+            let topo = Topology::from_positions(positions, radio);
+            if topo.is_connected() {
+                return Some(topo);
+            }
+        }
+        None
+    }
+
+    /// Build directly from an explicit edge list (used for synthetic exact
+    /// trees and tests). Positions are laid out on a line; they carry no
+    /// meaning for such graphs.
+    pub fn from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Self {
+        let mut adjacency: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        let mut link_count = 0;
+        for &(a, b) in edges {
+            assert!(a.index() < n && b.index() < n, "edge endpoint out of range");
+            assert_ne!(a, b, "self-loops are not allowed");
+            adjacency[a.index()].push(b);
+            adjacency[b.index()].push(a);
+            link_count += 1;
+        }
+        for l in &mut adjacency {
+            l.sort_unstable();
+            let before = l.len();
+            l.dedup();
+            assert_eq!(l.len(), before, "duplicate edge in edge list");
+        }
+        let positions = (0..n).map(|i| Position::new(i as f64, 0.0)).collect();
+        Topology { positions, adjacency, link_count }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Number of undirected links.
+    pub fn link_count(&self) -> usize {
+        self.link_count
+    }
+
+    /// Position of `node`.
+    pub fn position(&self, node: NodeId) -> Position {
+        self.positions[node.index()]
+    }
+
+    /// All positions, indexed by node.
+    pub fn positions(&self) -> &[Position] {
+        &self.positions
+    }
+
+    /// Sorted neighbours of `node`.
+    pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.adjacency[node.index()]
+    }
+
+    /// Degree of `node`.
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.adjacency[node.index()].len()
+    }
+
+    /// Whether an undirected link `a`–`b` exists.
+    pub fn has_link(&self, a: NodeId, b: NodeId) -> bool {
+        self.adjacency[a.index()].binary_search(&b).is_ok()
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.len()).map(NodeId::from_index)
+    }
+
+    /// Nodes reachable from `start` (including `start`), via BFS, visiting
+    /// only nodes for which `passable` returns true.
+    pub fn reachable_from(&self, start: NodeId, passable: impl Fn(NodeId) -> bool) -> Vec<bool> {
+        let mut seen = vec![false; self.len()];
+        if !passable(start) {
+            return seen;
+        }
+        let mut queue = std::collections::VecDeque::new();
+        seen[start.index()] = true;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            for &v in self.neighbors(u) {
+                if !seen[v.index()] && passable(v) {
+                    seen[v.index()] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Whether every node is reachable from the root.
+    pub fn is_connected(&self) -> bool {
+        if self.is_empty() {
+            return true;
+        }
+        self.reachable_from(NodeId::ROOT, |_| true).iter().all(|&r| r)
+    }
+
+    /// BFS hop distance from `start` to every node (`u32::MAX` where
+    /// unreachable), visiting only `passable` nodes.
+    pub fn hop_distances(&self, start: NodeId, passable: impl Fn(NodeId) -> bool) -> Vec<u32> {
+        let mut dist = vec![u32::MAX; self.len()];
+        if !passable(start) {
+            return dist;
+        }
+        let mut queue = std::collections::VecDeque::new();
+        dist[start.index()] = 0;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            for &v in self.neighbors(u) {
+                if dist[v.index()] == u32::MAX && passable(v) {
+                    dist[v.index()] = dist[u.index()] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::radio::UnitDisk;
+    use dirq_sim::RngFactory;
+
+    fn line(n: usize) -> Topology {
+        let edges: Vec<(NodeId, NodeId)> =
+            (0..n - 1).map(|i| (NodeId::from_index(i), NodeId::from_index(i + 1))).collect();
+        Topology::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn from_positions_symmetric_adjacency() {
+        let positions = vec![
+            Position::new(0.0, 0.0),
+            Position::new(5.0, 0.0),
+            Position::new(100.0, 0.0),
+        ];
+        let t = Topology::from_positions(positions, &UnitDisk::new(10.0));
+        assert_eq!(t.link_count(), 1);
+        assert!(t.has_link(NodeId(0), NodeId(1)));
+        assert!(t.has_link(NodeId(1), NodeId(0)));
+        assert!(!t.has_link(NodeId(0), NodeId(2)));
+        assert_eq!(t.degree(NodeId(2)), 0);
+        assert!(!t.is_connected());
+    }
+
+    #[test]
+    fn line_graph_metrics() {
+        let t = line(5);
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.link_count(), 4);
+        assert!(t.is_connected());
+        let d = t.hop_distances(NodeId(0), |_| true);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn reachability_respects_passability() {
+        let t = line(5);
+        // Node 2 impassable cuts the line.
+        let seen = t.reachable_from(NodeId(0), |n| n != NodeId(2));
+        assert_eq!(seen, vec![true, true, false, false, false]);
+        let d = t.hop_distances(NodeId(0), |n| n != NodeId(2));
+        assert_eq!(d[4], u32::MAX);
+    }
+
+    #[test]
+    fn deploy_connected_finds_dense_network() {
+        let mut rng = RngFactory::new(11).stream("deploy");
+        let t = Topology::deploy_connected(
+            50,
+            &Placement::UniformRandom { side: 100.0 },
+            SinkPlacement::Corner,
+            &UnitDisk::new(25.0),
+            &mut rng,
+            100,
+        )
+        .expect("a 50-node/25m/100m network should connect within 100 tries");
+        assert!(t.is_connected());
+        assert_eq!(t.len(), 50);
+    }
+
+    #[test]
+    fn deploy_connected_gives_up_on_sparse_network() {
+        let mut rng = RngFactory::new(11).stream("deploy-sparse");
+        let t = Topology::deploy_connected(
+            50,
+            &Placement::UniformRandom { side: 1000.0 },
+            SinkPlacement::Corner,
+            &UnitDisk::new(5.0),
+            &mut rng,
+            5,
+        );
+        assert!(t.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_rejected() {
+        let _ = Topology::from_edges(2, &[(NodeId(0), NodeId(0))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge")]
+    fn duplicate_edge_rejected() {
+        let _ = Topology::from_edges(2, &[(NodeId(0), NodeId(1)), (NodeId(1), NodeId(0))]);
+    }
+
+    #[test]
+    fn empty_graph_is_connected() {
+        let t = Topology::from_edges(0, &[]);
+        assert!(t.is_connected());
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,76 @@
+//! Node identifiers.
+
+use std::fmt;
+
+/// Dense identifier of a sensor node.
+///
+/// Node 0 is by convention the root/sink (the paper's gateway that injects
+/// queries). IDs index directly into per-node arrays throughout the
+/// workspace, so they are a `u32` rather than a `usize`: half the footprint
+/// in the hot routing tables, per the type-size guidance in the HPC guides.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The conventional root/sink identifier.
+    pub const ROOT: NodeId = NodeId(0);
+
+    /// This id as an array index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from an array index.
+    ///
+    /// # Panics
+    /// Panics if `i` exceeds `u32::MAX` (networks that large are out of
+    /// scope by ~five orders of magnitude).
+    #[inline]
+    pub fn from_index(i: usize) -> NodeId {
+        NodeId(u32::try_from(i).expect("node index exceeds u32 range"))
+    }
+
+    /// Whether this is the root node.
+    #[inline]
+    pub const fn is_root(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_conventions() {
+        assert!(NodeId::ROOT.is_root());
+        assert!(!NodeId(1).is_root());
+        assert_eq!(NodeId::ROOT.index(), 0);
+    }
+
+    #[test]
+    fn index_round_trip() {
+        for i in [0usize, 1, 49, 1000] {
+            assert_eq!(NodeId::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn ordering_follows_numeric() {
+        assert!(NodeId(3) < NodeId(10));
+        assert_eq!(format!("{}", NodeId(7)), "n7");
+    }
+}

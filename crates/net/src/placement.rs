@@ -1,0 +1,204 @@
+//! Node deployment strategies.
+//!
+//! The paper's environmental-monitoring scenario deploys nodes over a
+//! forest. We support the three standard WSN layouts; experiments default
+//! to uniform random placement with the sink pinned to a corner, which
+//! yields the deep, irregular trees the paper's tree bounds (k ≤ 8,
+//! d ≤ 10) suggest.
+
+use dirq_sim::SimRng;
+use rand::Rng;
+
+use crate::geometry::Position;
+
+/// How the sink (node 0) is positioned relative to the field.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SinkPlacement {
+    /// Sink at the field's corner (origin) — deep trees, the default.
+    Corner,
+    /// Sink at the centre — shallow trees.
+    Center,
+    /// Sink placed like every other node.
+    Random,
+}
+
+/// A deployment strategy.
+#[derive(Clone, Debug)]
+pub enum Placement {
+    /// Independently uniform positions in a `side × side` square.
+    UniformRandom {
+        /// Side length of the deployment square, metres.
+        side: f64,
+    },
+    /// A √n × √n grid filling a `side × side` square, each point jittered
+    /// uniformly by ±`jitter` in both axes.
+    JitteredGrid {
+        /// Side length of the deployment square, metres.
+        side: f64,
+        /// Maximum absolute jitter per axis, metres.
+        jitter: f64,
+    },
+    /// `clusters` Gaussian blobs with standard deviation `spread`, centred
+    /// uniformly at random in the square.
+    Clustered {
+        /// Side length of the deployment square, metres.
+        side: f64,
+        /// Number of cluster centres.
+        clusters: usize,
+        /// Standard deviation of each blob, metres.
+        spread: f64,
+    },
+}
+
+impl Placement {
+    /// Deployment square side length.
+    pub fn side(&self) -> f64 {
+        match *self {
+            Placement::UniformRandom { side }
+            | Placement::JitteredGrid { side, .. }
+            | Placement::Clustered { side, .. } => side,
+        }
+    }
+
+    /// Generate positions for `n` nodes. Index 0 is the sink, placed
+    /// according to `sink`.
+    pub fn generate(&self, n: usize, sink: SinkPlacement, rng: &mut SimRng) -> Vec<Position> {
+        assert!(n > 0, "a network needs at least the sink node");
+        let side = self.side();
+        assert!(side > 0.0, "deployment square must have positive side");
+        let mut positions = Vec::with_capacity(n);
+
+        // Sink first so the remaining draws are identical across sink modes.
+        positions.push(match sink {
+            SinkPlacement::Corner => Position::new(0.0, 0.0),
+            SinkPlacement::Center => Position::new(side / 2.0, side / 2.0),
+            SinkPlacement::Random => {
+                Position::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side))
+            }
+        });
+
+        match *self {
+            Placement::UniformRandom { side } => {
+                for _ in 1..n {
+                    positions
+                        .push(Position::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side)));
+                }
+            }
+            Placement::JitteredGrid { side, jitter } => {
+                let cols = (n as f64).sqrt().ceil() as usize;
+                let step = side / cols as f64;
+                let mut placed = 1;
+                'outer: for r in 0..cols {
+                    for c in 0..cols {
+                        if placed >= n {
+                            break 'outer;
+                        }
+                        // Skip the cell the sink occupies conceptually
+                        // (cell 0,0) only when the sink is at the corner.
+                        if sink == SinkPlacement::Corner && r == 0 && c == 0 {
+                            continue;
+                        }
+                        let jx = if jitter > 0.0 { rng.gen_range(-jitter..jitter) } else { 0.0 };
+                        let jy = if jitter > 0.0 { rng.gen_range(-jitter..jitter) } else { 0.0 };
+                        let x = ((c as f64 + 0.5) * step + jx).clamp(0.0, side);
+                        let y = ((r as f64 + 0.5) * step + jy).clamp(0.0, side);
+                        positions.push(Position::new(x, y));
+                        placed += 1;
+                    }
+                }
+                // If skipping the corner cell left us short, fill randomly.
+                while positions.len() < n {
+                    positions
+                        .push(Position::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side)));
+                }
+            }
+            Placement::Clustered { side, clusters, spread } => {
+                assert!(clusters > 0, "need at least one cluster");
+                let centres: Vec<Position> = (0..clusters)
+                    .map(|_| Position::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side)))
+                    .collect();
+                for i in 1..n {
+                    let c = &centres[i % clusters];
+                    let x = (c.x + dirq_sim::rng::sample_normal(rng, 0.0, spread)).clamp(0.0, side);
+                    let y = (c.y + dirq_sim::rng::sample_normal(rng, 0.0, spread)).clamp(0.0, side);
+                    positions.push(Position::new(x, y));
+                }
+            }
+        }
+        debug_assert_eq!(positions.len(), n);
+        positions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dirq_sim::RngFactory;
+
+    fn rng() -> SimRng {
+        RngFactory::new(7).stream("placement-test")
+    }
+
+    #[test]
+    fn uniform_positions_inside_square() {
+        let p = Placement::UniformRandom { side: 100.0 };
+        let pos = p.generate(200, SinkPlacement::Random, &mut rng());
+        assert_eq!(pos.len(), 200);
+        for q in &pos {
+            assert!((0.0..=100.0).contains(&q.x) && (0.0..=100.0).contains(&q.y));
+        }
+    }
+
+    #[test]
+    fn sink_pinning() {
+        let p = Placement::UniformRandom { side: 50.0 };
+        let corner = p.generate(10, SinkPlacement::Corner, &mut rng());
+        assert_eq!(corner[0], Position::new(0.0, 0.0));
+        let center = p.generate(10, SinkPlacement::Center, &mut rng());
+        assert_eq!(center[0], Position::new(25.0, 25.0));
+    }
+
+    #[test]
+    fn grid_is_roughly_regular_without_jitter() {
+        let p = Placement::JitteredGrid { side: 100.0, jitter: 0.0 };
+        let pos = p.generate(16, SinkPlacement::Center, &mut rng());
+        assert_eq!(pos.len(), 16);
+        // Without jitter all non-sink points sit at half-step offsets.
+        let step = 100.0 / 4.0;
+        for q in &pos[1..] {
+            let fx = (q.x / step) - (q.x / step).floor();
+            assert!((fx - 0.5).abs() < 1e-9, "x={} not on grid", q.x);
+        }
+    }
+
+    #[test]
+    fn grid_fills_exact_count_with_corner_sink() {
+        let p = Placement::JitteredGrid { side: 100.0, jitter: 1.0 };
+        let pos = p.generate(50, SinkPlacement::Corner, &mut rng());
+        assert_eq!(pos.len(), 50);
+    }
+
+    #[test]
+    fn clustered_positions_clamped() {
+        let p = Placement::Clustered { side: 10.0, clusters: 3, spread: 30.0 };
+        let pos = p.generate(100, SinkPlacement::Corner, &mut rng());
+        for q in &pos {
+            assert!((0.0..=10.0).contains(&q.x) && (0.0..=10.0).contains(&q.y));
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_rng_seed() {
+        let p = Placement::UniformRandom { side: 100.0 };
+        let a = p.generate(30, SinkPlacement::Corner, &mut rng());
+        let b = p.generate(30, SinkPlacement::Corner, &mut rng());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least the sink")]
+    fn zero_nodes_rejected() {
+        let p = Placement::UniformRandom { side: 1.0 };
+        let _ = p.generate(0, SinkPlacement::Corner, &mut rng());
+    }
+}

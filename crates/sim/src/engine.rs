@@ -1,0 +1,274 @@
+//! The event loop.
+//!
+//! A [`Simulator`] owns a user-provided [`Model`] and the pending-event set.
+//! Each step pops the earliest event, advances the clock, and hands the
+//! event to the model together with a [`Context`] through which the model
+//! schedules follow-up events. This mirrors OMNeT++'s `handleMessage`
+//! discipline, which is what the paper's original implementation used.
+
+use crate::queue::EventQueue;
+use crate::time::{SimDuration, SimTime};
+
+/// A simulation model: the owner of all protocol/world state.
+///
+/// The single required method reacts to one event; any events it schedules
+/// through the [`Context`] are merged into the global future-event list.
+pub trait Model {
+    /// The event payload type processed by this model.
+    type Event;
+
+    /// Handle `event` occurring at `ctx.now()`.
+    fn handle(&mut self, ctx: &mut Context<'_, Self::Event>, event: Self::Event);
+}
+
+/// Scheduling handle passed to [`Model::handle`].
+pub struct Context<'a, E> {
+    now: SimTime,
+    queue: &'a mut EventQueue<E>,
+    stop_requested: &'a mut bool,
+}
+
+impl<'a, E> Context<'a, E> {
+    /// Current simulation time (the timestamp of the event being handled).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` at the absolute instant `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` lies in the past — causality violations are always
+    /// model bugs and must fail loudly.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "attempted to schedule an event in the past (now={}, at={})",
+            self.now,
+            at
+        );
+        self.queue.push(at, event);
+    }
+
+    /// Schedule `event` after a relative delay.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        let at = self.now.saturating_add(delay);
+        self.queue.push(at, event);
+    }
+
+    /// Request that the run loop stops after the current event.
+    pub fn stop(&mut self) {
+        *self.stop_requested = true;
+    }
+
+    /// Number of events currently pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// Drives a [`Model`] through simulated time.
+pub struct Simulator<M: Model> {
+    model: M,
+    queue: EventQueue<M::Event>,
+    now: SimTime,
+    processed: u64,
+    stop_requested: bool,
+}
+
+impl<M: Model> Simulator<M> {
+    /// Wrap `model` with an empty event queue at time zero.
+    pub fn new(model: M) -> Self {
+        Simulator {
+            model,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            processed: 0,
+            stop_requested: false,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Immutable access to the model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Mutable access to the model (for out-of-band inspection/injection
+    /// between runs; do not mutate scheduling state mid-run).
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Consume the simulator, returning the model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+
+    /// Schedule an event from outside the model (initial conditions,
+    /// injected workload, fault injection, …).
+    pub fn schedule_at(&mut self, at: SimTime, event: M::Event) {
+        assert!(
+            at >= self.now,
+            "attempted to schedule an event in the past (now={}, at={})",
+            self.now,
+            at
+        );
+        self.queue.push(at, event);
+    }
+
+    /// Process a single event if one is pending. Returns `false` when the
+    /// queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some((t, ev)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(t >= self.now, "event queue returned a past event");
+        self.now = t;
+        self.processed += 1;
+        let mut ctx = Context {
+            now: self.now,
+            queue: &mut self.queue,
+            stop_requested: &mut self.stop_requested,
+        };
+        self.model.handle(&mut ctx, ev);
+        true
+    }
+
+    /// Run until the queue drains, `horizon` is passed, or the model calls
+    /// [`Context::stop`]. Events stamped exactly at `horizon` are processed.
+    /// Returns the number of events processed by this call.
+    pub fn run_until(&mut self, horizon: SimTime) -> u64 {
+        let before = self.processed;
+        while !self.stop_requested {
+            match self.queue.peek_time() {
+                Some(t) if t <= horizon => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        // Even if stopped early, the clock never runs backwards; snap the
+        // clock to the horizon so repeated run_until calls compose.
+        if self.now < horizon && !self.stop_requested {
+            self.now = horizon;
+        }
+        self.processed - before
+    }
+
+    /// Run until the event queue is completely drained (or `stop()`).
+    /// Returns the number of events processed by this call.
+    pub fn run_to_completion(&mut self) -> u64 {
+        let before = self.processed;
+        while !self.stop_requested && self.step() {}
+        self.processed - before
+    }
+
+    /// Whether a model requested an early stop.
+    pub fn stopped(&self) -> bool {
+        self.stop_requested
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Counts events and re-schedules `remaining` follow-ups, one tick apart.
+    struct Chain {
+        fired_at: Vec<u64>,
+        remaining: u32,
+        stop_at: Option<u64>,
+    }
+
+    impl Model for Chain {
+        type Event = ();
+
+        fn handle(&mut self, ctx: &mut Context<'_, ()>, _: ()) {
+            self.fired_at.push(ctx.now().ticks());
+            if let Some(s) = self.stop_at {
+                if ctx.now().ticks() >= s {
+                    ctx.stop();
+                    return;
+                }
+            }
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                ctx.schedule_in(SimDuration(1), ());
+            }
+        }
+    }
+
+    #[test]
+    fn chain_of_events_advances_clock() {
+        let mut sim = Simulator::new(Chain { fired_at: vec![], remaining: 4, stop_at: None });
+        sim.schedule_at(SimTime(10), ());
+        let n = sim.run_to_completion();
+        assert_eq!(n, 5);
+        assert_eq!(sim.model().fired_at, vec![10, 11, 12, 13, 14]);
+        assert_eq!(sim.now(), SimTime(14));
+    }
+
+    #[test]
+    fn run_until_is_inclusive_and_composable() {
+        let mut sim = Simulator::new(Chain { fired_at: vec![], remaining: 100, stop_at: None });
+        sim.schedule_at(SimTime(0), ());
+        let n1 = sim.run_until(SimTime(10));
+        assert_eq!(n1, 11); // events at t = 0..=10
+        assert_eq!(sim.now(), SimTime(10));
+        let n2 = sim.run_until(SimTime(20));
+        assert_eq!(n2, 10); // events at t = 11..=20
+        assert_eq!(sim.model().fired_at.len(), 21);
+    }
+
+    #[test]
+    fn run_until_with_empty_queue_snaps_clock() {
+        let mut sim = Simulator::new(Chain { fired_at: vec![], remaining: 0, stop_at: None });
+        assert_eq!(sim.run_until(SimTime(50)), 0);
+        assert_eq!(sim.now(), SimTime(50));
+    }
+
+    #[test]
+    fn stop_terminates_early() {
+        let mut sim = Simulator::new(Chain { fired_at: vec![], remaining: 1000, stop_at: Some(5) });
+        sim.schedule_at(SimTime(0), ());
+        sim.run_to_completion();
+        assert!(sim.stopped());
+        assert_eq!(sim.model().fired_at, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "schedule an event in the past")]
+    fn scheduling_in_the_past_panics() {
+        struct Bad;
+        impl Model for Bad {
+            type Event = ();
+            fn handle(&mut self, ctx: &mut Context<'_, ()>, _: ()) {
+                ctx.schedule_at(SimTime(0), ());
+            }
+        }
+        let mut sim = Simulator::new(Bad);
+        sim.schedule_at(SimTime(10), ());
+        sim.run_to_completion();
+    }
+
+    #[test]
+    fn external_injection_between_phases() {
+        let mut sim = Simulator::new(Chain { fired_at: vec![], remaining: 0, stop_at: None });
+        sim.schedule_at(SimTime(1), ());
+        sim.run_until(SimTime(5));
+        sim.schedule_at(SimTime(7), ());
+        sim.run_until(SimTime(10));
+        assert_eq!(sim.model().fired_at, vec![1, 7]);
+        assert_eq!(sim.processed(), 2);
+    }
+}

@@ -1,0 +1,210 @@
+//! Deterministic pending-event set.
+//!
+//! A binary heap keyed on `(time, sequence)`: events scheduled for the same
+//! instant are delivered in the order they were scheduled (FIFO). This makes
+//! whole simulations bit-for-bit reproducible for a fixed seed, which the
+//! test-suite relies on.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A scheduled event: payload `E` plus its delivery time and tie-break rank.
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event on
+        // top, and among equal times the lowest sequence number.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Future-event list with stable FIFO ordering for simultaneous events.
+///
+/// ```
+/// use dirq_sim::{EventQueue, SimTime};
+/// let mut q = EventQueue::new();
+/// q.push(SimTime(5), "b");
+/// q.push(SimTime(3), "a");
+/// q.push(SimTime(5), "c");
+/// assert_eq!(q.pop(), Some((SimTime(3), "a")));
+/// assert_eq!(q.pop(), Some((SimTime(5), "b"))); // FIFO at equal time
+/// assert_eq!(q.pop(), Some((SimTime(5), "c")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Create an empty queue with room for `cap` pending events.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue { heap: BinaryHeap::with_capacity(cap), next_seq: 0 }
+    }
+
+    /// Schedule `event` for delivery at `time`.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Remove and return the earliest event, FIFO among ties.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// Delivery time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Discard all pending events (sequence numbering continues).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+
+    /// Total number of events ever scheduled on this queue.
+    pub fn scheduled_total(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_queue_behaviour() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.peek_time(), None);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(30), 3);
+        q.push(SimTime(10), 1);
+        q.push(SimTime(20), 2);
+        assert_eq!(q.peek_time(), Some(SimTime(10)));
+        assert_eq!(q.pop(), Some((SimTime(10), 1)));
+        assert_eq!(q.pop(), Some((SimTime(20), 2)));
+        assert_eq!(q.pop(), Some((SimTime(30), 3)));
+    }
+
+    #[test]
+    fn fifo_among_equal_times() {
+        let mut q = EventQueue::new();
+        for i in 0..100u32 {
+            q.push(SimTime(7), i);
+        }
+        for i in 0..100u32 {
+            assert_eq!(q.pop(), Some((SimTime(7), i)));
+        }
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(5), 'a');
+        q.push(SimTime(1), 'b');
+        assert_eq!(q.pop(), Some((SimTime(1), 'b')));
+        q.push(SimTime(2), 'c');
+        q.push(SimTime(5), 'd');
+        assert_eq!(q.pop(), Some((SimTime(2), 'c')));
+        assert_eq!(q.pop(), Some((SimTime(5), 'a')));
+        assert_eq!(q.pop(), Some((SimTime(5), 'd')));
+    }
+
+    #[test]
+    fn clear_keeps_sequence_monotone() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(1), 1);
+        q.push(SimTime(1), 2);
+        q.clear();
+        assert!(q.is_empty());
+        q.push(SimTime(1), 3);
+        assert_eq!(q.scheduled_total(), 3);
+        assert_eq!(q.pop(), Some((SimTime(1), 3)));
+    }
+
+    proptest! {
+        /// Popping everything yields a sequence sorted by (time, insertion).
+        #[test]
+        fn prop_pop_order_is_stable_sort(times in proptest::collection::vec(0u64..50, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.push(SimTime(t), i);
+            }
+            let mut expected: Vec<(u64, usize)> =
+                times.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+            expected.sort(); // stable by construction: (time, index)
+            let mut got = Vec::new();
+            while let Some((t, i)) = q.pop() {
+                got.push((t.ticks(), i));
+            }
+            prop_assert_eq!(got, expected);
+        }
+
+        /// peek_time always agrees with the next pop.
+        #[test]
+        fn prop_peek_matches_pop(times in proptest::collection::vec(0u64..1000, 1..100)) {
+            let mut q = EventQueue::new();
+            for &t in &times {
+                q.push(SimTime(t), ());
+            }
+            while let Some(peeked) = q.peek_time() {
+                let (popped, ()) = q.pop().unwrap();
+                prop_assert_eq!(peeked, popped);
+            }
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Parallel parameter-sweep executor.
+//!
+//! Each figure in the paper sweeps a parameter (threshold δ, relevant-node
+//! percentage, …) over full 20 000-epoch simulations. Individual simulations
+//! are single-threaded and deterministic; the sweep fans the parameter
+//! points across worker threads and returns results in input order, so
+//! parallel and sequential execution produce byte-identical reports.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crossbeam::channel;
+
+/// Run `f` over every element of `params`, in parallel, preserving order.
+///
+/// `threads = 0` selects the available CPU parallelism. Panics in workers
+/// are propagated to the caller.
+///
+/// ```
+/// let squares = dirq_sim::runner::run_sweep(&[1u64, 2, 3, 4], 2, |&x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn run_sweep<P, R, F>(params: &[P], threads: usize, f: F) -> Vec<R>
+where
+    P: Sync,
+    R: Send,
+    F: Fn(&P) -> R + Sync,
+{
+    if params.is_empty() {
+        return Vec::new();
+    }
+    let threads = effective_threads(threads, params.len());
+    if threads <= 1 {
+        return params.iter().map(&f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = channel::unbounded::<(usize, R)>();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || {
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= params.len() {
+                        break;
+                    }
+                    let r = f(&params[i]);
+                    // The receiver lives as long as the scope; send can only
+                    // fail if the main thread panicked, in which case the
+                    // whole scope unwinds anyway.
+                    let _ = tx.send((i, r));
+                }
+            });
+        }
+        drop(tx);
+
+        let mut slots: Vec<Option<R>> = (0..params.len()).map(|_| None).collect();
+        for (i, r) in rx {
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("worker thread panicked before producing a result"))
+            .collect()
+    })
+}
+
+/// Decide how many worker threads to use for `jobs` work items.
+pub fn effective_threads(requested: usize, jobs: usize) -> usize {
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let t = if requested == 0 { hw } else { requested };
+    t.min(jobs).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sweep() {
+        let out: Vec<u32> = run_sweep(&[] as &[u32], 4, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn preserves_input_order() {
+        let params: Vec<u64> = (0..257).collect();
+        let out = run_sweep(&params, 8, |&x| x * 3);
+        assert_eq!(out, params.iter().map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_path_used_for_single_thread() {
+        let params = vec![1, 2, 3];
+        let out = run_sweep(&params, 1, |&x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn uneven_work_still_ordered() {
+        // Make early items slow so completion order inverts submission order.
+        let params: Vec<u64> = (0..32).collect();
+        let out = run_sweep(&params, 4, |&x| {
+            if x < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            x
+        });
+        assert_eq!(out, params);
+    }
+
+    #[test]
+    fn effective_threads_bounds() {
+        assert_eq!(effective_threads(4, 2), 2);
+        assert_eq!(effective_threads(1, 100), 1);
+        assert!(effective_threads(0, 100) >= 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panic_propagates() {
+        let params = vec![0u32, 1, 2];
+        let _ = run_sweep(&params, 2, |&x| {
+            if x == 1 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

@@ -1,0 +1,118 @@
+//! Exponentially weighted moving average.
+
+/// EWMA with smoothing factor `alpha` ∈ (0, 1].
+///
+/// The ATC controller uses EWMAs for two locally observable signals the
+/// paper names as its inputs: the node's recent update-transmission rate and
+/// the rate of change of the measured physical parameter.
+#[derive(Clone, Copy, Debug)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Create an EWMA with smoothing factor `alpha`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < alpha <= 1`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1], got {alpha}");
+        Ewma { alpha, value: None }
+    }
+
+    /// Create an EWMA whose weight halves every `n` observations.
+    pub fn with_half_life(n: f64) -> Self {
+        assert!(n > 0.0, "half-life must be positive");
+        Ewma::new(1.0 - 0.5f64.powf(1.0 / n))
+    }
+
+    /// Feed one observation; the first observation initialises the average.
+    pub fn observe(&mut self, x: f64) {
+        self.value = Some(match self.value {
+            None => x,
+            Some(v) => v + self.alpha * (x - v),
+        });
+    }
+
+    /// Current estimate, or `None` before any observation.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// Current estimate, or `default` before any observation.
+    pub fn value_or(&self, default: f64) -> f64 {
+        self.value.unwrap_or(default)
+    }
+
+    /// The smoothing factor.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Forget all history.
+    pub fn reset(&mut self) {
+        self.value = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_observation_initialises() {
+        let mut e = Ewma::new(0.1);
+        assert_eq!(e.value(), None);
+        e.observe(5.0);
+        assert_eq!(e.value(), Some(5.0));
+    }
+
+    #[test]
+    fn converges_to_constant_input() {
+        let mut e = Ewma::new(0.2);
+        e.observe(0.0);
+        for _ in 0..200 {
+            e.observe(10.0);
+        }
+        assert!((e.value().unwrap() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tracks_step_change_geometrically() {
+        let mut e = Ewma::new(0.5);
+        e.observe(0.0);
+        e.observe(8.0); // 0 + 0.5*8 = 4
+        assert_eq!(e.value(), Some(4.0));
+        e.observe(8.0); // 4 + 0.5*4 = 6
+        assert_eq!(e.value(), Some(6.0));
+    }
+
+    #[test]
+    fn half_life_semantics() {
+        // After `n` observations of 0 starting from 1, the value should be
+        // 0.5 for half-life n.
+        let n = 10.0;
+        let mut e = Ewma::with_half_life(n);
+        e.observe(1.0);
+        for _ in 0..10 {
+            e.observe(0.0);
+        }
+        assert!((e.value().unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0, 1]")]
+    fn zero_alpha_rejected() {
+        let _ = Ewma::new(0.0);
+    }
+
+    #[test]
+    fn reset_forgets() {
+        let mut e = Ewma::new(0.3);
+        e.observe(2.0);
+        e.reset();
+        assert_eq!(e.value(), None);
+        assert_eq!(e.value_or(9.0), 9.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Fixed-width binned histogram with quantile queries.
+
+/// A histogram over `[lo, hi)` with equally sized bins plus under/overflow.
+///
+/// Used for distributions of per-query costs and overshoot. Quantiles are
+/// answered by linear interpolation inside the owning bin, which is accurate
+/// enough for reporting percentile bands.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Create a histogram over `[lo, hi)` with `bins` equal-width bins.
+    ///
+    /// # Panics
+    /// Panics if `lo >= hi` or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo < hi, "histogram range must be non-empty ({lo} >= {hi})");
+        assert!(bins > 0, "histogram needs at least one bin");
+        Histogram { lo, hi, bins: vec![0; bins], underflow: 0, overflow: 0, count: 0 }
+    }
+
+    /// Width of each bin.
+    pub fn bin_width(&self) -> f64 {
+        (self.hi - self.lo) / self.bins.len() as f64
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, x: f64) {
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let idx = ((x - self.lo) / self.bin_width()) as usize;
+            // Floating point can land exactly on bins.len() when x is just
+            // below hi; clamp defensively.
+            let idx = idx.min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total number of observations (including under/overflow).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Raw bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Approximate `q`-quantile (`0 <= q <= 1`) by in-bin interpolation.
+    /// Returns `None` for an empty histogram. Underflow mass is treated as
+    /// sitting at `lo` and overflow mass at `hi`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.count == 0 {
+            return None;
+        }
+        let target = q * self.count as f64;
+        let mut acc = self.underflow as f64;
+        if target <= acc {
+            return Some(self.lo);
+        }
+        for (i, &c) in self.bins.iter().enumerate() {
+            let next = acc + c as f64;
+            if target <= next && c > 0 {
+                let frac = (target - acc) / c as f64;
+                return Some(self.lo + (i as f64 + frac) * self.bin_width());
+            }
+            acc = next;
+        }
+        Some(self.hi)
+    }
+
+    /// Mean of the recorded distribution using bin midpoints (under/overflow
+    /// contribute `lo`/`hi` respectively).
+    pub fn approx_mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let w = self.bin_width();
+        let mut sum = self.underflow as f64 * self.lo + self.overflow as f64 * self.hi;
+        for (i, &c) in self.bins.iter().enumerate() {
+            sum += c as f64 * (self.lo + (i as f64 + 0.5) * w);
+        }
+        Some(sum / self.count as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observations_land_in_right_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.observe(0.0);
+        h.observe(0.99);
+        h.observe(5.0);
+        h.observe(9.999);
+        assert_eq!(h.bins()[0], 2);
+        assert_eq!(h.bins()[5], 1);
+        assert_eq!(h.bins()[9], 1);
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn under_and_overflow_tracked() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.observe(-5.0);
+        h.observe(1.0); // hi is exclusive
+        h.observe(2.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn quantiles_of_uniform_grid() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..100 {
+            h.observe(i as f64 + 0.5);
+        }
+        let median = h.quantile(0.5).unwrap();
+        assert!((median - 50.0).abs() <= 1.0, "median {median}");
+        let p90 = h.quantile(0.9).unwrap();
+        assert!((p90 - 90.0).abs() <= 1.0, "p90 {p90}");
+        assert_eq!(h.quantile(0.0).unwrap(), 0.0);
+        assert_eq!(h.quantile(1.0).unwrap(), 100.0);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = Histogram::new(0.0, 1.0, 2);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.approx_mean(), None);
+    }
+
+    #[test]
+    fn approx_mean_of_point_mass() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for _ in 0..50 {
+            h.observe(3.2); // bin 3, midpoint 3.5
+        }
+        assert!((h.approx_mean().unwrap() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "histogram range must be non-empty")]
+    fn inverted_range_panics() {
+        let _ = Histogram::new(1.0, 0.0, 4);
+    }
+}

@@ -1,0 +1,155 @@
+//! Lightweight event tracing.
+//!
+//! A bounded ring buffer of timestamped strings, gated by a level so the
+//! hot path pays only a branch when tracing is off. Used by examples and
+//! debugging sessions; experiments keep it disabled.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// Verbosity levels, ordered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TraceLevel {
+    /// Tracing disabled.
+    Off,
+    /// Protocol-significant events only (tree changes, update storms).
+    Info,
+    /// Per-message events.
+    Debug,
+    /// Everything, including per-slot MAC activity.
+    Trace,
+}
+
+/// One recorded trace entry.
+#[derive(Clone, Debug)]
+pub struct TraceEntry {
+    /// When the event occurred.
+    pub time: SimTime,
+    /// Verbosity class of the entry.
+    pub level: TraceLevel,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>8}] {:?}: {}", self.time, self.level, self.message)
+    }
+}
+
+/// Bounded ring buffer of trace entries.
+pub struct Tracer {
+    level: TraceLevel,
+    capacity: usize,
+    entries: VecDeque<TraceEntry>,
+    dropped: u64,
+}
+
+impl Tracer {
+    /// A tracer that records nothing.
+    pub fn disabled() -> Self {
+        Tracer::new(TraceLevel::Off, 0)
+    }
+
+    /// A tracer recording entries at or below `level`, keeping the most
+    /// recent `capacity` entries.
+    pub fn new(level: TraceLevel, capacity: usize) -> Self {
+        Tracer { level, capacity, entries: VecDeque::with_capacity(capacity.min(4096)), dropped: 0 }
+    }
+
+    /// Whether `level` messages would currently be recorded. Call this
+    /// before building an expensive message.
+    #[inline]
+    pub fn enabled(&self, level: TraceLevel) -> bool {
+        level != TraceLevel::Off && level <= self.level
+    }
+
+    /// Record a message (if enabled at `level`).
+    pub fn record(&mut self, time: SimTime, level: TraceLevel, make_message: impl FnOnce() -> String) {
+        if !self.enabled(level) {
+            return;
+        }
+        if self.capacity == 0 {
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(TraceEntry { time, level, message: make_message() });
+    }
+
+    /// Recorded entries, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Number of entries evicted due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Current number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut t = Tracer::disabled();
+        t.record(SimTime(1), TraceLevel::Info, || "x".into());
+        assert!(t.is_empty());
+        assert!(!t.enabled(TraceLevel::Info));
+    }
+
+    #[test]
+    fn level_filtering() {
+        let mut t = Tracer::new(TraceLevel::Info, 10);
+        t.record(SimTime(1), TraceLevel::Info, || "keep".into());
+        t.record(SimTime(2), TraceLevel::Debug, || "drop".into());
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.entries().next().unwrap().message, "keep");
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut t = Tracer::new(TraceLevel::Trace, 3);
+        for i in 0..5u64 {
+            t.record(SimTime(i), TraceLevel::Info, || format!("m{i}"));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let msgs: Vec<&str> = t.entries().map(|e| e.message.as_str()).collect();
+        assert_eq!(msgs, vec!["m2", "m3", "m4"]);
+    }
+
+    #[test]
+    fn lazy_message_not_built_when_disabled() {
+        let mut t = Tracer::new(TraceLevel::Info, 4);
+        let mut built = false;
+        t.record(SimTime(0), TraceLevel::Trace, || {
+            built = true;
+            String::new()
+        });
+        assert!(!built, "message closure must not run for filtered levels");
+    }
+
+    #[test]
+    fn display_formatting() {
+        let e = TraceEntry { time: SimTime(42), level: TraceLevel::Info, message: "hello".into() };
+        let s = format!("{e}");
+        assert!(s.contains("42") && s.contains("hello"));
+    }
+}

@@ -1,0 +1,62 @@
+//! Validate the paper's Section 5 cost model against the simulator on
+//! exact complete k-ary trees, and reproduce the worked example
+//! (k = 2, d = 4 ⇒ fMax = 46/60 ≈ 0.76).
+//!
+//! ```sh
+//! cargo run --release --example analytic_vs_sim
+//! ```
+
+use dirq::prelude::*;
+
+fn main() {
+    println!("closed-form model (Eqs. 3-9) on complete k-ary trees:");
+    println!("{:>3} {:>3} {:>7} {:>8} {:>8} {:>8} {:>8}", "k", "d", "N", "CF", "CQDmax", "CUDmax", "fMax");
+    for (k, d) in [(2u32, 3u32), (2, 4), (3, 3), (4, 2), (8, 2)] {
+        let c = KaryCosts::compute(k, d);
+        println!(
+            "{:>3} {:>3} {:>7} {:>8} {:>8} {:>8} {:>8.4}",
+            k, d, c.n, c.flooding, c.cqd_max, c.cud_max,
+            c.f_max().unwrap_or(f64::NAN)
+        );
+    }
+    let c = KaryCosts::compute(2, 4);
+    let (num, den) = c.f_max_exact().unwrap();
+    println!("\npaper's worked example: fMax(k=2, d=4) = {num}/{den} = {:.4} -> \"0.76\"", c.f_max().unwrap());
+
+    println!("\nsimulated flooding on exact trees vs Eq. 3/4:");
+    for (k, d) in [(2usize, 4u32), (3, 3), (4, 2)] {
+        let r = run_scenario(ScenarioConfig {
+            tree: TreeKind::CompleteKary { k, d },
+            protocol: Protocol::Flooding,
+            epochs: 1_000,
+            measure_from_epoch: 100,
+            ..ScenarioConfig::paper(3)
+        });
+        let analytic = r.flooding_cost_per_query();
+        let measured = r.cost_per_query().unwrap();
+        println!(
+            "  k={k} d={d}: analytic {analytic:.0}, simulated {measured:.1} ({:+.2}%)",
+            (measured - analytic) / analytic * 100.0
+        );
+    }
+
+    println!("\nthe same counting rules on the paper-style 50-node deployment:");
+    let r = run_scenario(ScenarioConfig {
+        epochs: 1_000,
+        measure_from_epoch: 100,
+        protocol: Protocol::Flooding,
+        ..ScenarioConfig::paper(3)
+    });
+    println!(
+        "  N={} links={} -> CF={:.0}; simulated flooding {:.1}/query",
+        r.analytic.n,
+        r.analytic.links,
+        r.analytic.flooding,
+        r.cost_per_query().unwrap()
+    );
+    println!(
+        "  fMax={:.3} -> at 20 queries/hour the update budget is {:.0} messages/hour",
+        r.analytic.f_max().unwrap(),
+        r.u_max_per_hour
+    );
+}

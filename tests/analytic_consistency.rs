@@ -1,0 +1,91 @@
+//! Cross-crate validation of the Section 5 cost model: the simulator and
+//! the closed forms must agree wherever both are defined.
+
+use dirq::prelude::*;
+
+#[test]
+fn simulated_flooding_matches_closed_form_on_kary_trees() {
+    for &(k, d) in &[(2usize, 3u32), (2, 4), (3, 3), (4, 2)] {
+        let r = run_scenario(ScenarioConfig {
+            tree: TreeKind::CompleteKary { k, d },
+            protocol: Protocol::Flooding,
+            epochs: 800,
+            measure_from_epoch: 100,
+            ..ScenarioConfig::paper(11)
+        });
+        let analytic = KaryCosts::compute(k as u32, d);
+        assert_eq!(r.flooding_cost_per_query(), analytic.flooding as f64);
+        let measured = r.cost_per_query().unwrap();
+        let rel = (measured - analytic.flooding as f64).abs() / analytic.flooding as f64;
+        assert!(
+            rel < 0.02,
+            "k={k} d={d}: measured {measured:.1} vs analytic {} (rel {rel:.4})",
+            analytic.flooding
+        );
+    }
+}
+
+#[test]
+fn flooding_on_random_deployment_matches_n_plus_2l() {
+    let r = run_scenario(ScenarioConfig {
+        protocol: Protocol::Flooding,
+        epochs: 800,
+        measure_from_epoch: 100,
+        ..ScenarioConfig::paper(12)
+    });
+    let expected = r.analytic.n as f64 + 2.0 * r.analytic.links as f64;
+    assert_eq!(r.flooding_cost_per_query(), expected);
+    let measured = r.cost_per_query().unwrap();
+    assert!(
+        ((measured - expected).abs() / expected) < 0.02,
+        "measured {measured:.1} vs N+2L {expected:.1}"
+    );
+}
+
+#[test]
+fn paper_worked_example_is_exact() {
+    let c = KaryCosts::compute(2, 4);
+    assert_eq!(c.f_max_exact(), Some((46, 60)));
+    // Both the paper-truncated and exact values.
+    let f = c.f_max().unwrap();
+    assert!((f - 46.0 / 60.0).abs() < 1e-15);
+    assert_eq!((f * 100.0).floor() as u32, 76);
+}
+
+#[test]
+fn topology_costs_agree_with_kary_costs() {
+    for &(k, d) in &[(2usize, 4u32), (3, 2), (5, 2), (8, 1)] {
+        let (topo, tree) = SpanningTree::complete_kary(k, d);
+        let tc = TopologyCosts::compute(&topo, &tree);
+        let kc = KaryCosts::compute(k as u32, d);
+        assert_eq!(tc.flooding as u128, kc.flooding);
+        assert_eq!(tc.cqd_max as u128, kc.cqd_max);
+        assert_eq!(tc.cud_max as u128, kc.cud_max);
+    }
+}
+
+#[test]
+fn dirq_worst_case_budget_identity() {
+    // CQDmax + fMax·CUDmax == CF exactly (Eq. 8 at the boundary).
+    for k in 1..=8u32 {
+        for d in 1..=8u32 {
+            let c = KaryCosts::compute(k, d);
+            assert!(c.budget_identity_holds(), "identity fails at k={k} d={d}");
+        }
+    }
+}
+
+#[test]
+fn u_max_line_consistent_between_engine_and_model() {
+    let r = run_scenario(ScenarioConfig {
+        epochs: 500,
+        measure_from_epoch: 100,
+        ..ScenarioConfig::paper(13)
+    });
+    let queries_per_hour = 400.0 / 20.0;
+    let expected = r.analytic.f_max().unwrap() * (r.analytic.n - 1) as f64 * queries_per_hour;
+    // The engine may re-estimate hourly as the tree evolves; with no churn
+    // it must match the initial model closely.
+    let rel = (r.u_max_per_hour - expected).abs() / expected;
+    assert!(rel < 0.05, "Umax/hr {:.1} vs {:.1}", r.u_max_per_hour, expected);
+}

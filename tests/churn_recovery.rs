@@ -1,0 +1,146 @@
+//! Topology-dynamics integration tests (paper Section 4.2): deaths and
+//! post-deployment births flow from the churn plan through LMAC's
+//! cross-layer notifications into DirQ's tree and table repair.
+
+use dirq::prelude::*;
+
+#[test]
+fn deaths_are_detected_and_queries_keep_working() {
+    let r = run_scenario(ScenarioConfig {
+        epochs: 2_000,
+        measure_from_epoch: 100,
+        churn: ChurnSpec::RandomDeaths { deaths: 6, from_epoch: 300, until_epoch: 600 },
+        ..ScenarioConfig::paper(20)
+    });
+    assert!(r.mac_stats.deaths_detected >= 6, "every death must be noticed by some neighbour");
+    let late: Vec<f64> = r
+        .metrics
+        .outcomes
+        .iter()
+        .filter(|o| o.epoch >= 1_000)
+        .map(|o| o.source_recall())
+        .collect();
+    assert!(!late.is_empty());
+    let mean = late.iter().sum::<f64>() / late.len() as f64;
+    assert!(mean > 0.85, "recall after repair {mean:.3} too low");
+}
+
+#[test]
+fn born_node_joins_and_becomes_a_source() {
+    // Node 42 is offline at deployment and comes online at epoch 300.
+    let newcomer = NodeId(42);
+    let plan = ChurnPlan::new(vec![(300, ChurnEvent::Birth(newcomer))]);
+    let mut engine = Engine::new(ScenarioConfig {
+        epochs: 1_200,
+        measure_from_epoch: 100,
+        tree: TreeKind::Bfs,
+        churn: ChurnSpec::Explicit(plan),
+        ..ScenarioConfig::paper(21)
+    });
+    assert!(!engine.is_alive(newcomer));
+
+    // Run past the birth and give LMAC + repair time to integrate it.
+    for _ in 0..400 {
+        engine.step_epoch();
+    }
+    assert!(engine.is_alive(newcomer));
+    assert!(
+        engine.node(newcomer).parent().is_some(),
+        "newcomer should have attached to the tree"
+    );
+    let tree = engine.protocol_tree();
+    assert!(tree.is_attached(newcomer), "newcomer must be reachable from the root");
+    tree.check_invariants().unwrap();
+}
+
+#[test]
+fn dead_parents_children_reattach() {
+    let mut engine = Engine::new(ScenarioConfig {
+        epochs: 2_000,
+        measure_from_epoch: 100,
+        tree: TreeKind::Bfs,
+        ..ScenarioConfig::paper(22)
+    });
+    // Pick a node with children and kill it via an explicit plan restart:
+    // easier — find a depth-1 node with children from the protocol tree.
+    for _ in 0..50 {
+        engine.step_epoch();
+    }
+    let tree = engine.protocol_tree();
+    let victim = tree
+        .children(NodeId::ROOT)
+        .iter()
+        .copied()
+        .find(|&c| !tree.children(c).is_empty())
+        .expect("some root child has children");
+    let orphans: Vec<NodeId> = tree.children(victim).to_vec();
+
+    // Kill it through the same path the churn plan uses.
+    let mut cfg_engine = engine; // continue on the same engine
+    {
+        // Simulate the death by flipping liveness through a fresh plan is
+        // not possible mid-run; instead use the public engine surface:
+        // drive a new engine whose plan kills the chosen victim.
+        let plan = ChurnPlan::new(vec![(60, ChurnEvent::Death(victim))]);
+        let mut e2 = Engine::new(ScenarioConfig {
+            epochs: 2_000,
+            measure_from_epoch: 100,
+            tree: TreeKind::Bfs,
+            churn: ChurnSpec::Explicit(plan),
+            ..ScenarioConfig::paper(22)
+        });
+        for _ in 0..400 {
+            e2.step_epoch();
+        }
+        let tree2 = e2.protocol_tree();
+        assert!(!tree2.is_attached(victim), "dead node must leave the tree");
+        for o in orphans {
+            assert!(
+                tree2.is_attached(o),
+                "orphan {o} should have re-attached after its parent died"
+            );
+            assert_ne!(e2.node(o).parent(), Some(victim));
+        }
+        tree2.check_invariants().unwrap();
+    }
+    // Silence the unused-variable path on the original engine.
+    cfg_engine.step_epoch();
+}
+
+#[test]
+fn protocol_tree_stays_valid_under_heavy_churn() {
+    let plan = {
+        let mut events = Vec::new();
+        // Kill 10 nodes at staggered epochs.
+        for (i, node) in (5u32..45).step_by(4).enumerate() {
+            events.push((200 + i as u64 * 50, ChurnEvent::Death(NodeId(node))));
+        }
+        ChurnPlan::new(events)
+    };
+    let mut engine = Engine::new(ScenarioConfig {
+        epochs: 1_500,
+        measure_from_epoch: 100,
+        tree: TreeKind::Bfs,
+        churn: ChurnSpec::Explicit(plan),
+        ..ScenarioConfig::paper(23)
+    });
+    for epoch in 0..1_500 {
+        engine.step_epoch();
+        if epoch % 100 == 0 {
+            engine.protocol_tree().check_invariants().unwrap();
+        }
+    }
+    // After all churn settles, every alive node reachable in the radio
+    // graph should be attached again.
+    let tree = engine.protocol_tree();
+    let alive = |n: NodeId| engine.is_alive(n);
+    let reachable = engine.topology().reachable_from(NodeId::ROOT, alive);
+    for n in engine.topology().nodes() {
+        if reachable[n.index()] && engine.is_alive(n) {
+            assert!(
+                tree.is_attached(n),
+                "{n} is alive and radio-reachable but detached from the tree"
+            );
+        }
+    }
+}

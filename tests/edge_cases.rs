@@ -1,0 +1,146 @@
+//! Degenerate-configuration and failure-injection tests: the engine and
+//! substrates must stay well-defined far from the paper's 50-node sweet
+//! spot.
+
+use dirq::prelude::*;
+
+#[test]
+fn path_graph_scenario_runs() {
+    // CompleteKary with k = 1 degenerates to a path: the hardest shape for
+    // dissemination latency (depth = N − 1).
+    let r = run_scenario(ScenarioConfig {
+        tree: TreeKind::CompleteKary { k: 1, d: 7 },
+        epochs: 600,
+        measure_from_epoch: 100,
+        completion_window: 18,
+        ..ScenarioConfig::paper(60)
+    });
+    assert_eq!(r.n_nodes, 8);
+    assert!(r.queries_injected > 0);
+    // Flooding cost on a path: N + 2(N−1) = 3N − 2 = 22.
+    assert_eq!(r.flooding_cost_per_query(), 22.0);
+}
+
+#[test]
+fn tiny_network_survives() {
+    let r = run_scenario(ScenarioConfig {
+        n_nodes: 3,
+        side: 20.0,
+        radio_range: 25.0,
+        epochs: 500,
+        measure_from_epoch: 100,
+        sensor_coverage: 1.0,
+        ..ScenarioConfig::paper(61)
+    });
+    assert_eq!(r.n_nodes, 3);
+    // With 2 sensing nodes the calibrator still produces queries.
+    assert!(r.queries_injected > 0);
+}
+
+#[test]
+fn sparse_sensor_coverage_still_queryable() {
+    let r = run_scenario(ScenarioConfig {
+        sensor_coverage: 0.05, // ~2 carriers per type
+        epochs: 800,
+        measure_from_epoch: 100,
+        ..ScenarioConfig::paper(62)
+    });
+    assert!(r.queries_injected > 0, "at least one carrier exists per type");
+    let recall = r.metrics.mean_over_queries(|o| o.source_recall());
+    if let Some(recall) = recall {
+        assert!(recall > 0.8, "sparse coverage recall {recall:.3}");
+    }
+}
+
+#[test]
+fn high_query_rate_does_not_backlog() {
+    // One query per 4 epochs: eight times the paper's load.
+    let r = run_scenario(ScenarioConfig {
+        query_period: 4,
+        completion_window: 3,
+        epochs: 800,
+        measure_from_epoch: 100,
+        ..ScenarioConfig::paper(63)
+    });
+    assert!(r.queries_injected >= 190);
+    // With the short completion window some deep deliveries are cut off;
+    // recall may dip but the engine must not wedge.
+    assert_eq!(r.metrics.outcomes.len(), r.queries_injected);
+}
+
+#[test]
+fn zero_sized_mac_frames_rejected() {
+    let result = std::panic::catch_unwind(|| {
+        let _ = Engine::new(ScenarioConfig {
+            lmac: LmacConfig { slots_per_frame: 0, ..Default::default() },
+            ..ScenarioConfig::paper(64)
+        });
+    });
+    assert!(result.is_err(), "invalid MAC config must be rejected loudly");
+}
+
+#[test]
+fn undersized_mac_frame_panics_with_context() {
+    // 4 slots cannot 2-hop-colour a dense 50-node graph.
+    let result = std::panic::catch_unwind(|| {
+        let _ = Engine::new(ScenarioConfig {
+            lmac: LmacConfig { slots_per_frame: 4, ..Default::default() },
+            ..ScenarioConfig::paper(65)
+        });
+    });
+    assert!(result.is_err());
+}
+
+#[test]
+fn long_idle_periods_are_quiet() {
+    // No queries at all: only updates and EHr flow, and the run stays
+    // consistent.
+    let r = run_scenario(ScenarioConfig {
+        query_period: 10_000, // never fires within the run
+        epochs: 900,
+        measure_from_epoch: 100,
+        ..ScenarioConfig::paper(66)
+    });
+    assert_eq!(r.queries_injected, 0);
+    assert_eq!(r.metrics.query_cost.cost(), 0.0);
+    assert!(r.metrics.update_cost.tx > 0, "updates flow regardless of queries");
+}
+
+#[test]
+fn all_carriers_of_a_type_can_die() {
+    // Kill enough nodes that some sensor type may lose all carriers; the
+    // generator must skip such types gracefully.
+    let r = run_scenario(ScenarioConfig {
+        sensor_coverage: 0.1,
+        churn: ChurnSpec::RandomDeaths { deaths: 20, from_epoch: 100, until_epoch: 300 },
+        epochs: 1_000,
+        measure_from_epoch: 50,
+        ..ScenarioConfig::paper(67)
+    });
+    // No panic + queries before the die-off existed.
+    assert!(r.metrics.outcomes.iter().any(|o| o.epoch < 100 || o.epoch > 300));
+}
+
+#[test]
+fn single_slot_capacity_mac_still_delivers() {
+    let r = run_scenario(ScenarioConfig {
+        lmac: LmacConfig { data_messages_per_slot: 1, ..Default::default() },
+        epochs: 800,
+        measure_from_epoch: 200,
+        ..ScenarioConfig::paper(68)
+    });
+    let recall = r.metrics.mean_over_queries(|o| o.source_recall()).unwrap();
+    assert!(recall > 0.85, "throttled MAC recall {recall:.3}");
+}
+
+#[test]
+fn complete_kary_ignores_n_nodes() {
+    let r = run_scenario(ScenarioConfig {
+        n_nodes: 9_999,
+        tree: TreeKind::CompleteKary { k: 3, d: 2 },
+        epochs: 300,
+        measure_from_epoch: 50,
+        ..ScenarioConfig::paper(69)
+    });
+    assert_eq!(r.n_nodes, 13);
+}
