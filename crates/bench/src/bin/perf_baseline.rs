@@ -1,0 +1,176 @@
+//! End-to-end throughput baseline for the simulation hot path.
+//!
+//! Runs the standard fig5 (fixed δ, 40 % relevance) and fig7 (ATC, 20 %
+//! relevance) scenarios, reports **epochs per second** and **heap
+//! allocations per epoch** for each, and records the results in a JSON
+//! file (default `BENCH_1.json`) so future perf work is gated on a
+//! measured trajectory.
+//!
+//! The first run seeds the baseline section; later runs keep the recorded
+//! baseline and update the `current` numbers plus the derived speedup.
+//! Pass `--set-baseline` to re-seed the baseline from this run.
+//!
+//! Usage: `perf_baseline [--epochs N] [--seed S] [--out PATH] [--set-baseline]`
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use dirq_core::{run_scenario, AtcConfig, DeltaPolicy, Protocol, ScenarioConfig};
+
+/// System allocator wrapped with allocation counting, so the bench can
+/// report steady-state allocation pressure alongside throughput.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to `System`; the counters are plain atomics.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+struct Measurement {
+    epochs_per_sec: f64,
+    allocs_per_epoch: f64,
+    alloc_kib_per_epoch: f64,
+    fingerprint: u64,
+}
+
+/// Run `cfg` a few times; keep the best throughput (least interference)
+/// and the allocation profile of the final repetition.
+fn measure(cfg: &ScenarioConfig, reps: usize) -> Measurement {
+    let mut best_eps = 0.0f64;
+    let mut allocs_per_epoch = 0.0;
+    let mut kib_per_epoch = 0.0;
+    let mut fingerprint = 0;
+    for _ in 0..reps {
+        let calls0 = ALLOC_CALLS.load(Ordering::Relaxed);
+        let bytes0 = ALLOC_BYTES.load(Ordering::Relaxed);
+        let t0 = Instant::now();
+        let r = run_scenario(cfg.clone());
+        let dt = t0.elapsed().as_secs_f64();
+        let calls = ALLOC_CALLS.load(Ordering::Relaxed) - calls0;
+        let bytes = ALLOC_BYTES.load(Ordering::Relaxed) - bytes0;
+        best_eps = best_eps.max(cfg.epochs as f64 / dt);
+        allocs_per_epoch = calls as f64 / cfg.epochs as f64;
+        kib_per_epoch = bytes as f64 / 1024.0 / cfg.epochs as f64;
+        fingerprint = r.stable_fingerprint();
+    }
+    Measurement { epochs_per_sec: best_eps, allocs_per_epoch, alloc_kib_per_epoch: kib_per_epoch, fingerprint }
+}
+
+fn fig5_scenario(seed: u64, epochs: u64) -> ScenarioConfig {
+    ScenarioConfig {
+        epochs,
+        measure_from_epoch: (epochs / 10).clamp(200, 2_000),
+        target_fraction: 0.4,
+        delta_policy: DeltaPolicy::Fixed(5.0),
+        protocol: Protocol::Dirq,
+        ..ScenarioConfig::paper(seed)
+    }
+}
+
+fn fig7_scenario(seed: u64, epochs: u64) -> ScenarioConfig {
+    ScenarioConfig {
+        target_fraction: 0.2,
+        delta_policy: DeltaPolicy::Adaptive(AtcConfig::default()),
+        ..fig5_scenario(seed, epochs)
+    }
+}
+
+/// Extract `"key": <number>` from previously written JSON (own format only).
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() {
+    let mut epochs: u64 = 3_000;
+    let mut seed: u64 = 42;
+    let mut out = String::from("BENCH_1.json");
+    let mut set_baseline = false;
+    fn usage(err: &str) -> ! {
+        eprintln!("error: {err}");
+        eprintln!("usage: perf_baseline [--epochs N] [--seed S] [--out PATH] [--set-baseline]");
+        std::process::exit(2);
+    }
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--epochs" => {
+                epochs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--epochs needs a number"))
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs a number"))
+            }
+            "--out" => out = args.next().unwrap_or_else(|| usage("--out needs a path")),
+            "--set-baseline" => set_baseline = true,
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let prior = if set_baseline { None } else { std::fs::read_to_string(&out).ok() };
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"dirq-perf-baseline-v1\",\n");
+    json.push_str(&format!("  \"epochs\": {epochs},\n"));
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+
+    println!("{:<6} {:>14} {:>14} {:>12} {:>14} {:>9}", "scen", "epochs/s", "baseline", "speedup", "allocs/epoch", "KiB/ep");
+    for (name, cfg) in [
+        ("fig5", fig5_scenario(seed, epochs)),
+        ("fig7", fig7_scenario(seed, epochs)),
+    ] {
+        let m = measure(&cfg, 2);
+        let baseline = prior
+            .as_deref()
+            .and_then(|t| json_number(t, &format!("{name}_baseline_epochs_per_sec")))
+            .unwrap_or(m.epochs_per_sec);
+        let speedup = m.epochs_per_sec / baseline;
+        println!(
+            "{name:<6} {:>14.1} {:>14.1} {:>11.2}x {:>14.2} {:>9.2}",
+            m.epochs_per_sec, baseline, speedup, m.allocs_per_epoch, m.alloc_kib_per_epoch
+        );
+        json.push_str(&format!("  \"{name}_baseline_epochs_per_sec\": {baseline:.1},\n"));
+        json.push_str(&format!("  \"{name}_current_epochs_per_sec\": {:.1},\n", m.epochs_per_sec));
+        json.push_str(&format!("  \"{name}_speedup\": {speedup:.3},\n"));
+        json.push_str(&format!("  \"{name}_allocs_per_epoch\": {:.2},\n", m.allocs_per_epoch));
+        json.push_str(&format!("  \"{name}_alloc_kib_per_epoch\": {:.2},\n", m.alloc_kib_per_epoch));
+        json.push_str(&format!("  \"{name}_fingerprint\": \"{:#018X}\",\n", m.fingerprint));
+    }
+    // Trailing metadata key keeps the object comma-valid.
+    json.push_str("  \"tool\": \"crates/bench/src/bin/perf_baseline.rs\"\n}\n");
+
+    std::fs::write(&out, &json).expect("write bench json");
+    println!("wrote {out}");
+}

@@ -1,0 +1,205 @@
+//! Offline drop-in subset of the `criterion` API.
+//!
+//! Provides the macro/entry-point surface the workspace's benches use
+//! (`criterion_group!`, `criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function`, `bench_with_input`, `Bencher::iter`, `black_box`,
+//! `BenchmarkId`). Measurement is simple wall-clock sampling with a short
+//! warm-up — adequate for relative, same-machine comparisons and for CI
+//! smoke runs; it does not do statistical outlier analysis.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measuring time per benchmark. Kept short so full bench suites
+/// stay runnable as smoke tests.
+const MEASURE_TIME: Duration = Duration::from_millis(300);
+const WARMUP_TIME: Duration = Duration::from_millis(60);
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `group/function/parameter` style id.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{function}/{parameter}") }
+    }
+
+    /// Id distinguished by parameter only.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times one closure.
+pub struct Bencher {
+    /// (mean nanoseconds per iteration, iterations measured)
+    result: Option<(f64, u64)>,
+}
+
+impl Bencher {
+    /// Measure `f`, called repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: establishes caches and an iteration-cost estimate.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP_TIME {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let target_iters = ((MEASURE_TIME.as_secs_f64() / per_iter.max(1e-9)) as u64).max(1);
+
+        let start = Instant::now();
+        for _ in 0..target_iters {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        self.result = Some((elapsed.as_nanos() as f64 / target_iters as f64, target_iters));
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    match b.result {
+        Some((ns, iters)) => {
+            println!("{name:<52} {:>14} /iter  ({iters} iters)", fmt_ns(ns));
+        }
+        None => println!("{name:<52} (no measurement)"),
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// The benchmark harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// A named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _c: self, name: name.into() }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { result: None };
+        f(&mut b);
+        report(name, &b);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling here is time-based.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { result: None };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), &b);
+        self
+    }
+
+    /// Run one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { result: None };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), &b);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generate `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        c.bench_function("trivial/add", |b| b.iter(|| black_box(1u64) + black_box(2)));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::from_parameter(3u32), &3u32, |b, &n| {
+            b.iter(|| (0..n).sum::<u32>())
+        });
+        g.finish();
+    }
+
+    criterion_group!(smoke, trivial);
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion::default();
+        smoke(&mut c);
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 7).to_string(), "f/7");
+        assert_eq!(BenchmarkId::from_parameter(9).to_string(), "9");
+    }
+}

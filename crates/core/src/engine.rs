@@ -32,7 +32,7 @@ use dirq_analytic::TopologyCosts;
 
 use crate::atc::DeltaPolicy;
 use crate::flooding::FloodingNode;
-use crate::messages::{DirqMessage, EhrMessage};
+use crate::messages::{DirqMessage, EhrMessage, MessageCategory};
 use crate::metrics::{Metrics, QueryOutcome};
 use crate::node::{DirqNode, NodeConfig, Outgoing};
 use crate::sampling::{Sampler, SamplingStrategy};
@@ -236,6 +236,39 @@ impl RunResult {
     pub fn mean_overshoot_pct(&self) -> f64 {
         self.metrics.overshoot.mean()
     }
+
+    /// Order-sensitive fingerprint over every deterministic observable of
+    /// the run: metrics, MAC statistics, energy ledgers and the δ traces.
+    /// Equal seeds and equal code must yield equal fingerprints — the
+    /// golden determinism test pins this across hot-path refactors.
+    pub fn stable_fingerprint(&self) -> u64 {
+        let mut h = crate::metrics::Fnv::new();
+        h.u64(self.metrics.stable_fingerprint());
+        h.u64(self.n_nodes as u64);
+        h.u64(self.epochs);
+        h.u64(self.queries_injected as u64);
+        h.u64(self.mac_stats.delivered);
+        h.u64(self.mac_stats.undeliverable);
+        h.u64(self.mac_stats.collisions);
+        h.u64(self.mac_stats.slots_surrendered);
+        h.u64(self.mac_stats.slots_picked);
+        h.u64(self.mac_stats.no_free_slot);
+        h.u64(self.mac_stats.deaths_detected);
+        h.u64(self.mac_stats.new_neighbors_detected);
+        h.f64(self.mac_data_cost);
+        h.f64(self.mac_control_cost);
+        h.f64(self.u_max_per_hour);
+        for &d in &self.final_delta_pcts {
+            h.f64(d);
+        }
+        for &(e, d) in &self.delta_trace {
+            h.u64(e);
+            h.f64(d);
+        }
+        h.u64(self.samples_taken);
+        h.u64(self.samples_skipped);
+        h.finish()
+    }
 }
 
 /// An in-flight query being scored.
@@ -278,6 +311,13 @@ pub struct Engine {
     /// Predictive samplers per (node, sensor type); `None` under
     /// [`SamplingStrategy::EveryEpoch`].
     samplers: Option<Vec<Vec<Sampler>>>,
+    /// Scratch: per-node depth in the protocol tree (`None` = detached),
+    /// recomputed in place by [`Engine::compute_attachment`].
+    attach_depth: Vec<Option<u32>>,
+    /// Scratch: BFS worklist for [`Engine::compute_attachment`].
+    attach_queue: Vec<NodeId>,
+    /// Reusable MAC indication buffer for [`Engine::run_mac_frame`].
+    ind_buf: Vec<MacIndication<DirqMessage>>,
     u_max_per_hour: f64,
     analytic0: TopologyCosts,
     delta_trace: Vec<(u64, f64)>,
@@ -316,12 +356,23 @@ impl Engine {
         let churn = match &cfg.churn {
             ChurnSpec::None => ChurnPlan::none(),
             ChurnSpec::RandomDeaths { deaths, from_epoch, until_epoch } => {
-                ChurnPlan::random_deaths(
+                // Victim sets that sever the sink from the network are
+                // rejected: a partitioned sink reaches no source under any
+                // scheme, so there is nothing left to measure.
+                ChurnPlan::random_deaths_connected(
                     n,
                     *deaths,
                     *from_epoch,
                     *until_epoch,
                     &mut factory.stream("churn"),
+                    |victims| {
+                        let mut dead = vec![false; n];
+                        for &v in victims {
+                            dead[v.index()] = true;
+                        }
+                        let reach = topo.reachable_from(NodeId::ROOT, |v| !dead[v.index()]);
+                        topo.nodes().all(|v| dead[v.index()] || reach[v.index()])
+                    },
                 )
             }
             ChurnSpec::Explicit(plan) => plan.clone(),
@@ -366,8 +417,8 @@ impl Engine {
 
         // --- MAC --------------------------------------------------------------
         let mut mac = LmacNetwork::new(cfg.lmac, topo.clone());
-        for i in 0..n {
-            if !alive[i] {
+        for (i, &node_alive) in alive.iter().enumerate() {
+            if !node_alive {
                 mac.set_alive(NodeId::from_index(i), false);
             }
         }
@@ -408,13 +459,13 @@ impl Engine {
             .collect();
         // Quiet tree initialisation: both endpoints already agree, so the
         // Attach handshakes are skipped.
-        for i in 0..n {
+        for (i, node) in nodes.iter_mut().enumerate() {
             let id = NodeId::from_index(i);
             if let Some(p) = tree.parent(id) {
-                let _ = nodes[i].set_parent(Some(p));
+                let _ = node.set_parent(Some(p));
             }
             for &c in tree.children(id) {
-                nodes[i].add_child(c);
+                node.add_child(c);
             }
         }
 
@@ -441,6 +492,9 @@ impl Engine {
                         .collect(),
                 ),
             },
+            attach_depth: vec![None; n],
+            attach_queue: Vec::with_capacity(n),
+            ind_buf: Vec::with_capacity(64),
             delta_trace: Vec::new(),
             pending: Vec::new(),
             queries_injected: 0,
@@ -653,12 +707,11 @@ impl Engine {
     /// field aging out; the simulator takes the direct route.
     fn repair_orphans(&mut self) {
         const DETACH_FALLBACK_EPOCHS: u64 = 25;
-        let tree = self.protocol_tree();
+        self.compute_attachment();
 
         // Track how long each alive node has been detached from the root.
         for i in 1..self.nodes.len() {
-            let node = NodeId::from_index(i);
-            if !self.alive[i] || tree.is_attached(node) {
+            if !self.alive[i] || self.attach_depth[i].is_some() {
                 self.detached_since[i] = None;
             } else if self.detached_since[i].is_none() {
                 self.detached_since[i] = Some(self.epoch);
@@ -701,12 +754,13 @@ impl Engine {
             if self.epoch.saturating_sub(since) < DETACH_FALLBACK_EPOCHS {
                 continue;
             }
+            let attach_depth = &self.attach_depth;
             let new_parent = self
                 .mac
                 .neighbor_table(node)
                 .nodes()
-                .filter(|&nb| tree.is_attached(nb))
-                .min_by_key(|&nb| (tree.depth(nb).unwrap_or(u32::MAX), nb));
+                .filter(|&nb| attach_depth[nb.index()].is_some())
+                .min_by_key(|&nb| (attach_depth[nb.index()].unwrap_or(u32::MAX), nb));
             let Some(new_parent) = new_parent else { continue };
             if self.nodes[i].parent() == Some(new_parent) {
                 continue;
@@ -722,6 +776,32 @@ impl Engine {
             self.detached_since[i] = None;
             let outs = self.nodes[i].set_parent(Some(new_parent));
             self.dispatch_outgoing(node, outs);
+        }
+    }
+
+    /// Recompute the protocol tree's attachment depths into the scratch
+    /// buffers — the same traversal as [`Engine::protocol_tree`] (children
+    /// lists + matching parent pointers) without building a tree or
+    /// allocating. Runs once per epoch for the repair pass.
+    fn compute_attachment(&mut self) {
+        self.attach_depth.fill(None);
+        self.attach_queue.clear();
+        self.attach_depth[NodeId::ROOT.index()] = Some(0);
+        self.attach_queue.push(NodeId::ROOT);
+        let mut head = 0;
+        while head < self.attach_queue.len() {
+            let u = self.attach_queue[head];
+            head += 1;
+            let du = self.attach_depth[u.index()].expect("queued nodes are attached");
+            for &c in self.nodes[u.index()].children() {
+                if self.alive[c.index()]
+                    && self.attach_depth[c.index()].is_none()
+                    && self.nodes[c.index()].parent() == Some(u)
+                {
+                    self.attach_depth[c.index()] = Some(du + 1);
+                    self.attach_queue.push(c);
+                }
+            }
         }
     }
 
@@ -841,7 +921,7 @@ impl Engine {
                 self.flood[0].should_rebroadcast(query.id);
                 if self.mac.enqueue(NodeId::ROOT, Destination::Broadcast, DirqMessage::FloodQuery(query))
                 {
-                    self.record_tx(&DirqMessage::FloodQuery(query));
+                    self.record_tx_parts(MessageCategory::Query, Some(query.id));
                 }
             }
         }
@@ -849,12 +929,17 @@ impl Engine {
 
     fn run_mac_frame(&mut self) {
         let slots = self.cfg.lmac.slots_per_frame;
+        // The buffer is moved out for the frame so dispatching (which may
+        // re-enter the MAC, e.g. flooding rebroadcasts) can borrow `self`.
+        let mut buf = std::mem::take(&mut self.ind_buf);
         for _ in 0..slots {
-            let inds = self.mac.advance_slot(&mut self.mac_rng);
-            for ind in inds {
+            buf.clear();
+            self.mac.advance_slot_into(&mut self.mac_rng, &mut buf);
+            for ind in buf.drain(..) {
                 self.dispatch_indication(ind);
             }
         }
+        self.ind_buf = buf;
     }
 
     fn end_epoch_housekeeping(&mut self) {
@@ -895,8 +980,14 @@ impl Engine {
     // --- message plumbing -----------------------------------------------------
 
     fn record_tx(&mut self, msg: &DirqMessage) {
-        self.metrics.on_tx(msg.category(), self.epoch);
-        if let Some(id) = query_id_of(msg) {
+        self.record_tx_parts(msg.category(), query_id_of(msg));
+    }
+
+    /// Like [`Engine::record_tx`] with the message parts pre-extracted, so
+    /// callers can hand the message itself to the MAC without cloning it.
+    fn record_tx_parts(&mut self, category: MessageCategory, query: Option<QueryId>) {
+        self.metrics.on_tx(category, self.epoch);
+        if let Some(id) = query {
             if let Some(p) = self.pending.iter_mut().find(|p| p.query.id == id) {
                 p.tx += 1;
             }
@@ -919,16 +1010,18 @@ impl Engine {
                     let Some(parent) = self.nodes[from.index()].parent() else {
                         continue;
                     };
-                    if self.mac.enqueue(from, Destination::unicast(parent), msg.clone()) {
-                        self.record_tx(&msg);
+                    let (category, query) = (msg.category(), query_id_of(&msg));
+                    if self.mac.enqueue(from, Destination::unicast(parent), msg) {
+                        self.record_tx_parts(category, query);
                     }
                 }
                 Outgoing::ToChildren(dests, msg) => {
                     if dests.is_empty() {
                         continue;
                     }
-                    if self.mac.enqueue(from, Destination::Multicast(dests), msg.clone()) {
-                        self.record_tx(&msg);
+                    let (category, query) = (msg.category(), query_id_of(&msg));
+                    if self.mac.enqueue(from, Destination::Multicast(dests), msg) {
+                        self.record_tx_parts(category, query);
                     }
                 }
                 Outgoing::DeliverLocal(_query) => {
@@ -944,13 +1037,13 @@ impl Engine {
         match ind {
             MacIndication::Delivered { to, from, payload } => {
                 self.record_rx(&payload);
-                match payload {
+                match &*payload {
                     DirqMessage::Update { stype, min, max } => {
-                        let outs = self.nodes[to.index()].on_update(from, stype, min, max);
+                        let outs = self.nodes[to.index()].on_update(from, *stype, *min, *max);
                         self.dispatch_outgoing(to, outs);
                     }
                     DirqMessage::Retract { stype } => {
-                        let outs = self.nodes[to.index()].on_retract(from, stype);
+                        let outs = self.nodes[to.index()].on_retract(from, *stype);
                         self.dispatch_outgoing(to, outs);
                     }
                     DirqMessage::Attach => {
@@ -963,11 +1056,11 @@ impl Engine {
                         self.dispatch_outgoing(to, outs);
                     }
                     DirqMessage::GeoAdvert(rect) => {
-                        let outs = self.nodes[to.index()].on_geo_advert(from, rect);
+                        let outs = self.nodes[to.index()].on_geo_advert(from, *rect);
                         self.dispatch_outgoing(to, outs);
                     }
                     DirqMessage::Ehr(msg) => {
-                        let outs = self.nodes[to.index()].on_ehr(msg);
+                        let outs = self.nodes[to.index()].on_ehr(*msg);
                         self.dispatch_outgoing(to, outs);
                     }
                     DirqMessage::Query(q) => {
@@ -976,24 +1069,25 @@ impl Engine {
                                 p.received[to.index()] = true;
                             }
                         }
-                        let outs = self.nodes[to.index()].on_query(&q);
+                        let outs = self.nodes[to.index()].on_query(q);
                         self.dispatch_outgoing(to, outs);
                     }
                     DirqMessage::FloodQuery(q) => {
                         // The root hears rebroadcasts too (that reception is
                         // part of flooding's 2·links cost) but does not
                         // count as a *reached* node — it injected the query.
+                        let qid = q.id;
                         if !to.is_root() {
-                            if let Some(p) = self.pending.iter_mut().find(|p| p.query.id == q.id) {
+                            if let Some(p) = self.pending.iter_mut().find(|p| p.query.id == qid) {
                                 p.received[to.index()] = true;
                             }
                         }
-                        if self.flood[to.index()].should_rebroadcast(q.id)
-                            && self
-                                .mac
-                                .enqueue(to, Destination::Broadcast, DirqMessage::FloodQuery(q))
+                        // Zero-copy rebroadcast: forward the interned
+                        // payload handle instead of rebuilding the message.
+                        if self.flood[to.index()].should_rebroadcast(qid)
+                            && self.mac.enqueue_shared(to, Destination::Broadcast, payload.clone())
                         {
-                            self.record_tx(&DirqMessage::FloodQuery(q));
+                            self.record_tx_parts(MessageCategory::Query, Some(qid));
                         }
                     }
                 }

@@ -183,6 +183,34 @@ impl Metrics {
         self.outcomes.iter().filter(|o| o.epoch >= self.measure_from_epoch).count()
     }
 
+    /// Order-sensitive FNV-1a fingerprint over every deterministic field.
+    ///
+    /// Two runs with the same seed and code must produce equal
+    /// fingerprints; the golden determinism test pins this value across
+    /// refactors of the hot path.
+    pub fn stable_fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.u64(self.measure_from_epoch);
+        for c in [&self.query_cost, &self.update_cost, &self.control_cost] {
+            h.u64(c.tx);
+            h.u64(c.rx);
+        }
+        h.u64(self.outcomes.len() as u64);
+        for o in &self.outcomes {
+            h.u64(o.id.0);
+            h.u64(o.epoch);
+            h.u64(o.stype.index() as u64);
+            h.u64(o.should_receive as u64);
+            h.u64(o.true_sources as u64);
+            h.u64(o.received as u64);
+            h.u64(o.received_should as u64);
+            h.u64(o.received_should_not as u64);
+            h.u64(o.sources_reached as u64);
+            h.u64(o.n_nodes as u64);
+        }
+        h.finish()
+    }
+
     /// Mean of a per-outcome statistic over the measurement window.
     pub fn mean_over_queries(&self, f: impl Fn(&QueryOutcome) -> f64) -> Option<f64> {
         let measured: Vec<f64> = self
@@ -196,6 +224,32 @@ impl Metrics {
         } else {
             Some(measured.iter().sum::<f64>() / measured.len() as f64)
         }
+    }
+}
+
+/// Minimal FNV-1a accumulator for the determinism fingerprints.
+pub(crate) struct Fnv(u64);
+
+impl Fnv {
+    pub(crate) fn new() -> Self {
+        Fnv(0xcbf29ce484222325)
+    }
+
+    pub(crate) fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+    }
+
+    /// Hash a float by bit pattern (runs must be bit-identical, so exact
+    /// representation equality is the right notion).
+    pub(crate) fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
     }
 }
 

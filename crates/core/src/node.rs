@@ -10,7 +10,7 @@
 use std::collections::BTreeMap;
 
 use dirq_data::{QueryId, RangeQuery, SensorType};
-use dirq_net::{NodeId, Position};
+use dirq_net::{NodeId, NodeList, Position};
 use dirq_sim::stats::Ewma;
 
 use crate::atc::{AtcController, DeltaPolicy};
@@ -23,8 +23,9 @@ use crate::range_table::{RangeEntry, RangeTable};
 pub enum Outgoing {
     /// Unicast to the node's current parent.
     ToParent(DirqMessage),
-    /// Multicast to the listed children.
-    ToChildren(Vec<NodeId>, DirqMessage),
+    /// Multicast to the listed children (inline, allocation-free up to
+    /// four receivers — the common fan-out in the paper's trees).
+    ToChildren(NodeList, DirqMessage),
     /// The query matched this node's own advertised range: hand the query
     /// to the local application (the node is a *source* in DirQ's eyes).
     DeliverLocal(RangeQuery),
@@ -353,7 +354,7 @@ impl DirqNode {
                     out.push(Outgoing::DeliverLocal(*query));
                 }
             }
-            let relevant: Vec<NodeId> = table
+            let relevant: NodeList = table
                 .children()
                 .iter()
                 .filter(|(_, e)| e.overlaps(query.lo, query.hi))
@@ -384,7 +385,7 @@ impl DirqNode {
         if self.children.is_empty() {
             Vec::new()
         } else {
-            vec![Outgoing::ToChildren(self.children.clone(), DirqMessage::Ehr(msg))]
+            vec![Outgoing::ToChildren(self.children.as_slice().into(), DirqMessage::Ehr(msg))]
         }
     }
 
@@ -584,7 +585,7 @@ mod tests {
         assert_eq!(
             out,
             vec![Outgoing::ToChildren(
-                vec![NodeId(4), NodeId(5)],
+                [NodeId(4), NodeId(5)].into(),
                 DirqMessage::Query(query(1, 25.0, 45.0))
             )]
         );
@@ -626,7 +627,7 @@ mod tests {
         let out = n.on_ehr(msg);
         assert_eq!(
             out,
-            vec![Outgoing::ToChildren(vec![NodeId(2), NodeId(3)], DirqMessage::Ehr(msg))]
+            vec![Outgoing::ToChildren([NodeId(2), NodeId(3)].into(), DirqMessage::Ehr(msg))]
         );
         // Leaf: absorbed silently.
         let mut leaf = mk(4);
@@ -697,7 +698,7 @@ mod tests {
         let forwarded: Vec<NodeId> = out
             .iter()
             .find_map(|o| match o {
-                Outgoing::ToChildren(cs, _) => Some(cs.clone()),
+                Outgoing::ToChildren(cs, _) => Some(cs.to_vec()),
                 _ => None,
             })
             .unwrap_or_default();

@@ -126,6 +126,7 @@ impl SensorAssignment {
         assert!((0.0..=1.0).contains(&coverage), "coverage must be a fraction");
         let mut has = vec![vec![false; n_types]; n_nodes];
         let candidates: Vec<usize> = (1..n_nodes).collect();
+        #[allow(clippy::needless_range_loop)] // `t` indexes the inner axis
         for t in 0..n_types {
             let count = ((candidates.len() as f64 * coverage).round() as usize).max(1);
             let mut chosen = candidates.clone();
@@ -136,10 +137,10 @@ impl SensorAssignment {
         }
         // Every sensing node should carry at least one type, so no node is
         // permanently silent in the experiments.
-        for node in 1..n_nodes {
-            if !has[node].iter().any(|&b| b) {
+        for row in has.iter_mut().skip(1) {
+            if !row.iter().any(|&b| b) {
                 let t = rng.gen_range(0..n_types);
-                has[node][t] = true;
+                row[t] = true;
             }
         }
         SensorAssignment { has }

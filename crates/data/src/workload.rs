@@ -142,25 +142,58 @@ fn ground_truth_by(
     tree: &SpanningTree,
     is_source: impl Fn(usize) -> bool,
 ) -> GroundTruth {
-    let mut involved = vec![false; n];
-    let mut sources = Vec::new();
-    for i in 0..n {
-        let node = NodeId::from_index(i);
-        if node.is_root() || !is_source(i) {
-            continue;
-        }
-        sources.push(node);
-        involved[i] = true;
-        if let Some(path) = tree.path_to_root(node) {
-            for p in path {
-                if !p.is_root() {
-                    involved[p.index()] = true;
+    let mut scratch = TruthScratch::default();
+    let involved_count = scratch.mark(n, tree, is_source);
+    GroundTruth {
+        sources: std::mem::take(&mut scratch.sources),
+        involved: std::mem::take(&mut scratch.involved),
+        involved_count,
+    }
+}
+
+/// Reusable buffers for ground-truth evaluation. The generator's window
+/// calibration bisects over ~200 candidate windows per query; with these
+/// buffers each evaluation is allocation-free (the old path allocated an
+/// `involved` vector plus one path vector per source per evaluation).
+#[derive(Clone, Debug, Default)]
+struct TruthScratch {
+    involved: Vec<bool>,
+    sources: Vec<NodeId>,
+}
+
+impl TruthScratch {
+    /// Recompute `sources`/`involved` in place; returns the involved count.
+    ///
+    /// Paths are marked by walking parent pointers and stopping at the
+    /// first already-involved ancestor — path suffixes towards the root are
+    /// shared, so total marking work is O(n) rather than O(n · depth).
+    fn mark(&mut self, n: usize, tree: &SpanningTree, is_source: impl Fn(usize) -> bool) -> usize {
+        self.involved.clear();
+        self.involved.resize(n, false);
+        self.sources.clear();
+        let mut count = 0;
+        for i in 0..n {
+            let node = NodeId::from_index(i);
+            if node.is_root() || !is_source(i) {
+                continue;
+            }
+            self.sources.push(node);
+            if !self.involved[i] {
+                self.involved[i] = true;
+                count += 1;
+            }
+            let mut cur = node;
+            while let Some(p) = tree.parent(cur) {
+                if p.is_root() || self.involved[p.index()] {
+                    break;
                 }
+                self.involved[p.index()] = true;
+                count += 1;
+                cur = p;
             }
         }
+        count
     }
-    let involved_count = involved.iter().filter(|&&b| b).count();
-    GroundTruth { sources, involved, involved_count }
 }
 
 /// A calibrated query plus its injection-time ground truth.
@@ -183,6 +216,8 @@ pub struct QueryGenerator {
     /// node positions — the paper's optional location attribute).
     spatial_fraction: f64,
     rng: SimRng,
+    /// Reusable ground-truth buffers for window calibration.
+    scratch: TruthScratch,
 }
 
 impl QueryGenerator {
@@ -198,6 +233,7 @@ impl QueryGenerator {
             candidates: 8,
             spatial_fraction: 0.0,
             rng,
+            scratch: TruthScratch::default(),
         }
     }
 
@@ -291,16 +327,14 @@ impl QueryGenerator {
                 RangeQuery::value(QueryId(id), stype, lo - pad, hi + pad)
                     .with_region(dirq_net::Rect::centered(centre, h))
             };
+            let n = readings.len();
             for _ in 0..24 {
                 let mid = 0.5 * (lo_h + hi_h);
-                let truth = ground_truth_for_query(
-                    readings,
-                    positions,
-                    tree,
-                    &query_at(mid, self.next_id),
-                    is_alive,
-                );
-                if truth.involved_fraction() < self.target_fraction {
+                let probe = query_at(mid, self.next_id);
+                let count = self.scratch.mark(n, tree, |i| {
+                    is_alive(NodeId::from_index(i)) && probe.matches_at(readings[i], &positions[i])
+                });
+                if (count as f64 / n as f64) < self.target_fraction {
                     lo_h = mid;
                 } else {
                     hi_h = mid;
@@ -349,13 +383,22 @@ impl QueryGenerator {
         let mut best: Option<(f64, CalibratedQuery)> = None;
         for _ in 0..self.candidates {
             let center = alive_values[self.rng.gen_range(0..alive_values.len())];
-            // Bisect the half-width: involvement is monotone in w.
+            // Bisect the half-width: involvement is monotone in w. Only the
+            // involved *count* matters here, so the scratch-based evaluator
+            // avoids materialising a GroundTruth per probe.
+            let n = readings.len();
             let mut lo_w = 0.0;
             let mut hi_w = span;
             for _ in 0..24 {
                 let mid = 0.5 * (lo_w + hi_w);
-                let truth = ground_truth(readings, tree, center - mid, center + mid, is_alive);
-                if truth.involved_fraction() < self.target_fraction {
+                let count = self.scratch.mark(n, tree, |i| {
+                    let v = readings[i];
+                    !v.is_nan()
+                        && v >= center - mid
+                        && v <= center + mid
+                        && is_alive(NodeId::from_index(i))
+                });
+                if (count as f64 / n as f64) < self.target_fraction {
                     lo_w = mid;
                 } else {
                     hi_w = mid;

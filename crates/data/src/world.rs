@@ -189,7 +189,10 @@ impl WorldConfig {
 
 /// Per-type dynamic state.
 struct TypeState {
-    field: SpatialField,
+    /// `field.value(position(node))` — the field is static, so its
+    /// per-node evaluation (a sum over every bump/cell) is hoisted out of
+    /// the per-epoch loop and the field itself dropped after construction.
+    field_at_node: Vec<f64>,
     diurnal: Diurnal,
     regional: Ar1,
     local: Vec<Ar1>,
@@ -227,9 +230,8 @@ impl SensorWorld {
         let states: Vec<TypeState> = config
             .types
             .iter()
-            
-            .map(|c| TypeState {
-                field: match c.field_style {
+            .map(|c| {
+                let field = match c.field_style {
                     FieldStyle::Smooth => SpatialField::random(
                         c.base,
                         c.spatial_amplitude,
@@ -245,15 +247,20 @@ impl SensorWorld {
                         config.side,
                         &mut field_rng,
                     ),
-                },
-                diurnal: if c.diurnal_amplitude == 0.0 {
-                    Diurnal::none()
-                } else {
-                    Diurnal::new(c.diurnal_amplitude, c.diurnal_period, 0.0)
-                },
-                regional: Ar1::new(c.regional_phi, c.regional_sigma),
-                local: (0..n).map(|_| Ar1::new(c.local_phi, c.local_sigma)).collect(),
-                noise_sigma: c.noise_sigma,
+                };
+                let field_at_node =
+                    (0..n).map(|i| field.value(&topo.position(node_id(i)))).collect();
+                TypeState {
+                    field_at_node,
+                    diurnal: if c.diurnal_amplitude == 0.0 {
+                        Diurnal::none()
+                    } else {
+                        Diurnal::new(c.diurnal_amplitude, c.diurnal_period, 0.0)
+                    },
+                    regional: Ar1::new(c.regional_phi, c.regional_sigma),
+                    local: (0..n).map(|_| Ar1::new(c.local_phi, c.local_sigma)).collect(),
+                    noise_sigma: c.noise_sigma,
+                }
             })
             .collect();
         let mut world = SensorWorld {
@@ -307,7 +314,10 @@ impl SensorWorld {
             let regional = state.regional.value();
             for node in 0..topo.len() {
                 self.readings[t][node] = if self.assignment.has(node, SensorType(t as u8)) {
-                    state.field.value(&topo.position(node_id(node)))
+                    // Same summation order as the original formulation —
+                    // float addition is not associative and fixed-seed runs
+                    // must stay bit-identical.
+                    state.field_at_node[node]
                         + diurnal
                         + regional
                         + state.local[node].value()

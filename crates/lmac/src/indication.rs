@@ -3,8 +3,17 @@
 //! DirQ's cross-layer integration (paper Section 4.2) consumes exactly
 //! these events: message deliveries, dead-neighbour detections and
 //! new-neighbour detections.
+//!
+//! Payloads are **interned once per transmission**: the MAC wraps each
+//! queued payload in a [`PayloadHandle`] and every indication for it —
+//! one per receiver on a broadcast, one per unreachable destination —
+//! shares the same allocation. Cloning an indication is a reference-count
+//! bump, never a payload copy.
 
-use dirq_net::NodeId;
+use dirq_net::{NodeId, NodeList};
+
+/// Shared handle to one transmitted payload. `Deref`s to `P`.
+pub type PayloadHandle<P> = std::sync::Arc<P>;
 
 /// Addressing of one data message.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -16,13 +25,19 @@ pub enum Destination {
     /// skip the data section after reading the control header, so they pay
     /// no data-reception cost — this matches the paper's unicast
     /// cost-accounting ("we only consider edges for unicast operations").
-    Multicast(Vec<NodeId>),
+    /// The list is inline (no heap) up to four receivers.
+    Multicast(NodeList),
 }
 
 impl Destination {
     /// Unicast = multicast to one node.
     pub fn unicast(to: NodeId) -> Destination {
-        Destination::Multicast(vec![to])
+        Destination::Multicast(NodeList::single(to))
+    }
+
+    /// Multicast to any collection of nodes.
+    pub fn multicast(to: impl Into<NodeList>) -> Destination {
+        Destination::Multicast(to.into())
     }
 
     /// Whether `node` is an intended receiver.
@@ -44,8 +59,8 @@ pub enum MacIndication<P> {
         to: NodeId,
         /// Transmitting (one-hop) node.
         from: NodeId,
-        /// Upper-layer payload.
-        payload: P,
+        /// Shared handle to the upper-layer payload.
+        payload: PayloadHandle<P>,
     },
     /// `observer`'s MAC declared one-hop neighbour `dead` unreachable
     /// (unheard for `max_missed_frames` frames).
@@ -70,8 +85,8 @@ pub enum MacIndication<P> {
         from: NodeId,
         /// Intended receiver that could not be reached.
         to: NodeId,
-        /// The undelivered payload.
-        payload: P,
+        /// Shared handle to the undelivered payload.
+        payload: PayloadHandle<P>,
     },
 }
 
@@ -83,11 +98,27 @@ mod tests {
     fn destination_membership() {
         let b = Destination::Broadcast;
         assert!(b.includes(NodeId(7)));
-        let m = Destination::Multicast(vec![NodeId(1), NodeId(2)]);
+        let m = Destination::multicast([NodeId(1), NodeId(2)]);
         assert!(m.includes(NodeId(1)));
         assert!(!m.includes(NodeId(3)));
         let u = Destination::unicast(NodeId(4));
         assert!(u.includes(NodeId(4)));
         assert!(!u.includes(NodeId(5)));
+    }
+
+    #[test]
+    fn payload_handles_share_one_allocation() {
+        let p: PayloadHandle<String> = PayloadHandle::new("query".to_string());
+        let a = MacIndication::Delivered { to: NodeId(1), from: NodeId(0), payload: p.clone() };
+        let b = MacIndication::Delivered { to: NodeId(2), from: NodeId(0), payload: p.clone() };
+        match (&a, &b) {
+            (
+                MacIndication::Delivered { payload: pa, .. },
+                MacIndication::Delivered { payload: pb, .. },
+            ) => {
+                assert!(PayloadHandle::ptr_eq(pa, pb), "per-receiver copies must share storage");
+            }
+            _ => unreachable!(),
+        }
     }
 }

@@ -47,6 +47,6 @@ pub mod network;
 pub mod slots;
 
 pub use config::LmacConfig;
-pub use indication::{Destination, MacIndication};
+pub use indication::{Destination, MacIndication, PayloadHandle};
 pub use network::LmacNetwork;
 pub use slots::SlotSet;

@@ -5,6 +5,8 @@
 //! node 2-hop knowledge), its advertised gateway hop distance, and the last
 //! frame it was heard in. Staleness drives LMAC's dead-neighbour upcall.
 
+use std::cell::Cell;
+
 use dirq_net::NodeId;
 
 use crate::slots::SlotSet;
@@ -24,9 +26,17 @@ pub struct NeighborInfo {
 }
 
 /// A node's view of its one-hop neighbourhood.
+///
+/// The aggregate views the MAC reads every slot — 1-hop slot occupancy and
+/// the minimum advertised gateway distance — are cached and recomputed
+/// lazily only when an update could have changed them. In steady state
+/// (every neighbour re-advertising the same slot/distance each frame) the
+/// caches never invalidate.
 #[derive(Clone, Debug, Default)]
 pub struct NeighborTable {
     entries: Vec<(NodeId, NeighborInfo)>,
+    occupancy_cache: Cell<Option<SlotSet>>,
+    min_gw_cache: Cell<Option<u16>>,
 }
 
 impl NeighborTable {
@@ -48,6 +58,12 @@ impl NeighborTable {
         match self.entries.binary_search_by_key(&node, |e| e.0) {
             Ok(i) => {
                 let e = &mut self.entries[i].1;
+                if e.slot != slot {
+                    self.occupancy_cache.set(None);
+                }
+                if e.gateway_dist != gateway_dist {
+                    self.min_gw_cache.set(None);
+                }
                 e.slot = slot;
                 e.occupied = occupied;
                 e.gateway_dist = gateway_dist;
@@ -59,6 +75,8 @@ impl NeighborTable {
                     i,
                     (node, NeighborInfo { slot, occupied, gateway_dist, last_heard_frame: frame }),
                 );
+                self.occupancy_cache.set(None);
+                self.min_gw_cache.set(None);
                 true
             }
         }
@@ -77,6 +95,8 @@ impl NeighborTable {
         match self.entries.binary_search_by_key(&node, |e| e.0) {
             Ok(i) => {
                 self.entries.remove(i);
+                self.occupancy_cache.set(None);
+                self.min_gw_cache.set(None);
                 true
             }
             Err(_) => false,
@@ -86,11 +106,22 @@ impl NeighborTable {
     /// Neighbours unheard since `frame - max_missed` (exclusive), i.e.
     /// candidates for a dead-neighbour upcall at `frame`.
     pub fn stale(&self, frame: u64, max_missed: u32) -> Vec<NodeId> {
-        self.entries
-            .iter()
-            .filter(|(_, info)| frame.saturating_sub(info.last_heard_frame) > u64::from(max_missed))
-            .map(|&(n, _)| n)
-            .collect()
+        let mut out = Vec::new();
+        self.collect_stale(frame, max_missed, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`NeighborTable::stale`]: append the
+    /// stale neighbours (ascending) to a caller-owned buffer.
+    pub fn collect_stale(&self, frame: u64, max_missed: u32, out: &mut Vec<NodeId>) {
+        out.extend(
+            self.entries
+                .iter()
+                .filter(|(_, info)| {
+                    frame.saturating_sub(info.last_heard_frame) > u64::from(max_missed)
+                })
+                .map(|&(n, _)| n),
+        );
     }
 
     /// Union of all neighbours' slots and advertised occupancies — the
@@ -107,21 +138,31 @@ impl NeighborTable {
     }
 
     /// Slots owned by direct neighbours only (1-hop occupancy) — this is
-    /// what a node advertises in its own control section.
+    /// what a node advertises in its own control section. Cached; O(1) in
+    /// steady state.
     pub fn one_hop_occupancy(&self) -> SlotSet {
+        if let Some(cached) = self.occupancy_cache.get() {
+            return cached;
+        }
         let mut s = SlotSet::EMPTY;
         for (_, info) in &self.entries {
             if let Some(slot) = info.slot {
                 s.insert(slot);
             }
         }
+        self.occupancy_cache.set(Some(s));
         s
     }
 
     /// Smallest advertised gateway distance among neighbours
-    /// (`u16::MAX` when none known).
+    /// (`u16::MAX` when none known). Cached; O(1) in steady state.
     pub fn min_gateway_dist(&self) -> u16 {
-        self.entries.iter().map(|(_, i)| i.gateway_dist).min().unwrap_or(u16::MAX)
+        if let Some(cached) = self.min_gw_cache.get() {
+            return cached;
+        }
+        let min = self.entries.iter().map(|(_, i)| i.gateway_dist).min().unwrap_or(u16::MAX);
+        self.min_gw_cache.set(Some(min));
+        min
     }
 
     /// All known neighbour ids, ascending.

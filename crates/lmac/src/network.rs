@@ -4,15 +4,35 @@
 //! graph. The upper layer (DirQ, flooding) drives it one slot at a time and
 //! consumes the resulting [`MacIndication`] stream. See the crate docs for
 //! the modelling notes.
+//!
+//! ## Hot-path layout
+//!
+//! One slot is the innermost loop of every experiment (20 000 epochs ×
+//! `slots_per_frame` slots per run), so it is engineered for zero
+//! steady-state allocations:
+//!
+//! * queued payloads are interned once into a [`PayloadHandle`] and shared
+//!   by every per-receiver indication instead of cloned;
+//! * per-slot working state (transmitter set, listener set, collision set,
+//!   audible list, per-transmitter records) lives in a persistent
+//!   [`FrameScratch`] of flat vectors and [`NodeBits`] bitsets, reused
+//!   across slots;
+//! * membership tests (is transmitting? has collided?) are O(1) bit tests
+//!   rather than linear `Vec::contains` scans, and listener iteration runs
+//!   in ascending id order straight off the bitset — the sort+dedup the
+//!   old representation needed is gone;
+//! * callers that want full reuse drive [`LmacNetwork::advance_slot_into`]
+//!   with a long-lived output buffer ([`LmacNetwork::advance_slot`] remains
+//!   as a convenience wrapper).
 
 use std::collections::VecDeque;
 
-use dirq_net::{EnergyLedger, NodeId, Topology};
+use dirq_net::{EnergyLedger, NodeBits, NodeId, Topology};
 use dirq_sim::SimRng;
 use rand::Rng;
 
 use crate::config::LmacConfig;
-use crate::indication::{Destination, MacIndication};
+use crate::indication::{Destination, MacIndication, PayloadHandle};
 use crate::neighbor::NeighborTable;
 use crate::slots::SlotSet;
 
@@ -43,7 +63,7 @@ struct MacNode<P> {
     my_slot: Option<u16>,
     listen_remaining: u32,
     neighbors: NeighborTable,
-    tx_queue: VecDeque<(Destination, P)>,
+    tx_queue: VecDeque<(Destination, PayloadHandle<P>)>,
 }
 
 impl<P> MacNode<P> {
@@ -58,10 +78,74 @@ impl<P> MacNode<P> {
     }
 }
 
+/// One transmission within the current slot; its data messages live in
+/// `FrameScratch::tx_data[data_start..data_end]`.
+struct TxRecord {
+    from: NodeId,
+    occupied: SlotSet,
+    gateway_dist: u16,
+    data_start: u32,
+    data_end: u32,
+}
+
+/// Persistent per-slot working state (see the module docs).
+struct FrameScratch<P> {
+    transmitters: Vec<NodeId>,
+    /// Membership mirror of `transmitters`.
+    tx_mark: NodeBits,
+    txs: Vec<TxRecord>,
+    /// Flat storage for all data messages sent in this slot.
+    tx_data: Vec<(Destination, PayloadHandle<P>)>,
+    /// Alive non-transmitting neighbours of this slot's transmitters;
+    /// iterated in ascending id order.
+    listener_mark: NodeBits,
+    /// Transmitters that must surrender their slot after a collision.
+    collided_mark: NodeBits,
+    /// Indices into `txs` audible at the current listener.
+    audible: Vec<u32>,
+    /// Stale-neighbour collection buffer for the frame boundary.
+    stale_buf: Vec<NodeId>,
+}
+
+impl<P> FrameScratch<P> {
+    fn new(topo: &Topology, cfg: &LmacConfig) -> Self {
+        let n = topo.len();
+        // Concurrent same-slot transmitters are bounded by a 2-hop
+        // neighbourhood during join transients; the maximum degree is a
+        // safe, topology-derived capacity for every per-slot list.
+        let width = topo.max_degree().max(8);
+        FrameScratch {
+            transmitters: Vec::with_capacity(width),
+            tx_mark: NodeBits::new(n),
+            txs: Vec::with_capacity(width),
+            tx_data: Vec::with_capacity(width * cfg.data_messages_per_slot),
+            listener_mark: NodeBits::new(n),
+            collided_mark: NodeBits::new(n),
+            audible: Vec::with_capacity(width),
+            stale_buf: Vec::with_capacity(width),
+        }
+    }
+
+    /// Empty scratch (used only while the real one is temporarily moved
+    /// out to satisfy the borrow checker).
+    fn placeholder() -> Self {
+        FrameScratch {
+            transmitters: Vec::new(),
+            tx_mark: NodeBits::new(0),
+            txs: Vec::new(),
+            tx_data: Vec::new(),
+            listener_mark: NodeBits::new(0),
+            collided_mark: NodeBits::new(0),
+            audible: Vec::new(),
+            stale_buf: Vec::new(),
+        }
+    }
+}
+
 /// The simulated LMAC network.
 ///
 /// Generic over the upper-layer payload `P`; the MAC never inspects it.
-pub struct LmacNetwork<P: Clone> {
+pub struct LmacNetwork<P> {
     cfg: LmacConfig,
     topo: Topology,
     nodes: Vec<MacNode<P>>,
@@ -72,11 +156,17 @@ pub struct LmacNetwork<P: Clone> {
     data_ledger: EnergyLedger,
     control_ledger: EnergyLedger,
     stats: MacStats,
+    scratch: FrameScratch<P>,
+    /// Compact mirror of per-node liveness — the reception loops test
+    /// liveness per neighbour per slot, and a bit probe beats pulling a
+    /// whole `MacNode` cache line.
+    alive_mask: NodeBits,
 }
 
-impl<P: Clone> LmacNetwork<P> {
+impl<P> LmacNetwork<P> {
     /// Create a network over `topo` with every node alive but no slots
-    /// assigned yet; nodes acquire slots through the join protocol.
+    /// assigned yet; nodes acquire slots through the join protocol. All
+    /// per-slot working buffers are pre-sized from the topology.
     pub fn new(cfg: LmacConfig, topo: Topology) -> Self {
         cfg.validate();
         let n = topo.len();
@@ -85,10 +175,16 @@ impl<P: Clone> LmacNetwork<P> {
             node.alive = true;
             node.listen_remaining = cfg.listen_frames_before_pick;
         }
+        let mut alive_mask = NodeBits::new(n);
+        for i in 0..n {
+            alive_mask.insert(NodeId::from_index(i));
+        }
         LmacNetwork {
             slot_owners: vec![Vec::new(); cfg.slots_per_frame as usize],
             data_ledger: EnergyLedger::new(n),
             control_ledger: EnergyLedger::new(n),
+            scratch: FrameScratch::new(&topo, &cfg),
+            alive_mask,
             cfg,
             topo,
             nodes,
@@ -240,8 +336,20 @@ impl<P: Clone> LmacNetwork<P> {
     }
 
     /// Queue a data message for transmission in `from`'s next owned slot.
-    /// Returns `false` (dropping the message) when `from` is dead.
+    /// The payload is interned once; all receiver indications will share
+    /// it. Returns `false` (dropping the message) when `from` is dead.
     pub fn enqueue(&mut self, from: NodeId, dest: Destination, payload: P) -> bool {
+        self.enqueue_shared(from, dest, PayloadHandle::new(payload))
+    }
+
+    /// Queue an already-interned payload (zero-copy re-forwarding: a
+    /// rebroadcast can pass the handle it received straight back down).
+    pub fn enqueue_shared(
+        &mut self,
+        from: NodeId,
+        dest: Destination,
+        payload: PayloadHandle<P>,
+    ) -> bool {
         let node = &mut self.nodes[from.index()];
         if !node.alive {
             return false;
@@ -262,6 +370,7 @@ impl<P: Clone> LmacNetwork<P> {
             self.nodes[idx] = MacNode::offline();
             self.nodes[idx].alive = true;
             self.nodes[idx].listen_remaining = self.cfg.listen_frames_before_pick;
+            self.alive_mask.insert(node);
         } else {
             if let Some(s) = self.nodes[idx].my_slot.take() {
                 self.slot_owners[s as usize].retain(|&n| n != node);
@@ -269,148 +378,178 @@ impl<P: Clone> LmacNetwork<P> {
             self.nodes[idx].alive = false;
             self.nodes[idx].tx_queue.clear();
             self.nodes[idx].neighbors = NeighborTable::new();
+            self.alive_mask.remove(node);
         }
     }
 
     /// Advance one slot, returning the upcalls generated in it.
+    ///
+    /// Convenience wrapper over [`LmacNetwork::advance_slot_into`]; hot
+    /// callers should hold a reusable buffer and call that directly.
     pub fn advance_slot(&mut self, rng: &mut SimRng) -> Vec<MacIndication<P>> {
         let mut out = Vec::new();
+        self.advance_slot_into(rng, &mut out);
+        out
+    }
+
+    /// Advance one slot, appending the generated upcalls to `out`.
+    /// Performs no heap allocation in steady state.
+    pub fn advance_slot_into(&mut self, rng: &mut SimRng, out: &mut Vec<MacIndication<P>>) {
         let s = self.slot;
 
-        let transmitters: Vec<NodeId> = self.slot_owners[s as usize]
-            .iter()
-            .copied()
-            .filter(|&t| self.nodes[t.index()].alive)
-            .collect();
+        // The scratch moves out of `self` for the duration of the slot so
+        // its buffers can be borrowed independently of the node table.
+        let mut scratch = std::mem::replace(&mut self.scratch, FrameScratch::placeholder());
+        {
+            let FrameScratch {
+                transmitters,
+                tx_mark,
+                txs,
+                tx_data,
+                listener_mark,
+                collided_mark,
+                audible,
+                stale_buf: _,
+            } = &mut scratch;
 
-        // --- Transmission phase -------------------------------------------------
-        // Each transmitter sends one control section plus up to
-        // `data_messages_per_slot` queued data messages.
-        struct TxRecord<P> {
-            from: NodeId,
-            occupied: SlotSet,
-            gateway_dist: u16,
-            data: Vec<(Destination, P)>,
-        }
-        let mut txs: Vec<TxRecord<P>> = Vec::with_capacity(transmitters.len());
-        for &t in &transmitters {
-            let gw = self.gateway_distance(t);
-            let node = &mut self.nodes[t.index()];
-            let occupied = node.neighbors.one_hop_occupancy();
-            let mut data = Vec::new();
-            for _ in 0..self.cfg.data_messages_per_slot {
-                match node.tx_queue.pop_front() {
-                    Some(m) => data.push(m),
-                    None => break,
+            transmitters.clear();
+            tx_mark.clear();
+            txs.clear();
+            tx_data.clear();
+            listener_mark.clear();
+            collided_mark.clear();
+
+            for &t in &self.slot_owners[s as usize] {
+                if self.alive_mask.contains(t) {
+                    transmitters.push(t);
+                    tx_mark.insert(t);
                 }
             }
-            self.control_ledger.record_tx(t);
-            for _ in &data {
-                self.data_ledger.record_tx(t);
-            }
-            txs.push(TxRecord { from: t, occupied, gateway_dist: gw, data });
-        }
 
-        // --- Reception phase ----------------------------------------------------
-        // Listeners are the alive neighbours of transmitters (half-duplex:
-        // a transmitter cannot listen in its own slot).
-        let mut listeners: Vec<NodeId> = Vec::new();
-        for tx in &txs {
-            for &nb in self.topo.neighbors(tx.from) {
-                if self.nodes[nb.index()].alive && !transmitters.contains(&nb) {
-                    listeners.push(nb);
+            // --- Transmission phase --------------------------------------------
+            // Each transmitter sends one control section plus up to
+            // `data_messages_per_slot` queued data messages.
+            for &t in transmitters.iter() {
+                let gw = self.gateway_distance(t);
+                let node = &mut self.nodes[t.index()];
+                let occupied = node.neighbors.one_hop_occupancy();
+                let data_start = tx_data.len() as u32;
+                for _ in 0..self.cfg.data_messages_per_slot {
+                    match node.tx_queue.pop_front() {
+                        Some(m) => tx_data.push(m),
+                        None => break,
+                    }
+                }
+                let data_end = tx_data.len() as u32;
+                self.control_ledger.record_tx(t);
+                for _ in data_start..data_end {
+                    self.data_ledger.record_tx(t);
+                }
+                txs.push(TxRecord { from: t, occupied, gateway_dist: gw, data_start, data_end });
+            }
+
+            // --- Reception phase -----------------------------------------------
+            // Listeners are the alive neighbours of transmitters (half-duplex:
+            // a transmitter cannot listen in its own slot). The bitset yields
+            // them deduplicated in ascending id order.
+            for tx in txs.iter() {
+                for &nb in self.topo.neighbors(tx.from) {
+                    if self.alive_mask.contains(nb) && !tx_mark.contains(nb) {
+                        listener_mark.insert(nb);
+                    }
                 }
             }
-        }
-        listeners.sort_unstable();
-        listeners.dedup();
 
-        let mut collided_transmitters: Vec<NodeId> = Vec::new();
-        for &l in &listeners {
-            let audible: Vec<usize> = txs
-                .iter()
-                .enumerate()
-                .filter(|(_, tx)| self.topo.has_link(tx.from, l))
-                .map(|(i, _)| i)
-                .collect();
-            if audible.len() > 1 {
-                // Collision: l hears garbage and will advertise it; every
-                // audible transmitter must surrender its slot.
-                self.stats.collisions += 1;
-                for &i in &audible {
-                    collided_transmitters.push(txs[i].from);
+            for l in listener_mark.iter() {
+                audible.clear();
+                for (i, tx) in txs.iter().enumerate() {
+                    if self.topo.has_link(tx.from, l) {
+                        audible.push(i as u32);
+                    }
                 }
-                continue;
-            }
-            let tx = &txs[audible[0]];
-            self.control_ledger.record_rx(l);
-            let is_new = self.nodes[l.index()].neighbors.heard(
-                tx.from,
-                Some(s),
-                tx.occupied,
-                tx.gateway_dist,
-                self.frame,
-            );
-            if is_new {
-                self.stats.new_neighbors_detected += 1;
-                out.push(MacIndication::NeighborNew { observer: l, new: tx.from });
-            }
-            for (dest, payload) in &tx.data {
-                if dest.includes(l) {
-                    self.data_ledger.record_rx(l);
-                    self.stats.delivered += 1;
-                    out.push(MacIndication::Delivered {
-                        to: l,
-                        from: tx.from,
-                        payload: payload.clone(),
-                    });
+                if audible.len() > 1 {
+                    // Collision: l hears garbage and will advertise it; every
+                    // audible transmitter must surrender its slot.
+                    self.stats.collisions += 1;
+                    for &i in audible.iter() {
+                        collided_mark.insert(txs[i as usize].from);
+                    }
+                    continue;
+                }
+                let tx = &txs[audible[0] as usize];
+                self.control_ledger.record_rx(l);
+                let is_new = self.nodes[l.index()].neighbors.heard(
+                    tx.from,
+                    Some(s),
+                    tx.occupied,
+                    tx.gateway_dist,
+                    self.frame,
+                );
+                if is_new {
+                    self.stats.new_neighbors_detected += 1;
+                    out.push(MacIndication::NeighborNew { observer: l, new: tx.from });
+                }
+                for (dest, payload) in &tx_data[tx.data_start as usize..tx.data_end as usize] {
+                    if dest.includes(l) {
+                        self.data_ledger.record_rx(l);
+                        self.stats.delivered += 1;
+                        out.push(MacIndication::Delivered {
+                            to: l,
+                            from: tx.from,
+                            payload: payload.clone(),
+                        });
+                    }
                 }
             }
-        }
 
-        // Multicast destinations that did not hear the message: dead, out of
-        // range, or currently colliding. Surface them to the upper layer.
-        for tx in &txs {
-            for (dest, payload) in &tx.data {
-                if let Destination::Multicast(list) = dest {
-                    for &d in list {
-                        let heard = self.nodes[d.index()].alive
-                            && self.topo.has_link(tx.from, d)
-                            && !transmitters.contains(&d)
-                            && !collided_transmitters.contains(&tx.from);
-                        if !heard {
-                            self.stats.undeliverable += 1;
-                            out.push(MacIndication::Undeliverable {
-                                from: tx.from,
-                                to: d,
-                                payload: payload.clone(),
-                            });
+            // Multicast destinations that did not hear the message: dead, out
+            // of range, or currently colliding. Surface them to the upper
+            // layer — the payload handle is shared, not copied.
+            for tx in txs.iter() {
+                for (dest, payload) in &tx_data[tx.data_start as usize..tx.data_end as usize] {
+                    if let Destination::Multicast(list) = dest {
+                        for &d in list.as_slice() {
+                            let heard = self.alive_mask.contains(d)
+                                && self.topo.has_link(tx.from, d)
+                                && !tx_mark.contains(d)
+                                && !collided_mark.contains(tx.from);
+                            if !heard {
+                                self.stats.undeliverable += 1;
+                                out.push(MacIndication::Undeliverable {
+                                    from: tx.from,
+                                    to: d,
+                                    payload: payload.clone(),
+                                });
+                            }
                         }
                     }
                 }
             }
-        }
 
-        // Collision resolution: surrender and re-join after a random backoff.
-        collided_transmitters.sort_unstable();
-        collided_transmitters.dedup();
-        for t in collided_transmitters {
-            if let Some(slot) = self.nodes[t.index()].my_slot.take() {
-                self.slot_owners[slot as usize].retain(|&n| n != t);
-                self.stats.slots_surrendered += 1;
-                self.nodes[t.index()].listen_remaining =
-                    self.cfg.listen_frames_before_pick + rng.gen_range(0..2);
+            // Collision resolution: surrender and re-join after a random
+            // backoff, in ascending id order (as the sorted list used to be).
+            for t in collided_mark.iter() {
+                if let Some(slot) = self.nodes[t.index()].my_slot.take() {
+                    self.slot_owners[slot as usize].retain(|&n| n != t);
+                    self.stats.slots_surrendered += 1;
+                    self.nodes[t.index()].listen_remaining =
+                        self.cfg.listen_frames_before_pick + rng.gen_range(0..2u32);
+                }
             }
-        }
 
-        // --- Slot advance / frame boundary -------------------------------------
+            // Sent payload handles drop here; a handle survives only inside
+            // the indications that reference it.
+            tx_data.clear();
+        }
+        self.scratch = scratch;
+
+        // --- Slot advance / frame boundary ---------------------------------
         self.slot += 1;
         if self.slot == self.cfg.slots_per_frame {
             self.slot = 0;
             self.frame += 1;
-            self.frame_boundary(rng, &mut out);
+            self.frame_boundary(rng, out);
         }
-        out
     }
 
     /// Advance a whole frame (`slots_per_frame` slots).
@@ -418,25 +557,33 @@ impl<P: Clone> LmacNetwork<P> {
         let mut out = Vec::new();
         let start_frame = self.frame;
         while self.frame == start_frame {
-            out.extend(self.advance_slot(rng));
+            self.advance_slot_into(rng, &mut out);
         }
         out
     }
 
     fn frame_boundary(&mut self, rng: &mut SimRng, out: &mut Vec<MacIndication<P>>) {
         // Liveness: stale neighbours are declared dead (cross-layer upcall).
+        let mut stale_buf = std::mem::take(&mut self.scratch.stale_buf);
         for i in 0..self.nodes.len() {
             let observer = NodeId::from_index(i);
             if !self.nodes[i].alive {
                 continue;
             }
-            let stale = self.nodes[i].neighbors.stale(self.frame, self.cfg.max_missed_frames);
-            for dead in stale {
+            stale_buf.clear();
+            self.nodes[i].neighbors.collect_stale(
+                self.frame,
+                self.cfg.max_missed_frames,
+                &mut stale_buf,
+            );
+            for &dead in &stale_buf {
                 self.nodes[i].neighbors.remove(dead);
                 self.stats.deaths_detected += 1;
                 out.push(MacIndication::NeighborDied { observer, dead });
             }
         }
+        stale_buf.clear();
+        self.scratch.stale_buf = stale_buf;
 
         // Slot selection for joining nodes.
         for i in 0..self.nodes.len() {
@@ -566,7 +713,7 @@ mod tests {
         let delivered: Vec<_> = inds
             .iter()
             .filter_map(|i| match i {
-                MacIndication::Delivered { to, from, payload } => Some((*to, *from, *payload)),
+                MacIndication::Delivered { to, from, payload } => Some((*to, *from, **payload)),
                 _ => None,
             })
             .collect();
@@ -600,6 +747,31 @@ mod tests {
     }
 
     #[test]
+    fn broadcast_shares_one_payload_allocation() {
+        let mut rng = RngFactory::new(4).stream("bc-shared");
+        let topo = Topology::from_edges(
+            4,
+            &[(NodeId(0), NodeId(1)), (NodeId(0), NodeId(2)), (NodeId(0), NodeId(3))],
+        );
+        let mut net = Net::new(LmacConfig::default(), topo);
+        net.assign_slots_greedy();
+        net.enqueue(NodeId(0), Destination::Broadcast, 7);
+        let inds = net.advance_frame(&mut rng);
+        let handles: Vec<&PayloadHandle<u32>> = inds
+            .iter()
+            .filter_map(|i| match i {
+                MacIndication::Delivered { payload, .. } => Some(payload),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(handles.len(), 3);
+        assert!(
+            handles.windows(2).all(|w| PayloadHandle::ptr_eq(w[0], w[1])),
+            "every receiver's indication must share the interned payload"
+        );
+    }
+
+    #[test]
     fn multicast_counts_only_intended() {
         let mut rng = RngFactory::new(5).stream("mc");
         let topo = Topology::from_edges(
@@ -608,7 +780,7 @@ mod tests {
         );
         let mut net = Net::new(LmacConfig::default(), topo);
         net.assign_slots_greedy();
-        net.enqueue(NodeId(0), Destination::Multicast(vec![NodeId(1), NodeId(3)]), 9);
+        net.enqueue(NodeId(0), Destination::multicast([NodeId(1), NodeId(3)]), 9);
         let inds = net.advance_frame(&mut rng);
         let to: Vec<NodeId> = inds
             .iter()
@@ -681,8 +853,8 @@ mod tests {
         let inds = net.advance_frame(&mut rng);
         assert!(inds.iter().any(|i| matches!(
             i,
-            MacIndication::Undeliverable { from, to, payload: 5 }
-                if *from == NodeId(0) && *to == NodeId(1)
+            MacIndication::Undeliverable { from, to, payload }
+                if *from == NodeId(0) && *to == NodeId(1) && **payload == 5
         )));
         assert_eq!(net.stats().undeliverable, 1);
     }
@@ -711,6 +883,27 @@ mod tests {
         net.advance_frame(&mut rng);
         assert_eq!(net.queue_len(NodeId(0)), 0);
         assert_eq!(net.stats().delivered, 5);
+    }
+
+    #[test]
+    fn advance_slot_into_reuses_buffer() {
+        let mut rng = RngFactory::new(9).stream("reuse");
+        let mut net = Net::new(LmacConfig::default(), line_topo(2));
+        net.assign_slots_greedy();
+        net.enqueue(NodeId(0), Destination::unicast(NodeId(1)), 1);
+        let mut buf = Vec::with_capacity(16);
+        let cap = buf.capacity();
+        let mut delivered = 0;
+        for _ in 0..net.config().slots_per_frame {
+            buf.clear();
+            net.advance_slot_into(&mut rng, &mut buf);
+            delivered += buf
+                .iter()
+                .filter(|i| matches!(i, MacIndication::Delivered { .. }))
+                .count();
+        }
+        assert_eq!(delivered, 1);
+        assert_eq!(buf.capacity(), cap, "steady-state frame must not grow the buffer");
     }
 
     #[test]

@@ -73,6 +73,107 @@ impl ChurnPlan {
         ChurnPlan::new(events)
     }
 
+    /// Like [`ChurnPlan::random_deaths`], but victims and their death
+    /// epochs are sampled so that `keeps_root_connected` holds for every
+    /// *epoch-ordered* prefix of the dead set — i.e. at no point during
+    /// the run is a still-alive node severed from the sink.
+    ///
+    /// Killing an unlucky victim set can sever the sink from the rest of
+    /// the network, after which *no* dissemination scheme can reach any
+    /// source — the paper's topology-dynamics experiments measure recovery
+    /// from failures, not sink partition, so scenario generation rejects
+    /// partitioning picks. Deaths execute in epoch order (not selection
+    /// order), so the connectivity invariant is validated against each
+    /// prefix of the victims sorted by death epoch.
+    ///
+    /// # Panics
+    /// Panics when fewer than `deaths` victims can be chosen without
+    /// violating the predicate.
+    pub fn random_deaths_connected(
+        n_nodes: usize,
+        deaths: usize,
+        from_epoch: u64,
+        until_epoch: u64,
+        rng: &mut SimRng,
+        keeps_root_connected: impl Fn(&[NodeId]) -> bool,
+    ) -> Self {
+        assert!(deaths < n_nodes, "cannot kill every node (root must survive)");
+        assert!(from_epoch < until_epoch, "empty epoch window");
+        let mut pool: Vec<NodeId> = (1..n_nodes).map(NodeId::from_index).collect();
+        pool.shuffle(rng);
+        // Accepted victims with their death epochs, kept sorted by
+        // (epoch, node) — the order the engine will apply them in.
+        let mut victims: Vec<(u64, NodeId)> = Vec::with_capacity(deaths);
+        let mut prefix: Vec<NodeId> = Vec::with_capacity(deaths);
+        // A candidate rejected in one round can become acceptable later
+        // (e.g. once the node that would have been stranded is itself
+        // scheduled to die earlier), so sweep the pool repeatedly with
+        // fresh epoch draws.
+        const MAX_ROUNDS: usize = 16;
+        for _ in 0..MAX_ROUNDS {
+            if victims.len() == deaths {
+                break;
+            }
+            let mut rejected: Vec<NodeId> = Vec::new();
+            for &c in &pool {
+                if victims.len() == deaths {
+                    break;
+                }
+                // Every epoch-ordered prefix must keep the remaining
+                // network attached to the sink (inserting an early death
+                // changes all later intermediate dead-sets, so re-check
+                // them all).
+                let mut try_at = |victims: &mut Vec<(u64, NodeId)>, epoch: u64| {
+                    let at = victims.partition_point(|&(e, n)| (e, n) < (epoch, c));
+                    victims.insert(at, (epoch, c));
+                    // Prefixes strictly before the insertion point are
+                    // unchanged by this insert and were validated when
+                    // their own members were accepted.
+                    prefix.clear();
+                    prefix.extend(victims[..at].iter().map(|&(_, v)| v));
+                    let ok = victims[at..].iter().all(|&(_, v)| {
+                        prefix.push(v);
+                        keeps_root_connected(&prefix)
+                    });
+                    if !ok {
+                        victims.remove(at);
+                    }
+                    ok
+                };
+                let epoch = rng.gen_range(from_epoch..until_epoch);
+                let mut accepted = try_at(&mut victims, epoch);
+                if !accepted {
+                    // A candidate whose random epoch predates a node it
+                    // would strand can still be viable as the *last*
+                    // death; retry once in the window after the current
+                    // latest epoch, if any room remains.
+                    let last = victims.last().map(|&(e, _)| e).unwrap_or(from_epoch);
+                    if last + 1 < until_epoch {
+                        let late = rng.gen_range(last + 1..until_epoch);
+                        accepted = try_at(&mut victims, late);
+                    }
+                }
+                if !accepted {
+                    rejected.push(c);
+                }
+            }
+            pool = rejected;
+            if pool.is_empty() {
+                break;
+            }
+        }
+        assert!(
+            victims.len() == deaths,
+            "only {} of {deaths} deaths possible without partitioning the sink",
+            victims.len()
+        );
+        let events = victims
+            .into_iter()
+            .map(|(epoch, v)| (epoch, ChurnEvent::Death(v)))
+            .collect();
+        ChurnPlan::new(events)
+    }
+
     /// All events, sorted by epoch.
     pub fn events(&self) -> &[(u64, ChurnEvent)] {
         &self.events
@@ -171,6 +272,48 @@ mod tests {
         assert_eq!(nodes.len(), 10, "victims must be distinct");
         assert!(nodes.iter().all(|n| !n.is_root()));
         assert!(p.events().iter().all(|&(e, _)| (100..1000).contains(&e)));
+    }
+
+    #[test]
+    fn connected_deaths_respect_epoch_order() {
+        // Line 0(sink)-1-2: node 1 may only die once node 2 is already
+        // dead, otherwise node 2 is alive but severed from the sink. The
+        // connectivity predicate must therefore be enforced against
+        // epoch-ordered prefixes, not selection order.
+        let line_ok = |victims: &[NodeId]| {
+            // Node 2 is reachable iff node 1 is alive; node 1 always is.
+            !victims.contains(&NodeId(1)) || victims.contains(&NodeId(2))
+        };
+        for seed in 0..200 {
+            let mut rng = RngFactory::new(seed).stream("churn-line");
+            let p = ChurnPlan::random_deaths_connected(3, 2, 10, 1000, &mut rng, line_ok);
+            let deaths: Vec<(u64, NodeId)> =
+                p.events().iter().map(|&(e, ev)| (e, ev.node())).collect();
+            assert_eq!(deaths.len(), 2);
+            assert_eq!(deaths[0].1, NodeId(2), "node 2 must die first (seed {seed}): {deaths:?}");
+            assert!(deaths[0].0 <= deaths[1].0);
+        }
+    }
+
+    #[test]
+    fn connected_deaths_every_intermediate_set_keeps_predicate() {
+        // Random 10-node ring-ish predicate: forbid killing both 1 and 2
+        // unless 3 died earlier. Check the invariant on every prefix of
+        // the produced plan, in epoch order.
+        let pred = |victims: &[NodeId]| {
+            !(victims.contains(&NodeId(1))
+                && victims.contains(&NodeId(2))
+                && !victims.contains(&NodeId(3)))
+        };
+        for seed in 0..100 {
+            let mut rng = RngFactory::new(1000 + seed).stream("churn-pred");
+            let p = ChurnPlan::random_deaths_connected(10, 5, 1, 500, &mut rng, pred);
+            let mut dead: Vec<NodeId> = Vec::new();
+            for &(_, ev) in p.events() {
+                dead.push(ev.node());
+                assert!(pred(&dead), "prefix {dead:?} violates the predicate (seed {seed})");
+            }
+        }
     }
 
     #[test]

@@ -4,6 +4,17 @@
 //! node positions plus a symmetric adjacency structure. Runtime liveness
 //! (deaths/births) is layered on top by the MAC and protocol engines — the
 //! graph itself records every node that will ever exist.
+//!
+//! ## Layout
+//!
+//! Adjacency is stored in **CSR form** (`offsets`/`targets`): neighbour
+//! lookup is a single slice over one contiguous array, so the per-slot MAC
+//! loops walk memory linearly instead of chasing one heap allocation per
+//! node. Link membership additionally keeps a dense bit matrix for graphs
+//! up to [`DENSE_LINK_MAX_NODES`] nodes, making [`Topology::has_link`] a
+//! single bit test on every deployment size the paper's experiments use
+//! (and far beyond); larger graphs fall back to binary search over the CSR
+//! row.
 
 use dirq_sim::SimRng;
 
@@ -12,12 +23,22 @@ use crate::ids::NodeId;
 use crate::placement::{Placement, SinkPlacement};
 use crate::radio::RadioModel;
 
-/// An immutable radio connectivity graph.
+/// Largest node count for which a dense link bit-matrix is kept
+/// (`n²` bits — 2 MiB at 4096 nodes).
+pub const DENSE_LINK_MAX_NODES: usize = 4096;
+
+/// An immutable radio connectivity graph in CSR layout.
 #[derive(Clone, Debug)]
 pub struct Topology {
     positions: Vec<Position>,
-    /// Sorted neighbour lists, symmetric.
-    adjacency: Vec<Vec<NodeId>>,
+    /// CSR row starts; `offsets[i]..offsets[i + 1]` indexes `targets`.
+    offsets: Vec<u32>,
+    /// Concatenated sorted neighbour lists.
+    targets: Vec<NodeId>,
+    /// Row-major adjacency bit matrix (`words_per_row` words per node);
+    /// empty when `len() > DENSE_LINK_MAX_NODES`.
+    link_bits: Vec<u64>,
+    words_per_row: usize,
     link_count: usize,
 }
 
@@ -25,23 +46,15 @@ impl Topology {
     /// Build the graph implied by `positions` under `radio`.
     pub fn from_positions<R: RadioModel>(positions: Vec<Position>, radio: &R) -> Self {
         let n = positions.len();
-        let mut adjacency: Vec<Vec<NodeId>> = vec![Vec::new(); n];
-        let mut link_count = 0;
+        let mut edges = Vec::new();
         for i in 0..n {
             for j in (i + 1)..n {
                 if radio.connected(i, &positions[i], j, &positions[j]) {
-                    adjacency[i].push(NodeId::from_index(j));
-                    adjacency[j].push(NodeId::from_index(i));
-                    link_count += 1;
+                    edges.push((NodeId::from_index(i), NodeId::from_index(j)));
                 }
             }
         }
-        // Lists are built in increasing order already, but make the
-        // invariant explicit for future mutations.
-        for l in &mut adjacency {
-            l.sort_unstable();
-        }
-        Topology { positions, adjacency, link_count }
+        Topology::build(positions, &edges, false)
     }
 
     /// Deploy `n` nodes with `placement`/`sink`, retrying fresh placements
@@ -71,23 +84,62 @@ impl Topology {
     /// trees and tests). Positions are laid out on a line; they carry no
     /// meaning for such graphs.
     pub fn from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Self {
-        let mut adjacency: Vec<Vec<NodeId>> = vec![Vec::new(); n];
-        let mut link_count = 0;
         for &(a, b) in edges {
             assert!(a.index() < n && b.index() < n, "edge endpoint out of range");
             assert_ne!(a, b, "self-loops are not allowed");
-            adjacency[a.index()].push(b);
-            adjacency[b.index()].push(a);
-            link_count += 1;
-        }
-        for l in &mut adjacency {
-            l.sort_unstable();
-            let before = l.len();
-            l.dedup();
-            assert_eq!(l.len(), before, "duplicate edge in edge list");
         }
         let positions = (0..n).map(|i| Position::new(i as f64, 0.0)).collect();
-        Topology { positions, adjacency, link_count }
+        Topology::build(positions, edges, true)
+    }
+
+    /// CSR construction from an undirected edge list. `check_duplicates`
+    /// rejects repeated edges (explicit edge lists must be clean; the
+    /// geometric builder cannot produce duplicates).
+    fn build(positions: Vec<Position>, edges: &[(NodeId, NodeId)], check_duplicates: bool) -> Self {
+        let n = positions.len();
+
+        // Degree count, then prefix-sum into row offsets.
+        let mut offsets = vec![0u32; n + 1];
+        for &(a, b) in edges {
+            offsets[a.index() + 1] += 1;
+            offsets[b.index() + 1] += 1;
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+
+        // Fill rows, then sort each row in place.
+        let mut targets = vec![NodeId(0); edges.len() * 2];
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        for &(a, b) in edges {
+            targets[cursor[a.index()] as usize] = b;
+            cursor[a.index()] += 1;
+            targets[cursor[b.index()] as usize] = a;
+            cursor[b.index()] += 1;
+        }
+        for i in 0..n {
+            let row = &mut targets[offsets[i] as usize..offsets[i + 1] as usize];
+            row.sort_unstable();
+            if check_duplicates {
+                assert!(row.windows(2).all(|w| w[0] != w[1]), "duplicate edge in edge list");
+            }
+        }
+
+        // Dense membership matrix for O(1) has_link on practical sizes.
+        let (words_per_row, link_bits) = if n <= DENSE_LINK_MAX_NODES {
+            let wpr = n.div_ceil(64).max(1);
+            let mut bits = vec![0u64; wpr * n];
+            for &(a, b) in edges {
+                let (ai, bi) = (a.index(), b.index());
+                bits[ai * wpr + bi / 64] |= 1 << (bi % 64);
+                bits[bi * wpr + ai / 64] |= 1 << (ai % 64);
+            }
+            (wpr, bits)
+        } else {
+            (0, Vec::new())
+        };
+
+        Topology { positions, offsets, targets, link_bits, words_per_row, link_count: edges.len() }
     }
 
     /// Number of nodes.
@@ -115,19 +167,34 @@ impl Topology {
         &self.positions
     }
 
-    /// Sorted neighbours of `node`.
+    /// Sorted neighbours of `node` — a contiguous CSR slice.
+    #[inline]
     pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
-        &self.adjacency[node.index()]
+        let i = node.index();
+        &self.targets[self.offsets[i] as usize..self.offsets[i + 1] as usize]
     }
 
     /// Degree of `node`.
+    #[inline]
     pub fn degree(&self, node: NodeId) -> usize {
-        self.adjacency[node.index()].len()
+        let i = node.index();
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
+    /// Maximum degree over all nodes (useful for pre-sizing MAC buffers).
+    pub fn max_degree(&self) -> usize {
+        (0..self.len()).map(|i| (self.offsets[i + 1] - self.offsets[i]) as usize).max().unwrap_or(0)
     }
 
     /// Whether an undirected link `a`–`b` exists.
+    #[inline]
     pub fn has_link(&self, a: NodeId, b: NodeId) -> bool {
-        self.adjacency[a.index()].binary_search(&b).is_ok()
+        if self.words_per_row > 0 {
+            let bi = b.index();
+            self.link_bits[a.index() * self.words_per_row + bi / 64] & (1 << (bi % 64)) != 0
+        } else {
+            self.neighbors(a).binary_search(&b).is_ok()
+        }
     }
 
     /// Iterator over all node ids.
@@ -222,6 +289,50 @@ mod tests {
         assert!(t.is_connected());
         let d = t.hop_distances(NodeId(0), |_| true);
         assert_eq!(d, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn csr_rows_are_sorted_and_symmetric() {
+        let t = Topology::from_edges(
+            5,
+            &[
+                (NodeId(4), NodeId(0)),
+                (NodeId(2), NodeId(0)),
+                (NodeId(0), NodeId(1)),
+                (NodeId(3), NodeId(2)),
+            ],
+        );
+        assert_eq!(t.neighbors(NodeId(0)), &[NodeId(1), NodeId(2), NodeId(4)]);
+        assert_eq!(t.neighbors(NodeId(2)), &[NodeId(0), NodeId(3)]);
+        assert_eq!(t.max_degree(), 3);
+        for a in t.nodes() {
+            for &b in t.neighbors(a) {
+                assert!(t.has_link(a, b) && t.has_link(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn has_link_agrees_with_neighbor_lists() {
+        let mut rng = RngFactory::new(77).stream("csr");
+        let t = Topology::deploy_connected(
+            40,
+            &Placement::UniformRandom { side: 100.0 },
+            SinkPlacement::Corner,
+            &UnitDisk::new(30.0),
+            &mut rng,
+            100,
+        )
+        .unwrap();
+        for a in t.nodes() {
+            for b in t.nodes() {
+                assert_eq!(
+                    t.has_link(a, b),
+                    t.neighbors(a).binary_search(&b).is_ok(),
+                    "bit matrix and CSR disagree on {a}-{b}"
+                );
+            }
+        }
     }
 
     #[test]

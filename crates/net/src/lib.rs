@@ -4,6 +4,9 @@
 //! crate provides everything below the MAC layer:
 //!
 //! * [`ids`] — dense node identifiers.
+//! * [`bits`] — fixed-universe node bitsets for the hot simulation loops.
+//! * [`nodelist`] — inline small-vectors of node ids (allocation-free
+//!   multicast destination lists).
 //! * [`geometry`] — 2-D positions and distances.
 //! * [`placement`] — deployment strategies (uniform random, jittered grid,
 //!   clustered).
@@ -21,18 +24,22 @@
 
 #![warn(missing_docs)]
 
+pub mod bits;
 pub mod churn;
 pub mod dot;
 pub mod energy;
 pub mod geometry;
 pub mod graph;
 pub mod ids;
+pub mod nodelist;
 pub mod placement;
 pub mod radio;
 pub mod tree;
 
+pub use bits::NodeBits;
 pub use energy::EnergyLedger;
 pub use geometry::{Position, Rect};
 pub use graph::Topology;
 pub use ids::NodeId;
+pub use nodelist::NodeList;
 pub use tree::SpanningTree;

@@ -1,0 +1,177 @@
+//! An inline small-vector of node ids.
+//!
+//! Multicast destination lists are almost always tiny (the paper's trees
+//! have mean fan-out ≈ 1, unicast is a 1-element multicast), yet the MAC
+//! previously heap-allocated a `Vec<NodeId>` per queued message. A
+//! [`NodeList`] stores up to four ids inline and only spills to the heap
+//! beyond that.
+
+use crate::ids::NodeId;
+
+/// Inline capacity of a [`NodeList`].
+pub const NODELIST_INLINE: usize = 4;
+
+/// A list of node ids, inline up to [`NODELIST_INLINE`] elements.
+#[derive(Clone, Debug)]
+pub enum NodeList {
+    /// The common case: at most four ids, no heap allocation.
+    Inline {
+        /// Number of valid entries in `buf`.
+        len: u8,
+        /// Storage; entries beyond `len` are meaningless.
+        buf: [NodeId; NODELIST_INLINE],
+    },
+    /// Fallback for larger fan-outs.
+    Heap(Vec<NodeId>),
+}
+
+impl NodeList {
+    /// An empty list.
+    pub const fn new() -> Self {
+        NodeList::Inline { len: 0, buf: [NodeId(0); NODELIST_INLINE] }
+    }
+
+    /// A single-element list (unicast).
+    pub fn single(node: NodeId) -> Self {
+        let mut l = NodeList::new();
+        l.push(node);
+        l
+    }
+
+    /// Append `node`, spilling to the heap when the inline buffer is full.
+    pub fn push(&mut self, node: NodeId) {
+        match self {
+            NodeList::Inline { len, buf } => {
+                if (*len as usize) < NODELIST_INLINE {
+                    buf[*len as usize] = node;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(NODELIST_INLINE * 2);
+                    v.extend_from_slice(&buf[..]);
+                    v.push(node);
+                    *self = NodeList::Heap(v);
+                }
+            }
+            NodeList::Heap(v) => v.push(node),
+        }
+    }
+
+    /// The elements as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[NodeId] {
+        match self {
+            NodeList::Inline { len, buf } => &buf[..*len as usize],
+            NodeList::Heap(v) => v,
+        }
+    }
+}
+
+impl Default for NodeList {
+    fn default() -> Self {
+        NodeList::new()
+    }
+}
+
+impl std::ops::Deref for NodeList {
+    type Target = [NodeId];
+
+    fn deref(&self) -> &[NodeId] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for NodeList {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for NodeList {}
+
+impl FromIterator<NodeId> for NodeList {
+    fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
+        let mut l = NodeList::new();
+        for n in iter {
+            l.push(n);
+        }
+        l
+    }
+}
+
+impl From<Vec<NodeId>> for NodeList {
+    fn from(v: Vec<NodeId>) -> Self {
+        if v.len() <= NODELIST_INLINE {
+            v.into_iter().collect()
+        } else {
+            NodeList::Heap(v)
+        }
+    }
+}
+
+impl From<&[NodeId]> for NodeList {
+    fn from(s: &[NodeId]) -> Self {
+        s.iter().copied().collect()
+    }
+}
+
+impl<const N: usize> From<[NodeId; N]> for NodeList {
+    fn from(s: [NodeId; N]) -> Self {
+        s.into_iter().collect()
+    }
+}
+
+impl<'a> IntoIterator for &'a NodeList {
+    type Item = &'a NodeId;
+    type IntoIter = std::slice::Iter<'a, NodeId>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_until_capacity() {
+        let mut l = NodeList::new();
+        for i in 0..4u32 {
+            l.push(NodeId(i));
+            assert!(matches!(l, NodeList::Inline { .. }));
+        }
+        assert_eq!(l.as_slice(), &[NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        l.push(NodeId(4));
+        assert!(matches!(l, NodeList::Heap(_)), "fifth element spills");
+        assert_eq!(l.len(), 5);
+        assert_eq!(l[4], NodeId(4));
+    }
+
+    #[test]
+    fn equality_ignores_representation() {
+        let inline: NodeList = [NodeId(1), NodeId(2)].into();
+        let heap = NodeList::Heap(vec![NodeId(1), NodeId(2)]);
+        assert_eq!(inline, heap);
+        assert_ne!(inline, NodeList::single(NodeId(1)));
+    }
+
+    #[test]
+    fn conversions() {
+        let from_vec: NodeList = vec![NodeId(9); 6].into();
+        assert!(matches!(from_vec, NodeList::Heap(_)));
+        assert_eq!(from_vec.len(), 6);
+        let from_slice: NodeList = (&[NodeId(1)][..]).into();
+        assert_eq!(from_slice.as_slice(), &[NodeId(1)]);
+        let collected: NodeList = (0..3).map(NodeId).collect();
+        assert_eq!(collected.len(), 3);
+    }
+
+    #[test]
+    fn deref_gives_slice_ops() {
+        let l: NodeList = [NodeId(5), NodeId(7)].into();
+        assert!(l.contains(&NodeId(7)));
+        assert_eq!(l.iter().count(), 2);
+        assert!(!l.is_empty());
+        assert!(NodeList::new().is_empty());
+    }
+}

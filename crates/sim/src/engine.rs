@@ -79,9 +79,17 @@ pub struct Simulator<M: Model> {
 impl<M: Model> Simulator<M> {
     /// Wrap `model` with an empty event queue at time zero.
     pub fn new(model: M) -> Self {
+        Simulator::with_capacity(model, 0)
+    }
+
+    /// Like [`Simulator::new`], pre-sizing the pending-event set for
+    /// `capacity` events. Models with a known steady-state event population
+    /// (e.g. one timer per node of a topology) avoid every queue regrowth
+    /// by passing it here.
+    pub fn with_capacity(model: M, capacity: usize) -> Self {
         Simulator {
             model,
-            queue: EventQueue::new(),
+            queue: EventQueue::with_capacity(capacity),
             now: SimTime::ZERO,
             processed: 0,
             stop_requested: false,
@@ -206,6 +214,15 @@ mod tests {
                 ctx.schedule_in(SimDuration(1), ());
             }
         }
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut sim =
+            Simulator::with_capacity(Chain { fired_at: vec![], remaining: 2, stop_at: None }, 128);
+        sim.schedule_at(SimTime(1), ());
+        assert_eq!(sim.run_to_completion(), 3);
+        assert_eq!(sim.model().fired_at, vec![1, 2, 3]);
     }
 
     #[test]

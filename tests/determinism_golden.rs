@@ -1,0 +1,98 @@
+//! Golden determinism tests.
+//!
+//! The hot-path refactors (zero-copy MAC payloads, CSR topology, scratch
+//! buffers) must not change observable behaviour: for a fixed seed the
+//! complete metrics of a run are bit-identical. These tests pin the
+//! fingerprints of two 64-node scenarios so any behavioural drift fails
+//! loudly, and check that the parallel sweep executor returns byte-identical
+//! output to sequential execution.
+//!
+//! If a PR changes behaviour *intentionally* (new protocol feature, RNG
+//! stream change), re-record the constants with:
+//! `cargo test --test determinism_golden -- --nocapture print_fingerprints`
+
+use dirq::prelude::*;
+
+/// 64-node fixed-δ scenario exercising the steady-state hot path.
+fn fixed_delta_scenario() -> ScenarioConfig {
+    ScenarioConfig {
+        n_nodes: 64,
+        epochs: 1_200,
+        measure_from_epoch: 200,
+        delta_policy: DeltaPolicy::Fixed(5.0),
+        ..ScenarioConfig::paper(64_001)
+    }
+}
+
+/// 64-node ATC scenario with churn, exercising repair, retracts and the
+/// EHr/budget loop on top of the same hot path.
+fn atc_churn_scenario() -> ScenarioConfig {
+    ScenarioConfig {
+        n_nodes: 64,
+        epochs: 1_200,
+        measure_from_epoch: 200,
+        delta_policy: DeltaPolicy::Adaptive(AtcConfig::default()),
+        churn: ChurnSpec::RandomDeaths { deaths: 4, from_epoch: 300, until_epoch: 600 },
+        ..ScenarioConfig::paper(64_002)
+    }
+}
+
+/// Golden fingerprint of [`fixed_delta_scenario`], recorded before the
+/// zero-copy/CSR refactor.
+const GOLDEN_FIXED: u64 = 0xA612B9EB697EAB14;
+
+/// Golden fingerprint of [`atc_churn_scenario`], recorded before the
+/// zero-copy/CSR refactor.
+const GOLDEN_ATC_CHURN: u64 = 0x9CBA44986A3AAF98;
+
+#[test]
+fn print_fingerprints() {
+    // Not an assertion: convenience target for re-recording the constants.
+    println!("GOLDEN_FIXED     = {:#018X}", run_scenario(fixed_delta_scenario()).stable_fingerprint());
+    println!("GOLDEN_ATC_CHURN = {:#018X}", run_scenario(atc_churn_scenario()).stable_fingerprint());
+}
+
+#[test]
+fn fixed_delta_metrics_match_golden() {
+    let r = run_scenario(fixed_delta_scenario());
+    assert_eq!(
+        r.stable_fingerprint(),
+        GOLDEN_FIXED,
+        "fixed-seed metrics drifted from the recorded golden run"
+    );
+}
+
+#[test]
+fn atc_churn_metrics_match_golden() {
+    let r = run_scenario(atc_churn_scenario());
+    assert_eq!(
+        r.stable_fingerprint(),
+        GOLDEN_ATC_CHURN,
+        "fixed-seed ATC/churn metrics drifted from the recorded golden run"
+    );
+}
+
+#[test]
+fn repeated_runs_are_bit_identical() {
+    let a = run_scenario(fixed_delta_scenario());
+    let b = run_scenario(fixed_delta_scenario());
+    assert_eq!(a.stable_fingerprint(), b.stable_fingerprint());
+}
+
+#[test]
+fn parallel_sweep_output_matches_sequential() {
+    // One simulation per parameter point; sequential and 4-way parallel
+    // execution must produce byte-identical result vectors.
+    let seeds: Vec<u64> = (0..6).collect();
+    let run = |&seed: &u64| {
+        run_scenario(ScenarioConfig {
+            epochs: 400,
+            measure_from_epoch: 100,
+            ..ScenarioConfig::paper(seed)
+        })
+        .stable_fingerprint()
+    };
+    let sequential = dirq::sim::runner::run_sweep(&seeds, 1, run);
+    let parallel = dirq::sim::runner::run_sweep(&seeds, 4, run);
+    assert_eq!(sequential, parallel, "sweep parallelism changed observable output");
+}
