@@ -29,8 +29,7 @@ impl TopologyCosts {
     /// Compute over the attached portion of `tree` within `topo`.
     pub fn compute(topo: &Topology, tree: &SpanningTree) -> Self {
         assert_eq!(topo.len(), tree.len(), "topology/tree size mismatch");
-        let attached: Vec<NodeId> =
-            topo.nodes().filter(|&n| tree.is_attached(n)).collect();
+        let attached: Vec<NodeId> = topo.nodes().filter(|&n| tree.is_attached(n)).collect();
         let n = attached.len() as u64;
         let mut links = 0u64;
         for &a in &attached {
@@ -40,8 +39,7 @@ impl TopologyCosts {
                 }
             }
         }
-        let internal =
-            attached.iter().filter(|&&v| !tree.children(v).is_empty()).count() as u64;
+        let internal = attached.iter().filter(|&&v| !tree.children(v).is_empty()).count() as u64;
         let edges = n.saturating_sub(1) as f64;
         TopologyCosts {
             n,

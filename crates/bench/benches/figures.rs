@@ -68,12 +68,5 @@ fn bench_cost_ratio(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_fig5,
-    bench_fig6,
-    bench_fig7,
-    bench_tab_analytic,
-    bench_cost_ratio
-);
+criterion_group!(benches, bench_fig5, bench_fig6, bench_fig7, bench_tab_analytic, bench_cost_ratio);
 criterion_main!(benches);

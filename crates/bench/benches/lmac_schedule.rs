@@ -30,8 +30,10 @@ fn bench_greedy_assignment(c: &mut Criterion) {
         let t = topo(n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &t, |b, t| {
             b.iter(|| {
-                let mut net: LmacNetwork<u32> =
-                    LmacNetwork::new(LmacConfig { slots_per_frame: 64, ..Default::default() }, t.clone());
+                let mut net: LmacNetwork<u32> = LmacNetwork::new(
+                    LmacConfig { slots_per_frame: 64, ..Default::default() },
+                    t.clone(),
+                );
                 net.assign_slots_greedy();
                 black_box(net.all_converged())
             });

@@ -9,10 +9,7 @@ fn table_with_children(n: usize) -> RangeTable {
     let mut t = RangeTable::new();
     t.observe_own(20.0, 0.5);
     for i in 0..n {
-        t.set_child(
-            NodeId(i as u32 + 1),
-            RangeEntry { min: i as f64, max: i as f64 + 2.0 },
-        );
+        t.set_child(NodeId(i as u32 + 1), RangeEntry { min: i as f64, max: i as f64 + 2.0 });
     }
     t
 }
@@ -73,5 +70,11 @@ fn bench_pending_update(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_observe_own, bench_aggregate, bench_set_child, bench_pending_update);
+criterion_group!(
+    benches,
+    bench_observe_own,
+    bench_aggregate,
+    bench_set_child,
+    bench_pending_update
+);
 criterion_main!(benches);

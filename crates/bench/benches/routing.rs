@@ -31,7 +31,8 @@ fn bench_on_query(c: &mut Criterion) {
             let mut qid = 0u64;
             b.iter(|| {
                 qid += 1;
-                let q = RangeQuery::value(QueryId(qid), SensorType(0), 5.0, 5.0 + (qid % 40) as f64);
+                let q =
+                    RangeQuery::value(QueryId(qid), SensorType(0), 5.0, 5.0 + (qid % 40) as f64);
                 black_box(node.on_query(black_box(&q)))
             });
         });

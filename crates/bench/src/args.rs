@@ -46,8 +46,7 @@ impl HarnessArgs {
                         .unwrap_or_else(|| usage("--threads needs a number"));
                 }
                 "--quick" => out.epochs = 4_000,
-                "--help" | "-h" => usage("")
-                ,
+                "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown argument {other:?}")),
             }
         }

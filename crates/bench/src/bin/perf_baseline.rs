@@ -74,7 +74,12 @@ fn measure(cfg: &ScenarioConfig, reps: usize) -> Measurement {
         kib_per_epoch = bytes as f64 / 1024.0 / cfg.epochs as f64;
         fingerprint = r.stable_fingerprint();
     }
-    Measurement { epochs_per_sec: best_eps, allocs_per_epoch, alloc_kib_per_epoch: kib_per_epoch, fingerprint }
+    Measurement {
+        epochs_per_sec: best_eps,
+        allocs_per_epoch,
+        alloc_kib_per_epoch: kib_per_epoch,
+        fingerprint,
+    }
 }
 
 fn fig5_scenario(seed: u64, epochs: u64) -> ScenarioConfig {
@@ -146,11 +151,13 @@ fn main() {
     json.push_str(&format!("  \"epochs\": {epochs},\n"));
     json.push_str(&format!("  \"seed\": {seed},\n"));
 
-    println!("{:<6} {:>14} {:>14} {:>12} {:>14} {:>9}", "scen", "epochs/s", "baseline", "speedup", "allocs/epoch", "KiB/ep");
-    for (name, cfg) in [
-        ("fig5", fig5_scenario(seed, epochs)),
-        ("fig7", fig7_scenario(seed, epochs)),
-    ] {
+    println!(
+        "{:<6} {:>14} {:>14} {:>12} {:>14} {:>9}",
+        "scen", "epochs/s", "baseline", "speedup", "allocs/epoch", "KiB/ep"
+    );
+    for (name, cfg) in
+        [("fig5", fig5_scenario(seed, epochs)), ("fig7", fig7_scenario(seed, epochs))]
+    {
         let m = measure(&cfg, 2);
         let baseline = prior
             .as_deref()
@@ -165,7 +172,10 @@ fn main() {
         json.push_str(&format!("  \"{name}_current_epochs_per_sec\": {:.1},\n", m.epochs_per_sec));
         json.push_str(&format!("  \"{name}_speedup\": {speedup:.3},\n"));
         json.push_str(&format!("  \"{name}_allocs_per_epoch\": {:.2},\n", m.allocs_per_epoch));
-        json.push_str(&format!("  \"{name}_alloc_kib_per_epoch\": {:.2},\n", m.alloc_kib_per_epoch));
+        json.push_str(&format!(
+            "  \"{name}_alloc_kib_per_epoch\": {:.2},\n",
+            m.alloc_kib_per_epoch
+        ));
         json.push_str(&format!("  \"{name}_fingerprint\": \"{:#018X}\",\n", m.fingerprint));
     }
     // Trailing metadata key keeps the object comma-valid.

@@ -20,7 +20,9 @@ fn atc_convergence() {
         let delta = r
             .delta_trace
             .iter()
-            .filter(|(e, _)| (chunk_start as u64 * 100..(chunk_start as u64 + 20) * 100).contains(e))
+            .filter(|(e, _)| {
+                (chunk_start as u64 * 100..(chunk_start as u64 + 20) * 100).contains(e)
+            })
             .map(|&(_, d)| d)
             .sum::<f64>()
             / 20.0;
@@ -40,11 +42,7 @@ fn main() {
         return;
     }
     let epochs = 4000;
-    let base = ScenarioConfig {
-        epochs,
-        measure_from_epoch: 400,
-        ..ScenarioConfig::paper(42)
-    };
+    let base = ScenarioConfig { epochs, measure_from_epoch: 400, ..ScenarioConfig::paper(42) };
 
     // Flooding reference.
     let flood = run_scenario(ScenarioConfig { protocol: Protocol::Flooding, ..base.clone() });

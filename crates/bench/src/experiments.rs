@@ -5,9 +5,7 @@
 //! sweeps run parameter points in parallel with deterministic per-point
 //! seeds, so results are independent of thread count.
 
-use dirq_core::{
-    run_scenario, AtcConfig, DeltaPolicy, Protocol, RunResult, ScenarioConfig,
-};
+use dirq_core::{run_scenario, AtcConfig, DeltaPolicy, Protocol, RunResult, ScenarioConfig};
 use dirq_sim::report::{fnum, Table};
 use dirq_sim::runner::run_sweep;
 
@@ -84,11 +82,7 @@ pub fn fig6(args: &HarnessArgs) -> (Table, Table) {
     let policies = figure_policies();
     let base = base_config(args);
     let results = run_sweep(&policies, args.threads, |(_, policy)| {
-        run_scenario(ScenarioConfig {
-            target_fraction: 0.4,
-            delta_policy: *policy,
-            ..base.clone()
-        })
+        run_scenario(ScenarioConfig { target_fraction: 0.4, delta_policy: *policy, ..base.clone() })
     });
 
     let umax_100 = results[0].u_max_per_hour * 100.0 / results[0].hour_epochs as f64;
@@ -115,7 +109,13 @@ pub fn fig6(args: &HarnessArgs) -> (Table, Table) {
         ("0.55*Umax/Hr", 0.55 * umax_100),
         ("0.45*Umax/Hr", 0.45 * umax_100),
     ] {
-        summary.row([name.to_string(), fnum(value, 0), String::new(), String::new(), String::new()]);
+        summary.row([
+            name.to_string(),
+            fnum(value, 0),
+            String::new(),
+            String::new(),
+            String::new(),
+        ]);
     }
 
     let mut series = Table::new([
@@ -153,11 +153,7 @@ pub fn fig7(args: &HarnessArgs) -> (Table, Table) {
     let policies = figure_policies();
     let base = base_config(args);
     let results = run_sweep(&policies, args.threads, |(_, policy)| {
-        run_scenario(ScenarioConfig {
-            target_fraction: 0.2,
-            delta_policy: *policy,
-            ..base.clone()
-        })
+        run_scenario(ScenarioConfig { target_fraction: 0.2, delta_policy: *policy, ..base.clone() })
     });
 
     let mut summary = Table::new([
@@ -171,10 +167,7 @@ pub fn fig7(args: &HarnessArgs) -> (Table, Table) {
         summary.row([
             (*name).to_string(),
             fnum(r.mean_overshoot_pct(), 1),
-            fnum(
-                r.metrics.mean_over_queries(|o| o.overshoot_points()).unwrap_or(f64::NAN),
-                1,
-            ),
+            fnum(r.metrics.mean_over_queries(|o| o.overshoot_points()).unwrap_or(f64::NAN), 1),
             fnum(r.metrics.mean_over_queries(|o| o.source_recall()).unwrap_or(f64::NAN), 3),
             fnum(r.cost_ratio_vs_flooding().unwrap_or(f64::NAN), 3),
         ]);
@@ -249,8 +242,7 @@ pub fn analytic_validation(args: &HarnessArgs) -> Table {
             ..ScenarioConfig::paper(args.seed)
         })
     });
-    let mut table =
-        Table::new(["k", "d", "analytic_CF", "simulated_CF_per_query", "rel_error"]);
+    let mut table = Table::new(["k", "d", "analytic_CF", "simulated_CF_per_query", "rel_error"]);
     for ((k, d), r) in cases.iter().zip(&results) {
         let analytic = r.flooding_cost_per_query();
         let measured = r.cost_per_query().unwrap_or(f64::NAN);
@@ -336,10 +328,7 @@ pub fn ablations(args: &HarnessArgs) -> Table {
         label: &'static str,
         cfg: ScenarioConfig,
     }
-    let base = ScenarioConfig {
-        delta_policy: DeltaPolicy::Fixed(5.0),
-        ..base_config(args)
-    };
+    let base = ScenarioConfig { delta_policy: DeltaPolicy::Fixed(5.0), ..base_config(args) };
     let smooth_world = {
         let mut w = WorldConfig::environmental(base.side);
         for t in &mut w.types {
@@ -375,10 +364,7 @@ pub fn ablations(args: &HarnessArgs) -> Table {
         Case {
             label: "mac: 1 msg/slot",
             cfg: ScenarioConfig {
-                lmac: dirq_lmac::LmacConfig {
-                    data_messages_per_slot: 1,
-                    ..Default::default()
-                },
+                lmac: dirq_lmac::LmacConfig { data_messages_per_slot: 1, ..Default::default() },
                 ..base.clone()
             },
         },
@@ -396,11 +382,7 @@ pub fn ablations(args: &HarnessArgs) -> Table {
     for (case, r) in cases.iter().zip(&results) {
         let buckets = (r.epochs / 100).max(1) as f64;
         let skipped = if r.samples_taken + r.samples_skipped > 0 {
-            fnum(
-                100.0 * r.samples_skipped as f64
-                    / (r.samples_taken + r.samples_skipped) as f64,
-                1,
-            )
+            fnum(100.0 * r.samples_skipped as f64 / (r.samples_taken + r.samples_skipped) as f64, 1)
         } else {
             "-".to_string()
         };

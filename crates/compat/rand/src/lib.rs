@@ -196,7 +196,12 @@ pub mod rngs {
             }
             if s == [0; 4] {
                 // The all-zero state is a fixed point; displace it.
-                s = [0x9E3779B97F4A7C15, 0xBF58476D1CE4E5B9, 0x94D049BB133111EB, 0x2545F4914F6CDD1D];
+                s = [
+                    0x9E3779B97F4A7C15,
+                    0xBF58476D1CE4E5B9,
+                    0x94D049BB133111EB,
+                    0x2545F4914F6CDD1D,
+                ];
             }
             SmallRng { s }
         }
@@ -231,10 +236,7 @@ pub mod rngs {
         #[inline]
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
-            let result = s[0]
-                .wrapping_add(s[3])
-                .rotate_left(23)
-                .wrapping_add(s[0]);
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
             let t = s[1] << 17;
             s[2] ^= s[0];
             s[3] ^= s[1];

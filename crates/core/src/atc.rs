@@ -181,8 +181,7 @@ impl AtcController {
             _ => fb,
         };
 
-        let step = (target / self.delta_pct)
-            .clamp(1.0 / self.cfg.max_step, self.cfg.max_step);
+        let step = (target / self.delta_pct).clamp(1.0 / self.cfg.max_step, self.cfg.max_step);
         self.delta_pct =
             (self.delta_pct * step).clamp(self.cfg.min_delta_pct, self.cfg.max_delta_pct);
         Some(self.delta_pct)

@@ -16,9 +16,7 @@
 
 use dirq_data::sensor::SensorAssignment;
 use dirq_data::workload::CalibratedQuery;
-use dirq_data::{
-    QueryGenerator, QueryId, RangeQuery, SensorCatalog, SensorWorld, WorldConfig,
-};
+use dirq_data::{QueryGenerator, QueryId, RangeQuery, SensorCatalog, SensorWorld, WorldConfig};
 use dirq_lmac::network::MacStats;
 use dirq_lmac::{Destination, LmacConfig, LmacNetwork, MacIndication};
 use dirq_net::churn::ChurnPlan;
@@ -392,7 +390,8 @@ impl Engine {
                 let mut rng = factory.stream("tree");
                 let mut built = None;
                 for _ in 0..100 {
-                    if let Some(t) = SpanningTree::bounded_random(&topo, NodeId::ROOT, k, d, &mut rng)
+                    if let Some(t) =
+                        SpanningTree::bounded_random(&topo, NodeId::ROOT, k, d, &mut rng)
                     {
                         built = Some(t);
                         break;
@@ -454,9 +453,8 @@ impl Engine {
             variability_alpha: 0.2,
             tx_threshold_factor: cfg.tx_threshold_factor,
         };
-        let mut nodes: Vec<DirqNode> = (0..n)
-            .map(|i| DirqNode::new(NodeId::from_index(i), node_cfg.clone()))
-            .collect();
+        let mut nodes: Vec<DirqNode> =
+            (0..n).map(|i| DirqNode::new(NodeId::from_index(i), node_cfg.clone())).collect();
         // Quiet tree initialisation: both endpoints already agree, so the
         // Attach handshakes are skipped.
         for (i, node) in nodes.iter_mut().enumerate() {
@@ -596,10 +594,9 @@ impl Engine {
                 // exact bookkeeping is only kept for the predictive mode.
                 (0, 0)
             }
-            Some(samplers) => samplers
-                .iter()
-                .flatten()
-                .fold((0u64, 0u64), |(t, s), sm| (t + sm.samples_taken(), s + sm.samples_skipped())),
+            Some(samplers) => samplers.iter().flatten().fold((0u64, 0u64), |(t, s), sm| {
+                (t + sm.samples_taken(), s + sm.samples_skipped())
+            }),
         };
         RunResult {
             metrics: self.metrics,
@@ -829,18 +826,15 @@ impl Engine {
         let costs = TopologyCosts::compute(&self.topo, &tree);
         let n_sensing = costs.n.saturating_sub(1).max(1) as f64;
         let queries_per_hour = self.cfg.hour_epochs as f64 / self.cfg.query_period as f64;
-        self.u_max_per_hour = costs
-            .f_max()
-            .map(|f| f * n_sensing * queries_per_hour)
-            .unwrap_or(self.u_max_per_hour);
+        self.u_max_per_hour =
+            costs.f_max().map(|f| f * n_sensing * queries_per_hour).unwrap_or(self.u_max_per_hour);
 
         // Target: total cost per query = band_center × CF.
         // Prior for CQD before any measurement: half the worst case.
         let cqd = self.cqd_estimate.value_or(costs.cqd_max * 0.5);
         let control_overhead_per_query = 2.0; // EHr amortised: ~2N msgs/hour ÷ (hour/period) queries
-        let budget_cost = (self.cfg.atc_band_center * costs.flooding - cqd
-            - control_overhead_per_query)
-            .max(0.0);
+        let budget_cost =
+            (self.cfg.atc_band_center * costs.flooding - cqd - control_overhead_per_query).max(0.0);
         // Each update message costs 2 (tx + rx).
         let updates_per_query = budget_cost / 2.0;
 
@@ -854,11 +848,10 @@ impl Engine {
         if self.epoch > 0 && updates_per_query > 0.0 {
             let realized_per_query = realized_last_hour / queries_per_hour.max(1.0);
             let err = (realized_per_query / updates_per_query).max(0.05);
-            self.budget_multiplier =
-                (self.budget_multiplier * err.powf(-0.7)).clamp(0.05, 10.0);
+            self.budget_multiplier = (self.budget_multiplier * err.powf(-0.7)).clamp(0.05, 10.0);
         }
-        let per_node_budget_per_epoch = self.budget_multiplier * updates_per_query
-            / (self.cfg.query_period as f64 * n_sensing);
+        let per_node_budget_per_epoch =
+            self.budget_multiplier * updates_per_query / (self.cfg.query_period as f64 * n_sensing);
 
         let msg = EhrMessage { queries_per_hour, per_node_budget_per_epoch };
         let outs = self.nodes[0].on_ehr(msg);
@@ -919,8 +912,11 @@ impl Engine {
             }
             Protocol::Flooding => {
                 self.flood[0].should_rebroadcast(query.id);
-                if self.mac.enqueue(NodeId::ROOT, Destination::Broadcast, DirqMessage::FloodQuery(query))
-                {
+                if self.mac.enqueue(
+                    NodeId::ROOT,
+                    Destination::Broadcast,
+                    DirqMessage::FloodQuery(query),
+                ) {
                     self.record_tx_parts(MessageCategory::Query, Some(query.id));
                 }
             }
@@ -1160,11 +1156,7 @@ mod tests {
     use super::*;
 
     fn small(seed: u64) -> ScenarioConfig {
-        ScenarioConfig {
-            epochs: 500,
-            measure_from_epoch: 100,
-            ..ScenarioConfig::paper(seed)
-        }
+        ScenarioConfig { epochs: 500, measure_from_epoch: 100, ..ScenarioConfig::paper(seed) }
     }
 
     #[test]
@@ -1180,37 +1172,23 @@ mod tests {
     #[test]
     fn queries_reach_most_relevant_nodes() {
         let r = run_scenario(small(2));
-        let mean_recall = r
-            .metrics
-            .mean_over_queries(|o| o.source_recall())
-            .expect("measured queries exist");
-        assert!(
-            mean_recall > 0.9,
-            "DirQ should reach >90% of true sources, got {mean_recall:.3}"
-        );
+        let mean_recall =
+            r.metrics.mean_over_queries(|o| o.source_recall()).expect("measured queries exist");
+        assert!(mean_recall > 0.9, "DirQ should reach >90% of true sources, got {mean_recall:.3}");
     }
 
     #[test]
     fn dirq_cheaper_than_flooding() {
         let dirq = run_scenario(small(3));
-        let flood = run_scenario(ScenarioConfig {
-            protocol: Protocol::Flooding,
-            ..small(3)
-        });
+        let flood = run_scenario(ScenarioConfig { protocol: Protocol::Flooding, ..small(3) });
         let dc = dirq.cost_per_query().unwrap();
         let fc = flood.cost_per_query().unwrap();
-        assert!(
-            dc < fc,
-            "DirQ per-query cost {dc:.1} should undercut flooding {fc:.1}"
-        );
+        assert!(dc < fc, "DirQ per-query cost {dc:.1} should undercut flooding {fc:.1}");
     }
 
     #[test]
     fn flooding_cost_matches_analytic() {
-        let r = run_scenario(ScenarioConfig {
-            protocol: Protocol::Flooding,
-            ..small(4)
-        });
+        let r = run_scenario(ScenarioConfig { protocol: Protocol::Flooding, ..small(4) });
         let measured = r.cost_per_query().unwrap();
         let analytic = r.flooding_cost_per_query();
         let rel = (measured - analytic).abs() / analytic;
@@ -1222,14 +1200,8 @@ mod tests {
 
     #[test]
     fn flooding_reaches_everyone() {
-        let r = run_scenario(ScenarioConfig {
-            protocol: Protocol::Flooding,
-            ..small(5)
-        });
-        let mean_received = r
-            .metrics
-            .mean_over_queries(|o| o.received as f64)
-            .unwrap();
+        let r = run_scenario(ScenarioConfig { protocol: Protocol::Flooding, ..small(5) });
+        let mean_received = r.metrics.mean_over_queries(|o| o.received as f64).unwrap();
         // All nodes except the root receive every flooded query.
         assert!(
             (mean_received - (r.n_nodes - 1) as f64).abs() < 0.5,
@@ -1253,14 +1225,8 @@ mod tests {
 
     #[test]
     fn larger_delta_sends_fewer_updates() {
-        let lo = run_scenario(ScenarioConfig {
-            delta_policy: DeltaPolicy::Fixed(3.0),
-            ..small(8)
-        });
-        let hi = run_scenario(ScenarioConfig {
-            delta_policy: DeltaPolicy::Fixed(9.0),
-            ..small(8)
-        });
+        let lo = run_scenario(ScenarioConfig { delta_policy: DeltaPolicy::Fixed(3.0), ..small(8) });
+        let hi = run_scenario(ScenarioConfig { delta_policy: DeltaPolicy::Fixed(9.0), ..small(8) });
         assert!(
             hi.metrics.update_cost.tx < lo.metrics.update_cost.tx,
             "δ=9% ({}) should send fewer updates than δ=3% ({})",
@@ -1326,15 +1292,10 @@ mod tests {
         assert!(predictive.samples_skipped > 0, "predictive mode must skip something");
         let skip_ratio = predictive.samples_skipped as f64
             / (predictive.samples_taken + predictive.samples_skipped) as f64;
-        assert!(
-            skip_ratio > 0.2,
-            "expected a meaningful sampling saving, got {skip_ratio:.3}"
-        );
+        assert!(skip_ratio > 0.2, "expected a meaningful sampling saving, got {skip_ratio:.3}");
         // Accuracy cost must stay bounded: recall within a few points.
-        let base_recall =
-            baseline.metrics.mean_over_queries(|o| o.source_recall()).unwrap();
-        let pred_recall =
-            predictive.metrics.mean_over_queries(|o| o.source_recall()).unwrap();
+        let base_recall = baseline.metrics.mean_over_queries(|o| o.source_recall()).unwrap();
+        let pred_recall = predictive.metrics.mean_over_queries(|o| o.source_recall()).unwrap();
         assert!(
             pred_recall > base_recall - 0.1,
             "predictive sampling degraded recall too much: {base_recall:.3} -> {pred_recall:.3}"
@@ -1350,16 +1311,8 @@ mod tests {
             ..ScenarioConfig::paper(12)
         });
         // δ must have moved away from the initial value on most nodes.
-        let moved = r
-            .final_delta_pcts
-            .iter()
-            .skip(1)
-            .filter(|&&d| (d - 5.0).abs() > 0.5)
-            .count();
-        assert!(
-            moved > r.n_nodes / 2,
-            "ATC should have adjusted most nodes' δ (moved: {moved})"
-        );
+        let moved = r.final_delta_pcts.iter().skip(1).filter(|&&d| (d - 5.0).abs() > 0.5).count();
+        assert!(moved > r.n_nodes / 2, "ATC should have adjusted most nodes' δ (moved: {moved})");
         assert!(!r.delta_trace.is_empty());
     }
 }

@@ -76,10 +76,7 @@ impl GeoTable {
 
     /// A child's advertised box.
     pub fn child_rect(&self, child: NodeId) -> Option<&Rect> {
-        self.children
-            .binary_search_by_key(&child, |e| e.0)
-            .ok()
-            .map(|i| &self.children[i].1)
+        self.children.binary_search_by_key(&child, |e| e.0).ok().map(|i| &self.children[i].1)
     }
 
     /// All child boxes, sorted by child id.

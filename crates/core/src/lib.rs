@@ -40,9 +40,9 @@ pub mod sampling;
 
 pub use atc::{AtcConfig, AtcController, DeltaPolicy};
 pub use engine::{run_scenario, ChurnSpec, Engine, Protocol, RunResult, ScenarioConfig, TreeKind};
+pub use geo::GeoTable;
 pub use messages::{DirqMessage, EhrMessage, MessageCategory};
 pub use metrics::{Metrics, QueryOutcome};
 pub use node::{DirqNode, NodeConfig, Outgoing};
 pub use range_table::{RangeEntry, RangeTable};
-pub use geo::GeoTable;
 pub use sampling::{PredictiveConfig, Sampler, SamplingStrategy};

@@ -99,7 +99,10 @@ mod tests {
             DirqMessage::Update { stype: SensorType(0), min: 0.0, max: 1.0 }.category(),
             MessageCategory::Update
         );
-        assert_eq!(DirqMessage::Retract { stype: SensorType(1) }.category(), MessageCategory::Update);
+        assert_eq!(
+            DirqMessage::Retract { stype: SensorType(1) }.category(),
+            MessageCategory::Update
+        );
         assert_eq!(DirqMessage::Query(q).category(), MessageCategory::Query);
         assert_eq!(DirqMessage::FloodQuery(q).category(), MessageCategory::Query);
         assert_eq!(

@@ -213,12 +213,8 @@ impl Metrics {
 
     /// Mean of a per-outcome statistic over the measurement window.
     pub fn mean_over_queries(&self, f: impl Fn(&QueryOutcome) -> f64) -> Option<f64> {
-        let measured: Vec<f64> = self
-            .outcomes
-            .iter()
-            .filter(|o| o.epoch >= self.measure_from_epoch)
-            .map(f)
-            .collect();
+        let measured: Vec<f64> =
+            self.outcomes.iter().filter(|o| o.epoch >= self.measure_from_epoch).map(f).collect();
         if measured.is_empty() {
             None
         } else {

@@ -245,11 +245,8 @@ impl DirqNode {
         let mut out = Vec::new();
         let stypes: Vec<SensorType> = self.tables.keys().copied().collect();
         for stype in stypes {
-            let changed = self
-                .tables
-                .get_mut(&stype)
-                .map(|t| t.remove_child(child))
-                .unwrap_or(false);
+            let changed =
+                self.tables.get_mut(&stype).map(|t| t.remove_child(child)).unwrap_or(false);
             if changed {
                 out.extend(self.flush_table(stype));
             }
@@ -296,7 +293,13 @@ impl DirqNode {
     // --- message handlers ----------------------------------------------------
 
     /// An Update arrived from a child.
-    pub fn on_update(&mut self, from: NodeId, stype: SensorType, min: f64, max: f64) -> Vec<Outgoing> {
+    pub fn on_update(
+        &mut self,
+        from: NodeId,
+        stype: SensorType,
+        min: f64,
+        max: f64,
+    ) -> Vec<Outgoing> {
         self.add_child(from);
         let table = self.tables.entry(stype).or_default();
         let changed = table.set_child(from, RangeEntry { min, max });
@@ -309,11 +312,7 @@ impl DirqNode {
 
     /// A Retract arrived from a child.
     pub fn on_retract(&mut self, from: NodeId, stype: SensorType) -> Vec<Outgoing> {
-        let changed = self
-            .tables
-            .get_mut(&stype)
-            .map(|t| t.remove_child(from))
-            .unwrap_or(false);
+        let changed = self.tables.get_mut(&stype).map(|t| t.remove_child(from)).unwrap_or(false);
         if changed {
             self.flush_table(stype)
         } else {
@@ -502,7 +501,7 @@ mod tests {
     fn escape_triggers_update_beyond_delta() {
         let mut n = mk(1);
         n.sample(t0(), 20.0); // tx [19, 21]
-        // Escape to 22.5: own tuple [21.5, 23.5]; aggregate moved by 2.5 > 1.
+                              // Escape to 22.5: own tuple [21.5, 23.5]; aggregate moved by 2.5 > 1.
         let out = n.sample(t0(), 22.5);
         assert_eq!(
             out,
@@ -514,11 +513,11 @@ mod tests {
     fn escape_within_delta_of_last_tx_is_silent() {
         let mut n = mk(1);
         n.sample(t0(), 20.0); // own [19,21], tx [19,21]
-        // Escape to 21.8: own tuple becomes [20.8, 22.8]; min moved +1.8 > δ?
-        // min 19→20.8 = 1.8 > 1 → fires. Pick an escape that moves both ends
-        // by ≤ δ: reading 21.9 → [20.9, 22.9]: max moved 1.9 > 1 — fires too.
-        // With this δ the paper's rule can only stay silent when the
-        // aggregate is dominated by children; verify via a child update.
+                              // Escape to 21.8: own tuple becomes [20.8, 22.8]; min moved +1.8 > δ?
+                              // min 19→20.8 = 1.8 > 1 → fires. Pick an escape that moves both ends
+                              // by ≤ δ: reading 21.9 → [20.9, 22.9]: max moved 1.9 > 1 — fires too.
+                              // With this δ the paper's rule can only stay silent when the
+                              // aggregate is dominated by children; verify via a child update.
         let mut p = mk(2);
         p.on_update(NodeId(5), t0(), 0.0, 100.0);
         // p transmitted [0,100]. A tiny own reading inside: aggregate
@@ -711,18 +710,12 @@ mod tests {
         let mut n = mk(1);
         n.set_position(Position::new(30.0, 30.0));
         n.sample(t0(), 20.0);
-        let inside = query(21, 0.0, 100.0)
-            .with_region(Rect::centered(Position::new(30.0, 30.0), 5.0));
-        assert!(n
-            .on_query(&inside)
-            .iter()
-            .any(|o| matches!(o, Outgoing::DeliverLocal(_))));
-        let outside = query(22, 0.0, 100.0)
-            .with_region(Rect::centered(Position::new(90.0, 90.0), 5.0));
-        assert!(!n
-            .on_query(&outside)
-            .iter()
-            .any(|o| matches!(o, Outgoing::DeliverLocal(_))));
+        let inside =
+            query(21, 0.0, 100.0).with_region(Rect::centered(Position::new(30.0, 30.0), 5.0));
+        assert!(n.on_query(&inside).iter().any(|o| matches!(o, Outgoing::DeliverLocal(_))));
+        let outside =
+            query(22, 0.0, 100.0).with_region(Rect::centered(Position::new(90.0, 90.0), 5.0));
+        assert!(!n.on_query(&outside).iter().any(|o| matches!(o, Outgoing::DeliverLocal(_))));
     }
 
     #[test]
@@ -730,8 +723,7 @@ mod tests {
         use dirq_net::{Position, Rect};
         let mut n = mk(1);
         n.sample(t0(), 20.0); // no set_position
-        let q = query(31, 0.0, 100.0)
-            .with_region(Rect::centered(Position::new(90.0, 90.0), 1.0));
+        let q = query(31, 0.0, 100.0).with_region(Rect::centered(Position::new(90.0, 90.0), 1.0));
         // Cannot prune without knowing its own position: delivers locally.
         assert!(n.on_query(&q).iter().any(|o| matches!(o, Outgoing::DeliverLocal(_))));
     }

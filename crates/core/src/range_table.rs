@@ -127,10 +127,7 @@ impl RangeTable {
 
     /// A child's stored tuple.
     pub fn child_entry(&self, child: NodeId) -> Option<&RangeEntry> {
-        self.children
-            .binary_search_by_key(&child, |e| e.0)
-            .ok()
-            .map(|i| &self.children[i].1)
+        self.children.binary_search_by_key(&child, |e| e.0).ok().map(|i| &self.children[i].1)
     }
 
     /// All child tuples, sorted by child id.
@@ -264,10 +261,7 @@ mod tests {
         assert_eq!(t.pending_update(1.0), None);
         // Move beyond delta.
         t.set_child(NodeId(1), RangeEntry { min: 17.9, max: 21.0 });
-        assert_eq!(
-            t.pending_update(1.0),
-            Some(RangeEntry { min: 17.9, max: 21.0 })
-        );
+        assert_eq!(t.pending_update(1.0), Some(RangeEntry { min: 17.9, max: 21.0 }));
     }
 
     #[test]

@@ -74,12 +74,7 @@ impl SpatialField {
         }
         let cells = levels
             .into_iter()
-            .map(|level| {
-                (
-                    Position::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side)),
-                    level,
-                )
-            })
+            .map(|level| (Position::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side)), level))
             .collect();
         SpatialField { base, kind: FieldKind::Cellular(cells) }
     }
@@ -155,10 +150,7 @@ impl SpatialField {
         for _ in 0..samples {
             let a = Position::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side));
             let angle = rng.gen_range(0.0..std::f64::consts::TAU);
-            let b = Position::new(
-                a.x + separation * angle.cos(),
-                a.y + separation * angle.sin(),
-            );
+            let b = Position::new(a.x + separation * angle.cos(), a.y + separation * angle.sin());
             total += (self.value(&a) - self.value(&b)).abs();
         }
         total / samples as f64
@@ -195,10 +187,7 @@ mod tests {
         let mut r = rng("corr-sample");
         let near = f.mean_abs_difference(2.0, 100.0, 4000, &mut r);
         let far = f.mean_abs_difference(80.0, 100.0, 4000, &mut r);
-        assert!(
-            near < far * 0.5,
-            "spatial correlation too weak: near={near:.3} far={far:.3}"
-        );
+        assert!(near < far * 0.5, "spatial correlation too weak: near={near:.3} far={far:.3}");
     }
 
     #[test]

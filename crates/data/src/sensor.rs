@@ -78,10 +78,7 @@ impl SensorCatalog {
 
     /// Look a type up by name.
     pub fn by_name(&self, name: &str) -> Option<SensorType> {
-        self.descriptors
-            .iter()
-            .position(|d| d.name == name)
-            .map(|i| SensorType(i as u8))
+        self.descriptors.iter().position(|d| d.name == name).map(|i| SensorType(i as u8))
     }
 
     /// Number of registered types.
@@ -116,12 +113,7 @@ impl SensorAssignment {
     /// Heterogeneous assignment: each type is carried by a random subset of
     /// nodes with the given `coverage` fraction (at least one node per
     /// type). The root (node 0) carries no sensors — it is the gateway.
-    pub fn heterogeneous(
-        n_nodes: usize,
-        n_types: usize,
-        coverage: f64,
-        rng: &mut SimRng,
-    ) -> Self {
+    pub fn heterogeneous(n_nodes: usize, n_types: usize, coverage: f64, rng: &mut SimRng) -> Self {
         assert!(n_nodes >= 2, "need at least the root and one sensing node");
         assert!((0.0..=1.0).contains(&coverage), "coverage must be a fraction");
         let mut has = vec![vec![false; n_types]; n_nodes];

@@ -312,11 +312,7 @@ impl QueryGenerator {
         let (lo, hi) = world.value_range(stype)?;
         let pad = (hi - lo).max(1.0) * 0.01;
         // The field diagonal bounds the useful region size.
-        let max_half = positions
-            .iter()
-            .map(|p| p.x.max(p.y))
-            .fold(0.0f64, f64::max)
-            .max(1.0);
+        let max_half = positions.iter().map(|p| p.x.max(p.y)).fold(0.0f64, f64::max).max(1.0);
 
         let mut best: Option<(f64, CalibratedQuery)> = None;
         for _ in 0..self.candidates {
@@ -444,8 +440,7 @@ mod tests {
         )
         .unwrap();
         let tree = SpanningTree::bfs(&topo, NodeId::ROOT);
-        let assignment =
-            SensorAssignment::heterogeneous(50, 4, 0.8, &mut f.stream("assign"));
+        let assignment = SensorAssignment::heterogeneous(50, 4, 0.8, &mut f.stream("assign"));
         let world = SensorWorld::new(
             &WorldConfig::environmental(100.0),
             SensorCatalog::environmental(),
@@ -471,8 +466,7 @@ mod tests {
     #[test]
     fn ground_truth_sources_and_paths() {
         // Line 0-1-2-3; only node 3 matches.
-        let edges: Vec<(NodeId, NodeId)> =
-            (0..3).map(|i| (NodeId(i), NodeId(i + 1))).collect();
+        let edges: Vec<(NodeId, NodeId)> = (0..3).map(|i| (NodeId(i), NodeId(i + 1))).collect();
         let topo = Topology::from_edges(4, &edges);
         let tree = SpanningTree::bfs(&topo, NodeId::ROOT);
         let readings = vec![f64::NAN, 0.0, 0.0, 5.0];
@@ -486,8 +480,7 @@ mod tests {
 
     #[test]
     fn ground_truth_respects_liveness() {
-        let edges: Vec<(NodeId, NodeId)> =
-            (0..3).map(|i| (NodeId(i), NodeId(i + 1))).collect();
+        let edges: Vec<(NodeId, NodeId)> = (0..3).map(|i| (NodeId(i), NodeId(i + 1))).collect();
         let topo = Topology::from_edges(4, &edges);
         let tree = SpanningTree::bfs(&topo, NodeId::ROOT);
         let readings = vec![f64::NAN, 5.0, 0.0, 5.0];
@@ -513,11 +506,7 @@ mod tests {
     fn generator_hits_target_fractions() {
         let (world, _, tree) = setup(42);
         for (target, tolerance) in [(0.2, 0.10), (0.4, 0.10), (0.6, 0.15)] {
-            let mut generator = QueryGenerator::new(
-                target,
-                20,
-                RngFactory::new(42).stream("qgen"),
-            );
+            let mut generator = QueryGenerator::new(target, 20, RngFactory::new(42).stream("qgen"));
             let mut total_err = 0.0;
             let trials = 20;
             for _ in 0..trials {
@@ -550,14 +539,12 @@ mod tests {
 
     #[test]
     fn ground_truth_for_query_applies_region() {
-        let edges: Vec<(NodeId, NodeId)> =
-            (0..3).map(|i| (NodeId(i), NodeId(i + 1))).collect();
+        let edges: Vec<(NodeId, NodeId)> = (0..3).map(|i| (NodeId(i), NodeId(i + 1))).collect();
         let topo = Topology::from_edges(4, &edges);
         let tree = SpanningTree::bfs(&topo, NodeId::ROOT);
         let readings = vec![f64::NAN, 5.0, 5.0, 5.0];
         // from_edges lays nodes out at x = 0, 1, 2, 3.
-        let positions: Vec<Position> =
-            (0..4).map(|i| Position::new(i as f64, 0.0)).collect();
+        let positions: Vec<Position> = (0..4).map(|i| Position::new(i as f64, 0.0)).collect();
         let q = RangeQuery::value(QueryId(0), SensorType(0), 4.0, 6.0)
             .with_region(Rect::new(Position::new(2.5, -1.0), Position::new(4.0, 1.0)));
         let gt = ground_truth_for_query(&readings, &positions, &tree, &q, |_| true);

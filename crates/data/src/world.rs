@@ -379,15 +379,9 @@ mod tests {
         )
         .unwrap();
         let catalog = SensorCatalog::environmental();
-        let assignment =
-            SensorAssignment::heterogeneous(50, 4, 0.6, &mut f.stream("assign"));
-        let world = SensorWorld::new(
-            &WorldConfig::environmental(100.0),
-            catalog,
-            assignment,
-            &topo,
-            &f,
-        );
+        let assignment = SensorAssignment::heterogeneous(50, 4, 0.6, &mut f.stream("assign"));
+        let world =
+            SensorWorld::new(&WorldConfig::environmental(100.0), catalog, assignment, &topo, &f);
         (world, topo)
     }
 
@@ -426,8 +420,7 @@ mod tests {
         // spread of values across space — i.e. time series are smooth.
         let mut step_change = 0.0;
         let mut count = 0;
-        let mut prev: Vec<Option<f64>> =
-            carriers.iter().map(|&c| world.reading(c, t)).collect();
+        let mut prev: Vec<Option<f64>> = carriers.iter().map(|&c| world.reading(c, t)).collect();
         for _ in 0..200 {
             world.advance_epoch(&topo);
             for (i, &c) in carriers.iter().enumerate() {
@@ -458,9 +451,7 @@ mod tests {
         let mut far = (0.0, 0);
         for (i, &a) in carriers.iter().enumerate() {
             for &b in &carriers[i + 1..] {
-                let d = topo
-                    .position(node_id(a))
-                    .distance(&topo.position(node_id(b)));
+                let d = topo.position(node_id(a)).distance(&topo.position(node_id(b)));
                 let dv = (world.reading(a, t).unwrap() - world.reading(b, t).unwrap()).abs();
                 if d < 20.0 {
                     near = (near.0 + dv, near.1 + 1);

@@ -84,10 +84,7 @@ impl NeighborTable {
 
     /// Look up a neighbour.
     pub fn get(&self, node: NodeId) -> Option<&NeighborInfo> {
-        self.entries
-            .binary_search_by_key(&node, |e| e.0)
-            .ok()
-            .map(|i| &self.entries[i].1)
+        self.entries.binary_search_by_key(&node, |e| e.0).ok().map(|i| &self.entries[i].1)
     }
 
     /// Remove a neighbour; returns whether it was present.

@@ -255,7 +255,8 @@ impl<P> LmacNetwork<P> {
             for &nb in self.topo.neighbors(node) {
                 if self.nodes[nb.index()].alive {
                     let d = hops[nb.index()];
-                    let d16 = if d == u32::MAX { u16::MAX } else { d.min(u16::MAX as u32 - 1) as u16 };
+                    let d16 =
+                        if d == u32::MAX { u16::MAX } else { d.min(u16::MAX as u32 - 1) as u16 };
                     let slot = self.nodes[nb.index()].my_slot;
                     self.nodes[i].neighbors.heard(nb, slot, SlotSet::EMPTY, d16, self.frame);
                 }
@@ -658,9 +659,8 @@ mod tests {
     type Net = LmacNetwork<u32>;
 
     fn line_topo(n: usize) -> Topology {
-        let edges: Vec<(NodeId, NodeId)> = (0..n - 1)
-            .map(|i| (NodeId::from_index(i), NodeId::from_index(i + 1)))
-            .collect();
+        let edges: Vec<(NodeId, NodeId)> =
+            (0..n - 1).map(|i| (NodeId::from_index(i), NodeId::from_index(i + 1))).collect();
         Topology::from_edges(n, &edges)
     }
 
@@ -737,10 +737,8 @@ mod tests {
         net.assign_slots_greedy();
         net.enqueue(NodeId(0), Destination::Broadcast, 7);
         let inds = net.advance_frame(&mut rng);
-        let delivered = inds
-            .iter()
-            .filter(|i| matches!(i, MacIndication::Delivered { .. }))
-            .count();
+        let delivered =
+            inds.iter().filter(|i| matches!(i, MacIndication::Delivered { .. })).count();
         assert_eq!(delivered, 3);
         assert_eq!(net.data_ledger().total_tx(), 1);
         assert_eq!(net.data_ledger().total_rx(), 3);
@@ -897,10 +895,8 @@ mod tests {
         for _ in 0..net.config().slots_per_frame {
             buf.clear();
             net.advance_slot_into(&mut rng, &mut buf);
-            delivered += buf
-                .iter()
-                .filter(|i| matches!(i, MacIndication::Delivered { .. }))
-                .count();
+            delivered +=
+                buf.iter().filter(|i| matches!(i, MacIndication::Delivered { .. })).count();
         }
         assert_eq!(delivered, 1);
         assert_eq!(buf.capacity(), cap, "steady-state frame must not grow the buffer");
@@ -971,10 +967,7 @@ mod tests {
         for survivor in (0..10).map(NodeId) {
             for &v in &victims {
                 if topo.has_link(survivor, v) {
-                    assert!(
-                        died.contains(&(survivor, v)),
-                        "{survivor} never declared {v} dead"
-                    );
+                    assert!(died.contains(&(survivor, v)), "{survivor} never declared {v} dead");
                 }
             }
         }

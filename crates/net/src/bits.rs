@@ -73,7 +73,11 @@ impl NodeBits {
 
     /// Iterate elements in ascending id order.
     pub fn iter(&self) -> NodeBitsIter<'_> {
-        NodeBitsIter { words: &self.words, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
+        NodeBitsIter {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
     }
 }
 

@@ -62,8 +62,7 @@ impl ChurnPlan {
     ) -> Self {
         assert!(deaths < n_nodes, "cannot kill every node (root must survive)");
         assert!(from_epoch < until_epoch, "empty epoch window");
-        let mut victims: Vec<NodeId> =
-            (1..n_nodes).map(NodeId::from_index).collect();
+        let mut victims: Vec<NodeId> = (1..n_nodes).map(NodeId::from_index).collect();
         victims.shuffle(rng);
         victims.truncate(deaths);
         let events = victims
@@ -167,10 +166,7 @@ impl ChurnPlan {
             "only {} of {deaths} deaths possible without partitioning the sink",
             victims.len()
         );
-        let events = victims
-            .into_iter()
-            .map(|(epoch, v)| (epoch, ChurnEvent::Death(v)))
-            .collect();
+        let events = victims.into_iter().map(|(epoch, v)| (epoch, ChurnEvent::Death(v))).collect();
         ChurnPlan::new(events)
     }
 
@@ -182,10 +178,7 @@ impl ChurnPlan {
     /// Events scheduled for exactly `epoch`.
     pub fn at_epoch(&self, epoch: u64) -> impl Iterator<Item = ChurnEvent> + '_ {
         let start = self.events.partition_point(|&(e, _)| e < epoch);
-        self.events[start..]
-            .iter()
-            .take_while(move |&&(e, _)| e == epoch)
-            .map(|&(_, ev)| ev)
+        self.events[start..].iter().take_while(move |&&(e, _)| e == epoch).map(|&(_, ev)| ev)
     }
 
     /// Whether the plan contains no events.
@@ -224,10 +217,7 @@ impl ChurnPlan {
                     }
                 }
                 ChurnEvent::Birth(n) => {
-                    assert!(
-                        birth_epoch.insert(n, e).is_none(),
-                        "{n} is born twice"
-                    );
+                    assert!(birth_epoch.insert(n, e).is_none(), "{n} is born twice");
                     assert!(!seen_death.contains(&n), "{n} is born after dying");
                 }
             }

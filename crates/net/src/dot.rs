@@ -24,21 +24,13 @@ fn render(topo: &Topology, tree: Option<&SpanningTree>) -> String {
     for n in topo.nodes() {
         let p = topo.position(n);
         let style = if n.is_root() { ", style=filled, fillcolor=gold" } else { "" };
-        let _ = writeln!(
-            out,
-            "  {} [pos=\"{:.1},{:.1}!\"{}];",
-            n.index(),
-            p.x,
-            p.y,
-            style
-        );
+        let _ = writeln!(out, "  {} [pos=\"{:.1},{:.1}!\"{}];", n.index(), p.x, p.y, style);
     }
     for a in topo.nodes() {
         for &b in topo.neighbors(a) {
             if a < b {
-                let is_tree_edge = tree
-                    .map(|t| t.parent(a) == Some(b) || t.parent(b) == Some(a))
-                    .unwrap_or(false);
+                let is_tree_edge =
+                    tree.map(|t| t.parent(a) == Some(b) || t.parent(b) == Some(a)).unwrap_or(false);
                 let attrs = if is_tree_edge {
                     " [penwidth=2]"
                 } else if tree.is_some() {

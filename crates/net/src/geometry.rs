@@ -55,12 +55,7 @@ pub struct Rect {
 impl Rect {
     /// Rectangle from two corners (any orientation).
     pub fn new(a: Position, b: Position) -> Self {
-        Rect {
-            x_min: a.x.min(b.x),
-            y_min: a.y.min(b.y),
-            x_max: a.x.max(b.x),
-            y_max: a.y.max(b.y),
-        }
+        Rect { x_min: a.x.min(b.x), y_min: a.y.min(b.y), x_max: a.x.max(b.x), y_max: a.y.max(b.y) }
     }
 
     /// Degenerate rectangle containing exactly one point.

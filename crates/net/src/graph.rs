@@ -267,11 +267,8 @@ mod tests {
 
     #[test]
     fn from_positions_symmetric_adjacency() {
-        let positions = vec![
-            Position::new(0.0, 0.0),
-            Position::new(5.0, 0.0),
-            Position::new(100.0, 0.0),
-        ];
+        let positions =
+            vec![Position::new(0.0, 0.0), Position::new(5.0, 0.0), Position::new(100.0, 0.0)];
         let t = Topology::from_positions(positions, &UnitDisk::new(10.0));
         assert_eq!(t.link_count(), 1);
         assert!(t.has_link(NodeId(0), NodeId(1)));

@@ -91,7 +91,8 @@ impl LogDistance {
     /// Deterministic standard-normal draw for an unordered node pair.
     fn pair_normal(&self, ia: usize, ib: usize) -> f64 {
         let (lo, hi) = if ia <= ib { (ia as u64, ib as u64) } else { (ib as u64, ia as u64) };
-        let mut s = self.shadow_seed ^ (lo.wrapping_mul(0x9E37_79B9_7F4A_7C15)) ^ hi.rotate_left(32);
+        let mut s =
+            self.shadow_seed ^ (lo.wrapping_mul(0x9E37_79B9_7F4A_7C15)) ^ hi.rotate_left(32);
         let u1 = (dirq_sim::rng::splitmix64(&mut s) >> 11) as f64 / (1u64 << 53) as f64;
         let u2 = (dirq_sim::rng::splitmix64(&mut s) >> 11) as f64 / (1u64 << 53) as f64;
         let u1 = u1.max(f64::MIN_POSITIVE);
@@ -198,10 +199,9 @@ mod tests {
         base.shadowing_sigma_db = 0.0;
         let unshadowed = base.received_power_dbm(0, &a, 1, &b);
         let n = 2000;
-        let mean_shadow: f64 = (0..n)
-            .map(|i| m.received_power_dbm(i, &a, i + 10_000, &b) - unshadowed)
-            .sum::<f64>()
-            / n as f64;
+        let mean_shadow: f64 =
+            (0..n).map(|i| m.received_power_dbm(i, &a, i + 10_000, &b) - unshadowed).sum::<f64>()
+                / n as f64;
         assert!(mean_shadow.abs() < 0.5, "shadowing mean {mean_shadow} not ~0");
     }
 }

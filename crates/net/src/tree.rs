@@ -67,11 +67,7 @@ impl SpanningTree {
     /// BFS spanning tree visiting only nodes for which `passable` returns
     /// true (used when part of the deployment is initially offline).
     /// Impassable and unreachable nodes stay detached.
-    pub fn bfs_filtered(
-        topo: &Topology,
-        root: NodeId,
-        passable: impl Fn(NodeId) -> bool,
-    ) -> Self {
+    pub fn bfs_filtered(topo: &Topology, root: NodeId, passable: impl Fn(NodeId) -> bool) -> Self {
         let mut t = SpanningTree::new(topo.len(), root);
         assert!(passable(root), "the root must be passable");
         let mut queue = std::collections::VecDeque::new();
@@ -94,7 +90,13 @@ impl SpanningTree {
     ///
     /// Returns `None` if the bounds make full coverage impossible for this
     /// topology (some node would be left detached).
-    pub fn bounded_random(topo: &Topology, root: NodeId, k: usize, d: u32, rng: &mut SimRng) -> Option<Self> {
+    pub fn bounded_random(
+        topo: &Topology,
+        root: NodeId,
+        k: usize,
+        d: u32,
+        rng: &mut SimRng,
+    ) -> Option<Self> {
         assert!(k > 0, "fan-out bound must be positive");
         let mut t = SpanningTree::new(topo.len(), root);
         // Frontier of nodes that can still accept children.
@@ -296,8 +298,7 @@ impl SpanningTree {
             let node = NodeId::from_index(i);
             match (self.parent[i], self.depth[i]) {
                 (Some(p), Some(d)) => {
-                    let pd = self
-                        .depth[p.index()]
+                    let pd = self.depth[p.index()]
                         .ok_or_else(|| format!("{node} has detached parent {p}"))?;
                     if d != pd + 1 {
                         return Err(format!("{node} depth {d} != parent depth {pd} + 1"));
@@ -426,8 +427,7 @@ mod tests {
     #[test]
     fn bounded_random_fails_on_impossible_bounds() {
         // A path graph cannot be covered with depth bound 1 from one end.
-        let edges: Vec<(NodeId, NodeId)> =
-            (0..9).map(|i| (NodeId(i), NodeId(i + 1))).collect();
+        let edges: Vec<(NodeId, NodeId)> = (0..9).map(|i| (NodeId(i), NodeId(i + 1))).collect();
         let topo = Topology::from_edges(10, &edges);
         let mut rng = RngFactory::new(1).stream("impossible");
         assert!(SpanningTree::bounded_random(&topo, NodeId::ROOT, 8, 1, &mut rng).is_none());

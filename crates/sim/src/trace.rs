@@ -67,7 +67,12 @@ impl Tracer {
     }
 
     /// Record a message (if enabled at `level`).
-    pub fn record(&mut self, time: SimTime, level: TraceLevel, make_message: impl FnOnce() -> String) {
+    pub fn record(
+        &mut self,
+        time: SimTime,
+        level: TraceLevel,
+        make_message: impl FnOnce() -> String,
+    ) {
         if !self.enabled(level) {
             return;
         }

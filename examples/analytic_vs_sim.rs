@@ -10,18 +10,29 @@ use dirq::prelude::*;
 
 fn main() {
     println!("closed-form model (Eqs. 3-9) on complete k-ary trees:");
-    println!("{:>3} {:>3} {:>7} {:>8} {:>8} {:>8} {:>8}", "k", "d", "N", "CF", "CQDmax", "CUDmax", "fMax");
+    println!(
+        "{:>3} {:>3} {:>7} {:>8} {:>8} {:>8} {:>8}",
+        "k", "d", "N", "CF", "CQDmax", "CUDmax", "fMax"
+    );
     for (k, d) in [(2u32, 3u32), (2, 4), (3, 3), (4, 2), (8, 2)] {
         let c = KaryCosts::compute(k, d);
         println!(
             "{:>3} {:>3} {:>7} {:>8} {:>8} {:>8} {:>8.4}",
-            k, d, c.n, c.flooding, c.cqd_max, c.cud_max,
+            k,
+            d,
+            c.n,
+            c.flooding,
+            c.cqd_max,
+            c.cud_max,
             c.f_max().unwrap_or(f64::NAN)
         );
     }
     let c = KaryCosts::compute(2, 4);
     let (num, den) = c.f_max_exact().unwrap();
-    println!("\npaper's worked example: fMax(k=2, d=4) = {num}/{den} = {:.4} -> \"0.76\"", c.f_max().unwrap());
+    println!(
+        "\npaper's worked example: fMax(k=2, d=4) = {num}/{den} = {:.4} -> \"0.76\"",
+        c.f_max().unwrap()
+    );
 
     println!("\nsimulated flooding on exact trees vs Eq. 3/4:");
     for (k, d) in [(2usize, 4u32), (3, 3), (4, 2)] {

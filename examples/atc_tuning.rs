@@ -20,8 +20,12 @@ fn main() {
     });
 
     let umax_100 = r.u_max_per_hour * 100.0 / r.hour_epochs as f64;
-    println!("Umax/hr = {:.0} updates per 100 epochs; ATC band = [{:.0}, {:.0}]",
-        umax_100, 0.45 * umax_100, 0.55 * umax_100);
+    println!(
+        "Umax/hr = {:.0} updates per 100 epochs; ATC band = [{:.0}, {:.0}]",
+        umax_100,
+        0.45 * umax_100,
+        0.55 * umax_100
+    );
     println!();
     println!("{:>7} {:>16} {:>12}", "epoch", "updates/100ep", "mean delta %");
     for window in (0..epochs / 100).step_by(8) {
@@ -32,7 +36,8 @@ fn main() {
             .find(|(e, _)| *e == window * 100)
             .map(|&(_, d)| d)
             .unwrap_or(f64::NAN);
-        let marker = if upd >= 0.45 * umax_100 && upd <= 0.55 * umax_100 { "  <- in band" } else { "" };
+        let marker =
+            if upd >= 0.45 * umax_100 && upd <= 0.55 * umax_100 { "  <- in band" } else { "" };
         println!("{:>7} {:>16.0} {:>12.2}{marker}", window * 100, upd, delta);
     }
     println!();

@@ -35,7 +35,10 @@ fn main() {
     );
 
     println!("per sensor type (averages over that type's queries):");
-    println!("{:<14} {:>8} {:>10} {:>10} {:>9}", "type", "queries", "should %", "receive %", "recall");
+    println!(
+        "{:<14} {:>8} {:>10} {:>10} {:>9}",
+        "type", "queries", "should %", "receive %", "recall"
+    );
     for t in catalog.types() {
         let outcomes: Vec<_> = r.metrics.outcomes.iter().filter(|o| o.stype == t).collect();
         if outcomes.is_empty() {

@@ -13,13 +13,8 @@ fn deaths_are_detected_and_queries_keep_working() {
         ..ScenarioConfig::paper(20)
     });
     assert!(r.mac_stats.deaths_detected >= 6, "every death must be noticed by some neighbour");
-    let late: Vec<f64> = r
-        .metrics
-        .outcomes
-        .iter()
-        .filter(|o| o.epoch >= 1_000)
-        .map(|o| o.source_recall())
-        .collect();
+    let late: Vec<f64> =
+        r.metrics.outcomes.iter().filter(|o| o.epoch >= 1_000).map(|o| o.source_recall()).collect();
     assert!(!late.is_empty());
     let mean = late.iter().sum::<f64>() / late.len() as f64;
     assert!(mean > 0.85, "recall after repair {mean:.3} too low");
@@ -44,10 +39,7 @@ fn born_node_joins_and_becomes_a_source() {
         engine.step_epoch();
     }
     assert!(engine.is_alive(newcomer));
-    assert!(
-        engine.node(newcomer).parent().is_some(),
-        "newcomer should have attached to the tree"
-    );
+    assert!(engine.node(newcomer).parent().is_some(), "newcomer should have attached to the tree");
     let tree = engine.protocol_tree();
     assert!(tree.is_attached(newcomer), "newcomer must be reachable from the root");
     tree.check_invariants().unwrap();

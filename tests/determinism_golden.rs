@@ -48,8 +48,14 @@ const GOLDEN_ATC_CHURN: u64 = 0x9CBA44986A3AAF98;
 #[test]
 fn print_fingerprints() {
     // Not an assertion: convenience target for re-recording the constants.
-    println!("GOLDEN_FIXED     = {:#018X}", run_scenario(fixed_delta_scenario()).stable_fingerprint());
-    println!("GOLDEN_ATC_CHURN = {:#018X}", run_scenario(atc_churn_scenario()).stable_fingerprint());
+    println!(
+        "GOLDEN_FIXED     = {:#018X}",
+        run_scenario(fixed_delta_scenario()).stable_fingerprint()
+    );
+    println!(
+        "GOLDEN_ATC_CHURN = {:#018X}",
+        run_scenario(atc_churn_scenario()).stable_fingerprint()
+    );
 }
 
 #[test]

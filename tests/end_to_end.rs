@@ -5,11 +5,7 @@
 use dirq::prelude::*;
 
 fn base(seed: u64) -> ScenarioConfig {
-    ScenarioConfig {
-        epochs: 1_500,
-        measure_from_epoch: 300,
-        ..ScenarioConfig::paper(seed)
-    }
+    ScenarioConfig { epochs: 1_500, measure_from_epoch: 300, ..ScenarioConfig::paper(seed) }
 }
 
 #[test]
@@ -27,10 +23,7 @@ fn dirq_beats_flooding_at_every_relevance_level() {
         });
         let dc = dirq.cost_per_query().unwrap();
         let fc = flooding.cost_per_query().unwrap();
-        assert!(
-            dc < fc,
-            "target {target}: DirQ {dc:.1} should undercut flooding {fc:.1}"
-        );
+        assert!(dc < fc, "target {target}: DirQ {dc:.1} should undercut flooding {fc:.1}");
     }
 }
 
@@ -39,10 +32,7 @@ fn update_traffic_monotone_in_delta() {
     // Fig. 6's core ordering: larger thresholds, fewer update messages.
     let mut last = u64::MAX;
     for &delta in &[3.0, 5.0, 9.0] {
-        let r = run_scenario(ScenarioConfig {
-            delta_policy: DeltaPolicy::Fixed(delta),
-            ..base(2)
-        });
+        let r = run_scenario(ScenarioConfig { delta_policy: DeltaPolicy::Fixed(delta), ..base(2) });
         let tx = r.metrics.update_cost.tx;
         assert!(tx < last, "δ={delta}%: {tx} updates, expected fewer than {last}");
         last = tx;
@@ -66,10 +56,7 @@ fn overshoot_grows_with_delta_and_shrinks_with_relevance() {
 
     let narrow = overshoot(5.0, 0.2);
     let wide = overshoot(5.0, 0.6);
-    assert!(
-        wide < narrow,
-        "overshoot must shrink with relevance: 20%={narrow:.1}% 60%={wide:.1}%"
-    );
+    assert!(wide < narrow, "overshoot must shrink with relevance: 20%={narrow:.1}% 60%={wide:.1}%");
 }
 
 #[test]
@@ -82,12 +69,7 @@ fn queries_reach_sources_with_high_recall() {
 #[test]
 fn flooding_reaches_every_alive_node() {
     let r = run_scenario(ScenarioConfig { protocol: Protocol::Flooding, ..base(5) });
-    for o in r
-        .metrics
-        .outcomes
-        .iter()
-        .filter(|o| o.epoch >= 300)
-    {
+    for o in r.metrics.outcomes.iter().filter(|o| o.epoch >= 300) {
         assert_eq!(o.received, r.n_nodes - 1, "flooding must reach all non-root nodes");
     }
 }
@@ -125,9 +107,8 @@ fn atc_lands_near_the_cost_band() {
 fn cost_categories_decompose_total() {
     let r = run_scenario(base(9));
     let total = r.metrics.total_cost();
-    let sum = r.metrics.query_cost.cost()
-        + r.metrics.update_cost.cost()
-        + r.metrics.control_cost.cost();
+    let sum =
+        r.metrics.query_cost.cost() + r.metrics.update_cost.cost() + r.metrics.control_cost.cost();
     assert_eq!(total, sum);
     assert!(r.metrics.query_cost.cost() > 0.0);
     assert!(r.metrics.update_cost.cost() > 0.0);

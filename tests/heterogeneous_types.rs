@@ -27,13 +27,8 @@ fn tables_exist_only_where_the_type_exists_in_the_subtree() {
             }
             if engine.node(n).table(t).is_some() {
                 let subtree = tree.subtree(n);
-                let carried = subtree
-                    .iter()
-                    .any(|m| world.assignment().has(m.index(), t));
-                assert!(
-                    carried,
-                    "{n} holds a table for {t} but no node in its subtree carries it"
-                );
+                let carried = subtree.iter().any(|m| world.assignment().has(m.index(), t));
+                assert!(carried, "{n} holds a table for {t} but no node in its subtree carries it");
             }
         }
     }
@@ -108,14 +103,8 @@ fn sensor_added_after_deployment_becomes_queryable() {
     }
     // The node now advertises the type: its parent's table has an entry.
     let parent = engine.node(node).parent().unwrap();
-    let entry = engine
-        .node(parent)
-        .table(t)
-        .and_then(|tab| tab.child_entry(node).copied());
-    assert!(
-        entry.is_some(),
-        "parent {parent} never learned about {node}'s new sensor"
-    );
+    let entry = engine.node(parent).table(t).and_then(|tab| tab.child_entry(node).copied());
+    assert!(entry.is_some(), "parent {parent} never learned about {node}'s new sensor");
     // And the root can route a query covering the node's reading.
     let reading = engine.world().reading(node.index(), t).unwrap();
     let root_table = engine.node(NodeId::ROOT).table(t).expect("root table exists");
@@ -161,12 +150,8 @@ fn sensor_removal_retracts_tables() {
         "leaf's own table should be gone after sensor removal"
     );
     let parent = engine.node(node).parent().unwrap();
-    let parent_entry =
-        engine.node(parent).table(t).and_then(|tab| tab.child_entry(node).copied());
-    assert!(
-        parent_entry.is_none(),
-        "parent must have processed the Retract for {node}"
-    );
+    let parent_entry = engine.node(parent).table(t).and_then(|tab| tab.child_entry(node).copied());
+    assert!(parent_entry.is_none(), "parent must have processed the Retract for {node}");
 }
 
 #[test]
@@ -180,8 +165,5 @@ fn queries_span_all_four_types_over_a_run() {
     for o in &r.metrics.outcomes {
         seen[o.stype.index()] = true;
     }
-    assert!(
-        seen.iter().all(|&s| s),
-        "workload should exercise every sensor type, saw {seen:?}"
-    );
+    assert!(seen.iter().all(|&s| s), "workload should exercise every sensor type, saw {seen:?}");
 }

@@ -22,11 +22,8 @@ fn geo_adverts_converge_to_full_coverage() {
     }
     // The root's geo table must cover every attached node's position.
     let tree = engine.protocol_tree();
-    let root_hull = engine
-        .node(NodeId::ROOT)
-        .geo_table()
-        .aggregate()
-        .expect("root learned subtree boxes");
+    let root_hull =
+        engine.node(NodeId::ROOT).geo_table().aggregate().expect("root learned subtree boxes");
     for n in engine.topology().nodes() {
         if tree.is_attached(n) && !n.is_root() {
             assert!(
@@ -51,10 +48,7 @@ fn spatial_scoping_reduces_receptions() {
     // than value-only queries at the same involvement level, and far fewer
     // than flooding.
     let spatial = run_scenario(geo_cfg(52));
-    let flooding = run_scenario(ScenarioConfig {
-        protocol: Protocol::Flooding,
-        ..geo_cfg(52)
-    });
+    let flooding = run_scenario(ScenarioConfig { protocol: Protocol::Flooding, ..geo_cfg(52) });
     let spatial_recv = spatial.metrics.mean_over_queries(|o| o.received as f64).unwrap();
     let flood_recv = flooding.metrics.mean_over_queries(|o| o.received as f64).unwrap();
     assert!(
@@ -74,13 +68,8 @@ fn geo_stays_consistent_under_churn() {
         epochs: 2_000,
         ..geo_cfg(53)
     });
-    let late: Vec<f64> = r
-        .metrics
-        .outcomes
-        .iter()
-        .filter(|o| o.epoch >= 1_200)
-        .map(|o| o.source_recall())
-        .collect();
+    let late: Vec<f64> =
+        r.metrics.outcomes.iter().filter(|o| o.epoch >= 1_200).map(|o| o.source_recall()).collect();
     assert!(!late.is_empty());
     let mean = late.iter().sum::<f64>() / late.len() as f64;
     assert!(mean > 0.8, "post-churn spatial recall {mean:.3}");
@@ -88,11 +77,8 @@ fn geo_stays_consistent_under_churn() {
 
 #[test]
 fn mixed_workload_supports_both_query_kinds() {
-    let mut engine = Engine::new(ScenarioConfig {
-        spatial_query_fraction: 0.5,
-        epochs: 2_000,
-        ..geo_cfg(54)
-    });
+    let mut engine =
+        Engine::new(ScenarioConfig { spatial_query_fraction: 0.5, epochs: 2_000, ..geo_cfg(54) });
     for _ in 0..2_000 {
         engine.step_epoch();
     }
@@ -103,11 +89,7 @@ fn mixed_workload_supports_both_query_kinds() {
     // receive profile at 20% involvement would be coincidence.)
     let metrics = engine.metrics();
     assert!(metrics.outcomes.len() > 80);
-    let mean_recall = metrics
-        .outcomes
-        .iter()
-        .map(|o| o.source_recall())
-        .sum::<f64>()
+    let mean_recall = metrics.outcomes.iter().map(|o| o.source_recall()).sum::<f64>()
         / metrics.outcomes.len() as f64;
     assert!(mean_recall > 0.9, "mixed workload recall {mean_recall:.3}");
 }
