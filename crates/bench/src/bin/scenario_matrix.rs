@@ -1,0 +1,181 @@
+//! The scenario-matrix bench: run the preset registry through the
+//! deterministic sweep executor and record `BENCH_2.json`.
+//!
+//! Modes:
+//!
+//! * default — the full registry (100–5 000 nodes, including the ≥2 000
+//!   node deployments) at its recorded epoch budgets; writes the artifact.
+//! * `--preset NAME` — one preset only.
+//! * `--epoch-scale F` / `--quick` — scale every epoch budget (quick ≈ 0.1).
+//! * `--smoke` — CI mode: the small smoke preset at two thread counts,
+//!   asserting the fingerprints are identical, match the recorded golden,
+//!   and that the emitted JSON parses back. Exits non-zero on any mismatch.
+//! * `--list` — print the registry and exit.
+//!
+//! Usage: `scenario_matrix [--preset NAME] [--epoch-scale F] [--quick]
+//! [--threads T] [--replicates R] [--out PATH] [--smoke] [--list]`
+
+use std::time::Instant;
+
+use dirq_scenario::{registry, run_matrix_report, ScenarioReport, ScenarioSpec, SweepConfig};
+use dirq_sim::json::Json;
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: scenario_matrix [--preset NAME] [--epoch-scale F] [--quick] \
+         [--threads T] [--replicates R] [--out PATH] [--smoke] [--list]"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+fn main() {
+    let mut cfg = SweepConfig::default();
+    let mut out = String::from("BENCH_2.json");
+    let mut only: Option<String> = None;
+    let mut smoke = false;
+    let mut list = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--threads" => {
+                cfg.threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--threads needs a number"))
+            }
+            "--replicates" => {
+                cfg.replicates = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--replicates needs a number"))
+            }
+            "--epoch-scale" => {
+                cfg.epoch_scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--epoch-scale needs a number"))
+            }
+            "--quick" => cfg.epoch_scale = 0.1,
+            "--preset" => {
+                only = Some(args.next().unwrap_or_else(|| usage("--preset needs a name")))
+            }
+            "--out" => out = args.next().unwrap_or_else(|| usage("--out needs a path")),
+            "--smoke" => smoke = true,
+            "--list" => list = true,
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    if list {
+        println!("{:<22} {:>6} {:>7}  schemes", "preset", "nodes", "epochs");
+        for s in registry::registry() {
+            let schemes: Vec<String> = s.schemes.iter().map(|k| k.label()).collect();
+            println!("{:<22} {:>6} {:>7}  {}", s.name, s.n_nodes, s.epochs, schemes.join(", "));
+        }
+        return;
+    }
+
+    if smoke {
+        run_smoke(&out);
+        return;
+    }
+
+    let specs: Vec<ScenarioSpec> = match &only {
+        Some(name) => {
+            vec![dirq_scenario::preset(name)
+                .unwrap_or_else(|| usage(&format!("unknown preset {name:?} (try --list)")))]
+        }
+        None => registry::registry(),
+    };
+
+    let t0 = Instant::now();
+    let report = run_matrix_report(&specs, &cfg);
+    let wall = t0.elapsed().as_secs_f64();
+
+    print!("{}", report.summary_table().to_ascii());
+    if !report.comparisons.is_empty() {
+        println!("comparisons (scheme / flooding, same scenario):");
+        for c in &report.comparisons {
+            println!("  {:<18} {:<22} {:>7.3}", c.scenario, c.metric, c.ratio);
+        }
+    }
+    println!(
+        "report fingerprint: {:#018X}  ({} rows, {:.1}s wall)",
+        report.stable_fingerprint(),
+        report.rows.len(),
+        wall
+    );
+
+    let doc = artifact(&report, &cfg, wall);
+    std::fs::write(&out, doc.render_pretty()).expect("write scenario matrix json");
+    println!("wrote {out}");
+}
+
+/// Wrap the report in the artifact envelope.
+fn artifact(report: &ScenarioReport, cfg: &SweepConfig, wall: f64) -> Json {
+    let mut doc = Json::object();
+    doc.set("schema", Json::Str("dirq-scenario-matrix-v1".to_string()));
+    doc.set("epoch_scale", Json::Num(cfg.epoch_scale));
+    doc.set("replicates", Json::Num(cfg.replicates as f64));
+    doc.set("wall_seconds", Json::Num((wall * 100.0).round() / 100.0));
+    doc.set("report", report.to_json());
+    doc.set("tool", Json::Str("crates/bench/src/bin/scenario_matrix.rs".to_string()));
+    doc
+}
+
+/// CI smoke: one small preset, two thread counts, golden fingerprint,
+/// JSON round-trip. Any failure exits non-zero.
+fn run_smoke(out: &str) {
+    let spec = registry::smoke();
+    let single = run_matrix_report(
+        std::slice::from_ref(&spec),
+        &SweepConfig { threads: 1, ..SweepConfig::default() },
+    );
+    let parallel = run_matrix_report(
+        std::slice::from_ref(&spec),
+        &SweepConfig { threads: 0, ..SweepConfig::default() },
+    );
+    let fp = single.stable_fingerprint();
+    if fp != parallel.stable_fingerprint() {
+        eprintln!(
+            "FAIL: thread count changed the report: {:#018X} (1 thread) vs {:#018X} (all cores)",
+            fp,
+            parallel.stable_fingerprint()
+        );
+        std::process::exit(1);
+    }
+    if fp != registry::SMOKE_GOLDEN_FINGERPRINT {
+        eprintln!(
+            "FAIL: smoke fingerprint {fp:#018X} != recorded golden {:#018X}\n\
+             (intentional behaviour change? re-record via tests/scenario_golden.rs)",
+            registry::SMOKE_GOLDEN_FINGERPRINT
+        );
+        std::process::exit(1);
+    }
+    let doc = artifact(&single, &SweepConfig::default(), 0.0);
+    let text = doc.render_pretty();
+    std::fs::write(out, &text).expect("write smoke json");
+    let parsed = match Json::parse(&text) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("FAIL: emitted smoke JSON does not parse: {e}");
+            std::process::exit(1);
+        }
+    };
+    let recorded = parsed
+        .get("report")
+        .and_then(|r| r.get("report_fingerprint"))
+        .and_then(Json::as_str)
+        .unwrap_or_default()
+        .to_string();
+    if recorded != format!("{fp:#018X}") {
+        eprintln!("FAIL: JSON round-trip lost the fingerprint: {recorded:?}");
+        std::process::exit(1);
+    }
+    println!("smoke OK: fingerprint {fp:#018X} stable across thread counts, JSON parses");
+    println!("wrote {out}");
+}

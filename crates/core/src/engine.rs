@@ -96,6 +96,12 @@ pub struct ScenarioConfig {
     pub n_nodes: usize,
     /// Deployment square side, metres.
     pub side: f64,
+    /// Node layout. `None` = uniform random in the `side × side` square
+    /// (the paper's deployment); scenario presets override this with
+    /// grids, corridors or clustered layouts.
+    pub placement: Option<Placement>,
+    /// Where the sink (node 0) is pinned.
+    pub sink: SinkPlacement,
     /// Radio range, metres (unit-disk model).
     pub radio_range: f64,
     /// Run length in epochs (the paper: 20 000).
@@ -151,6 +157,8 @@ impl ScenarioConfig {
             seed,
             n_nodes: 50,
             side: 100.0,
+            placement: None,
+            sink: SinkPlacement::Corner,
             radio_range: 28.0,
             epochs: 20_000,
             query_period: 20,
@@ -210,6 +218,9 @@ pub struct RunResult {
     pub samples_taken: u64,
     /// Sensor acquisitions avoided by the predictive sampler.
     pub samples_skipped: u64,
+    /// Ground-truth evaluations spent on query-window calibration (the
+    /// warm-start optimisation drives this down; see `dirq_data::workload`).
+    pub calibration_probes: u64,
 }
 
 impl RunResult {
@@ -265,6 +276,7 @@ impl RunResult {
         }
         h.u64(self.samples_taken);
         h.u64(self.samples_skipped);
+        h.u64(self.calibration_probes);
         h.finish()
     }
 }
@@ -336,10 +348,12 @@ impl Engine {
             }
             _ => {
                 let mut rng = factory.stream("deploy");
+                let placement =
+                    cfg.placement.clone().unwrap_or(Placement::UniformRandom { side: cfg.side });
                 let topo = Topology::deploy_connected(
                     cfg.n_nodes,
-                    &Placement::UniformRandom { side: cfg.side },
-                    SinkPlacement::Corner,
+                    &placement,
+                    cfg.sink,
                     &UnitDisk::new(cfg.radio_range),
                     &mut rng,
                     500,
@@ -613,6 +627,7 @@ impl Engine {
             delta_trace: self.delta_trace,
             samples_taken,
             samples_skipped,
+            calibration_probes: self.qgen.ground_truth_probes(),
         }
     }
 

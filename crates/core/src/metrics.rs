@@ -223,31 +223,9 @@ impl Metrics {
     }
 }
 
-/// Minimal FNV-1a accumulator for the determinism fingerprints.
-pub(crate) struct Fnv(u64);
-
-impl Fnv {
-    pub(crate) fn new() -> Self {
-        Fnv(0xcbf29ce484222325)
-    }
-
-    pub(crate) fn u64(&mut self, v: u64) {
-        for b in v.to_le_bytes() {
-            self.0 ^= u64::from(b);
-            self.0 = self.0.wrapping_mul(0x100000001b3);
-        }
-    }
-
-    /// Hash a float by bit pattern (runs must be bit-identical, so exact
-    /// representation equality is the right notion).
-    pub(crate) fn f64(&mut self, v: f64) {
-        self.u64(v.to_bits());
-    }
-
-    pub(crate) fn finish(&self) -> u64 {
-        self.0
-    }
-}
+/// The workspace-wide FNV-1a accumulator (same algorithm as the private
+/// hasher this module used to carry, so recorded fingerprints are stable).
+pub(crate) use dirq_sim::fingerprint::Fnv;
 
 #[cfg(test)]
 mod tests {

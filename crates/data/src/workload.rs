@@ -205,12 +205,35 @@ pub struct CalibratedQuery {
     pub truth: GroundTruth,
 }
 
+/// Cold-start calibration: candidate window centres per query.
+const COLD_CANDIDATES: usize = 8;
+/// Cold-start calibration: bisection steps per candidate.
+const COLD_ITERS: usize = 24;
+/// Warm-start calibration: candidate window centres per query.
+const WARM_CANDIDATES: usize = 3;
+/// Warm-start calibration: bisection steps per candidate (the bracket is
+/// only 64× wide, so 10 steps resolve the width to ~w/128).
+const WARM_ITERS: usize = 10;
+/// Warm-start bracket half-decades around the previous width.
+const WARM_BRACKET: f64 = 8.0;
+
 /// Generates range queries whose involved fraction approximates a target.
+///
+/// Calibration **warm-starts from the previous window per sensor type**:
+/// the involved fraction is monotone in the window half-width, and the
+/// target width drifts slowly between consecutive queries of a type (the
+/// world's diurnal/regional components move all readings together), so the
+/// bisection brackets `[w₀/8, 8·w₀]` around the last accepted width with
+/// fewer candidates and steps. A cold full-span calibration runs for the
+/// first query of each type — and as a fallback whenever the warm result
+/// misses the target badly (e.g. after heavy churn reshapes the value
+/// distribution). This cuts the ~200 ground-truth probes per query to
+/// ~35, which is what keeps multi-thousand-node scenario generation fast.
 pub struct QueryGenerator {
     next_id: u64,
     target_fraction: f64,
     every_epochs: u64,
-    /// Number of candidate window centres evaluated per query.
+    /// Number of candidate window centres evaluated per cold query.
     candidates: usize,
     /// Probability that a generated query is spatially scoped (requires
     /// node positions — the paper's optional location attribute).
@@ -218,6 +241,11 @@ pub struct QueryGenerator {
     rng: SimRng,
     /// Reusable ground-truth buffers for window calibration.
     scratch: TruthScratch,
+    /// Last accepted half-width per sensor type (warm-start state).
+    warm_width: Vec<Option<f64>>,
+    /// Ground-truth evaluations performed so far (bisection probes plus
+    /// final candidate scorings) — observability for the warm-start win.
+    probes: u64,
 }
 
 impl QueryGenerator {
@@ -230,11 +258,18 @@ impl QueryGenerator {
             next_id: 0,
             target_fraction,
             every_epochs,
-            candidates: 8,
+            candidates: COLD_CANDIDATES,
             spatial_fraction: 0.0,
             rng,
             scratch: TruthScratch::default(),
+            warm_width: Vec::new(),
+            probes: 0,
         }
+    }
+
+    /// Total ground-truth evaluations performed by calibration so far.
+    pub fn ground_truth_probes(&self) -> u64 {
+        self.probes
     }
 
     /// Make a fraction of the generated queries spatially scoped.
@@ -324,9 +359,10 @@ impl QueryGenerator {
                     .with_region(dirq_net::Rect::centered(centre, h))
             };
             let n = readings.len();
-            for _ in 0..24 {
+            for _ in 0..COLD_ITERS {
                 let mid = 0.5 * (lo_h + hi_h);
                 let probe = query_at(mid, self.next_id);
+                self.probes += 1;
                 let count = self.scratch.mark(n, tree, |i| {
                     is_alive(NodeId::from_index(i)) && probe.matches_at(readings[i], &positions[i])
                 });
@@ -338,6 +374,7 @@ impl QueryGenerator {
             }
             let h = 0.5 * (lo_h + hi_h);
             let query = query_at(h, self.next_id);
+            self.probes += 1;
             let truth = ground_truth_for_query(readings, positions, tree, &query, is_alive);
             let err = (truth.involved_fraction() - self.target_fraction).abs();
             if best.as_ref().map(|(e, _)| err < *e).unwrap_or(true) {
@@ -353,6 +390,11 @@ impl QueryGenerator {
     }
 
     /// Generate a calibrated query for a specific sensor type.
+    ///
+    /// Warm path: bisect inside a narrow bracket around the type's last
+    /// accepted width. Cold path (first query of a type, or when the warm
+    /// result misses the target by more than half of it): full-span
+    /// bisection with the larger candidate budget.
     pub fn generate_for_type(
         &mut self,
         stype: SensorType,
@@ -376,17 +418,82 @@ impl QueryGenerator {
             (hi - lo).max(1e-9)
         };
 
+        let warm = self.warm_width.get(stype.index()).copied().flatten();
+        let mut best = match warm {
+            Some(w0) => {
+                let hi_w = (w0 * WARM_BRACKET).min(span);
+                let lo_w = (w0 / WARM_BRACKET).min(hi_w * 0.5);
+                self.calibrate_value_window(
+                    stype,
+                    readings,
+                    &alive_values,
+                    tree,
+                    is_alive,
+                    (lo_w, hi_w),
+                    WARM_ITERS,
+                    WARM_CANDIDATES,
+                )
+            }
+            None => None,
+        };
+        let tolerance = (0.5 * self.target_fraction).max(2.0 / readings.len() as f64);
+        if !best.as_ref().map(|&(err, _)| err <= tolerance).unwrap_or(false) {
+            // Cold (re)calibration over the full value span.
+            let cold = self.calibrate_value_window(
+                stype,
+                readings,
+                &alive_values,
+                tree,
+                is_alive,
+                (0.0, span),
+                COLD_ITERS,
+                self.candidates,
+            );
+            best = match (best, cold) {
+                (Some(a), Some(b)) => Some(if b.0 < a.0 { b } else { a }),
+                (a, b) => b.or(a),
+            };
+        }
+
+        let (_, cal) = best?;
+        if cal.truth.sources.is_empty() {
+            return None;
+        }
+        let idx = stype.index();
+        if self.warm_width.len() <= idx {
+            self.warm_width.resize(idx + 1, None);
+        }
+        self.warm_width[idx] = Some(0.5 * (cal.query.hi - cal.query.lo));
+        self.next_id += 1;
+        Some(cal)
+    }
+
+    /// Core value-window calibration: evaluate `candidates` random centres,
+    /// bisecting each half-width inside `bracket`, and return the candidate
+    /// with the smallest involvement error (paired with that error).
+    #[allow(clippy::too_many_arguments)] // internal helper behind two entry points
+    fn calibrate_value_window(
+        &mut self,
+        stype: SensorType,
+        readings: &[f64],
+        alive_values: &[f64],
+        tree: &SpanningTree,
+        is_alive: impl Fn(NodeId) -> bool + Copy,
+        bracket: (f64, f64),
+        iters: usize,
+        candidates: usize,
+    ) -> Option<(f64, CalibratedQuery)> {
+        let n = readings.len();
         let mut best: Option<(f64, CalibratedQuery)> = None;
-        for _ in 0..self.candidates {
+        for _ in 0..candidates {
             let center = alive_values[self.rng.gen_range(0..alive_values.len())];
             // Bisect the half-width: involvement is monotone in w. Only the
             // involved *count* matters here, so the scratch-based evaluator
             // avoids materialising a GroundTruth per probe.
-            let n = readings.len();
-            let mut lo_w = 0.0;
-            let mut hi_w = span;
-            for _ in 0..24 {
+            let (mut lo_w, mut hi_w) = bracket;
+            for _ in 0..iters {
                 let mid = 0.5 * (lo_w + hi_w);
+                self.probes += 1;
                 let count = self.scratch.mark(n, tree, |i| {
                     let v = readings[i];
                     !v.is_nan()
@@ -401,6 +508,7 @@ impl QueryGenerator {
                 }
             }
             let w = 0.5 * (lo_w + hi_w);
+            self.probes += 1;
             let truth = ground_truth(readings, tree, center - w, center + w, is_alive);
             let err = (truth.involved_fraction() - self.target_fraction).abs();
             let query = RangeQuery::value(QueryId(self.next_id), stype, center - w, center + w);
@@ -408,12 +516,7 @@ impl QueryGenerator {
                 best = Some((err, CalibratedQuery { query, truth }));
             }
         }
-        let (_, cal) = best?;
-        if cal.truth.sources.is_empty() {
-            return None;
-        }
-        self.next_id += 1;
-        Some(cal)
+        best
     }
 }
 
@@ -579,6 +682,65 @@ mod tests {
             let cal = g.generate(&world, topo.positions(), &tree, |_| true).unwrap();
             assert!(cal.query.region.is_none());
         }
+    }
+
+    #[test]
+    fn warm_start_cuts_ground_truth_probes() {
+        let (world, _, tree) = setup(47);
+        let mut g = QueryGenerator::new(0.4, 20, RngFactory::new(47).stream("warm"));
+        g.generate(&world, &[], &tree, |_| true).unwrap();
+        let cold = g.ground_truth_probes();
+        // The first query of a type pays the full calibration: 8 candidates
+        // × (24 probes + 1 scoring) = 200 per type attempted.
+        assert!(cold >= 200 && cold.is_multiple_of(200), "cold calibration cost changed: {cold}");
+        let mut warm_total = 0;
+        let trials = 16;
+        for _ in 0..trials {
+            let before = g.ground_truth_probes();
+            g.generate(&world, &[], &tree, |_| true).unwrap();
+            warm_total += g.ground_truth_probes() - before;
+        }
+        let warm_mean = warm_total as f64 / trials as f64;
+        // Some of the 16 draws hit a not-yet-warm sensor type (cold again);
+        // the mean must still be far below the 200-probe cold cost.
+        assert!(warm_mean < 100.0, "warm-start saved too little: {warm_mean:.0} probes/query");
+    }
+
+    #[test]
+    fn warm_start_preserves_calibration_accuracy() {
+        let (world, _, tree) = setup(48);
+        for target in [0.2, 0.4] {
+            let mut g = QueryGenerator::new(target, 20, RngFactory::new(48).stream("warm-acc"));
+            // Warm every type up first.
+            for _ in 0..8 {
+                g.generate(&world, &[], &tree, |_| true).unwrap();
+            }
+            let mut total_err = 0.0;
+            let trials = 20;
+            for _ in 0..trials {
+                let cal = g.generate(&world, &[], &tree, |_| true).unwrap();
+                total_err += (cal.truth.involved_fraction() - target).abs();
+            }
+            let mean_err = total_err / trials as f64;
+            assert!(mean_err < 0.10, "target {target}: warm-started error {mean_err:.3}");
+        }
+    }
+
+    #[test]
+    fn warm_start_recovers_when_distribution_shifts() {
+        // Calibrate against full liveness, then kill half the carriers:
+        // the warm bracket no longer matches, and the cold fallback must
+        // still deliver a usable window.
+        let (world, _, tree) = setup(49);
+        let mut g = QueryGenerator::new(0.3, 20, RngFactory::new(49).stream("warm-shift"));
+        for _ in 0..4 {
+            g.generate(&world, &[], &tree, |_| true).unwrap();
+        }
+        let cal = g
+            .generate(&world, &[], &tree, |n: NodeId| n.index().is_multiple_of(2))
+            .expect("fallback calibration should still produce a query");
+        assert!(!cal.truth.sources.is_empty());
+        assert!(cal.truth.sources.iter().all(|s| s.index() % 2 == 0));
     }
 
     #[test]

@@ -81,13 +81,24 @@ impl ChurnPlan {
     /// the network, after which *no* dissemination scheme can reach any
     /// source — the paper's topology-dynamics experiments measure recovery
     /// from failures, not sink partition, so scenario generation rejects
-    /// partitioning picks. Deaths execute in epoch order (not selection
-    /// order), so the connectivity invariant is validated against each
-    /// prefix of the victims sorted by death epoch.
+    /// partitioning picks.
+    ///
+    /// The schedule is built in kill order: the candidate pool is shuffled
+    /// once, each victim is the first candidate whose death keeps the
+    /// predicate true given everyone already scheduled, then the sorted
+    /// random epochs are assigned to the victims in that order. Every
+    /// epoch-ordered prefix is therefore a validated selection prefix *by
+    /// construction* — unlike rejection sampling over (victim, epoch)
+    /// pairs, this cannot deadlock when an early draw lands at the window
+    /// end (e.g. pendant chains that must die leaf-first). Equal epochs
+    /// are spread apart when the window allows, so the invariant holds
+    /// per event, not only per epoch.
     ///
     /// # Panics
     /// Panics when fewer than `deaths` victims can be chosen without
-    /// violating the predicate.
+    /// violating the predicate (with sink-connectivity this requires
+    /// `deaths ≥ n_nodes - 1`; a connected graph always has a removable
+    /// non-root node).
     pub fn random_deaths_connected(
         n_nodes: usize,
         deaths: usize,
@@ -100,73 +111,48 @@ impl ChurnPlan {
         assert!(from_epoch < until_epoch, "empty epoch window");
         let mut pool: Vec<NodeId> = (1..n_nodes).map(NodeId::from_index).collect();
         pool.shuffle(rng);
-        // Accepted victims with their death epochs, kept sorted by
-        // (epoch, node) — the order the engine will apply them in.
-        let mut victims: Vec<(u64, NodeId)> = Vec::with_capacity(deaths);
-        let mut prefix: Vec<NodeId> = Vec::with_capacity(deaths);
-        // A candidate rejected in one round can become acceptable later
-        // (e.g. once the node that would have been stranded is itself
-        // scheduled to die earlier), so sweep the pool repeatedly with
-        // fresh epoch draws.
-        const MAX_ROUNDS: usize = 16;
-        for _ in 0..MAX_ROUNDS {
-            if victims.len() == deaths {
-                break;
-            }
-            let mut rejected: Vec<NodeId> = Vec::new();
-            for &c in &pool {
-                if victims.len() == deaths {
-                    break;
+        // Victims in kill order; each prefix satisfies the predicate.
+        let mut victims: Vec<NodeId> = Vec::with_capacity(deaths);
+        for k in 0..deaths {
+            let accepted = (0..pool.len()).find(|&offset| {
+                victims.push(pool[offset]);
+                if keeps_root_connected(&victims) {
+                    return true;
                 }
-                // Every epoch-ordered prefix must keep the remaining
-                // network attached to the sink (inserting an early death
-                // changes all later intermediate dead-sets, so re-check
-                // them all).
-                let mut try_at = |victims: &mut Vec<(u64, NodeId)>, epoch: u64| {
-                    let at = victims.partition_point(|&(e, n)| (e, n) < (epoch, c));
-                    victims.insert(at, (epoch, c));
-                    // Prefixes strictly before the insertion point are
-                    // unchanged by this insert and were validated when
-                    // their own members were accepted.
-                    prefix.clear();
-                    prefix.extend(victims[..at].iter().map(|&(_, v)| v));
-                    let ok = victims[at..].iter().all(|&(_, v)| {
-                        prefix.push(v);
-                        keeps_root_connected(&prefix)
-                    });
-                    if !ok {
-                        victims.remove(at);
-                    }
-                    ok
-                };
-                let epoch = rng.gen_range(from_epoch..until_epoch);
-                let mut accepted = try_at(&mut victims, epoch);
-                if !accepted {
-                    // A candidate whose random epoch predates a node it
-                    // would strand can still be viable as the *last*
-                    // death; retry once in the window after the current
-                    // latest epoch, if any room remains.
-                    let last = victims.last().map(|&(e, _)| e).unwrap_or(from_epoch);
-                    if last + 1 < until_epoch {
-                        let late = rng.gen_range(last + 1..until_epoch);
-                        accepted = try_at(&mut victims, late);
-                    }
-                }
-                if !accepted {
-                    rejected.push(c);
-                }
-            }
-            pool = rejected;
-            if pool.is_empty() {
-                break;
-            }
+                victims.pop();
+                false
+            });
+            let Some(idx) = accepted else {
+                panic!("only {k} of {deaths} deaths possible without partitioning the sink");
+            };
+            pool.swap_remove(idx);
         }
-        assert!(
-            victims.len() == deaths,
-            "only {} of {deaths} deaths possible without partitioning the sink",
-            victims.len()
-        );
-        let events = victims.into_iter().map(|(epoch, v)| (epoch, ChurnEvent::Death(v))).collect();
+        // Epochs: uniform draws, sorted, then spread apart where ties
+        // occurred (the window almost always has room). Assigned to the
+        // victims in kill order, so the set dead by any epoch is exactly a
+        // validated selection prefix.
+        let mut epochs: Vec<u64> =
+            (0..deaths).map(|_| rng.gen_range(from_epoch..until_epoch)).collect();
+        epochs.sort_unstable();
+        if (until_epoch - from_epoch) >= deaths as u64 {
+            for i in 1..epochs.len() {
+                if epochs[i] <= epochs[i - 1] {
+                    epochs[i] = epochs[i - 1] + 1;
+                }
+            }
+            // Bumping may have run past the window end; push back down
+            // (room is guaranteed by the width check above).
+            for i in (0..epochs.len()).rev() {
+                let cap = until_epoch - (epochs.len() - i) as u64;
+                if epochs[i] > cap {
+                    epochs[i] = cap;
+                }
+            }
+            debug_assert!(epochs.first().is_none_or(|&e| e >= from_epoch));
+            debug_assert!(epochs.windows(2).all(|w| w[0] < w[1]));
+        }
+        let events =
+            victims.into_iter().zip(epochs).map(|(v, e)| (e, ChurnEvent::Death(v))).collect();
         ChurnPlan::new(events)
     }
 

@@ -390,4 +390,81 @@ mod tests {
         assert!(t.is_connected());
         assert!(t.is_empty());
     }
+
+    /// Ring + long chords, defined purely by index arithmetic so the edge
+    /// set among the first `k` nodes is identical for every graph size
+    /// ≥ `k` (enabling dense-vs-sparse parity checks across the
+    /// [`DENSE_LINK_MAX_NODES`] boundary without O(n²) geometry).
+    fn chord_edges(n: usize) -> Vec<(NodeId, NodeId)> {
+        let mut edges = Vec::new();
+        for i in 0..n {
+            if i + 1 < n {
+                edges.push((NodeId::from_index(i), NodeId::from_index(i + 1)));
+            }
+            if i + 97 < n {
+                edges.push((NodeId::from_index(i), NodeId::from_index(i + 97)));
+            }
+        }
+        edges
+    }
+
+    #[test]
+    fn sparse_fallback_above_dense_limit() {
+        let big = DENSE_LINK_MAX_NODES + 104; // 4200: CSR binary-search path
+        let small = DENSE_LINK_MAX_NODES; // 4096: dense bit-matrix path
+        let t_sparse = Topology::from_edges(big, &chord_edges(big));
+        let t_dense = Topology::from_edges(small, &chord_edges(small));
+
+        // Every edge among the first `small` nodes exists in both graphs;
+        // the two membership implementations must agree on all of them,
+        // and on a deterministic sample of non-edges.
+        for (a, b) in chord_edges(small) {
+            assert!(t_sparse.has_link(a, b) && t_sparse.has_link(b, a));
+            assert_eq!(t_sparse.has_link(a, b), t_dense.has_link(a, b), "{a}-{b}");
+        }
+        let mut x: u64 = 0x243F6A8885A308D3;
+        for _ in 0..50_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let a = NodeId::from_index((x >> 33) as usize % small);
+            let b = NodeId::from_index((x >> 11) as usize % small);
+            if a == b {
+                continue;
+            }
+            assert_eq!(
+                t_sparse.has_link(a, b),
+                t_dense.has_link(a, b),
+                "dense and sparse membership disagree on {a}-{b}"
+            );
+            assert_eq!(
+                t_sparse.has_link(a, b),
+                t_sparse.neighbors(a).binary_search(&b).is_ok(),
+                "sparse has_link inconsistent with its own CSR row at {a}-{b}"
+            );
+        }
+    }
+
+    #[test]
+    fn large_graph_neighbor_slices_stay_sorted_and_symmetric() {
+        let n = DENSE_LINK_MAX_NODES + 104;
+        let t = Topology::from_edges(n, &chord_edges(n));
+        assert_eq!(t.len(), n);
+        assert!(t.is_connected());
+        let mut degree_sum = 0;
+        for a in t.nodes() {
+            let row = t.neighbors(a);
+            assert!(row.windows(2).all(|w| w[0] < w[1]), "row of {a} not strictly sorted");
+            assert_eq!(row.len(), t.degree(a));
+            degree_sum += row.len();
+            for &b in row {
+                assert!(t.neighbors(b).binary_search(&a).is_ok(), "asymmetric link {a}-{b}");
+            }
+        }
+        assert_eq!(degree_sum, 2 * t.link_count());
+        // Hop distances stay exact on the fallback path: node i sits
+        // (roughly) i/97 chord hops from the root.
+        let d = t.hop_distances(NodeId::ROOT, |_| true);
+        assert_eq!(d[97], 1);
+        assert_eq!(d[2 * 97], 2);
+        assert_eq!(d[1], 1);
+    }
 }

@@ -48,15 +48,36 @@ pub enum Placement {
         /// Standard deviation of each blob, metres.
         spread: f64,
     },
+    /// Independently uniform positions in a `length × width` strip
+    /// (length ≫ width) — the pipeline/road-monitoring layout. With
+    /// [`SinkPlacement::Corner`] the sink sits at the `x = 0` end, giving
+    /// the deepest trees of any family.
+    Corridor {
+        /// Strip length along x, metres.
+        length: f64,
+        /// Strip width along y, metres.
+        width: f64,
+    },
 }
 
 impl Placement {
-    /// Deployment square side length.
+    /// Deployment square side length. For the (non-square) corridor this
+    /// is the dominant dimension — the extent a world generator should
+    /// cover.
     pub fn side(&self) -> f64 {
         match *self {
             Placement::UniformRandom { side }
             | Placement::JitteredGrid { side, .. }
             | Placement::Clustered { side, .. } => side,
+            Placement::Corridor { length, .. } => length,
+        }
+    }
+
+    /// Bounding rectangle `(x extent, y extent)` of the deployment area.
+    pub fn bounds(&self) -> (f64, f64) {
+        match *self {
+            Placement::Corridor { length, width } => (length, width),
+            _ => (self.side(), self.side()),
         }
     }
 
@@ -64,17 +85,15 @@ impl Placement {
     /// according to `sink`.
     pub fn generate(&self, n: usize, sink: SinkPlacement, rng: &mut SimRng) -> Vec<Position> {
         assert!(n > 0, "a network needs at least the sink node");
-        let side = self.side();
-        assert!(side > 0.0, "deployment square must have positive side");
+        let (bx, by) = self.bounds();
+        assert!(bx > 0.0 && by > 0.0, "deployment area must have positive extent");
         let mut positions = Vec::with_capacity(n);
 
         // Sink first so the remaining draws are identical across sink modes.
         positions.push(match sink {
             SinkPlacement::Corner => Position::new(0.0, 0.0),
-            SinkPlacement::Center => Position::new(side / 2.0, side / 2.0),
-            SinkPlacement::Random => {
-                Position::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side))
-            }
+            SinkPlacement::Center => Position::new(bx / 2.0, by / 2.0),
+            SinkPlacement::Random => Position::new(rng.gen_range(0.0..bx), rng.gen_range(0.0..by)),
         });
 
         match *self {
@@ -82,6 +101,12 @@ impl Placement {
                 for _ in 1..n {
                     positions
                         .push(Position::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side)));
+                }
+            }
+            Placement::Corridor { length, width } => {
+                for _ in 1..n {
+                    positions
+                        .push(Position::new(rng.gen_range(0.0..length), rng.gen_range(0.0..width)));
                 }
             }
             Placement::JitteredGrid { side, jitter } => {
@@ -185,6 +210,28 @@ mod tests {
         for q in &pos {
             assert!((0.0..=10.0).contains(&q.x) && (0.0..=10.0).contains(&q.y));
         }
+    }
+
+    #[test]
+    fn corridor_positions_inside_strip() {
+        let p = Placement::Corridor { length: 2000.0, width: 60.0 };
+        assert_eq!(p.bounds(), (2000.0, 60.0));
+        assert_eq!(p.side(), 2000.0, "dominant dimension drives world extent");
+        let pos = p.generate(300, SinkPlacement::Corner, &mut rng());
+        assert_eq!(pos[0], Position::new(0.0, 0.0), "sink at the origin end");
+        for q in &pos[1..] {
+            assert!((0.0..=2000.0).contains(&q.x) && (0.0..=60.0).contains(&q.y));
+        }
+        // The strip is actually used end to end.
+        let max_x = pos.iter().map(|q| q.x).fold(0.0, f64::max);
+        assert!(max_x > 1500.0, "corridor should span its length, got {max_x:.0}");
+    }
+
+    #[test]
+    fn corridor_center_sink_respects_rectangle() {
+        let p = Placement::Corridor { length: 100.0, width: 10.0 };
+        let pos = p.generate(5, SinkPlacement::Center, &mut rng());
+        assert_eq!(pos[0], Position::new(50.0, 5.0));
     }
 
     #[test]

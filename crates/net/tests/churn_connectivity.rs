@@ -1,0 +1,106 @@
+//! Property test guarding the PR 1 churn fix: a death schedule produced by
+//! [`ChurnPlan::random_deaths_connected`] must never sever a still-alive
+//! node from the sink at *any* point of the schedule — the predicate is
+//! enforced against every epoch-ordered prefix of the dead set, not the
+//! selection order.
+
+use dirq_net::churn::{ChurnEvent, ChurnPlan};
+use dirq_net::placement::{Placement, SinkPlacement};
+use dirq_net::radio::UnitDisk;
+use dirq_net::{NodeId, Topology};
+use dirq_sim::RngFactory;
+use proptest::prelude::*;
+
+/// The exact predicate the scenario engine hands to the sampler.
+fn keeps_root_connected(topo: &Topology, victims: &[NodeId]) -> bool {
+    let n = topo.len();
+    let mut dead = vec![false; n];
+    for &v in victims {
+        dead[v.index()] = true;
+    }
+    let reach = topo.reachable_from(NodeId::ROOT, |v| !dead[v.index()]);
+    topo.nodes().all(|v| dead[v.index()] || reach[v.index()])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+    #[test]
+    fn no_prefix_of_the_death_schedule_severs_an_alive_node(
+        seed in 0u64..10_000,
+        n in 12usize..48,
+        death_fraction in 0.1f64..0.6,
+        window in (1u64..500, 500u64..2_000),
+    ) {
+        let factory = RngFactory::new(seed);
+        // Densities comparable to the paper's 50-node/100 m/28 m setup,
+        // scaled with n so sparse topologies (bridges, pendant chains) and
+        // dense ones are both exercised.
+        let side = 100.0 * (n as f64 / 50.0).sqrt();
+        let Some(topo) = Topology::deploy_connected(
+            n,
+            &Placement::UniformRandom { side },
+            SinkPlacement::Corner,
+            &UnitDisk::new(28.0),
+            &mut factory.stream("deploy"),
+            50,
+        ) else {
+            // Disconnected draw (rare at this density): not this test's topic.
+            return Err(TestCaseError::reject("no connected deployment"));
+        };
+
+        let deaths = ((n as f64 * death_fraction) as usize).clamp(1, n - 2);
+        let (from_epoch, until_epoch) = window;
+        let plan = ChurnPlan::random_deaths_connected(
+            n,
+            deaths,
+            from_epoch,
+            until_epoch,
+            &mut factory.stream("churn"),
+            |victims| keeps_root_connected(&topo, victims),
+        );
+        prop_assert_eq!(plan.len(), deaths);
+
+        // Replay the schedule in epoch order; after every single death the
+        // surviving network must still reach the sink in the radio graph.
+        let mut dead_so_far: Vec<NodeId> = Vec::new();
+        for &(epoch, ev) in plan.events() {
+            let ChurnEvent::Death(v) = ev else {
+                return Err(TestCaseError::fail("death-only plan produced a birth"));
+            };
+            prop_assert!(!v.is_root(), "the sink itself was scheduled to die");
+            prop_assert!(
+                (from_epoch..until_epoch).contains(&epoch),
+                "death at {} outside [{}, {})", epoch, from_epoch, until_epoch
+            );
+            dead_so_far.push(v);
+            prop_assert!(
+                keeps_root_connected(&topo, &dead_so_far),
+                "killing {:?} (epoch {}) severed an alive node from the sink; dead so far: {:?}",
+                v, epoch, dead_so_far
+            );
+        }
+    }
+}
+
+/// Deterministic regression case: a pendant chain where the inner node may
+/// only die after its whole subtree is gone. This is the shape that made
+/// the pre-PR-1 sampler partition the sink.
+#[test]
+fn pendant_chain_deaths_are_ordered_inner_last() {
+    // 0(sink) - 1 - 2 - 3 - 4: killing 1 strands {2,3,4}; killing 2 after
+    // that strands {3,4}; the only valid full order is 4, 3, 2, 1.
+    let edges: Vec<(NodeId, NodeId)> = (0..4).map(|i| (NodeId(i), NodeId(i + 1))).collect();
+    let topo = Topology::from_edges(5, &edges);
+    for seed in 0..50 {
+        let mut rng = RngFactory::new(seed).stream("chain");
+        let plan = ChurnPlan::random_deaths_connected(5, 4, 10, 1_000, &mut rng, |victims| {
+            keeps_root_connected(&topo, victims)
+        });
+        let order: Vec<NodeId> = plan.events().iter().map(|&(_, ev)| ev.node()).collect();
+        assert_eq!(
+            order,
+            vec![NodeId(4), NodeId(3), NodeId(2), NodeId(1)],
+            "seed {seed}: chain must die leaf-first"
+        );
+    }
+}

@@ -1,0 +1,214 @@
+//! The named preset registry: ready-made large-scale scenarios spanning
+//! 100 to 5 000 nodes across the topology families, churn regimes and
+//! workload mixes the survey literature asks dissemination schemes to be
+//! compared over.
+//!
+//! Densities are tuned so the mean radio degree stays near the paper's
+//! ~12 (2-hop neighbourhoods comfortably inside the LMAC frame), and
+//! completion windows scale with expected tree depth so deep deployments
+//! still score their queries.
+
+use dirq_net::placement::{Placement, SinkPlacement};
+
+use crate::spec::{ChurnProfile, ScenarioSpec, Scheme};
+
+/// 100 nodes on a jittered grid at high density — the regular-deployment
+/// baseline every other preset is judged against.
+pub fn dense_grid_100() -> ScenarioSpec {
+    ScenarioSpec::builder("dense_grid_100", 100)
+        .placement(Placement::JitteredGrid { side: 180.0, jitter: 4.0 }, SinkPlacement::Corner)
+        .radio_range(35.0)
+        .epochs(4_000)
+        .seed(1_001)
+        .build()
+}
+
+/// 250 nodes uniformly random at low density — deep irregular trees and
+/// long routes.
+pub fn sparse_random_250() -> ScenarioSpec {
+    ScenarioSpec::builder("sparse_random_250", 250)
+        .placement(Placement::UniformRandom { side: 400.0 }, SinkPlacement::Corner)
+        .radio_range(45.0)
+        .epochs(2_400)
+        .completion_window(40)
+        .seed(1_002)
+        .build()
+}
+
+/// 400 nodes along a 2 km corridor (pipeline/road monitoring): ~50-hop
+/// routes, the deepest trees of any preset.
+pub fn corridor_400() -> ScenarioSpec {
+    ScenarioSpec::builder("corridor_400", 400)
+        .placement(Placement::Corridor { length: 2_000.0, width: 60.0 }, SinkPlacement::Corner)
+        .radio_range(40.0)
+        .epochs(2_000)
+        .completion_window(96)
+        .seed(1_003)
+        .build()
+}
+
+/// 200 nodes in clustered blobs with a spatially scoped (hotspot)
+/// workload: 80 % of queries target a region around a random carrier.
+pub fn hotspot_workload_200() -> ScenarioSpec {
+    ScenarioSpec::builder("hotspot_workload_200", 200)
+        .placement(
+            Placement::Clustered { side: 300.0, clusters: 8, spread: 55.0 },
+            SinkPlacement::Center,
+        )
+        .radio_range(35.0)
+        .epochs(2_400)
+        .workload(0.3, 20)
+        .spatial_fraction(0.8)
+        .slots_per_frame(96)
+        .completion_window(32)
+        .seed(1_004)
+        .build()
+}
+
+/// 150 nodes with 20 % of the network dying mid-run — the repair path
+/// under sustained pressure.
+pub fn heavy_churn_150() -> ScenarioSpec {
+    ScenarioSpec::builder("heavy_churn_150", 150)
+        .placement(Placement::UniformRandom { side: 220.0 }, SinkPlacement::Corner)
+        .radio_range(35.0)
+        .epochs(3_000)
+        .churn(ChurnProfile::RandomDeaths { fraction: 0.2, from: 0.25, until: 0.6 })
+        .completion_window(32)
+        .seed(1_005)
+        .build()
+}
+
+/// 300 nodes where each sensor type is carried by only 30 % of the nodes —
+/// the heterogeneous-deployment stress the paper contrasts with TinyDB.
+pub fn hetero_types_300() -> ScenarioSpec {
+    ScenarioSpec::builder("hetero_types_300", 300)
+        .placement(Placement::UniformRandom { side: 380.0 }, SinkPlacement::Corner)
+        .radio_range(42.0)
+        .epochs(2_400)
+        .workload(0.3, 20)
+        .sensor_coverage(0.3)
+        .schemes(vec![Scheme::DirqAtc])
+        .completion_window(40)
+        .seed(1_006)
+        .build()
+}
+
+/// 500 nodes running DirQ (ATC) and flooding over the identical
+/// deployment — the head-to-head the report's comparisons are built from.
+pub fn head_to_head_500() -> ScenarioSpec {
+    ScenarioSpec::builder("head_to_head_500", 500)
+        .placement(Placement::UniformRandom { side: 500.0 }, SinkPlacement::Corner)
+        .radio_range(42.0)
+        .epochs(1_600)
+        .schemes(vec![Scheme::DirqAtc, Scheme::Flooding])
+        .completion_window(48)
+        .seed(1_007)
+        .build()
+}
+
+/// 2 000 nodes on a jittered grid — the first production-scale point of
+/// the trajectory (and the ≥2 000-node deployment the bench matrix pins).
+pub fn grid_2000() -> ScenarioSpec {
+    ScenarioSpec::builder("grid_2000", 2_000)
+        .placement(Placement::JitteredGrid { side: 800.0, jitter: 4.0 }, SinkPlacement::Corner)
+        .radio_range(30.0)
+        .epochs(400)
+        .completion_window(80)
+        .seed(1_008)
+        .build()
+}
+
+/// 5 000 nodes uniformly random — above the dense link-matrix limit, so
+/// this also exercises the CSR fallback paths end to end.
+pub fn stress_5000() -> ScenarioSpec {
+    ScenarioSpec::builder("stress_5000", 5_000)
+        .placement(Placement::UniformRandom { side: 1_000.0 }, SinkPlacement::Corner)
+        .radio_range(28.0)
+        .epochs(240)
+        .slots_per_frame(96)
+        .completion_window(96)
+        .seed(1_009)
+        .build()
+}
+
+/// Every preset, smallest first — the matrix the `scenario_matrix` bench
+/// runs and `BENCH_2.json` records.
+pub fn registry() -> Vec<ScenarioSpec> {
+    vec![
+        dense_grid_100(),
+        heavy_churn_150(),
+        hotspot_workload_200(),
+        sparse_random_250(),
+        hetero_types_300(),
+        corridor_400(),
+        head_to_head_500(),
+        grid_2000(),
+        stress_5000(),
+    ]
+}
+
+/// Look a preset up by name.
+pub fn preset(name: &str) -> Option<ScenarioSpec> {
+    registry().into_iter().find(|s| s.name == name)
+}
+
+/// The CI smoke scenario: the 100-node grid preset at a tenth of its
+/// epoch budget — small enough for debug-mode tests, large enough to
+/// exercise deployment, calibration, MAC and scoring end to end.
+pub fn smoke() -> ScenarioSpec {
+    dense_grid_100().scaled(0.1)
+}
+
+/// Recorded [`crate::ScenarioReport::stable_fingerprint`] of a
+/// single-replicate sweep over [`smoke`]. Pinned by the workspace golden
+/// test and verified by `scenario_matrix --smoke` in CI; re-record with
+/// `cargo test --test scenario_golden -- --nocapture print_fingerprints`
+/// after intentional behaviour changes.
+pub const SMOKE_GOLDEN_FINGERPRINT: u64 = 0xC66FCD57C89F0261;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_spans_the_advertised_scale() {
+        let all = registry();
+        assert!(all.len() >= 8, "at least eight presets required");
+        let sizes: Vec<usize> = all.iter().map(|s| s.n_nodes).collect();
+        assert_eq!(*sizes.iter().min().unwrap(), 100);
+        assert_eq!(*sizes.iter().max().unwrap(), 5_000);
+        assert!(sizes.iter().any(|&n| n >= 2_000), "need a ≥2000-node deployment");
+        // Names are unique and looked up correctly.
+        for s in &all {
+            assert_eq!(preset(&s.name).unwrap().n_nodes, s.n_nodes);
+        }
+        let mut names: Vec<&str> = all.iter().map(|s| s.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len(), "duplicate preset names");
+        assert!(preset("no_such_preset").is_none());
+    }
+
+    #[test]
+    fn presets_cover_the_comparison_axes() {
+        let all = registry();
+        assert!(all.iter().any(|s| matches!(s.placement, Placement::JitteredGrid { .. })));
+        assert!(all.iter().any(|s| matches!(s.placement, Placement::Corridor { .. })));
+        assert!(all.iter().any(|s| matches!(s.placement, Placement::Clustered { .. })));
+        assert!(all.iter().any(|s| matches!(s.churn, ChurnProfile::RandomDeaths { .. })));
+        assert!(all.iter().any(|s| s.spatial_query_fraction > 0.0));
+        assert!(all.iter().any(|s| s.sensor_coverage <= 0.3));
+        assert!(
+            all.iter().any(|s| s.schemes.contains(&Scheme::Flooding) && s.schemes.len() >= 2),
+            "need a flooding head-to-head"
+        );
+    }
+
+    #[test]
+    fn smoke_is_a_scaled_grid_preset() {
+        let s = smoke();
+        assert_eq!(s.name, "dense_grid_100");
+        assert_eq!(s.epochs, 400);
+        assert_eq!(s.measure_from(), 80);
+    }
+}

@@ -1,0 +1,388 @@
+//! Declarative scenario descriptions.
+//!
+//! A [`ScenarioSpec`] names one experiment setup — topology family and
+//! size, churn schedule, workload mix, sensor-type profile, the schemes
+//! under test and an epoch budget — in units that stay meaningful when the
+//! run is scaled (churn windows are fractions of the run, not absolute
+//! epochs). [`ScenarioSpec::config`] lowers a spec to the engine's
+//! [`ScenarioConfig`] for one concrete `(scheme, seed)` pair.
+
+use dirq_core::{AtcConfig, ChurnSpec, DeltaPolicy, Protocol, ScenarioConfig, TreeKind};
+use dirq_lmac::LmacConfig;
+use dirq_net::placement::{Placement, SinkPlacement};
+
+/// A dissemination scheme under test.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Scheme {
+    /// DirQ with a fixed threshold δ (percent).
+    DirqFixed(f64),
+    /// DirQ with Adaptive Threshold Control (default band).
+    DirqAtc,
+    /// The flooding baseline.
+    Flooding,
+}
+
+impl Scheme {
+    /// Stable label used in reports and JSON artifacts.
+    pub fn label(&self) -> String {
+        match self {
+            // f64 Display keeps fractional deltas distinct (5.0 → "5",
+            // 2.4 → "2.4") — labels are row identity in reports.
+            Scheme::DirqFixed(d) => format!("dirq-delta{d}"),
+            Scheme::DirqAtc => "dirq-atc".to_string(),
+            Scheme::Flooding => "flooding".to_string(),
+        }
+    }
+
+    fn apply(&self, cfg: &mut ScenarioConfig) {
+        match *self {
+            Scheme::DirqFixed(d) => {
+                cfg.protocol = Protocol::Dirq;
+                cfg.delta_policy = DeltaPolicy::Fixed(d);
+            }
+            Scheme::DirqAtc => {
+                cfg.protocol = Protocol::Dirq;
+                cfg.delta_policy = DeltaPolicy::Adaptive(AtcConfig::default());
+            }
+            Scheme::Flooding => {
+                cfg.protocol = Protocol::Flooding;
+                cfg.delta_policy = DeltaPolicy::Fixed(5.0);
+            }
+        }
+    }
+}
+
+/// Churn expressed in run-relative units so epoch rescaling preserves the
+/// experiment's shape.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ChurnProfile {
+    /// Fixed topology.
+    None,
+    /// Kill `fraction` of the nodes at uniform epochs inside
+    /// `[from · epochs, until · epochs)`, rejecting victim sets that would
+    /// sever any still-alive node from the sink.
+    RandomDeaths {
+        /// Fraction of nodes that die over the run.
+        fraction: f64,
+        /// Window start as a fraction of the run.
+        from: f64,
+        /// Window end (exclusive) as a fraction of the run.
+        until: f64,
+    },
+}
+
+/// One named experiment setup. Construct via [`ScenarioSpec::builder`].
+#[derive(Clone, Debug)]
+pub struct ScenarioSpec {
+    /// Registry name (stable identifier in reports).
+    pub name: String,
+    /// Deployment size including the sink.
+    pub n_nodes: usize,
+    /// Node layout (topology family).
+    pub placement: Placement,
+    /// Sink position.
+    pub sink: SinkPlacement,
+    /// Radio range, metres.
+    pub radio_range: f64,
+    /// Run length in epochs at scale 1.0.
+    pub epochs: u64,
+    /// Queries fire every this many epochs.
+    pub query_period: u64,
+    /// Involvement target of the calibrated workload.
+    pub target_fraction: f64,
+    /// Share of queries that are spatially scoped (enables the location
+    /// extension when > 0).
+    pub spatial_query_fraction: f64,
+    /// Heterogeneous sensor profile: fraction of sensing nodes carrying
+    /// each of the four environmental types.
+    pub sensor_coverage: f64,
+    /// Schemes to run (every scheme sees the identical world/topology).
+    pub schemes: Vec<Scheme>,
+    /// Churn schedule in run-relative units.
+    pub churn: ChurnProfile,
+    /// Spanning-tree construction.
+    pub tree: TreeKind,
+    /// LMAC slots per frame (must exceed the densest 2-hop neighbourhood).
+    pub slots_per_frame: u16,
+    /// Epochs a query waits before scoring (scale with tree depth).
+    pub completion_window: u64,
+    /// Base seed; replicates derive from it.
+    pub seed: u64,
+}
+
+impl ScenarioSpec {
+    /// Start building a spec with the registry defaults.
+    pub fn builder(name: &str, n_nodes: usize) -> ScenarioSpecBuilder {
+        ScenarioSpecBuilder {
+            spec: ScenarioSpec {
+                name: name.to_string(),
+                n_nodes,
+                placement: Placement::UniformRandom { side: 100.0 },
+                sink: SinkPlacement::Corner,
+                radio_range: 28.0,
+                epochs: 2_000,
+                query_period: 20,
+                target_fraction: 0.4,
+                spatial_query_fraction: 0.0,
+                sensor_coverage: 0.8,
+                schemes: vec![Scheme::DirqFixed(5.0)],
+                churn: ChurnProfile::None,
+                tree: TreeKind::Bfs,
+                slots_per_frame: 64,
+                completion_window: 24,
+                seed: 42,
+            },
+        }
+    }
+
+    /// Warm-up epochs excluded from aggregates for this run length.
+    pub fn measure_from(&self) -> u64 {
+        (self.epochs / 5).min(2_000)
+    }
+
+    /// A copy with the epoch budget scaled by `factor` (floored at four
+    /// query periods so every run still scores queries). Churn windows and
+    /// the measurement window scale along automatically.
+    pub fn scaled(&self, factor: f64) -> ScenarioSpec {
+        assert!(factor > 0.0, "epoch scale must be positive");
+        let mut spec = self.clone();
+        spec.epochs = ((self.epochs as f64 * factor) as u64).max(4 * self.query_period);
+        spec
+    }
+
+    /// Lower to an engine configuration for one `(scheme, seed)` pair.
+    pub fn config(&self, scheme: Scheme, seed: u64) -> ScenarioConfig {
+        let churn = match self.churn {
+            ChurnProfile::None => ChurnSpec::None,
+            ChurnProfile::RandomDeaths { fraction, from, until } => {
+                let deaths = ((self.n_nodes as f64 * fraction).round() as usize)
+                    .clamp(1, self.n_nodes.saturating_sub(2));
+                let from_epoch = (self.epochs as f64 * from) as u64;
+                let until_epoch = ((self.epochs as f64 * until) as u64).max(from_epoch + 1);
+                ChurnSpec::RandomDeaths { deaths, from_epoch, until_epoch }
+            }
+        };
+        let mut cfg = ScenarioConfig {
+            n_nodes: self.n_nodes,
+            side: self.placement.side(),
+            placement: Some(self.placement.clone()),
+            sink: self.sink,
+            radio_range: self.radio_range,
+            epochs: self.epochs,
+            query_period: self.query_period,
+            target_fraction: self.target_fraction,
+            sensor_coverage: self.sensor_coverage,
+            tree: self.tree,
+            lmac: LmacConfig { slots_per_frame: self.slots_per_frame, ..LmacConfig::default() },
+            churn,
+            completion_window: self.completion_window,
+            measure_from_epoch: self.measure_from(),
+            location_enabled: self.spatial_query_fraction > 0.0,
+            spatial_query_fraction: self.spatial_query_fraction,
+            ..ScenarioConfig::paper(seed)
+        };
+        scheme.apply(&mut cfg);
+        cfg
+    }
+}
+
+/// Chained construction of a [`ScenarioSpec`]; [`ScenarioSpecBuilder::build`]
+/// validates the result.
+#[derive(Clone, Debug)]
+pub struct ScenarioSpecBuilder {
+    spec: ScenarioSpec,
+}
+
+impl ScenarioSpecBuilder {
+    /// Set the node layout and sink position.
+    pub fn placement(mut self, placement: Placement, sink: SinkPlacement) -> Self {
+        self.spec.placement = placement;
+        self.spec.sink = sink;
+        self
+    }
+
+    /// Set the radio range, metres.
+    pub fn radio_range(mut self, metres: f64) -> Self {
+        self.spec.radio_range = metres;
+        self
+    }
+
+    /// Set the epoch budget.
+    pub fn epochs(mut self, epochs: u64) -> Self {
+        self.spec.epochs = epochs;
+        self
+    }
+
+    /// Set the workload: involvement target and query period.
+    pub fn workload(mut self, target_fraction: f64, query_period: u64) -> Self {
+        self.spec.target_fraction = target_fraction;
+        self.spec.query_period = query_period;
+        self
+    }
+
+    /// Make a share of the queries spatially scoped (hotspot workloads).
+    pub fn spatial_fraction(mut self, fraction: f64) -> Self {
+        self.spec.spatial_query_fraction = fraction;
+        self
+    }
+
+    /// Set the heterogeneous sensor-coverage fraction.
+    pub fn sensor_coverage(mut self, coverage: f64) -> Self {
+        self.spec.sensor_coverage = coverage;
+        self
+    }
+
+    /// Replace the schemes under test.
+    pub fn schemes(mut self, schemes: Vec<Scheme>) -> Self {
+        self.spec.schemes = schemes;
+        self
+    }
+
+    /// Set the churn profile.
+    pub fn churn(mut self, churn: ChurnProfile) -> Self {
+        self.spec.churn = churn;
+        self
+    }
+
+    /// Set the spanning-tree construction.
+    pub fn tree(mut self, tree: TreeKind) -> Self {
+        self.spec.tree = tree;
+        self
+    }
+
+    /// Set the LMAC frame size (for dense deployments).
+    pub fn slots_per_frame(mut self, slots: u16) -> Self {
+        self.spec.slots_per_frame = slots;
+        self
+    }
+
+    /// Set the query completion window (scale with tree depth).
+    pub fn completion_window(mut self, epochs: u64) -> Self {
+        self.spec.completion_window = epochs;
+        self
+    }
+
+    /// Set the base seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.spec.seed = seed;
+        self
+    }
+
+    /// Validate and return the spec.
+    ///
+    /// # Panics
+    /// Panics on structurally invalid specs (no schemes, bad fractions,
+    /// too few nodes or epochs) — specs are authored, not parsed, so a
+    /// loud failure at construction is the useful behaviour.
+    pub fn build(self) -> ScenarioSpec {
+        let s = &self.spec;
+        assert!(s.n_nodes >= 2, "{}: need at least the sink and one node", s.name);
+        assert!(!s.schemes.is_empty(), "{}: at least one scheme required", s.name);
+        assert!(
+            (0.0..=1.0).contains(&s.target_fraction)
+                && (0.0..=1.0).contains(&s.sensor_coverage)
+                && (0.0..=1.0).contains(&s.spatial_query_fraction),
+            "{}: fractions must be in [0, 1]",
+            s.name
+        );
+        assert!(s.epochs >= 4 * s.query_period, "{}: too few epochs to score queries", s.name);
+        if let ChurnProfile::RandomDeaths { fraction, from, until } = s.churn {
+            assert!((0.0..1.0).contains(&fraction), "{}: churn fraction out of range", s.name);
+            assert!(0.0 <= from && from < until && until <= 1.0, "{}: bad churn window", s.name);
+        }
+        self.spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> ScenarioSpec {
+        ScenarioSpec::builder("demo", 120)
+            .placement(Placement::UniformRandom { side: 250.0 }, SinkPlacement::Center)
+            .radio_range(40.0)
+            .epochs(1_000)
+            .workload(0.3, 25)
+            .sensor_coverage(0.5)
+            .schemes(vec![Scheme::DirqAtc, Scheme::Flooding])
+            .churn(ChurnProfile::RandomDeaths { fraction: 0.1, from: 0.2, until: 0.6 })
+            .completion_window(40)
+            .seed(7)
+            .build()
+    }
+
+    #[test]
+    fn builder_sets_every_field() {
+        let s = demo();
+        assert_eq!(s.n_nodes, 120);
+        assert_eq!(s.sink, SinkPlacement::Center);
+        assert_eq!(s.schemes.len(), 2);
+        assert_eq!(s.measure_from(), 200);
+    }
+
+    #[test]
+    fn config_lowers_run_relative_churn() {
+        let s = demo();
+        let cfg = s.config(Scheme::DirqAtc, 7);
+        match cfg.churn {
+            ChurnSpec::RandomDeaths { deaths, from_epoch, until_epoch } => {
+                assert_eq!(deaths, 12);
+                assert_eq!(from_epoch, 200);
+                assert_eq!(until_epoch, 600);
+            }
+            other => panic!("wrong churn lowering: {other:?}"),
+        }
+        assert_eq!(cfg.n_nodes, 120);
+        assert_eq!(cfg.side, 250.0);
+        assert!(matches!(cfg.delta_policy, DeltaPolicy::Adaptive(_)));
+        assert_eq!(cfg.protocol, Protocol::Dirq);
+        let flood = s.config(Scheme::Flooding, 7);
+        assert_eq!(flood.protocol, Protocol::Flooding);
+    }
+
+    #[test]
+    fn scaling_preserves_churn_shape() {
+        let s = demo().scaled(0.5);
+        assert_eq!(s.epochs, 500);
+        let cfg = s.config(Scheme::DirqAtc, 7);
+        match cfg.churn {
+            ChurnSpec::RandomDeaths { from_epoch, until_epoch, .. } => {
+                assert_eq!(from_epoch, 100);
+                assert_eq!(until_epoch, 300);
+            }
+            other => panic!("wrong churn lowering: {other:?}"),
+        }
+        // Scaling floors at four query periods.
+        assert_eq!(demo().scaled(0.001).epochs, 100);
+    }
+
+    #[test]
+    fn spatial_workload_enables_location() {
+        let s = ScenarioSpec::builder("spatial", 50).spatial_fraction(0.5).build();
+        let cfg = s.config(Scheme::DirqFixed(5.0), 1);
+        assert!(cfg.location_enabled);
+        assert_eq!(cfg.spatial_query_fraction, 0.5);
+    }
+
+    #[test]
+    fn scheme_labels_are_stable() {
+        assert_eq!(Scheme::DirqFixed(5.0).label(), "dirq-delta5");
+        assert_eq!(Scheme::DirqAtc.label(), "dirq-atc");
+        assert_eq!(Scheme::Flooding.label(), "flooding");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one scheme")]
+    fn empty_schemes_rejected() {
+        let _ = ScenarioSpec::builder("bad", 50).schemes(vec![]).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "bad churn window")]
+    fn inverted_churn_window_rejected() {
+        let _ = ScenarioSpec::builder("bad", 50)
+            .churn(ChurnProfile::RandomDeaths { fraction: 0.1, from: 0.8, until: 0.2 })
+            .build();
+    }
+}

@@ -14,9 +14,13 @@
 //!   independent, seed-derived stream.
 //! * [`stats`] — counters, EWMAs, Welford accumulators, histograms and
 //!   bucketed time series used by the measurement harness.
-//! * [`runner`] — a parallel parameter-sweep executor (one simulation per
-//!   thread, deterministic output ordering).
+//! * [`runner`] — a parallel parameter-sweep/matrix executor (one
+//!   simulation per thread, deterministic output ordering, seed
+//!   replication).
 //! * [`report`] — tiny CSV/ASCII-table emitters for experiment output.
+//! * [`json`] — a deterministic JSON writer/parser for bench artifacts and
+//!   scenario reports.
+//! * [`fingerprint`] — the FNV-1a hasher behind every determinism golden.
 //!
 //! The kernel is deliberately minimal: single-threaded event processing per
 //! simulation instance (simulations themselves are embarrassingly parallel
@@ -26,6 +30,8 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod fingerprint;
+pub mod json;
 pub mod queue;
 pub mod report;
 pub mod rng;
@@ -35,6 +41,8 @@ pub mod time;
 pub mod trace;
 
 pub use engine::{Context, Model, Simulator};
+pub use fingerprint::Fnv;
+pub use json::Json;
 pub use queue::EventQueue;
 pub use rng::{RngFactory, SimRng};
 pub use time::{SimDuration, SimTime};

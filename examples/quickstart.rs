@@ -1,5 +1,5 @@
-//! Quickstart: deploy the paper's 50-node network, run DirQ for a couple
-//! of thousand epochs, and compare its measured cost with flooding.
+//! Quickstart: run the registry's 500-node DirQ-vs-flooding head-to-head
+//! through the scenario sweep executor and print the comparison.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -8,45 +8,35 @@
 use dirq::prelude::*;
 
 fn main() {
-    // The paper's setup (50 nodes, 4 sensor types, queries every 20
-    // epochs) at a shortened run length.
-    let base = ScenarioConfig {
-        epochs: 3_000,
-        measure_from_epoch: 300,
-        delta_policy: DeltaPolicy::Adaptive(AtcConfig::default()),
-        ..ScenarioConfig::paper(42)
-    };
+    // The named preset runs both schemes over the identical deployment;
+    // scale the epoch budget down for a quick demonstration run.
+    let spec = preset("head_to_head_500").expect("registry preset").scaled(0.25);
+    println!(
+        "== {} == ({} nodes, {} epochs, schemes: {})",
+        spec.name,
+        spec.n_nodes,
+        spec.epochs,
+        spec.schemes.iter().map(|s| s.label()).collect::<Vec<_>>().join(" vs ")
+    );
 
-    println!("== DirQ (Adaptive Threshold Control) ==");
-    let dirq = run_scenario(base.clone());
-    report(&dirq);
+    let report = run_matrix_report(std::slice::from_ref(&spec), &SweepConfig::default());
+    print!("{}", report.summary_table().to_ascii());
 
-    println!("\n== Flooding baseline ==");
-    let flooding = run_scenario(ScenarioConfig { protocol: Protocol::Flooding, ..base });
-    report(&flooding);
-
-    let ratio = dirq.cost_per_query().unwrap() / flooding.cost_per_query().unwrap();
-    println!("\nDirQ spends {:.0}% of flooding's per-query cost", ratio * 100.0);
+    for c in &report.comparisons {
+        println!("{} / {}  {}: {:.3}", c.scheme, c.baseline, c.metric, c.ratio);
+    }
+    let tx = report
+        .comparisons
+        .iter()
+        .find(|c| c.metric == "tx_per_delivered")
+        .expect("head-to-head always yields a flooding comparison");
+    println!(
+        "\nDirQ spends {:.0}% of flooding's transmissions per delivered source",
+        tx.ratio * 100.0
+    );
     println!("(paper: \"DirQ spends between 45% and 55% the cost of flooding\")");
-}
-
-fn report(r: &RunResult) {
-    println!("  nodes: {}, links: {}", r.n_nodes, r.analytic.links);
-    println!("  queries injected: {}", r.queries_injected);
     println!(
-        "  cost/query: {:.1} units (flooding analytic: {:.1})",
-        r.cost_per_query().unwrap_or(f64::NAN),
-        r.flooding_cost_per_query()
-    );
-    println!(
-        "  breakdown: query={:.0} update={:.0} control={:.0}",
-        r.metrics.query_cost.cost(),
-        r.metrics.update_cost.cost(),
-        r.metrics.control_cost.cost()
-    );
-    println!(
-        "  mean overshoot: {:.1}%  mean source recall: {:.3}",
-        r.mean_overshoot_pct(),
-        r.metrics.mean_over_queries(|o| o.source_recall()).unwrap_or(f64::NAN)
+        "\nreport fingerprint: {:#018X} (bit-stable for a fixed seed)",
+        report.stable_fingerprint()
     );
 }

@@ -1,6 +1,7 @@
-//! Topology dynamics (paper Section 4.2): nodes die mid-run; LMAC's
-//! cross-layer notifications let DirQ repair its spanning tree and range
-//! tables autonomously, and queries keep finding their sources.
+//! Topology dynamics (paper Section 4.2) at registry scale: the
+//! `heavy_churn_150` preset kills 20 % of a 150-node network mid-run;
+//! LMAC's cross-layer notifications let DirQ repair its spanning tree and
+//! range tables autonomously, and queries keep finding their sources.
 //!
 //! ```sh
 //! cargo run --release --example topology_churn
@@ -9,23 +10,31 @@
 use dirq::prelude::*;
 
 fn main() {
-    let cfg = ScenarioConfig {
-        epochs: 4_000,
-        measure_from_epoch: 200,
-        churn: ChurnSpec::RandomDeaths { deaths: 8, from_epoch: 1_000, until_epoch: 2_000 },
-        delta_policy: DeltaPolicy::Fixed(5.0),
-        ..ScenarioConfig::paper(13)
+    let spec = preset("heavy_churn_150").expect("registry preset");
+    let ChurnProfile::RandomDeaths { fraction, from, until } = spec.churn else {
+        panic!("heavy_churn_150 must define churn");
     };
-    let r = run_scenario(cfg);
+    let epochs = spec.epochs;
+    let (churn_from, churn_until) = ((epochs as f64 * from) as u64, (epochs as f64 * until) as u64);
+    println!(
+        "churn run: {:.0}% of {} nodes die between epochs {} and {}",
+        fraction * 100.0,
+        spec.n_nodes,
+        churn_from,
+        churn_until
+    );
 
-    println!("churn run: 8 of {} nodes die between epochs 1000 and 2000", r.n_nodes);
+    // Drop one level below the sweep executor: lowering the spec by hand
+    // exposes the full RunResult for phase-by-phase analysis.
+    let scheme = spec.schemes[0];
+    let r = run_scenario(spec.config(scheme, spec.seed));
     println!("LMAC dead-neighbour upcalls raised: {}", r.mac_stats.deaths_detected);
     println!();
     println!("query recall by phase (fraction of true sources reached):");
     for (label, lo, hi) in [
-        ("before churn  (epochs  200-1000)", 200u64, 1_000u64),
-        ("during churn  (epochs 1000-2000)", 1_000, 2_000),
-        ("after repair  (epochs 2000-4000)", 2_000, 4_000),
+        ("before churn", spec.measure_from(), churn_from),
+        ("during churn", churn_from, churn_until),
+        ("after repair", churn_until, epochs),
     ] {
         let vals: Vec<f64> = r
             .metrics
@@ -35,7 +44,7 @@ fn main() {
             .map(|o| o.source_recall())
             .collect();
         let mean = vals.iter().sum::<f64>() / vals.len().max(1) as f64;
-        println!("  {label}: {mean:.3}  ({} queries)", vals.len());
+        println!("  {label} (epochs {lo:>5}-{hi:>5}): {mean:.3}  ({} queries)", vals.len());
     }
     println!();
     println!(

@@ -16,7 +16,9 @@
 //! * [`core`] — DirQ itself: range tables, the update protocol, directed
 //!   query routing, Adaptive Threshold Control, the flooding baseline and
 //!   the scenario engine,
-//! * [`analytic`] — the closed-form Section 5 cost model.
+//! * [`analytic`] — the closed-form Section 5 cost model,
+//! * [`scenario`] — declarative experiment specs, a preset registry
+//!   spanning 100–5 000 nodes, and a deterministic sweep executor.
 //!
 //! ## Quick start
 //!
@@ -45,6 +47,7 @@ pub use dirq_core as core;
 pub use dirq_data as data;
 pub use dirq_lmac as lmac;
 pub use dirq_net as net;
+pub use dirq_scenario as scenario;
 pub use dirq_sim as sim;
 
 /// The most common imports for building and running scenarios.
@@ -63,6 +66,10 @@ pub mod prelude {
         placement::{Placement, SinkPlacement},
         radio::{LogDistance, UnitDisk},
         EnergyLedger, NodeId, Position, Rect, SpanningTree, Topology,
+    };
+    pub use dirq_scenario::{
+        preset, registry, run_matrix_report, ChurnProfile, ScenarioReport, ScenarioSpec, Scheme,
+        SweepConfig,
     };
     pub use dirq_sim::{RngFactory, SimDuration, SimTime};
 }

@@ -37,13 +37,14 @@ fn atc_churn_scenario() -> ScenarioConfig {
     }
 }
 
-/// Golden fingerprint of [`fixed_delta_scenario`], recorded before the
-/// zero-copy/CSR refactor.
-const GOLDEN_FIXED: u64 = 0xA612B9EB697EAB14;
+/// Golden fingerprint of [`fixed_delta_scenario`], re-recorded for the
+/// warm-started query calibration (an intentional behaviour change: the
+/// generator draws fewer probe windows per query).
+const GOLDEN_FIXED: u64 = 0x15C8852AF51B0F48;
 
-/// Golden fingerprint of [`atc_churn_scenario`], recorded before the
-/// zero-copy/CSR refactor.
-const GOLDEN_ATC_CHURN: u64 = 0x9CBA44986A3AAF98;
+/// Golden fingerprint of [`atc_churn_scenario`], re-recorded for the
+/// warm-started query calibration and the kill-order churn sampler.
+const GOLDEN_ATC_CHURN: u64 = 0xADF4339F74333A97;
 
 #[test]
 fn print_fingerprints() {

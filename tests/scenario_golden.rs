@@ -1,0 +1,91 @@
+//! Golden fingerprints for the scenario subsystem.
+//!
+//! Pins one small, one medium and one large preset so the whole stack —
+//! deployment, calibration (warm-started), MAC, churn, sweep executor and
+//! report assembly — is bit-deterministic for a fixed seed, across runs
+//! and thread counts. The 5 000-node deployment (above
+//! `DENSE_LINK_MAX_NODES`) is pinned by the release-mode `scenario_matrix`
+//! bench via `BENCH_2.json`; debug-mode tests stop at 2 000 nodes to keep
+//! tier-1 fast.
+//!
+//! If a PR changes behaviour *intentionally* (protocol feature, RNG
+//! stream change, calibration tweak), re-record with:
+//! `cargo test --test scenario_golden -- --nocapture print_fingerprints`
+//! and update `SMOKE_GOLDEN_FINGERPRINT` in `crates/scenario` for the
+//! small scenario.
+
+use dirq::prelude::*;
+use dirq::scenario::registry::{self, SMOKE_GOLDEN_FINGERPRINT};
+
+/// Small: the CI smoke preset — 100-node jittered grid, 400 epochs.
+fn small() -> ScenarioSpec {
+    registry::smoke()
+}
+
+/// Medium: 300 nodes at 30 % sensor coverage under ATC, 300 epochs.
+fn medium() -> ScenarioSpec {
+    registry::hetero_types_300().scaled(0.125)
+}
+
+/// Large: the 2 000-node grid deployment, 40 epochs.
+fn large() -> ScenarioSpec {
+    registry::grid_2000().scaled(0.1)
+}
+
+/// Golden fingerprint of the [`medium`] sweep report.
+const GOLDEN_MEDIUM: u64 = 0xC68601F1512FF70B;
+
+/// Golden fingerprint of the [`large`] sweep report.
+const GOLDEN_LARGE: u64 = 0x8357DEAC42925C97;
+
+fn report_for(spec: ScenarioSpec, threads: usize) -> ScenarioReport {
+    run_matrix_report(&[spec], &SweepConfig { threads, ..SweepConfig::default() })
+}
+
+#[test]
+fn print_fingerprints() {
+    // Not an assertion: convenience target for re-recording the constants.
+    println!("SMOKE_GOLDEN_FINGERPRINT = {:#018X}", report_for(small(), 1).stable_fingerprint());
+    println!("GOLDEN_MEDIUM            = {:#018X}", report_for(medium(), 1).stable_fingerprint());
+    println!("GOLDEN_LARGE             = {:#018X}", report_for(large(), 1).stable_fingerprint());
+}
+
+#[test]
+fn small_scenario_matches_golden() {
+    assert_eq!(
+        report_for(small(), 1).stable_fingerprint(),
+        SMOKE_GOLDEN_FINGERPRINT,
+        "small scenario drifted from the recorded golden"
+    );
+}
+
+#[test]
+fn medium_scenario_matches_golden() {
+    assert_eq!(
+        report_for(medium(), 1).stable_fingerprint(),
+        GOLDEN_MEDIUM,
+        "medium scenario drifted from the recorded golden"
+    );
+}
+
+#[test]
+fn large_scenario_matches_golden() {
+    assert_eq!(
+        report_for(large(), 1).stable_fingerprint(),
+        GOLDEN_LARGE,
+        "large (2000-node grid) scenario drifted from the recorded golden"
+    );
+}
+
+#[test]
+fn report_identical_across_thread_counts() {
+    let sequential = report_for(small(), 1);
+    let parallel = report_for(small(), 4);
+    assert_eq!(
+        sequential.stable_fingerprint(),
+        parallel.stable_fingerprint(),
+        "sweep parallelism changed the report"
+    );
+    // And the JSON artifact is byte-identical too.
+    assert_eq!(sequential.to_json().render_pretty(), parallel.to_json().render_pretty());
+}
