@@ -4,12 +4,17 @@
 //! Modes:
 //!
 //! * default — the full registry (100–5 000 nodes, including the ≥2 000
-//!   node deployments) at its recorded epoch budgets; writes the artifact.
+//!   node deployments) at its recorded epoch budgets; writes the artifact
+//!   with a per-large-preset epochs/s throughput section and a history
+//!   trail of earlier recorded (wall-seconds, fingerprint) pairs.
 //! * `--preset NAME` — one preset only.
 //! * `--epoch-scale F` / `--quick` — scale every epoch budget (quick ≈ 0.1).
 //! * `--smoke` — CI mode: the small smoke preset at two thread counts,
 //!   asserting the fingerprints are identical, match the recorded golden,
-//!   and that the emitted JSON parses back. Exits non-zero on any mismatch.
+//!   that the emitted JSON parses back, and that the checked-in
+//!   `BENCH_2.json` still carries the recorded full-registry fingerprint
+//!   ([`registry::REGISTRY_GOLDEN_FINGERPRINT`]). Exits non-zero on any
+//!   mismatch.
 //! * `--list` — print the registry and exit.
 //!
 //! Usage: `scenario_matrix [--preset NAME] [--epoch-scale F] [--quick]
@@ -17,6 +22,7 @@
 
 use std::time::Instant;
 
+use dirq_core::Engine;
 use dirq_scenario::{registry, run_matrix_report, ScenarioReport, ScenarioSpec, SweepConfig};
 use dirq_sim::json::Json;
 
@@ -110,7 +116,35 @@ fn main() {
         wall
     );
 
-    let doc = artifact(&report, &cfg, wall);
+    let mut doc = artifact(&report, &cfg, wall);
+    // Per-epoch throughput of the two largest presets, measured on the run
+    // loop only (setup excluded) — the trajectory ISSUE/ROADMAP perf work
+    // is gated on.
+    let mut throughput = Vec::new();
+    for name in ["grid_2000", "stress_5000"] {
+        if !specs.iter().any(|s| s.name == name) {
+            continue;
+        }
+        let spec = registry::preset(name).expect("registry preset").scaled(cfg.epoch_scale);
+        let scheme = spec.schemes[0];
+        let engine = Engine::new(spec.config(scheme, spec.seed));
+        let t = Instant::now();
+        let r = engine.run();
+        let eps = r.epochs as f64 / t.elapsed().as_secs_f64();
+        println!("{name}: {eps:.0} epochs/s ({} epochs, run loop only)", r.epochs);
+        let mut o = Json::object();
+        o.set("scenario", Json::Str(name.to_string()));
+        o.set("epochs", Json::Num(r.epochs as f64));
+        o.set("epochs_per_sec", Json::Num(eps.round()));
+        o.set("fingerprint", Json::Str(format!("{:#018X}", r.stable_fingerprint())));
+        throughput.push(o);
+    }
+    if !throughput.is_empty() {
+        doc.set("throughput", Json::Arr(throughput));
+    }
+    // Carry the recorded trajectory forward: previous (wall, fingerprint)
+    // pairs stay in the artifact so the scale history reads like BENCH_1.
+    doc.set("history", history_with(&out, &report, wall));
     std::fs::write(&out, doc.render_pretty()).expect("write scenario matrix json");
     println!("wrote {out}");
 }
@@ -127,9 +161,52 @@ fn artifact(report: &ScenarioReport, cfg: &SweepConfig, wall: f64) -> Json {
     doc
 }
 
+/// The history array of the existing artifact at `path` (if any), with
+/// this run's (wall-seconds, fingerprint, rows) appended.
+fn history_with(path: &str, report: &ScenarioReport, wall: f64) -> Json {
+    let mut entries: Vec<Json> = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| Json::parse(&text).ok())
+        .and_then(|doc| doc.get("history").and_then(Json::as_array).map(<[Json]>::to_vec))
+        .unwrap_or_default();
+    let mut entry = Json::object();
+    entry.set("wall_seconds", Json::Num((wall * 100.0).round() / 100.0));
+    entry.set("report_fingerprint", Json::Str(format!("{:#018X}", report.stable_fingerprint())));
+    entry.set("rows", Json::Num(report.rows.len() as f64));
+    entries.push(entry);
+    Json::Arr(entries)
+}
+
 /// CI smoke: one small preset, two thread counts, golden fingerprint,
-/// JSON round-trip. Any failure exits non-zero.
+/// JSON round-trip, plus a staleness check of the checked-in
+/// `BENCH_2.json` against the recorded full-registry fingerprint. Any
+/// failure exits non-zero.
 fn run_smoke(out: &str) {
+    // The recorded artifact must match the registry golden — catching PRs
+    // that change behaviour (or the registry) without re-running the
+    // matrix and re-recording BENCH_2.json.
+    match std::fs::read_to_string("BENCH_2.json").ok().and_then(|t| Json::parse(&t).ok()) {
+        Some(doc) => {
+            let recorded = doc
+                .get("report")
+                .and_then(|r| r.get("report_fingerprint"))
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string();
+            let expected = format!("{:#018X}", registry::REGISTRY_GOLDEN_FINGERPRINT);
+            if recorded != expected {
+                eprintln!(
+                    "FAIL: BENCH_2.json records {recorded}, expected {expected}\n\
+                     (behaviour or registry changed? re-run scenario_matrix and re-record)"
+                );
+                std::process::exit(1);
+            }
+        }
+        None => {
+            eprintln!("FAIL: BENCH_2.json missing or unparseable; re-run scenario_matrix");
+            std::process::exit(1);
+        }
+    }
     let spec = registry::smoke();
     let single = run_matrix_report(
         std::slice::from_ref(&spec),

@@ -21,7 +21,7 @@ use dirq_lmac::network::MacStats;
 use dirq_lmac::{Destination, LmacConfig, LmacNetwork, MacIndication};
 use dirq_net::churn::ChurnPlan;
 use dirq_net::placement::{Placement, SinkPlacement};
-use dirq_net::radio::UnitDisk;
+use dirq_net::radio::{LogDistance, UnitDisk};
 use dirq_net::{NodeId, SpanningTree, Topology};
 use dirq_sim::stats::Ewma;
 use dirq_sim::{RngFactory, SimRng};
@@ -67,6 +67,28 @@ pub enum TreeKind {
     },
 }
 
+/// Radio connectivity model of a scenario.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RadioSpec {
+    /// Binary unit disk at [`ScenarioConfig::radio_range`] metres (the
+    /// paper's model).
+    UnitDisk,
+    /// Log-distance path loss with deterministic per-link shadowing
+    /// ([`dirq_net::radio::LogDistance`]): fixed hardware link budget, so
+    /// raising the exponent *shrinks* the usable range — the lossy-radio
+    /// axis the unit disk cannot express. The shadowing seed derives from
+    /// the scenario seed.
+    LogDistance {
+        /// Path-loss exponent γ (2 = free space, 3–4 = forest/urban).
+        exponent: f64,
+        /// Shadowing standard deviation σ, dB (0 disables shadowing).
+        shadowing_sigma_db: f64,
+        /// Link budget in dB over the 1 m reference: the mean range is
+        /// `10^(budget / (10 γ))` metres.
+        link_budget_db: f64,
+    },
+}
+
 /// Scripted churn for a scenario.
 #[derive(Clone, Debug)]
 pub enum ChurnSpec {
@@ -102,8 +124,12 @@ pub struct ScenarioConfig {
     pub placement: Option<Placement>,
     /// Where the sink (node 0) is pinned.
     pub sink: SinkPlacement,
-    /// Radio range, metres (unit-disk model).
+    /// Radio range, metres (unit-disk model; under
+    /// [`RadioSpec::LogDistance`] the range follows from the link budget
+    /// instead).
     pub radio_range: f64,
+    /// Radio connectivity model.
+    pub radio: RadioSpec,
     /// Run length in epochs (the paper: 20 000).
     pub epochs: u64,
     /// Queries fire every this many epochs (the paper: 20).
@@ -160,6 +186,7 @@ impl ScenarioConfig {
             placement: None,
             sink: SinkPlacement::Corner,
             radio_range: 28.0,
+            radio: RadioSpec::UnitDisk,
             epochs: 20_000,
             query_period: 20,
             target_fraction: 0.4,
@@ -350,14 +377,38 @@ impl Engine {
                 let mut rng = factory.stream("deploy");
                 let placement =
                     cfg.placement.clone().unwrap_or(Placement::UniformRandom { side: cfg.side });
-                let topo = Topology::deploy_connected(
-                    cfg.n_nodes,
-                    &placement,
-                    cfg.sink,
-                    &UnitDisk::new(cfg.radio_range),
-                    &mut rng,
-                    500,
-                )
+                let topo = match cfg.radio {
+                    RadioSpec::UnitDisk => Topology::deploy_connected(
+                        cfg.n_nodes,
+                        &placement,
+                        cfg.sink,
+                        &UnitDisk::new(cfg.radio_range),
+                        &mut rng,
+                        500,
+                    ),
+                    RadioSpec::LogDistance { exponent, shadowing_sigma_db, link_budget_db } => {
+                        // A fixed budget over the 1 m reference: the mean
+                        // range is 10^(budget/(10 γ)) m, shrinking as the
+                        // environment's exponent grows.
+                        let model = LogDistance {
+                            tx_power_dbm: 0.0,
+                            ref_loss_db: 0.0,
+                            ref_distance: 1.0,
+                            exponent,
+                            sensitivity_dbm: -link_budget_db,
+                            shadowing_sigma_db,
+                            shadow_seed: cfg.seed,
+                        };
+                        Topology::deploy_connected(
+                            cfg.n_nodes,
+                            &placement,
+                            cfg.sink,
+                            &model,
+                            &mut rng,
+                            500,
+                        )
+                    }
+                }
                 .expect("no connected deployment found; raise density or radio range");
                 (topo, None)
             }
@@ -874,13 +925,27 @@ impl Engine {
     }
 
     fn sample_sensors(&mut self) {
+        // The mask covers the first 64 type ids; catalogs beyond that (the
+        // u8 id space allows up to 256) fall back to the per-pair lookup.
+        let small_catalog = self.world.catalog().len() <= 64;
         for i in 1..self.nodes.len() {
             let node = NodeId::from_index(i);
             if !self.alive[i] {
                 continue;
             }
+            // One row fetch per node; the per-type test is then a bit probe.
+            let carried = self.world.assignment().carried_mask(i);
+            if carried == 0 && small_catalog {
+                continue;
+            }
             for stype in self.world.catalog().types() {
-                if self.world.assignment().has(i, stype) {
+                let idx = stype.index();
+                let carries = if idx < 64 {
+                    carried & (1 << idx) != 0
+                } else {
+                    self.world.assignment().has(i, stype)
+                };
+                if carries {
                     if let Some(samplers) = &mut self.samplers {
                         if !samplers[i][stype.index()].should_sample() {
                             continue;

@@ -39,7 +39,9 @@ pub mod range_table;
 pub mod sampling;
 
 pub use atc::{AtcConfig, AtcController, DeltaPolicy};
-pub use engine::{run_scenario, ChurnSpec, Engine, Protocol, RunResult, ScenarioConfig, TreeKind};
+pub use engine::{
+    run_scenario, ChurnSpec, Engine, Protocol, RadioSpec, RunResult, ScenarioConfig, TreeKind,
+};
 pub use geo::GeoTable;
 pub use messages::{DirqMessage, EhrMessage, MessageCategory};
 pub use metrics::{Metrics, QueryOutcome};

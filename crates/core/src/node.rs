@@ -6,8 +6,13 @@
 //! handlers are pure state transitions returning [`Outgoing`] actions; the
 //! scenario engine maps those onto LMAC transmissions. This keeps the
 //! protocol unit-testable without a simulator.
-
-use std::collections::BTreeMap;
+//!
+//! Per-type state (tables, variability EWMA, last reading) is stored in
+//! dense arrays indexed by [`SensorType::index`] rather than `BTreeMap`s:
+//! the per-epoch sampling scan touches every carried `(node, type)` pair,
+//! and an indexed load replaces a tree walk on that path. Iteration over
+//! types ascends the index, which is exactly the `BTreeMap` visit order the
+//! protocol used before, so message emission order is unchanged.
 
 use dirq_data::{QueryId, RangeQuery, SensorType};
 use dirq_net::{NodeId, NodeList, Position};
@@ -60,12 +65,17 @@ pub struct DirqNode {
     id: NodeId,
     parent: Option<NodeId>,
     children: Vec<NodeId>,
-    tables: BTreeMap<SensorType, RangeTable>,
+    /// One table slot per sensor type, indexed by `SensorType::index`
+    /// (`None`: no table — the type is absent from this node's subtree).
+    tables: Vec<Option<RangeTable>>,
     delta_pct: f64,
     atc: Option<AtcController>,
-    /// Per-type EWMA of |Δreading| per epoch, in percent of reference span.
-    variability: BTreeMap<SensorType, Ewma>,
-    last_reading: BTreeMap<SensorType, f64>,
+    /// Per-type EWMA of |Δreading| per epoch, in percent of reference span,
+    /// indexed by `SensorType::index`.
+    variability: Vec<Option<Ewma>>,
+    /// Last reading per type (`NaN`: none yet), indexed by
+    /// `SensorType::index`.
+    last_reading: Vec<f64>,
     /// Query ids already processed (duplicate suppression after repairs).
     seen_queries: Vec<QueryId>,
     /// Location extension: subtree bounding boxes (empty when localisation
@@ -91,19 +101,32 @@ impl DirqNode {
                 (c.delta_pct(), Some(c))
             }
         };
+        // Pre-size the per-type arrays from the configured spans; types
+        // registered after deployment grow them on demand.
+        let n_types = cfg.reference_spans.len();
         DirqNode {
             id,
             parent: None,
             children: Vec::new(),
-            tables: BTreeMap::new(),
+            tables: vec![None; n_types],
             delta_pct,
             atc,
-            variability: BTreeMap::new(),
-            last_reading: BTreeMap::new(),
+            variability: vec![None; n_types],
+            last_reading: vec![f64::NAN; n_types],
             seen_queries: Vec::new(),
             geo: GeoTable::new(),
             updates_sent: 0,
             cfg,
+        }
+    }
+
+    /// Grow the per-type arrays so `idx` is addressable (late-registered
+    /// sensor types).
+    fn ensure_type(&mut self, idx: usize) {
+        if self.tables.len() <= idx {
+            self.tables.resize(idx + 1, None);
+            self.variability.resize(idx + 1, None);
+            self.last_reading.resize(idx + 1, f64::NAN);
         }
     }
 
@@ -139,20 +162,25 @@ impl DirqNode {
 
     /// Range table for `stype`, if present.
     pub fn table(&self, stype: SensorType) -> Option<&RangeTable> {
-        self.tables.get(&stype)
+        self.tables.get(stype.index()).and_then(|t| t.as_ref())
     }
 
     /// Sensor types with a table at this node (i.e. present somewhere in
-    /// its subtree — the paper's Fig. 4).
+    /// its subtree — the paper's Fig. 4), ascending.
     pub fn table_types(&self) -> impl Iterator<Item = SensorType> + '_ {
-        self.tables.keys().copied()
+        self.tables
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_some())
+            .map(|(i, _)| SensorType(i as u8))
     }
 
     /// Smoothed signal variability for ATC, in percent of span (max over
     /// carried types: the most volatile sensor drives the update rate).
     pub fn sigma_hat_pct(&self) -> Option<f64> {
         self.variability
-            .values()
+            .iter()
+            .flatten()
             .filter_map(|e| e.value())
             .fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.max(v))))
     }
@@ -167,11 +195,12 @@ impl DirqNode {
         let mut out = Vec::new();
         if parent.is_some() {
             out.push(Outgoing::ToParent(DirqMessage::Attach));
-            for (stype, table) in &mut self.tables {
+            for (idx, slot) in self.tables.iter_mut().enumerate() {
+                let Some(table) = slot else { continue };
                 if let Some(agg) = table.aggregate() {
                     table.mark_transmitted(agg);
                     out.push(Outgoing::ToParent(DirqMessage::Update {
-                        stype: *stype,
+                        stype: SensorType(idx as u8),
                         min: agg.min,
                         max: agg.max,
                     }));
@@ -243,12 +272,10 @@ impl DirqNode {
             self.children.remove(i);
         }
         let mut out = Vec::new();
-        let stypes: Vec<SensorType> = self.tables.keys().copied().collect();
-        for stype in stypes {
-            let changed =
-                self.tables.get_mut(&stype).map(|t| t.remove_child(child)).unwrap_or(false);
+        for idx in 0..self.tables.len() {
+            let changed = self.tables[idx].as_mut().map(|t| t.remove_child(child)).unwrap_or(false);
             if changed {
-                out.extend(self.flush_table(stype));
+                out.extend(self.flush_table(SensorType(idx as u8)));
             }
         }
         if self.geo.remove_child(child) {
@@ -261,18 +288,20 @@ impl DirqNode {
 
     /// Process this epoch's reading for a carried sensor type.
     pub fn sample(&mut self, stype: SensorType, reading: f64) -> Vec<Outgoing> {
+        let idx = stype.index();
+        self.ensure_type(idx);
         // Variability estimate (percent of span per epoch) for ATC.
         let span = self.cfg.reference_span(stype);
-        if let Some(prev) = self.last_reading.insert(stype, reading) {
+        let prev = std::mem::replace(&mut self.last_reading[idx], reading);
+        if !prev.is_nan() {
             let pct = ((reading - prev).abs() / span) * 100.0;
-            self.variability
-                .entry(stype)
-                .or_insert_with(|| Ewma::new(self.cfg.variability_alpha))
+            self.variability[idx]
+                .get_or_insert_with(|| Ewma::new(self.cfg.variability_alpha))
                 .observe(pct);
         }
 
         let delta = self.delta_abs(stype);
-        let table = self.tables.entry(stype).or_default();
+        let table = self.tables[idx].get_or_insert_with(RangeTable::new);
         if table.observe_own(reading, delta) {
             self.flush_table(stype)
         } else {
@@ -282,7 +311,12 @@ impl DirqNode {
 
     /// The node's sensor for `stype` was removed.
     pub fn drop_own_sensor(&mut self, stype: SensorType) -> Vec<Outgoing> {
-        let changed = self.tables.get_mut(&stype).map(|t| t.clear_own()).unwrap_or(false);
+        let changed = self
+            .tables
+            .get_mut(stype.index())
+            .and_then(|t| t.as_mut())
+            .map(|t| t.clear_own())
+            .unwrap_or(false);
         if changed {
             self.flush_table(stype)
         } else {
@@ -301,7 +335,8 @@ impl DirqNode {
         max: f64,
     ) -> Vec<Outgoing> {
         self.add_child(from);
-        let table = self.tables.entry(stype).or_default();
+        self.ensure_type(stype.index());
+        let table = self.tables[stype.index()].get_or_insert_with(RangeTable::new);
         let changed = table.set_child(from, RangeEntry { min, max });
         if changed {
             self.flush_table(stype)
@@ -312,7 +347,12 @@ impl DirqNode {
 
     /// A Retract arrived from a child.
     pub fn on_retract(&mut self, from: NodeId, stype: SensorType) -> Vec<Outgoing> {
-        let changed = self.tables.get_mut(&stype).map(|t| t.remove_child(from)).unwrap_or(false);
+        let changed = self
+            .tables
+            .get_mut(stype.index())
+            .and_then(|t| t.as_mut())
+            .map(|t| t.remove_child(from))
+            .unwrap_or(false);
         if changed {
             self.flush_table(stype)
         } else {
@@ -341,7 +381,7 @@ impl DirqNode {
         self.seen_queries.push(query.id);
 
         let mut out = Vec::new();
-        if let Some(table) = self.tables.get(&query.stype) {
+        if let Some(table) = self.table(query.stype) {
             if let Some(own) = table.own() {
                 // Local delivery: value overlap, plus (when both the query
                 // and the node are localised) the region must contain us.
@@ -353,21 +393,23 @@ impl DirqNode {
                     out.push(Outgoing::DeliverLocal(*query));
                 }
             }
-            let relevant: NodeList = table
-                .children()
-                .iter()
-                .filter(|(_, e)| e.overlaps(query.lo, query.hi))
-                .map(|&(c, _)| c)
-                // Only forward to nodes we still consider children.
-                .filter(|c| self.children.binary_search(c).is_ok())
-                // Spatial pruning: skip children whose advertised subtree
-                // box misses the query region (unknown boxes are forwarded
-                // conservatively).
-                .filter(|c| match (query.region, self.geo.child_rect(*c)) {
-                    (Some(region), Some(rect)) => rect.intersects(&region),
-                    _ => true,
-                })
-                .collect();
+            // Batched interval-overlap sweep over the table's SoA arrays;
+            // candidates that survive it are filtered by child-list
+            // membership (only forward to nodes we still consider children)
+            // and spatial pruning (skip children whose advertised subtree
+            // box misses the query region; unknown boxes are forwarded
+            // conservatively).
+            let mut relevant = NodeList::default();
+            table.for_overlapping_children(query.lo, query.hi, |c| {
+                if self.children.binary_search(&c).is_ok()
+                    && match (query.region, self.geo.child_rect(c)) {
+                        (Some(region), Some(rect)) => rect.intersects(&region),
+                        _ => true,
+                    }
+                {
+                    relevant.push(c);
+                }
+            });
             if !relevant.is_empty() {
                 out.push(Outgoing::ToChildren(relevant, DirqMessage::Query(*query)));
             }
@@ -405,13 +447,13 @@ impl DirqNode {
     /// sending (its "parent" is the wired server).
     fn flush_table(&mut self, stype: SensorType) -> Vec<Outgoing> {
         let delta = self.delta_abs(stype) * self.cfg.tx_threshold_factor;
-        let Some(table) = self.tables.get_mut(&stype) else {
+        let Some(table) = self.tables.get_mut(stype.index()).and_then(|t| t.as_mut()) else {
             return Vec::new();
         };
         let mut out = Vec::new();
         if table.pending_retract() {
             table.mark_retracted();
-            self.tables.remove(&stype);
+            self.tables[stype.index()] = None;
             if !self.id.is_root() && self.parent.is_some() {
                 self.updates_sent += 1;
                 if let Some(atc) = &mut self.atc {

@@ -11,6 +11,17 @@
 //! * **Update rule** (Fig. 3): transmit an Update Message iff the new
 //!   aggregate differs from the *previously transmitted* aggregate by more
 //!   than `δ` at either end.
+//!
+//! ## Layout
+//!
+//! Child tuples are stored struct-of-arrays: `child_ids[]` / `child_min[]`
+//! / `child_max[]`, kept sorted by child id. The two routing hot loops —
+//! the aggregate recomputation after every table mutation and the
+//! per-query child-overlap test — become branch-light sweeps over dense
+//! `f64` arrays the compiler can vectorise, instead of walking
+//! `(NodeId, RangeEntry)` pairs. Both sweeps visit children in ascending
+//! id order, exactly as the old pair-vector did, so observable behaviour
+//! (merge order, emitted child lists) is bit-identical.
 
 use dirq_net::NodeId;
 
@@ -59,8 +70,14 @@ impl RangeEntry {
 pub struct RangeTable {
     /// This node's own tuple (`None`: the node does not carry the sensor).
     own: Option<RangeEntry>,
-    /// One aggregate tuple per one-hop child, sorted by child id.
-    children: Vec<(NodeId, RangeEntry)>,
+    /// Child ids, ascending. `child_min`/`child_max` are parallel arrays:
+    /// `[child_min[i], child_max[i]]` is the aggregate tuple advertised by
+    /// `child_ids[i]`.
+    child_ids: Vec<NodeId>,
+    /// Per-child `THmin`, parallel to `child_ids`.
+    child_min: Vec<f64>,
+    /// Per-child `THmax`, parallel to `child_ids`.
+    child_max: Vec<f64>,
     /// The aggregate most recently transmitted up the tree
     /// (`prev_min(THmin)`, `prev_max(THmax)` in the paper).
     last_tx: Option<RangeEntry>,
@@ -98,17 +115,20 @@ impl RangeTable {
     /// Insert or replace a child's aggregate tuple. Returns `true` if the
     /// stored value changed.
     pub fn set_child(&mut self, child: NodeId, entry: RangeEntry) -> bool {
-        match self.children.binary_search_by_key(&child, |e| e.0) {
+        match self.child_ids.binary_search(&child) {
             Ok(i) => {
-                if self.children[i].1 == entry {
+                if self.child_min[i] == entry.min && self.child_max[i] == entry.max {
                     false
                 } else {
-                    self.children[i].1 = entry;
+                    self.child_min[i] = entry.min;
+                    self.child_max[i] = entry.max;
                     true
                 }
             }
             Err(i) => {
-                self.children.insert(i, (child, entry));
+                self.child_ids.insert(i, child);
+                self.child_min.insert(i, entry.min);
+                self.child_max.insert(i, entry.max);
                 true
             }
         }
@@ -116,9 +136,11 @@ impl RangeTable {
 
     /// Remove a child's tuple; returns whether it was present.
     pub fn remove_child(&mut self, child: NodeId) -> bool {
-        match self.children.binary_search_by_key(&child, |e| e.0) {
+        match self.child_ids.binary_search(&child) {
             Ok(i) => {
-                self.children.remove(i);
+                self.child_ids.remove(i);
+                self.child_min.remove(i);
+                self.child_max.remove(i);
                 true
             }
             Err(_) => false,
@@ -126,26 +148,59 @@ impl RangeTable {
     }
 
     /// A child's stored tuple.
-    pub fn child_entry(&self, child: NodeId) -> Option<&RangeEntry> {
-        self.children.binary_search_by_key(&child, |e| e.0).ok().map(|i| &self.children[i].1)
+    pub fn child_entry(&self, child: NodeId) -> Option<RangeEntry> {
+        self.child_ids
+            .binary_search(&child)
+            .ok()
+            .map(|i| RangeEntry { min: self.child_min[i], max: self.child_max[i] })
     }
 
-    /// All child tuples, sorted by child id.
-    pub fn children(&self) -> &[(NodeId, RangeEntry)] {
-        &self.children
+    /// Child ids with a stored tuple, ascending.
+    pub fn child_ids(&self) -> &[NodeId] {
+        &self.child_ids
+    }
+
+    /// All child tuples in ascending id order.
+    pub fn child_entries(&self) -> impl Iterator<Item = (NodeId, RangeEntry)> + '_ {
+        self.child_ids
+            .iter()
+            .zip(self.child_min.iter().zip(&self.child_max))
+            .map(|(&id, (&min, &max))| (id, RangeEntry { min, max }))
+    }
+
+    /// Visit every child whose tuple overlaps `[lo, hi]` — DirQ's per-query
+    /// routing test — in ascending id order. The interval compares run as a
+    /// branch-light sweep over the parallel `child_min`/`child_max` arrays.
+    #[inline]
+    pub fn for_overlapping_children(&self, lo: f64, hi: f64, mut visit: impl FnMut(NodeId)) {
+        for i in 0..self.child_ids.len() {
+            // Non-short-circuiting `&` keeps the test a pair of compares the
+            // compiler can batch; the branch is on the combined mask only.
+            if (self.child_min[i] <= hi) & (self.child_max[i] >= lo) {
+                visit(self.child_ids[i]);
+            }
+        }
     }
 
     /// Fig. 2: `min(THmin)` / `max(THmax)` over the own tuple and all
     /// child tuples. `None` when the table holds nothing.
     pub fn aggregate(&self) -> Option<RangeEntry> {
-        let mut agg: Option<RangeEntry> = self.own;
-        for (_, e) in &self.children {
-            agg = Some(match agg {
-                Some(a) => a.hull(e),
-                None => *e,
-            });
+        if self.child_ids.is_empty() {
+            return self.own;
         }
-        agg
+        let mut min = f64::INFINITY;
+        for &m in &self.child_min {
+            min = min.min(m);
+        }
+        let mut max = f64::NEG_INFINITY;
+        for &m in &self.child_max {
+            max = max.max(m);
+        }
+        let children = RangeEntry { min, max };
+        Some(match self.own {
+            Some(own) => own.hull(&children),
+            None => children,
+        })
     }
 
     /// Fig. 3: the Update Message to transmit now, if the aggregate moved
@@ -183,12 +238,12 @@ impl RangeTable {
 
     /// Whether the table holds neither an own tuple nor child tuples.
     pub fn is_empty(&self) -> bool {
-        self.own.is_none() && self.children.is_empty()
+        self.own.is_none() && self.child_ids.is_empty()
     }
 
     /// Number of tuples stored (own + children) — the paper's `n + 1`.
     pub fn len(&self) -> usize {
-        usize::from(self.own.is_some()) + self.children.len()
+        usize::from(self.own.is_some()) + self.child_ids.len()
     }
 }
 
@@ -310,6 +365,17 @@ mod tests {
         assert_eq!(t.aggregate(), Some(RangeEntry { min: 0.0, max: 1.0 }));
     }
 
+    #[test]
+    fn overlap_sweep_visits_ascending() {
+        let mut t = RangeTable::new();
+        t.set_child(NodeId(9), RangeEntry { min: 0.0, max: 10.0 });
+        t.set_child(NodeId(2), RangeEntry { min: 5.0, max: 15.0 });
+        t.set_child(NodeId(5), RangeEntry { min: 50.0, max: 60.0 });
+        let mut hit = Vec::new();
+        t.for_overlapping_children(8.0, 20.0, |c| hit.push(c));
+        assert_eq!(hit, vec![NodeId(2), NodeId(9)]);
+    }
+
     proptest! {
         /// The aggregate always contains every stored tuple.
         #[test]
@@ -328,7 +394,7 @@ mod tests {
                 if let Some(o) = t.own() {
                     prop_assert!(agg.min <= o.min && agg.max >= o.max);
                 }
-                for (_, e) in t.children() {
+                for (_, e) in t.child_entries() {
                     prop_assert!(agg.min <= e.min && agg.max >= e.max);
                 }
             } else {

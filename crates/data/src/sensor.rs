@@ -144,6 +144,15 @@ impl SensorAssignment {
         self.has[node].get(t.index()).copied().unwrap_or(false)
     }
 
+    /// `node`'s carried types as a bitmask (bit `t.index()`), for hot
+    /// loops that test several types per node: one row fetch instead of a
+    /// pointer chase per `(node, type)` pair. Types beyond 64 (far above
+    /// the u8 catalog space actually in use) are not representable.
+    #[inline]
+    pub fn carried_mask(&self, node: usize) -> u64 {
+        self.has[node].iter().take(64).enumerate().fold(0u64, |m, (i, &b)| m | (u64::from(b) << i))
+    }
+
     /// Add a sensor to a node at runtime (post-deployment extension).
     pub fn add(&mut self, node: usize, t: SensorType) {
         if self.has[node].len() <= t.index() {

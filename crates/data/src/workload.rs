@@ -243,6 +243,9 @@ pub struct QueryGenerator {
     scratch: TruthScratch,
     /// Last accepted half-width per sensor type (warm-start state).
     warm_width: Vec<Option<f64>>,
+    /// Last accepted region half-size per sensor type (spatial warm-start
+    /// state, mirroring `warm_width`).
+    warm_half: Vec<Option<f64>>,
     /// Ground-truth evaluations performed so far (bisection probes plus
     /// final candidate scorings) — observability for the warm-start win.
     probes: u64,
@@ -263,6 +266,7 @@ impl QueryGenerator {
             rng,
             scratch: TruthScratch::default(),
             warm_width: Vec::new(),
+            warm_half: Vec::new(),
             probes: 0,
         }
     }
@@ -326,6 +330,15 @@ impl QueryGenerator {
     /// Generate a spatially scoped query: the value window spans every
     /// current reading ("all readings of this type"), and the *region* is
     /// calibrated so that sources + forwarders hit the involvement target.
+    ///
+    /// Like the value-window path, region calibration **warm-starts from
+    /// the previous accepted half-size per sensor type**: involvement is
+    /// monotone in the region half-size and the target size drifts slowly
+    /// between hotspot queries of a type (it is set by carrier density, not
+    /// by the moving readings), so the warm bracket `[h₀/8, 8·h₀]` with the
+    /// small candidate budget suffices. A cold full-diagonal calibration
+    /// runs for the first spatial query of each type and as a fallback
+    /// whenever the warm result misses the target badly.
     pub fn generate_spatial_for_type(
         &mut self,
         stype: SensorType,
@@ -349,17 +362,86 @@ impl QueryGenerator {
         // The field diagonal bounds the useful region size.
         let max_half = positions.iter().map(|p| p.x.max(p.y)).fold(0.0f64, f64::max).max(1.0);
 
+        let warm = self.warm_half.get(stype.index()).copied().flatten();
+        let mut best = match warm {
+            Some(h0) => {
+                let hi_h = (h0 * WARM_BRACKET).min(max_half);
+                let lo_h = (h0 / WARM_BRACKET).min(hi_h * 0.5);
+                self.calibrate_region(
+                    stype,
+                    readings,
+                    &carriers,
+                    positions,
+                    tree,
+                    is_alive,
+                    (lo - pad, hi + pad),
+                    (lo_h, hi_h),
+                    WARM_ITERS,
+                    WARM_CANDIDATES,
+                )
+            }
+            None => None,
+        };
+        let tolerance = (0.5 * self.target_fraction).max(2.0 / readings.len() as f64);
+        if !best.as_ref().map(|&(err, _)| err <= tolerance).unwrap_or(false) {
+            let cold = self.calibrate_region(
+                stype,
+                readings,
+                &carriers,
+                positions,
+                tree,
+                is_alive,
+                (lo - pad, hi + pad),
+                (0.0, max_half),
+                COLD_ITERS,
+                self.candidates,
+            );
+            best = match (best, cold) {
+                (Some(a), Some(b)) => Some(if b.0 < a.0 { b } else { a }),
+                (a, b) => b.or(a),
+            };
+        }
+
+        let (_, cal) = best?;
+        if cal.truth.sources.is_empty() {
+            return None;
+        }
+        let idx = stype.index();
+        if self.warm_half.len() <= idx {
+            self.warm_half.resize(idx + 1, None);
+        }
+        self.warm_half[idx] = cal.query.region.map(|r| 0.5 * (r.x_max - r.x_min));
+        self.next_id += 1;
+        Some(cal)
+    }
+
+    /// Core region calibration: evaluate `candidates` random carrier
+    /// centres, bisecting each half-size inside `bracket`, and return the
+    /// candidate with the smallest involvement error (paired with it).
+    #[allow(clippy::too_many_arguments)] // internal helper behind two entry points
+    fn calibrate_region(
+        &mut self,
+        stype: SensorType,
+        readings: &[f64],
+        carriers: &[usize],
+        positions: &[dirq_net::Position],
+        tree: &SpanningTree,
+        is_alive: impl Fn(NodeId) -> bool + Copy,
+        window: (f64, f64),
+        bracket: (f64, f64),
+        iters: usize,
+        candidates: usize,
+    ) -> Option<(f64, CalibratedQuery)> {
+        let n = readings.len();
         let mut best: Option<(f64, CalibratedQuery)> = None;
-        for _ in 0..self.candidates {
+        for _ in 0..candidates {
             let centre = positions[carriers[self.rng.gen_range(0..carriers.len())]];
-            let mut lo_h = 0.0;
-            let mut hi_h = max_half;
             let query_at = |h: f64, id: u64| {
-                RangeQuery::value(QueryId(id), stype, lo - pad, hi + pad)
+                RangeQuery::value(QueryId(id), stype, window.0, window.1)
                     .with_region(dirq_net::Rect::centered(centre, h))
             };
-            let n = readings.len();
-            for _ in 0..COLD_ITERS {
+            let (mut lo_h, mut hi_h) = bracket;
+            for _ in 0..iters {
                 let mid = 0.5 * (lo_h + hi_h);
                 let probe = query_at(mid, self.next_id);
                 self.probes += 1;
@@ -381,12 +463,7 @@ impl QueryGenerator {
                 best = Some((err, CalibratedQuery { query, truth }));
             }
         }
-        let (_, cal) = best?;
-        if cal.truth.sources.is_empty() {
-            return None;
-        }
-        self.next_id += 1;
-        Some(cal)
+        best
     }
 
     /// Generate a calibrated query for a specific sensor type.
@@ -704,6 +781,62 @@ mod tests {
         // Some of the 16 draws hit a not-yet-warm sensor type (cold again);
         // the mean must still be far below the 200-probe cold cost.
         assert!(warm_mean < 100.0, "warm-start saved too little: {warm_mean:.0} probes/query");
+    }
+
+    #[test]
+    fn spatial_warm_start_cuts_ground_truth_probes() {
+        let (world, topo, tree) = setup(50);
+        let mut g = QueryGenerator::new(0.4, 20, RngFactory::new(50).stream("spatial-warm"))
+            .with_spatial_fraction(1.0);
+        g.generate(&world, topo.positions(), &tree, |_| true).unwrap();
+        let cold = g.ground_truth_probes();
+        // First spatial query of a type pays the full region calibration:
+        // 8 candidates × (24 probes + 1 scoring) = 200 per type attempted.
+        assert!(cold >= 200 && cold.is_multiple_of(200), "cold spatial cost changed: {cold}");
+        let mut warm_total = 0;
+        let trials = 16;
+        for _ in 0..trials {
+            let before = g.ground_truth_probes();
+            g.generate(&world, topo.positions(), &tree, |_| true).unwrap();
+            warm_total += g.ground_truth_probes() - before;
+        }
+        let warm_mean = warm_total as f64 / trials as f64;
+        // Some draws still hit a cold type or trip the fallback; the mean
+        // must land near the 3 × (10 + 1) = 33-probe warm cost.
+        assert!(warm_mean < 100.0, "spatial warm-start saved too little: {warm_mean:.0}");
+        // And the pure warm path costs exactly 3 candidates × (10
+        // bisections + 1 scoring) = 33 probes — most trials should hit it.
+        let mut g2 = QueryGenerator::new(0.4, 20, RngFactory::new(50).stream("spatial-warm"))
+            .with_spatial_fraction(1.0);
+        let mut exact_warm = 0;
+        for _ in 0..=trials {
+            let before = g2.ground_truth_probes();
+            g2.generate(&world, topo.positions(), &tree, |_| true).unwrap();
+            if g2.ground_truth_probes() - before == 33 {
+                exact_warm += 1;
+            }
+        }
+        assert!(exact_warm >= trials / 2, "only {exact_warm} pure 33-probe warm calibrations");
+    }
+
+    #[test]
+    fn spatial_warm_start_preserves_accuracy() {
+        let (world, topo, tree) = setup(51);
+        let mut g = QueryGenerator::new(0.4, 20, RngFactory::new(51).stream("spatial-warm-acc"))
+            .with_spatial_fraction(1.0);
+        // Warm every type up first.
+        for _ in 0..8 {
+            g.generate(&world, topo.positions(), &tree, |_| true).unwrap();
+        }
+        let mut total_err = 0.0;
+        let trials = 15;
+        for _ in 0..trials {
+            let cal = g.generate(&world, topo.positions(), &tree, |_| true).unwrap();
+            assert!(cal.query.region.is_some());
+            total_err += (cal.truth.involved_fraction() - 0.4).abs();
+        }
+        let mean_err = total_err / trials as f64;
+        assert!(mean_err < 0.12, "warm spatial calibration error {mean_err:.3}");
     }
 
     #[test]

@@ -4,6 +4,18 @@
 //! neighbour owns, the neighbour's advertised 1-hop occupancy (giving this
 //! node 2-hop knowledge), its advertised gateway hop distance, and the last
 //! frame it was heard in. Staleness drives LMAC's dead-neighbour upcall.
+//!
+//! ## Row-aligned layout
+//!
+//! The table is laid out over the node's *potential* neighbourhood — its
+//! CSR topology row, ascending — with a `present` flag per entry
+//! ([`NeighborTable::for_row`]). The reception hot loop updates one entry
+//! per listener per slot; with the row fixed, the MAC resolves the entry's
+//! position once per transmission from its edge-mirror index and lands on
+//! [`NeighborTable::heard_at`] — a direct indexed store, no per-event
+//! binary search. [`NeighborTable::heard`] (search by id, inserting
+//! off-row neighbours like the old map did) remains for cold paths and
+//! tests.
 
 use std::cell::Cell;
 
@@ -25,6 +37,29 @@ pub struct NeighborInfo {
     pub last_heard_frame: u64,
 }
 
+/// One row slot of the table.
+#[derive(Clone, Debug)]
+struct RowEntry {
+    id: NodeId,
+    present: bool,
+    info: NeighborInfo,
+}
+
+impl RowEntry {
+    fn vacant(id: NodeId) -> Self {
+        RowEntry {
+            id,
+            present: false,
+            info: NeighborInfo {
+                slot: None,
+                occupied: SlotSet::EMPTY,
+                gateway_dist: u16::MAX,
+                last_heard_frame: 0,
+            },
+        }
+    }
+}
+
 /// A node's view of its one-hop neighbourhood.
 ///
 /// The aggregate views the MAC reads every slot — 1-hop slot occupancy and
@@ -34,15 +69,30 @@ pub struct NeighborInfo {
 /// caches never invalidate.
 #[derive(Clone, Debug, Default)]
 pub struct NeighborTable {
-    entries: Vec<(NodeId, NeighborInfo)>,
+    /// Row entries, ascending by id; `present` marks heard neighbours.
+    entries: Vec<RowEntry>,
+    present_count: usize,
     occupancy_cache: Cell<Option<SlotSet>>,
     min_gw_cache: Cell<Option<u16>>,
 }
 
 impl NeighborTable {
-    /// Empty table.
+    /// Empty table (no pre-allocated row).
     pub fn new() -> Self {
         NeighborTable::default()
+    }
+
+    /// Table pre-sized over a fixed candidate neighbourhood (a CSR
+    /// topology row, ascending). Entry positions then match row positions,
+    /// enabling [`NeighborTable::heard_at`].
+    pub fn for_row(row: &[NodeId]) -> Self {
+        debug_assert!(row.windows(2).all(|w| w[0] < w[1]), "row must be ascending");
+        NeighborTable {
+            entries: row.iter().map(|&id| RowEntry::vacant(id)).collect(),
+            present_count: 0,
+            occupancy_cache: Cell::new(None),
+            min_gw_cache: Cell::new(None),
+        }
     }
 
     /// Record hearing `node` in `frame`; returns `true` when the neighbour
@@ -55,49 +105,79 @@ impl NeighborTable {
         gateway_dist: u16,
         frame: u64,
     ) -> bool {
-        match self.entries.binary_search_by_key(&node, |e| e.0) {
-            Ok(i) => {
-                let e = &mut self.entries[i].1;
-                if e.slot != slot {
-                    self.occupancy_cache.set(None);
-                }
-                if e.gateway_dist != gateway_dist {
-                    self.min_gw_cache.set(None);
-                }
-                e.slot = slot;
-                e.occupied = occupied;
-                e.gateway_dist = gateway_dist;
-                e.last_heard_frame = frame;
-                false
-            }
+        match self.entries.binary_search_by_key(&node, |e| e.id) {
+            Ok(i) => self.heard_at(i, node, slot, occupied, gateway_dist, frame),
             Err(i) => {
-                self.entries.insert(
-                    i,
-                    (node, NeighborInfo { slot, occupied, gateway_dist, last_heard_frame: frame }),
-                );
-                self.occupancy_cache.set(None);
-                self.min_gw_cache.set(None);
-                true
+                // Off-row neighbour (tables not built over a topology row):
+                // grow the row, preserving ascending order.
+                self.entries.insert(i, RowEntry::vacant(node));
+                self.heard_at(i, node, slot, occupied, gateway_dist, frame)
             }
         }
+    }
+
+    /// [`NeighborTable::heard`] with the entry position already known (the
+    /// neighbour's position in this node's topology row) — the reception
+    /// hot path. `pos` must address `node`'s entry.
+    #[inline]
+    pub fn heard_at(
+        &mut self,
+        pos: usize,
+        node: NodeId,
+        slot: Option<u16>,
+        occupied: SlotSet,
+        gateway_dist: u16,
+        frame: u64,
+    ) -> bool {
+        let e = &mut self.entries[pos];
+        debug_assert_eq!(e.id, node, "heard_at position does not address the neighbour");
+        let is_new = !e.present;
+        if is_new {
+            e.present = true;
+            self.present_count += 1;
+            self.occupancy_cache.set(None);
+            self.min_gw_cache.set(None);
+        } else {
+            if e.info.slot != slot {
+                self.occupancy_cache.set(None);
+            }
+            if e.info.gateway_dist != gateway_dist {
+                self.min_gw_cache.set(None);
+            }
+        }
+        e.info.slot = slot;
+        e.info.occupied = occupied;
+        e.info.gateway_dist = gateway_dist;
+        e.info.last_heard_frame = frame;
+        is_new
     }
 
     /// Look up a neighbour.
     pub fn get(&self, node: NodeId) -> Option<&NeighborInfo> {
-        self.entries.binary_search_by_key(&node, |e| e.0).ok().map(|i| &self.entries[i].1)
+        self.entries
+            .binary_search_by_key(&node, |e| e.id)
+            .ok()
+            .map(|i| &self.entries[i])
+            .filter(|e| e.present)
+            .map(|e| &e.info)
     }
 
     /// Remove a neighbour; returns whether it was present.
     pub fn remove(&mut self, node: NodeId) -> bool {
-        match self.entries.binary_search_by_key(&node, |e| e.0) {
-            Ok(i) => {
-                self.entries.remove(i);
+        match self.entries.binary_search_by_key(&node, |e| e.id) {
+            Ok(i) if self.entries[i].present => {
+                self.entries[i].present = false;
+                self.present_count -= 1;
                 self.occupancy_cache.set(None);
                 self.min_gw_cache.set(None);
                 true
             }
-            Err(_) => false,
+            _ => false,
         }
+    }
+
+    fn present(&self) -> impl Iterator<Item = &RowEntry> {
+        self.entries.iter().filter(|e| e.present)
     }
 
     /// Neighbours unheard since `frame - max_missed` (exclusive), i.e.
@@ -112,12 +192,9 @@ impl NeighborTable {
     /// stale neighbours (ascending) to a caller-owned buffer.
     pub fn collect_stale(&self, frame: u64, max_missed: u32, out: &mut Vec<NodeId>) {
         out.extend(
-            self.entries
-                .iter()
-                .filter(|(_, info)| {
-                    frame.saturating_sub(info.last_heard_frame) > u64::from(max_missed)
-                })
-                .map(|&(n, _)| n),
+            self.present()
+                .filter(|e| frame.saturating_sub(e.info.last_heard_frame) > u64::from(max_missed))
+                .map(|e| e.id),
         );
     }
 
@@ -125,11 +202,11 @@ impl NeighborTable {
     /// 2-hop occupancy picture used for slot selection.
     pub fn two_hop_occupancy(&self) -> SlotSet {
         let mut s = SlotSet::EMPTY;
-        for (_, info) in &self.entries {
-            if let Some(slot) = info.slot {
+        for e in self.present() {
+            if let Some(slot) = e.info.slot {
                 s.insert(slot);
             }
-            s.union_with(info.occupied);
+            s.union_with(e.info.occupied);
         }
         s
     }
@@ -142,8 +219,8 @@ impl NeighborTable {
             return cached;
         }
         let mut s = SlotSet::EMPTY;
-        for (_, info) in &self.entries {
-            if let Some(slot) = info.slot {
+        for e in self.present() {
+            if let Some(slot) = e.info.slot {
                 s.insert(slot);
             }
         }
@@ -157,24 +234,24 @@ impl NeighborTable {
         if let Some(cached) = self.min_gw_cache.get() {
             return cached;
         }
-        let min = self.entries.iter().map(|(_, i)| i.gateway_dist).min().unwrap_or(u16::MAX);
+        let min = self.present().map(|e| e.info.gateway_dist).min().unwrap_or(u16::MAX);
         self.min_gw_cache.set(Some(min));
         min
     }
 
     /// All known neighbour ids, ascending.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.entries.iter().map(|&(n, _)| n)
+        self.present().map(|e| e.id)
     }
 
     /// Number of known neighbours.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.present_count
     }
 
     /// Whether the table is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.present_count == 0
     }
 }
 
@@ -191,6 +268,24 @@ mod tests {
         assert_eq!(info.slot, Some(6));
         assert_eq!(info.gateway_dist, 1);
         assert_eq!(info.last_heard_frame, 11);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn row_table_marks_presence_without_growing() {
+        let row = [NodeId(2), NodeId(5), NodeId(9)];
+        let mut t = NeighborTable::for_row(&row);
+        assert!(t.is_empty());
+        assert!(t.get(NodeId(5)).is_none(), "vacant entries are invisible");
+        assert!(t.heard(NodeId(5), Some(3), SlotSet::EMPTY, 1, 0));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.nodes().collect::<Vec<_>>(), vec![NodeId(5)]);
+        // Position 2 addresses NodeId(9) — the row is fixed.
+        assert!(t.heard_at(2, NodeId(9), Some(4), SlotSet::EMPTY, 2, 0));
+        assert!(!t.heard_at(2, NodeId(9), Some(4), SlotSet::EMPTY, 2, 1));
+        assert_eq!(t.get(NodeId(9)).unwrap().last_heard_frame, 1);
+        assert!(t.remove(NodeId(5)));
+        assert!(!t.remove(NodeId(5)), "vacated entries are not present");
         assert_eq!(t.len(), 1);
     }
 

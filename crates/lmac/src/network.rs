@@ -21,9 +21,23 @@
 //!   rather than linear `Vec::contains` scans, and listener iteration runs
 //!   in ascending id order straight off the bitset — the sort+dedup the
 //!   old representation needed is gone;
+//! * audibility is resolved from the *listener's* side: each listener walks
+//!   its own CSR neighbour slice and probes a node→transmission index
+//!   (`tx_index`), instead of testing `has_link` against every concurrent
+//!   transmitter — the listeners × transmitters link-matrix scan that
+//!   dominated dense frames (and degenerates to a binary search per probe
+//!   above `DENSE_LINK_MAX_NODES`) is gone;
+//! * the slot-occupancy index (`slot_owners` + the per-slot alive check)
+//!   short-circuits slots nobody owns: an empty slot advances the clock
+//!   without touching the scratch buffers at all;
 //! * callers that want full reuse drive [`LmacNetwork::advance_slot_into`]
 //!   with a long-lived output buffer ([`LmacNetwork::advance_slot`] remains
 //!   as a convenience wrapper).
+//!
+//! [`LmacNetwork::advance_slot_full_scan_into`] keeps the pre-index
+//! reference semantics (scan every transmitter per listener, process empty
+//! slots) for the differential property tests; both paths must produce
+//! identical indication streams, statistics and ledgers.
 
 use std::collections::VecDeque;
 
@@ -78,6 +92,11 @@ impl<P> MacNode<P> {
     }
 }
 
+/// `FrameScratch::audible_tx` sentinel: no transmitter audible yet.
+const AUDIBLE_NONE: u64 = u64::MAX;
+/// `FrameScratch::audible_tx` sentinel: two or more transmitters audible.
+const AUDIBLE_COLLIDED: u64 = u64::MAX - 1;
+
 /// One transmission within the current slot; its data messages live in
 /// `FrameScratch::tx_data[data_start..data_end]`.
 struct TxRecord {
@@ -103,6 +122,14 @@ struct FrameScratch<P> {
     collided_mark: NodeBits,
     /// Indices into `txs` audible at the current listener.
     audible: Vec<u32>,
+    /// node → audibility resolution for this slot: `AUDIBLE_NONE`, a
+    /// single tx index, or `AUDIBLE_COLLIDED`. Written while marking
+    /// listeners, consumed (and reset) by the listener loop.
+    audible_tx: Vec<u64>,
+    /// node → index into `txs` for this slot (`u32::MAX` = not
+    /// transmitting). Reset by iterating `transmitters`, never by an O(n)
+    /// fill.
+    tx_index: Vec<u32>,
     /// Stale-neighbour collection buffer for the frame boundary.
     stale_buf: Vec<NodeId>,
 }
@@ -122,6 +149,8 @@ impl<P> FrameScratch<P> {
             listener_mark: NodeBits::new(n),
             collided_mark: NodeBits::new(n),
             audible: Vec::with_capacity(width),
+            audible_tx: vec![AUDIBLE_NONE; n],
+            tx_index: vec![u32::MAX; n],
             stale_buf: Vec::with_capacity(width),
         }
     }
@@ -137,6 +166,8 @@ impl<P> FrameScratch<P> {
             listener_mark: NodeBits::new(0),
             collided_mark: NodeBits::new(0),
             audible: Vec::new(),
+            audible_tx: Vec::new(),
+            tx_index: Vec::new(),
             stale_buf: Vec::new(),
         }
     }
@@ -156,11 +187,21 @@ pub struct LmacNetwork<P> {
     data_ledger: EnergyLedger,
     control_ledger: EnergyLedger,
     stats: MacStats,
+    /// Alive nodes currently without a slot. The frame-boundary join scan
+    /// is O(n) over big `MacNode` records; in steady state (everyone
+    /// placed) this count short-circuits it entirely.
+    unslotted_alive: usize,
     scratch: FrameScratch<P>,
     /// Compact mirror of per-node liveness — the reception loops test
     /// liveness per neighbour per slot, and a bit probe beats pulling a
     /// whole `MacNode` cache line.
     alive_mask: NodeBits,
+    /// Edge-aligned mirror positions: for the CSR edge slot holding
+    /// `neighbors(u)[p] == v`, the value is `v`'s row position of `u` —
+    /// i.e. where `u` sits in `v`'s (row-aligned) neighbour table. Lets
+    /// the reception loop update the listener's table with a direct
+    /// indexed store instead of a per-event search.
+    mirror_pos: Vec<u32>,
 }
 
 impl<P> LmacNetwork<P> {
@@ -171,13 +212,31 @@ impl<P> LmacNetwork<P> {
         cfg.validate();
         let n = topo.len();
         let mut nodes: Vec<MacNode<P>> = (0..n).map(|_| MacNode::offline()).collect();
-        for node in &mut nodes {
+        for (i, node) in nodes.iter_mut().enumerate() {
             node.alive = true;
             node.listen_remaining = cfg.listen_frames_before_pick;
+            node.neighbors = NeighborTable::for_row(topo.neighbors(NodeId::from_index(i)));
         }
         let mut alive_mask = NodeBits::new(n);
         for i in 0..n {
             alive_mask.insert(NodeId::from_index(i));
+        }
+        // Edge-aligned mirror positions (see the field docs). Rows are
+        // ascending, so the reverse position comes from one binary search
+        // per directed edge, once.
+        let mut mirror_pos =
+            vec![
+                0u32;
+                topo.row_start(NodeId::from_index(n.saturating_sub(1)))
+                    + topo.neighbors(NodeId::from_index(n.saturating_sub(1))).len()
+            ];
+        for i in 0..n {
+            let u = NodeId::from_index(i);
+            let base = topo.row_start(u);
+            for (p, &v) in topo.neighbors(u).iter().enumerate() {
+                let back = topo.neighbors(v).binary_search(&u).expect("undirected edge");
+                mirror_pos[base + p] = back as u32;
+            }
         }
         LmacNetwork {
             slot_owners: vec![Vec::new(); cfg.slots_per_frame as usize],
@@ -185,6 +244,8 @@ impl<P> LmacNetwork<P> {
             control_ledger: EnergyLedger::new(n),
             scratch: FrameScratch::new(&topo, &cfg),
             alive_mask,
+            mirror_pos,
+            unslotted_alive: n,
             cfg,
             topo,
             nodes,
@@ -229,6 +290,7 @@ impl<P> LmacNetwork<P> {
             });
             self.nodes[i].my_slot = Some(slot);
             self.nodes[i].listen_remaining = 0;
+            self.unslotted_alive -= 1;
             self.slot_owners[slot as usize].push(node);
         }
         // Pre-populate neighbour tables as if a full frame had elapsed.
@@ -371,14 +433,17 @@ impl<P> LmacNetwork<P> {
             self.nodes[idx] = MacNode::offline();
             self.nodes[idx].alive = true;
             self.nodes[idx].listen_remaining = self.cfg.listen_frames_before_pick;
+            self.nodes[idx].neighbors = NeighborTable::for_row(self.topo.neighbors(node));
             self.alive_mask.insert(node);
+            self.unslotted_alive += 1;
         } else {
-            if let Some(s) = self.nodes[idx].my_slot.take() {
-                self.slot_owners[s as usize].retain(|&n| n != node);
+            match self.nodes[idx].my_slot.take() {
+                Some(s) => self.slot_owners[s as usize].retain(|&n| n != node),
+                None => self.unslotted_alive -= 1,
             }
             self.nodes[idx].alive = false;
             self.nodes[idx].tx_queue.clear();
-            self.nodes[idx].neighbors = NeighborTable::new();
+            self.nodes[idx].neighbors = NeighborTable::for_row(self.topo.neighbors(node));
             self.alive_mask.remove(node);
         }
     }
@@ -396,6 +461,59 @@ impl<P> LmacNetwork<P> {
     /// Advance one slot, appending the generated upcalls to `out`.
     /// Performs no heap allocation in steady state.
     pub fn advance_slot_into(&mut self, rng: &mut SimRng, out: &mut Vec<MacIndication<P>>) {
+        self.advance_slot_impl(rng, out, false);
+    }
+
+    /// Reference implementation of one slot with the occupancy-index and
+    /// listener-side audibility shortcuts disabled: every slot is processed
+    /// and every listener scans the full per-slot transmitter list through
+    /// `Topology::has_link`, exactly as the pre-index loop did. Kept for
+    /// the differential property tests — indications, statistics and
+    /// ledgers must match [`LmacNetwork::advance_slot_into`] bit for bit.
+    pub fn advance_slot_full_scan_into(
+        &mut self,
+        rng: &mut SimRng,
+        out: &mut Vec<MacIndication<P>>,
+    ) {
+        self.advance_slot_impl(rng, out, true);
+    }
+
+    fn advance_slot_impl(
+        &mut self,
+        rng: &mut SimRng,
+        out: &mut Vec<MacIndication<P>>,
+        full_scan: bool,
+    ) {
+        let s = self.slot;
+
+        // Slot-occupancy index: a slot with no alive owner carries no
+        // transmission, no reception and no RNG draw — skip straight to the
+        // clock advance instead of clearing and scanning the scratch state.
+        // (Owner lists are maintained by `set_alive`/joins; typically 0 or
+        // 1 entries, so the alive probe is O(1) in practice.)
+        let occupied = self.slot_owners[s as usize].iter().any(|&t| self.alive_mask.contains(t));
+        if occupied || full_scan {
+            self.run_slot_traffic(rng, out, full_scan);
+        }
+
+        // --- Slot advance / frame boundary ---------------------------------
+        self.slot += 1;
+        if self.slot == self.cfg.slots_per_frame {
+            self.slot = 0;
+            self.frame += 1;
+            self.frame_boundary(rng, out);
+        }
+    }
+
+    /// Transmission + reception + collision resolution for the current
+    /// slot. Split out of [`LmacNetwork::advance_slot_impl`] so empty slots
+    /// can bypass it entirely.
+    fn run_slot_traffic(
+        &mut self,
+        rng: &mut SimRng,
+        out: &mut Vec<MacIndication<P>>,
+        full_scan: bool,
+    ) {
         let s = self.slot;
 
         // The scratch moves out of `self` for the duration of the slot so
@@ -410,6 +528,8 @@ impl<P> LmacNetwork<P> {
                 listener_mark,
                 collided_mark,
                 audible,
+                audible_tx,
+                tx_index,
                 stale_buf: _,
             } = &mut scratch;
 
@@ -422,6 +542,7 @@ impl<P> LmacNetwork<P> {
 
             for &t in &self.slot_owners[s as usize] {
                 if self.alive_mask.contains(t) {
+                    tx_index[t.index()] = transmitters.len() as u32;
                     transmitters.push(t);
                     tx_mark.insert(t);
                 }
@@ -452,21 +573,49 @@ impl<P> LmacNetwork<P> {
             // --- Reception phase -----------------------------------------------
             // Listeners are the alive neighbours of transmitters (half-duplex:
             // a transmitter cannot listen in its own slot). The bitset yields
-            // them deduplicated in ascending id order.
-            for tx in txs.iter() {
-                for &nb in self.topo.neighbors(tx.from) {
+            // them deduplicated in ascending id order. The same pass resolves
+            // audibility: with a converged 2-hop schedule each listener hears
+            // exactly one transmitter, so a single node→tx slot suffices and
+            // the collided sentinel flags the (rare) join transients.
+            for (ti, tx) in txs.iter().enumerate() {
+                let base = self.topo.row_start(tx.from);
+                for (p, &nb) in self.topo.neighbors(tx.from).iter().enumerate() {
                     if self.alive_mask.contains(nb) && !tx_mark.contains(nb) {
                         listener_mark.insert(nb);
+                        let slot_entry = &mut audible_tx[nb.index()];
+                        // Pack (tx index, the transmitter's position in the
+                        // listener's row) for the delivery hot path.
+                        *slot_entry = if *slot_entry == AUDIBLE_NONE {
+                            ((ti as u64) << 32) | u64::from(self.mirror_pos[base + p])
+                        } else {
+                            AUDIBLE_COLLIDED
+                        };
                     }
                 }
             }
 
             for l in listener_mark.iter() {
+                let resolved = std::mem::replace(&mut audible_tx[l.index()], AUDIBLE_NONE);
                 audible.clear();
-                for (i, tx) in txs.iter().enumerate() {
-                    if self.topo.has_link(tx.from, l) {
-                        audible.push(i as u32);
+                if full_scan {
+                    // Reference path: probe the link matrix per transmitter.
+                    for (i, tx) in txs.iter().enumerate() {
+                        if self.topo.has_link(tx.from, l) {
+                            audible.push(i as u32);
+                        }
                     }
+                } else if resolved == AUDIBLE_COLLIDED {
+                    // Rare join transient: recover the full audible set by
+                    // walking the listener's CSR row against the per-slot
+                    // transmitter index (links are symmetric).
+                    for &nb in self.topo.neighbors(l) {
+                        let ti = tx_index[nb.index()];
+                        if ti != u32::MAX {
+                            audible.push(ti);
+                        }
+                    }
+                } else {
+                    audible.push((resolved >> 32) as u32);
                 }
                 if audible.len() > 1 {
                     // Collision: l hears garbage and will advertise it; every
@@ -479,13 +628,20 @@ impl<P> LmacNetwork<P> {
                 }
                 let tx = &txs[audible[0] as usize];
                 self.control_ledger.record_rx(l);
-                let is_new = self.nodes[l.index()].neighbors.heard(
-                    tx.from,
-                    Some(s),
-                    tx.occupied,
-                    tx.gateway_dist,
-                    self.frame,
-                );
+                let neighbors = &mut self.nodes[l.index()].neighbors;
+                let is_new = if full_scan || resolved == AUDIBLE_COLLIDED {
+                    // Cold paths resolve by id, as the pre-index loop did.
+                    neighbors.heard(tx.from, Some(s), tx.occupied, tx.gateway_dist, self.frame)
+                } else {
+                    neighbors.heard_at(
+                        (resolved & 0xFFFF_FFFF) as usize,
+                        tx.from,
+                        Some(s),
+                        tx.occupied,
+                        tx.gateway_dist,
+                        self.frame,
+                    )
+                };
                 if is_new {
                     self.stats.new_neighbors_detected += 1;
                     out.push(MacIndication::NeighborNew { observer: l, new: tx.from });
@@ -533,24 +689,21 @@ impl<P> LmacNetwork<P> {
                 if let Some(slot) = self.nodes[t.index()].my_slot.take() {
                     self.slot_owners[slot as usize].retain(|&n| n != t);
                     self.stats.slots_surrendered += 1;
+                    self.unslotted_alive += 1;
                     self.nodes[t.index()].listen_remaining =
                         self.cfg.listen_frames_before_pick + rng.gen_range(0..2u32);
                 }
             }
 
             // Sent payload handles drop here; a handle survives only inside
-            // the indications that reference it.
+            // the indications that reference it. The tx_index entries are
+            // reset transmitter-by-transmitter, keeping the wipe O(|txs|).
             tx_data.clear();
+            for &t in transmitters.iter() {
+                tx_index[t.index()] = u32::MAX;
+            }
         }
         self.scratch = scratch;
-
-        // --- Slot advance / frame boundary ---------------------------------
-        self.slot += 1;
-        if self.slot == self.cfg.slots_per_frame {
-            self.slot = 0;
-            self.frame += 1;
-            self.frame_boundary(rng, out);
-        }
     }
 
     /// Advance a whole frame (`slots_per_frame` slots).
@@ -586,7 +739,11 @@ impl<P> LmacNetwork<P> {
         stale_buf.clear();
         self.scratch.stale_buf = stale_buf;
 
-        // Slot selection for joining nodes.
+        // Slot selection for joining nodes (skipped outright when every
+        // alive node is placed — the steady state).
+        if self.unslotted_alive == 0 {
+            return;
+        }
         for i in 0..self.nodes.len() {
             let node = NodeId::from_index(i);
             let n = &mut self.nodes[i];
@@ -605,6 +762,7 @@ impl<P> LmacNetwork<P> {
             }
             let slot = free[rng.gen_range(0..free.len())];
             n.my_slot = Some(slot);
+            self.unslotted_alive -= 1;
             self.slot_owners[slot as usize].push(node);
             self.stats.slots_picked += 1;
         }

@@ -174,6 +174,14 @@ impl Topology {
         &self.targets[self.offsets[i] as usize..self.offsets[i + 1] as usize]
     }
 
+    /// Start of `node`'s row in the global CSR target array: edge slot
+    /// `row_start(u) + p` holds `neighbors(u)[p]`. Lets callers keep
+    /// edge-aligned side tables (e.g. the MAC's mirror-position index).
+    #[inline]
+    pub fn row_start(&self, node: NodeId) -> usize {
+        self.offsets[node.index()] as usize
+    }
+
     /// Degree of `node`.
     #[inline]
     pub fn degree(&self, node: NodeId) -> usize {

@@ -8,6 +8,7 @@
 //! completion windows scale with expected tree depth so deep deployments
 //! still score their queries.
 
+use dirq_core::RadioSpec;
 use dirq_net::placement::{Placement, SinkPlacement};
 
 use crate::spec::{ChurnProfile, ScenarioSpec, Scheme};
@@ -93,6 +94,25 @@ pub fn hetero_types_300() -> ScenarioSpec {
         .build()
 }
 
+/// 300 nodes under log-distance path loss with 4 dB shadowing — the lossy
+/// irregular neighbourhoods real deployments show, instead of the unit
+/// disk. The 46 dB link budget gives a ~35 m mean range at γ = 3.0;
+/// raising γ shrinks it (see the exponent-sweep registry test).
+pub fn lossy_log_distance_300() -> ScenarioSpec {
+    ScenarioSpec::builder("lossy_log_distance_300", 300)
+        .placement(Placement::UniformRandom { side: 310.0 }, SinkPlacement::Corner)
+        .radio(RadioSpec::LogDistance {
+            exponent: 3.0,
+            shadowing_sigma_db: 4.0,
+            link_budget_db: 46.0,
+        })
+        .epochs(2_000)
+        .slots_per_frame(96)
+        .completion_window(48)
+        .seed(1_010)
+        .build()
+}
+
 /// 500 nodes running DirQ (ATC) and flooding over the identical
 /// deployment — the head-to-head the report's comparisons are built from.
 pub fn head_to_head_500() -> ScenarioSpec {
@@ -140,6 +160,7 @@ pub fn registry() -> Vec<ScenarioSpec> {
         hotspot_workload_200(),
         sparse_random_250(),
         hetero_types_300(),
+        lossy_log_distance_300(),
         corridor_400(),
         head_to_head_500(),
         grid_2000(),
@@ -165,6 +186,14 @@ pub fn smoke() -> ScenarioSpec {
 /// `cargo test --test scenario_golden -- --nocapture print_fingerprints`
 /// after intentional behaviour changes.
 pub const SMOKE_GOLDEN_FINGERPRINT: u64 = 0xC66FCD57C89F0261;
+
+/// Recorded [`crate::ScenarioReport::stable_fingerprint`] of the full
+/// single-replicate registry sweep — the value `BENCH_2.json` carries.
+/// `scenario_matrix --smoke` (CI) asserts the checked-in artifact still
+/// records it, so behaviour changes cannot land without re-running the
+/// matrix. Re-record by running `scenario_matrix` and copying the printed
+/// report fingerprint.
+pub const REGISTRY_GOLDEN_FINGERPRINT: u64 = 0xCCC1A2BCAD7E2FF5;
 
 #[cfg(test)]
 mod tests {
@@ -202,6 +231,61 @@ mod tests {
             all.iter().any(|s| s.schemes.contains(&Scheme::Flooding) && s.schemes.len() >= 2),
             "need a flooding head-to-head"
         );
+    }
+
+    #[test]
+    fn hotspot_calibration_is_warm_started() {
+        // Before the spatial warm start the hotspot preset paid a flat
+        // ~200 ground-truth probes per query (~166 measured over the full
+        // budget). Warm queries now cost ~33–35; at a quarter budget the
+        // per-type cold starts still amortise to well under half the old
+        // cost.
+        let spec = hotspot_workload_200().scaled(0.25);
+        let scheme = spec.schemes[0];
+        let r = dirq_core::run_scenario(spec.config(scheme, spec.seed));
+        let per_query = r.calibration_probes as f64 / r.queries_injected as f64;
+        assert!(
+            per_query < 100.0,
+            "spatial calibration probes/query regressed: {per_query:.0} (pre-warm-start ~200)"
+        );
+    }
+
+    #[test]
+    fn lossy_preset_uses_log_distance_radio() {
+        let s = lossy_log_distance_300();
+        assert!(
+            matches!(s.radio, RadioSpec::LogDistance { shadowing_sigma_db, .. }
+                if shadowing_sigma_db > 0.0),
+            "preset must exercise the shadowed log-distance model"
+        );
+        assert_eq!(preset("lossy_log_distance_300").unwrap().n_nodes, 300);
+    }
+
+    #[test]
+    fn lossy_delivery_degrades_with_path_loss_exponent() {
+        // Same deployment recipe, rising path-loss exponent γ under the
+        // fixed 46 dB budget: the mean range shrinks (~50 m → ~25 m), the
+        // tree deepens, and with a tight scoring deadline the delivery
+        // ratio must fall monotonically. Fixed seed — the sweep is
+        // deterministic, so the ordering is a stable regression pin.
+        let mut deliveries = Vec::new();
+        for exponent in [2.7, 3.0, 3.3] {
+            let mut spec = lossy_log_distance_300().scaled(0.1);
+            spec.completion_window = 3;
+            spec.radio =
+                RadioSpec::LogDistance { exponent, shadowing_sigma_db: 4.0, link_budget_db: 46.0 };
+            let scheme = spec.schemes[0];
+            let r = dirq_core::run_scenario(spec.config(scheme, spec.seed));
+            let delivery =
+                r.metrics.mean_over_queries(|o| o.source_recall()).expect("measured queries");
+            deliveries.push((exponent, delivery));
+        }
+        for pair in deliveries.windows(2) {
+            assert!(
+                pair[0].1 > pair[1].1,
+                "delivery must degrade with the exponent: {deliveries:?}"
+            );
+        }
     }
 
     #[test]

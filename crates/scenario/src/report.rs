@@ -98,6 +98,20 @@ impl ScenarioOutcome {
     }
 }
 
+/// Mean ± standard deviation of one metric across a row's seed
+/// replicates.
+///
+/// The deviation is the *population* standard deviation (divisor `n`), so
+/// a single-replicate sweep reports a well-defined `0.0` rather than an
+/// undefined sample estimate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReplicateStats {
+    /// Mean over the replicates.
+    pub mean: f64,
+    /// Population standard deviation over the replicates.
+    pub stddev: f64,
+}
+
 /// One `(scenario, scheme)` cell with its seed replicates.
 #[derive(Clone, Debug)]
 pub struct ScenarioRow {
@@ -117,7 +131,21 @@ impl ScenarioRow {
         }
         self.replicates.iter().map(f).sum::<f64>() / self.replicates.len() as f64
     }
+
+    /// Mean ± population standard deviation of `f` over the replicates.
+    pub fn stats(&self, f: impl Fn(&ScenarioOutcome) -> f64) -> ReplicateStats {
+        if self.replicates.is_empty() {
+            return ReplicateStats { mean: 0.0, stddev: 0.0 };
+        }
+        let n = self.replicates.len() as f64;
+        let mean = self.replicates.iter().map(&f).sum::<f64>() / n;
+        let var = self.replicates.iter().map(|o| (f(o) - mean).powi(2)).sum::<f64>() / n;
+        ReplicateStats { mean, stddev: var.sqrt() }
+    }
 }
+
+/// Extractor of one summarisable outcome metric.
+type MetricFn = fn(&ScenarioOutcome) -> f64;
 
 /// A cross-scenario/scheme ratio computed by the report.
 #[derive(Clone, Debug)]
@@ -203,6 +231,15 @@ impl ScenarioReport {
         h.finish()
     }
 
+    /// The metrics summarised per row by the replicate-variance section
+    /// of the JSON report.
+    const SUMMARY_METRICS: [(&'static str, MetricFn); 4] = [
+        ("delivery_ratio", |o| o.delivery_ratio),
+        ("tx_per_delivered", |o| o.tx_per_delivered),
+        ("energy_per_node_epoch", |o| o.energy_per_node_epoch),
+        ("cost_ratio_vs_flooding", |o| o.cost_ratio_vs_flooding),
+    ];
+
     /// Render the full report as a JSON document.
     pub fn to_json(&self) -> Json {
         let mut doc = Json::object();
@@ -213,6 +250,29 @@ impl ScenarioReport {
                 self.rows
                     .iter()
                     .flat_map(|row| row.replicates.iter().map(ScenarioOutcome::to_json))
+                    .collect(),
+            ),
+        );
+        // Replicate-variance summary: mean ± stddev per (scenario, scheme)
+        // cell. Derived from the outcomes above, so it carries no extra
+        // fingerprint weight.
+        doc.set(
+            "rows",
+            Json::Arr(
+                self.rows
+                    .iter()
+                    .map(|row| {
+                        let mut o = Json::object();
+                        o.set("scenario", Json::Str(row.scenario.clone()));
+                        o.set("scheme", Json::Str(row.scheme.clone()));
+                        o.set("replicates", Json::Num(row.replicates.len() as f64));
+                        for (name, f) in Self::SUMMARY_METRICS {
+                            let s = row.stats(f);
+                            o.set(&format!("{name}_mean"), Json::Num(round6(s.mean)));
+                            o.set(&format!("{name}_stddev"), Json::Num(round6(s.stddev)));
+                        }
+                        o
+                    })
                     .collect(),
             ),
         );
@@ -347,6 +407,68 @@ mod tests {
         assert_eq!(parsed.get("scenarios").and_then(Json::as_array).unwrap().len(), 3);
         let fp = parsed.get("report_fingerprint").and_then(Json::as_str).unwrap();
         assert_eq!(fp, format!("{:#018X}", r.stable_fingerprint()));
+    }
+
+    #[test]
+    fn replicate_stats_mean_and_stddev() {
+        let mut row = ScenarioRow {
+            scenario: "s".into(),
+            scheme: "k".into(),
+            replicates: vec![
+                outcome("s", "k", 2.0, 0.1),
+                outcome("s", "k", 4.0, 0.3),
+                outcome("s", "k", 6.0, 0.5),
+            ],
+        };
+        let s = row.stats(|o| o.tx_per_delivered);
+        assert!((s.mean - 4.0).abs() < 1e-12);
+        // Population stddev of {2, 4, 6} = sqrt(8/3).
+        assert!((s.stddev - (8.0f64 / 3.0).sqrt()).abs() < 1e-12, "stddev {}", s.stddev);
+        // A single replicate has zero spread, not NaN.
+        row.replicates.truncate(1);
+        let s = row.stats(|o| o.tx_per_delivered);
+        assert_eq!((s.mean, s.stddev), (2.0, 0.0));
+        row.replicates.clear();
+        assert_eq!(row.stats(|o| o.tx_per_delivered), ReplicateStats { mean: 0.0, stddev: 0.0 });
+    }
+
+    #[test]
+    fn replicate_summary_round_trips_through_json() {
+        let mut base = report();
+        // Give the head-to-head DirQ row a second replicate with spread.
+        base.rows[0].replicates.push(outcome("h2h", "dirq-atc", 4.0, 0.8));
+        let r = ScenarioReport::new(base.rows);
+        let text = r.to_json().render_pretty();
+        let parsed = dirq_sim::json::Json::parse(&text).expect("report JSON must parse");
+        let rows = parsed.get("rows").and_then(Json::as_array).expect("rows section");
+        assert_eq!(rows.len(), r.rows.len(), "one summary row per (scenario, scheme)");
+        for (json_row, row) in rows.iter().zip(&r.rows) {
+            assert_eq!(
+                json_row.get("scenario").and_then(Json::as_str),
+                Some(row.scenario.as_str())
+            );
+            assert_eq!(json_row.get("scheme").and_then(Json::as_str), Some(row.scheme.as_str()));
+            assert_eq!(
+                json_row.get("replicates").and_then(Json::as_f64),
+                Some(row.replicates.len() as f64)
+            );
+            for (name, f) in ScenarioReport::SUMMARY_METRICS {
+                let stats = row.stats(f);
+                let mean = json_row.get(&format!("{name}_mean")).and_then(Json::as_f64).unwrap();
+                let sd = json_row.get(&format!("{name}_stddev")).and_then(Json::as_f64).unwrap();
+                assert!((mean - stats.mean).abs() < 1e-6, "{name} mean drifted");
+                assert!((sd - stats.stddev).abs() < 1e-6, "{name} stddev drifted");
+            }
+        }
+        // The two-replicate row really reports spread.
+        let first = &rows[0];
+        assert!(first.get("tx_per_delivered_stddev").and_then(Json::as_f64).unwrap() > 0.0);
+        // Adding the derived section must not disturb the pinned
+        // fingerprint (it would invalidate every golden).
+        assert_eq!(
+            ScenarioReport::new(report().rows).stable_fingerprint(),
+            report().stable_fingerprint()
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! epochs). [`ScenarioSpec::config`] lowers a spec to the engine's
 //! [`ScenarioConfig`] for one concrete `(scheme, seed)` pair.
 
-use dirq_core::{AtcConfig, ChurnSpec, DeltaPolicy, Protocol, ScenarioConfig, TreeKind};
+use dirq_core::{AtcConfig, ChurnSpec, DeltaPolicy, Protocol, RadioSpec, ScenarioConfig, TreeKind};
 use dirq_lmac::LmacConfig;
 use dirq_net::placement::{Placement, SinkPlacement};
 
@@ -82,8 +82,12 @@ pub struct ScenarioSpec {
     pub placement: Placement,
     /// Sink position.
     pub sink: SinkPlacement,
-    /// Radio range, metres.
+    /// Radio range, metres (unit-disk model; ignored under a
+    /// [`RadioSpec::LogDistance`] radio, whose range follows from its link
+    /// budget).
     pub radio_range: f64,
+    /// Radio connectivity model.
+    pub radio: RadioSpec,
     /// Run length in epochs at scale 1.0.
     pub epochs: u64,
     /// Queries fire every this many epochs.
@@ -120,6 +124,7 @@ impl ScenarioSpec {
                 placement: Placement::UniformRandom { side: 100.0 },
                 sink: SinkPlacement::Corner,
                 radio_range: 28.0,
+                radio: RadioSpec::UnitDisk,
                 epochs: 2_000,
                 query_period: 20,
                 target_fraction: 0.4,
@@ -168,6 +173,7 @@ impl ScenarioSpec {
             placement: Some(self.placement.clone()),
             sink: self.sink,
             radio_range: self.radio_range,
+            radio: self.radio,
             epochs: self.epochs,
             query_period: self.query_period,
             target_fraction: self.target_fraction,
@@ -204,6 +210,12 @@ impl ScenarioSpecBuilder {
     /// Set the radio range, metres.
     pub fn radio_range(mut self, metres: f64) -> Self {
         self.spec.radio_range = metres;
+        self
+    }
+
+    /// Replace the radio connectivity model (lossy-radio scenarios).
+    pub fn radio(mut self, radio: RadioSpec) -> Self {
+        self.spec.radio = radio;
         self
     }
 

@@ -55,7 +55,8 @@ pub mod prelude {
     pub use dirq_analytic::{KaryCosts, TopologyCosts};
     pub use dirq_core::{
         run_scenario, AtcConfig, ChurnSpec, DeltaPolicy, DirqNode, Engine, GeoTable,
-        PredictiveConfig, Protocol, RunResult, SamplingStrategy, ScenarioConfig, TreeKind,
+        PredictiveConfig, Protocol, RadioSpec, RunResult, SamplingStrategy, ScenarioConfig,
+        TreeKind,
     };
     pub use dirq_data::{
         QueryGenerator, QueryId, RangeQuery, SensorCatalog, SensorType, SensorWorld, WorldConfig,

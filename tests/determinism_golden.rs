@@ -37,6 +37,26 @@ fn atc_churn_scenario() -> ScenarioConfig {
     }
 }
 
+/// Short-epoch engine-level pin of a registry preset: the preset's exact
+/// deployment/workload at a reduced epoch budget, so the large-topology
+/// code paths sit inside tier-1 `cargo test` at debug-mode speed.
+fn preset_scenario(name: &str, epochs: u64) -> ScenarioConfig {
+    let spec = dirq::scenario::preset(name).expect("registry preset");
+    let scheme = spec.schemes[0];
+    ScenarioConfig { epochs, measure_from_epoch: epochs / 5, ..spec.config(scheme, spec.seed) }
+}
+
+/// 2 000-node jittered grid, 40 epochs (dense link-matrix `has_link`).
+fn grid_2000_scenario() -> ScenarioConfig {
+    preset_scenario("grid_2000", 40)
+}
+
+/// 5 000-node uniform deployment, 24 epochs — above `DENSE_LINK_MAX_NODES`,
+/// pinning the CSR-fallback topology path at engine level.
+fn stress_5000_scenario() -> ScenarioConfig {
+    preset_scenario("stress_5000", 24)
+}
+
 /// Golden fingerprint of [`fixed_delta_scenario`], re-recorded for the
 /// warm-started query calibration (an intentional behaviour change: the
 /// generator draws fewer probe windows per query).
@@ -46,16 +66,34 @@ const GOLDEN_FIXED: u64 = 0x15C8852AF51B0F48;
 /// warm-started query calibration and the kill-order churn sampler.
 const GOLDEN_ATC_CHURN: u64 = 0xADF4339F74333A97;
 
+/// Golden fingerprint of [`grid_2000_scenario`]. The SoA node-state /
+/// range-table and MAC occupancy-index refactor was verified
+/// behaviour-preserving against these large-topology pins and the
+/// full-budget `BENCH_2.json` registry fingerprints.
+const GOLDEN_GRID_2000: u64 = 0xC5DD94F30570433E;
+
+/// Golden fingerprint of [`stress_5000_scenario`] (recorded with
+/// [`GOLDEN_GRID_2000`]).
+const GOLDEN_STRESS_5000: u64 = 0x6A938621EF632C0F;
+
 #[test]
 fn print_fingerprints() {
     // Not an assertion: convenience target for re-recording the constants.
     println!(
-        "GOLDEN_FIXED     = {:#018X}",
+        "GOLDEN_FIXED       = {:#018X}",
         run_scenario(fixed_delta_scenario()).stable_fingerprint()
     );
     println!(
-        "GOLDEN_ATC_CHURN = {:#018X}",
+        "GOLDEN_ATC_CHURN   = {:#018X}",
         run_scenario(atc_churn_scenario()).stable_fingerprint()
+    );
+    println!(
+        "GOLDEN_GRID_2000   = {:#018X}",
+        run_scenario(grid_2000_scenario()).stable_fingerprint()
+    );
+    println!(
+        "GOLDEN_STRESS_5000 = {:#018X}",
+        run_scenario(stress_5000_scenario()).stable_fingerprint()
     );
 }
 
@@ -76,6 +114,26 @@ fn atc_churn_metrics_match_golden() {
         r.stable_fingerprint(),
         GOLDEN_ATC_CHURN,
         "fixed-seed ATC/churn metrics drifted from the recorded golden run"
+    );
+}
+
+#[test]
+fn grid_2000_metrics_match_golden() {
+    let r = run_scenario(grid_2000_scenario());
+    assert_eq!(
+        r.stable_fingerprint(),
+        GOLDEN_GRID_2000,
+        "fixed-seed 2000-node metrics drifted from the recorded golden run"
+    );
+}
+
+#[test]
+fn stress_5000_metrics_match_golden() {
+    let r = run_scenario(stress_5000_scenario());
+    assert_eq!(
+        r.stable_fingerprint(),
+        GOLDEN_STRESS_5000,
+        "fixed-seed 5000-node (CSR has_link fallback) metrics drifted from the recorded golden run"
     );
 }
 

@@ -103,7 +103,7 @@ fn sensor_added_after_deployment_becomes_queryable() {
     }
     // The node now advertises the type: its parent's table has an entry.
     let parent = engine.node(node).parent().unwrap();
-    let entry = engine.node(parent).table(t).and_then(|tab| tab.child_entry(node).copied());
+    let entry = engine.node(parent).table(t).and_then(|tab| tab.child_entry(node));
     assert!(entry.is_some(), "parent {parent} never learned about {node}'s new sensor");
     // And the root can route a query covering the node's reading.
     let reading = engine.world().reading(node.index(), t).unwrap();
@@ -150,7 +150,7 @@ fn sensor_removal_retracts_tables() {
         "leaf's own table should be gone after sensor removal"
     );
     let parent = engine.node(node).parent().unwrap();
-    let parent_entry = engine.node(parent).table(t).and_then(|tab| tab.child_entry(node).copied());
+    let parent_entry = engine.node(parent).table(t).and_then(|tab| tab.child_entry(node));
     assert!(parent_entry.is_none(), "parent must have processed the Retract for {node}");
 }
 

@@ -32,11 +32,23 @@ fn large() -> ScenarioSpec {
     registry::grid_2000().scaled(0.1)
 }
 
+/// Extra-large: the 5 000-node stress deployment at the scaling floor
+/// (80 epochs) — the full report pipeline over a >`DENSE_LINK_MAX_NODES`
+/// topology, inside tier-1 `cargo test`.
+fn xlarge() -> ScenarioSpec {
+    registry::stress_5000().scaled(0.1)
+}
+
 /// Golden fingerprint of the [`medium`] sweep report.
 const GOLDEN_MEDIUM: u64 = 0xC68601F1512FF70B;
 
 /// Golden fingerprint of the [`large`] sweep report.
 const GOLDEN_LARGE: u64 = 0x8357DEAC42925C97;
+
+/// Golden fingerprint of the [`xlarge`] sweep report. The SoA/occupancy
+/// hot-path refactor was verified behaviour-preserving against this and
+/// the full-budget `BENCH_2.json` registry fingerprints.
+const GOLDEN_XLARGE: u64 = 0xC62599E6862F863E;
 
 fn report_for(spec: ScenarioSpec, threads: usize) -> ScenarioReport {
     run_matrix_report(&[spec], &SweepConfig { threads, ..SweepConfig::default() })
@@ -48,6 +60,7 @@ fn print_fingerprints() {
     println!("SMOKE_GOLDEN_FINGERPRINT = {:#018X}", report_for(small(), 1).stable_fingerprint());
     println!("GOLDEN_MEDIUM            = {:#018X}", report_for(medium(), 1).stable_fingerprint());
     println!("GOLDEN_LARGE             = {:#018X}", report_for(large(), 1).stable_fingerprint());
+    println!("GOLDEN_XLARGE            = {:#018X}", report_for(xlarge(), 1).stable_fingerprint());
 }
 
 #[test]
@@ -74,6 +87,15 @@ fn large_scenario_matches_golden() {
         report_for(large(), 1).stable_fingerprint(),
         GOLDEN_LARGE,
         "large (2000-node grid) scenario drifted from the recorded golden"
+    );
+}
+
+#[test]
+fn xlarge_scenario_matches_golden() {
+    assert_eq!(
+        report_for(xlarge(), 1).stable_fingerprint(),
+        GOLDEN_XLARGE,
+        "xlarge (5000-node, CSR has_link fallback) scenario drifted from the recorded golden"
     );
 }
 
