@@ -32,7 +32,7 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: scenario_matrix [--preset NAME] [--epoch-scale F] [--quick] \
-         [--threads T] [--replicates R] [--out PATH] [--smoke] [--list]"
+         [--threads T] [--mac-workers W] [--replicates R] [--out PATH] [--smoke] [--list]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -51,6 +51,12 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--threads needs a number"))
+            }
+            "--mac-workers" => {
+                cfg.mac_workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--mac-workers needs a number"))
             }
             "--replicates" => {
                 cfg.replicates = args
@@ -119,7 +125,9 @@ fn main() {
     let mut doc = artifact(&report, &cfg, wall);
     // Per-epoch throughput of the two largest presets, measured on the run
     // loop only (setup excluded) — the trajectory ISSUE/ROADMAP perf work
-    // is gated on.
+    // is gated on. Each preset runs the colour-class MAC parallelism at
+    // 1, 2 and 4 workers (the `threads` axis); the run fingerprint must be
+    // identical across the axis — worker counts may only change speed.
     let mut throughput = Vec::new();
     for name in ["grid_2000", "stress_5000"] {
         if !specs.iter().any(|s| s.name == name) {
@@ -127,17 +135,41 @@ fn main() {
         }
         let spec = registry::preset(name).expect("registry preset").scaled(cfg.epoch_scale);
         let scheme = spec.schemes[0];
-        let engine = Engine::new(spec.config(scheme, spec.seed));
-        let t = Instant::now();
-        let r = engine.run();
-        let eps = r.epochs as f64 / t.elapsed().as_secs_f64();
-        println!("{name}: {eps:.0} epochs/s ({} epochs, run loop only)", r.epochs);
-        let mut o = Json::object();
-        o.set("scenario", Json::Str(name.to_string()));
-        o.set("epochs", Json::Num(r.epochs as f64));
-        o.set("epochs_per_sec", Json::Num(eps.round()));
-        o.set("fingerprint", Json::Str(format!("{:#018X}", r.stable_fingerprint())));
-        throughput.push(o);
+        let mut serial_fp = None;
+        for threads in [1usize, 2, 4] {
+            // Best of two runs: the run loop is deterministic, so repeats
+            // only differ by scheduling noise — keep the cleaner sample.
+            let mut eps = 0f64;
+            let mut fp = 0u64;
+            let mut epochs = 0u64;
+            for _ in 0..2 {
+                let mut run_cfg = spec.config(scheme, spec.seed);
+                run_cfg.lmac.workers = threads;
+                let engine = Engine::new(run_cfg);
+                let t = Instant::now();
+                let r = engine.run();
+                eps = eps.max(r.epochs as f64 / t.elapsed().as_secs_f64());
+                fp = r.stable_fingerprint();
+                epochs = r.epochs;
+            }
+            match serial_fp {
+                None => serial_fp = Some(fp),
+                Some(want) => assert_eq!(
+                    fp, want,
+                    "{name}: {threads} MAC workers changed the run fingerprint"
+                ),
+            }
+            println!(
+                "{name}: {eps:.0} epochs/s ({epochs} epochs, run loop only, {threads} threads)"
+            );
+            let mut o = Json::object();
+            o.set("scenario", Json::Str(name.to_string()));
+            o.set("threads", Json::Num(threads as f64));
+            o.set("epochs", Json::Num(epochs as f64));
+            o.set("epochs_per_sec", Json::Num(eps.round()));
+            o.set("fingerprint", Json::Str(format!("{:#018X}", fp)));
+            throughput.push(o);
+        }
     }
     if !throughput.is_empty() {
         doc.set("throughput", Json::Arr(throughput));
@@ -233,6 +265,42 @@ fn run_smoke(out: &str) {
         );
         std::process::exit(1);
     }
+    // Golden thread-invariance gate for the parallel MAC path: the whole
+    // registry (scaled to smoke budgets) at 1 and at 4 threads — both the
+    // sweep fan-out and the intra-run colour-class MAC workers — must
+    // produce the identical report fingerprint.
+    let registry_scale = 0.1;
+    let reg1 = run_matrix_report(
+        &registry::registry(),
+        &SweepConfig {
+            threads: 1,
+            mac_workers: 1,
+            epoch_scale: registry_scale,
+            ..SweepConfig::default()
+        },
+    );
+    let reg4 = run_matrix_report(
+        &registry::registry(),
+        &SweepConfig {
+            threads: 4,
+            mac_workers: 4,
+            epoch_scale: registry_scale,
+            ..SweepConfig::default()
+        },
+    );
+    if reg1.stable_fingerprint() != reg4.stable_fingerprint() {
+        eprintln!(
+            "FAIL: registry diverges across thread counts: {:#018X} (1 thread) vs \
+             {:#018X} (4 sweep threads x 4 MAC workers)",
+            reg1.stable_fingerprint(),
+            reg4.stable_fingerprint()
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "registry thread-invariance OK at scale {registry_scale}: {:#018X}",
+        reg1.stable_fingerprint()
+    );
     let doc = artifact(&single, &SweepConfig::default(), 0.0);
     let text = doc.render_pretty();
     std::fs::write(out, &text).expect("write smoke json");

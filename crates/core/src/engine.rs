@@ -124,6 +124,13 @@ pub struct ScenarioConfig {
     pub placement: Option<Placement>,
     /// Where the sink (node 0) is pinned.
     pub sink: SinkPlacement,
+    /// Secondary sinks (nodes `1..=extra_sinks`): repositioned onto
+    /// deterministic spread sites and wired to the primary sink by
+    /// backbone links (a sink backhaul). The spanning tree then attaches
+    /// every node under its **nearest** sink, cutting route depth; the
+    /// secondary sinks otherwise behave as ordinary sensing relays.
+    /// `0` (the default) is the paper's single-sink deployment.
+    pub extra_sinks: usize,
     /// Radio range, metres (unit-disk model; under
     /// [`RadioSpec::LogDistance`] the range follows from the link budget
     /// instead).
@@ -185,6 +192,7 @@ impl ScenarioConfig {
             side: 100.0,
             placement: None,
             sink: SinkPlacement::Corner,
+            extra_sinks: 0,
             radio_range: 28.0,
             radio: RadioSpec::UnitDisk,
             epochs: 20_000,
@@ -370,6 +378,10 @@ impl Engine {
         // --- topology + initial tree ---------------------------------------
         let (topo, mut tree_opt) = match cfg.tree {
             TreeKind::CompleteKary { k, d } => {
+                assert_eq!(
+                    cfg.extra_sinks, 0,
+                    "CompleteKary trees ignore placement; extra sinks are unsupported"
+                );
                 let (topo, tree) = SpanningTree::complete_kary(k, d);
                 (topo, Some(tree))
             }
@@ -377,15 +389,40 @@ impl Engine {
                 let mut rng = factory.stream("deploy");
                 let placement =
                     cfg.placement.clone().unwrap_or(Placement::UniformRandom { side: cfg.side });
+                // Single- and multi-sink deployments share the retry loop;
+                // multi-sink pins nodes 1..=extra_sinks on spread sites and
+                // wires them to the root (see `ScenarioConfig::extra_sinks`).
+                fn deploy<R: dirq_net::radio::RadioModel>(
+                    cfg: &ScenarioConfig,
+                    placement: &Placement,
+                    radio: &R,
+                    rng: &mut SimRng,
+                ) -> Option<Topology> {
+                    if cfg.extra_sinks == 0 {
+                        Topology::deploy_connected(
+                            cfg.n_nodes,
+                            placement,
+                            cfg.sink,
+                            radio,
+                            rng,
+                            500,
+                        )
+                    } else {
+                        Topology::deploy_connected_multi_sink(
+                            cfg.n_nodes,
+                            placement,
+                            cfg.sink,
+                            radio,
+                            rng,
+                            500,
+                            cfg.extra_sinks,
+                        )
+                    }
+                }
                 let topo = match cfg.radio {
-                    RadioSpec::UnitDisk => Topology::deploy_connected(
-                        cfg.n_nodes,
-                        &placement,
-                        cfg.sink,
-                        &UnitDisk::new(cfg.radio_range),
-                        &mut rng,
-                        500,
-                    ),
+                    RadioSpec::UnitDisk => {
+                        deploy(&cfg, &placement, &UnitDisk::new(cfg.radio_range), &mut rng)
+                    }
                     RadioSpec::LogDistance { exponent, shadowing_sigma_db, link_budget_db } => {
                         // A fixed budget over the 1 m reference: the mean
                         // range is 10^(budget/(10 γ)) m, shrinking as the
@@ -399,14 +436,7 @@ impl Engine {
                             shadowing_sigma_db,
                             shadow_seed: cfg.seed,
                         };
-                        Topology::deploy_connected(
-                            cfg.n_nodes,
-                            &placement,
-                            cfg.sink,
-                            &model,
-                            &mut rng,
-                            500,
-                        )
+                        deploy(&cfg, &placement, &model, &mut rng)
                     }
                 }
                 .expect("no connected deployment found; raise density or radio range");
@@ -1323,6 +1353,18 @@ mod tests {
         let categories = r.metrics.total_cost();
         assert!(r.mac_data_cost >= categories);
         assert!(categories > 0.0);
+    }
+
+    #[test]
+    fn multi_sink_shortens_routes_and_still_answers_queries() {
+        let base = ScenarioConfig { tree: TreeKind::Bfs, ..small(21) };
+        let multi = run_scenario(ScenarioConfig { extra_sinks: 2, ..base.clone() });
+        let single = run_scenario(base);
+        // Nearest-sink attachment must not hurt reachability.
+        let recall = multi.metrics.mean_over_queries(|o| o.source_recall()).unwrap();
+        assert!(recall > 0.9, "multi-sink recall degraded: {recall:.3}");
+        // And the deployment keeps all nodes.
+        assert_eq!(multi.n_nodes, single.n_nodes);
     }
 
     #[test]

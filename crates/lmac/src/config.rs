@@ -19,6 +19,13 @@ pub struct LmacConfig {
     /// advertises the recipients of each; the paper's cost model counts
     /// messages, not slots.
     pub data_messages_per_slot: usize,
+    /// Worker threads for the colour-class parallel listener phase
+    /// (1 = fully serial slot loop, the default). The listener loop is
+    /// sharded across the topology's precomputed 2-hop colour classes and
+    /// merged back in listener order, so results are **bit-identical at
+    /// any setting**; helper threads are clamped to the machine's
+    /// available parallelism.
+    pub workers: usize,
 }
 
 impl Default for LmacConfig {
@@ -28,6 +35,7 @@ impl Default for LmacConfig {
             max_missed_frames: 3,
             listen_frames_before_pick: 1,
             data_messages_per_slot: 4,
+            workers: 1,
         }
     }
 }
@@ -41,6 +49,7 @@ impl LmacConfig {
         );
         assert!(self.max_missed_frames >= 1, "max_missed_frames must be at least 1");
         assert!(self.data_messages_per_slot >= 1, "a slot must carry at least one message");
+        assert!(self.workers >= 1, "workers must be at least 1 (1 = serial)");
     }
 }
 
@@ -69,5 +78,11 @@ mod tests {
     #[should_panic(expected = "max_missed_frames")]
     fn zero_missed_frames_rejected() {
         LmacConfig { max_missed_frames: 0, ..Default::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "workers")]
+    fn zero_workers_rejected() {
+        LmacConfig { workers: 0, ..Default::default() }.validate();
     }
 }

@@ -50,7 +50,7 @@ impl Destination {
 }
 
 /// One MAC-to-upper-layer event.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Debug, PartialEq, Eq)]
 pub enum MacIndication<P> {
     /// A data message addressed to `to` arrived from one-hop neighbour
     /// `from`.
@@ -88,6 +88,28 @@ pub enum MacIndication<P> {
         /// Shared handle to the undelivered payload.
         payload: PayloadHandle<P>,
     },
+}
+
+/// Manual impl: payloads are behind shared handles, so cloning an
+/// indication is a refcount bump and needs no `P: Clone` (the derive
+/// would demand one).
+impl<P> Clone for MacIndication<P> {
+    fn clone(&self) -> Self {
+        match self {
+            MacIndication::Delivered { to, from, payload } => {
+                MacIndication::Delivered { to: *to, from: *from, payload: payload.clone() }
+            }
+            MacIndication::NeighborDied { observer, dead } => {
+                MacIndication::NeighborDied { observer: *observer, dead: *dead }
+            }
+            MacIndication::NeighborNew { observer, new } => {
+                MacIndication::NeighborNew { observer: *observer, new: *new }
+            }
+            MacIndication::Undeliverable { from, to, payload } => {
+                MacIndication::Undeliverable { from: *from, to: *to, payload: payload.clone() }
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -16,8 +16,9 @@
 //! This crate reproduces exactly that contract:
 //!
 //! * [`slots`] — fixed-size slot bitmaps used by the distributed scheduler.
-//! * [`config`] — frame geometry and liveness parameters.
-//! * [`neighbor`] — per-node neighbour tables with last-heard tracking.
+//! * [`config`] — frame geometry, liveness and parallelism parameters.
+//! * [`neighbor`] — the network-owned, edge-aligned neighbour arena with
+//!   last-heard tracking, read through typed per-node views.
 //! * [`indication`] — the upcall stream handed to the upper layer
 //!   (deliveries, dead-neighbour and new-neighbour events).
 //! * [`network`] — [`network::LmacNetwork`], the slot-synchronous state
@@ -48,5 +49,6 @@ pub mod slots;
 
 pub use config::LmacConfig;
 pub use indication::{Destination, MacIndication, PayloadHandle};
+pub use neighbor::{NeighborArena, NeighborInfo, NeighborView};
 pub use network::LmacNetwork;
 pub use slots::SlotSet;

@@ -1,25 +1,40 @@
-//! Per-node neighbour tables.
+//! The network-owned, edge-aligned neighbour arena.
 //!
-//! Each MAC instance tracks, for every neighbour it has heard: the slot the
-//! neighbour owns, the neighbour's advertised 1-hop occupancy (giving this
-//! node 2-hop knowledge), its advertised gateway hop distance, and the last
-//! frame it was heard in. Staleness drives LMAC's dead-neighbour upcall.
+//! Earlier revisions gave every MAC instance its own `NeighborTable` vec;
+//! per-listener reception then hopped through one heap allocation per node
+//! (~35 % of the remaining 5 000-node epoch cost was this control plane).
+//! The arena flattens all of those rows into **one network-owned array
+//! aligned to the topology's CSR edge slots**: the entry describing
+//! neighbour `neighbors(l)[p]` as seen by listener `l` lives at
+//! `Topology::row_start(l) + p`. Listener-loop stores therefore walk one
+//! contiguous array in listener order, and the per-transmission position is
+//! resolved once from the MAC's edge-mirror index — a direct indexed store,
+//! no per-event search ([`NeighborArena::heard_at`]).
 //!
-//! ## Row-aligned layout
+//! ## Views and cursors
 //!
-//! The table is laid out over the node's *potential* neighbourhood — its
-//! CSR topology row, ascending — with a `present` flag per entry
-//! ([`NeighborTable::for_row`]). The reception hot loop updates one entry
-//! per listener per slot; with the row fixed, the MAC resolves the entry's
-//! position once per transmission from its edge-mirror index and lands on
-//! [`NeighborTable::heard_at`] — a direct indexed store, no per-event
-//! binary search. [`NeighborTable::heard`] (search by id, inserting
-//! off-row neighbours like the old map did) remains for cold paths and
-//! tests.
+//! Readers (the engine's cross-layer tree repair, the MAC's slot selection)
+//! go through [`NeighborView`], a typed cursor over one node's row. The
+//! aggregate views the MAC reads every slot — 1-hop slot occupancy and the
+//! minimum advertised gateway distance — are cached per node and recomputed
+//! lazily only when an update could have changed them; in steady state the
+//! caches never invalidate.
+//!
+//! ## Parallel discipline
+//!
+//! The colour-class parallel listener phase mutates rows of *distinct*
+//! listeners concurrently through [`ArenaRaw`], a raw-pointer handle derived
+//! from the single `&mut NeighborArena`. Every mutating entry point funnels
+//! through the same raw implementation, so the serial and sharded paths
+//! share one arena-mutation core (the listener-loop protocol around it
+//! exists in both `serial_listener_loop` and the sharded phase, pinned
+//! bit-equal by the 256-case differential suite); disjointness (one worker
+//! per listener row, and per-row caches/counters indexed by the same
+//! listener) is what makes the unsynchronised stores race-free.
 
 use std::cell::Cell;
 
-use dirq_net::NodeId;
+use dirq_net::{NodeId, Topology};
 
 use crate::slots::SlotSet;
 
@@ -37,18 +52,17 @@ pub struct NeighborInfo {
     pub last_heard_frame: u64,
 }
 
-/// One row slot of the table.
+/// One edge-aligned arena slot: listener `l`'s knowledge of
+/// `neighbors(l)[p]`.
 #[derive(Clone, Debug)]
-struct RowEntry {
-    id: NodeId,
+struct EdgeEntry {
     present: bool,
     info: NeighborInfo,
 }
 
-impl RowEntry {
-    fn vacant(id: NodeId) -> Self {
-        RowEntry {
-            id,
+impl EdgeEntry {
+    fn vacant() -> Self {
+        EdgeEntry {
             present: false,
             info: NeighborInfo {
                 slot: None,
@@ -60,68 +74,117 @@ impl RowEntry {
     }
 }
 
-/// A node's view of its one-hop neighbourhood.
-///
-/// The aggregate views the MAC reads every slot — 1-hop slot occupancy and
-/// the minimum advertised gateway distance — are cached and recomputed
-/// lazily only when an update could have changed them. In steady state
-/// (every neighbour re-advertising the same slot/distance each frame) the
-/// caches never invalidate.
-#[derive(Clone, Debug, Default)]
-pub struct NeighborTable {
-    /// Row entries, ascending by id; `present` marks heard neighbours.
-    entries: Vec<RowEntry>,
-    present_count: usize,
-    occupancy_cache: Cell<Option<SlotSet>>,
-    min_gw_cache: Cell<Option<u16>>,
+/// The global neighbour store: one entry per directed CSR edge of the
+/// topology, aligned so listener `l`'s row occupies
+/// `row_start(l)..row_start(l) + degree(l)`.
+#[derive(Clone, Debug)]
+pub struct NeighborArena {
+    /// CSR row starts (`row_offsets[l]..row_offsets[l + 1]` indexes the
+    /// edge arrays), mirroring the topology's offsets.
+    row_offsets: Vec<u32>,
+    /// Edge targets (a copy of the CSR target array): `ids[row_start(l) +
+    /// p] == neighbors(l)[p]`. Kept inline so views resolve ids without
+    /// holding the topology.
+    ids: Vec<NodeId>,
+    /// Per-edge neighbour knowledge.
+    entries: Vec<EdgeEntry>,
+    /// Per-node count of present entries.
+    present: Vec<u32>,
+    /// Per-node cached 1-hop occupancy (`None` = dirty).
+    occ_cache: Vec<Cell<Option<SlotSet>>>,
+    /// Per-node cached minimum advertised gateway distance (`None` =
+    /// dirty).
+    gw_cache: Vec<Cell<Option<u16>>>,
 }
 
-impl NeighborTable {
-    /// Empty table (no pre-allocated row).
-    pub fn new() -> Self {
-        NeighborTable::default()
-    }
-
-    /// Table pre-sized over a fixed candidate neighbourhood (a CSR
-    /// topology row, ascending). Entry positions then match row positions,
-    /// enabling [`NeighborTable::heard_at`].
-    pub fn for_row(row: &[NodeId]) -> Self {
-        debug_assert!(row.windows(2).all(|w| w[0] < w[1]), "row must be ascending");
-        NeighborTable {
-            entries: row.iter().map(|&id| RowEntry::vacant(id)).collect(),
-            present_count: 0,
-            occupancy_cache: Cell::new(None),
-            min_gw_cache: Cell::new(None),
+impl NeighborArena {
+    /// Empty arena (every row vacant) over `topo`'s edge set.
+    pub fn new(topo: &Topology) -> Self {
+        let n = topo.len();
+        let mut row_offsets = Vec::with_capacity(n + 1);
+        let mut ids = Vec::new();
+        row_offsets.push(0u32);
+        for i in 0..n {
+            let row = topo.neighbors(NodeId::from_index(i));
+            debug_assert!(row.windows(2).all(|w| w[0] < w[1]), "CSR row must be ascending");
+            ids.extend_from_slice(row);
+            row_offsets.push(ids.len() as u32);
+        }
+        NeighborArena {
+            row_offsets,
+            entries: vec![EdgeEntry::vacant(); ids.len()],
+            ids,
+            present: vec![0; n],
+            occ_cache: (0..n).map(|_| Cell::new(None)).collect(),
+            gw_cache: (0..n).map(|_| Cell::new(None)).collect(),
         }
     }
 
-    /// Record hearing `node` in `frame`; returns `true` when the neighbour
-    /// is new to the table (triggering LMAC's new-neighbour upcall).
+    /// Number of node rows.
+    pub fn len(&self) -> usize {
+        self.present.len()
+    }
+
+    /// Whether the arena has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.present.is_empty()
+    }
+
+    #[inline]
+    fn row_bounds(&self, node: NodeId) -> (usize, usize) {
+        let i = node.index();
+        (self.row_offsets[i] as usize, self.row_offsets[i + 1] as usize)
+    }
+
+    /// Typed read view over `node`'s row.
+    #[inline]
+    pub fn view(&self, node: NodeId) -> NeighborView<'_> {
+        NeighborView { arena: self, node }
+    }
+
+    /// Forget everything `node`'s row knows (death/rebirth reset).
+    pub fn reset_row(&mut self, node: NodeId) {
+        let (lo, hi) = self.row_bounds(node);
+        for e in &mut self.entries[lo..hi] {
+            *e = EdgeEntry::vacant();
+        }
+        self.present[node.index()] = 0;
+        self.occ_cache[node.index()].set(None);
+        self.gw_cache[node.index()].set(None);
+    }
+
+    /// Record `listener` hearing `node` in `frame`; returns `true` when the
+    /// neighbour is new to the row (triggering LMAC's new-neighbour
+    /// upcall). Resolves the row position by binary search — the cold path;
+    /// the reception hot loop uses [`NeighborArena::heard_at`].
     pub fn heard(
         &mut self,
+        listener: NodeId,
         node: NodeId,
         slot: Option<u16>,
         occupied: SlotSet,
         gateway_dist: u16,
         frame: u64,
     ) -> bool {
-        match self.entries.binary_search_by_key(&node, |e| e.id) {
-            Ok(i) => self.heard_at(i, node, slot, occupied, gateway_dist, frame),
-            Err(i) => {
-                // Off-row neighbour (tables not built over a topology row):
-                // grow the row, preserving ascending order.
-                self.entries.insert(i, RowEntry::vacant(node));
-                self.heard_at(i, node, slot, occupied, gateway_dist, frame)
-            }
-        }
+        // SAFETY: `&mut self` gives exclusive access; the raw core resolves
+        // (and validates) the row position itself.
+        unsafe { self.raw().heard(listener, node, slot, occupied, gateway_dist, frame) }
     }
 
-    /// [`NeighborTable::heard`] with the entry position already known (the
-    /// neighbour's position in this node's topology row) — the reception
-    /// hot path. `pos` must address `node`'s entry.
+    /// [`NeighborArena::heard`] with the entry position already known (the
+    /// transmitter's position in `listener`'s topology row, from the MAC's
+    /// edge-mirror index) — the reception hot path. `pos` must address
+    /// `node`'s entry.
+    ///
+    /// # Panics
+    /// Panics when `pos` lies outside `listener`'s row (this is a safe
+    /// entry point; the unchecked variant is the crate-internal
+    /// [`ArenaRaw`]).
     #[inline]
+    #[allow(clippy::too_many_arguments)]
     pub fn heard_at(
         &mut self,
+        listener: NodeId,
         pos: usize,
         node: NodeId,
         slot: Option<u16>,
@@ -129,20 +192,122 @@ impl NeighborTable {
         gateway_dist: u16,
         frame: u64,
     ) -> bool {
-        let e = &mut self.entries[pos];
-        debug_assert_eq!(e.id, node, "heard_at position does not address the neighbour");
+        let (lo, hi) = self.row_bounds(listener);
+        assert!(pos < hi - lo, "heard_at position {pos} outside {listener}'s row");
+        // SAFETY: bounds just checked; `&mut self` gives exclusive access.
+        unsafe { self.raw().heard_at(listener, pos, node, slot, occupied, gateway_dist, frame) }
+    }
+
+    /// Remove `node` from `listener`'s row; returns whether it was present.
+    pub fn remove(&mut self, listener: NodeId, node: NodeId) -> bool {
+        let (lo, hi) = self.row_bounds(listener);
+        let Ok(pos) = self.ids[lo..hi].binary_search(&node) else {
+            return false;
+        };
+        let e = &mut self.entries[lo + pos];
+        if !e.present {
+            return false;
+        }
+        e.present = false;
+        self.present[listener.index()] -= 1;
+        self.occ_cache[listener.index()].set(None);
+        self.gw_cache[listener.index()].set(None);
+        true
+    }
+
+    /// Append `listener`'s neighbours unheard since `frame - max_missed`
+    /// (exclusive) — candidates for a dead-neighbour upcall — to a
+    /// caller-owned buffer, ascending.
+    pub fn collect_stale(
+        &self,
+        listener: NodeId,
+        frame: u64,
+        max_missed: u32,
+        out: &mut Vec<NodeId>,
+    ) {
+        if self.present[listener.index()] == 0 {
+            return;
+        }
+        let (lo, hi) = self.row_bounds(listener);
+        for (e, &id) in self.entries[lo..hi].iter().zip(&self.ids[lo..hi]) {
+            if e.present && frame.saturating_sub(e.info.last_heard_frame) > u64::from(max_missed) {
+                out.push(id);
+            }
+        }
+    }
+
+    /// Row-disjoint raw mutation handle (see the module docs). The caller
+    /// must guarantee that no two concurrent users touch the same
+    /// listener's row.
+    pub(crate) fn raw(&mut self) -> ArenaRaw {
+        ArenaRaw {
+            row_offsets: self.row_offsets.as_ptr(),
+            ids: self.ids.as_ptr(),
+            entries: self.entries.as_mut_ptr(),
+            present: self.present.as_mut_ptr(),
+            occ_cache: self.occ_cache.as_ptr(),
+            gw_cache: self.gw_cache.as_ptr(),
+        }
+    }
+}
+
+/// Raw-pointer cursor into the arena used by both the serial reception
+/// loop (via the safe wrappers) and the colour-class parallel listener
+/// phase. All mutating arena logic lives here so the two paths cannot
+/// drift apart.
+#[derive(Clone, Copy)]
+pub(crate) struct ArenaRaw {
+    row_offsets: *const u32,
+    ids: *const NodeId,
+    entries: *mut EdgeEntry,
+    present: *mut u32,
+    occ_cache: *const Cell<Option<SlotSet>>,
+    gw_cache: *const Cell<Option<u16>>,
+}
+
+impl ArenaRaw {
+    /// # Safety
+    /// The caller must have exclusive access to `listener`'s row (no other
+    /// thread may read or write it concurrently), and `pos` must be inside
+    /// the row and address `node`'s entry.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) unsafe fn heard_at(
+        &self,
+        listener: NodeId,
+        pos: usize,
+        node: NodeId,
+        slot: Option<u16>,
+        occupied: SlotSet,
+        gateway_dist: u16,
+        frame: u64,
+    ) -> bool {
+        let li = listener.index();
+        let lo = *self.row_offsets.add(li) as usize;
+        debug_assert!(
+            lo + pos < *self.row_offsets.add(li + 1) as usize,
+            "heard_at position outside {listener}'s row"
+        );
+        debug_assert_eq!(
+            *self.ids.add(lo + pos),
+            node,
+            "heard_at position does not address the neighbour"
+        );
+        let e = &mut *self.entries.add(lo + pos);
+        let occ = &*self.occ_cache.add(li);
+        let gw = &*self.gw_cache.add(li);
         let is_new = !e.present;
         if is_new {
             e.present = true;
-            self.present_count += 1;
-            self.occupancy_cache.set(None);
-            self.min_gw_cache.set(None);
+            *self.present.add(li) += 1;
+            occ.set(None);
+            gw.set(None);
         } else {
             if e.info.slot != slot {
-                self.occupancy_cache.set(None);
+                occ.set(None);
             }
             if e.info.gateway_dist != gateway_dist {
-                self.min_gw_cache.set(None);
+                gw.set(None);
             }
         }
         e.info.slot = slot;
@@ -152,57 +317,85 @@ impl NeighborTable {
         is_new
     }
 
+    /// [`ArenaRaw::heard_at`] resolving the row position by binary search
+    /// (the cold reception paths: full-scan reference, collision
+    /// transients).
+    ///
+    /// # Safety
+    /// As [`ArenaRaw::heard_at`]; `node` must be in `listener`'s row.
+    pub(crate) unsafe fn heard(
+        &self,
+        listener: NodeId,
+        node: NodeId,
+        slot: Option<u16>,
+        occupied: SlotSet,
+        gateway_dist: u16,
+        frame: u64,
+    ) -> bool {
+        let li = listener.index();
+        let lo = *self.row_offsets.add(li) as usize;
+        let hi = *self.row_offsets.add(li + 1) as usize;
+        let row = std::slice::from_raw_parts(self.ids.add(lo), hi - lo);
+        let pos = row
+            .binary_search(&node)
+            .unwrap_or_else(|_| panic!("{node} is not in {listener}'s topology row"));
+        self.heard_at(listener, pos, node, slot, occupied, gateway_dist, frame)
+    }
+}
+
+/// Read-only cursor over one node's arena row — the cross-layer view DirQ
+/// uses to repair its tree, and the MAC's own slot-selection input.
+#[derive(Clone, Copy)]
+pub struct NeighborView<'a> {
+    arena: &'a NeighborArena,
+    node: NodeId,
+}
+
+impl NeighborView<'_> {
+    fn row(&self) -> (&[EdgeEntry], &[NodeId]) {
+        let (lo, hi) = self.arena.row_bounds(self.node);
+        (&self.arena.entries[lo..hi], &self.arena.ids[lo..hi])
+    }
+
+    fn present(&self) -> impl Iterator<Item = (&EdgeEntry, NodeId)> {
+        let (entries, ids) = self.row();
+        entries.iter().zip(ids.iter().copied()).filter(|(e, _)| e.present)
+    }
+
     /// Look up a neighbour.
-    pub fn get(&self, node: NodeId) -> Option<&NeighborInfo> {
-        self.entries
-            .binary_search_by_key(&node, |e| e.id)
-            .ok()
-            .map(|i| &self.entries[i])
-            .filter(|e| e.present)
-            .map(|e| &e.info)
+    pub fn get(&self, node: NodeId) -> Option<NeighborInfo> {
+        let (entries, ids) = self.row();
+        ids.binary_search(&node).ok().map(|p| &entries[p]).filter(|e| e.present).map(|e| e.info)
     }
 
-    /// Remove a neighbour; returns whether it was present.
-    pub fn remove(&mut self, node: NodeId) -> bool {
-        match self.entries.binary_search_by_key(&node, |e| e.id) {
-            Ok(i) if self.entries[i].present => {
-                self.entries[i].present = false;
-                self.present_count -= 1;
-                self.occupancy_cache.set(None);
-                self.min_gw_cache.set(None);
-                true
-            }
-            _ => false,
-        }
+    /// All known neighbour ids, ascending.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.present().map(|(_, id)| id)
     }
 
-    fn present(&self) -> impl Iterator<Item = &RowEntry> {
-        self.entries.iter().filter(|e| e.present)
+    /// Number of known neighbours.
+    pub fn len(&self) -> usize {
+        self.arena.present[self.node.index()] as usize
+    }
+
+    /// Whether the row is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 
     /// Neighbours unheard since `frame - max_missed` (exclusive), i.e.
     /// candidates for a dead-neighbour upcall at `frame`.
     pub fn stale(&self, frame: u64, max_missed: u32) -> Vec<NodeId> {
         let mut out = Vec::new();
-        self.collect_stale(frame, max_missed, &mut out);
+        self.arena.collect_stale(self.node, frame, max_missed, &mut out);
         out
-    }
-
-    /// Allocation-free variant of [`NeighborTable::stale`]: append the
-    /// stale neighbours (ascending) to a caller-owned buffer.
-    pub fn collect_stale(&self, frame: u64, max_missed: u32, out: &mut Vec<NodeId>) {
-        out.extend(
-            self.present()
-                .filter(|e| frame.saturating_sub(e.info.last_heard_frame) > u64::from(max_missed))
-                .map(|e| e.id),
-        );
     }
 
     /// Union of all neighbours' slots and advertised occupancies — the
     /// 2-hop occupancy picture used for slot selection.
     pub fn two_hop_occupancy(&self) -> SlotSet {
         let mut s = SlotSet::EMPTY;
-        for e in self.present() {
+        for (e, _) in self.present() {
             if let Some(slot) = e.info.slot {
                 s.insert(slot);
             }
@@ -211,47 +404,34 @@ impl NeighborTable {
         s
     }
 
-    /// Slots owned by direct neighbours only (1-hop occupancy) — this is
-    /// what a node advertises in its own control section. Cached; O(1) in
-    /// steady state.
+    /// Slots owned by direct neighbours only (1-hop occupancy) — what a
+    /// node advertises in its own control section. Cached; O(1) in steady
+    /// state.
     pub fn one_hop_occupancy(&self) -> SlotSet {
-        if let Some(cached) = self.occupancy_cache.get() {
+        let cache = &self.arena.occ_cache[self.node.index()];
+        if let Some(cached) = cache.get() {
             return cached;
         }
         let mut s = SlotSet::EMPTY;
-        for e in self.present() {
+        for (e, _) in self.present() {
             if let Some(slot) = e.info.slot {
                 s.insert(slot);
             }
         }
-        self.occupancy_cache.set(Some(s));
+        cache.set(Some(s));
         s
     }
 
     /// Smallest advertised gateway distance among neighbours
     /// (`u16::MAX` when none known). Cached; O(1) in steady state.
     pub fn min_gateway_dist(&self) -> u16 {
-        if let Some(cached) = self.min_gw_cache.get() {
+        let cache = &self.arena.gw_cache[self.node.index()];
+        if let Some(cached) = cache.get() {
             return cached;
         }
-        let min = self.present().map(|e| e.info.gateway_dist).min().unwrap_or(u16::MAX);
-        self.min_gw_cache.set(Some(min));
+        let min = self.present().map(|(e, _)| e.info.gateway_dist).min().unwrap_or(u16::MAX);
+        cache.set(Some(min));
         min
-    }
-
-    /// All known neighbour ids, ascending.
-    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.present().map(|e| e.id)
-    }
-
-    /// Number of known neighbours.
-    pub fn len(&self) -> usize {
-        self.present_count
-    }
-
-    /// Whether the table is empty.
-    pub fn is_empty(&self) -> bool {
-        self.present_count == 0
     }
 }
 
@@ -259,83 +439,127 @@ impl NeighborTable {
 mod tests {
     use super::*;
 
-    #[test]
-    fn heard_inserts_then_updates() {
-        let mut t = NeighborTable::new();
-        assert!(t.heard(NodeId(3), Some(5), SlotSet::EMPTY, 2, 10));
-        assert!(!t.heard(NodeId(3), Some(6), SlotSet::EMPTY, 1, 11));
-        let info = t.get(NodeId(3)).unwrap();
-        assert_eq!(info.slot, Some(6));
-        assert_eq!(info.gateway_dist, 1);
-        assert_eq!(info.last_heard_frame, 11);
-        assert_eq!(t.len(), 1);
+    /// Star topology: node 0 adjacent to 1..n.
+    fn star(n: usize) -> Topology {
+        let edges: Vec<(NodeId, NodeId)> =
+            (1..n).map(|i| (NodeId(0), NodeId::from_index(i))).collect();
+        Topology::from_edges(n, &edges)
     }
 
     #[test]
-    fn row_table_marks_presence_without_growing() {
-        let row = [NodeId(2), NodeId(5), NodeId(9)];
-        let mut t = NeighborTable::for_row(&row);
-        assert!(t.is_empty());
-        assert!(t.get(NodeId(5)).is_none(), "vacant entries are invisible");
-        assert!(t.heard(NodeId(5), Some(3), SlotSet::EMPTY, 1, 0));
-        assert_eq!(t.len(), 1);
-        assert_eq!(t.nodes().collect::<Vec<_>>(), vec![NodeId(5)]);
-        // Position 2 addresses NodeId(9) — the row is fixed.
-        assert!(t.heard_at(2, NodeId(9), Some(4), SlotSet::EMPTY, 2, 0));
-        assert!(!t.heard_at(2, NodeId(9), Some(4), SlotSet::EMPTY, 2, 1));
-        assert_eq!(t.get(NodeId(9)).unwrap().last_heard_frame, 1);
-        assert!(t.remove(NodeId(5)));
-        assert!(!t.remove(NodeId(5)), "vacated entries are not present");
-        assert_eq!(t.len(), 1);
+    fn heard_marks_presence_then_updates() {
+        let topo = star(5);
+        let mut a = NeighborArena::new(&topo);
+        assert!(a.view(NodeId(0)).is_empty());
+        assert!(a.view(NodeId(0)).get(NodeId(3)).is_none(), "vacant entries are invisible");
+        assert!(a.heard(NodeId(0), NodeId(3), Some(5), SlotSet::EMPTY, 2, 10));
+        assert!(!a.heard(NodeId(0), NodeId(3), Some(6), SlotSet::EMPTY, 1, 11));
+        let info = a.view(NodeId(0)).get(NodeId(3)).unwrap();
+        assert_eq!(info.slot, Some(6));
+        assert_eq!(info.gateway_dist, 1);
+        assert_eq!(info.last_heard_frame, 11);
+        assert_eq!(a.view(NodeId(0)).len(), 1);
+        // The leaf's row is untouched.
+        assert!(a.view(NodeId(3)).is_empty());
+    }
+
+    #[test]
+    fn heard_at_is_a_direct_indexed_store() {
+        let topo = star(5);
+        let mut a = NeighborArena::new(&topo);
+        // Node 0's row is [1, 2, 3, 4]; position 2 addresses NodeId(3).
+        assert!(a.heard_at(NodeId(0), 2, NodeId(3), Some(4), SlotSet::EMPTY, 2, 0));
+        assert!(!a.heard_at(NodeId(0), 2, NodeId(3), Some(4), SlotSet::EMPTY, 2, 1));
+        assert_eq!(a.view(NodeId(0)).get(NodeId(3)).unwrap().last_heard_frame, 1);
+        assert_eq!(a.view(NodeId(0)).nodes().collect::<Vec<_>>(), vec![NodeId(3)]);
+    }
+
+    #[test]
+    fn rows_are_edge_aligned_with_the_topology() {
+        // Chain 0-1-2-3 plus chord 0-2: rows have distinct shapes.
+        let topo = Topology::from_edges(
+            4,
+            &[
+                (NodeId(0), NodeId(1)),
+                (NodeId(1), NodeId(2)),
+                (NodeId(2), NodeId(3)),
+                (NodeId(0), NodeId(2)),
+            ],
+        );
+        let mut a = NeighborArena::new(&topo);
+        for l in topo.nodes() {
+            for (p, &nb) in topo.neighbors(l).iter().enumerate() {
+                assert!(a.heard_at(l, p, nb, Some(p as u16), SlotSet::EMPTY, 7, 1));
+            }
+        }
+        for l in topo.nodes() {
+            let v = a.view(l);
+            assert_eq!(v.len(), topo.degree(l));
+            assert_eq!(v.nodes().collect::<Vec<_>>(), topo.neighbors(l));
+        }
+    }
+
+    #[test]
+    fn remove_and_reset_row() {
+        let topo = star(4);
+        let mut a = NeighborArena::new(&topo);
+        a.heard(NodeId(0), NodeId(1), Some(0), SlotSet::EMPTY, 4, 0);
+        a.heard(NodeId(0), NodeId(2), Some(1), SlotSet::EMPTY, 2, 0);
+        assert_eq!(a.view(NodeId(0)).min_gateway_dist(), 2);
+        assert!(a.remove(NodeId(0), NodeId(2)));
+        assert!(!a.remove(NodeId(0), NodeId(2)), "vacated entries are not present");
+        assert_eq!(a.view(NodeId(0)).min_gateway_dist(), 4);
+        a.reset_row(NodeId(0));
+        assert!(a.view(NodeId(0)).is_empty());
+        assert_eq!(a.view(NodeId(0)).min_gateway_dist(), u16::MAX);
     }
 
     #[test]
     fn staleness_detection() {
-        let mut t = NeighborTable::new();
-        t.heard(NodeId(1), Some(0), SlotSet::EMPTY, 1, 10);
-        t.heard(NodeId(2), Some(1), SlotSet::EMPTY, 1, 14);
+        let topo = star(3);
+        let mut a = NeighborArena::new(&topo);
+        a.heard(NodeId(0), NodeId(1), Some(0), SlotSet::EMPTY, 1, 10);
+        a.heard(NodeId(0), NodeId(2), Some(1), SlotSet::EMPTY, 1, 14);
         // max_missed = 3: stale iff frame - last_heard > 3.
-        assert_eq!(t.stale(14, 3), vec![NodeId(1)]);
-        assert!(t.stale(13, 3).is_empty());
-        assert_eq!(t.stale(100, 3), vec![NodeId(1), NodeId(2)]);
+        assert_eq!(a.view(NodeId(0)).stale(14, 3), vec![NodeId(1)]);
+        assert!(a.view(NodeId(0)).stale(13, 3).is_empty());
+        assert_eq!(a.view(NodeId(0)).stale(100, 3), vec![NodeId(1), NodeId(2)]);
     }
 
     #[test]
-    fn occupancy_union() {
-        let mut t = NeighborTable::new();
-        t.heard(NodeId(1), Some(2), [4u16].into_iter().collect(), 1, 0);
-        t.heard(NodeId(2), Some(3), [5u16].into_iter().collect(), 1, 0);
-        let one = t.one_hop_occupancy();
-        assert_eq!(one.iter().collect::<Vec<_>>(), vec![2, 3]);
-        let two = t.two_hop_occupancy();
-        assert_eq!(two.iter().collect::<Vec<_>>(), vec![2, 3, 4, 5]);
+    fn occupancy_union_and_caches() {
+        let topo = star(3);
+        let mut a = NeighborArena::new(&topo);
+        a.heard(NodeId(0), NodeId(1), Some(2), [4u16].into_iter().collect(), 1, 0);
+        a.heard(NodeId(0), NodeId(2), Some(3), [5u16].into_iter().collect(), 1, 0);
+        let v = a.view(NodeId(0));
+        assert_eq!(v.one_hop_occupancy().iter().collect::<Vec<_>>(), vec![2, 3]);
+        assert_eq!(v.two_hop_occupancy().iter().collect::<Vec<_>>(), vec![2, 3, 4, 5]);
+        // A same-slot re-advertisement keeps the cache; a slot change
+        // invalidates it.
+        a.heard(NodeId(0), NodeId(1), Some(2), SlotSet::EMPTY, 1, 1);
+        assert_eq!(a.view(NodeId(0)).one_hop_occupancy().iter().collect::<Vec<_>>(), vec![2, 3]);
+        a.heard(NodeId(0), NodeId(1), Some(7), SlotSet::EMPTY, 1, 2);
+        assert_eq!(a.view(NodeId(0)).one_hop_occupancy().iter().collect::<Vec<_>>(), vec![3, 7]);
     }
 
     #[test]
     fn joining_neighbour_without_slot() {
-        let mut t = NeighborTable::new();
-        t.heard(NodeId(9), None, SlotSet::EMPTY, u16::MAX, 0);
-        assert!(t.one_hop_occupancy().is_empty());
-        assert_eq!(t.min_gateway_dist(), u16::MAX);
+        let topo = star(2);
+        let mut a = NeighborArena::new(&topo);
+        a.heard(NodeId(0), NodeId(1), None, SlotSet::EMPTY, u16::MAX, 0);
+        assert!(a.view(NodeId(0)).one_hop_occupancy().is_empty());
+        assert_eq!(a.view(NodeId(0)).min_gateway_dist(), u16::MAX);
+        assert_eq!(a.view(NodeId(0)).len(), 1);
     }
 
     #[test]
-    fn remove_and_min_gateway() {
-        let mut t = NeighborTable::new();
-        t.heard(NodeId(1), Some(0), SlotSet::EMPTY, 4, 0);
-        t.heard(NodeId(2), Some(1), SlotSet::EMPTY, 2, 0);
-        assert_eq!(t.min_gateway_dist(), 2);
-        assert!(t.remove(NodeId(2)));
-        assert_eq!(t.min_gateway_dist(), 4);
-        assert!(!t.remove(NodeId(2)));
-    }
-
-    #[test]
-    fn nodes_sorted() {
-        let mut t = NeighborTable::new();
-        t.heard(NodeId(5), None, SlotSet::EMPTY, 0, 0);
-        t.heard(NodeId(1), None, SlotSet::EMPTY, 0, 0);
-        t.heard(NodeId(3), None, SlotSet::EMPTY, 0, 0);
-        assert_eq!(t.nodes().collect::<Vec<_>>(), vec![NodeId(1), NodeId(3), NodeId(5)]);
+    #[should_panic(expected = "topology row")]
+    fn off_row_neighbour_rejected() {
+        // 1 and 2 are not adjacent in a star: hearing across a non-edge is
+        // a bug in the caller.
+        let topo = star(3);
+        let mut a = NeighborArena::new(&topo);
+        a.heard(NodeId(1), NodeId(2), None, SlotSet::EMPTY, 0, 0);
     }
 }

@@ -27,6 +27,16 @@
 //!   transmitter — the listeners × transmitters link-matrix scan that
 //!   dominated dense frames (and degenerates to a binary search per probe
 //!   above `DENSE_LINK_MAX_NODES`) is gone;
+//! * neighbour knowledge is network-owned in an **edge-aligned
+//!   [`NeighborArena`]** (`Topology::row_start(listener) + mirror_pos`),
+//!   so the listener loop's stores land sequentially in listener order on
+//!   one contiguous array instead of hopping through per-node heap vecs;
+//! * with `LmacConfig::workers > 1` the listener phase is **sharded across
+//!   precomputed 2-hop colour classes** (same-colour nodes share no
+//!   neighbour, so shards touch disjoint arena rows) on a persistent
+//!   work-stealing pool, and the per-shard output is merged back in
+//!   ascending listener order — indications, statistics and ledgers stay
+//!   bit-identical at every worker count;
 //! * the slot-occupancy index (`slot_owners` + the per-slot alive check)
 //!   short-circuits slots nobody owns: an empty slot advances the clock
 //!   without touching the scratch buffers at all;
@@ -42,12 +52,13 @@
 use std::collections::VecDeque;
 
 use dirq_net::{EnergyLedger, NodeBits, NodeId, Topology};
+use dirq_sim::runner::WorkerPool;
 use dirq_sim::SimRng;
 use rand::Rng;
 
 use crate::config::LmacConfig;
 use crate::indication::{Destination, MacIndication, PayloadHandle};
-use crate::neighbor::NeighborTable;
+use crate::neighbor::{ArenaRaw, NeighborArena, NeighborView};
 use crate::slots::SlotSet;
 
 /// Aggregate MAC statistics for a run.
@@ -71,24 +82,18 @@ pub struct MacStats {
     pub new_neighbors_detected: u64,
 }
 
-/// Per-node MAC state.
+/// Per-node MAC state. Neighbour knowledge does **not** live here — it is
+/// network-owned, in the edge-aligned [`NeighborArena`].
 struct MacNode<P> {
     alive: bool,
     my_slot: Option<u16>,
     listen_remaining: u32,
-    neighbors: NeighborTable,
     tx_queue: VecDeque<(Destination, PayloadHandle<P>)>,
 }
 
 impl<P> MacNode<P> {
     fn offline() -> Self {
-        MacNode {
-            alive: false,
-            my_slot: None,
-            listen_remaining: 0,
-            neighbors: NeighborTable::new(),
-            tx_queue: VecDeque::new(),
-        }
+        MacNode { alive: false, my_slot: None, listen_remaining: 0, tx_queue: VecDeque::new() }
     }
 }
 
@@ -173,6 +178,159 @@ impl<P> FrameScratch<P> {
     }
 }
 
+/// Per-shard working state of the colour-class parallel listener phase.
+/// Shard `k` owns the listeners whose 2-hop colour class is congruent to
+/// `k` modulo the shard count. Any partition of the listeners would make
+/// the per-listener writes (arena row, audibility slot, rx tallies)
+/// disjoint; colour classes are the key because same-colour listeners
+/// also never hear the same transmitter, which spreads each
+/// transmitter's listener burst across shards and keeps the door open to
+/// sharding transmitter-side state later without changing the partition.
+struct ShardScratch<P> {
+    /// Indications produced by this shard, ascending by listener.
+    out: Vec<MacIndication<P>>,
+    /// Transmitters audible at a collided listener (must surrender).
+    collided_from: Vec<NodeId>,
+    /// Per-listener audible-set scratch.
+    audible: Vec<u32>,
+    /// Statistics deltas, summed into [`MacStats`] at the merge. Plain
+    /// counter additions, so shard totals equal the serial totals.
+    delivered: u64,
+    new_neighbors: u64,
+    collisions: u64,
+    /// Merge cursor into `out`.
+    cursor: usize,
+}
+
+impl<P> ShardScratch<P> {
+    fn new() -> Self {
+        ShardScratch {
+            out: Vec::new(),
+            collided_from: Vec::new(),
+            audible: Vec::with_capacity(8),
+            delivered: 0,
+            new_neighbors: 0,
+            collisions: 0,
+            cursor: 0,
+        }
+    }
+}
+
+/// The published state of one parallel listener phase: everything a shard
+/// needs, behind raw pointers where shards write disjointly (arena rows,
+/// audibility slots, per-listener ledger tallies, their own scratch) and
+/// shared borrows where they only read.
+struct ListenerPhase<'a, P> {
+    arena: ArenaRaw,
+    audible_tx: *mut u64,
+    shards: *mut ShardScratch<P>,
+    control_rx: *mut u64,
+    data_rx: *mut u64,
+    topo: &'a Topology,
+    shard_of: &'a [u32],
+    listener_mark: &'a NodeBits,
+    txs: &'a [TxRecord],
+    tx_data: &'a [(Destination, PayloadHandle<P>)],
+    tx_index: &'a [u32],
+    slot: u16,
+    frame: u64,
+}
+
+// SAFETY: shards access disjoint state — shard `k` touches only its own
+// `ShardScratch` and the arena rows / `audible_tx` slots / rx tallies of
+// its own listeners, and every write is indexed by the listener, which
+// belongs to exactly one shard (the colour classes partition the nodes).
+unsafe impl<P: Send + Sync> Sync for ListenerPhase<'_, P> {}
+
+impl<P: Send + Sync> ListenerPhase<'_, P> {
+    /// Process shard `k`: resolve audibility, update the listeners' arena
+    /// rows, record receptions in the (listener-indexed, hence disjoint)
+    /// ledger tallies and collect this shard's indications. Mirrors the
+    /// serial listener loop exactly; only the ordered indication stream is
+    /// left for the merge.
+    ///
+    /// # Safety
+    /// `k` must be a valid shard index, and each shard must be executed by exactly one
+    /// thread per slot (the pool guarantees exactly-once item execution).
+    unsafe fn run_shard(&self, k: usize) {
+        let shard = &mut *self.shards.add(k);
+        shard.out.clear();
+        shard.collided_from.clear();
+        shard.delivered = 0;
+        shard.new_neighbors = 0;
+        shard.collisions = 0;
+        shard.cursor = 0;
+        let s = self.slot;
+        for l in self.listener_mark.iter() {
+            if self.shard_of[l.index()] != k as u32 {
+                continue;
+            }
+            let resolved = std::mem::replace(&mut *self.audible_tx.add(l.index()), AUDIBLE_NONE);
+            let audible = &mut shard.audible;
+            audible.clear();
+            if resolved == AUDIBLE_COLLIDED {
+                // Rare join transient: recover the full audible set from
+                // the listener's CSR row (links are symmetric).
+                for &nb in self.topo.neighbors(l) {
+                    let ti = self.tx_index[nb.index()];
+                    if ti != u32::MAX {
+                        audible.push(ti);
+                    }
+                }
+            } else {
+                audible.push((resolved >> 32) as u32);
+            }
+            if audible.len() > 1 {
+                shard.collisions += 1;
+                for &i in audible.iter() {
+                    shard.collided_from.push(self.txs[i as usize].from);
+                }
+                continue;
+            }
+            let tx = &self.txs[audible[0] as usize];
+            *self.control_rx.add(l.index()) += 1;
+            let is_new = if resolved == AUDIBLE_COLLIDED {
+                self.arena.heard(l, tx.from, Some(s), tx.occupied, tx.gateway_dist, self.frame)
+            } else {
+                self.arena.heard_at(
+                    l,
+                    (resolved & 0xFFFF_FFFF) as usize,
+                    tx.from,
+                    Some(s),
+                    tx.occupied,
+                    tx.gateway_dist,
+                    self.frame,
+                )
+            };
+            if is_new {
+                shard.new_neighbors += 1;
+                shard.out.push(MacIndication::NeighborNew { observer: l, new: tx.from });
+            }
+            for (dest, payload) in &self.tx_data[tx.data_start as usize..tx.data_end as usize] {
+                if dest.includes(l) {
+                    *self.data_rx.add(l.index()) += 1;
+                    shard.delivered += 1;
+                    shard.out.push(MacIndication::Delivered {
+                        to: l,
+                        from: tx.from,
+                        payload: payload.clone(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// The listener an indication belongs to, for the merge's k-way walk.
+fn indication_listener<P>(ind: &MacIndication<P>) -> NodeId {
+    match ind {
+        MacIndication::Delivered { to, .. } => *to,
+        MacIndication::NeighborNew { observer, .. } => *observer,
+        // Shards only emit the two variants above.
+        _ => unreachable!("unexpected indication variant in a listener shard"),
+    }
+}
+
 /// The simulated LMAC network.
 ///
 /// Generic over the upper-layer payload `P`; the MAC never inspects it.
@@ -180,6 +338,9 @@ pub struct LmacNetwork<P> {
     cfg: LmacConfig,
     topo: Topology,
     nodes: Vec<MacNode<P>>,
+    /// Network-owned neighbour knowledge, edge-aligned to `topo`'s CSR
+    /// rows (`Topology::row_start(listener) + mirror_pos`).
+    arena: NeighborArena,
     /// slot → owners (normally ≤1 per 2-hop area; >1 during joins).
     slot_owners: Vec<Vec<NodeId>>,
     frame: u64,
@@ -198,10 +359,22 @@ pub struct LmacNetwork<P> {
     alive_mask: NodeBits,
     /// Edge-aligned mirror positions: for the CSR edge slot holding
     /// `neighbors(u)[p] == v`, the value is `v`'s row position of `u` —
-    /// i.e. where `u` sits in `v`'s (row-aligned) neighbour table. Lets
-    /// the reception loop update the listener's table with a direct
-    /// indexed store instead of a per-event search.
+    /// i.e. where `u` sits in `v`'s (row-aligned) arena row. Lets the
+    /// reception loop update the listener's row with a direct indexed
+    /// store instead of a per-event search.
     mirror_pos: Vec<u32>,
+    /// Shard per node: the precomputed 2-hop colour class reduced modulo
+    /// the worker count — the sharding key of the parallel listener
+    /// phase. Computed once per topology epoch; empty when
+    /// `cfg.workers == 1`.
+    shard_of: Vec<u32>,
+    /// Persistent work-stealing pool (`None` when `cfg.workers == 1`).
+    pool: Option<WorkerPool>,
+    /// Per-shard output buffers for the parallel listener phase.
+    shards: Vec<ShardScratch<P>>,
+    /// Run the sharded listener phase even when the pool has no runnable
+    /// helper (test hook; results are identical either way).
+    force_sharded: bool,
 }
 
 impl<P> LmacNetwork<P> {
@@ -212,10 +385,9 @@ impl<P> LmacNetwork<P> {
         cfg.validate();
         let n = topo.len();
         let mut nodes: Vec<MacNode<P>> = (0..n).map(|_| MacNode::offline()).collect();
-        for (i, node) in nodes.iter_mut().enumerate() {
+        for node in nodes.iter_mut() {
             node.alive = true;
             node.listen_remaining = cfg.listen_frames_before_pick;
-            node.neighbors = NeighborTable::for_row(topo.neighbors(NodeId::from_index(i)));
         }
         let mut alive_mask = NodeBits::new(n);
         for i in 0..n {
@@ -238,13 +410,33 @@ impl<P> LmacNetwork<P> {
                 mirror_pos[base + p] = back as u32;
             }
         }
+        // Colour-class parallelism: the colouring and the worker pool are
+        // set up once per topology epoch, and only when asked for.
+        let (shard_of, pool, shards) = if cfg.workers > 1 {
+            let mut coloring = topo.two_hop_coloring();
+            for c in &mut coloring {
+                *c %= cfg.workers as u32;
+            }
+            (
+                coloring,
+                Some(WorkerPool::new(cfg.workers)),
+                (0..cfg.workers).map(|_| ShardScratch::new()).collect(),
+            )
+        } else {
+            (Vec::new(), None, Vec::new())
+        };
         LmacNetwork {
             slot_owners: vec![Vec::new(); cfg.slots_per_frame as usize],
             data_ledger: EnergyLedger::new(n),
             control_ledger: EnergyLedger::new(n),
             scratch: FrameScratch::new(&topo, &cfg),
+            arena: NeighborArena::new(&topo),
             alive_mask,
             mirror_pos,
+            shard_of,
+            pool,
+            shards,
+            force_sharded: false,
             unslotted_alive: n,
             cfg,
             topo,
@@ -302,7 +494,7 @@ impl<P> LmacNetwork<P> {
             for &nb in self.topo.neighbors(node) {
                 if self.nodes[nb.index()].alive {
                     let slot = self.nodes[nb.index()].my_slot;
-                    self.nodes[i].neighbors.heard(nb, slot, SlotSet::EMPTY, u16::MAX, self.frame);
+                    self.arena.heard(node, nb, slot, SlotSet::EMPTY, u16::MAX, self.frame);
                 }
             }
         }
@@ -320,7 +512,7 @@ impl<P> LmacNetwork<P> {
                     let d16 =
                         if d == u32::MAX { u16::MAX } else { d.min(u16::MAX as u32 - 1) as u16 };
                     let slot = self.nodes[nb.index()].my_slot;
-                    self.nodes[i].neighbors.heard(nb, slot, SlotSet::EMPTY, d16, self.frame);
+                    self.arena.heard(node, nb, slot, SlotSet::EMPTY, d16, self.frame);
                 }
             }
         }
@@ -329,6 +521,17 @@ impl<P> LmacNetwork<P> {
     /// The radio graph.
     pub fn topology(&self) -> &Topology {
         &self.topo
+    }
+
+    /// Force the colour-class sharded listener phase even when the worker
+    /// pool was clamped to a single runnable thread (e.g. a 1-core CI
+    /// host). Results are bit-identical either way; the differential
+    /// suites call this so the sharded path is exercised on any machine.
+    /// Requires `workers > 1` in the configuration.
+    #[doc(hidden)]
+    pub fn force_sharded_listeners(&mut self) {
+        assert!(self.cfg.workers > 1, "sharding requires workers > 1");
+        self.force_sharded = true;
     }
 
     /// Configuration in use.
@@ -356,10 +559,10 @@ impl<P> LmacNetwork<P> {
         self.nodes[node.index()].my_slot
     }
 
-    /// The node's MAC neighbour table (cross-layer read access — this is
+    /// The node's MAC neighbour view (cross-layer read access — this is
     /// the information DirQ uses to repair its tree).
-    pub fn neighbor_table(&self, node: NodeId) -> &NeighborTable {
-        &self.nodes[node.index()].neighbors
+    pub fn neighbor_table(&self, node: NodeId) -> NeighborView<'_> {
+        self.arena.view(node)
     }
 
     /// Hop distance to the gateway as the MAC currently believes it
@@ -368,7 +571,7 @@ impl<P> LmacNetwork<P> {
         if node.is_root() {
             0
         } else {
-            self.nodes[node.index()].neighbors.min_gateway_dist().saturating_add(1)
+            self.arena.view(node).min_gateway_dist().saturating_add(1)
         }
     }
 
@@ -433,7 +636,7 @@ impl<P> LmacNetwork<P> {
             self.nodes[idx] = MacNode::offline();
             self.nodes[idx].alive = true;
             self.nodes[idx].listen_remaining = self.cfg.listen_frames_before_pick;
-            self.nodes[idx].neighbors = NeighborTable::for_row(self.topo.neighbors(node));
+            self.arena.reset_row(node);
             self.alive_mask.insert(node);
             self.unslotted_alive += 1;
         } else {
@@ -443,11 +646,16 @@ impl<P> LmacNetwork<P> {
             }
             self.nodes[idx].alive = false;
             self.nodes[idx].tx_queue.clear();
-            self.nodes[idx].neighbors = NeighborTable::for_row(self.topo.neighbors(node));
+            self.arena.reset_row(node);
             self.alive_mask.remove(node);
         }
     }
+}
 
+/// The slot machinery. `P: Send + Sync` because the colour-class sharded
+/// listener phase may hand payload handles to pool workers; construction,
+/// configuration and queueing above stay available for any payload.
+impl<P: Send + Sync> LmacNetwork<P> {
     /// Advance one slot, returning the upcalls generated in it.
     ///
     /// Convenience wrapper over [`LmacNetwork::advance_slot_into`]; hot
@@ -553,8 +761,8 @@ impl<P> LmacNetwork<P> {
             // `data_messages_per_slot` queued data messages.
             for &t in transmitters.iter() {
                 let gw = self.gateway_distance(t);
+                let occupied = self.arena.view(t).one_hop_occupancy();
                 let node = &mut self.nodes[t.index()];
-                let occupied = node.neighbors.one_hop_occupancy();
                 let data_start = tx_data.len() as u32;
                 for _ in 0..self.cfg.data_messages_per_slot {
                     match node.tx_queue.pop_front() {
@@ -594,69 +802,85 @@ impl<P> LmacNetwork<P> {
                 }
             }
 
-            for l in listener_mark.iter() {
-                let resolved = std::mem::replace(&mut audible_tx[l.index()], AUDIBLE_NONE);
-                audible.clear();
-                if full_scan {
-                    // Reference path: probe the link matrix per transmitter.
-                    for (i, tx) in txs.iter().enumerate() {
-                        if self.topo.has_link(tx.from, l) {
-                            audible.push(i as u32);
-                        }
-                    }
-                } else if resolved == AUDIBLE_COLLIDED {
-                    // Rare join transient: recover the full audible set by
-                    // walking the listener's CSR row against the per-slot
-                    // transmitter index (links are symmetric).
-                    for &nb in self.topo.neighbors(l) {
-                        let ti = tx_index[nb.index()];
-                        if ti != u32::MAX {
-                            audible.push(ti);
-                        }
-                    }
-                } else {
-                    audible.push((resolved >> 32) as u32);
-                }
-                if audible.len() > 1 {
-                    // Collision: l hears garbage and will advertise it; every
-                    // audible transmitter must surrender its slot.
-                    self.stats.collisions += 1;
-                    for &i in audible.iter() {
-                        collided_mark.insert(txs[i as usize].from);
-                    }
-                    continue;
-                }
-                let tx = &txs[audible[0] as usize];
-                self.control_ledger.record_rx(l);
-                let neighbors = &mut self.nodes[l.index()].neighbors;
-                let is_new = if full_scan || resolved == AUDIBLE_COLLIDED {
-                    // Cold paths resolve by id, as the pre-index loop did.
-                    neighbors.heard(tx.from, Some(s), tx.occupied, tx.gateway_dist, self.frame)
-                } else {
-                    neighbors.heard_at(
-                        (resolved & 0xFFFF_FFFF) as usize,
-                        tx.from,
-                        Some(s),
-                        tx.occupied,
-                        tx.gateway_dist,
-                        self.frame,
-                    )
+            // The sharded path helps only when the pool really has more
+            // than one runnable worker (helpers are clamped to the
+            // hardware); both paths are bit-identical, so this is purely a
+            // speed decision. `force_sharded` lets the differential suites
+            // cover the sharded path on any host.
+            let sharded = !full_scan
+                && (self.force_sharded || self.pool.as_ref().is_some_and(|p| p.workers() > 1));
+            if sharded {
+                // --- Colour-class parallel listener phase ------------------
+                // Shard the listener loop across the precomputed 2-hop
+                // colour classes: shards touch disjoint arena rows,
+                // audibility slots and rx tallies, statistics merge as
+                // plain sums, and the sparse indication streams are merged
+                // back in ascending listener order — bit-identical to the
+                // serial loop below at any worker count.
+                let nshards = self.shards.len();
+                let phase = ListenerPhase {
+                    arena: self.arena.raw(),
+                    audible_tx: audible_tx.as_mut_ptr(),
+                    shards: self.shards.as_mut_ptr(),
+                    control_rx: self.control_ledger.rx_tallies_mut().as_mut_ptr(),
+                    data_rx: self.data_ledger.rx_tallies_mut().as_mut_ptr(),
+                    topo: &self.topo,
+                    shard_of: &self.shard_of,
+                    listener_mark,
+                    txs,
+                    tx_data,
+                    tx_index,
+                    slot: s,
+                    frame: self.frame,
                 };
-                if is_new {
-                    self.stats.new_neighbors_detected += 1;
-                    out.push(MacIndication::NeighborNew { observer: l, new: tx.from });
-                }
-                for (dest, payload) in &tx_data[tx.data_start as usize..tx.data_end as usize] {
-                    if dest.includes(l) {
-                        self.data_ledger.record_rx(l);
-                        self.stats.delivered += 1;
-                        out.push(MacIndication::Delivered {
-                            to: l,
-                            from: tx.from,
-                            payload: payload.clone(),
-                        });
+                let pool = self.pool.as_mut().expect("sharded path requires the pool");
+                // SAFETY: shard `k` is executed exactly once and shards
+                // touch disjoint state (see `ListenerPhase`).
+                pool.run(nshards, &|k| unsafe { phase.run_shard(k) });
+
+                // Deterministic merge. Statistics: sum the shard deltas in
+                // shard order. Indications: a k-way merge by listener id —
+                // every listener lives in exactly one shard and each
+                // shard's stream is ascending, so the result reproduces
+                // the serial loop's ascending interleaving exactly.
+                for sh in &mut self.shards {
+                    self.stats.collisions += sh.collisions;
+                    self.stats.delivered += sh.delivered;
+                    self.stats.new_neighbors_detected += sh.new_neighbors;
+                    for &t in &sh.collided_from {
+                        collided_mark.insert(t);
                     }
                 }
+                loop {
+                    let mut best: Option<(NodeId, usize)> = None;
+                    for k in 0..nshards {
+                        let sh = &self.shards[k];
+                        if sh.cursor < sh.out.len() {
+                            let l = indication_listener(&sh.out[sh.cursor]);
+                            if best.is_none_or(|(b, _)| l < b) {
+                                best = Some((l, k));
+                            }
+                        }
+                    }
+                    let Some((_, k)) = best else { break };
+                    let sh = &mut self.shards[k];
+                    // A refcount bump, not a payload copy (manual Clone).
+                    out.push(sh.out[sh.cursor].clone());
+                    sh.cursor += 1;
+                }
+            } else {
+                self.serial_listener_loop(
+                    s,
+                    out,
+                    full_scan,
+                    listener_mark,
+                    collided_mark,
+                    audible,
+                    audible_tx,
+                    tx_index,
+                    txs,
+                    tx_data,
+                );
             }
 
             // Multicast destinations that did not hear the message: dead, out
@@ -706,6 +930,91 @@ impl<P> LmacNetwork<P> {
         self.scratch = scratch;
     }
 
+    /// The serial listener phase: reception, arena-row updates, collision
+    /// detection, statistics and ledgers for every marked listener, in
+    /// ascending id order straight off the bitset. The parallel path must
+    /// reproduce this loop's output bit for bit; `advance_slot_full_scan_into`
+    /// flows through here with `full_scan` set.
+    #[allow(clippy::too_many_arguments)]
+    fn serial_listener_loop(
+        &mut self,
+        s: u16,
+        out: &mut Vec<MacIndication<P>>,
+        full_scan: bool,
+        listener_mark: &NodeBits,
+        collided_mark: &mut NodeBits,
+        audible: &mut Vec<u32>,
+        audible_tx: &mut [u64],
+        tx_index: &[u32],
+        txs: &[TxRecord],
+        tx_data: &[(Destination, PayloadHandle<P>)],
+    ) {
+        for l in listener_mark.iter() {
+            let resolved = std::mem::replace(&mut audible_tx[l.index()], AUDIBLE_NONE);
+            audible.clear();
+            if full_scan {
+                // Reference path: probe the link matrix per transmitter.
+                for (i, tx) in txs.iter().enumerate() {
+                    if self.topo.has_link(tx.from, l) {
+                        audible.push(i as u32);
+                    }
+                }
+            } else if resolved == AUDIBLE_COLLIDED {
+                // Rare join transient: recover the full audible set by
+                // walking the listener's CSR row against the per-slot
+                // transmitter index (links are symmetric).
+                for &nb in self.topo.neighbors(l) {
+                    let ti = tx_index[nb.index()];
+                    if ti != u32::MAX {
+                        audible.push(ti);
+                    }
+                }
+            } else {
+                audible.push((resolved >> 32) as u32);
+            }
+            if audible.len() > 1 {
+                // Collision: l hears garbage and will advertise it; every
+                // audible transmitter must surrender its slot.
+                self.stats.collisions += 1;
+                for &i in audible.iter() {
+                    collided_mark.insert(txs[i as usize].from);
+                }
+                continue;
+            }
+            let tx = &txs[audible[0] as usize];
+            self.control_ledger.record_rx(l);
+            let is_new = if full_scan || resolved == AUDIBLE_COLLIDED {
+                // Cold paths resolve by id, as the pre-index loop did.
+                self.arena.heard(l, tx.from, Some(s), tx.occupied, tx.gateway_dist, self.frame)
+            } else {
+                self.arena.heard_at(
+                    l,
+                    (resolved & 0xFFFF_FFFF) as usize,
+                    tx.from,
+                    Some(s),
+                    tx.occupied,
+                    tx.gateway_dist,
+                    self.frame,
+                )
+            };
+            if is_new {
+                self.stats.new_neighbors_detected += 1;
+                out.push(MacIndication::NeighborNew { observer: l, new: tx.from });
+            }
+            for (dest, payload) in &tx_data[tx.data_start as usize..tx.data_end as usize] {
+                if dest.includes(l) {
+                    self.data_ledger.record_rx(l);
+                    self.stats.delivered += 1;
+                    out.push(MacIndication::Delivered {
+                        to: l,
+                        from: tx.from,
+                        payload: payload.clone(),
+                    });
+                }
+            }
+        }
+    }
+
     /// Advance a whole frame (`slots_per_frame` slots).
     pub fn advance_frame(&mut self, rng: &mut SimRng) -> Vec<MacIndication<P>> {
         let mut out = Vec::new();
@@ -725,13 +1034,14 @@ impl<P> LmacNetwork<P> {
                 continue;
             }
             stale_buf.clear();
-            self.nodes[i].neighbors.collect_stale(
+            self.arena.collect_stale(
+                observer,
                 self.frame,
                 self.cfg.max_missed_frames,
                 &mut stale_buf,
             );
             for &dead in &stale_buf {
-                self.nodes[i].neighbors.remove(dead);
+                self.arena.remove(observer, dead);
                 self.stats.deaths_detected += 1;
                 out.push(MacIndication::NeighborDied { observer, dead });
             }
@@ -754,7 +1064,7 @@ impl<P> LmacNetwork<P> {
                 n.listen_remaining -= 1;
                 continue;
             }
-            let occupied = n.neighbors.two_hop_occupancy();
+            let occupied = self.arena.view(node).two_hop_occupancy();
             let free = occupied.free_slots(self.cfg.slots_per_frame);
             if free.is_empty() {
                 self.stats.no_free_slot += 1;
@@ -1155,6 +1465,58 @@ mod tests {
         }
         assert!(net.slot_of(NodeId(7)).is_some(), "rebirth must re-join");
         assert!(net.schedule_conflicts().is_empty());
+    }
+
+    #[test]
+    fn worker_count_never_changes_the_indication_stream() {
+        // The colour-class parallel listener phase must be bit-identical
+        // to the serial loop: same indications in the same order, same
+        // statistics, same ledgers — across joins, traffic and churn.
+        let topo = random_topo(40, 33);
+        let mut nets: Vec<Net> = [1usize, 2, 4]
+            .iter()
+            .map(|&w| {
+                let mut net =
+                    Net::new(LmacConfig { workers: w, ..LmacConfig::default() }, topo.clone());
+                if w > 1 {
+                    net.force_sharded_listeners();
+                }
+                net
+            })
+            .collect();
+        let mut rngs: Vec<_> =
+            (0..nets.len()).map(|_| RngFactory::new(33).stream("workers")).collect();
+        for net in &mut nets {
+            net.enqueue(NodeId(0), Destination::Broadcast, 7);
+            net.enqueue(NodeId(3), Destination::unicast(NodeId(5)), 9);
+        }
+        let slots = nets[0].config().slots_per_frame;
+        let mut streams: Vec<Vec<MacIndication<u32>>> = vec![Vec::new(); nets.len()];
+        for frame in 0..8u32 {
+            if frame == 2 {
+                for net in &mut nets {
+                    net.set_alive(NodeId(7), false);
+                    net.set_alive(NodeId(11), false);
+                }
+            }
+            if frame == 5 {
+                for net in &mut nets {
+                    net.set_alive(NodeId(7), true);
+                }
+            }
+            for _ in 0..slots {
+                for (i, net) in nets.iter_mut().enumerate() {
+                    net.advance_slot_into(&mut rngs[i], &mut streams[i]);
+                }
+            }
+        }
+        assert_eq!(streams[0], streams[1], "2 workers diverged from serial");
+        assert_eq!(streams[0], streams[2], "4 workers diverged from serial");
+        let reference = format!("{:?}", nets[0].stats());
+        for net in &nets[1..] {
+            assert_eq!(format!("{:?}", net.stats()), reference);
+            assert_eq!(format!("{:?}", net.data_ledger()), format!("{:?}", nets[0].data_ledger()));
+        }
     }
 
     #[test]

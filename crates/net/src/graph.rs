@@ -45,6 +45,34 @@ pub struct Topology {
 impl Topology {
     /// Build the graph implied by `positions` under `radio`.
     pub fn from_positions<R: RadioModel>(positions: Vec<Position>, radio: &R) -> Self {
+        let edges = Topology::geometric_edges(&positions, radio);
+        Topology::build(positions, &edges, false)
+    }
+
+    /// Build the graph implied by `positions` under `radio`, plus explicit
+    /// `backbone` links that exist regardless of radio reach — the wired
+    /// (or long-range) connections of a multi-sink deployment's sink
+    /// backhaul. Backbone pairs already connected by radio are ignored.
+    pub fn from_positions_with_backbone<R: RadioModel>(
+        positions: Vec<Position>,
+        radio: &R,
+        backbone: &[(NodeId, NodeId)],
+    ) -> Self {
+        let n = positions.len();
+        let mut edges = Topology::geometric_edges(&positions, radio);
+        for &(a, b) in backbone {
+            assert!(a.index() < n && b.index() < n, "backbone endpoint out of range");
+            assert_ne!(a, b, "backbone self-loops are not allowed");
+            let e = if a < b { (a, b) } else { (b, a) };
+            if !edges.contains(&e) {
+                edges.push(e);
+            }
+        }
+        Topology::build(positions, &edges, false)
+    }
+
+    /// The undirected edges `radio` induces over `positions` (`i < j`).
+    fn geometric_edges<R: RadioModel>(positions: &[Position], radio: &R) -> Vec<(NodeId, NodeId)> {
         let n = positions.len();
         let mut edges = Vec::new();
         for i in 0..n {
@@ -54,7 +82,7 @@ impl Topology {
                 }
             }
         }
-        Topology::build(positions, &edges, false)
+        edges
     }
 
     /// Deploy `n` nodes with `placement`/`sink`, retrying fresh placements
@@ -73,6 +101,36 @@ impl Topology {
         for _ in 0..max_attempts {
             let positions = placement.generate(n, sink, rng);
             let topo = Topology::from_positions(positions, radio);
+            if topo.is_connected() {
+                return Some(topo);
+            }
+        }
+        None
+    }
+
+    /// Deploy a **multi-sink** network: like [`Topology::deploy_connected`],
+    /// but nodes `1..=extra_sinks` are repositioned onto deterministic
+    /// spread sites ([`crate::placement::extra_sink_sites`]) and wired to
+    /// the primary sink by backbone links. Every node then reaches *some*
+    /// sink over radio, and the augmented graph's BFS tree attaches each
+    /// node under its nearest sink.
+    pub fn deploy_connected_multi_sink<R: RadioModel>(
+        n: usize,
+        placement: &Placement,
+        sink: SinkPlacement,
+        radio: &R,
+        rng: &mut SimRng,
+        max_attempts: usize,
+        extra_sinks: usize,
+    ) -> Option<Self> {
+        assert!(extra_sinks + 1 < n, "need at least one non-sink node");
+        let sites = crate::placement::extra_sink_sites(placement.bounds(), extra_sinks);
+        let backbone: Vec<(NodeId, NodeId)> =
+            (1..=extra_sinks).map(|i| (NodeId::ROOT, NodeId::from_index(i))).collect();
+        for _ in 0..max_attempts {
+            let mut positions = placement.generate(n, sink, rng);
+            positions[1..=extra_sinks].copy_from_slice(&sites);
+            let topo = Topology::from_positions_with_backbone(positions, radio, &backbone);
             if topo.is_connected() {
                 return Some(topo);
             }
@@ -237,6 +295,45 @@ impl Topology {
             return true;
         }
         self.reachable_from(NodeId::ROOT, |_| true).iter().all(|&r| r)
+    }
+
+    /// Greedy 2-hop colouring: assigns every node the smallest colour not
+    /// used by any node within two hops (ascending node order, so the
+    /// result is deterministic for a given graph). Two nodes sharing a
+    /// colour therefore have **disjoint closed neighbourhoods** — they are
+    /// at least three hops apart and no third node hears both.
+    ///
+    /// This is the interference structure LMAC's slot schedule converges
+    /// to; the MAC computes it once per topology epoch and shards its
+    /// parallel listener phase across the colour classes.
+    pub fn two_hop_coloring(&self) -> Vec<u32> {
+        let n = self.len();
+        let mut color = vec![0u32; n];
+        // `stamp[c] == u` marks colour c as forbidden for node u; stamps
+        // avoid clearing a bitmap per node.
+        let mut stamp: Vec<u32> = Vec::new();
+        for i in 0..n {
+            let u = NodeId::from_index(i);
+            let mark = |stamp: &mut Vec<u32>, c: u32| {
+                let c = c as usize;
+                if c >= stamp.len() {
+                    stamp.resize(c + 1, u32::MAX);
+                }
+                stamp[c] = i as u32;
+            };
+            for &v in self.neighbors(u) {
+                if v.index() < i {
+                    mark(&mut stamp, color[v.index()]);
+                }
+                for &w in self.neighbors(v) {
+                    if w.index() < i {
+                        mark(&mut stamp, color[w.index()]);
+                    }
+                }
+            }
+            color[i] = (0..).find(|&c| stamp.get(c as usize).copied() != Some(i as u32)).unwrap();
+        }
+        color
     }
 
     /// BFS hop distance from `start` to every node (`u32::MAX` where
@@ -449,6 +546,107 @@ mod tests {
                 "sparse has_link inconsistent with its own CSR row at {a}-{b}"
             );
         }
+    }
+
+    #[test]
+    fn backbone_links_exist_regardless_of_radio_reach() {
+        let positions =
+            vec![Position::new(0.0, 0.0), Position::new(500.0, 0.0), Position::new(5.0, 0.0)];
+        let t = Topology::from_positions_with_backbone(
+            positions,
+            &UnitDisk::new(10.0),
+            &[(NodeId(0), NodeId(1))],
+        );
+        assert!(t.has_link(NodeId(0), NodeId(1)), "backbone link must exist");
+        assert!(t.has_link(NodeId(0), NodeId(2)), "radio link preserved");
+        assert!(!t.has_link(NodeId(1), NodeId(2)));
+        // A backbone pair already in radio reach is not duplicated.
+        let positions = vec![Position::new(0.0, 0.0), Position::new(5.0, 0.0)];
+        let t = Topology::from_positions_with_backbone(
+            positions,
+            &UnitDisk::new(10.0),
+            &[(NodeId(1), NodeId(0))],
+        );
+        assert_eq!(t.link_count(), 1);
+    }
+
+    #[test]
+    fn multi_sink_deployment_pins_sites_and_connects() {
+        let mut rng = RngFactory::new(9).stream("multi-sink");
+        let placement = Placement::UniformRandom { side: 200.0 };
+        let t = Topology::deploy_connected_multi_sink(
+            80,
+            &placement,
+            SinkPlacement::Corner,
+            &UnitDisk::new(40.0),
+            &mut rng,
+            200,
+            3,
+        )
+        .expect("multi-sink deployment should connect");
+        assert!(t.is_connected());
+        // Extra sinks sit on the deterministic sites, wired to the root.
+        let sites = crate::placement::extra_sink_sites((200.0, 200.0), 3);
+        for (i, &site) in sites.iter().enumerate() {
+            let sink = NodeId::from_index(i + 1);
+            assert_eq!(t.position(sink), site);
+            assert!(t.has_link(NodeId::ROOT, sink), "backbone to {sink} missing");
+        }
+        // Nearest-sink attachment: hop distances in the augmented graph
+        // are never worse than radio-only distances from the root.
+        let multi = t.hop_distances(NodeId::ROOT, |_| true);
+        assert!(multi.iter().all(|&d| d != u32::MAX));
+    }
+
+    #[test]
+    fn two_hop_coloring_is_proper_and_deterministic() {
+        let t = Topology::deploy_connected(
+            60,
+            &Placement::UniformRandom { side: 100.0 },
+            SinkPlacement::Corner,
+            &UnitDisk::new(30.0),
+            &mut RngFactory::new(5).stream("color"),
+            100,
+        )
+        .unwrap();
+        let color = t.two_hop_coloring();
+        assert_eq!(color, t.two_hop_coloring(), "colouring must be deterministic");
+        for a in t.nodes() {
+            for &b in t.neighbors(a) {
+                assert_ne!(color[a.index()], color[b.index()], "1-hop clash {a}-{b}");
+                for &c in t.neighbors(b) {
+                    if c != a {
+                        assert_ne!(color[a.index()], color[c.index()], "2-hop clash {a}-{c}");
+                    }
+                }
+            }
+        }
+        // Greedy colour count is bounded by the densest 2-hop
+        // neighbourhood plus one.
+        let max_two_hop = t
+            .nodes()
+            .map(|u| {
+                let mut seen = std::collections::HashSet::new();
+                for &v in t.neighbors(u) {
+                    seen.insert(v);
+                    seen.extend(t.neighbors(v).iter().copied());
+                }
+                seen.remove(&u);
+                seen.len()
+            })
+            .max()
+            .unwrap();
+        let colors = color.iter().max().unwrap() + 1;
+        assert!(colors as usize <= max_two_hop + 1, "{colors} colours for {max_two_hop} 2-hop");
+    }
+
+    #[test]
+    fn two_hop_coloring_of_a_line_cycles_three_colors() {
+        let t = line(7);
+        assert_eq!(t.two_hop_coloring(), vec![0, 1, 2, 0, 1, 2, 0]);
+        // Isolated nodes all take colour 0.
+        let empty = Topology::from_edges(3, &[]);
+        assert_eq!(empty.two_hop_coloring(), vec![0, 0, 0]);
     }
 
     #[test]

@@ -22,6 +22,32 @@ pub enum SinkPlacement {
     Random,
 }
 
+/// Deterministic positions for `count` secondary sinks spread over a
+/// `bounds` rectangle: the far corner first, then the remaining corners,
+/// the centre and the edge midpoints. With the primary sink at the origin
+/// corner this maximises pairwise sink spacing for small counts.
+///
+/// Consumes no randomness, so repositioning nodes onto these sites never
+/// perturbs the deployment's RNG stream.
+///
+/// # Panics
+/// Panics when more than eight sites are requested.
+pub fn extra_sink_sites(bounds: (f64, f64), count: usize) -> Vec<Position> {
+    let (bx, by) = bounds;
+    let sites = [
+        (bx, by),
+        (bx, 0.0),
+        (0.0, by),
+        (bx / 2.0, by / 2.0),
+        (bx / 2.0, by),
+        (bx / 2.0, 0.0),
+        (0.0, by / 2.0),
+        (bx, by / 2.0),
+    ];
+    assert!(count <= sites.len(), "at most {} extra sinks supported", sites.len());
+    sites[..count].iter().map(|&(x, y)| Position::new(x, y)).collect()
+}
+
 /// A deployment strategy.
 #[derive(Clone, Debug)]
 pub enum Placement {
@@ -247,5 +273,26 @@ mod tests {
     fn zero_nodes_rejected() {
         let p = Placement::UniformRandom { side: 1.0 };
         let _ = p.generate(0, SinkPlacement::Corner, &mut rng());
+    }
+
+    #[test]
+    fn extra_sink_sites_are_spread_and_deterministic() {
+        let sites = extra_sink_sites((100.0, 60.0), 4);
+        assert_eq!(sites[0], Position::new(100.0, 60.0), "far corner first");
+        assert_eq!(sites[3], Position::new(50.0, 30.0), "then the centre");
+        assert_eq!(sites, extra_sink_sites((100.0, 60.0), 4));
+        // All sites distinct and inside the rectangle.
+        for (i, a) in sites.iter().enumerate() {
+            assert!((0.0..=100.0).contains(&a.x) && (0.0..=60.0).contains(&a.y));
+            for b in &sites[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn too_many_extra_sinks_rejected() {
+        let _ = extra_sink_sites((10.0, 10.0), 9);
     }
 }

@@ -113,6 +113,56 @@ pub fn lossy_log_distance_300() -> ScenarioSpec {
         .build()
 }
 
+/// 150 nodes deployed in two waves: 15 % of the network (the highest ids)
+/// starts offline and is *born* mid-run — the paper's "addition of new
+/// nodes" dynamic, exercising LMAC joins, tree attachment and range-table
+/// growth on a live network.
+pub fn redeploy_150() -> ScenarioSpec {
+    ScenarioSpec::builder("redeploy_150", 150)
+        .placement(Placement::UniformRandom { side: 220.0 }, SinkPlacement::Corner)
+        .radio_range(35.0)
+        .epochs(2_400)
+        .churn(ChurnProfile::LateBirths { fraction: 0.15, from: 0.3, until: 0.5 })
+        .completion_window(32)
+        .seed(1_012)
+        .build()
+}
+
+/// 250 nodes under shadowed log-distance path loss **and** run-relative
+/// churn — the lossy-radio × churn cross the unit-disk presets cannot
+/// express: repair decisions made over irregular, shadowed neighbourhoods
+/// while 12 % of the network dies.
+pub fn churn_lossy_250() -> ScenarioSpec {
+    ScenarioSpec::builder("churn_lossy_250", 250)
+        .placement(Placement::UniformRandom { side: 280.0 }, SinkPlacement::Corner)
+        .radio(RadioSpec::LogDistance {
+            exponent: 3.0,
+            shadowing_sigma_db: 4.0,
+            link_budget_db: 46.0,
+        })
+        .epochs(1_600)
+        .churn(ChurnProfile::RandomDeaths { fraction: 0.12, from: 0.3, until: 0.6 })
+        .slots_per_frame(96)
+        .completion_window(48)
+        .seed(1_013)
+        .build()
+}
+
+/// 400 nodes on a jittered grid drained by the corner sink plus three
+/// wired secondary sinks on the remaining corners: every node attaches to
+/// its nearest sink, cutting route depth versus the single-sink variant
+/// (pinned by the registry's depth test).
+pub fn multi_sink_grid_400() -> ScenarioSpec {
+    ScenarioSpec::builder("multi_sink_grid_400", 400)
+        .placement(Placement::JitteredGrid { side: 400.0, jitter: 4.0 }, SinkPlacement::Corner)
+        .radio_range(35.0)
+        .extra_sinks(3)
+        .epochs(1_200)
+        .completion_window(48)
+        .seed(1_014)
+        .build()
+}
+
 /// 500 nodes running DirQ (ATC) and flooding over the identical
 /// deployment — the head-to-head the report's comparisons are built from.
 pub fn head_to_head_500() -> ScenarioSpec {
@@ -157,11 +207,14 @@ pub fn registry() -> Vec<ScenarioSpec> {
     vec![
         dense_grid_100(),
         heavy_churn_150(),
+        redeploy_150(),
         hotspot_workload_200(),
         sparse_random_250(),
+        churn_lossy_250(),
         hetero_types_300(),
         lossy_log_distance_300(),
         corridor_400(),
+        multi_sink_grid_400(),
         head_to_head_500(),
         grid_2000(),
         stress_5000(),
@@ -192,8 +245,10 @@ pub const SMOKE_GOLDEN_FINGERPRINT: u64 = 0xC66FCD57C89F0261;
 /// `scenario_matrix --smoke` (CI) asserts the checked-in artifact still
 /// records it, so behaviour changes cannot land without re-running the
 /// matrix. Re-record by running `scenario_matrix` and copying the printed
-/// report fingerprint.
-pub const REGISTRY_GOLDEN_FINGERPRINT: u64 = 0xCCC1A2BCAD7E2FF5;
+/// report fingerprint. (Re-recorded when the registry grew the
+/// redeploy/churn-lossy/multi-sink presets; the per-run fingerprints of
+/// the pre-existing presets are unchanged.)
+pub const REGISTRY_GOLDEN_FINGERPRINT: u64 = 0x5B55BF5367820223;
 
 #[cfg(test)]
 mod tests {
@@ -231,6 +286,81 @@ mod tests {
             all.iter().any(|s| s.schemes.contains(&Scheme::Flooding) && s.schemes.len() >= 2),
             "need a flooding head-to-head"
         );
+        // The axes added with the arena/parallel PR: node births, a
+        // lossy-radio × churn cross, and a multi-sink layout.
+        assert!(all.iter().any(|s| matches!(s.churn, ChurnProfile::LateBirths { .. })));
+        assert!(
+            all.iter().any(|s| matches!(s.radio, RadioSpec::LogDistance { .. })
+                && !matches!(s.churn, ChurnProfile::None)),
+            "need the lossy-radio x churn cross"
+        );
+        assert!(all.iter().any(|s| s.extra_sinks > 0), "need a multi-sink layout");
+    }
+
+    #[test]
+    fn multi_sink_attachment_cuts_mean_hop_count() {
+        // Nearest-sink attachment over the wired backbone must produce a
+        // strictly shallower tree than the identical single-sink grid.
+        let spec = multi_sink_grid_400();
+        let scheme = spec.schemes[0];
+        let mut single = spec.clone();
+        single.extra_sinks = 0;
+        let mean_depth = |cfg: dirq_core::ScenarioConfig| {
+            let engine = dirq_core::Engine::new(cfg);
+            let tree = engine.protocol_tree();
+            let (sum, count) = (0..tree.len())
+                .map(dirq_net::NodeId::from_index)
+                .filter_map(|n| tree.depth(n))
+                .fold((0u64, 0u64), |(s, c), d| (s + u64::from(d), c + 1));
+            assert_eq!(count, 400, "every node must attach at deployment");
+            sum as f64 / count as f64
+        };
+        let multi = mean_depth(spec.config(scheme, spec.seed));
+        let single = mean_depth(single.config(scheme, spec.seed));
+        assert!(
+            multi <= single,
+            "multi-sink mean hop count {multi:.2} exceeds single-sink {single:.2}"
+        );
+        assert!(
+            multi < 0.75 * single,
+            "three extra sinks should cut depth substantially: {multi:.2} vs {single:.2}"
+        );
+    }
+
+    #[test]
+    fn redeploy_births_attach_and_answer_queries() {
+        let spec = redeploy_150().scaled(0.25);
+        let scheme = spec.schemes[0];
+        let cfg = spec.config(scheme, spec.seed);
+        let dirq_core::ChurnSpec::Explicit(plan) = cfg.churn.clone() else {
+            panic!("redeploy preset must lower to an explicit birth plan");
+        };
+        let born = plan.initially_offline();
+        assert!(born.len() >= 10, "expected a meaningful redeployment wave");
+        let last_birth = plan.events().iter().map(|&(e, _)| e).max().expect("plan has events");
+        let epochs = cfg.epochs;
+        let mut engine = dirq_core::Engine::new(cfg);
+        for _ in 0..epochs {
+            engine.step_epoch();
+        }
+        // Every born node is alive, MAC-scheduled and attached to the tree.
+        let tree = engine.protocol_tree();
+        for &b in &born {
+            assert!(engine.is_alive(b), "{b} should be alive after its birth");
+            assert!(tree.is_attached(b), "{b} never attached after its birth");
+        }
+        // Queries injected after the wave settled still reach their
+        // sources — the born nodes are answering.
+        let late: Vec<f64> = engine
+            .metrics()
+            .outcomes
+            .iter()
+            .filter(|o| o.epoch >= last_birth + 50)
+            .map(|o| o.source_recall())
+            .collect();
+        assert!(!late.is_empty(), "no scored queries after the birth wave");
+        let mean = late.iter().sum::<f64>() / late.len() as f64;
+        assert!(mean > 0.8, "post-birth recall {mean:.3} too low");
     }
 
     #[test]

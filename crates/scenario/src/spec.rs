@@ -9,7 +9,9 @@
 
 use dirq_core::{AtcConfig, ChurnSpec, DeltaPolicy, Protocol, RadioSpec, ScenarioConfig, TreeKind};
 use dirq_lmac::LmacConfig;
+use dirq_net::churn::{ChurnEvent, ChurnPlan};
 use dirq_net::placement::{Placement, SinkPlacement};
+use dirq_net::NodeId;
 
 /// A dissemination scheme under test.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -69,6 +71,19 @@ pub enum ChurnProfile {
         /// Window end (exclusive) as a fraction of the run.
         until: f64,
     },
+    /// Staged redeployment: the `fraction` of nodes with the **highest
+    /// ids** start offline and are *born* at epochs spread evenly across
+    /// `[from · epochs, until · epochs)` — the paper's "addition of new
+    /// nodes" topology dynamic. Deterministic (no RNG draw), so the
+    /// schedule is stable under epoch rescaling.
+    LateBirths {
+        /// Fraction of nodes that join after deployment.
+        fraction: f64,
+        /// Window start as a fraction of the run.
+        from: f64,
+        /// Window end (exclusive) as a fraction of the run.
+        until: f64,
+    },
 }
 
 /// One named experiment setup. Construct via [`ScenarioSpec::builder`].
@@ -82,6 +97,10 @@ pub struct ScenarioSpec {
     pub placement: Placement,
     /// Sink position.
     pub sink: SinkPlacement,
+    /// Secondary sinks wired to the primary by a backhaul; nodes attach to
+    /// their nearest sink (see [`ScenarioConfig::extra_sinks`]). 0 =
+    /// single-sink.
+    pub extra_sinks: usize,
     /// Radio range, metres (unit-disk model; ignored under a
     /// [`RadioSpec::LogDistance`] radio, whose range follows from its link
     /// budget).
@@ -123,6 +142,7 @@ impl ScenarioSpec {
                 n_nodes,
                 placement: Placement::UniformRandom { side: 100.0 },
                 sink: SinkPlacement::Corner,
+                extra_sinks: 0,
                 radio_range: 28.0,
                 radio: RadioSpec::UnitDisk,
                 epochs: 2_000,
@@ -166,12 +186,28 @@ impl ScenarioSpec {
                 let until_epoch = ((self.epochs as f64 * until) as u64).max(from_epoch + 1);
                 ChurnSpec::RandomDeaths { deaths, from_epoch, until_epoch }
             }
+            ChurnProfile::LateBirths { fraction, from, until } => {
+                let count = ((self.n_nodes as f64 * fraction).round() as usize)
+                    .clamp(1, self.n_nodes.saturating_sub(2));
+                let from_epoch = ((self.epochs as f64 * from) as u64).max(1);
+                let until_epoch = ((self.epochs as f64 * until) as u64).max(from_epoch + 1);
+                let events = (0..count)
+                    .map(|i| {
+                        let node = NodeId::from_index(self.n_nodes - 1 - i);
+                        let epoch =
+                            from_epoch + ((until_epoch - from_epoch) * i as u64) / count as u64;
+                        (epoch, ChurnEvent::Birth(node))
+                    })
+                    .collect();
+                ChurnSpec::Explicit(ChurnPlan::new(events))
+            }
         };
         let mut cfg = ScenarioConfig {
             n_nodes: self.n_nodes,
             side: self.placement.side(),
             placement: Some(self.placement.clone()),
             sink: self.sink,
+            extra_sinks: self.extra_sinks,
             radio_range: self.radio_range,
             radio: self.radio,
             epochs: self.epochs,
@@ -204,6 +240,12 @@ impl ScenarioSpecBuilder {
     pub fn placement(mut self, placement: Placement, sink: SinkPlacement) -> Self {
         self.spec.placement = placement;
         self.spec.sink = sink;
+        self
+    }
+
+    /// Add wired secondary sinks (nearest-sink attachment).
+    pub fn extra_sinks(mut self, count: usize) -> Self {
+        self.spec.extra_sinks = count;
         self
     }
 
@@ -298,7 +340,10 @@ impl ScenarioSpecBuilder {
             s.name
         );
         assert!(s.epochs >= 4 * s.query_period, "{}: too few epochs to score queries", s.name);
-        if let ChurnProfile::RandomDeaths { fraction, from, until } = s.churn {
+        assert!(s.extra_sinks + 1 < s.n_nodes, "{}: too many extra sinks", s.name);
+        if let ChurnProfile::RandomDeaths { fraction, from, until }
+        | ChurnProfile::LateBirths { fraction, from, until } = s.churn
+        {
             assert!((0.0..1.0).contains(&fraction), "{}: churn fraction out of range", s.name);
             assert!(0.0 <= from && from < until && until <= 1.0, "{}: bad churn window", s.name);
         }
@@ -367,6 +412,47 @@ mod tests {
         }
         // Scaling floors at four query periods.
         assert_eq!(demo().scaled(0.001).epochs, 100);
+    }
+
+    #[test]
+    fn extra_sinks_lower_into_the_engine_config() {
+        let s = ScenarioSpec::builder("multi", 60).extra_sinks(3).build();
+        let cfg = s.config(Scheme::DirqFixed(5.0), 1);
+        assert_eq!(cfg.extra_sinks, 3);
+        assert_eq!(demo().config(Scheme::Flooding, 7).extra_sinks, 0);
+    }
+
+    #[test]
+    fn late_births_lower_to_a_deterministic_explicit_plan() {
+        let s = ScenarioSpec::builder("births", 100)
+            .epochs(1_000)
+            .churn(ChurnProfile::LateBirths { fraction: 0.1, from: 0.3, until: 0.5 })
+            .build();
+        let cfg = s.config(Scheme::DirqFixed(5.0), 1);
+        let ChurnSpec::Explicit(plan) = cfg.churn else {
+            panic!("births must lower to an explicit plan");
+        };
+        assert_eq!(plan.len(), 10);
+        // Highest ids, born at evenly spread epochs inside the window.
+        let nodes: Vec<NodeId> = plan.events().iter().map(|&(_, ev)| ev.node()).collect();
+        for id in 90..100u32 {
+            assert!(nodes.contains(&NodeId(id)), "node {id} missing from the births");
+        }
+        assert!(plan
+            .events()
+            .iter()
+            .all(|&(e, ev)| { (300..500).contains(&e) && matches!(ev, ChurnEvent::Birth(_)) }));
+        assert_eq!(plan.initially_offline().len(), 10);
+        // Same plan on every lowering (no RNG involved).
+        let again = s.config(Scheme::DirqFixed(5.0), 99);
+        let ChurnSpec::Explicit(plan2) = again.churn else { unreachable!() };
+        assert_eq!(plan.events(), plan2.events());
+    }
+
+    #[test]
+    #[should_panic(expected = "too many extra sinks")]
+    fn oversubscribed_extra_sinks_rejected() {
+        let _ = ScenarioSpec::builder("bad", 4).extra_sinks(3).build();
     }
 
     #[test]

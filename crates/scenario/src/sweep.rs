@@ -16,17 +16,23 @@ use crate::spec::ScenarioSpec;
 /// Execution parameters of one sweep.
 #[derive(Clone, Copy, Debug)]
 pub struct SweepConfig {
-    /// Worker threads (0 = all cores). Never affects results.
+    /// Worker threads fanning runs of the matrix (0 = all cores). Never
+    /// affects results.
     pub threads: usize,
     /// Seed replicates per `(scenario, scheme)` cell.
     pub replicates: usize,
     /// Multiplier on every spec's epoch budget (quick runs / CI smoke).
     pub epoch_scale: f64,
+    /// Intra-run MAC workers ([`dirq_lmac::LmacConfig::workers`]): the
+    /// colour-class parallel slot loop inside each simulation. Like
+    /// `threads`, never affects results — the parallel frame is
+    /// bit-identical, and the CI smoke gate enforces it.
+    pub mac_workers: usize,
 }
 
 impl Default for SweepConfig {
     fn default() -> Self {
-        SweepConfig { threads: 0, replicates: 1, epoch_scale: 1.0 }
+        SweepConfig { threads: 0, replicates: 1, epoch_scale: 1.0, mac_workers: 1 }
     }
 }
 
@@ -50,7 +56,9 @@ pub fn run_matrix_report(specs: &[ScenarioSpec], cfg: &SweepConfig) -> ScenarioR
         let spec = specs[si].scaled(cfg.epoch_scale);
         let scheme = spec.schemes[ki];
         let seed = replicate_seed(spec.seed, rep);
-        let run = run_scenario(spec.config(scheme, seed));
+        let mut run_cfg = spec.config(scheme, seed);
+        run_cfg.lmac.workers = cfg.mac_workers.max(1);
+        let run = run_scenario(run_cfg);
         ScenarioOutcome::from_run(&spec.name, &scheme.label(), seed, &run)
     });
     let rows = cells
@@ -105,6 +113,17 @@ mod tests {
             assert_ne!(row.replicates[0].seed, row.replicates[1].seed);
             assert_eq!(row.replicates[0].seed, replicate_seed(9, 0));
         }
+    }
+
+    #[test]
+    fn mac_workers_are_result_invariant() {
+        // The colour-class parallel slot loop must never change a report:
+        // same fingerprint with the serial MAC and with 4 workers.
+        let specs = vec![tiny_matrix().remove(1)];
+        let serial = run_matrix_report(&specs, &SweepConfig::default());
+        let sharded =
+            run_matrix_report(&specs, &SweepConfig { mac_workers: 4, ..SweepConfig::default() });
+        assert_eq!(serial.stable_fingerprint(), sharded.stable_fingerprint());
     }
 
     #[test]

@@ -39,6 +39,23 @@ fn xlarge() -> ScenarioSpec {
     registry::stress_5000().scaled(0.1)
 }
 
+/// Multi-sink: the 400-node nearest-sink-attachment grid, 300 epochs.
+fn multi_sink() -> ScenarioSpec {
+    registry::multi_sink_grid_400().scaled(0.25)
+}
+
+/// Lossy × churn: shadowed log-distance radio with mid-run deaths,
+/// 400 epochs.
+fn churn_lossy() -> ScenarioSpec {
+    registry::churn_lossy_250().scaled(0.25)
+}
+
+/// Redeployment: the staged-births preset, 600 epochs (the birth window
+/// scales with the run, so the wave still lands mid-run).
+fn redeploy() -> ScenarioSpec {
+    registry::redeploy_150().scaled(0.25)
+}
+
 /// Golden fingerprint of the [`medium`] sweep report.
 const GOLDEN_MEDIUM: u64 = 0xC68601F1512FF70B;
 
@@ -47,8 +64,19 @@ const GOLDEN_LARGE: u64 = 0x8357DEAC42925C97;
 
 /// Golden fingerprint of the [`xlarge`] sweep report. The SoA/occupancy
 /// hot-path refactor was verified behaviour-preserving against this and
-/// the full-budget `BENCH_2.json` registry fingerprints.
+/// the full-budget `BENCH_2.json` registry fingerprints; the edge-aligned
+/// neighbour arena + colour-class parallel frame were verified against
+/// all of the pins in this file.
 const GOLDEN_XLARGE: u64 = 0xC62599E6862F863E;
+
+/// Golden fingerprint of the [`multi_sink`] sweep report.
+const GOLDEN_MULTI_SINK: u64 = 0x61136063BF475B80;
+
+/// Golden fingerprint of the [`churn_lossy`] sweep report.
+const GOLDEN_CHURN_LOSSY: u64 = 0x0F02F375FECB8B7A;
+
+/// Golden fingerprint of the [`redeploy`] sweep report.
+const GOLDEN_REDEPLOY: u64 = 0x3433767E868A6B5B;
 
 fn report_for(spec: ScenarioSpec, threads: usize) -> ScenarioReport {
     run_matrix_report(&[spec], &SweepConfig { threads, ..SweepConfig::default() })
@@ -61,6 +89,15 @@ fn print_fingerprints() {
     println!("GOLDEN_MEDIUM            = {:#018X}", report_for(medium(), 1).stable_fingerprint());
     println!("GOLDEN_LARGE             = {:#018X}", report_for(large(), 1).stable_fingerprint());
     println!("GOLDEN_XLARGE            = {:#018X}", report_for(xlarge(), 1).stable_fingerprint());
+    println!(
+        "GOLDEN_MULTI_SINK        = {:#018X}",
+        report_for(multi_sink(), 1).stable_fingerprint()
+    );
+    println!(
+        "GOLDEN_CHURN_LOSSY       = {:#018X}",
+        report_for(churn_lossy(), 1).stable_fingerprint()
+    );
+    println!("GOLDEN_REDEPLOY          = {:#018X}", report_for(redeploy(), 1).stable_fingerprint());
 }
 
 #[test]
@@ -96,6 +133,33 @@ fn xlarge_scenario_matches_golden() {
         report_for(xlarge(), 1).stable_fingerprint(),
         GOLDEN_XLARGE,
         "xlarge (5000-node, CSR has_link fallback) scenario drifted from the recorded golden"
+    );
+}
+
+#[test]
+fn multi_sink_scenario_matches_golden() {
+    assert_eq!(
+        report_for(multi_sink(), 1).stable_fingerprint(),
+        GOLDEN_MULTI_SINK,
+        "multi-sink scenario drifted from the recorded golden"
+    );
+}
+
+#[test]
+fn churn_lossy_scenario_matches_golden() {
+    assert_eq!(
+        report_for(churn_lossy(), 1).stable_fingerprint(),
+        GOLDEN_CHURN_LOSSY,
+        "lossy x churn scenario drifted from the recorded golden"
+    );
+}
+
+#[test]
+fn redeploy_scenario_matches_golden() {
+    assert_eq!(
+        report_for(redeploy(), 1).stable_fingerprint(),
+        GOLDEN_REDEPLOY,
+        "redeployment (births) scenario drifted from the recorded golden"
     );
 }
 

@@ -14,6 +14,12 @@
 //!   `dirq_lmac` as the reference. A network driven by the indexed fast
 //!   path must produce the identical indication stream, statistics and
 //!   energy ledgers on arbitrary topologies, traffic and churn.
+//!
+//! The same full-scan reference also pins the **edge-aligned neighbour
+//! arena + colour-class parallel frame**: networks running the sharded
+//! listener phase at 1, 2 and 4 workers must be bit-equal to the serial
+//! reference on indications, statistics, ledgers, schedules and every
+//! per-node neighbour aggregate (`arena_parallel_frames_match_reference`).
 
 use std::collections::BTreeMap;
 
@@ -272,6 +278,132 @@ proptest! {
             let node = NodeId(i as u32);
             prop_assert_eq!(fast.slot_of(node), full.slot_of(node));
             prop_assert_eq!(fast.is_alive(node), full.is_alive(node));
+        }
+    }
+}
+
+// --- Arena + colour-class parallel frame vs full-scan reference ----------
+
+/// Per-node neighbour-aggregate snapshot, for bit-equality across paths.
+fn neighbor_aggregates(net: &Net, n: usize) -> Vec<String> {
+    (0..n)
+        .map(|i| {
+            let v = net.neighbor_table(NodeId(i as u32));
+            format!(
+                "{:?}|{:?}|{}|{:?}|{:?}|{:?}",
+                v.nodes().collect::<Vec<_>>(),
+                v.len(),
+                v.min_gateway_dist(),
+                v.one_hop_occupancy(),
+                v.two_hop_occupancy(),
+                v.stale(1_000_000, 3),
+            )
+        })
+        .collect()
+}
+
+fn build_net_with_workers(topo: &Topology, workers: usize) -> Net {
+    let cfg = LmacConfig { slots_per_frame: 48, workers: workers.max(1), ..LmacConfig::default() };
+    let mut net = Net::new(cfg, topo.clone());
+    if workers > 1 {
+        // Exercise the sharded listener phase even on 1-core hosts.
+        net.force_sharded_listeners();
+    }
+    net.assign_slots_greedy();
+    net
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// Arena-backed frames at 1, 2 and 4 colour-class workers are
+    /// bit-equal to the serial full-scan reference — indication streams
+    /// (same nodes, same order), statistics, both energy ledgers,
+    /// schedules, liveness and every per-node neighbour aggregate — on
+    /// arbitrary topologies with arbitrary traffic and mid-run churn.
+    #[test]
+    fn arena_parallel_frames_match_reference(
+        n in 4usize..24,
+        raw_edges in proptest::collection::vec((0u32..64, 0u32..64), 4..60),
+        messages in proptest::collection::vec((0u32..64, 0u32..64, 0u8..3), 0..20),
+        deaths in proptest::collection::vec(0u32..64, 0..4),
+        seed in 0u64..1_000_000,
+    ) {
+        let topo = sampled_topology(n, &raw_edges);
+        let mut reference = build_net(&topo);
+        let mut nets: Vec<Net> =
+            [1usize, 2, 4].iter().map(|&w| build_net_with_workers(&topo, w)).collect();
+        let mut rng_ref = RngFactory::new(seed).stream("mac-differential");
+        let mut rngs: Vec<_> =
+            (0..nets.len()).map(|_| RngFactory::new(seed).stream("mac-differential")).collect();
+
+        for &(from, to, kind) in &messages {
+            let from = NodeId((from as usize % n) as u32);
+            let to = NodeId((to as usize % n) as u32);
+            let dest = match kind {
+                0 => Destination::Broadcast,
+                1 => Destination::unicast(to),
+                _ => Destination::multicast([to, NodeId((to.index() + 1) as u32 % n as u32)]),
+            };
+            let payload = from.index() as u32 * 1000 + to.index() as u32;
+            reference.enqueue(from, dest.clone(), payload);
+            for net in &mut nets {
+                net.enqueue(from, dest.clone(), payload);
+            }
+        }
+
+        let slots_per_frame = reference.config().slots_per_frame;
+        let mut out_ref: Vec<MacIndication<u32>> = Vec::new();
+        let mut out_net: Vec<MacIndication<u32>> = Vec::new();
+        for frame in 0..6u32 {
+            if frame == 1 || frame == 4 {
+                let alive = frame == 4;
+                for &d in &deaths {
+                    let v = NodeId((d as usize % n) as u32);
+                    if !v.is_root() {
+                        reference.set_alive(v, alive);
+                        for net in &mut nets {
+                            net.set_alive(v, alive);
+                        }
+                    }
+                }
+            }
+            for _ in 0..slots_per_frame {
+                out_ref.clear();
+                reference.advance_slot_full_scan_into(&mut rng_ref, &mut out_ref);
+                for (i, net) in nets.iter_mut().enumerate() {
+                    out_net.clear();
+                    net.advance_slot_into(&mut rngs[i], &mut out_net);
+                    prop_assert_eq!(&out_net, &out_ref, "indications diverged (net {})", i);
+                }
+            }
+        }
+
+        let ref_aggregates = neighbor_aggregates(&reference, n);
+        for (i, net) in nets.iter().enumerate() {
+            prop_assert_eq!(
+                format!("{:?}", net.stats()),
+                format!("{:?}", reference.stats()),
+                "stats diverged (net {})", i
+            );
+            prop_assert_eq!(
+                format!("{:?}", net.data_ledger()),
+                format!("{:?}", reference.data_ledger())
+            );
+            prop_assert_eq!(
+                format!("{:?}", net.control_ledger()),
+                format!("{:?}", reference.control_ledger())
+            );
+            prop_assert_eq!(
+                &neighbor_aggregates(net, n),
+                &ref_aggregates,
+                "neighbour aggregates diverged (net {})", i
+            );
+            for j in 0..n {
+                let node = NodeId(j as u32);
+                prop_assert_eq!(net.slot_of(node), reference.slot_of(node));
+                prop_assert_eq!(net.is_alive(node), reference.is_alive(node));
+            }
         }
     }
 }
