@@ -1,0 +1,163 @@
+//! One-pass golden re-record tool.
+//!
+//! Recomputes **every** pinned fingerprint in the workspace — the
+//! engine-level and report-level pins of the [`dirq::goldens`] manifest,
+//! the smoke golden, and the full-budget registry golden — and either:
+//!
+//! * **default (record)** — rewrites the constants in place
+//!   (`src/goldens.rs`, `crates/scenario/src/registry.rs`) and
+//!   regenerates `BENCH_2.json` from the same full matrix run, so an
+//!   intentional behaviour break lands as one consistent commit; or
+//! * **`--check`** — recomputes everything fresh, compares against the
+//!   checked-in values (constants *and* the `BENCH_2.json` report
+//!   fingerprint) and exits non-zero on any mismatch. This is the CI
+//!   staleness gate: a behaviour change cannot land with half-recorded
+//!   goldens.
+//!
+//! Usage: `record_goldens [--check] [--out PATH]`
+
+use std::path::{Path, PathBuf};
+
+use dirq::goldens::{self, GoldenPin};
+use dirq::scenario::registry;
+use dirq_scenario::{run_matrix_report, SweepConfig};
+use dirq_sim::json::Json;
+
+/// Workspace root, resolved from this crate's manifest directory so the
+/// tool works from any working directory.
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().expect("workspace root")
+}
+
+/// Rewrite `const NAME: u64 = 0x…;` in `file` to `value`. Returns whether
+/// the stored value changed.
+fn patch_const(file: &Path, name: &str, value: u64) -> bool {
+    let text =
+        std::fs::read_to_string(file).unwrap_or_else(|e| panic!("read {}: {e}", file.display()));
+    let needle = format!("const {name}: u64 = ");
+    let Some(at) = text.find(&needle) else {
+        panic!("{}: no `{needle}` declaration found", file.display());
+    };
+    let vstart = at + needle.len();
+    let vend = vstart + text[vstart..].find(';').expect("const terminator");
+    let new_value = format!("{value:#018X}");
+    if text[vstart..vend] == new_value {
+        return false;
+    }
+    let patched = format!("{}{}{}", &text[..vstart], new_value, &text[vend..]);
+    std::fs::write(file, patched).unwrap_or_else(|e| panic!("write {}: {e}", file.display()));
+    true
+}
+
+/// The report fingerprint `BENCH_2.json` records, if readable.
+fn bench2_fingerprint(path: &Path) -> Option<String> {
+    let doc = Json::parse(&std::fs::read_to_string(path).ok()?).ok()?;
+    Some(doc.get("report")?.get("report_fingerprint")?.as_str()?.to_string())
+}
+
+fn main() {
+    let mut check = false;
+    let mut out = String::from("BENCH_2.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--check" => check = true,
+            "--out" => out = args.next().expect("--out needs a path"),
+            "--help" | "-h" => {
+                eprintln!("usage: record_goldens [--check] [--out PATH]");
+                return;
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    let root = repo_root();
+    let pins = goldens::pins();
+
+    // Recompute every manifest pin from scratch. Runs are deterministic
+    // and independent; print progress as they land (the full pass is a
+    // couple of minutes of release-mode simulation).
+    println!("recomputing {} manifest pins + the full registry…", pins.len());
+    let mut mismatches: Vec<String> = Vec::new();
+    let mut fresh: Vec<(&GoldenPin, u64)> = Vec::new();
+    for pin in &pins {
+        let value = (pin.compute)();
+        let status = if value == pin.recorded { "ok" } else { "DRIFTED" };
+        println!("  {:<26} {:#018X}  {status}", pin.name, value);
+        if value != pin.recorded {
+            mismatches.push(format!(
+                "{}: recorded {:#018X}, fresh {:#018X}",
+                pin.name, pin.recorded, value
+            ));
+        }
+        fresh.push((pin, value));
+    }
+
+    if check {
+        // Full-budget registry sweep, compared against the constant and
+        // the checked-in artifact (no writes in check mode).
+        let report = run_matrix_report(&registry::registry(), &SweepConfig::default());
+        let registry_fp = report.stable_fingerprint();
+        println!(
+            "  {:<26} {:#018X}  {}",
+            "REGISTRY_GOLDEN_FINGERPRINT",
+            registry_fp,
+            if registry_fp == registry::REGISTRY_GOLDEN_FINGERPRINT { "ok" } else { "DRIFTED" }
+        );
+        if registry_fp != registry::REGISTRY_GOLDEN_FINGERPRINT {
+            mismatches.push(format!(
+                "REGISTRY_GOLDEN_FINGERPRINT: recorded {:#018X}, fresh {registry_fp:#018X}",
+                registry::REGISTRY_GOLDEN_FINGERPRINT
+            ));
+        }
+        let recorded_artifact = bench2_fingerprint(&root.join(&out));
+        let expected = format!("{registry_fp:#018X}");
+        if recorded_artifact.as_deref() != Some(expected.as_str()) {
+            mismatches.push(format!(
+                "{out}: records {}, fresh registry is {expected}",
+                recorded_artifact.as_deref().unwrap_or("<missing/unparseable>")
+            ));
+        }
+        if mismatches.is_empty() {
+            println!("all goldens match a fresh record");
+            return;
+        }
+        eprintln!("STALE GOLDENS ({}):", mismatches.len());
+        for m in &mismatches {
+            eprintln!("  {m}");
+        }
+        eprintln!("re-record with: cargo run --release -p dirq-bench --bin record_goldens");
+        std::process::exit(1);
+    }
+
+    // Record mode: patch the manifest constants, then regenerate the
+    // artifact from the same behaviour and pin its registry fingerprint.
+    let mut patched = 0usize;
+    for (pin, value) in &fresh {
+        if patch_const(&root.join(pin.file), pin.name, *value) {
+            println!("  patched {} in {}", pin.name, pin.file);
+            patched += 1;
+        }
+    }
+    let out_abs = root.join(&out).to_string_lossy().into_owned();
+    let report = dirq_bench::matrix::run_and_record(
+        &registry::registry(),
+        &SweepConfig::default(),
+        &out_abs,
+    );
+    if patch_const(
+        &root.join(goldens::REGISTRY_FILE),
+        "REGISTRY_GOLDEN_FINGERPRINT",
+        report.stable_fingerprint(),
+    ) {
+        println!("  patched REGISTRY_GOLDEN_FINGERPRINT in {}", goldens::REGISTRY_FILE);
+        patched += 1;
+    }
+    println!(
+        "done: {patched} constant(s) rewritten, {out} regenerated \
+         (fingerprint {:#018X})",
+        report.stable_fingerprint()
+    );
+    if patched > 0 {
+        println!("note: rebuild + rerun tests to verify the new pins compile and hold");
+    }
+}

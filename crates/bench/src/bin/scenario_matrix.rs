@@ -11,19 +11,26 @@
 //! * `--epoch-scale F` / `--quick` — scale every epoch budget (quick ≈ 0.1).
 //! * `--smoke` — CI mode: the small smoke preset at two thread counts,
 //!   asserting the fingerprints are identical, match the recorded golden,
-//!   that the emitted JSON parses back, and that the checked-in
-//!   `BENCH_2.json` still carries the recorded full-registry fingerprint
-//!   ([`registry::REGISTRY_GOLDEN_FINGERPRINT`]). Exits non-zero on any
-//!   mismatch.
+//!   that the emitted JSON parses back, that the checked-in `BENCH_2.json`
+//!   still carries the recorded full-registry fingerprint
+//!   ([`registry::REGISTRY_GOLDEN_FINGERPRINT`]), and that short
+//!   large-preset runs still clear the perf-trajectory floor (see
+//!   `--perf-floor`). Exits non-zero on any mismatch.
 //! * `--list` — print the registry and exit.
 //!
+//! The smoke perf tripwire compares fresh short-run epochs/s of
+//! `grid_2000`/`stress_5000` against the throughput recorded in
+//! `BENCH_2.json` and fails below `floor × recorded`. The floor defaults
+//! to 0.35 (CI runners are slower and noisier than the recording box) and
+//! can be overridden with `--perf-floor F` or the `DIRQ_PERF_FLOOR`
+//! environment variable; `0` disables the tripwire entirely.
+//!
 //! Usage: `scenario_matrix [--preset NAME] [--epoch-scale F] [--quick]
-//! [--threads T] [--replicates R] [--out PATH] [--smoke] [--list]`
+//! [--threads T] [--mac-workers W] [--world-workers W] [--replicates R]
+//! [--perf-floor F] [--out PATH] [--smoke] [--list]`
 
-use std::time::Instant;
-
-use dirq_core::Engine;
-use dirq_scenario::{registry, run_matrix_report, ScenarioReport, ScenarioSpec, SweepConfig};
+use dirq_bench::matrix;
+use dirq_scenario::{registry, run_matrix_report, ScenarioSpec, SweepConfig};
 use dirq_sim::json::Json;
 
 fn usage(err: &str) -> ! {
@@ -32,9 +39,30 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: scenario_matrix [--preset NAME] [--epoch-scale F] [--quick] \
-         [--threads T] [--mac-workers W] [--replicates R] [--out PATH] [--smoke] [--list]"
+         [--threads T] [--mac-workers W] [--world-workers W] [--replicates R] \
+         [--perf-floor F] [--out PATH] [--smoke] [--list]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+/// The perf-trajectory floor: `--perf-floor` wins, then `DIRQ_PERF_FLOOR`,
+/// then the default of 0.35. `0` disables the tripwire (documented escape
+/// hatch for noisy or heavily shared runners). An unparseable environment
+/// value is a hard error — silently falling back to the default would
+/// defeat the override exactly when an operator reaches for it.
+fn perf_floor(flag: Option<f64>) -> f64 {
+    if let Some(f) = flag {
+        return f;
+    }
+    match std::env::var("DIRQ_PERF_FLOOR") {
+        Ok(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!(
+                "FAIL: DIRQ_PERF_FLOOR={v:?} is not a number (use e.g. 0.2, or 0 to disable)"
+            );
+            std::process::exit(2);
+        }),
+        Err(_) => 0.35,
+    }
 }
 
 fn main() {
@@ -43,6 +71,7 @@ fn main() {
     let mut only: Option<String> = None;
     let mut smoke = false;
     let mut list = false;
+    let mut floor_flag: Option<f64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -57,6 +86,12 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--mac-workers needs a number"))
+            }
+            "--world-workers" => {
+                cfg.world_workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--world-workers needs a number"))
             }
             "--replicates" => {
                 cfg.replicates = args
@@ -73,6 +108,13 @@ fn main() {
             "--quick" => cfg.epoch_scale = 0.1,
             "--preset" => {
                 only = Some(args.next().unwrap_or_else(|| usage("--preset needs a name")))
+            }
+            "--perf-floor" => {
+                floor_flag = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--perf-floor needs a fraction")),
+                )
             }
             "--out" => out = args.next().unwrap_or_else(|| usage("--out needs a path")),
             "--smoke" => smoke = true,
@@ -92,7 +134,7 @@ fn main() {
     }
 
     if smoke {
-        run_smoke(&out);
+        run_smoke(&out, &cfg, perf_floor(floor_flag));
         return;
     }
 
@@ -103,121 +145,30 @@ fn main() {
         }
         None => registry::registry(),
     };
-
-    let t0 = Instant::now();
-    let report = run_matrix_report(&specs, &cfg);
-    let wall = t0.elapsed().as_secs_f64();
-
-    print!("{}", report.summary_table().to_ascii());
-    if !report.comparisons.is_empty() {
-        println!("comparisons (scheme / flooding, same scenario):");
-        for c in &report.comparisons {
-            println!("  {:<18} {:<22} {:>7.3}", c.scenario, c.metric, c.ratio);
-        }
-    }
-    println!(
-        "report fingerprint: {:#018X}  ({} rows, {:.1}s wall)",
-        report.stable_fingerprint(),
-        report.rows.len(),
-        wall
-    );
-
-    let mut doc = artifact(&report, &cfg, wall);
-    // Per-epoch throughput of the two largest presets, measured on the run
-    // loop only (setup excluded) — the trajectory ISSUE/ROADMAP perf work
-    // is gated on. Each preset runs the colour-class MAC parallelism at
-    // 1, 2 and 4 workers (the `threads` axis); the run fingerprint must be
-    // identical across the axis — worker counts may only change speed.
-    let mut throughput = Vec::new();
-    for name in ["grid_2000", "stress_5000"] {
-        if !specs.iter().any(|s| s.name == name) {
-            continue;
-        }
-        let spec = registry::preset(name).expect("registry preset").scaled(cfg.epoch_scale);
-        let scheme = spec.schemes[0];
-        let mut serial_fp = None;
-        for threads in [1usize, 2, 4] {
-            // Best of two runs: the run loop is deterministic, so repeats
-            // only differ by scheduling noise — keep the cleaner sample.
-            let mut eps = 0f64;
-            let mut fp = 0u64;
-            let mut epochs = 0u64;
-            for _ in 0..2 {
-                let mut run_cfg = spec.config(scheme, spec.seed);
-                run_cfg.lmac.workers = threads;
-                let engine = Engine::new(run_cfg);
-                let t = Instant::now();
-                let r = engine.run();
-                eps = eps.max(r.epochs as f64 / t.elapsed().as_secs_f64());
-                fp = r.stable_fingerprint();
-                epochs = r.epochs;
-            }
-            match serial_fp {
-                None => serial_fp = Some(fp),
-                Some(want) => assert_eq!(
-                    fp, want,
-                    "{name}: {threads} MAC workers changed the run fingerprint"
-                ),
-            }
-            println!(
-                "{name}: {eps:.0} epochs/s ({epochs} epochs, run loop only, {threads} threads)"
-            );
-            let mut o = Json::object();
-            o.set("scenario", Json::Str(name.to_string()));
-            o.set("threads", Json::Num(threads as f64));
-            o.set("epochs", Json::Num(epochs as f64));
-            o.set("epochs_per_sec", Json::Num(eps.round()));
-            o.set("fingerprint", Json::Str(format!("{:#018X}", fp)));
-            throughput.push(o);
-        }
-    }
-    if !throughput.is_empty() {
-        doc.set("throughput", Json::Arr(throughput));
-    }
-    // Carry the recorded trajectory forward: previous (wall, fingerprint)
-    // pairs stay in the artifact so the scale history reads like BENCH_1.
-    doc.set("history", history_with(&out, &report, wall));
-    std::fs::write(&out, doc.render_pretty()).expect("write scenario matrix json");
-    println!("wrote {out}");
+    matrix::run_and_record(&specs, &cfg, &out);
 }
 
-/// Wrap the report in the artifact envelope.
-fn artifact(report: &ScenarioReport, cfg: &SweepConfig, wall: f64) -> Json {
-    let mut doc = Json::object();
-    doc.set("schema", Json::Str("dirq-scenario-matrix-v1".to_string()));
-    doc.set("epoch_scale", Json::Num(cfg.epoch_scale));
-    doc.set("replicates", Json::Num(cfg.replicates as f64));
-    doc.set("wall_seconds", Json::Num((wall * 100.0).round() / 100.0));
-    doc.set("report", report.to_json());
-    doc.set("tool", Json::Str("crates/bench/src/bin/scenario_matrix.rs".to_string()));
-    doc
-}
-
-/// The history array of the existing artifact at `path` (if any), with
-/// this run's (wall-seconds, fingerprint, rows) appended.
-fn history_with(path: &str, report: &ScenarioReport, wall: f64) -> Json {
-    let mut entries: Vec<Json> = std::fs::read_to_string(path)
-        .ok()
-        .and_then(|text| Json::parse(&text).ok())
-        .and_then(|doc| doc.get("history").and_then(Json::as_array).map(<[Json]>::to_vec))
-        .unwrap_or_default();
-    let mut entry = Json::object();
-    entry.set("wall_seconds", Json::Num((wall * 100.0).round() / 100.0));
-    entry.set("report_fingerprint", Json::Str(format!("{:#018X}", report.stable_fingerprint())));
-    entry.set("rows", Json::Num(report.rows.len() as f64));
-    entries.push(entry);
-    Json::Arr(entries)
-}
-
-/// CI smoke: one small preset, two thread counts, golden fingerprint,
-/// JSON round-trip, plus a staleness check of the checked-in
-/// `BENCH_2.json` against the recorded full-registry fingerprint. Any
-/// failure exits non-zero.
-fn run_smoke(out: &str) {
+/// CI smoke: one small preset at two thread counts, the smoke-scaled
+/// registry at two worker configurations, golden fingerprints, JSON
+/// round-trip, a staleness check of the checked-in `BENCH_2.json`, and
+/// the perf-trajectory tripwire. Any failure exits non-zero.
+///
+/// Only the worker knobs (`--mac-workers`/`--world-workers`) flow in
+/// from the command line — the CI worker matrix exercises the parallel
+/// MAC and world-generation paths, and neither may move a fingerprint.
+/// Budget knobs (`--epoch-scale`, `--quick`, `--replicates`) are
+/// deliberately ignored: the smoke goldens are recorded at fixed budgets.
+fn run_smoke(out: &str, cli_cfg: &SweepConfig, floor: f64) {
+    let base_cfg = &SweepConfig {
+        mac_workers: cli_cfg.mac_workers,
+        world_workers: cli_cfg.world_workers,
+        ..SweepConfig::default()
+    };
     // The recorded artifact must match the registry golden — catching PRs
     // that change behaviour (or the registry) without re-running the
     // matrix and re-recording BENCH_2.json.
-    match std::fs::read_to_string("BENCH_2.json").ok().and_then(|t| Json::parse(&t).ok()) {
+    let bench2 = std::fs::read_to_string("BENCH_2.json").ok().and_then(|t| Json::parse(&t).ok());
+    match &bench2 {
         Some(doc) => {
             let recorded = doc
                 .get("report")
@@ -229,25 +180,21 @@ fn run_smoke(out: &str) {
             if recorded != expected {
                 eprintln!(
                     "FAIL: BENCH_2.json records {recorded}, expected {expected}\n\
-                     (behaviour or registry changed? re-run scenario_matrix and re-record)"
+                     (behaviour or registry changed? re-record via record_goldens)"
                 );
                 std::process::exit(1);
             }
         }
         None => {
-            eprintln!("FAIL: BENCH_2.json missing or unparseable; re-run scenario_matrix");
+            eprintln!("FAIL: BENCH_2.json missing or unparseable; re-run record_goldens");
             std::process::exit(1);
         }
     }
     let spec = registry::smoke();
-    let single = run_matrix_report(
-        std::slice::from_ref(&spec),
-        &SweepConfig { threads: 1, ..SweepConfig::default() },
-    );
-    let parallel = run_matrix_report(
-        std::slice::from_ref(&spec),
-        &SweepConfig { threads: 0, ..SweepConfig::default() },
-    );
+    let single =
+        run_matrix_report(std::slice::from_ref(&spec), &SweepConfig { threads: 1, ..*base_cfg });
+    let parallel =
+        run_matrix_report(std::slice::from_ref(&spec), &SweepConfig { threads: 0, ..*base_cfg });
     let fp = single.stable_fingerprint();
     if fp != parallel.stable_fingerprint() {
         eprintln!(
@@ -260,48 +207,96 @@ fn run_smoke(out: &str) {
     if fp != registry::SMOKE_GOLDEN_FINGERPRINT {
         eprintln!(
             "FAIL: smoke fingerprint {fp:#018X} != recorded golden {:#018X}\n\
-             (intentional behaviour change? re-record via tests/scenario_golden.rs)",
+             (intentional behaviour change? re-record via record_goldens)",
             registry::SMOKE_GOLDEN_FINGERPRINT
         );
         std::process::exit(1);
     }
-    // Golden thread-invariance gate for the parallel MAC path: the whole
-    // registry (scaled to smoke budgets) at 1 and at 4 threads — both the
-    // sweep fan-out and the intra-run colour-class MAC workers — must
-    // produce the identical report fingerprint.
-    let registry_scale = 0.1;
-    let reg1 = run_matrix_report(
-        &registry::registry(),
-        &SweepConfig {
-            threads: 1,
-            mac_workers: 1,
-            epoch_scale: registry_scale,
-            ..SweepConfig::default()
-        },
-    );
-    let reg4 = run_matrix_report(
-        &registry::registry(),
-        &SweepConfig {
-            threads: 4,
-            mac_workers: 4,
-            epoch_scale: registry_scale,
-            ..SweepConfig::default()
-        },
-    );
-    if reg1.stable_fingerprint() != reg4.stable_fingerprint() {
-        eprintln!(
-            "FAIL: registry diverges across thread counts: {:#018X} (1 thread) vs \
-             {:#018X} (4 sweep threads x 4 MAC workers)",
-            reg1.stable_fingerprint(),
-            reg4.stable_fingerprint()
+    // Golden worker-invariance gate for the parallel MAC and world paths:
+    // the whole registry (scaled to smoke budgets) serial vs with the
+    // requested intra-run worker knobs engaged — identical report
+    // fingerprints. Only meaningful when a worker knob is > 1, so the
+    // serial CI matrix leg skips the two extra registry sweeps.
+    let workers = base_cfg.mac_workers.max(base_cfg.world_workers).max(1);
+    if workers > 1 {
+        let registry_scale = 0.1;
+        let reg1 = run_matrix_report(
+            &registry::registry(),
+            &SweepConfig {
+                threads: 1,
+                mac_workers: 1,
+                world_workers: 1,
+                epoch_scale: registry_scale,
+                ..SweepConfig::default()
+            },
         );
-        std::process::exit(1);
+        let reg_sharded = run_matrix_report(
+            &registry::registry(),
+            &SweepConfig {
+                threads: 4,
+                mac_workers: base_cfg.mac_workers.max(1),
+                world_workers: base_cfg.world_workers.max(1),
+                epoch_scale: registry_scale,
+                ..SweepConfig::default()
+            },
+        );
+        if reg1.stable_fingerprint() != reg_sharded.stable_fingerprint() {
+            eprintln!(
+                "FAIL: registry diverges across worker counts: {:#018X} (serial) vs \
+                 {:#018X} (4 sweep threads x {} MAC workers x {} world workers)",
+                reg1.stable_fingerprint(),
+                reg_sharded.stable_fingerprint(),
+                base_cfg.mac_workers.max(1),
+                base_cfg.world_workers.max(1),
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "registry worker-invariance OK at scale {registry_scale}: {:#018X}",
+            reg1.stable_fingerprint()
+        );
+    } else {
+        println!("registry worker-invariance skipped (serial leg; run with worker knobs > 1)");
     }
-    println!(
-        "registry thread-invariance OK at scale {registry_scale}: {:#018X}",
-        reg1.stable_fingerprint()
-    );
-    let doc = artifact(&single, &SweepConfig::default(), 0.0);
+
+    // Perf-trajectory tripwire: fresh short runs of the large presets
+    // must clear `floor × recorded epochs/s` (BENCH_2 throughput,
+    // matching worker count). Catches perf regressions that land without
+    // re-recording the trajectory.
+    if floor > 0.0 {
+        let doc = bench2.expect("BENCH_2.json verified above");
+        for name in ["grid_2000", "stress_5000"] {
+            // Short-budget spec: enough run-loop epochs for a stable
+            // epochs/s estimate without full-budget wall time.
+            let spec = registry::preset(name).expect("registry preset").scaled(0.05);
+            // Baseline at the matching worker count, else the serial one.
+            let Some(recorded) = matrix::recorded_throughput(&doc, name, workers)
+                .or_else(|| matrix::recorded_throughput(&doc, name, 1))
+            else {
+                eprintln!("FAIL: BENCH_2.json has no recorded throughput for {name}");
+                std::process::exit(1);
+            };
+            let (eps, epochs, _) = matrix::measure_throughput(&spec, workers, 2);
+            let threshold = recorded * floor;
+            println!(
+                "perf floor {name}: fresh {eps:.0} eps ({epochs} epochs, {workers} workers) \
+                 vs recorded {recorded:.0} × floor {floor} = {threshold:.0}"
+            );
+            if eps < threshold {
+                eprintln!(
+                    "FAIL: {name} throughput {eps:.0} epochs/s fell below {threshold:.0} \
+                     ({floor} × recorded {recorded:.0}).\n\
+                     Perf regression — or a noisy runner: override with --perf-floor F or \
+                     DIRQ_PERF_FLOOR=F (0 disables)."
+                );
+                std::process::exit(1);
+            }
+        }
+    } else {
+        println!("perf floor disabled (floor = 0)");
+    }
+
+    let doc = matrix::artifact(&single, &SweepConfig::default(), 0.0);
     let text = doc.render_pretty();
     std::fs::write(out, &text).expect("write smoke json");
     let parsed = match Json::parse(&text) {

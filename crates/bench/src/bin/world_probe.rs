@@ -1,0 +1,100 @@
+//! Measure the synthetic world generator's share of a large-preset epoch.
+//!
+//! Runs the `stress_5000` deployment twice: once through the full engine
+//! (run-loop epochs/s) and once advancing only the `SensorWorld`, giving
+//! the generator's standalone epochs/s and its share of the epoch budget.
+//! The ROADMAP's "world generation is ~30 % of the 5 000-node epoch" came
+//! from this measurement; re-run it when the generator changes.
+//!
+//! The standalone world replays the engine's single-sink deployment
+//! (same streams, same retry budget); presets with `extra_sinks` are
+//! rejected — the wired-backbone repositioning is not replicated here
+//! and the share figure would silently compare different deployments.
+//!
+//! Usage: `world_probe [--preset NAME] [--epochs N] [--world-workers W]`
+
+use std::time::Instant;
+
+use dirq_core::Engine;
+use dirq_data::sensor::SensorAssignment;
+use dirq_data::{SensorCatalog, SensorWorld, WorldConfig};
+use dirq_net::Topology;
+use dirq_sim::RngFactory;
+
+fn main() {
+    let mut preset = String::from("stress_5000");
+    let mut epochs: u64 = 200;
+    let mut world_workers: usize = 1;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--preset" => preset = args.next().expect("--preset needs a name"),
+            "--epochs" => {
+                epochs = args.next().and_then(|v| v.parse().ok()).expect("--epochs needs a number")
+            }
+            "--world-workers" => {
+                world_workers =
+                    args.next().and_then(|v| v.parse().ok()).expect("--world-workers needs a count")
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    let spec = dirq_scenario::preset(&preset).expect("registry preset");
+    let scheme = spec.schemes[0];
+    let mut cfg = spec.config(scheme, spec.seed);
+    cfg.epochs = epochs;
+    cfg.measure_from_epoch = epochs / 5;
+
+    // Engine run-loop epochs/s (setup excluded).
+    let engine = Engine::new(cfg.clone());
+    let t = Instant::now();
+    let r = engine.run();
+    let engine_secs = t.elapsed().as_secs_f64();
+    let engine_eps = r.epochs as f64 / engine_secs;
+
+    // World-only advance over the same deployment. Like the multi-sink
+    // guard, refuse radio models whose deployment this probe does not
+    // replicate — a silently different topology would skew the share.
+    assert_eq!(cfg.extra_sinks, 0, "world_probe does not replicate multi-sink deployments");
+    assert!(
+        matches!(cfg.radio, dirq_core::RadioSpec::UnitDisk),
+        "world_probe does not replicate non-unit-disk deployments"
+    );
+    let factory = RngFactory::new(cfg.seed);
+    let mut rng = factory.stream("deploy");
+    let placement = cfg.placement.clone().expect("preset placement");
+    let topo = Topology::deploy_connected(
+        cfg.n_nodes,
+        &placement,
+        cfg.sink,
+        &dirq_net::radio::UnitDisk::new(cfg.radio_range),
+        &mut rng,
+        400,
+    )
+    .expect("deployment");
+    let world_cfg = cfg.world.clone().unwrap_or_else(|| WorldConfig::environmental(cfg.side));
+    let catalog = SensorCatalog::environmental();
+    let assignment = SensorAssignment::heterogeneous(
+        cfg.n_nodes,
+        catalog.len(),
+        cfg.sensor_coverage,
+        &mut factory.stream("assignment"),
+    );
+    let mut world = SensorWorld::new(&world_cfg, catalog, assignment, &topo, &factory);
+    world.set_workers(world_workers);
+    let t = Instant::now();
+    for _ in 0..epochs {
+        world.advance_epoch();
+    }
+    let world_secs = t.elapsed().as_secs_f64();
+    let world_eps = epochs as f64 / world_secs;
+
+    // Share of the engine epoch spent in world generation (same per-epoch
+    // cost in both runs; the engine's epoch also contains MAC + protocol).
+    let share = (world_secs / epochs as f64) / (engine_secs / r.epochs as f64) * 100.0;
+    println!("preset {preset}: {epochs} epochs, {} nodes", cfg.n_nodes);
+    println!("engine run loop: {engine_eps:.0} epochs/s");
+    println!("world advance alone: {world_eps:.0} epochs/s ({world_workers} workers)");
+    println!("world share of engine epoch: {share:.1}%");
+}

@@ -24,3 +24,4 @@
 
 pub mod args;
 pub mod experiments;
+pub mod matrix;

@@ -160,6 +160,10 @@ pub struct ScenarioConfig {
     /// Synthetic-world parameters (defaults to the 4-type environmental
     /// scenario when `None`).
     pub world: Option<WorldConfig>,
+    /// Worker threads for the per-epoch world advance (split per-node RNG
+    /// streams shard over node ranges). Like `lmac.workers`, never affects
+    /// results — the sharded advance is bit-identical at any count.
+    pub world_workers: usize,
     /// Epochs to wait after injection before scoring a query.
     pub completion_window: u64,
     /// Warm-up epochs excluded from aggregate statistics.
@@ -206,6 +210,7 @@ impl ScenarioConfig {
             lmac: LmacConfig::default(),
             churn: ChurnSpec::None,
             world: None,
+            world_workers: 1,
             completion_window: 16,
             measure_from_epoch: 400,
             atc_band_center: 0.5,
@@ -532,7 +537,8 @@ impl Engine {
             cfg.sensor_coverage,
             &mut factory.stream("assignment"),
         );
-        let world = SensorWorld::new(&world_cfg, catalog, assignment, &topo, &factory);
+        let mut world = SensorWorld::new(&world_cfg, catalog, assignment, &topo, &factory);
+        world.set_workers(cfg.world_workers.max(1));
         assert!(
             cfg.spatial_query_fraction == 0.0 || cfg.location_enabled,
             "spatial queries require location_enabled"
@@ -715,7 +721,7 @@ impl Engine {
     /// Advance exactly one epoch (public for fine-grained tests).
     pub fn step_epoch(&mut self) {
         if self.epoch > 0 {
-            self.world.advance_epoch(&self.topo);
+            self.world.advance_epoch();
         }
 
         self.apply_churn();

@@ -102,12 +102,15 @@ impl SensorCatalog {
 pub struct SensorAssignment {
     /// `has[node][type.index()]`.
     has: Vec<Vec<bool>>,
+    /// Bumped on every mutation, so carried-mask caches (the world's hot
+    /// generation loop keeps one) can invalidate without deep comparison.
+    version: u64,
 }
 
 impl SensorAssignment {
     /// Every node carries every type (TinyDB-style homogeneous network).
     pub fn homogeneous(n_nodes: usize, n_types: usize) -> Self {
-        SensorAssignment { has: vec![vec![true; n_types]; n_nodes] }
+        SensorAssignment { has: vec![vec![true; n_types]; n_nodes], version: 0 }
     }
 
     /// Heterogeneous assignment: each type is carried by a random subset of
@@ -135,7 +138,13 @@ impl SensorAssignment {
                 row[t] = true;
             }
         }
-        SensorAssignment { has }
+        SensorAssignment { has, version: 0 }
+    }
+
+    /// Mutation counter: changes whenever the assignment does.
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Whether `node` carries `t`.
@@ -159,12 +168,14 @@ impl SensorAssignment {
             self.has[node].resize(t.index() + 1, false);
         }
         self.has[node][t.index()] = true;
+        self.version += 1;
     }
 
     /// Remove a sensor from a node.
     pub fn remove(&mut self, node: usize, t: SensorType) {
         if let Some(slot) = self.has[node].get_mut(t.index()) {
             *slot = false;
+            self.version += 1;
         }
     }
 

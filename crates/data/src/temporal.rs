@@ -14,7 +14,7 @@
 //! acquired.
 
 use dirq_sim::rng::sample_normal;
-use dirq_sim::SimRng;
+use rand::Rng;
 
 /// First-order autoregressive process `x ← φ·x + ε`, `ε ~ N(0, σ²)`.
 #[derive(Clone, Copy, Debug)]
@@ -32,9 +32,19 @@ impl Ar1 {
         Ar1 { phi, sigma, value: 0.0 }
     }
 
-    /// Advance one step and return the new value.
-    pub fn step(&mut self, rng: &mut SimRng) -> f64 {
+    /// Advance one step and return the new value. Generic over the
+    /// generator so both the shared per-type streams ([`dirq_sim::SimRng`])
+    /// and the per-node counter streams ([`dirq_sim::StreamRng`]) drive it.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
         self.value = self.phi * self.value + sample_normal(rng, 0.0, self.sigma);
+        self.value
+    }
+
+    /// Advance one step from a caller-supplied standard-normal innovation
+    /// `z` (the split-stream world draws paired innovations and feeds
+    /// them in; see `dirq_sim::rng::sample_std_normal_pair`).
+    pub fn step_std(&mut self, z: f64) -> f64 {
+        self.value = self.phi * self.value + self.sigma * z;
         self.value
     }
 

@@ -13,10 +13,29 @@
 //! Readings of nodes without the sensor are `None`. The world is advanced
 //! once per epoch by the scenario engine and is the ground truth the
 //! accuracy metrics compare against.
+//!
+//! ## Split RNG streams and the parallel advance
+//!
+//! The shared components (diurnal cycle, regional AR(1)) run on one
+//! seeded stream **per type**; every `(node, type)` local AR(1) process
+//! and its measurement noise run on their own **counter-based stream**
+//! ([`StreamRng`]), keyed by `(type, node)` and repositioned to a fixed
+//! per-epoch counter offset. Three properties fall out:
+//!
+//! * **lazy per-carrier generation** — a node without the sensor never
+//!   draws, and skipping it cannot shift any other stream;
+//! * **stream isolation** — adding/removing a sensor (or churn) never
+//!   perturbs another `(node, type)` sequence;
+//! * **order-free parallelism** — the per-epoch advance shards across the
+//!   [`WorkerPool`] by node range and is **bit-identical at any worker
+//!   count by construction**: each cell's value is a pure function of its
+//!   own key, epoch and local AR(1) state, and the "merge" is the indexed
+//!   write into `readings[type][node]`.
 
 use dirq_net::Topology;
-use dirq_sim::rng::sample_normal;
-use dirq_sim::{RngFactory, SimRng};
+use dirq_sim::rng::sample_std_normal_pair;
+use dirq_sim::runner::WorkerPool;
+use dirq_sim::{split_key, RngFactory, SimRng, StreamRng};
 
 use crate::field::SpatialField;
 use crate::sensor::{SensorAssignment, SensorCatalog, SensorType};
@@ -159,6 +178,10 @@ impl SensorTypeConfig {
 }
 
 /// Whole-world generator configuration.
+///
+/// At most 64 sensor types: the split-stream generation loop tests
+/// carriers through per-node `u64` bitmasks ([`SensorWorld::new`]
+/// asserts this loudly). The paper's scenario uses 4.
 #[derive(Clone, Debug)]
 pub struct WorldConfig {
     /// One config per sensor type, indexed by [`SensorType`].
@@ -187,6 +210,18 @@ impl WorldConfig {
     }
 }
 
+/// Base-2 log of the per-epoch draw budget of one `(node, type)` stream.
+/// A carrier consumes 2 `u64` draws per epoch (one Box–Muller transform
+/// covering both the AR(1) innovation and the measurement noise); the
+/// budget of 8 leaves headroom so new draw sites never overlap the next
+/// epoch's window.
+const DRAW_BUDGET_LOG2: u32 = 3;
+
+/// Below this node count the sharded advance is not worth the dispatch
+/// (the whole epoch is a few microseconds); the serial loop is used even
+/// when a pool is configured. Results are identical either way.
+const PARALLEL_MIN_NODES: usize = 512;
+
 /// Per-type dynamic state.
 struct TypeState {
     /// `field.value(position(node))` — the field is static, so its
@@ -195,7 +230,14 @@ struct TypeState {
     field_at_node: Vec<f64>,
     diurnal: Diurnal,
     regional: Ar1,
+    /// The type's shared stream, driving the regional AR(1) only.
+    regional_rng: SimRng,
+    /// Per-node local AR(1) processes; a process only steps on epochs
+    /// where its node carries the type (lazy per-carrier generation).
     local: Vec<Ar1>,
+    /// Per-node counter-stream keys (`split_key` of the type's base key
+    /// by node index), hoisted out of the per-epoch loop.
+    node_keys: Vec<u64>,
     noise_sigma: f64,
 }
 
@@ -207,7 +249,98 @@ pub struct SensorWorld {
     /// `readings[type][node]`, `NaN` = node lacks the sensor.
     readings: Vec<Vec<f64>>,
     epoch: u64,
-    rng: SimRng,
+    /// Flat per-node carried-type masks, rebuilt only when the assignment
+    /// version moves — the generation loop reads one sequential `u64`
+    /// array instead of chasing `Vec<Vec<bool>>` rows per node.
+    mask_cache: Vec<u64>,
+    /// Assignment version [`SensorAssignment::version`] the cache mirrors.
+    mask_version: Option<u64>,
+    /// Worker pool for the sharded advance (`None` below 2 workers).
+    pool: Option<WorkerPool>,
+    /// Run the sharded advance even when the pool has no runnable helper
+    /// or the world is small (test hook; results are identical).
+    force_sharded: bool,
+}
+
+/// One `(node, type)` reading: step the local AR(1) and draw the noise
+/// from the cell's own counter stream, positioned at this epoch's window.
+/// One Box–Muller transform supplies both standard normals (innovation +
+/// noise). Pure in `(key, epoch, local state, shared components)` — the
+/// property the parallel advance's bit-identity rests on.
+#[inline]
+fn generate_cell(
+    local: &mut Ar1,
+    key: u64,
+    epoch: u64,
+    field: f64,
+    shared: f64,
+    noise_sigma: f64,
+) -> f64 {
+    let mut rng = StreamRng::at(key, epoch << DRAW_BUDGET_LOG2);
+    let (z_innovation, z_noise) = sample_std_normal_pair(&mut rng);
+    let local_value = local.step_std(z_innovation);
+    // Float addition is not associative: serial and sharded paths must
+    // both evaluate exactly this expression (they do — both call here)
+    // or fixed-seed runs stop being bit-identical across worker counts.
+    field + shared + local_value + noise_sigma * z_noise
+}
+
+/// Raw per-type pointers for the sharded advance. Shards process disjoint
+/// node ranges, so the indexed stores into `readings` and `locals` never
+/// alias; `field` and `node_keys` are read-only.
+struct TypePtrs {
+    readings: *mut f64,
+    locals: *mut Ar1,
+    field: *const f64,
+    node_keys: *const u64,
+    shared: f64,
+    noise_sigma: f64,
+}
+
+/// The sharded advance job: per-type pointer bundles plus the shared
+/// read-only inputs each chunk needs.
+struct AdvanceShards<'a> {
+    types: Vec<TypePtrs>,
+    masks: &'a [u64],
+    epoch: u64,
+    n: usize,
+    chunk: usize,
+}
+
+// SAFETY: the raw pointers target disjoint per-node slots across chunks
+// (chunk k owns node range [k·chunk, (k+1)·chunk)); everything else is
+// read-only shared state.
+unsafe impl Sync for AdvanceShards<'_> {}
+
+impl AdvanceShards<'_> {
+    /// Generate every `(node, type)` cell of chunk `k`. Type-outer loop:
+    /// within a type every array access walks the chunk's node range
+    /// sequentially.
+    ///
+    /// # Safety
+    /// Each chunk index must be claimed at most once per epoch (the
+    /// worker pool guarantees exactly-once execution).
+    unsafe fn run_chunk(&self, k: usize) {
+        let lo = k * self.chunk;
+        let hi = (lo + self.chunk).min(self.n);
+        for (t, tp) in self.types.iter().enumerate() {
+            let bit = 1u64 << t;
+            for node in lo..hi {
+                *tp.readings.add(node) = if self.masks[node] & bit != 0 {
+                    generate_cell(
+                        &mut *tp.locals.add(node),
+                        *tp.node_keys.add(node),
+                        self.epoch,
+                        *tp.field.add(node),
+                        tp.shared,
+                        tp.noise_sigma,
+                    )
+                } else {
+                    f64::NAN
+                };
+            }
+        }
+    }
 }
 
 impl SensorWorld {
@@ -225,12 +358,15 @@ impl SensorWorld {
             "one SensorTypeConfig per catalog type required"
         );
         assert_eq!(assignment.len(), topo.len(), "assignment size must match topology");
+        assert!(config.types.len() <= 64, "carried-mask generation supports at most 64 types");
         let n = topo.len();
         let mut field_rng = rng_factory.stream("world-fields");
+        let local_key = rng_factory.stream_key("world-local", 0);
         let states: Vec<TypeState> = config
             .types
             .iter()
-            .map(|c| {
+            .enumerate()
+            .map(|(t, c)| {
                 let field = match c.field_style {
                     FieldStyle::Smooth => SpatialField::random(
                         c.base,
@@ -258,7 +394,12 @@ impl SensorWorld {
                         Diurnal::new(c.diurnal_amplitude, c.diurnal_period, 0.0)
                     },
                     regional: Ar1::new(c.regional_phi, c.regional_sigma),
+                    regional_rng: rng_factory.indexed_stream("world-regional", t as u64),
                     local: (0..n).map(|_| Ar1::new(c.local_phi, c.local_sigma)).collect(),
+                    node_keys: {
+                        let type_key = split_key(local_key, t as u64);
+                        (0..n).map(|i| split_key(type_key, i as u64)).collect()
+                    },
                     noise_sigma: c.noise_sigma,
                 }
             })
@@ -269,10 +410,43 @@ impl SensorWorld {
             assignment,
             states,
             epoch: 0,
-            rng: rng_factory.stream("world-dynamics"),
+            mask_cache: Vec::new(),
+            mask_version: None,
+            pool: None,
+            force_sharded: false,
         };
-        world.regenerate_readings(topo);
+        world.regenerate_readings();
         world
+    }
+
+    /// Configure the parallel advance: shard the per-epoch generation over
+    /// `workers` threads (1 disables the pool). No pool is spawned below
+    /// [`PARALLEL_MIN_NODES`] — the sharded path would never engage, so
+    /// small worlds skip the helper threads entirely. The pool's helpers
+    /// are clamped to the machine's available parallelism, and a pool
+    /// without a runnable helper (the 1-core case) falls back to the
+    /// serial loop — worker counts only ever change speed, never results.
+    pub fn set_workers(&mut self, workers: usize) {
+        self.pool = if workers > 1 && self.assignment.len() >= PARALLEL_MIN_NODES {
+            Some(WorkerPool::new(workers))
+        } else {
+            None
+        };
+    }
+
+    /// Threads the advance can use (1 when no pool is configured).
+    pub fn workers(&self) -> usize {
+        self.pool.as_ref().map_or(1, WorkerPool::workers)
+    }
+
+    /// Run the sharded advance at `workers` threads even on 1-core hosts
+    /// and below the small-world threshold. Differential-test hook;
+    /// results are identical to the serial loop either way.
+    #[doc(hidden)]
+    pub fn force_sharded_advance(&mut self, workers: usize) {
+        assert!(workers > 1, "sharded advance requires more than one worker");
+        self.pool = Some(WorkerPool::new(workers));
+        self.force_sharded = true;
     }
 
     /// Sensor catalog in use.
@@ -295,38 +469,80 @@ impl SensorWorld {
         self.epoch
     }
 
-    /// Advance to the next epoch: step every temporal process and draw the
-    /// new readings.
-    pub fn advance_epoch(&mut self, topo: &Topology) {
+    /// Advance to the next epoch: step the shared per-type components and
+    /// regenerate every carrier's reading from its own counter stream.
+    pub fn advance_epoch(&mut self) {
         self.epoch += 1;
         for state in &mut self.states {
-            state.regional.step(&mut self.rng);
-            for l in &mut state.local {
-                l.step(&mut self.rng);
-            }
+            state.regional.step(&mut state.regional_rng);
         }
-        self.regenerate_readings(topo);
+        self.regenerate_readings();
     }
 
-    fn regenerate_readings(&mut self, topo: &Topology) {
-        for (t, state) in self.states.iter().enumerate() {
-            let diurnal = state.diurnal.value(self.epoch);
-            let regional = state.regional.value();
-            for node in 0..topo.len() {
-                self.readings[t][node] = if self.assignment.has(node, SensorType(t as u8)) {
-                    // Same summation order as the original formulation —
-                    // float addition is not associative and fixed-seed runs
-                    // must stay bit-identical.
-                    state.field_at_node[node]
-                        + diurnal
-                        + regional
-                        + state.local[node].value()
-                        + sample_normal(&mut self.rng, 0.0, state.noise_sigma)
-                } else {
-                    f64::NAN
-                };
-            }
+    /// Draw this epoch's readings. Carriers step their local AR(1) and
+    /// noise on the cell's own stream; non-carriers never draw and their
+    /// local process stays frozen. Serial and sharded paths produce
+    /// bit-identical output (each cell is independent), so the path choice
+    /// is purely a speed decision.
+    fn regenerate_readings(&mut self) {
+        let n = self.assignment.len();
+        let epoch = self.epoch;
+        if self.mask_version != Some(self.assignment.version()) || self.mask_cache.len() != n {
+            self.mask_cache = (0..n).map(|i| self.assignment.carried_mask(i)).collect();
+            self.mask_version = Some(self.assignment.version());
         }
+        let sharded = self.pool.is_some()
+            && (self.force_sharded
+                || (n >= PARALLEL_MIN_NODES
+                    && self.pool.as_ref().is_some_and(|p| p.workers() > 1)));
+        if !sharded {
+            // Type-outer loop: the mask, local-state, key, field and
+            // reading arrays all walk node order sequentially.
+            let masks = &self.mask_cache;
+            for (t, state) in self.states.iter_mut().enumerate() {
+                let bit = 1u64 << t;
+                let shared = state.diurnal.value(epoch) + state.regional.value();
+                let row = &mut self.readings[t];
+                for node in 0..n {
+                    row[node] = if masks[node] & bit != 0 {
+                        generate_cell(
+                            &mut state.local[node],
+                            state.node_keys[node],
+                            epoch,
+                            state.field_at_node[node],
+                            shared,
+                            state.noise_sigma,
+                        )
+                    } else {
+                        f64::NAN
+                    };
+                }
+            }
+            return;
+        }
+        // Sharded: contiguous node chunks fan out over the pool. The
+        // per-type pointer bundles give each chunk aliasing-free indexed
+        // access to its own node range.
+        let types: Vec<TypePtrs> = self
+            .states
+            .iter_mut()
+            .zip(self.readings.iter_mut())
+            .map(|(state, row)| TypePtrs {
+                readings: row.as_mut_ptr(),
+                locals: state.local.as_mut_ptr(),
+                field: state.field_at_node.as_ptr(),
+                node_keys: state.node_keys.as_ptr(),
+                shared: state.diurnal.value(epoch) + state.regional.value(),
+                noise_sigma: state.noise_sigma,
+            })
+            .collect();
+        let pool = self.pool.as_mut().expect("sharded advance requires the pool");
+        // Chunks of at least 64 nodes, ~4 per worker for balance.
+        let chunk = n.div_ceil(pool.workers() * 4).max(64);
+        let shards = AdvanceShards { types, masks: &self.mask_cache, epoch, n, chunk };
+        // SAFETY: the pool executes each chunk exactly once, and chunks
+        // touch disjoint node ranges (see `AdvanceShards`).
+        pool.run(n.div_ceil(chunk), &|k| unsafe { shards.run_chunk(k) });
     }
 
     /// The reading node `node` acquired this epoch for `t`
@@ -401,19 +617,101 @@ mod tests {
 
     #[test]
     fn epoch_advances_and_readings_change() {
-        let (mut world, topo) = build_world(32);
+        let (mut world, _topo) = build_world(32);
         let t = SensorType(0);
         let carrier = world.assignment().carriers(t)[0];
         let before = world.reading(carrier, t).unwrap();
-        world.advance_epoch(&topo);
+        world.advance_epoch();
         assert_eq!(world.epoch(), 1);
         let after = world.reading(carrier, t).unwrap();
         assert_ne!(before, after, "noise + AR(1) must move readings");
     }
 
+    /// All readings of every type at the current epoch, for bit-equality.
+    fn snapshot(world: &SensorWorld) -> Vec<Vec<u64>> {
+        world
+            .catalog()
+            .types()
+            .map(|t| world.readings(t).iter().map(|v| v.to_bits()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn sharded_advance_matches_serial() {
+        let (mut serial, _) = build_world(40);
+        let (mut sharded, _) = build_world(40);
+        sharded.force_sharded_advance(4);
+        assert_eq!(snapshot(&serial), snapshot(&sharded), "construction must agree");
+        for epoch in 1..=20u64 {
+            serial.advance_epoch();
+            sharded.advance_epoch();
+            assert_eq!(snapshot(&serial), snapshot(&sharded), "epoch {epoch} diverged");
+        }
+    }
+
+    #[test]
+    fn worker_count_never_changes_readings() {
+        let (mut w2, _) = build_world(41);
+        let (mut w4, _) = build_world(41);
+        w2.force_sharded_advance(2);
+        w4.force_sharded_advance(4);
+        for _ in 0..10 {
+            w2.advance_epoch();
+            w4.advance_epoch();
+        }
+        assert_eq!(snapshot(&w2), snapshot(&w4));
+    }
+
+    #[test]
+    fn streams_are_isolated_across_assignment_changes() {
+        // Removing / adding sensors on one node must not perturb any other
+        // (node, type) sequence — per-cell counter streams cannot shift.
+        let (mut control, _) = build_world(42);
+        let (mut mutated, _) = build_world(42);
+        let t = SensorType(1);
+        let victim = mutated.assignment().carriers(t)[2];
+        mutated.assignment_mut().remove(victim, t);
+        for epoch in 1..=10u64 {
+            if epoch == 5 {
+                // Restore mid-run: the victim rejoins its own stream; all
+                // other streams never noticed.
+                mutated.assignment_mut().add(victim, t);
+            }
+            control.advance_epoch();
+            mutated.advance_epoch();
+            for ty in control.catalog().types() {
+                for node in 0..control.assignment().len() {
+                    if node == victim && ty == t {
+                        continue;
+                    }
+                    assert_eq!(
+                        control.reading(node, ty).map(f64::to_bits),
+                        mutated.reading(node, ty).map(f64::to_bits),
+                        "epoch {epoch}: node {node} type {ty:?} perturbed by victim churn"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn non_carriers_stay_nan_and_frozen() {
+        let (mut world, _) = build_world(43);
+        let t = SensorType(2);
+        let non_carrier =
+            (0..world.assignment().len()).find(|&n| !world.assignment().has(n, t)).unwrap();
+        for _ in 0..5 {
+            world.advance_epoch();
+            assert!(world.reading(non_carrier, t).is_none());
+        }
+        // Lazy generation: the local process of a non-carrier is frozen at
+        // its initial state (no draws ever happened for the cell).
+        assert_eq!(world.states[t.index()].local[non_carrier].value(), 0.0);
+    }
+
     #[test]
     fn temporal_correlation_consecutive_epochs() {
-        let (mut world, topo) = build_world(33);
+        let (mut world, _topo) = build_world(33);
         let t = SensorType(0);
         let carriers = world.assignment().carriers(t);
         // Mean absolute per-epoch change must be far below the overall
@@ -422,7 +720,7 @@ mod tests {
         let mut count = 0;
         let mut prev: Vec<Option<f64>> = carriers.iter().map(|&c| world.reading(c, t)).collect();
         for _ in 0..200 {
-            world.advance_epoch(&topo);
+            world.advance_epoch();
             for (i, &c) in carriers.iter().enumerate() {
                 let cur = world.reading(c, t).unwrap();
                 if let Some(p) = prev[i] {
@@ -484,14 +782,14 @@ mod tests {
 
     #[test]
     fn diurnal_cycle_visible_in_long_run() {
-        let (mut world, topo) = build_world(36);
+        let (mut world, _topo) = build_world(36);
         let t = SensorType(0); // temperature
         let period = SensorTypeConfig::temperature().diurnal_period as u64;
         let carrier = world.assignment().carriers(t)[0];
         let mut quarter = 0.0;
         let mut three_quarter = 0.0;
         for e in 1..=period {
-            world.advance_epoch(&topo);
+            world.advance_epoch();
             if e == period / 4 {
                 quarter = world.reading(carrier, t).unwrap();
             }

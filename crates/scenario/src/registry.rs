@@ -235,20 +235,22 @@ pub fn smoke() -> ScenarioSpec {
 
 /// Recorded [`crate::ScenarioReport::stable_fingerprint`] of a
 /// single-replicate sweep over [`smoke`]. Pinned by the workspace golden
-/// test and verified by `scenario_matrix --smoke` in CI; re-record with
-/// `cargo test --test scenario_golden -- --nocapture print_fingerprints`
-/// after intentional behaviour changes.
-pub const SMOKE_GOLDEN_FINGERPRINT: u64 = 0xC66FCD57C89F0261;
+/// test and verified by `scenario_matrix --smoke` in CI; after an
+/// intentional behaviour change re-record every pin in one pass with
+/// `cargo run --release -p dirq-bench --bin record_goldens` (this
+/// constant is rewritten in place — keep its shape machine-editable).
+pub const SMOKE_GOLDEN_FINGERPRINT: u64 = 0xCC93F65979BB4548;
 
 /// Recorded [`crate::ScenarioReport::stable_fingerprint`] of the full
 /// single-replicate registry sweep — the value `BENCH_2.json` carries.
 /// `scenario_matrix --smoke` (CI) asserts the checked-in artifact still
-/// records it, so behaviour changes cannot land without re-running the
-/// matrix. Re-record by running `scenario_matrix` and copying the printed
-/// report fingerprint. (Re-recorded when the registry grew the
-/// redeploy/churn-lossy/multi-sink presets; the per-run fingerprints of
-/// the pre-existing presets are unchanged.)
-pub const REGISTRY_GOLDEN_FINGERPRINT: u64 = 0x5B55BF5367820223;
+/// records it, and `record_goldens --check` re-derives it fresh, so
+/// behaviour changes cannot land without re-running the matrix.
+/// Re-record (together with `BENCH_2.json` and every manifest pin) via
+/// `cargo run --release -p dirq-bench --bin record_goldens`, which
+/// rewrites this constant in place. (Last re-recorded for the PR 5
+/// split-stream world generator — an intentional full-behaviour break.)
+pub const REGISTRY_GOLDEN_FINGERPRINT: u64 = 0xC1E3AF78D460D819;
 
 #[cfg(test)]
 mod tests {

@@ -44,5 +44,5 @@ pub use engine::{Context, Model, Simulator};
 pub use fingerprint::Fnv;
 pub use json::Json;
 pub use queue::EventQueue;
-pub use rng::{RngFactory, SimRng};
+pub use rng::{split_key, RngFactory, SimRng, StreamRng};
 pub use time::{SimDuration, SimTime};

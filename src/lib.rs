@@ -42,6 +42,8 @@
 
 #![warn(missing_docs)]
 
+pub mod goldens;
+
 pub use dirq_analytic as analytic;
 pub use dirq_core as core;
 pub use dirq_data as data;

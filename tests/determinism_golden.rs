@@ -1,101 +1,22 @@
-//! Golden determinism tests.
+//! Golden determinism tests (engine-level pins).
 //!
 //! The hot-path refactors (zero-copy MAC payloads, CSR topology, scratch
-//! buffers) must not change observable behaviour: for a fixed seed the
-//! complete metrics of a run are bit-identical. These tests pin the
-//! fingerprints of two 64-node scenarios so any behavioural drift fails
-//! loudly, and check that the parallel sweep executor returns byte-identical
-//! output to sequential execution.
+//! buffers, SoA state, split-stream world generation) must not change
+//! observable behaviour: for a fixed seed the complete metrics of a run
+//! are bit-identical. The scenario constructors and recorded fingerprints
+//! live in the [`dirq::goldens`] manifest; these tests assert the
+//! engine-level pins and that the parallel sweep executor returns
+//! byte-identical output to sequential execution.
 //!
 //! If a PR changes behaviour *intentionally* (new protocol feature, RNG
-//! stream change), re-record the constants with:
-//! `cargo test --test determinism_golden -- --nocapture print_fingerprints`
+//! stream change), re-record every pin in one pass:
+//! `cargo run --release -p dirq-bench --bin record_goldens`
 
+use dirq::goldens::{
+    atc_churn_scenario, fixed_delta_scenario, grid_2000_scenario, stress_5000_scenario,
+    GOLDEN_ATC_CHURN, GOLDEN_FIXED, GOLDEN_GRID_2000, GOLDEN_STRESS_5000,
+};
 use dirq::prelude::*;
-
-/// 64-node fixed-δ scenario exercising the steady-state hot path.
-fn fixed_delta_scenario() -> ScenarioConfig {
-    ScenarioConfig {
-        n_nodes: 64,
-        epochs: 1_200,
-        measure_from_epoch: 200,
-        delta_policy: DeltaPolicy::Fixed(5.0),
-        ..ScenarioConfig::paper(64_001)
-    }
-}
-
-/// 64-node ATC scenario with churn, exercising repair, retracts and the
-/// EHr/budget loop on top of the same hot path.
-fn atc_churn_scenario() -> ScenarioConfig {
-    ScenarioConfig {
-        n_nodes: 64,
-        epochs: 1_200,
-        measure_from_epoch: 200,
-        delta_policy: DeltaPolicy::Adaptive(AtcConfig::default()),
-        churn: ChurnSpec::RandomDeaths { deaths: 4, from_epoch: 300, until_epoch: 600 },
-        ..ScenarioConfig::paper(64_002)
-    }
-}
-
-/// Short-epoch engine-level pin of a registry preset: the preset's exact
-/// deployment/workload at a reduced epoch budget, so the large-topology
-/// code paths sit inside tier-1 `cargo test` at debug-mode speed.
-fn preset_scenario(name: &str, epochs: u64) -> ScenarioConfig {
-    let spec = dirq::scenario::preset(name).expect("registry preset");
-    let scheme = spec.schemes[0];
-    ScenarioConfig { epochs, measure_from_epoch: epochs / 5, ..spec.config(scheme, spec.seed) }
-}
-
-/// 2 000-node jittered grid, 40 epochs (dense link-matrix `has_link`).
-fn grid_2000_scenario() -> ScenarioConfig {
-    preset_scenario("grid_2000", 40)
-}
-
-/// 5 000-node uniform deployment, 24 epochs — above `DENSE_LINK_MAX_NODES`,
-/// pinning the CSR-fallback topology path at engine level.
-fn stress_5000_scenario() -> ScenarioConfig {
-    preset_scenario("stress_5000", 24)
-}
-
-/// Golden fingerprint of [`fixed_delta_scenario`], re-recorded for the
-/// warm-started query calibration (an intentional behaviour change: the
-/// generator draws fewer probe windows per query).
-const GOLDEN_FIXED: u64 = 0x15C8852AF51B0F48;
-
-/// Golden fingerprint of [`atc_churn_scenario`], re-recorded for the
-/// warm-started query calibration and the kill-order churn sampler.
-const GOLDEN_ATC_CHURN: u64 = 0xADF4339F74333A97;
-
-/// Golden fingerprint of [`grid_2000_scenario`]. The SoA node-state /
-/// range-table and MAC occupancy-index refactor was verified
-/// behaviour-preserving against these large-topology pins and the
-/// full-budget `BENCH_2.json` registry fingerprints.
-const GOLDEN_GRID_2000: u64 = 0xC5DD94F30570433E;
-
-/// Golden fingerprint of [`stress_5000_scenario`] (recorded with
-/// [`GOLDEN_GRID_2000`]).
-const GOLDEN_STRESS_5000: u64 = 0x6A938621EF632C0F;
-
-#[test]
-fn print_fingerprints() {
-    // Not an assertion: convenience target for re-recording the constants.
-    println!(
-        "GOLDEN_FIXED       = {:#018X}",
-        run_scenario(fixed_delta_scenario()).stable_fingerprint()
-    );
-    println!(
-        "GOLDEN_ATC_CHURN   = {:#018X}",
-        run_scenario(atc_churn_scenario()).stable_fingerprint()
-    );
-    println!(
-        "GOLDEN_GRID_2000   = {:#018X}",
-        run_scenario(grid_2000_scenario()).stable_fingerprint()
-    );
-    println!(
-        "GOLDEN_STRESS_5000 = {:#018X}",
-        run_scenario(stress_5000_scenario()).stable_fingerprint()
-    );
-}
 
 #[test]
 fn fixed_delta_metrics_match_golden() {
@@ -142,6 +63,17 @@ fn repeated_runs_are_bit_identical() {
     let a = run_scenario(fixed_delta_scenario());
     let b = run_scenario(fixed_delta_scenario());
     assert_eq!(a.stable_fingerprint(), b.stable_fingerprint());
+}
+
+#[test]
+fn world_workers_do_not_change_metrics() {
+    // The world_workers knob must never move an engine fingerprint. At
+    // this size (64 nodes, below the world's sharding threshold) the
+    // knob resolves to the serial loop — this pins that resolution; the
+    // sharded advance itself is pinned bit-equal to serial by the
+    // forced-hook cases in tests/world_differential.rs.
+    let r = run_scenario(ScenarioConfig { world_workers: 4, ..fixed_delta_scenario() });
+    assert_eq!(r.stable_fingerprint(), GOLDEN_FIXED, "world_workers changed observable metrics");
 }
 
 #[test]

@@ -1,109 +1,33 @@
-//! Golden fingerprints for the scenario subsystem.
+//! Golden fingerprints for the scenario subsystem (report-level pins).
 //!
-//! Pins one small, one medium and one large preset so the whole stack —
-//! deployment, calibration (warm-started), MAC, churn, sweep executor and
-//! report assembly — is bit-deterministic for a fixed seed, across runs
-//! and thread counts. The 5 000-node deployment (above
-//! `DENSE_LINK_MAX_NODES`) is pinned by the release-mode `scenario_matrix`
-//! bench via `BENCH_2.json`; debug-mode tests stop at 2 000 nodes to keep
-//! tier-1 fast.
+//! Pins small through extra-large presets so the whole stack —
+//! deployment, calibration (warm-started), MAC, churn, world generation,
+//! sweep executor and report assembly — is bit-deterministic for a fixed
+//! seed, across runs and thread counts. The spec constructors and the
+//! recorded fingerprints live in the [`dirq::goldens`] manifest; the
+//! full-budget 5 000-node registry run is pinned by the release-mode
+//! `scenario_matrix` bench via `BENCH_2.json`.
 //!
 //! If a PR changes behaviour *intentionally* (protocol feature, RNG
-//! stream change, calibration tweak), re-record with:
-//! `cargo test --test scenario_golden -- --nocapture print_fingerprints`
-//! and update `SMOKE_GOLDEN_FINGERPRINT` in `crates/scenario` for the
-//! small scenario.
+//! stream change, calibration tweak), re-record every pin in one pass:
+//! `cargo run --release -p dirq-bench --bin record_goldens`
 
+use dirq::goldens::{
+    churn_lossy_spec, large_spec, medium_spec, multi_sink_spec, redeploy_spec, small_spec,
+    xlarge_spec, GOLDEN_CHURN_LOSSY, GOLDEN_LARGE, GOLDEN_MEDIUM, GOLDEN_MULTI_SINK,
+    GOLDEN_REDEPLOY, GOLDEN_XLARGE,
+};
 use dirq::prelude::*;
-use dirq::scenario::registry::{self, SMOKE_GOLDEN_FINGERPRINT};
-
-/// Small: the CI smoke preset — 100-node jittered grid, 400 epochs.
-fn small() -> ScenarioSpec {
-    registry::smoke()
-}
-
-/// Medium: 300 nodes at 30 % sensor coverage under ATC, 300 epochs.
-fn medium() -> ScenarioSpec {
-    registry::hetero_types_300().scaled(0.125)
-}
-
-/// Large: the 2 000-node grid deployment, 40 epochs.
-fn large() -> ScenarioSpec {
-    registry::grid_2000().scaled(0.1)
-}
-
-/// Extra-large: the 5 000-node stress deployment at the scaling floor
-/// (80 epochs) — the full report pipeline over a >`DENSE_LINK_MAX_NODES`
-/// topology, inside tier-1 `cargo test`.
-fn xlarge() -> ScenarioSpec {
-    registry::stress_5000().scaled(0.1)
-}
-
-/// Multi-sink: the 400-node nearest-sink-attachment grid, 300 epochs.
-fn multi_sink() -> ScenarioSpec {
-    registry::multi_sink_grid_400().scaled(0.25)
-}
-
-/// Lossy × churn: shadowed log-distance radio with mid-run deaths,
-/// 400 epochs.
-fn churn_lossy() -> ScenarioSpec {
-    registry::churn_lossy_250().scaled(0.25)
-}
-
-/// Redeployment: the staged-births preset, 600 epochs (the birth window
-/// scales with the run, so the wave still lands mid-run).
-fn redeploy() -> ScenarioSpec {
-    registry::redeploy_150().scaled(0.25)
-}
-
-/// Golden fingerprint of the [`medium`] sweep report.
-const GOLDEN_MEDIUM: u64 = 0xC68601F1512FF70B;
-
-/// Golden fingerprint of the [`large`] sweep report.
-const GOLDEN_LARGE: u64 = 0x8357DEAC42925C97;
-
-/// Golden fingerprint of the [`xlarge`] sweep report. The SoA/occupancy
-/// hot-path refactor was verified behaviour-preserving against this and
-/// the full-budget `BENCH_2.json` registry fingerprints; the edge-aligned
-/// neighbour arena + colour-class parallel frame were verified against
-/// all of the pins in this file.
-const GOLDEN_XLARGE: u64 = 0xC62599E6862F863E;
-
-/// Golden fingerprint of the [`multi_sink`] sweep report.
-const GOLDEN_MULTI_SINK: u64 = 0x61136063BF475B80;
-
-/// Golden fingerprint of the [`churn_lossy`] sweep report.
-const GOLDEN_CHURN_LOSSY: u64 = 0x0F02F375FECB8B7A;
-
-/// Golden fingerprint of the [`redeploy`] sweep report.
-const GOLDEN_REDEPLOY: u64 = 0x3433767E868A6B5B;
+use dirq::scenario::registry::SMOKE_GOLDEN_FINGERPRINT;
 
 fn report_for(spec: ScenarioSpec, threads: usize) -> ScenarioReport {
     run_matrix_report(&[spec], &SweepConfig { threads, ..SweepConfig::default() })
 }
 
 #[test]
-fn print_fingerprints() {
-    // Not an assertion: convenience target for re-recording the constants.
-    println!("SMOKE_GOLDEN_FINGERPRINT = {:#018X}", report_for(small(), 1).stable_fingerprint());
-    println!("GOLDEN_MEDIUM            = {:#018X}", report_for(medium(), 1).stable_fingerprint());
-    println!("GOLDEN_LARGE             = {:#018X}", report_for(large(), 1).stable_fingerprint());
-    println!("GOLDEN_XLARGE            = {:#018X}", report_for(xlarge(), 1).stable_fingerprint());
-    println!(
-        "GOLDEN_MULTI_SINK        = {:#018X}",
-        report_for(multi_sink(), 1).stable_fingerprint()
-    );
-    println!(
-        "GOLDEN_CHURN_LOSSY       = {:#018X}",
-        report_for(churn_lossy(), 1).stable_fingerprint()
-    );
-    println!("GOLDEN_REDEPLOY          = {:#018X}", report_for(redeploy(), 1).stable_fingerprint());
-}
-
-#[test]
 fn small_scenario_matches_golden() {
     assert_eq!(
-        report_for(small(), 1).stable_fingerprint(),
+        report_for(small_spec(), 1).stable_fingerprint(),
         SMOKE_GOLDEN_FINGERPRINT,
         "small scenario drifted from the recorded golden"
     );
@@ -112,7 +36,7 @@ fn small_scenario_matches_golden() {
 #[test]
 fn medium_scenario_matches_golden() {
     assert_eq!(
-        report_for(medium(), 1).stable_fingerprint(),
+        report_for(medium_spec(), 1).stable_fingerprint(),
         GOLDEN_MEDIUM,
         "medium scenario drifted from the recorded golden"
     );
@@ -121,7 +45,7 @@ fn medium_scenario_matches_golden() {
 #[test]
 fn large_scenario_matches_golden() {
     assert_eq!(
-        report_for(large(), 1).stable_fingerprint(),
+        report_for(large_spec(), 1).stable_fingerprint(),
         GOLDEN_LARGE,
         "large (2000-node grid) scenario drifted from the recorded golden"
     );
@@ -130,7 +54,7 @@ fn large_scenario_matches_golden() {
 #[test]
 fn xlarge_scenario_matches_golden() {
     assert_eq!(
-        report_for(xlarge(), 1).stable_fingerprint(),
+        report_for(xlarge_spec(), 1).stable_fingerprint(),
         GOLDEN_XLARGE,
         "xlarge (5000-node, CSR has_link fallback) scenario drifted from the recorded golden"
     );
@@ -139,7 +63,7 @@ fn xlarge_scenario_matches_golden() {
 #[test]
 fn multi_sink_scenario_matches_golden() {
     assert_eq!(
-        report_for(multi_sink(), 1).stable_fingerprint(),
+        report_for(multi_sink_spec(), 1).stable_fingerprint(),
         GOLDEN_MULTI_SINK,
         "multi-sink scenario drifted from the recorded golden"
     );
@@ -148,7 +72,7 @@ fn multi_sink_scenario_matches_golden() {
 #[test]
 fn churn_lossy_scenario_matches_golden() {
     assert_eq!(
-        report_for(churn_lossy(), 1).stable_fingerprint(),
+        report_for(churn_lossy_spec(), 1).stable_fingerprint(),
         GOLDEN_CHURN_LOSSY,
         "lossy x churn scenario drifted from the recorded golden"
     );
@@ -157,7 +81,7 @@ fn churn_lossy_scenario_matches_golden() {
 #[test]
 fn redeploy_scenario_matches_golden() {
     assert_eq!(
-        report_for(redeploy(), 1).stable_fingerprint(),
+        report_for(redeploy_spec(), 1).stable_fingerprint(),
         GOLDEN_REDEPLOY,
         "redeployment (births) scenario drifted from the recorded golden"
     );
@@ -165,8 +89,8 @@ fn redeploy_scenario_matches_golden() {
 
 #[test]
 fn report_identical_across_thread_counts() {
-    let sequential = report_for(small(), 1);
-    let parallel = report_for(small(), 4);
+    let sequential = report_for(small_spec(), 1);
+    let parallel = report_for(small_spec(), 4);
     assert_eq!(
         sequential.stable_fingerprint(),
         parallel.stable_fingerprint(),
@@ -174,4 +98,24 @@ fn report_identical_across_thread_counts() {
     );
     // And the JSON artifact is byte-identical too.
     assert_eq!(sequential.to_json().render_pretty(), parallel.to_json().render_pretty());
+}
+
+#[test]
+fn report_identical_across_intra_run_workers() {
+    // MAC colour-class workers and world-generation workers shard inside
+    // one simulation; neither may move the report fingerprint. (At this
+    // preset's 100 nodes the world knob resolves to the serial loop —
+    // the sharded advance itself is pinned by world_differential.rs; the
+    // smoke-scaled registry gate in `scenario_matrix --smoke` covers the
+    // ≥2 000-node presets where both shard paths really engage.)
+    let serial = report_for(small_spec(), 1);
+    let sharded = run_matrix_report(
+        &[small_spec()],
+        &SweepConfig { threads: 1, mac_workers: 4, world_workers: 4, ..SweepConfig::default() },
+    );
+    assert_eq!(
+        serial.stable_fingerprint(),
+        sharded.stable_fingerprint(),
+        "intra-run worker knobs changed the report"
+    );
 }
