@@ -1,0 +1,77 @@
+//! Measure the per-phase serial share of a large-preset epoch.
+//!
+//! Runs a registry preset with the engine's phase-timing instrumentation
+//! enabled and reports how the epoch budget splits between the synthetic
+//! world advance, protocol-plane upkeep, the MAC slot loop, indication
+//! dispatch and end-of-epoch finalisation — the measurement behind the
+//! ROADMAP's "protocol dispatch is the remaining serial wall" figures.
+//! Re-run it (before/after, serial vs sharded) when the dispatch path
+//! changes; the PR-by-PR history lives in PERFORMANCE.md.
+//!
+//! Usage: `dispatch_probe [--preset NAME] [--epochs N] [--dispatch-workers W]`
+
+use std::time::Instant;
+
+use dirq_core::Engine;
+
+fn main() {
+    let mut preset = String::from("stress_5000");
+    let mut epochs: u64 = 60;
+    let mut dispatch_workers: usize = 1;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--preset" => preset = args.next().expect("--preset needs a name"),
+            "--epochs" => {
+                epochs = args.next().and_then(|v| v.parse().ok()).expect("--epochs needs a number")
+            }
+            "--dispatch-workers" => {
+                dispatch_workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--dispatch-workers needs a count")
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    let spec = dirq_scenario::preset(&preset).expect("registry preset");
+    let scheme = spec.schemes[0];
+    let mut cfg = spec.config(scheme, spec.seed);
+    cfg.epochs = epochs;
+    cfg.measure_from_epoch = epochs / 5;
+    cfg.dispatch_workers = dispatch_workers;
+
+    let mut engine = Engine::new(cfg.clone());
+    engine.enable_phase_timing();
+    let t = Instant::now();
+    for _ in 0..epochs {
+        engine.step_epoch();
+    }
+    let wall = t.elapsed().as_secs_f64();
+    let eps = epochs as f64 / wall;
+    let ph = engine.phase_timings().expect("timing enabled");
+
+    let phases = [
+        ("world advance", ph.world),
+        ("protocol upkeep", ph.protocol),
+        ("MAC slot loop", ph.mac),
+        ("indication dispatch", ph.dispatch),
+        ("finalisation", ph.finalize),
+    ];
+    let accounted: f64 = phases.iter().map(|(_, s)| s).sum();
+    println!(
+        "preset {preset}: {epochs} epochs, {} nodes, {dispatch_workers} dispatch workers",
+        cfg.n_nodes
+    );
+    println!("run loop: {eps:.0} epochs/s ({wall:.2}s wall)");
+    for (name, secs) in phases {
+        println!("  {name:<20} {:>6.2}s  {:>5.1}% of epoch", secs, secs / wall * 100.0);
+    }
+    println!(
+        "  {:<20} {:>6.2}s  {:>5.1}% of epoch",
+        "unattributed",
+        wall - accounted,
+        (wall - accounted) / wall * 100.0
+    );
+}

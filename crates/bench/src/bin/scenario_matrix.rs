@@ -3,7 +3,7 @@
 //!
 //! Modes:
 //!
-//! * default — the full registry (100–5 000 nodes, including the ≥2 000
+//! * default — the full registry (100–50 000 nodes, including the ≥2 000
 //!   node deployments) at its recorded epoch budgets; writes the artifact
 //!   with a per-large-preset epochs/s throughput section and a history
 //!   trail of earlier recorded (wall-seconds, fingerprint) pairs.
@@ -19,15 +19,17 @@
 //! * `--list` — print the registry and exit.
 //!
 //! The smoke perf tripwire compares fresh short-run epochs/s of
-//! `grid_2000`/`stress_5000` against the throughput recorded in
-//! `BENCH_2.json` and fails below `floor × recorded`. The floor defaults
-//! to 0.35 (CI runners are slower and noisier than the recording box) and
-//! can be overridden with `--perf-floor F` or the `DIRQ_PERF_FLOOR`
-//! environment variable; `0` disables the tripwire entirely.
+//! `grid_2000`/`stress_5000`/`stress_20000` against the throughput
+//! recorded in `BENCH_2.json` and fails below `floor × recorded`. The
+//! floor defaults to 0.35 (CI runners are slower and noisier than the
+//! recording box) and can be overridden with `--perf-floor F` or the
+//! `DIRQ_PERF_FLOOR` environment variable; `0` disables the tripwire
+//! entirely.
 //!
 //! Usage: `scenario_matrix [--preset NAME] [--epoch-scale F] [--quick]
-//! [--threads T] [--mac-workers W] [--world-workers W] [--replicates R]
-//! [--perf-floor F] [--out PATH] [--smoke] [--list]`
+//! [--threads T] [--mac-workers W] [--world-workers W]
+//! [--dispatch-workers W] [--replicates R] [--perf-floor F] [--out PATH]
+//! [--smoke] [--list]`
 
 use dirq_bench::matrix;
 use dirq_scenario::{registry, run_matrix_report, ScenarioSpec, SweepConfig};
@@ -39,8 +41,8 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: scenario_matrix [--preset NAME] [--epoch-scale F] [--quick] \
-         [--threads T] [--mac-workers W] [--world-workers W] [--replicates R] \
-         [--perf-floor F] [--out PATH] [--smoke] [--list]"
+         [--threads T] [--mac-workers W] [--world-workers W] [--dispatch-workers W] \
+         [--replicates R] [--perf-floor F] [--out PATH] [--smoke] [--list]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -92,6 +94,12 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--world-workers needs a number"))
+            }
+            "--dispatch-workers" => {
+                cfg.dispatch_workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--dispatch-workers needs a number"))
             }
             "--replicates" => {
                 cfg.replicates = args
@@ -153,15 +161,17 @@ fn main() {
 /// round-trip, a staleness check of the checked-in `BENCH_2.json`, and
 /// the perf-trajectory tripwire. Any failure exits non-zero.
 ///
-/// Only the worker knobs (`--mac-workers`/`--world-workers`) flow in
-/// from the command line — the CI worker matrix exercises the parallel
-/// MAC and world-generation paths, and neither may move a fingerprint.
-/// Budget knobs (`--epoch-scale`, `--quick`, `--replicates`) are
-/// deliberately ignored: the smoke goldens are recorded at fixed budgets.
+/// Only the worker knobs (`--mac-workers`/`--world-workers`/
+/// `--dispatch-workers`) flow in from the command line — the CI worker
+/// matrix exercises the parallel MAC, world-generation and protocol
+/// dispatch paths, and none may move a fingerprint. Budget knobs
+/// (`--epoch-scale`, `--quick`, `--replicates`) are deliberately
+/// ignored: the smoke goldens are recorded at fixed budgets.
 fn run_smoke(out: &str, cli_cfg: &SweepConfig, floor: f64) {
     let base_cfg = &SweepConfig {
         mac_workers: cli_cfg.mac_workers,
         world_workers: cli_cfg.world_workers,
+        dispatch_workers: cli_cfg.dispatch_workers,
         ..SweepConfig::default()
     };
     // The recorded artifact must match the registry golden — catching PRs
@@ -212,12 +222,14 @@ fn run_smoke(out: &str, cli_cfg: &SweepConfig, floor: f64) {
         );
         std::process::exit(1);
     }
-    // Golden worker-invariance gate for the parallel MAC and world paths:
-    // the whole registry (scaled to smoke budgets) serial vs with the
-    // requested intra-run worker knobs engaged — identical report
-    // fingerprints. Only meaningful when a worker knob is > 1, so the
-    // serial CI matrix leg skips the two extra registry sweeps.
-    let workers = base_cfg.mac_workers.max(base_cfg.world_workers).max(1);
+    // Golden worker-invariance gate for the parallel MAC, world and
+    // protocol-dispatch paths: the whole registry (scaled to smoke
+    // budgets) serial vs with the requested intra-run worker knobs
+    // engaged — identical report fingerprints. Only meaningful when a
+    // worker knob is > 1, so the serial CI matrix leg skips the two
+    // extra registry sweeps.
+    let workers =
+        base_cfg.mac_workers.max(base_cfg.world_workers).max(base_cfg.dispatch_workers).max(1);
     if workers > 1 {
         let registry_scale = 0.1;
         let reg1 = run_matrix_report(
@@ -226,6 +238,7 @@ fn run_smoke(out: &str, cli_cfg: &SweepConfig, floor: f64) {
                 threads: 1,
                 mac_workers: 1,
                 world_workers: 1,
+                dispatch_workers: 1,
                 epoch_scale: registry_scale,
                 ..SweepConfig::default()
             },
@@ -236,6 +249,7 @@ fn run_smoke(out: &str, cli_cfg: &SweepConfig, floor: f64) {
                 threads: 4,
                 mac_workers: base_cfg.mac_workers.max(1),
                 world_workers: base_cfg.world_workers.max(1),
+                dispatch_workers: base_cfg.dispatch_workers.max(1),
                 epoch_scale: registry_scale,
                 ..SweepConfig::default()
             },
@@ -243,11 +257,13 @@ fn run_smoke(out: &str, cli_cfg: &SweepConfig, floor: f64) {
         if reg1.stable_fingerprint() != reg_sharded.stable_fingerprint() {
             eprintln!(
                 "FAIL: registry diverges across worker counts: {:#018X} (serial) vs \
-                 {:#018X} (4 sweep threads x {} MAC workers x {} world workers)",
+                 {:#018X} (4 sweep threads x {} MAC workers x {} world workers x {} \
+                 dispatch workers)",
                 reg1.stable_fingerprint(),
                 reg_sharded.stable_fingerprint(),
                 base_cfg.mac_workers.max(1),
                 base_cfg.world_workers.max(1),
+                base_cfg.dispatch_workers.max(1),
             );
             std::process::exit(1);
         }
@@ -265,7 +281,7 @@ fn run_smoke(out: &str, cli_cfg: &SweepConfig, floor: f64) {
     // re-recording the trajectory.
     if floor > 0.0 {
         let doc = bench2.expect("BENCH_2.json verified above");
-        for name in ["grid_2000", "stress_5000"] {
+        for name in ["grid_2000", "stress_5000", "stress_20000"] {
             // Short-budget spec: enough run-loop epochs for a stable
             // epochs/s estimate without full-budget wall time.
             let spec = registry::preset(name).expect("registry preset").scaled(0.05);

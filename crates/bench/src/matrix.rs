@@ -39,7 +39,8 @@ pub fn history_with(path: &str, report: &ScenarioReport, wall: f64) -> Json {
 }
 
 /// Run-loop epochs/s of one preset at `threads` intra-run workers (MAC
-/// colour-class shards *and* world-generation shards), best of `repeats`.
+/// colour-class shards, world-generation shards *and* protocol-dispatch
+/// shards), best of `repeats`.
 /// Returns `(epochs_per_sec, epochs, fingerprint)`.
 pub fn measure_throughput(spec: &ScenarioSpec, threads: usize, repeats: usize) -> (f64, u64, u64) {
     let scheme = spec.schemes[0];
@@ -50,6 +51,7 @@ pub fn measure_throughput(spec: &ScenarioSpec, threads: usize, repeats: usize) -
         let mut run_cfg = spec.config(scheme, spec.seed);
         run_cfg.lmac.workers = threads;
         run_cfg.world_workers = threads;
+        run_cfg.dispatch_workers = threads;
         let engine = Engine::new(run_cfg);
         let t = Instant::now();
         let r = engine.run();
@@ -87,11 +89,11 @@ pub fn run_and_record(specs: &[ScenarioSpec], cfg: &SweepConfig, out: &str) -> S
     );
 
     let mut doc = artifact(&report, cfg, wall);
-    // Per-epoch throughput of the two largest presets, measured on the run
+    // Per-epoch throughput of the largest presets, measured on the run
     // loop only (setup excluded) — the trajectory the ROADMAP perf work is
     // gated on, and the baseline of the CI perf-floor tripwire.
     let mut throughput = Vec::new();
-    for name in ["grid_2000", "stress_5000"] {
+    for name in ["grid_2000", "stress_5000", "stress_20000"] {
         if !specs.iter().any(|s| s.name == name) {
             continue;
         }

@@ -16,13 +16,14 @@
 
 use dirq_data::sensor::SensorAssignment;
 use dirq_data::workload::CalibratedQuery;
-use dirq_data::{QueryGenerator, QueryId, RangeQuery, SensorCatalog, SensorWorld, WorldConfig};
+use dirq_data::{QueryGenerator, QueryId, SensorCatalog, SensorWorld, WorldConfig};
 use dirq_lmac::network::MacStats;
-use dirq_lmac::{Destination, LmacConfig, LmacNetwork, MacIndication};
+use dirq_lmac::{Destination, LmacConfig, LmacNetwork, MacIndication, PayloadHandle};
 use dirq_net::churn::ChurnPlan;
 use dirq_net::placement::{Placement, SinkPlacement};
 use dirq_net::radio::{LogDistance, UnitDisk};
 use dirq_net::{NodeId, SpanningTree, Topology};
+use dirq_sim::runner::WorkerPool;
 use dirq_sim::stats::Ewma;
 use dirq_sim::{RngFactory, SimRng};
 
@@ -33,6 +34,7 @@ use crate::flooding::FloodingNode;
 use crate::messages::{DirqMessage, EhrMessage, MessageCategory};
 use crate::metrics::{Metrics, QueryOutcome};
 use crate::node::{DirqNode, NodeConfig, Outgoing};
+use crate::pending::{PendingQuery, PendingSet};
 use crate::sampling::{Sampler, SamplingStrategy};
 
 /// Which dissemination protocol a run uses.
@@ -164,6 +166,11 @@ pub struct ScenarioConfig {
     /// streams shard over node ranges). Like `lmac.workers`, never affects
     /// results — the sharded advance is bit-identical at any count.
     pub world_workers: usize,
+    /// Worker threads for protocol-plane indication dispatch between MAC
+    /// slots (listener-aligned chunks over a worker pool, with the shared
+    /// effects replayed in slot order). Like `lmac.workers`, never affects
+    /// results — the sharded dispatch is bit-identical at any count.
+    pub dispatch_workers: usize,
     /// Epochs to wait after injection before scoring a query.
     pub completion_window: u64,
     /// Warm-up epochs excluded from aggregate statistics.
@@ -211,6 +218,7 @@ impl ScenarioConfig {
             churn: ChurnSpec::None,
             world: None,
             world_workers: 1,
+            dispatch_workers: 1,
             completion_window: 16,
             measure_from_epoch: 400,
             atc_band_center: 0.5,
@@ -321,14 +329,23 @@ impl RunResult {
     }
 }
 
-/// An in-flight query being scored.
-struct PendingQuery {
-    query: RangeQuery,
-    epoch: u64,
-    truth: dirq_data::workload::GroundTruth,
-    received: Vec<bool>,
-    tx: u64,
-    rx: u64,
+/// Wall-clock split of a run across the engine's per-epoch phases,
+/// collected when [`Engine::enable_phase_timing`] is on (the
+/// `dispatch_probe` bin reports it). Purely observational — timing never
+/// feeds back into the simulation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimings {
+    /// Seconds advancing the synthetic world.
+    pub world: f64,
+    /// Seconds in protocol-plane upkeep: churn, tree repair, EHr
+    /// broadcast, sensor sampling and query injection.
+    pub protocol: f64,
+    /// Seconds advancing MAC slots.
+    pub mac: f64,
+    /// Seconds dispatching MAC indications to the protocol handlers.
+    pub dispatch: f64,
+    /// Seconds in end-of-epoch housekeeping, including query finalisation.
+    pub finalize: f64,
 }
 
 /// The simulation engine.
@@ -342,7 +359,7 @@ pub struct Engine {
     alive: Vec<bool>,
     qgen: QueryGenerator,
     churn: ChurnPlan,
-    pending: Vec<PendingQuery>,
+    pending: PendingSet,
     metrics: Metrics,
     epoch: u64,
     mac_rng: SimRng,
@@ -368,6 +385,23 @@ pub struct Engine {
     attach_queue: Vec<NodeId>,
     /// Reusable MAC indication buffer for [`Engine::run_mac_frame`].
     ind_buf: Vec<MacIndication<DirqMessage>>,
+    /// Scratch: queries due for finalisation this epoch.
+    finalize_buf: Vec<PendingQuery>,
+    /// Scratch: true-source membership bits for [`Engine::finalize_query`]
+    /// (set and cleared per query).
+    source_mark: Vec<bool>,
+    /// Worker pool for sharded indication dispatch (`None` = serial; the
+    /// `dispatch_workers` knob resolves here against the host parallelism
+    /// and a node-count floor).
+    dispatch_pool: Option<WorkerPool>,
+    /// Per-worker effect buffers for sharded dispatch; empty when serial.
+    dispatch_shards: Vec<DispatchShard>,
+    /// Scratch: listener-aligned `[start, end)` chunk bounds per worker.
+    dispatch_chunks: Vec<(u32, u32)>,
+    /// Test hook: shard every slot regardless of the size thresholds.
+    force_sharded: bool,
+    /// Per-phase wall-clock accumulators (`None` = timing off).
+    timing: Option<Box<PhaseTimings>>,
     u_max_per_hour: f64,
     analytic0: TopologyCosts,
     delta_trace: Vec<(u64, f64)>,
@@ -575,6 +609,18 @@ impl Engine {
             .map(|f| f * (analytic0.n.saturating_sub(1)) as f64 * queries_per_hour)
             .unwrap_or(0.0);
 
+        // Sharded dispatch engages only when the knob asks for several
+        // workers, the deployment is big enough to feed them and the host
+        // actually has the cores (WorkerPool clamps to the hardware) — a
+        // 1-core box resolves to the serial loop.
+        let dispatch_pool = (cfg.dispatch_workers.max(1) > 1 && n >= DISPATCH_MIN_NODES)
+            .then(|| WorkerPool::new(cfg.dispatch_workers))
+            .filter(|p| p.workers() > 1);
+        let dispatch_shards: Vec<DispatchShard> = match &dispatch_pool {
+            Some(p) => (0..p.workers()).map(|_| DispatchShard::default()).collect(),
+            None => Vec::new(),
+        };
+
         Engine {
             metrics: Metrics::new(cfg.measure_from_epoch),
             mac_rng: factory.stream("mac"),
@@ -594,8 +640,15 @@ impl Engine {
             attach_depth: vec![None; n],
             attach_queue: Vec::with_capacity(n),
             ind_buf: Vec::with_capacity(64),
+            finalize_buf: Vec::new(),
+            source_mark: vec![false; n],
+            dispatch_pool,
+            dispatch_shards,
+            dispatch_chunks: Vec::new(),
+            force_sharded: false,
+            timing: None,
             delta_trace: Vec::new(),
-            pending: Vec::new(),
+            pending: PendingSet::new(cfg.completion_window),
             queries_injected: 0,
             epoch: 0,
             u_max_per_hour,
@@ -641,6 +694,43 @@ impl Engine {
         &self.world
     }
 
+    /// Collect per-phase wall-clock timings from now on (see
+    /// [`Engine::phase_timings`]). Observational only.
+    pub fn enable_phase_timing(&mut self) {
+        self.timing.get_or_insert_with(Default::default);
+    }
+
+    /// Accumulated per-phase timings, when enabled.
+    pub fn phase_timings(&self) -> Option<PhaseTimings> {
+        self.timing.as_deref().copied()
+    }
+
+    /// Test hook: shard indication dispatch over `workers` shards on every
+    /// slot, bypassing the size thresholds (the differential suite pins
+    /// this path bit-equal to the serial reference). On hosts with fewer
+    /// cores the pool degrades to the caller draining all chunks — the
+    /// chunk/merge logic still runs in full.
+    #[doc(hidden)]
+    pub fn force_sharded_dispatch(&mut self, workers: usize) {
+        assert!(workers > 1, "forcing sharded dispatch requires at least two shards");
+        self.dispatch_pool = Some(WorkerPool::new(workers));
+        self.dispatch_shards = (0..workers).map(|_| DispatchShard::default()).collect();
+        self.force_sharded = true;
+    }
+
+    /// Test observability: the in-flight query set in finalisation order as
+    /// `(id, inject epoch, tx, rx, receivers marked)` tuples.
+    #[doc(hidden)]
+    pub fn pending_snapshot(&self) -> Vec<(u64, u64, u64, u64, u64)> {
+        self.pending
+            .iter_in_order()
+            .map(|p| {
+                let marked = p.received.iter().filter(|&&r| r).count() as u64;
+                (p.query.id.0, p.epoch, p.tx, p.rx, marked)
+            })
+            .collect()
+    }
+
     /// Post-deployment extensibility (paper Section 4.1/Fig. 4): equip
     /// `node` with an additional sensor at runtime. From the next epoch the
     /// node samples the new type; the resulting Updates create the missing
@@ -684,8 +774,7 @@ impl Engine {
             self.step_epoch();
         }
         // Score whatever is still in flight.
-        let leftovers: Vec<PendingQuery> = std::mem::take(&mut self.pending);
-        for p in leftovers {
+        for p in self.pending.take_all_in_order() {
             self.finalize_query(p);
         }
         let final_delta_pcts = self.nodes.iter().map(|n| n.delta_pct()).collect();
@@ -720,10 +809,13 @@ impl Engine {
 
     /// Advance exactly one epoch (public for fine-grained tests).
     pub fn step_epoch(&mut self) {
+        let t0 = self.phase_start();
         if self.epoch > 0 {
             self.world.advance_epoch();
         }
+        self.phase_lap(t0, |t| &mut t.world);
 
+        let t0 = self.phase_start();
         self.apply_churn();
         if self.cfg.protocol == Protocol::Dirq {
             if self.epoch == 0 && self.cfg.location_enabled {
@@ -747,9 +839,29 @@ impl Engine {
         if self.qgen.should_fire(self.epoch) {
             self.inject_query();
         }
+        self.phase_lap(t0, |t| &mut t.protocol);
         self.run_mac_frame();
+        let t0 = self.phase_start();
         self.end_epoch_housekeeping();
+        self.phase_lap(t0, |t| &mut t.finalize);
         self.epoch += 1;
+    }
+
+    /// Start a phase lap — `None` (no clock read at all) when timing is
+    /// off, so the hot path stays untouched.
+    fn phase_start(&self) -> Option<std::time::Instant> {
+        self.timing.is_some().then(std::time::Instant::now)
+    }
+
+    /// Close a phase lap into the accumulator `pick` selects.
+    fn phase_lap(
+        &mut self,
+        started: Option<std::time::Instant>,
+        pick: fn(&mut PhaseTimings) -> &mut f64,
+    ) {
+        if let (Some(t0), Some(t)) = (started, self.timing.as_deref_mut()) {
+            *pick(t) += t0.elapsed().as_secs_f64();
+        }
     }
 
     // --- epoch phases -----------------------------------------------------------
@@ -1013,7 +1125,7 @@ impl Engine {
             return;
         };
         self.queries_injected += 1;
-        self.pending.push(PendingQuery {
+        self.pending.insert(PendingQuery {
             query,
             epoch: self.epoch,
             truth,
@@ -1046,12 +1158,115 @@ impl Engine {
         let mut buf = std::mem::take(&mut self.ind_buf);
         for _ in 0..slots {
             buf.clear();
+            let t0 = self.phase_start();
             self.mac.advance_slot_into(&mut self.mac_rng, &mut buf);
-            for ind in buf.drain(..) {
-                self.dispatch_indication(ind);
-            }
+            self.phase_lap(t0, |t| &mut t.mac);
+            let t0 = self.phase_start();
+            self.dispatch_slot(&mut buf);
+            self.phase_lap(t0, |t| &mut t.dispatch);
         }
         self.ind_buf = buf;
+    }
+
+    /// Dispatch one slot's indications: the sharded path when several
+    /// dispatch shards are configured and the slot's shardable prefix is
+    /// worth the fan-out, the serial reference loop otherwise.
+    fn dispatch_slot(&mut self, buf: &mut Vec<MacIndication<DirqMessage>>) {
+        if self.dispatch_shards.len() > 1 {
+            let prefix = dispatch_prefix_len(buf);
+            if prefix > 0 && (self.force_sharded || prefix >= DISPATCH_MIN_PREFIX) {
+                self.dispatch_slot_sharded(buf, prefix);
+                return;
+            }
+        }
+        for ind in buf.drain(..) {
+            self.dispatch_indication(ind);
+        }
+    }
+
+    /// Shard the slot's Delivered/NeighborNew prefix over the worker pool
+    /// in listener-aligned chunks, then replay the collected shared-state
+    /// effects in chunk order — bit-identical to the serial loop at any
+    /// worker count. The tail past the prefix (undeliverables,
+    /// frame-boundary death notices) always runs serially.
+    fn dispatch_slot_sharded(&mut self, buf: &mut Vec<MacIndication<DirqMessage>>, prefix: usize) {
+        let nshards = self.dispatch_shards.len();
+        let mut chunks = std::mem::take(&mut self.dispatch_chunks);
+        chunks.clear();
+        let mut start = 0usize;
+        while start < prefix {
+            let k = chunks.len();
+            let mut end =
+                if k + 1 >= nshards { prefix } else { (prefix * (k + 1) / nshards).max(start + 1) };
+            // Never split an equal-listener run: per-node handler state
+            // must stay inside one chunk.
+            while end < prefix && dispatch_listener(&buf[end]) == dispatch_listener(&buf[end - 1]) {
+                end += 1;
+            }
+            chunks.push((start as u32, end as u32));
+            start = end;
+        }
+        let nchunks = chunks.len();
+
+        let mut shards = std::mem::take(&mut self.dispatch_shards);
+        let mut pool = self.dispatch_pool.take().expect("sharded dispatch requires a pool");
+        {
+            let phase = DispatchPhase {
+                nodes: self.nodes.as_mut_ptr(),
+                flood: self.flood.as_mut_ptr(),
+                shards: shards.as_mut_ptr(),
+                inds: &buf[..prefix],
+                chunks: &chunks,
+            };
+            pool.run(nchunks, &|k| unsafe { phase.run_chunk(k) });
+        }
+        self.dispatch_pool = Some(pool);
+        // Replay the shared-state effects in chunk order — exactly the
+        // order the serial loop would have produced them in.
+        for shard in shards.iter_mut().take(nchunks) {
+            let mut effects = std::mem::take(&mut shard.effects);
+            for e in effects.drain(..) {
+                self.apply_effect(e);
+            }
+            shard.effects = effects;
+        }
+        self.dispatch_shards = shards;
+        self.dispatch_chunks = chunks;
+        for ind in buf.drain(prefix..) {
+            self.dispatch_indication(ind);
+        }
+        buf.clear();
+    }
+
+    /// Apply one shared-state effect collected by a dispatch shard. Each
+    /// arm mirrors its serial counterpart in [`Engine::dispatch_indication`]
+    /// / [`Engine::dispatch_outgoing`] verbatim.
+    fn apply_effect(&mut self, e: Effect) {
+        match e {
+            Effect::Rx { category, query } => {
+                self.metrics.on_rx(category, self.epoch);
+                if let Some(id) = query {
+                    if let Some(p) = self.pending.get_mut(id) {
+                        p.rx += 1;
+                    }
+                }
+            }
+            Effect::MarkReceived { query, node } => {
+                if let Some(p) = self.pending.get_mut(query) {
+                    p.received[node.index()] = true;
+                }
+            }
+            Effect::Enqueue { from, dest, msg, category, query } => {
+                if self.mac.enqueue(from, dest, msg) {
+                    self.record_tx_parts(category, query);
+                }
+            }
+            Effect::EnqueueShared { from, payload, query } => {
+                if self.mac.enqueue_shared(from, Destination::Broadcast, payload) {
+                    self.record_tx_parts(MessageCategory::Query, Some(query));
+                }
+            }
+        }
     }
 
     fn end_epoch_housekeeping(&mut self) {
@@ -1062,18 +1277,15 @@ impl Engine {
                 }
             }
         }
-        // Finalise queries whose completion window elapsed.
-        let due_epoch = self.epoch;
-        let window = self.cfg.completion_window;
-        let mut i = 0;
-        while i < self.pending.len() {
-            if due_epoch.saturating_sub(self.pending[i].epoch) >= window {
-                let p = self.pending.swap_remove(i);
-                self.finalize_query(p);
-            } else {
-                i += 1;
-            }
+        // Finalise queries whose completion window elapsed (one expiry-ring
+        // bucket probe per epoch; see `crate::pending`).
+        let mut due = std::mem::take(&mut self.finalize_buf);
+        due.clear();
+        self.pending.expire_due(self.epoch, &mut due);
+        for p in due.drain(..) {
+            self.finalize_query(p);
         }
+        self.finalize_buf = due;
         // δ trace every 100 epochs.
         if self.epoch.is_multiple_of(100) {
             let (sum, count) = self
@@ -1100,7 +1312,7 @@ impl Engine {
     fn record_tx_parts(&mut self, category: MessageCategory, query: Option<QueryId>) {
         self.metrics.on_tx(category, self.epoch);
         if let Some(id) = query {
-            if let Some(p) = self.pending.iter_mut().find(|p| p.query.id == id) {
+            if let Some(p) = self.pending.get_mut(id) {
                 p.tx += 1;
             }
         }
@@ -1109,7 +1321,7 @@ impl Engine {
     fn record_rx(&mut self, msg: &DirqMessage) {
         self.metrics.on_rx(msg.category(), self.epoch);
         if let Some(id) = query_id_of(msg) {
-            if let Some(p) = self.pending.iter_mut().find(|p| p.query.id == id) {
+            if let Some(p) = self.pending.get_mut(id) {
                 p.rx += 1;
             }
         }
@@ -1177,7 +1389,7 @@ impl Engine {
                     }
                     DirqMessage::Query(q) => {
                         if !to.is_root() {
-                            if let Some(p) = self.pending.iter_mut().find(|p| p.query.id == q.id) {
+                            if let Some(p) = self.pending.get_mut(q.id) {
                                 p.received[to.index()] = true;
                             }
                         }
@@ -1190,7 +1402,7 @@ impl Engine {
                         // count as a *reached* node — it injected the query.
                         let qid = q.id;
                         if !to.is_root() {
-                            if let Some(p) = self.pending.iter_mut().find(|p| p.query.id == qid) {
+                            if let Some(p) = self.pending.get_mut(qid) {
                                 p.received[to.index()] = true;
                             }
                         }
@@ -1229,15 +1441,24 @@ impl Engine {
 
     fn finalize_query(&mut self, p: PendingQuery) {
         let received = p.received.iter().filter(|&&r| r).count();
+        // Mark the true sources once, so per-node membership is a bit probe
+        // instead of a scan of the source list (O(n) per query, not
+        // O(n × sources)).
+        for &s in &p.truth.sources {
+            self.source_mark[s.index()] = true;
+        }
         let mut received_should = 0;
         let mut sources_reached = 0;
         for (i, &r) in p.received.iter().enumerate() {
             if r && p.truth.involved[i] {
                 received_should += 1;
             }
-            if r && p.truth.sources.contains(&NodeId::from_index(i)) {
+            if r && self.source_mark[i] {
                 sources_reached += 1;
             }
+        }
+        for &s in &p.truth.sources {
+            self.source_mark[s.index()] = false;
         }
         self.cqd_estimate.observe((p.tx + p.rx) as f64);
         self.metrics.on_query_done(QueryOutcome {
@@ -1259,6 +1480,222 @@ fn query_id_of(msg: &DirqMessage) -> Option<QueryId> {
     match msg {
         DirqMessage::Query(q) | DirqMessage::FloodQuery(q) => Some(q.id),
         _ => None,
+    }
+}
+
+// --- sharded indication dispatch ---------------------------------------------
+//
+// Between MAC slots the engine dispatches each slot's indications to the
+// protocol handlers. The MAC emits them in a fixed shape: a prefix of
+// Delivered/NeighborNew events in non-decreasing listener order (the
+// listener phase scans listeners ascending), then per-transmitter
+// Undeliverable batches, with NeighborDied only at the frame boundary.
+// Handlers touch only their own node's protocol state, so the prefix can
+// be cut into listener-disjoint chunks and run concurrently — everything
+// that touches *shared* state (metrics, pending tallies, MAC enqueues) is
+// collected per chunk as [`Effect`]s and replayed on the engine in chunk
+// order, reproducing the serial loop bit for bit. The serial
+// [`Engine::dispatch_indication`] stays as the reference implementation;
+// `tests/dispatch_differential.rs` pins the two paths against each other.
+
+/// Below this many shardable indications in a slot the fan-out costs more
+/// than the work; the serial loop runs instead.
+const DISPATCH_MIN_PREFIX: usize = 64;
+
+/// Deployments below this node count never produce slots dense enough to
+/// shard; skip even creating the pool.
+const DISPATCH_MIN_NODES: usize = 512;
+
+/// A shared-state mutation collected inside a dispatch chunk, replayed on
+/// the engine in order. Each variant mirrors one serial-path site.
+enum Effect {
+    /// [`Engine::record_rx`] for a delivered payload.
+    Rx { category: MessageCategory, query: Option<QueryId> },
+    /// Mark `node` as having received `query` (the pending tally).
+    MarkReceived { query: QueryId, node: NodeId },
+    /// [`Engine::dispatch_outgoing`]'s enqueue + tx record.
+    Enqueue {
+        from: NodeId,
+        dest: Destination,
+        msg: DirqMessage,
+        category: MessageCategory,
+        query: Option<QueryId>,
+    },
+    /// The zero-copy flooding rebroadcast (enqueue of the interned payload
+    /// handle + tx record).
+    EnqueueShared { from: NodeId, payload: PayloadHandle<DirqMessage>, query: QueryId },
+}
+
+/// One worker's effect buffer, reused across slots.
+#[derive(Default)]
+struct DispatchShard {
+    effects: Vec<Effect>,
+}
+
+/// Shared view of the engine state a dispatch fan-out needs. Raw pointers
+/// because chunks write disjoint `nodes`/`flood`/`shards` elements — the
+/// borrow checker cannot see the listener partition.
+struct DispatchPhase<'a> {
+    nodes: *mut DirqNode,
+    flood: *mut FloodingNode,
+    shards: *mut DispatchShard,
+    inds: &'a [MacIndication<DirqMessage>],
+    chunks: &'a [(u32, u32)],
+}
+
+// SAFETY: `run_chunk(k)` for distinct `k` touches disjoint state — chunk
+// bounds never split an equal-listener run and listeners are
+// non-decreasing, so the node/flood entries written by different chunks
+// never alias, and shard `k` is written by chunk `k` alone.
+unsafe impl Sync for DispatchPhase<'_> {}
+
+impl DispatchPhase<'_> {
+    /// Process chunk `k`'s indications into shard `k`'s effect buffer.
+    ///
+    /// SAFETY: the caller must run each `k < chunks.len()` at most once
+    /// per phase (the worker pool's claim protocol guarantees exactly
+    /// once), with `chunks` a listener-aligned partition of `inds`.
+    unsafe fn run_chunk(&self, k: usize) {
+        let (start, end) = self.chunks[k];
+        let shard = &mut *self.shards.add(k);
+        shard.effects.clear();
+        for ind in &self.inds[start as usize..end as usize] {
+            // NeighborNew — the only other variant in the shardable
+            // prefix — is a protocol-plane no-op (attachment is
+            // initiated by the joining node).
+            if let MacIndication::Delivered { to, from, payload } = ind {
+                let node = &mut *self.nodes.add(to.index());
+                let flood = &mut *self.flood.add(to.index());
+                delivered_effects(node, flood, *to, *from, payload, &mut shard.effects);
+            }
+        }
+    }
+}
+
+/// The listener a shardable indication targets; `None` ends the prefix.
+fn dispatch_listener(ind: &MacIndication<DirqMessage>) -> Option<NodeId> {
+    match ind {
+        MacIndication::Delivered { to, .. } => Some(*to),
+        MacIndication::NeighborNew { observer, .. } => Some(*observer),
+        _ => None,
+    }
+}
+
+/// Length of the leading run of Delivered/NeighborNew indications with
+/// non-decreasing listeners — the region whose handlers touch disjoint
+/// per-node state. The MAC emits the whole listener phase in this shape;
+/// the check is defensive so correctness never depends on that invariant.
+fn dispatch_prefix_len(inds: &[MacIndication<DirqMessage>]) -> usize {
+    let mut prev: Option<NodeId> = None;
+    for (i, ind) in inds.iter().enumerate() {
+        match dispatch_listener(ind) {
+            Some(l) if prev.is_none_or(|p| p <= l) => prev = Some(l),
+            _ => return i,
+        }
+    }
+    inds.len()
+}
+
+/// The sharded replica of [`Engine::dispatch_indication`]'s `Delivered`
+/// arm: run the per-node handlers in place, collect every shared-state
+/// mutation as effects in the exact order the serial arm performs them.
+fn delivered_effects(
+    node: &mut DirqNode,
+    flood: &mut FloodingNode,
+    to: NodeId,
+    from: NodeId,
+    payload: &PayloadHandle<DirqMessage>,
+    effects: &mut Vec<Effect>,
+) {
+    effects.push(Effect::Rx { category: payload.category(), query: query_id_of(payload) });
+    match &**payload {
+        DirqMessage::Update { stype, min, max } => {
+            let outs = node.on_update(from, *stype, *min, *max);
+            queue_outgoing(node, to, outs, effects);
+        }
+        DirqMessage::Retract { stype } => {
+            let outs = node.on_retract(from, *stype);
+            queue_outgoing(node, to, outs, effects);
+        }
+        DirqMessage::Attach => {
+            if node.parent() != Some(from) {
+                node.on_attach(from);
+            }
+        }
+        DirqMessage::Detach => {
+            let outs = node.on_child_lost(from);
+            queue_outgoing(node, to, outs, effects);
+        }
+        DirqMessage::GeoAdvert(rect) => {
+            let outs = node.on_geo_advert(from, *rect);
+            queue_outgoing(node, to, outs, effects);
+        }
+        DirqMessage::Ehr(msg) => {
+            let outs = node.on_ehr(*msg);
+            queue_outgoing(node, to, outs, effects);
+        }
+        DirqMessage::Query(q) => {
+            if !to.is_root() {
+                effects.push(Effect::MarkReceived { query: q.id, node: to });
+            }
+            let outs = node.on_query(q);
+            queue_outgoing(node, to, outs, effects);
+        }
+        DirqMessage::FloodQuery(q) => {
+            let qid = q.id;
+            if !to.is_root() {
+                effects.push(Effect::MarkReceived { query: qid, node: to });
+            }
+            // The duplicate filter is per-node state — resolved in-shard;
+            // only the actual enqueue is deferred.
+            if flood.should_rebroadcast(qid) {
+                effects.push(Effect::EnqueueShared {
+                    from: to,
+                    payload: payload.clone(),
+                    query: qid,
+                });
+            }
+        }
+    }
+}
+
+/// The sharded replica of [`Engine::dispatch_outgoing`]: resolve
+/// addressing against the handler node's state (parents cannot change
+/// inside a slot's shardable prefix) and defer the enqueue as an effect.
+fn queue_outgoing(node: &DirqNode, from: NodeId, outs: Vec<Outgoing>, effects: &mut Vec<Effect>) {
+    for out in outs {
+        match out {
+            Outgoing::ToParent(msg) => {
+                let Some(parent) = node.parent() else {
+                    continue;
+                };
+                let (category, query) = (msg.category(), query_id_of(&msg));
+                effects.push(Effect::Enqueue {
+                    from,
+                    dest: Destination::unicast(parent),
+                    msg,
+                    category,
+                    query,
+                });
+            }
+            Outgoing::ToChildren(dests, msg) => {
+                if dests.is_empty() {
+                    continue;
+                }
+                let (category, query) = (msg.category(), query_id_of(&msg));
+                effects.push(Effect::Enqueue {
+                    from,
+                    dest: Destination::Multicast(dests),
+                    msg,
+                    category,
+                    query,
+                });
+            }
+            Outgoing::DeliverLocal(_query) => {
+                // Same as the serial arm: source accounting happens at
+                // finalisation against ground truth.
+            }
+        }
     }
 }
 

@@ -35,12 +35,14 @@ pub mod geo;
 pub mod messages;
 pub mod metrics;
 pub mod node;
+mod pending;
 pub mod range_table;
 pub mod sampling;
 
 pub use atc::{AtcConfig, AtcController, DeltaPolicy};
 pub use engine::{
-    run_scenario, ChurnSpec, Engine, Protocol, RadioSpec, RunResult, ScenarioConfig, TreeKind,
+    run_scenario, ChurnSpec, Engine, PhaseTimings, Protocol, RadioSpec, RunResult, ScenarioConfig,
+    TreeKind,
 };
 pub use geo::GeoTable;
 pub use messages::{DirqMessage, EhrMessage, MessageCategory};

@@ -1,5 +1,5 @@
 //! The named preset registry: ready-made large-scale scenarios spanning
-//! 100 to 5 000 nodes across the topology families, churn regimes and
+//! 100 to 50 000 nodes across the topology families, churn regimes and
 //! workload mixes the survey literature asks dissemination schemes to be
 //! compared over.
 //!
@@ -201,6 +201,35 @@ pub fn stress_5000() -> ScenarioSpec {
         .build()
 }
 
+/// 20 000 nodes uniformly random at the stress_5000 density (mean degree
+/// ≈ 12) — the first point past the protocol-plane serial wall, and the
+/// deployment the CI perf-trajectory gate runs.
+pub fn stress_20000() -> ScenarioSpec {
+    ScenarioSpec::builder("stress_20000", 20_000)
+        .placement(Placement::UniformRandom { side: 2_000.0 }, SinkPlacement::Corner)
+        .radio_range(28.0)
+        .epochs(200)
+        .slots_per_frame(96)
+        .completion_window(192)
+        .seed(1_015)
+        .build()
+}
+
+/// 50 000 nodes uniformly random, same density — the registry's scale
+/// ceiling; routes run ~100 hops deep, so only queries injected early
+/// score inside the run (the preset is a throughput/scale trajectory
+/// point, not an accuracy benchmark).
+pub fn stress_50000() -> ScenarioSpec {
+    ScenarioSpec::builder("stress_50000", 50_000)
+        .placement(Placement::UniformRandom { side: 3_162.0 }, SinkPlacement::Corner)
+        .radio_range(28.0)
+        .epochs(120)
+        .slots_per_frame(96)
+        .completion_window(96)
+        .seed(1_016)
+        .build()
+}
+
 /// Every preset, smallest first — the matrix the `scenario_matrix` bench
 /// runs and `BENCH_2.json` records.
 pub fn registry() -> Vec<ScenarioSpec> {
@@ -218,6 +247,8 @@ pub fn registry() -> Vec<ScenarioSpec> {
         head_to_head_500(),
         grid_2000(),
         stress_5000(),
+        stress_20000(),
+        stress_50000(),
     ]
 }
 
@@ -250,7 +281,7 @@ pub const SMOKE_GOLDEN_FINGERPRINT: u64 = 0xCC93F65979BB4548;
 /// `cargo run --release -p dirq-bench --bin record_goldens`, which
 /// rewrites this constant in place. (Last re-recorded for the PR 5
 /// split-stream world generator — an intentional full-behaviour break.)
-pub const REGISTRY_GOLDEN_FINGERPRINT: u64 = 0xC1E3AF78D460D819;
+pub const REGISTRY_GOLDEN_FINGERPRINT: u64 = 0x6D356FD772C96E0E;
 
 #[cfg(test)]
 mod tests {
@@ -262,8 +293,8 @@ mod tests {
         assert!(all.len() >= 8, "at least eight presets required");
         let sizes: Vec<usize> = all.iter().map(|s| s.n_nodes).collect();
         assert_eq!(*sizes.iter().min().unwrap(), 100);
-        assert_eq!(*sizes.iter().max().unwrap(), 5_000);
-        assert!(sizes.iter().any(|&n| n >= 2_000), "need a ≥2000-node deployment");
+        assert_eq!(*sizes.iter().max().unwrap(), 50_000);
+        assert!(sizes.iter().any(|&n| n >= 20_000), "need a ≥20000-node deployment");
         // Names are unique and looked up correctly.
         for s in &all {
             assert_eq!(preset(&s.name).unwrap().n_nodes, s.n_nodes);

@@ -34,6 +34,12 @@ pub struct SweepConfig {
     /// results — bit-identical at any count, enforced by the CI smoke
     /// worker matrix and the world differential suite.
     pub world_workers: usize,
+    /// Intra-run protocol-dispatch workers
+    /// ([`dirq_core::ScenarioConfig::dispatch_workers`]): sharded
+    /// indication dispatch between MAC slots inside each simulation.
+    /// Never affects results — bit-identical at any count, enforced by
+    /// the CI smoke worker matrix and the dispatch differential suite.
+    pub dispatch_workers: usize,
 }
 
 impl Default for SweepConfig {
@@ -44,6 +50,7 @@ impl Default for SweepConfig {
             epoch_scale: 1.0,
             mac_workers: 1,
             world_workers: 1,
+            dispatch_workers: 1,
         }
     }
 }
@@ -71,6 +78,7 @@ pub fn run_matrix_report(specs: &[ScenarioSpec], cfg: &SweepConfig) -> ScenarioR
         let mut run_cfg = spec.config(scheme, seed);
         run_cfg.lmac.workers = cfg.mac_workers.max(1);
         run_cfg.world_workers = cfg.world_workers.max(1);
+        run_cfg.dispatch_workers = cfg.dispatch_workers.max(1);
         let run = run_scenario(run_cfg);
         ScenarioOutcome::from_run(&spec.name, &scheme.label(), seed, &run)
     });
@@ -150,6 +158,22 @@ mod tests {
         let serial = run_matrix_report(&specs, &SweepConfig::default());
         let sharded =
             run_matrix_report(&specs, &SweepConfig { world_workers: 4, ..SweepConfig::default() });
+        assert_eq!(serial.stable_fingerprint(), sharded.stable_fingerprint());
+    }
+
+    #[test]
+    fn dispatch_workers_are_result_invariant() {
+        // The dispatch_workers knob must never change a report: same
+        // fingerprint serial and with 4 dispatch workers. (The tiny matrix
+        // sits below the dispatch sharding node floor, so this pins the
+        // knob's serial resolution; the sharded dispatch itself is pinned
+        // by tests/dispatch_differential.rs and the scenario_matrix smoke.)
+        let specs = vec![tiny_matrix().remove(1)];
+        let serial = run_matrix_report(&specs, &SweepConfig::default());
+        let sharded = run_matrix_report(
+            &specs,
+            &SweepConfig { dispatch_workers: 4, ..SweepConfig::default() },
+        );
         assert_eq!(serial.stable_fingerprint(), sharded.stable_fingerprint());
     }
 

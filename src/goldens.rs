@@ -70,6 +70,20 @@ pub fn stress_5000_scenario() -> ScenarioConfig {
     preset_scenario("stress_5000", 24)
 }
 
+/// 20 000-node uniform deployment, 24 epochs — the first point past the
+/// protocol-plane sharding floor, pinned in release mode only (the
+/// `record_goldens` manifest; no debug-tier test asserts it).
+pub fn stress_20000_scenario() -> ScenarioConfig {
+    preset_scenario("stress_20000", 24)
+}
+
+/// 50 000-node uniform deployment, 24 epochs — the registry's scale
+/// ceiling, pinned in release mode only (the `record_goldens` manifest;
+/// no debug-tier test asserts it).
+pub fn stress_50000_scenario() -> ScenarioConfig {
+    preset_scenario("stress_50000", 24)
+}
+
 // --- report-level pins (tests/scenario_golden.rs) ------------------------
 
 /// Small: the CI smoke preset — 100-node jittered grid, 400 epochs.
@@ -134,6 +148,12 @@ pub const GOLDEN_GRID_2000: u64 = 0xC6B4B398470A2A93;
 
 /// Golden fingerprint of [`stress_5000_scenario`].
 pub const GOLDEN_STRESS_5000: u64 = 0x32968FB41C468CD8;
+
+/// Golden fingerprint of [`stress_20000_scenario`].
+pub const GOLDEN_STRESS_20000: u64 = 0x6AD73625527CF480;
+
+/// Golden fingerprint of [`stress_50000_scenario`].
+pub const GOLDEN_STRESS_50000: u64 = 0x9551369E79F990A7;
 
 /// Golden fingerprint of the [`medium_spec`] sweep report.
 pub const GOLDEN_MEDIUM: u64 = 0x889291EC21F8E973;
@@ -245,6 +265,18 @@ pub fn pins() -> Vec<GoldenPin> {
             file: GOLDENS_FILE,
             recorded: GOLDEN_XLARGE,
             compute: || report_fingerprint(xlarge_spec()),
+        },
+        GoldenPin {
+            name: "GOLDEN_STRESS_20000",
+            file: GOLDENS_FILE,
+            recorded: GOLDEN_STRESS_20000,
+            compute: || run_scenario(stress_20000_scenario()).stable_fingerprint(),
+        },
+        GoldenPin {
+            name: "GOLDEN_STRESS_50000",
+            file: GOLDENS_FILE,
+            recorded: GOLDEN_STRESS_50000,
+            compute: || run_scenario(stress_50000_scenario()).stable_fingerprint(),
         },
     ]
 }

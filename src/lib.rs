@@ -18,7 +18,7 @@
 //!   the scenario engine,
 //! * [`analytic`] — the closed-form Section 5 cost model,
 //! * [`scenario`] — declarative experiment specs, a preset registry
-//!   spanning 100–5 000 nodes, and a deterministic sweep executor.
+//!   spanning 100–50 000 nodes, and a deterministic sweep executor.
 //!
 //! ## Quick start
 //!
