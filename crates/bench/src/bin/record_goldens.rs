@@ -9,10 +9,11 @@
 //!   regenerates `BENCH_2.json` from the same full matrix run, so an
 //!   intentional behaviour break lands as one consistent commit; or
 //! * **`--check`** — recomputes everything fresh, compares against the
-//!   checked-in values (constants *and* the `BENCH_2.json` report
-//!   fingerprint) and exits non-zero on any mismatch. This is the CI
-//!   staleness gate: a behaviour change cannot land with half-recorded
-//!   goldens.
+//!   checked-in values (constants, the `BENCH_2.json` report
+//!   fingerprint, and the deterministic `state_fingerprint` fields of
+//!   the loadgen's `BENCH_3.json`) and exits non-zero on any mismatch.
+//!   This is the CI staleness gate: a behaviour change cannot land with
+//!   half-recorded goldens.
 //!
 //! Usage: `record_goldens [--check] [--out PATH]`
 
@@ -53,6 +54,69 @@ fn patch_const(file: &Path, name: &str, value: u64) -> bool {
 fn bench2_fingerprint(path: &Path) -> Option<String> {
     let doc = Json::parse(&std::fs::read_to_string(path).ok()?).ok()?;
     Some(doc.get("report")?.get("report_fingerprint")?.as_str()?.to_string())
+}
+
+/// Staleness check for the loadgen artifact: the wall-clock numbers
+/// (qps, latencies) are machine-specific, but every `state_fingerprint`
+/// in `BENCH_3.json` is a deterministic function of its recorded
+/// deployment recipe — recompute each one fresh and report drift. Also
+/// pins the recorded image format version. Returns problem strings
+/// (empty = current). Re-record with
+/// `cargo run --release -p dirq-dirqd --bin loadgen`.
+fn bench3_stale_entries(path: &Path) -> Vec<String> {
+    use dirq_scenario::Scheme;
+
+    let name = "BENCH_3.json";
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return vec![format!("{name}: missing (re-run the loadgen)")];
+    };
+    let Ok(doc) = Json::parse(&text) else {
+        return vec![format!("{name}: unparseable")];
+    };
+    let mut problems = Vec::new();
+    let version = doc.get("image_format_version").and_then(Json::as_f64);
+    if version != Some(f64::from(dirq_sim::snap::SNAP_FORMAT_VERSION)) {
+        problems.push(format!(
+            "{name}: image_format_version {version:?}, this build writes {}",
+            dirq_sim::snap::SNAP_FORMAT_VERSION
+        ));
+    }
+    let Some(rows) = doc.get("deployments").and_then(Json::as_array) else {
+        problems.push(format!("{name}: no deployments array"));
+        return problems;
+    };
+    if rows.len() < 2 {
+        problems.push(format!("{name}: {} deployment(s), expected at least 2", rows.len()));
+    }
+    for row in rows {
+        let label = row.get("name").and_then(Json::as_str).unwrap_or("<unnamed>").to_string();
+        let fields = (|| {
+            let preset_name = row.get("preset")?.as_str()?;
+            let scale = row.get("scale")?.as_f64()?;
+            let scheme = Scheme::parse(row.get("scheme")?.as_str()?)?;
+            let seed = row.get("seed")?.as_f64()? as u64;
+            let warmup = row.get("warmup_epochs")?.as_f64()? as u64;
+            let recorded = row.get("state_fingerprint")?.as_str()?.to_string();
+            let spec = dirq_scenario::preset(preset_name)?;
+            let spec = if scale == 1.0 { spec } else { spec.scaled(scale) };
+            Some((spec, scheme, seed, warmup, recorded))
+        })();
+        let Some((spec, scheme, seed, warmup, recorded)) = fields else {
+            problems.push(format!("{name}: {label}: missing/invalid deployment fields"));
+            continue;
+        };
+        let mut engine = dirq_core::Engine::new(spec.config(scheme, seed));
+        for _ in 0..warmup {
+            engine.step_epoch();
+        }
+        let fresh = format!("{:#018X}", engine.state_fingerprint());
+        let status = if fresh == recorded { "ok" } else { "DRIFTED" };
+        println!("  {:<26} {fresh}  {status}", format!("BENCH_3:{label}"));
+        if fresh != recorded {
+            problems.push(format!("{name}: {label}: records {recorded}, fresh is {fresh}"));
+        }
+    }
+    problems
 }
 
 fn main() {
@@ -117,6 +181,10 @@ fn main() {
                 recorded_artifact.as_deref().unwrap_or("<missing/unparseable>")
             ));
         }
+        // The loadgen artifact: deterministic fields only (wall-clock
+        // numbers are machine-specific and exempt). Re-record with the
+        // loadgen itself, not this tool.
+        mismatches.extend(bench3_stale_entries(&root.join("BENCH_3.json")));
         if mismatches.is_empty() {
             println!("all goldens match a fresh record");
             return;
@@ -126,6 +194,7 @@ fn main() {
             eprintln!("  {m}");
         }
         eprintln!("re-record with: cargo run --release -p dirq-bench --bin record_goldens");
+        eprintln!("(BENCH_3.json entries: cargo run --release -p dirq-dirqd --bin loadgen)");
         std::process::exit(1);
     }
 

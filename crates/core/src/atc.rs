@@ -186,6 +186,27 @@ impl AtcController {
             (self.delta_pct * step).clamp(self.cfg.min_delta_pct, self.cfg.max_delta_pct);
         Some(self.delta_pct)
     }
+
+    /// Write the adaptive state to `w` (the tuning config is
+    /// construction-time and not captured).
+    pub fn snap(&self, w: &mut dirq_sim::SnapWriter) {
+        w.f64(self.delta_pct);
+        w.u64(self.sent_in_window);
+        w.u64(self.epochs_in_window);
+        self.rate.snap(w);
+        w.opt_f64(self.budget_per_epoch);
+    }
+
+    /// Overlay state captured by [`AtcController::snap`] onto a controller
+    /// built with the same config.
+    pub fn restore(&mut self, r: &mut dirq_sim::SnapReader<'_>) -> Result<(), dirq_sim::SnapError> {
+        self.delta_pct = r.f64()?;
+        self.sent_in_window = r.u64()?;
+        self.epochs_in_window = r.u64()?;
+        self.rate = Ewma::unsnap(r)?;
+        self.budget_per_epoch = r.opt_f64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

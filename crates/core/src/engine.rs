@@ -25,7 +25,7 @@ use dirq_net::radio::{LogDistance, UnitDisk};
 use dirq_net::{NodeId, SpanningTree, Topology};
 use dirq_sim::runner::WorkerPool;
 use dirq_sim::stats::Ewma;
-use dirq_sim::{RngFactory, SimRng};
+use dirq_sim::{RngFactory, SimRng, SnapError, SnapReader, SnapWriter};
 
 use dirq_analytic::TopologyCosts;
 
@@ -406,6 +406,22 @@ pub struct Engine {
     analytic0: TopologyCosts,
     delta_trace: Vec<(u64, f64)>,
     queries_injected: usize,
+    /// Finalised-query log for external consumers (the daemon); `None`
+    /// until [`Engine::enable_completed_log`]. Transient — drained between
+    /// epochs, never snapshotted.
+    completed: Option<Vec<CompletedQuery>>,
+}
+
+/// A finalised query as reported to external consumers: the scored
+/// outcome plus the measured dissemination cost attributed to it.
+#[derive(Clone, Debug)]
+pub struct CompletedQuery {
+    /// The scored outcome (same record the metrics collector keeps).
+    pub outcome: QueryOutcome,
+    /// Transmissions attributed to this query while it was in flight.
+    pub tx: u64,
+    /// Receptions attributed to this query while it was in flight.
+    pub rx: u64,
 }
 
 impl Engine {
@@ -650,6 +666,7 @@ impl Engine {
             delta_trace: Vec::new(),
             pending: PendingSet::new(cfg.completion_window),
             queries_injected: 0,
+            completed: None,
             epoch: 0,
             u_max_per_hour,
             analytic0,
@@ -768,9 +785,236 @@ impl Engine {
         tree
     }
 
-    /// Run the configured number of epochs and return the results.
+    /// The scenario configuration this engine runs.
+    pub fn config(&self) -> &ScenarioConfig {
+        &self.cfg
+    }
+
+    /// Collect finalised queries for external consumers from now on (see
+    /// [`Engine::take_completed`]). Purely observational — the log never
+    /// feeds back into the simulation.
+    pub fn enable_completed_log(&mut self) {
+        self.completed.get_or_insert_with(Vec::new);
+    }
+
+    /// Drain the completed-query log (empty unless
+    /// [`Engine::enable_completed_log`] was called).
+    pub fn take_completed(&mut self) -> Vec<CompletedQuery> {
+        self.completed.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
+    /// Inject an externally supplied range query (the daemon's client
+    /// path). The id comes from the generator's id space so scheduled and
+    /// external queries never collide; ground truth is evaluated against
+    /// the current world exactly as for generated queries, and the query
+    /// disseminates during the next [`Engine::step_epoch`]. Returns the
+    /// assigned id; the outcome surfaces through the completed log once
+    /// the completion window elapses.
+    ///
+    /// # Panics
+    /// Panics when `region` is given but the scenario has
+    /// `location_enabled = false` (nodes hold no positions to scope by).
+    pub fn submit_external_query(
+        &mut self,
+        stype: dirq_data::SensorType,
+        lo: f64,
+        hi: f64,
+        region: Option<dirq_net::Rect>,
+    ) -> QueryId {
+        assert!(
+            region.is_none() || self.cfg.location_enabled,
+            "spatial queries require location_enabled"
+        );
+        let mut query = dirq_data::RangeQuery::value(QueryId(self.qgen.alloc_id()), stype, lo, hi);
+        if let Some(r) = region {
+            query = query.with_region(r);
+        }
+        let tree = self.protocol_tree();
+        let alive = &self.alive;
+        let truth = dirq_data::workload::ground_truth_for_query(
+            self.world.readings(stype),
+            self.topo.positions(),
+            &tree,
+            &query,
+            |n: NodeId| alive[n.index()],
+        );
+        self.queries_injected += 1;
+        self.pending.insert(PendingQuery {
+            query,
+            epoch: self.epoch,
+            truth,
+            received: vec![false; self.topo.len()],
+            tx: 0,
+            rx: 0,
+        });
+        match self.cfg.protocol {
+            Protocol::Dirq => {
+                let outs = self.nodes[0].on_query(&query);
+                self.dispatch_outgoing(NodeId::ROOT, outs);
+            }
+            Protocol::Flooding => {
+                self.flood[0].should_rebroadcast(query.id);
+                if self.mac.enqueue(
+                    NodeId::ROOT,
+                    Destination::Broadcast,
+                    DirqMessage::FloodQuery(query),
+                ) {
+                    self.record_tx_parts(MessageCategory::Query, Some(query.id));
+                }
+            }
+        }
+        query.id
+    }
+
+    // --- snapshot / restore -----------------------------------------------------
+
+    /// Serialize the engine's full dynamic state to a snapshot body.
+    ///
+    /// Static structure — topology, tree construction, churn plan, world
+    /// fields, node configuration, worker pools — is rebuilt
+    /// deterministically by [`Engine::new`] from the same
+    /// [`ScenarioConfig`], so only the state that evolves per epoch is
+    /// captured: the MAC (with in-flight frames), the world's stochastic
+    /// processes and readings, per-node protocol state, the pending query
+    /// set, metrics, RNG positions and the root-side control loop.
+    /// [`Engine::restore`] overlays it onto a freshly built engine;
+    /// resuming must be bit-identical to never having stopped.
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut w = SnapWriter::new();
+        w.tag(b"ENGN");
+        w.u64(self.epoch);
+        self.mac.snap(&mut w, |w, p: &DirqMessage| p.snap(w));
+        self.world.snap(&mut w);
+        w.len_of(self.nodes.len());
+        for node in &self.nodes {
+            node.snap(&mut w);
+        }
+        for f in &self.flood {
+            f.snap(&mut w);
+        }
+        w.bools(&self.alive);
+        self.qgen.snap(&mut w);
+        self.pending.snap(&mut w);
+        self.metrics.snap(&mut w);
+        w.rng(&self.mac_rng);
+        self.cqd_estimate.snap(&mut w);
+        w.f64(self.budget_multiplier);
+        w.f64(self.updates_at_last_ehr);
+        for &d in &self.detached_since {
+            w.opt_u64(d);
+        }
+        w.bool(self.samplers.is_some());
+        if let Some(samplers) = &self.samplers {
+            for row in samplers {
+                w.len_of(row.len());
+                for s in row {
+                    s.snap(&mut w);
+                }
+            }
+        }
+        w.f64(self.u_max_per_hour);
+        w.len_of(self.delta_trace.len());
+        for &(e, d) in &self.delta_trace {
+            w.u64(e);
+            w.f64(d);
+        }
+        w.len_of(self.queries_injected);
+        w.finish()
+    }
+
+    /// Overlay a snapshot body captured by [`Engine::snapshot`] onto this
+    /// engine, which must be freshly built from the **same**
+    /// [`ScenarioConfig`] (same seed, preset and scheme — the snapshot
+    /// carries no static structure to check against, only counts).
+    /// On success the engine continues from the captured epoch exactly as
+    /// the snapshotted one would have.
+    pub fn restore(&mut self, body: &[u8]) -> Result<(), SnapError> {
+        let n = self.topo.len();
+        let mut r = SnapReader::new(body);
+        r.tag(b"ENGN")?;
+        self.epoch = r.u64()?;
+        self.mac.restore(&mut r, DirqMessage::unsnap)?;
+        self.world.restore(&mut r)?;
+        let pos = r.position();
+        if r.seq_len(1)? != n {
+            return Err(SnapError::Malformed { pos, what: "engine node count mismatch" });
+        }
+        for node in &mut self.nodes {
+            node.restore(&mut r)?;
+        }
+        for f in &mut self.flood {
+            f.restore(&mut r)?;
+        }
+        let pos = r.position();
+        let alive = r.bools()?;
+        if alive.len() != n {
+            return Err(SnapError::Malformed { pos, what: "alive bitmap length mismatch" });
+        }
+        self.alive = alive;
+        self.qgen.restore(&mut r)?;
+        self.pending.restore(&mut r)?;
+        let pos = r.position();
+        let metrics = Metrics::unsnap(&mut r)?;
+        if metrics.measure_from_epoch != self.cfg.measure_from_epoch {
+            return Err(SnapError::Malformed { pos, what: "measurement window mismatch" });
+        }
+        self.metrics = metrics;
+        self.mac_rng = r.rng()?;
+        self.cqd_estimate = Ewma::unsnap(&mut r)?;
+        self.budget_multiplier = r.f64()?;
+        self.updates_at_last_ehr = r.f64()?;
+        for d in &mut self.detached_since {
+            *d = r.opt_u64()?;
+        }
+        let pos = r.position();
+        if r.bool()? != self.samplers.is_some() {
+            return Err(SnapError::Malformed {
+                pos,
+                what: "sampler presence disagrees with the sampling strategy",
+            });
+        }
+        if let Some(samplers) = &mut self.samplers {
+            for row in samplers {
+                let pos = r.position();
+                if r.seq_len(1)? != row.len() {
+                    return Err(SnapError::Malformed { pos, what: "sampler row length mismatch" });
+                }
+                for s in row {
+                    s.restore(&mut r)?;
+                }
+            }
+        }
+        self.u_max_per_hour = r.f64()?;
+        let traces = r.seq_len(16)?;
+        self.delta_trace =
+            (0..traces).map(|_| Ok((r.u64()?, r.f64()?))).collect::<Result<_, SnapError>>()?;
+        self.queries_injected = r.u64()? as usize;
+        r.expect_eof()
+    }
+
+    /// Order-sensitive FNV-1a fingerprint over the full snapshot body —
+    /// the daemon's cheap state-equality check (two engines with equal
+    /// fingerprints are byte-for-byte the same dynamic state).
+    pub fn state_fingerprint(&self) -> u64 {
+        let body = self.snapshot();
+        let mut h = crate::metrics::Fnv::new();
+        h.u64(body.len() as u64);
+        let mut words = body.chunks_exact(8);
+        for c in &mut words {
+            h.u64(u64::from_le_bytes(c.try_into().expect("exact 8-byte chunk")));
+        }
+        let mut last = [0u8; 8];
+        last[..words.remainder().len()].copy_from_slice(words.remainder());
+        h.u64(u64::from_le_bytes(last));
+        h.finish()
+    }
+
+    /// Run to the configured epoch budget and return the results. A
+    /// freshly built engine runs all `cfg.epochs`; a restored one runs
+    /// only the remaining epochs, so snapshot-resume completes the exact
+    /// run it interrupted.
     pub fn run(mut self) -> RunResult {
-        for _ in 0..self.cfg.epochs {
+        while self.epoch < self.cfg.epochs {
             self.step_epoch();
         }
         // Score whatever is still in flight.
@@ -1461,7 +1705,7 @@ impl Engine {
             self.source_mark[s.index()] = false;
         }
         self.cqd_estimate.observe((p.tx + p.rx) as f64);
-        self.metrics.on_query_done(QueryOutcome {
+        let outcome = QueryOutcome {
             id: p.query.id,
             epoch: p.epoch,
             stype: p.query.stype,
@@ -1472,7 +1716,11 @@ impl Engine {
             received_should_not: received - received_should,
             sources_reached,
             n_nodes: self.topo.len(),
-        });
+        };
+        if let Some(log) = &mut self.completed {
+            log.push(CompletedQuery { outcome: outcome.clone(), tx: p.tx, rx: p.rx });
+        }
+        self.metrics.on_query_done(outcome);
     }
 }
 

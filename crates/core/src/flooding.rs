@@ -45,6 +45,21 @@ impl FloodingNode {
     pub fn seen_count(&self) -> usize {
         self.seen.len()
     }
+
+    /// Write the duplicate-suppression memory to `w`.
+    pub fn snap(&self, w: &mut dirq_sim::SnapWriter) {
+        w.len_of(self.seen.len());
+        for q in &self.seen {
+            w.u64(q.0);
+        }
+    }
+
+    /// Overlay memory captured by [`FloodingNode::snap`].
+    pub fn restore(&mut self, r: &mut dirq_sim::SnapReader<'_>) -> Result<(), dirq_sim::SnapError> {
+        let n = r.seq_len(8)?;
+        self.seen = (0..n).map(|_| r.u64().map(QueryId)).collect::<Result<_, _>>()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -116,6 +116,42 @@ impl GeoTable {
     pub fn last_advertised(&self) -> Option<Rect> {
         self.last_tx
     }
+
+    /// Write the full table state to `w`.
+    pub fn snap(&self, w: &mut dirq_sim::SnapWriter) {
+        w.bool(self.own.is_some());
+        if let Some(p) = self.own {
+            p.snap(w);
+        }
+        w.len_of(self.children.len());
+        for (id, rect) in &self.children {
+            w.u32(id.0);
+            rect.snap(w);
+        }
+        w.bool(self.last_tx.is_some());
+        if let Some(rect) = &self.last_tx {
+            rect.snap(w);
+        }
+    }
+
+    /// Rebuild a table captured by [`GeoTable::snap`].
+    pub fn unsnap(r: &mut dirq_sim::SnapReader<'_>) -> Result<Self, dirq_sim::SnapError> {
+        let own = if r.bool()? { Some(Position::unsnap(r)?) } else { None };
+        let pos = r.position();
+        let n = r.seq_len(4 + 32)?;
+        let mut children = Vec::with_capacity(n);
+        for _ in 0..n {
+            children.push((NodeId(r.u32()?), Rect::unsnap(r)?));
+        }
+        if !children.windows(2).all(|p| p[0].0 < p[1].0) {
+            return Err(dirq_sim::SnapError::Malformed {
+                pos,
+                what: "geo table child ids not strictly ascending",
+            });
+        }
+        let last_tx = if r.bool()? { Some(Rect::unsnap(r)?) } else { None };
+        Ok(GeoTable { own, children, last_tx })
+    }
 }
 
 #[cfg(test)]

@@ -41,8 +41,8 @@ pub mod sampling;
 
 pub use atc::{AtcConfig, AtcController, DeltaPolicy};
 pub use engine::{
-    run_scenario, ChurnSpec, Engine, PhaseTimings, Protocol, RadioSpec, RunResult, ScenarioConfig,
-    TreeKind,
+    run_scenario, ChurnSpec, CompletedQuery, Engine, PhaseTimings, Protocol, RadioSpec, RunResult,
+    ScenarioConfig, TreeKind,
 };
 pub use geo::GeoTable;
 pub use messages::{DirqMessage, EhrMessage, MessageCategory};

@@ -61,6 +61,66 @@ pub enum DirqMessage {
 }
 
 impl DirqMessage {
+    /// Write the message to `w`: one discriminant byte plus the payload.
+    /// Used by the engine snapshot to capture in-flight MAC frames.
+    pub fn snap(&self, w: &mut dirq_sim::SnapWriter) {
+        match self {
+            DirqMessage::Update { stype, min, max } => {
+                w.u8(0);
+                w.u8(stype.0);
+                w.f64(*min);
+                w.f64(*max);
+            }
+            DirqMessage::Retract { stype } => {
+                w.u8(1);
+                w.u8(stype.0);
+            }
+            DirqMessage::Query(q) => {
+                w.u8(2);
+                q.snap(w);
+            }
+            DirqMessage::Ehr(e) => {
+                w.u8(3);
+                w.f64(e.queries_per_hour);
+                w.f64(e.per_node_budget_per_epoch);
+            }
+            DirqMessage::Attach => w.u8(4),
+            DirqMessage::Detach => w.u8(5),
+            DirqMessage::GeoAdvert(rect) => {
+                w.u8(6);
+                rect.snap(w);
+            }
+            DirqMessage::FloodQuery(q) => {
+                w.u8(7);
+                q.snap(w);
+            }
+        }
+    }
+
+    /// Rebuild a message captured by [`DirqMessage::snap`].
+    pub fn unsnap(r: &mut dirq_sim::SnapReader<'_>) -> Result<Self, dirq_sim::SnapError> {
+        let pos = r.position();
+        Ok(match r.u8()? {
+            0 => DirqMessage::Update { stype: SensorType(r.u8()?), min: r.f64()?, max: r.f64()? },
+            1 => DirqMessage::Retract { stype: SensorType(r.u8()?) },
+            2 => DirqMessage::Query(RangeQuery::unsnap(r)?),
+            3 => DirqMessage::Ehr(EhrMessage {
+                queries_per_hour: r.f64()?,
+                per_node_budget_per_epoch: r.f64()?,
+            }),
+            4 => DirqMessage::Attach,
+            5 => DirqMessage::Detach,
+            6 => DirqMessage::GeoAdvert(Rect::unsnap(r)?),
+            7 => DirqMessage::FloodQuery(RangeQuery::unsnap(r)?),
+            _ => {
+                return Err(dirq_sim::SnapError::Malformed {
+                    pos,
+                    what: "unknown message discriminant",
+                })
+            }
+        })
+    }
+
     /// Coarse accounting category for the cost breakdown.
     pub fn category(&self) -> MessageCategory {
         match self {

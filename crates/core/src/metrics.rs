@@ -211,6 +211,73 @@ impl Metrics {
         h.finish()
     }
 
+    /// Write every collected measurement to `w`.
+    pub fn snap(&self, w: &mut dirq_sim::SnapWriter) {
+        w.tag(b"METR");
+        w.u64(self.measure_from_epoch);
+        for c in [&self.query_cost, &self.update_cost, &self.control_cost] {
+            w.u64(c.tx);
+            w.u64(c.rx);
+        }
+        self.updates_per_bucket.snap(w);
+        self.overshoot.snap(w);
+        w.len_of(self.outcomes.len());
+        for o in &self.outcomes {
+            w.u64(o.id.0);
+            w.u64(o.epoch);
+            w.u8(o.stype.0);
+            for v in [
+                o.should_receive,
+                o.true_sources,
+                o.received,
+                o.received_should,
+                o.received_should_not,
+                o.sources_reached,
+                o.n_nodes,
+            ] {
+                w.len_of(v);
+            }
+        }
+    }
+
+    /// Rebuild a collector captured by [`Metrics::snap`].
+    pub fn unsnap(r: &mut dirq_sim::SnapReader<'_>) -> Result<Self, dirq_sim::SnapError> {
+        r.tag(b"METR")?;
+        let measure_from_epoch = r.u64()?;
+        let mut costs = [CategoryCost::default(); 3];
+        for c in &mut costs {
+            c.tx = r.u64()?;
+            c.rx = r.u64()?;
+        }
+        let updates_per_bucket = TimeSeries::unsnap(r)?;
+        let overshoot = Welford::unsnap(r)?;
+        let n = r.seq_len(8 + 8 + 1 + 7 * 8)?;
+        let mut outcomes = Vec::with_capacity(n);
+        for _ in 0..n {
+            outcomes.push(QueryOutcome {
+                id: QueryId(r.u64()?),
+                epoch: r.u64()?,
+                stype: SensorType(r.u8()?),
+                should_receive: r.u64()? as usize,
+                true_sources: r.u64()? as usize,
+                received: r.u64()? as usize,
+                received_should: r.u64()? as usize,
+                received_should_not: r.u64()? as usize,
+                sources_reached: r.u64()? as usize,
+                n_nodes: r.u64()? as usize,
+            });
+        }
+        Ok(Metrics {
+            outcomes,
+            updates_per_bucket,
+            overshoot,
+            query_cost: costs[0],
+            update_cost: costs[1],
+            control_cost: costs[2],
+            measure_from_epoch,
+        })
+    }
+
     /// Mean of a per-outcome statistic over the measurement window.
     pub fn mean_over_queries(&self, f: impl Fn(&QueryOutcome) -> f64) -> Option<f64> {
         let measured: Vec<f64> =

@@ -440,6 +440,88 @@ impl DirqNode {
         }
     }
 
+    // --- snapshot -------------------------------------------------------------
+
+    /// Write the node's full dynamic state to `w`. Static configuration
+    /// (id, spans, threshold policy) is rebuilt by the engine constructor
+    /// and not captured.
+    pub fn snap(&self, w: &mut dirq_sim::SnapWriter) {
+        w.tag(b"NODE");
+        w.bool(self.parent.is_some());
+        if let Some(p) = self.parent {
+            w.u32(p.0);
+        }
+        w.len_of(self.children.len());
+        for c in &self.children {
+            w.u32(c.0);
+        }
+        w.len_of(self.tables.len());
+        for slot in &self.tables {
+            w.bool(slot.is_some());
+            if let Some(t) = slot {
+                t.snap(w);
+            }
+        }
+        w.f64(self.delta_pct);
+        w.bool(self.atc.is_some());
+        if let Some(atc) = &self.atc {
+            atc.snap(w);
+        }
+        w.len_of(self.variability.len());
+        for slot in &self.variability {
+            w.bool(slot.is_some());
+            if let Some(e) = slot {
+                e.snap(w);
+            }
+        }
+        w.f64s(&self.last_reading);
+        w.len_of(self.seen_queries.len());
+        for q in &self.seen_queries {
+            w.u64(q.0);
+        }
+        self.geo.snap(w);
+        w.u64(self.updates_sent);
+    }
+
+    /// Overlay state captured by [`DirqNode::snap`] onto a node built with
+    /// the same id and config.
+    pub fn restore(&mut self, r: &mut dirq_sim::SnapReader<'_>) -> Result<(), dirq_sim::SnapError> {
+        r.tag(b"NODE")?;
+        self.parent = if r.bool()? { Some(NodeId(r.u32()?)) } else { None };
+        let n = r.seq_len(4)?;
+        self.children = (0..n).map(|_| r.u32().map(NodeId)).collect::<Result<_, _>>()?;
+        let n = r.seq_len(1)?;
+        let mut tables = Vec::with_capacity(n);
+        for _ in 0..n {
+            tables.push(if r.bool()? { Some(RangeTable::unsnap(r)?) } else { None });
+        }
+        self.tables = tables;
+        self.delta_pct = r.f64()?;
+        let pos = r.position();
+        if r.bool()? != self.atc.is_some() {
+            return Err(dirq_sim::SnapError::Malformed {
+                pos,
+                what: "ATC presence disagrees with the threshold policy",
+            });
+        }
+        if let Some(atc) = &mut self.atc {
+            atc.restore(r)?;
+        }
+        let n = r.seq_len(1)?;
+        let mut variability = Vec::with_capacity(n);
+        for _ in 0..n {
+            variability.push(if r.bool()? { Some(Ewma::unsnap(r)?) } else { None });
+        }
+        self.variability = variability;
+        self.last_reading = r.f64s()?;
+        let n = r.seq_len(8)?;
+        self.seen_queries =
+            (0..n).map(|_| r.u64().map(dirq_data::QueryId)).collect::<Result<_, _>>()?;
+        self.geo = GeoTable::unsnap(r)?;
+        self.updates_sent = r.u64()?;
+        Ok(())
+    }
+
     // --- internals ------------------------------------------------------------
 
     /// After a table mutation: emit an Update or Retract to the parent per

@@ -195,6 +195,51 @@ impl PendingSet {
             .map(|&slot| self.slots[slot as usize].as_ref().expect("ordered slots are occupied"))
     }
 
+    /// Write every in-flight entry (in the legacy vec order) to `w`. The
+    /// window is construction-time config and not captured.
+    pub(crate) fn snap(&self, w: &mut dirq_sim::SnapWriter) {
+        w.tag(b"PEND");
+        w.len_of(self.order.len());
+        for p in self.iter_in_order() {
+            p.query.snap(w);
+            w.u64(p.epoch);
+            p.truth.snap(w);
+            w.bools(&p.received);
+            w.u64(p.tx);
+            w.u64(p.rx);
+        }
+    }
+
+    /// Rebuild the in-flight set captured by [`PendingSet::snap`] by
+    /// re-inserting each entry in the captured order. Re-insertion
+    /// recomputes each entry's due epoch from the (identical) window, and
+    /// `insert` appends to `order`, so the finalisation-order contract is
+    /// reproduced exactly. The set must be empty (freshly constructed).
+    pub(crate) fn restore(
+        &mut self,
+        r: &mut dirq_sim::SnapReader<'_>,
+    ) -> Result<(), dirq_sim::SnapError> {
+        r.tag(b"PEND")?;
+        let pos = r.position();
+        if !self.order.is_empty() {
+            return Err(dirq_sim::SnapError::Malformed {
+                pos,
+                what: "pending set not empty before restore",
+            });
+        }
+        let n = r.seq_len(1)?;
+        for _ in 0..n {
+            let query = RangeQuery::unsnap(r)?;
+            let epoch = r.u64()?;
+            let truth = GroundTruth::unsnap(r)?;
+            let received = r.bools()?;
+            let tx = r.u64()?;
+            let rx = r.u64()?;
+            self.insert(PendingQuery { query, epoch, truth, received, tx, rx });
+        }
+        Ok(())
+    }
+
     /// The original expiry loop, verbatim over `order`: scan ascending,
     /// `swap_remove` due entries and re-examine the swapped-in tail.
     fn sweep_linear(&mut self, epoch: u64, out: &mut Vec<PendingQuery>) {

@@ -245,6 +245,57 @@ impl RangeTable {
     pub fn len(&self) -> usize {
         usize::from(self.own.is_some()) + self.child_ids.len()
     }
+
+    /// Write the full table state to `w`.
+    pub fn snap(&self, w: &mut dirq_sim::SnapWriter) {
+        snap_entry(w, self.own);
+        w.len_of(self.child_ids.len());
+        for id in &self.child_ids {
+            w.u32(id.0);
+        }
+        w.f64s(&self.child_min);
+        w.f64s(&self.child_max);
+        snap_entry(w, self.last_tx);
+    }
+
+    /// Rebuild a table captured by [`RangeTable::snap`].
+    pub fn unsnap(r: &mut dirq_sim::SnapReader<'_>) -> Result<Self, dirq_sim::SnapError> {
+        let own = unsnap_entry(r)?;
+        let pos = r.position();
+        let n = r.seq_len(4)?;
+        let child_ids: Vec<NodeId> =
+            (0..n).map(|_| r.u32().map(NodeId)).collect::<Result<_, _>>()?;
+        let child_min = r.f64s()?;
+        let child_max = r.f64s()?;
+        if child_min.len() != n || child_max.len() != n {
+            return Err(dirq_sim::SnapError::Malformed {
+                pos,
+                what: "range table child arrays disagree in length",
+            });
+        }
+        if !child_ids.windows(2).all(|p| p[0] < p[1]) {
+            return Err(dirq_sim::SnapError::Malformed {
+                pos,
+                what: "range table child ids not strictly ascending",
+            });
+        }
+        let last_tx = unsnap_entry(r)?;
+        Ok(RangeTable { own, child_ids, child_min, child_max, last_tx })
+    }
+}
+
+fn snap_entry(w: &mut dirq_sim::SnapWriter, e: Option<RangeEntry>) {
+    w.bool(e.is_some());
+    if let Some(e) = e {
+        w.f64(e.min);
+        w.f64(e.max);
+    }
+}
+
+fn unsnap_entry(
+    r: &mut dirq_sim::SnapReader<'_>,
+) -> Result<Option<RangeEntry>, dirq_sim::SnapError> {
+    Ok(if r.bool()? { Some(RangeEntry { min: r.f64()?, max: r.f64()? }) } else { None })
 }
 
 #[cfg(test)]

@@ -143,6 +143,29 @@ impl Sampler {
             self.samples_skipped as f64 / total as f64
         }
     }
+
+    /// Write the prediction state to `w` (the tuning config is
+    /// construction-time and not captured).
+    pub fn snap(&self, w: &mut dirq_sim::SnapWriter) {
+        w.opt_f64(self.last_value);
+        self.drift.snap(w);
+        self.volatility.snap(w);
+        w.u64(self.skip_remaining);
+        w.u64(self.samples_taken);
+        w.u64(self.samples_skipped);
+    }
+
+    /// Overlay state captured by [`Sampler::snap`] onto a sampler built
+    /// with the same config.
+    pub fn restore(&mut self, r: &mut dirq_sim::SnapReader<'_>) -> Result<(), dirq_sim::SnapError> {
+        self.last_value = r.opt_f64()?;
+        self.drift = Ewma::unsnap(r)?;
+        self.volatility = Ewma::unsnap(r)?;
+        self.skip_remaining = r.u64()?;
+        self.samples_taken = r.u64()?;
+        self.samples_skipped = r.u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -179,6 +179,38 @@ impl SensorAssignment {
         }
     }
 
+    /// Write the carried-sensor matrix to `w` (the version counter is
+    /// cache bookkeeping, not state — restore bumps it instead).
+    pub fn snap(&self, w: &mut dirq_sim::SnapWriter) {
+        w.tag(b"ASGN");
+        w.len_of(self.has.len());
+        for row in &self.has {
+            w.bools(row);
+        }
+    }
+
+    /// Overlay a matrix captured by [`SensorAssignment::snap`]. The node
+    /// count must match; the version is bumped so carried-mask caches
+    /// rebuild.
+    pub fn restore(&mut self, r: &mut dirq_sim::SnapReader<'_>) -> Result<(), dirq_sim::SnapError> {
+        r.tag(b"ASGN")?;
+        let pos = r.position();
+        let n = r.seq_len(8)?;
+        if n != self.has.len() {
+            return Err(dirq_sim::SnapError::Malformed {
+                pos,
+                what: "assignment node count mismatch",
+            });
+        }
+        let mut has = Vec::with_capacity(n);
+        for _ in 0..n {
+            has.push(r.bools()?);
+        }
+        self.has = has;
+        self.version += 1;
+        Ok(())
+    }
+
     /// Nodes carrying `t`.
     pub fn carriers(&self, t: SensorType) -> Vec<usize> {
         (0..self.has.len()).filter(|&n| self.has(n, t)).collect()

@@ -73,6 +73,29 @@ impl RangeQuery {
     pub fn overlaps(&self, min: f64, max: f64) -> bool {
         min <= self.hi && max >= self.lo
     }
+
+    /// Write the query to `w` (value bounds by bit pattern).
+    pub fn snap(&self, w: &mut dirq_sim::SnapWriter) {
+        w.u64(self.id.0);
+        w.u8(self.stype.0);
+        w.f64(self.lo);
+        w.f64(self.hi);
+        w.bool(self.region.is_some());
+        if let Some(region) = &self.region {
+            region.snap(w);
+        }
+    }
+
+    /// Rebuild a query captured by [`RangeQuery::snap`].
+    pub fn unsnap(r: &mut dirq_sim::SnapReader<'_>) -> Result<Self, dirq_sim::SnapError> {
+        Ok(RangeQuery {
+            id: QueryId(r.u64()?),
+            stype: SensorType(r.u8()?),
+            lo: r.f64()?,
+            hi: r.f64()?,
+            region: if r.bool()? { Some(Rect::unsnap(r)?) } else { None },
+        })
+    }
 }
 
 /// Ground truth for one query at injection time.
@@ -96,6 +119,25 @@ impl GroundTruth {
         } else {
             self.involved_count as f64 / self.involved.len() as f64
         }
+    }
+
+    /// Write the full truth record to `w`.
+    pub fn snap(&self, w: &mut dirq_sim::SnapWriter) {
+        w.len_of(self.sources.len());
+        for s in &self.sources {
+            w.u32(s.0);
+        }
+        w.bools(&self.involved);
+        w.len_of(self.involved_count);
+    }
+
+    /// Rebuild a record captured by [`GroundTruth::snap`].
+    pub fn unsnap(r: &mut dirq_sim::SnapReader<'_>) -> Result<Self, dirq_sim::SnapError> {
+        let n = r.seq_len(4)?;
+        let sources = (0..n).map(|_| r.u32().map(NodeId)).collect::<Result<_, _>>()?;
+        let involved = r.bools()?;
+        let involved_count = r.u64()? as usize;
+        Ok(GroundTruth { sources, involved, involved_count })
     }
 }
 
@@ -274,6 +316,48 @@ impl QueryGenerator {
     /// Total ground-truth evaluations performed by calibration so far.
     pub fn ground_truth_probes(&self) -> u64 {
         self.probes
+    }
+
+    /// Allocate a query id from the generator's id space. External query
+    /// sources (the daemon) share the space so scheduled and injected
+    /// queries never collide.
+    pub fn alloc_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Write the dynamic state (id cursor, RNG position, warm-start
+    /// widths, probe tally) to `w`. Targets, periods and candidate counts
+    /// are configuration and are rebuilt by the constructor.
+    pub fn snap(&self, w: &mut dirq_sim::SnapWriter) {
+        w.tag(b"QGEN");
+        w.u64(self.next_id);
+        w.rng(&self.rng);
+        w.u64(self.probes);
+        w.len_of(self.warm_width.len());
+        for &v in &self.warm_width {
+            w.opt_f64(v);
+        }
+        w.len_of(self.warm_half.len());
+        for &v in &self.warm_half {
+            w.opt_f64(v);
+        }
+    }
+
+    /// Overlay state captured by [`QueryGenerator::snap`]. Calibration
+    /// scratch buffers are transient and keep their current (reusable)
+    /// allocation.
+    pub fn restore(&mut self, r: &mut dirq_sim::SnapReader<'_>) -> Result<(), dirq_sim::SnapError> {
+        r.tag(b"QGEN")?;
+        self.next_id = r.u64()?;
+        self.rng = r.rng()?;
+        self.probes = r.u64()?;
+        let n = r.seq_len(1)?;
+        self.warm_width = (0..n).map(|_| r.opt_f64()).collect::<Result<_, _>>()?;
+        let n = r.seq_len(1)?;
+        self.warm_half = (0..n).map(|_| r.opt_f64()).collect::<Result<_, _>>()?;
+        Ok(())
     }
 
     /// Make a fraction of the generated queries spatially scoped.

@@ -449,6 +449,81 @@ impl SensorWorld {
         self.force_sharded = true;
     }
 
+    /// Write the dynamic world state — epoch cursor, assignment, per-type
+    /// AR(1) positions and RNG streams, and the current readings matrix —
+    /// to `w`. Static structure (spatial fields, node keys, diurnal
+    /// parameters) is rebuilt deterministically by [`SensorWorld::new`].
+    pub fn snap(&self, w: &mut dirq_sim::SnapWriter) {
+        w.tag(b"WRLD");
+        w.u64(self.epoch);
+        self.assignment.snap(w);
+        w.len_of(self.states.len());
+        for s in &self.states {
+            s.regional.snap(w);
+            w.rng(&s.regional_rng);
+            w.len_of(s.local.len());
+            for a in &s.local {
+                a.snap(w);
+            }
+        }
+        w.len_of(self.readings.len());
+        for row in &self.readings {
+            w.f64s(row);
+        }
+    }
+
+    /// Overlay state captured by [`SensorWorld::snap`] onto a freshly
+    /// constructed world of the same configuration. Readings are restored
+    /// verbatim — regenerating them would re-step the local AR(1)
+    /// processes and break bit-identity. The carried-mask cache is
+    /// invalidated.
+    pub fn restore(&mut self, r: &mut dirq_sim::SnapReader<'_>) -> Result<(), dirq_sim::SnapError> {
+        r.tag(b"WRLD")?;
+        self.epoch = r.u64()?;
+        self.assignment.restore(r)?;
+        let pos = r.position();
+        let n_types = r.seq_len(8)?;
+        if n_types != self.states.len() {
+            return Err(dirq_sim::SnapError::Malformed { pos, what: "world type count mismatch" });
+        }
+        for s in &mut self.states {
+            s.regional = Ar1::unsnap(r)?;
+            s.regional_rng = r.rng()?;
+            let pos = r.position();
+            let n_local = r.seq_len(24)?;
+            if n_local != s.local.len() {
+                return Err(dirq_sim::SnapError::Malformed {
+                    pos,
+                    what: "world node count mismatch",
+                });
+            }
+            for a in &mut s.local {
+                *a = Ar1::unsnap(r)?;
+            }
+        }
+        let pos = r.position();
+        let n_rows = r.seq_len(8)?;
+        if n_rows != self.readings.len() {
+            return Err(dirq_sim::SnapError::Malformed {
+                pos,
+                what: "readings type count mismatch",
+            });
+        }
+        for row in &mut self.readings {
+            let pos = r.position();
+            let restored = r.f64s()?;
+            if restored.len() != row.len() {
+                return Err(dirq_sim::SnapError::Malformed {
+                    pos,
+                    what: "readings node count mismatch",
+                });
+            }
+            *row = restored;
+        }
+        self.mask_version = None;
+        Ok(())
+    }
+
     /// Sensor catalog in use.
     pub fn catalog(&self) -> &SensorCatalog {
         &self.catalog

@@ -1,0 +1,151 @@
+//! One-shot protocol calls from the shell.
+//!
+//! ```text
+//! dirq-cli [--addr HOST:PORT] <command> [args…]
+//!
+//! commands:
+//!   deploy NAME PRESET [--scale F] [--scheme LABEL] [--seed N]
+//!   query DEPLOYMENT STYPE LO HI [--region X0 Y0 X1 Y1]
+//!   step DEPLOYMENT EPOCHS
+//!   status
+//!   fingerprint DEPLOYMENT
+//!   snapshot DEPLOYMENT PATH
+//!   restore NAME PATH
+//!   shutdown
+//! ```
+//!
+//! Prints the daemon's JSON response (pretty) on success; exits
+//! non-zero with the error on stderr otherwise.
+
+use dirq_sim::json::Json;
+use dirqd::Client;
+
+const USAGE: &str = "usage: dirq-cli [--addr HOST:PORT] <command> [args…]
+commands:
+  deploy NAME PRESET [--scale F] [--scheme LABEL] [--seed N]
+  query DEPLOYMENT STYPE LO HI [--region X0 Y0 X1 Y1]
+  step DEPLOYMENT EPOCHS
+  status
+  fingerprint DEPLOYMENT
+  snapshot DEPLOYMENT PATH
+  restore NAME PATH
+  shutdown";
+
+fn usage_exit() -> ! {
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_num(arg: &str, what: &str) -> f64 {
+    arg.parse().unwrap_or_else(|_| {
+        eprintln!("dirq-cli: {what} must be a number, got {arg:?}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let mut addr = String::from("127.0.0.1:4710");
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--addr") {
+        args.remove(0);
+        if args.is_empty() {
+            usage_exit();
+        }
+        addr = args.remove(0);
+    }
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        usage_exit();
+    }
+    let command = args.remove(0);
+
+    // Build the request as raw protocol JSON — the CLI is a thin veneer.
+    let mut req = Json::object();
+    req.set("cmd", Json::Str(command.clone()));
+    match command.as_str() {
+        "deploy" => {
+            if args.len() < 2 {
+                usage_exit();
+            }
+            req.set("name", Json::Str(args[0].clone()));
+            req.set("preset", Json::Str(args[1].clone()));
+            let mut rest = args[2..].iter();
+            while let Some(flag) = rest.next() {
+                let value = rest.next().unwrap_or_else(|| usage_exit());
+                match flag.as_str() {
+                    "--scale" => req.set("scale", Json::Num(parse_num(value, "--scale"))),
+                    "--scheme" => req.set("scheme", Json::Str(value.clone())),
+                    "--seed" => req.set("seed", Json::Num(parse_num(value, "--seed"))),
+                    _ => usage_exit(),
+                };
+            }
+        }
+        "query" => {
+            if args.len() < 4 {
+                usage_exit();
+            }
+            req.set("deployment", Json::Str(args[0].clone()));
+            req.set("stype", Json::Num(parse_num(&args[1], "STYPE")));
+            req.set("lo", Json::Num(parse_num(&args[2], "LO")));
+            req.set("hi", Json::Num(parse_num(&args[3], "HI")));
+            match args.get(4).map(String::as_str) {
+                None => {}
+                Some("--region") if args.len() == 9 => {
+                    let corners: Vec<Json> = args[5..9]
+                        .iter()
+                        .map(|a| Json::Num(parse_num(a, "--region corner")))
+                        .collect();
+                    req.set("region", Json::Arr(corners));
+                }
+                _ => usage_exit(),
+            }
+        }
+        "step" => {
+            if args.len() != 2 {
+                usage_exit();
+            }
+            req.set("deployment", Json::Str(args[0].clone()));
+            req.set("epochs", Json::Num(parse_num(&args[1], "EPOCHS")));
+        }
+        "status" | "shutdown" => {
+            if !args.is_empty() {
+                usage_exit();
+            }
+        }
+        "fingerprint" => {
+            if args.len() != 1 {
+                usage_exit();
+            }
+            req.set("deployment", Json::Str(args[0].clone()));
+        }
+        "snapshot" => {
+            if args.len() != 2 {
+                usage_exit();
+            }
+            req.set("deployment", Json::Str(args[0].clone()));
+            req.set("path", Json::Str(args[1].clone()));
+        }
+        "restore" => {
+            if args.len() != 2 {
+                usage_exit();
+            }
+            req.set("name", Json::Str(args[0].clone()));
+            req.set("path", Json::Str(args[1].clone()));
+        }
+        _ => usage_exit(),
+    }
+
+    let mut client = match Client::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("dirq-cli: connect {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match client.call(&req) {
+        Ok(response) => print!("{}", response.render_pretty()),
+        Err(e) => {
+            eprintln!("dirq-cli: {e}");
+            std::process::exit(1);
+        }
+    }
+}

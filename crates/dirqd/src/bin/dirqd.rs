@@ -1,0 +1,48 @@
+//! The daemon binary: bind a TCP endpoint and serve deployments until a
+//! client issues `shutdown`.
+//!
+//! ```text
+//! dirqd [--addr 127.0.0.1:4710] [--print-addr]
+//! ```
+//!
+//! `--addr 127.0.0.1:0` picks an ephemeral port; `--print-addr` writes
+//! the bound address to stdout (first line) so scripts can connect.
+
+use dirqd::Daemon;
+
+fn main() {
+    let mut addr = String::from("127.0.0.1:4710");
+    let mut print_addr = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--addr" => addr = args.next().expect("--addr needs HOST:PORT"),
+            "--print-addr" => print_addr = true,
+            "--help" | "-h" => {
+                eprintln!("usage: dirqd [--addr HOST:PORT] [--print-addr]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let daemon = match Daemon::bind(&addr) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("dirqd: bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let local = daemon.local_addr().expect("bound address");
+    if print_addr {
+        println!("{local}");
+    }
+    eprintln!("dirqd: serving on {local}");
+    if let Err(e) = daemon.serve() {
+        eprintln!("dirqd: serve: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("dirqd: shut down");
+}

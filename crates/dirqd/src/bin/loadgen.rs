@@ -1,0 +1,237 @@
+//! The dirqd load-generator harness.
+//!
+//! ```text
+//! loadgen [--smoke] [--addr HOST:PORT] [--out BENCH_3.json]
+//!         [--clients N] [--duration-s F] [--warmup EPOCHS]
+//! ```
+//!
+//! Default mode spins up an in-process daemon (or targets `--addr`),
+//! deploys two registry presets, and for each one:
+//!
+//! 1. steps a deterministic warm-up and records the engine's
+//!    `state_fingerprint` (the reproducible half of the artifact —
+//!    `record_goldens --check` re-derives it),
+//! 2. measures snapshot and restore round trips (image size + latency)
+//!    and asserts the restored deployment fingerprints equal,
+//! 3. drives `--clients` concurrent connections of blocking queries for
+//!    `--duration-s` and records sustained queries/sec,
+//!
+//! then writes `BENCH_3.json`. `--smoke` is the CI mode: shorter
+//! warm-up, a fixed barriered query batch against both the original and
+//! the restored deployment (their trajectories must stay
+//! fingerprint-identical), a clean shutdown, and no artifact write —
+//! any violated invariant exits non-zero.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use dirq_sim::json::Json;
+use dirq_sim::snap::SNAP_FORMAT_VERSION;
+use dirqd::protocol::fingerprint_hex;
+use dirqd::{Client, Daemon};
+
+/// The benchmarked deployments: `(preset, epoch-budget scale)`. Scaled
+/// to ~10 % so a full loadgen pass stays in CI seconds while the
+/// engines still cross their measurement windows.
+const DEPLOYMENTS: &[(&str, f64)] = &[("dense_grid_100", 0.1), ("hotspot_workload_200", 0.1)];
+
+struct Args {
+    smoke: bool,
+    addr: Option<String>,
+    out: String,
+    clients: usize,
+    duration_s: f64,
+    warmup: u64,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        smoke: false,
+        addr: None,
+        out: String::from("BENCH_3.json"),
+        clients: 4,
+        duration_s: 2.0,
+        warmup: 60,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |what: &str| args.next().unwrap_or_else(|| panic!("{what} needs a value"));
+        match a.as_str() {
+            "--smoke" => {
+                parsed.smoke = true;
+                parsed.warmup = 20;
+            }
+            "--addr" => parsed.addr = Some(value("--addr")),
+            "--out" => parsed.out = value("--out"),
+            "--clients" => parsed.clients = value("--clients").parse().expect("--clients: usize"),
+            "--duration-s" => {
+                parsed.duration_s = value("--duration-s").parse().expect("--duration-s: f64");
+            }
+            "--warmup" => parsed.warmup = value("--warmup").parse().expect("--warmup: u64"),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: loadgen [--smoke] [--addr HOST:PORT] [--out PATH] \
+                     [--clients N] [--duration-s F] [--warmup EPOCHS]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    parsed
+}
+
+/// Deterministic query content for the `k`-th query of client `c` —
+/// windows sweep the sensor-0 value range so batches vary without RNG.
+fn query_window(c: usize, k: usize) -> (f64, f64) {
+    let lo = 12.0 + ((c * 5 + k) % 9) as f64;
+    (lo, lo + 6.0 + (k % 4) as f64)
+}
+
+fn main() {
+    let args = parse_args();
+    let (addr, daemon_thread) = match &args.addr {
+        Some(addr) => (addr.clone(), None),
+        None => {
+            let (local, handle) = Daemon::spawn("127.0.0.1:0").expect("spawn in-process daemon");
+            (local.to_string(), Some(handle))
+        }
+    };
+    eprintln!("loadgen: daemon at {addr}");
+    let mut control = Client::connect(&addr).expect("connect control client");
+
+    let mut rows: Vec<Json> = Vec::new();
+    for &(preset, scale) in DEPLOYMENTS {
+        let summary = control
+            .deploy(preset, preset, Some(scale), None, None)
+            .unwrap_or_else(|e| panic!("deploy {preset}: {e}"));
+        eprintln!(
+            "loadgen: deployed {preset} ({} nodes, scheme {}, seed {})",
+            summary.nodes, summary.scheme, summary.seed
+        );
+
+        let epoch = control.step(preset, args.warmup).expect("warm-up step");
+        assert_eq!(epoch, args.warmup, "warm-up must land on the requested epoch");
+        let (fp_epoch, fp) = control.fingerprint(preset).expect("fingerprint");
+        assert_eq!(fp_epoch, epoch);
+
+        // Snapshot → restore round trip, timed from the client side.
+        let image_path = std::env::temp_dir()
+            .join(format!("dirqd-loadgen-{preset}.{}", dirqd::protocol::IMAGE_EXTENSION))
+            .to_string_lossy()
+            .into_owned();
+        let t0 = Instant::now();
+        let snap = control.snapshot(preset, &image_path).expect("snapshot");
+        let snapshot_ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(snap.fingerprint, fp, "snapshot must capture the fingerprinted state");
+
+        let restored_name = format!("{preset}@restored");
+        let t0 = Instant::now();
+        let restored = control.restore(&restored_name, &image_path).expect("restore");
+        let restore_ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(restored.epoch, epoch, "restore must resume at the captured epoch");
+        let (_, restored_fp) = control.fingerprint(&restored_name).expect("fingerprint");
+        assert_eq!(
+            restored_fp, fp,
+            "{preset}: restored state fingerprint diverged from the live engine"
+        );
+        eprintln!(
+            "loadgen: {preset} snapshot {} bytes ({snapshot_ms:.1} ms), \
+             restore {restore_ms:.1} ms, fingerprint {}",
+            snap.bytes,
+            fingerprint_hex(fp)
+        );
+
+        if args.smoke {
+            // Identical barriered query sequences must keep the original
+            // and the restored engine on the same trajectory.
+            for k in 0..3 {
+                let (lo, hi) = query_window(0, k);
+                let a = control.query(preset, 0, lo, hi, None).expect("query original");
+                let b = control.query(&restored_name, 0, lo, hi, None).expect("query restored");
+                assert_eq!(a.id, b.id, "id allocation diverged");
+                assert_eq!(a.answered_epoch, b.answered_epoch, "batch resolution diverged");
+                assert_eq!(a.sources_reached, b.sources_reached, "outcomes diverged");
+                assert!(a.answered_epoch > a.epoch, "a batch must advance epochs");
+            }
+            let (_, fp_a) = control.fingerprint(preset).expect("fingerprint");
+            let (_, fp_b) = control.fingerprint(&restored_name).expect("fingerprint");
+            assert_eq!(fp_a, fp_b, "{preset}: trajectories diverged after identical query batches");
+            eprintln!("loadgen: {preset} smoke ok (post-batch fingerprint {})", {
+                fingerprint_hex(fp_a)
+            });
+            continue;
+        }
+
+        // Sustained throughput: `clients` concurrent blocking-query
+        // loops against the live deployment.
+        let completed = Arc::new(AtomicU64::new(0));
+        let deadline = Instant::now() + std::time::Duration::from_secs_f64(args.duration_s);
+        let t0 = Instant::now();
+        std::thread::scope(|scope| {
+            for c in 0..args.clients {
+                let completed = Arc::clone(&completed);
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    let mut client = Client::connect(&addr).expect("connect load client");
+                    let mut k = 0usize;
+                    while Instant::now() < deadline {
+                        let (lo, hi) = query_window(c, k);
+                        client.query(preset, (k % 2) as u8, lo, hi, None).expect("load query");
+                        completed.fetch_add(1, Ordering::Relaxed);
+                        k += 1;
+                    }
+                });
+            }
+        });
+        let elapsed = t0.elapsed().as_secs_f64();
+        let total = completed.load(Ordering::Relaxed);
+        let qps = total as f64 / elapsed;
+        eprintln!("loadgen: {preset} {total} queries in {elapsed:.2} s → {qps:.1} q/s");
+
+        let mut row = Json::object();
+        row.set("name", Json::Str(preset.to_string()));
+        row.set("preset", Json::Str(preset.to_string()));
+        row.set("scale", Json::Num(scale));
+        row.set("scheme", Json::Str(summary.scheme.clone()));
+        row.set("seed", Json::Num(summary.seed as f64));
+        row.set("nodes", Json::Num(summary.nodes as f64));
+        row.set("warmup_epochs", Json::Num(args.warmup as f64));
+        row.set("state_fingerprint", Json::Str(fingerprint_hex(fp)));
+        row.set("snapshot_bytes", Json::Num(snap.bytes as f64));
+        row.set("snapshot_ms", Json::Num(snapshot_ms));
+        row.set("restore_ms", Json::Num(restore_ms));
+        row.set("queries_completed", Json::Num(total as f64));
+        row.set("elapsed_s", Json::Num(elapsed));
+        row.set("qps", Json::Num(qps));
+        rows.push(row);
+    }
+
+    let deployments = control.status().expect("status");
+    assert_eq!(
+        deployments.len(),
+        2 * DEPLOYMENTS.len(),
+        "originals and restores should both be listed"
+    );
+    control.shutdown().expect("shutdown");
+    if let Some(handle) = daemon_thread {
+        handle.join().expect("daemon thread").expect("daemon serve");
+        eprintln!("loadgen: daemon shut down cleanly");
+    }
+
+    if args.smoke {
+        println!("loadgen --smoke: all invariants held");
+        return;
+    }
+
+    let mut doc = Json::object();
+    doc.set("schema", Json::Str("dirqd-loadgen/1".into()));
+    doc.set("image_format_version", Json::Num(f64::from(SNAP_FORMAT_VERSION)));
+    doc.set("clients", Json::Num(args.clients as f64));
+    doc.set("duration_s", Json::Num(args.duration_s));
+    doc.set("deployments", Json::Arr(rows));
+    std::fs::write(&args.out, doc.render_pretty())
+        .unwrap_or_else(|e| panic!("write {}: {e}", args.out));
+    println!("loadgen: wrote {}", args.out);
+}

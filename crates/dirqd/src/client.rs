@@ -1,0 +1,293 @@
+//! Blocking client for the dirqd protocol.
+//!
+//! One [`Client`] wraps one TCP connection; calls are synchronous
+//! request/response pairs. Open several clients to drive concurrent
+//! query load (the daemon batches submissions per deployment).
+
+use std::io::{self, BufReader};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use dirq_sim::json::Json;
+
+use crate::protocol::{parse_fingerprint, read_line, write_line};
+
+/// A failed daemon call.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connection refused, broken pipe, framing).
+    Io(io::Error),
+    /// The daemon answered with `ok: false`.
+    Remote(String),
+    /// The daemon's answer was missing an expected field.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport: {e}"),
+            ClientError::Remote(msg) => write!(f, "daemon: {msg}"),
+            ClientError::Protocol(msg) => write!(f, "protocol: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// Shorthand for daemon-call results.
+pub type Result<T> = std::result::Result<T, ClientError>;
+
+/// A deployment summary as the daemon reports it.
+#[derive(Clone, Debug)]
+pub struct DeploySummary {
+    /// Deployment name.
+    pub name: String,
+    /// Registry preset.
+    pub preset: String,
+    /// Scheme label.
+    pub scheme: String,
+    /// Engine seed.
+    pub seed: u64,
+    /// Node count.
+    pub nodes: usize,
+    /// Preset epoch budget.
+    pub epochs: u64,
+    /// Current epoch.
+    pub epoch: u64,
+}
+
+impl DeploySummary {
+    fn from_json(doc: &Json) -> Result<DeploySummary> {
+        let text = |k: &str| {
+            doc.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| ClientError::Protocol(format!("missing field {k:?}")))
+        };
+        let num = |k: &str| {
+            doc.get(k)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| ClientError::Protocol(format!("missing field {k:?}")))
+        };
+        Ok(DeploySummary {
+            name: text("name")?,
+            preset: text("preset")?,
+            scheme: text("scheme")?,
+            seed: num("seed")? as u64,
+            nodes: num("nodes")? as usize,
+            epochs: num("epochs")? as u64,
+            epoch: num("epoch")? as u64,
+        })
+    }
+}
+
+/// The scored outcome of one client query.
+#[derive(Clone, Copy, Debug)]
+pub struct QueryReport {
+    /// Assigned query id.
+    pub id: u64,
+    /// Epoch the query was injected at.
+    pub epoch: u64,
+    /// Epoch the batch finished resolving at.
+    pub answered_epoch: u64,
+    /// Nodes whose current value satisfies the query.
+    pub true_sources: usize,
+    /// Satisfying nodes the dissemination actually reached.
+    pub sources_reached: usize,
+    /// Source recall in `[0, 1]`.
+    pub recall: f64,
+    /// Query-dissemination transmissions attributed to this query.
+    pub tx: u64,
+    /// Matching receptions.
+    pub rx: u64,
+}
+
+/// A snapshot the daemon wrote to disk.
+#[derive(Clone, Debug)]
+pub struct SnapshotReport {
+    /// Image path.
+    pub path: String,
+    /// Image size in bytes (header + body).
+    pub bytes: u64,
+    /// Epoch the capture happened at.
+    pub epoch: u64,
+    /// Engine state fingerprint at capture.
+    pub fingerprint: u64,
+}
+
+/// One blocking connection to a daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to a daemon.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { reader: BufReader::new(stream.try_clone()?), writer: stream })
+    }
+
+    /// One raw request/response round trip; checks the `ok` envelope.
+    pub fn call(&mut self, request: &Json) -> Result<Json> {
+        write_line(&mut self.writer, request)?;
+        let response = read_line(&mut self.reader)?
+            .ok_or_else(|| ClientError::Protocol("daemon closed the connection".into()))?;
+        match response.get("ok") {
+            Some(Json::Bool(true)) => Ok(response),
+            Some(Json::Bool(false)) => Err(ClientError::Remote(
+                response.get("error").and_then(Json::as_str).unwrap_or("unspecified").to_string(),
+            )),
+            _ => Err(ClientError::Protocol("response lacks an \"ok\" field".into())),
+        }
+    }
+
+    fn request(cmd: &str) -> Json {
+        let mut obj = Json::object();
+        obj.set("cmd", Json::Str(cmd.to_string()));
+        obj
+    }
+
+    /// Create a deployment from a registry preset.
+    pub fn deploy(
+        &mut self,
+        name: &str,
+        preset: &str,
+        scale: Option<f64>,
+        scheme: Option<&str>,
+        seed: Option<u64>,
+    ) -> Result<DeploySummary> {
+        let mut req = Self::request("deploy");
+        req.set("name", Json::Str(name.to_string()));
+        req.set("preset", Json::Str(preset.to_string()));
+        if let Some(s) = scale {
+            req.set("scale", Json::Num(s));
+        }
+        if let Some(s) = scheme {
+            req.set("scheme", Json::Str(s.to_string()));
+        }
+        if let Some(s) = seed {
+            req.set("seed", Json::Num(s as f64));
+        }
+        DeploySummary::from_json(&self.call(&req)?)
+    }
+
+    /// Submit one range query and block until its batch resolves.
+    pub fn query(
+        &mut self,
+        deployment: &str,
+        stype: u8,
+        lo: f64,
+        hi: f64,
+        region: Option<[f64; 4]>,
+    ) -> Result<QueryReport> {
+        let mut req = Self::request("query");
+        req.set("deployment", Json::Str(deployment.to_string()));
+        req.set("stype", Json::Num(f64::from(stype)));
+        req.set("lo", Json::Num(lo));
+        req.set("hi", Json::Num(hi));
+        if let Some(r) = region {
+            req.set("region", Json::Arr(r.iter().map(|&x| Json::Num(x)).collect()));
+        }
+        let doc = self.call(&req)?;
+        let num = |k: &str| {
+            doc.get(k)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| ClientError::Protocol(format!("missing field {k:?}")))
+        };
+        Ok(QueryReport {
+            id: num("id")? as u64,
+            epoch: num("epoch")? as u64,
+            answered_epoch: num("answered_epoch")? as u64,
+            true_sources: num("true_sources")? as usize,
+            sources_reached: num("sources_reached")? as usize,
+            recall: num("recall")?,
+            tx: num("tx")? as u64,
+            rx: num("rx")? as u64,
+        })
+    }
+
+    /// Advance a deployment by `epochs`; returns the new epoch.
+    pub fn step(&mut self, deployment: &str, epochs: u64) -> Result<u64> {
+        let mut req = Self::request("step");
+        req.set("deployment", Json::Str(deployment.to_string()));
+        req.set("epochs", Json::Num(epochs as f64));
+        let doc = self.call(&req)?;
+        doc.get("epoch")
+            .and_then(Json::as_f64)
+            .map(|e| e as u64)
+            .ok_or_else(|| ClientError::Protocol("missing field \"epoch\"".into()))
+    }
+
+    /// List every deployment.
+    pub fn status(&mut self) -> Result<Vec<DeploySummary>> {
+        let doc = self.call(&Self::request("status"))?;
+        doc.get("deployments")
+            .and_then(Json::as_array)
+            .ok_or_else(|| ClientError::Protocol("missing field \"deployments\"".into()))?
+            .iter()
+            .map(DeploySummary::from_json)
+            .collect()
+    }
+
+    /// The engine-state fingerprint of a deployment, with its epoch.
+    pub fn fingerprint(&mut self, deployment: &str) -> Result<(u64, u64)> {
+        let mut req = Self::request("fingerprint");
+        req.set("deployment", Json::Str(deployment.to_string()));
+        let doc = self.call(&req)?;
+        let epoch = doc
+            .get("epoch")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| ClientError::Protocol("missing field \"epoch\"".into()))?
+            as u64;
+        let fp = doc
+            .get("fingerprint")
+            .and_then(Json::as_str)
+            .and_then(parse_fingerprint)
+            .ok_or_else(|| ClientError::Protocol("missing field \"fingerprint\"".into()))?;
+        Ok((epoch, fp))
+    }
+
+    /// Capture a deployment to an image file on the daemon's filesystem.
+    pub fn snapshot(&mut self, deployment: &str, path: &str) -> Result<SnapshotReport> {
+        let mut req = Self::request("snapshot");
+        req.set("deployment", Json::Str(deployment.to_string()));
+        req.set("path", Json::Str(path.to_string()));
+        let doc = self.call(&req)?;
+        let num = |k: &str| {
+            doc.get(k)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| ClientError::Protocol(format!("missing field {k:?}")))
+        };
+        Ok(SnapshotReport {
+            path: doc.get("path").and_then(Json::as_str).unwrap_or(path).to_string(),
+            bytes: num("bytes")? as u64,
+            epoch: num("epoch")? as u64,
+            fingerprint: doc
+                .get("fingerprint")
+                .and_then(Json::as_str)
+                .and_then(parse_fingerprint)
+                .ok_or_else(|| ClientError::Protocol("missing field \"fingerprint\"".into()))?,
+        })
+    }
+
+    /// Create a deployment from an image file on the daemon's filesystem.
+    pub fn restore(&mut self, name: &str, path: &str) -> Result<DeploySummary> {
+        let mut req = Self::request("restore");
+        req.set("name", Json::Str(name.to_string()));
+        req.set("path", Json::Str(path.to_string()));
+        DeploySummary::from_json(&self.call(&req)?)
+    }
+
+    /// Stop the daemon (all deployments are torn down).
+    pub fn shutdown(&mut self) -> Result<()> {
+        self.call(&Self::request("shutdown")).map(|_| ())
+    }
+}

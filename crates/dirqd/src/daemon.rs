@@ -1,0 +1,622 @@
+//! The daemon: named live deployments behind a TCP protocol endpoint.
+//!
+//! Each deployment owns one [`Engine`] on a dedicated thread, driven by
+//! a command channel. Connection handlers never touch an engine
+//! directly — they translate protocol lines into commands and wait for
+//! the engine thread's reply, so every deployment processes exactly one
+//! command stream in a deterministic order.
+//!
+//! External queries batch at epoch boundaries: all submissions waiting
+//! when the engine thread wakes are ordered **by content** (sensor
+//! type, window bounds, region) rather than arrival time, injected
+//! together, and the engine steps until the whole batch has completed.
+//! Clients that barrier between batches therefore observe a reproducible
+//! engine trajectory regardless of socket scheduling.
+
+use std::collections::HashMap;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use dirq_core::{CompletedQuery, Engine, Protocol};
+use dirq_data::SensorType;
+use dirq_net::{Position, Rect};
+use dirq_scenario::Scheme;
+use dirq_sim::json::Json;
+use dirq_sim::snap::{frame_image, parse_image};
+
+use crate::protocol::{
+    err_response, fingerprint_hex, ok_response, read_line, resolve_deployment, write_line,
+    ImageHeader,
+};
+
+/// One query waiting for the next epoch-boundary batch.
+struct Submission {
+    stype: u8,
+    lo: f64,
+    hi: f64,
+    region: Option<[f64; 4]>,
+    reply: Sender<Json>,
+}
+
+impl Submission {
+    /// Content ordering key — batch order must not depend on socket
+    /// arrival time.
+    fn key(&self) -> (u8, u64, u64, u8, [u64; 4]) {
+        let region_bits = self.region.map_or([0; 4], |r| r.map(f64::to_bits));
+        (
+            self.stype,
+            self.lo.to_bits(),
+            self.hi.to_bits(),
+            u8::from(self.region.is_some()),
+            region_bits,
+        )
+    }
+}
+
+/// Commands a connection handler can send to an engine thread.
+enum EngineCmd {
+    Submit(Submission),
+    Step { epochs: u64, reply: Sender<Json> },
+    Fingerprint { reply: Sender<Json> },
+    SnapshotTo { path: String, reply: Sender<Json> },
+    Stop,
+}
+
+/// Static facts about a deployment, shared with `status` handlers.
+#[derive(Clone)]
+pub struct DeploymentInfo {
+    /// Deployment name (the protocol handle).
+    pub name: String,
+    /// Registry preset it was built from.
+    pub preset: String,
+    /// Epoch-budget scale applied to the preset.
+    pub scale: f64,
+    /// Scheme label.
+    pub scheme: String,
+    /// Engine seed.
+    pub seed: u64,
+    /// Node count.
+    pub nodes: usize,
+    /// The preset's epoch budget (the daemon may step past it).
+    pub epochs: u64,
+    /// Whether nodes carry positions (spatially scoped queries allowed).
+    pub location_enabled: bool,
+}
+
+impl DeploymentInfo {
+    fn to_json(&self, epoch: u64) -> Json {
+        let mut obj = Json::object();
+        obj.set("name", Json::Str(self.name.clone()));
+        obj.set("preset", Json::Str(self.preset.clone()));
+        obj.set("scale", Json::Num(self.scale));
+        obj.set("scheme", Json::Str(self.scheme.clone()));
+        obj.set("seed", Json::Num(self.seed as f64));
+        obj.set("nodes", Json::Num(self.nodes as f64));
+        obj.set("epochs", Json::Num(self.epochs as f64));
+        obj.set("epoch", Json::Num(epoch as f64));
+        obj
+    }
+}
+
+struct Deployment {
+    info: DeploymentInfo,
+    /// Last epoch boundary the engine thread published.
+    epoch: Arc<AtomicU64>,
+    tx: Sender<EngineCmd>,
+    thread: Option<JoinHandle<()>>,
+}
+
+struct Shared {
+    deployments: Mutex<HashMap<String, Deployment>>,
+    shutting_down: AtomicBool,
+}
+
+/// A running daemon bound to a local TCP port.
+pub struct Daemon {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Daemon {
+    /// Bind to `addr` (use port 0 for an ephemeral port; see
+    /// [`Daemon::local_addr`]).
+    pub fn bind(addr: &str) -> io::Result<Daemon> {
+        Ok(Daemon {
+            listener: TcpListener::bind(addr)?,
+            shared: Arc::new(Shared {
+                deployments: Mutex::new(HashMap::new()),
+                shutting_down: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Bind and serve on a background thread — the in-process form the
+    /// load generator and the integration tests use. Returns the bound
+    /// address and the serving thread's handle (joins after `shutdown`).
+    pub fn spawn(addr: &str) -> io::Result<(SocketAddr, JoinHandle<io::Result<()>>)> {
+        let daemon = Daemon::bind(addr)?;
+        let local = daemon.local_addr()?;
+        let handle = std::thread::Builder::new()
+            .name("dirqd-accept".into())
+            .spawn(move || daemon.serve())
+            .expect("spawn daemon thread");
+        Ok((local, handle))
+    }
+
+    /// Serve until a client issues `shutdown`. Blocks; run on its own
+    /// thread for in-process use (see the loadgen and the tests).
+    pub fn serve(self) -> io::Result<()> {
+        let addr = self.listener.local_addr()?;
+        for conn in self.listener.incoming() {
+            if self.shared.shutting_down.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match conn {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let shared = Arc::clone(&self.shared);
+            std::thread::spawn(move || {
+                let _ = handle_connection(stream, &shared, addr);
+            });
+        }
+        // Join every engine thread so serve() returning means the
+        // daemon's state is fully torn down.
+        let mut deployments = self.shared.deployments.lock().expect("deployment map");
+        for (_, mut d) in deployments.drain() {
+            let _ = d.tx.send(EngineCmd::Stop);
+            if let Some(t) = d.thread.take() {
+                let _ = t.join();
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One client connection: a request/response loop over protocol lines.
+fn handle_connection(
+    stream: TcpStream,
+    shared: &Shared,
+    daemon_addr: SocketAddr,
+) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    loop {
+        let request = match read_line(&mut reader) {
+            Ok(Some(doc)) => doc,
+            Ok(None) => return Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // Report the broken line and drop the connection — the
+                // stream may be desynchronised.
+                let _ = write_line(&mut writer, &err_response(&e.to_string()));
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
+        let cmd = request.get("cmd").and_then(Json::as_str).unwrap_or_default().to_string();
+        let response = match cmd.as_str() {
+            "deploy" => handle_deploy(&request, shared),
+            "query" => handle_query(&request, shared),
+            "step" => handle_step(&request, shared),
+            "status" => handle_status(shared),
+            "fingerprint" => handle_fingerprint(&request, shared),
+            "snapshot" => handle_snapshot(&request, shared),
+            "restore" => handle_restore(&request, shared),
+            "shutdown" => {
+                write_line(&mut writer, &ok_response())?;
+                initiate_shutdown(shared, daemon_addr);
+                return Ok(());
+            }
+            "" => err_response("missing \"cmd\" field"),
+            other => err_response(&format!("unknown command {other:?}")),
+        };
+        write_line(&mut writer, &response)?;
+    }
+}
+
+/// Flag the daemon as stopping and wake the accept loop with a
+/// throwaway connection so `serve` observes the flag.
+fn initiate_shutdown(shared: &Shared, daemon_addr: SocketAddr) {
+    shared.shutting_down.store(true, Ordering::SeqCst);
+    if let Ok(s) = TcpStream::connect(daemon_addr) {
+        drop(s);
+    }
+}
+
+fn str_field(doc: &Json, key: &str) -> Result<String, Json> {
+    doc.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| err_response(&format!("missing string field {key:?}")))
+}
+
+fn num_field(doc: &Json, key: &str) -> Result<f64, Json> {
+    doc.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| err_response(&format!("missing numeric field {key:?}")))
+}
+
+/// Clone the channel/epoch handles of a deployment under the map lock.
+fn lookup(
+    shared: &Shared,
+    name: &str,
+) -> Result<(DeploymentInfo, Arc<AtomicU64>, Sender<EngineCmd>), Json> {
+    let deployments = shared.deployments.lock().expect("deployment map");
+    deployments
+        .get(name)
+        .map(|d| (d.info.clone(), Arc::clone(&d.epoch), d.tx.clone()))
+        .ok_or_else(|| err_response(&format!("no deployment named {name:?}")))
+}
+
+/// Send `cmd` and wait for the engine thread's reply.
+fn round_trip(tx: &Sender<EngineCmd>, cmd: EngineCmd, rx: Receiver<Json>) -> Json {
+    if tx.send(cmd).is_err() {
+        return err_response("deployment is shutting down");
+    }
+    rx.recv().unwrap_or_else(|_| err_response("deployment engine stopped"))
+}
+
+fn handle_deploy(request: &Json, shared: &Shared) -> Json {
+    let name = match str_field(request, "name") {
+        Ok(v) => v,
+        Err(e) => return e,
+    };
+    let preset = match str_field(request, "preset") {
+        Ok(v) => v,
+        Err(e) => return e,
+    };
+    let scale = request.get("scale").and_then(Json::as_f64).unwrap_or(1.0);
+    let scheme_label = request.get("scheme").and_then(Json::as_str).map(str::to_string);
+    let (spec, scheme) = match resolve_deployment(&preset, scale, scheme_label.as_deref()) {
+        Ok(v) => v,
+        Err(msg) => return err_response(&msg),
+    };
+    let seed = request.get("seed").and_then(Json::as_f64).map_or(spec.seed, |s| s as u64);
+    install(shared, &name, &preset, scale, spec, scheme, seed, None)
+}
+
+fn handle_restore(request: &Json, shared: &Shared) -> Json {
+    let name = match str_field(request, "name") {
+        Ok(v) => v,
+        Err(e) => return e,
+    };
+    let path = match str_field(request, "path") {
+        Ok(v) => v,
+        Err(e) => return e,
+    };
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) => return err_response(&format!("read {path:?}: {e}")),
+    };
+    let (header_json, body) = match parse_image(&bytes) {
+        Ok(v) => v,
+        Err(e) => return err_response(&format!("parse {path:?}: {e}")),
+    };
+    let header = match ImageHeader::from_json(&header_json) {
+        Ok(h) => h,
+        Err(msg) => return err_response(&msg),
+    };
+    let (spec, scheme) = match header.resolve() {
+        Ok(v) => v,
+        Err(msg) => return err_response(&msg),
+    };
+    if spec.n_nodes != header.nodes {
+        return err_response(&format!(
+            "image header claims {} nodes but preset {:?} deploys {}",
+            header.nodes, header.preset, spec.n_nodes
+        ));
+    }
+    install(shared, &name, &header.preset, header.scale, spec, scheme, header.seed, Some(body))
+}
+
+/// Build the engine (outside the map lock — deployment can take a
+/// while), optionally overlay a snapshot body, and register the engine
+/// thread under `name`.
+#[allow(clippy::too_many_arguments)]
+fn install(
+    shared: &Shared,
+    name: &str,
+    preset: &str,
+    scale: f64,
+    spec: dirq_scenario::ScenarioSpec,
+    scheme: Scheme,
+    seed: u64,
+    body: Option<&[u8]>,
+) -> Json {
+    {
+        let deployments = shared.deployments.lock().expect("deployment map");
+        if deployments.contains_key(name) {
+            return err_response(&format!("deployment {name:?} already exists"));
+        }
+    }
+    let cfg = spec.config(scheme, seed);
+    let info = DeploymentInfo {
+        name: name.to_string(),
+        preset: preset.to_string(),
+        scale,
+        scheme: scheme.label(),
+        seed,
+        nodes: cfg.n_nodes,
+        epochs: cfg.epochs,
+        location_enabled: cfg.location_enabled,
+    };
+    let mut engine = Engine::new(cfg);
+    if let Some(body) = body {
+        if let Err(e) = engine.restore(body) {
+            return err_response(&format!("restore: {e}"));
+        }
+    }
+    engine.enable_completed_log();
+    let epoch = Arc::new(AtomicU64::new(engine.epoch()));
+    let (tx, rx) = channel();
+    let thread_epoch = Arc::clone(&epoch);
+    let thread_info = info.clone();
+    let thread = std::thread::Builder::new()
+        .name(format!("dirqd-{name}"))
+        .spawn(move || engine_thread(engine, thread_info, thread_epoch, rx))
+        .expect("spawn engine thread");
+    let current = epoch.load(Ordering::SeqCst);
+    let mut deployments = shared.deployments.lock().expect("deployment map");
+    if deployments.contains_key(name) {
+        // Raced another deploy of the same name; tear ours down.
+        drop(deployments);
+        let _ = tx.send(EngineCmd::Stop);
+        let _ = thread.join();
+        return err_response(&format!("deployment {name:?} already exists"));
+    }
+    let response = info.to_json(current);
+    deployments.insert(name.to_string(), Deployment { info, epoch, tx, thread: Some(thread) });
+    let mut ok = ok_response();
+    let Json::Obj(fields) = response else { unreachable!("info renders an object") };
+    for (k, v) in fields {
+        ok.set(&k, v);
+    }
+    ok
+}
+
+fn handle_query(request: &Json, shared: &Shared) -> Json {
+    let deployment = match str_field(request, "deployment") {
+        Ok(v) => v,
+        Err(e) => return e,
+    };
+    let stype = match num_field(request, "stype") {
+        Ok(v) => v as u8,
+        Err(e) => return e,
+    };
+    let (lo, hi) = match (num_field(request, "lo"), num_field(request, "hi")) {
+        (Ok(lo), Ok(hi)) => (lo, hi),
+        (Err(e), _) | (_, Err(e)) => return e,
+    };
+    let region = match request.get("region") {
+        None | Some(Json::Null) => None,
+        Some(doc) => match doc.as_array() {
+            Some(v) if v.len() == 4 => {
+                let mut corners = [0.0; 4];
+                for (slot, item) in corners.iter_mut().zip(v) {
+                    match item.as_f64() {
+                        Some(x) => *slot = x,
+                        None => return err_response("region must be [x0, y0, x1, y1]"),
+                    }
+                }
+                Some(corners)
+            }
+            _ => return err_response("region must be [x0, y0, x1, y1]"),
+        },
+    };
+    let (info, _, tx) = match lookup(shared, &deployment) {
+        Ok(v) => v,
+        Err(e) => return e,
+    };
+    if region.is_some() && !info.location_enabled {
+        return err_response(&format!(
+            "deployment {deployment:?} has no location extension; spatial queries unsupported"
+        ));
+    }
+    if !(lo.is_finite() && hi.is_finite() && lo <= hi) {
+        return err_response("query window must satisfy lo <= hi (finite)");
+    }
+    let (reply_tx, reply_rx) = channel();
+    round_trip(
+        &tx,
+        EngineCmd::Submit(Submission { stype, lo, hi, region, reply: reply_tx }),
+        reply_rx,
+    )
+}
+
+fn handle_step(request: &Json, shared: &Shared) -> Json {
+    let deployment = match str_field(request, "deployment") {
+        Ok(v) => v,
+        Err(e) => return e,
+    };
+    let epochs = match num_field(request, "epochs") {
+        Ok(v) if v >= 0.0 => v as u64,
+        Ok(_) => return err_response("epochs must be non-negative"),
+        Err(e) => return e,
+    };
+    let (_, _, tx) = match lookup(shared, &deployment) {
+        Ok(v) => v,
+        Err(e) => return e,
+    };
+    let (reply_tx, reply_rx) = channel();
+    round_trip(&tx, EngineCmd::Step { epochs, reply: reply_tx }, reply_rx)
+}
+
+fn handle_status(shared: &Shared) -> Json {
+    let deployments = shared.deployments.lock().expect("deployment map");
+    let mut rows: Vec<(String, Json)> = deployments
+        .values()
+        .map(|d| (d.info.name.clone(), d.info.to_json(d.epoch.load(Ordering::SeqCst))))
+        .collect();
+    rows.sort_by(|a, b| a.0.cmp(&b.0));
+    let mut ok = ok_response();
+    ok.set("deployments", Json::Arr(rows.into_iter().map(|(_, j)| j).collect()));
+    ok
+}
+
+fn handle_fingerprint(request: &Json, shared: &Shared) -> Json {
+    let deployment = match str_field(request, "deployment") {
+        Ok(v) => v,
+        Err(e) => return e,
+    };
+    let (_, _, tx) = match lookup(shared, &deployment) {
+        Ok(v) => v,
+        Err(e) => return e,
+    };
+    let (reply_tx, reply_rx) = channel();
+    round_trip(&tx, EngineCmd::Fingerprint { reply: reply_tx }, reply_rx)
+}
+
+fn handle_snapshot(request: &Json, shared: &Shared) -> Json {
+    let deployment = match str_field(request, "deployment") {
+        Ok(v) => v,
+        Err(e) => return e,
+    };
+    let path = match str_field(request, "path") {
+        Ok(v) => v,
+        Err(e) => return e,
+    };
+    let (_, _, tx) = match lookup(shared, &deployment) {
+        Ok(v) => v,
+        Err(e) => return e,
+    };
+    let (reply_tx, reply_rx) = channel();
+    round_trip(&tx, EngineCmd::SnapshotTo { path, reply: reply_tx }, reply_rx)
+}
+
+// --- the engine thread ----------------------------------------------------
+
+/// Drain the command channel, batching query submissions; control
+/// commands reply immediately, batches resolve by stepping epochs until
+/// every query in the batch has finalised.
+fn engine_thread(
+    mut engine: Engine,
+    info: DeploymentInfo,
+    epoch: Arc<AtomicU64>,
+    rx: Receiver<EngineCmd>,
+) {
+    let mut batch: Vec<Submission> = Vec::new();
+    loop {
+        let first = match rx.recv() {
+            Ok(cmd) => cmd,
+            Err(_) => break,
+        };
+        let mut stop = false;
+        let mut pending = vec![first];
+        while let Ok(cmd) = rx.try_recv() {
+            pending.push(cmd);
+        }
+        for cmd in pending {
+            match cmd {
+                EngineCmd::Submit(s) => batch.push(s),
+                EngineCmd::Step { epochs, reply } => {
+                    for _ in 0..epochs {
+                        engine.step_epoch();
+                    }
+                    engine.take_completed();
+                    epoch.store(engine.epoch(), Ordering::SeqCst);
+                    let mut ok = ok_response();
+                    ok.set("epoch", Json::Num(engine.epoch() as f64));
+                    let _ = reply.send(ok);
+                }
+                EngineCmd::Fingerprint { reply } => {
+                    let mut ok = ok_response();
+                    ok.set("epoch", Json::Num(engine.epoch() as f64));
+                    ok.set("fingerprint", Json::Str(fingerprint_hex(engine.state_fingerprint())));
+                    let _ = reply.send(ok);
+                }
+                EngineCmd::SnapshotTo { path, reply } => {
+                    let _ = reply.send(write_snapshot(&engine, &info, &path));
+                }
+                EngineCmd::Stop => stop = true,
+            }
+        }
+        if !batch.is_empty() && !stop {
+            resolve_batch(&mut engine, &mut batch);
+            epoch.store(engine.epoch(), Ordering::SeqCst);
+        }
+        if stop {
+            break;
+        }
+    }
+}
+
+/// Serialize, frame and persist a snapshot image.
+fn write_snapshot(engine: &Engine, info: &DeploymentInfo, path: &str) -> Json {
+    let header = ImageHeader {
+        preset: info.preset.clone(),
+        scale: info.scale,
+        scheme: info.scheme.clone(),
+        seed: info.seed,
+        epoch: engine.epoch(),
+        nodes: info.nodes,
+    };
+    let image = frame_image(&header.to_json(), &engine.snapshot());
+    if let Err(e) = std::fs::write(path, &image) {
+        return err_response(&format!("write {path:?}: {e}"));
+    }
+    let mut ok = ok_response();
+    ok.set("path", Json::Str(path.to_string()));
+    ok.set("bytes", Json::Num(image.len() as f64));
+    ok.set("epoch", Json::Num(engine.epoch() as f64));
+    ok.set("fingerprint", Json::Str(fingerprint_hex(engine.state_fingerprint())));
+    ok
+}
+
+/// Inject the waiting batch (content-ordered) at the current epoch
+/// boundary and step until every member has completed.
+fn resolve_batch(engine: &mut Engine, batch: &mut Vec<Submission>) {
+    batch.sort_by_key(Submission::key);
+    let mut waiting: HashMap<u64, (Sender<Json>, u64)> = HashMap::new();
+    for s in batch.drain(..) {
+        let region = s.region.map(|[x0, y0, x1, y1]| {
+            Rect::new(Position { x: x0, y: y0 }, Position { x: x1, y: y1 })
+        });
+        let injected_at = engine.epoch();
+        let id = engine.submit_external_query(SensorType(s.stype), s.lo, s.hi, region);
+        waiting.insert(id.0, (s.reply, injected_at));
+    }
+    while !waiting.is_empty() {
+        engine.step_epoch();
+        for done in engine.take_completed() {
+            if let Some((reply, injected_at)) = waiting.remove(&done.outcome.id.0) {
+                let _ = reply.send(outcome_json(&done, injected_at, engine.epoch()));
+            }
+        }
+    }
+}
+
+/// Render one completed query for the wire.
+fn outcome_json(done: &CompletedQuery, injected_at: u64, answered_epoch: u64) -> Json {
+    let o = &done.outcome;
+    let mut ok = ok_response();
+    ok.set("id", Json::Num(o.id.0 as f64));
+    ok.set("epoch", Json::Num(injected_at as f64));
+    ok.set("answered_epoch", Json::Num(answered_epoch as f64));
+    ok.set("true_sources", Json::Num(o.true_sources as f64));
+    ok.set("sources_reached", Json::Num(o.sources_reached as f64));
+    ok.set("should_receive", Json::Num(o.should_receive as f64));
+    ok.set("received_should", Json::Num(o.received_should as f64));
+    ok.set("received_should_not", Json::Num(o.received_should_not as f64));
+    ok.set("recall", Json::Num(o.source_recall()));
+    ok.set("tx", Json::Num(done.tx as f64));
+    ok.set("rx", Json::Num(done.rx as f64));
+    ok
+}
+
+/// The protocol scheme label of an engine's configured protocol — a
+/// display helper for the CLI.
+pub fn protocol_label(p: Protocol) -> &'static str {
+    match p {
+        Protocol::Dirq => "dirq",
+        Protocol::Flooding => "flooding",
+    }
+}

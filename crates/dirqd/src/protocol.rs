@@ -1,0 +1,225 @@
+//! The dirqd wire protocol: newline-delimited JSON over TCP.
+//!
+//! Every request is a single line holding one JSON object with a `cmd`
+//! field; every response is a single line holding one JSON object with
+//! an `ok` field (`true` plus result fields, or `false` plus `error`).
+//! Lines are bounded at [`MAX_LINE_BYTES`] on both sides, so a
+//! misbehaving peer cannot balloon memory.
+//!
+//! ## Commands
+//!
+//! | `cmd`         | request fields                                              | response fields |
+//! |---------------|-------------------------------------------------------------|-----------------|
+//! | `deploy`      | `name`, `preset`, [`scale`], [`scheme`], [`seed`]           | `name`, `preset`, `scheme`, `seed`, `scale`, `nodes`, `epochs`, `epoch` |
+//! | `query`       | `deployment`, `stype`, `lo`, `hi`, [`region`: `[x0,y0,x1,y1]`] | `id`, `epoch`, `answered_epoch`, `true_sources`, `sources_reached`, `should_receive`, `received_should`, `received_should_not`, `recall`, `tx`, `rx` |
+//! | `step`        | `deployment`, `epochs`                                      | `epoch` |
+//! | `status`      | —                                                           | `deployments`: array of deploy summaries |
+//! | `fingerprint` | `deployment`                                                | `epoch`, `fingerprint` (hex string) |
+//! | `snapshot`    | `deployment`, `path`                                        | `path`, `bytes`, `epoch`, `fingerprint` |
+//! | `restore`     | `name`, `path`                                              | like `deploy`, at the captured `epoch` |
+//! | `shutdown`    | —                                                           | — |
+//!
+//! Query submissions are **batched at epoch boundaries**: the engine
+//! collects every query waiting at the start of its next epoch, orders
+//! the batch by content (not arrival time), injects it, and steps epochs
+//! until all of the batch has completed. A fixed sequence of barriered
+//! batches therefore drives the engine along a reproducible trajectory —
+//! the property the load generator's fingerprint checks pin.
+//!
+//! Snapshot images are [`dirq_sim::snap::frame_image`] files: magic,
+//! format version, a JSON header carrying the deployment recipe
+//! (`preset`/`scale`/`scheme`/`seed`/`epoch`/`nodes`) and the engine
+//! body. `restore` rebuilds the engine from the header recipe and
+//! overlays the body, so a restored deployment is byte-identical to the
+//! one that was captured.
+
+use std::io::{self, BufRead, Read as _, Write};
+
+use dirq_scenario::{preset, ScenarioSpec, Scheme};
+use dirq_sim::json::Json;
+
+/// Upper bound for one request or response line, both directions.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// File extension the tools use for snapshot images.
+pub const IMAGE_EXTENSION: &str = "dirqsnap";
+
+/// Render a fingerprint the way the protocol carries it (`u64` does not
+/// survive a JSON `f64` number, so fingerprints travel as hex strings).
+pub fn fingerprint_hex(fp: u64) -> String {
+    format!("{fp:#018X}")
+}
+
+/// Parse a [`fingerprint_hex`] string.
+pub fn parse_fingerprint(s: &str) -> Option<u64> {
+    u64::from_str_radix(s.strip_prefix("0x").or_else(|| s.strip_prefix("0X"))?, 16).ok()
+}
+
+/// A successful response under construction.
+pub fn ok_response() -> Json {
+    let mut obj = Json::object();
+    obj.set("ok", Json::Bool(true));
+    obj
+}
+
+/// An error response.
+pub fn err_response(message: &str) -> Json {
+    let mut obj = Json::object();
+    obj.set("ok", Json::Bool(false));
+    obj.set("error", Json::Str(message.to_string()));
+    obj
+}
+
+/// Write `doc` as one protocol line.
+pub fn write_line(w: &mut impl Write, doc: &Json) -> io::Result<()> {
+    let mut line = doc.render();
+    debug_assert!(line.len() < MAX_LINE_BYTES, "oversized protocol line");
+    line.push('\n');
+    w.write_all(line.as_bytes())?;
+    w.flush()
+}
+
+/// Read one protocol line and parse it. `Ok(None)` means clean EOF;
+/// blank lines are skipped; an oversized or syntactically broken line is
+/// an error. A final unterminated line (piped input) is still parsed.
+pub fn read_line(r: &mut impl BufRead) -> io::Result<Option<Json>> {
+    loop {
+        let mut line = String::new();
+        // Bound the read itself, not just the parse — a peer must not be
+        // able to buffer an unbounded newline-free stream.
+        let n = r.by_ref().take(MAX_LINE_BYTES as u64 + 1).read_line(&mut line)?;
+        if n == 0 {
+            return Ok(None);
+        }
+        if line.len() > MAX_LINE_BYTES {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "protocol line too long"));
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        return Json::parse_bounded(trimmed.as_bytes(), MAX_LINE_BYTES)
+            .map(Some)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()));
+    }
+}
+
+/// The deployment recipe a snapshot image header carries — everything
+/// needed to rebuild the static engine structure the body overlays.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ImageHeader {
+    /// Registry preset name.
+    pub preset: String,
+    /// Epoch-budget scale applied to the preset (1.0 = as registered).
+    pub scale: f64,
+    /// Scheme label ([`Scheme::label`]).
+    pub scheme: String,
+    /// Engine seed.
+    pub seed: u64,
+    /// Epoch the snapshot was captured at.
+    pub epoch: u64,
+    /// Node count (redundant with the preset; a cheap sanity field).
+    pub nodes: usize,
+}
+
+impl ImageHeader {
+    /// Render as the JSON object [`dirq_sim::snap::frame_image`] embeds.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        obj.set("preset", Json::Str(self.preset.clone()));
+        obj.set("scale", Json::Num(self.scale));
+        obj.set("scheme", Json::Str(self.scheme.clone()));
+        obj.set("seed", Json::Num(self.seed as f64));
+        obj.set("epoch", Json::Num(self.epoch as f64));
+        obj.set("nodes", Json::Num(self.nodes as f64));
+        obj
+    }
+
+    /// Parse an image header object.
+    pub fn from_json(doc: &Json) -> Result<ImageHeader, String> {
+        let str_field = |k: &str| {
+            doc.get(k)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("image header: missing string field {k:?}"))
+        };
+        let num_field = |k: &str| {
+            doc.get(k)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("image header: missing numeric field {k:?}"))
+        };
+        Ok(ImageHeader {
+            preset: str_field("preset")?,
+            scale: num_field("scale")?,
+            scheme: str_field("scheme")?,
+            seed: num_field("seed")? as u64,
+            epoch: num_field("epoch")? as u64,
+            nodes: num_field("nodes")? as usize,
+        })
+    }
+
+    /// Resolve the recipe back to a spec + scheme, exactly as `deploy`
+    /// would interpret it.
+    pub fn resolve(&self) -> Result<(ScenarioSpec, Scheme), String> {
+        resolve_deployment(&self.preset, self.scale, Some(&self.scheme))
+    }
+}
+
+/// Resolve a `(preset, scale, scheme)` request to a runnable spec: the
+/// scheme defaults to the preset's first registered scheme, and scaling
+/// is only applied when it changes the budget (so `scale: 1.0`
+/// round-trips exactly).
+pub fn resolve_deployment(
+    preset_name: &str,
+    scale: f64,
+    scheme: Option<&str>,
+) -> Result<(ScenarioSpec, Scheme), String> {
+    let spec = preset(preset_name).ok_or_else(|| format!("unknown preset {preset_name:?}"))?;
+    if !(scale.is_finite() && scale > 0.0) {
+        return Err(format!("scale must be a positive number, got {scale}"));
+    }
+    let scheme = match scheme {
+        None => spec.schemes[0],
+        Some(label) => Scheme::parse(label).ok_or_else(|| format!("unknown scheme {label:?}"))?,
+    };
+    let spec = if scale == 1.0 { spec } else { spec.scaled(scale) };
+    Ok((spec, scheme))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprints_round_trip_as_hex() {
+        for fp in [0u64, 1, u64::MAX, 0x5778_F391_E49D_F93C] {
+            assert_eq!(parse_fingerprint(&fingerprint_hex(fp)), Some(fp));
+        }
+        assert_eq!(parse_fingerprint("12"), None);
+    }
+
+    #[test]
+    fn image_headers_round_trip() {
+        let header = ImageHeader {
+            preset: "dense_grid_100".into(),
+            scale: 0.1,
+            scheme: "dirq-atc".into(),
+            seed: 1_001,
+            epoch: 37,
+            nodes: 100,
+        };
+        assert_eq!(ImageHeader::from_json(&header.to_json()).unwrap(), header);
+        let (spec, scheme) = header.resolve().unwrap();
+        assert_eq!(spec.n_nodes, 100);
+        assert_eq!(scheme, Scheme::DirqAtc);
+    }
+
+    #[test]
+    fn deployment_resolution_validates() {
+        assert!(resolve_deployment("no_such_preset", 1.0, None).is_err());
+        assert!(resolve_deployment("dense_grid_100", 0.0, None).is_err());
+        assert!(resolve_deployment("dense_grid_100", 1.0, Some("bogus")).is_err());
+        let (spec, _) = resolve_deployment("dense_grid_100", 1.0, None).unwrap();
+        assert_eq!(spec.epochs, dirq_scenario::preset("dense_grid_100").unwrap().epochs);
+    }
+}

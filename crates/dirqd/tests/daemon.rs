@@ -1,0 +1,131 @@
+//! End-to-end daemon test over a real TCP socket: deploy, step, query,
+//! snapshot, restore, fingerprint equality, protocol error paths and a
+//! clean shutdown — the same invariants `loadgen --smoke` gates in CI,
+//! at debug-tier scale.
+
+use dirq_sim::json::Json;
+use dirqd::{Client, ClientError, Daemon};
+
+/// Everything shares one daemon: TCP listeners are cheap but test
+/// processes should not leak serving threads.
+#[test]
+fn daemon_end_to_end() {
+    let (addr, daemon) = Daemon::spawn("127.0.0.1:0").expect("spawn daemon");
+    let mut c = Client::connect(addr).expect("connect");
+
+    // --- deploy + step + status ------------------------------------------
+    let info = c.deploy("a", "dense_grid_100", Some(0.1), None, None).expect("deploy");
+    assert_eq!(info.nodes, 100);
+    assert_eq!(info.epoch, 0);
+    assert_eq!(info.epochs, 400, "dense_grid_100 at 0.1 scale");
+    assert_eq!(c.step("a", 25).expect("step"), 25);
+
+    // Deterministic: a second identical deployment fingerprints equal.
+    c.deploy("b", "dense_grid_100", Some(0.1), None, None).expect("deploy twin");
+    c.step("b", 25).expect("step twin");
+    let (_, fp_a) = c.fingerprint("a").expect("fingerprint");
+    let (_, fp_b) = c.fingerprint("b").expect("fingerprint");
+    assert_eq!(fp_a, fp_b, "identical call sequences must produce identical engines");
+
+    let status = c.status().expect("status");
+    assert_eq!(status.len(), 2);
+    assert!(status.iter().all(|d| d.epoch == 25));
+
+    // --- queries: batching, determinism, outcomes ------------------------
+    let q1 = c.query("a", 0, 12.0, 26.0, None).expect("query");
+    assert!(q1.answered_epoch > q1.epoch, "a batch must step the engine");
+    let q2 = c.query("b", 0, 12.0, 26.0, None).expect("query twin");
+    assert_eq!(q1.id, q2.id);
+    assert_eq!(q1.answered_epoch, q2.answered_epoch);
+    assert_eq!(q1.sources_reached, q2.sources_reached);
+    assert_eq!(q1.tx, q2.tx);
+    let (_, fp_a) = c.fingerprint("a").expect("fingerprint");
+    let (_, fp_b) = c.fingerprint("b").expect("fingerprint");
+    assert_eq!(fp_a, fp_b, "twins diverged after identical queries");
+
+    // --- snapshot / restore ----------------------------------------------
+    let image = std::env::temp_dir().join("dirqd-test-a.dirqsnap");
+    let image = image.to_str().expect("utf-8 temp path");
+    let snap = c.snapshot("a", image).expect("snapshot");
+    assert_eq!(snap.fingerprint, fp_a);
+    assert!(snap.bytes > 0);
+
+    let restored = c.restore("a2", image).expect("restore");
+    assert_eq!(restored.epoch, snap.epoch);
+    assert_eq!(restored.preset, "dense_grid_100");
+    let (_, fp_restored) = c.fingerprint("a2").expect("fingerprint");
+    assert_eq!(fp_restored, fp_a, "restored engine must fingerprint-equal the original");
+
+    // The restored engine *behaves* identically too, not just at rest.
+    let qa = c.query("a", 1, 40.0, 55.0, None).expect("query original");
+    let qr = c.query("a2", 1, 40.0, 55.0, None).expect("query restored");
+    assert_eq!(
+        (qa.id, qa.answered_epoch, qa.sources_reached),
+        (qr.id, qr.answered_epoch, qr.sources_reached)
+    );
+    let (_, fp_after_a) = c.fingerprint("a").expect("fingerprint");
+    let (_, fp_after_r) = c.fingerprint("a2").expect("fingerprint");
+    assert_eq!(fp_after_a, fp_after_r);
+
+    // --- error paths ------------------------------------------------------
+    let is_remote = |r: Result<_, ClientError>| matches!(r, Err(ClientError::Remote(_)));
+    assert!(
+        is_remote(c.deploy("a", "dense_grid_100", None, None, None).map(|_| ())),
+        "duplicate name accepted"
+    );
+    assert!(
+        is_remote(c.deploy("x", "no_such_preset", None, None, None).map(|_| ())),
+        "unknown preset accepted"
+    );
+    assert!(
+        is_remote(c.deploy("x", "dense_grid_100", Some(-1.0), None, None).map(|_| ())),
+        "negative scale accepted"
+    );
+    assert!(
+        is_remote(c.deploy("x", "dense_grid_100", None, Some("bogus"), None).map(|_| ())),
+        "unknown scheme accepted"
+    );
+    assert!(
+        is_remote(c.query("missing", 0, 0.0, 1.0, None).map(|_| ())),
+        "unknown deployment accepted"
+    );
+    assert!(is_remote(c.query("a", 0, 5.0, 1.0, None).map(|_| ())), "inverted window accepted");
+    assert!(
+        is_remote(c.query("a", 0, 10.0, 20.0, Some([0.0, 0.0, 50.0, 50.0])).map(|_| ())),
+        "spatial query accepted without the location extension"
+    );
+    assert!(is_remote(c.restore("x", "/no/such/image").map(|_| ())), "missing image accepted");
+    // A non-image file is rejected by magic.
+    let junk = std::env::temp_dir().join("dirqd-test-junk.dirqsnap");
+    std::fs::write(&junk, b"not a snapshot").expect("write junk");
+    assert!(is_remote(c.restore("x", junk.to_str().unwrap()).map(|_| ())), "junk image accepted");
+    // Unknown command and missing cmd field.
+    let mut raw = Json::object();
+    raw.set("cmd", Json::Str("frobnicate".into()));
+    assert!(is_remote(c.call(&raw).map(|_| ())));
+    assert!(is_remote(c.call(&Json::object()).map(|_| ())));
+
+    // A deployment whose preset enables the location extension takes
+    // spatially scoped queries.
+    c.deploy("spatial", "hotspot_workload_200", Some(0.1), None, None).expect("deploy spatial");
+    c.step("spatial", 12).expect("step spatial");
+    let q =
+        c.query("spatial", 0, 5.0, 60.0, Some([0.0, 0.0, 150.0, 150.0])).expect("spatial query");
+    assert!(q.answered_epoch > q.epoch);
+
+    // --- shutdown ---------------------------------------------------------
+    c.shutdown().expect("shutdown");
+    daemon.join().expect("join daemon thread").expect("daemon serve");
+    assert!(
+        Client::connect(addr).is_err() || {
+            // The OS may accept a queued connection briefly; a call must
+            // fail either way.
+            let mut late = Client::connect(addr).unwrap();
+            late.status().is_err()
+        },
+        "daemon still serving after shutdown"
+    );
+
+    let _ = std::fs::remove_file(image);
+    let _ = std::fs::remove_file(junk);
+}

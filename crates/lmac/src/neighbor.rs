@@ -35,6 +35,7 @@
 use std::cell::Cell;
 
 use dirq_net::{NodeId, Topology};
+use dirq_sim::snap::{SnapError, SnapReader, SnapWriter};
 
 use crate::slots::SlotSet;
 
@@ -234,6 +235,54 @@ impl NeighborArena {
                 out.push(id);
             }
         }
+    }
+
+    /// Write every edge entry to `w`. Row structure is topology-derived
+    /// and not serialized; only the dynamic knowledge is.
+    pub fn snap(&self, w: &mut SnapWriter) {
+        w.tag(b"ARNA");
+        w.len_of(self.entries.len());
+        for e in &self.entries {
+            w.bool(e.present);
+            if e.present {
+                w.opt_u16(e.info.slot);
+                w.u128(e.info.occupied.bits());
+                w.u16(e.info.gateway_dist);
+                w.u64(e.info.last_heard_frame);
+            }
+        }
+    }
+
+    /// Overlay entries captured by [`NeighborArena::snap`] onto this
+    /// arena (which must be built over the same topology). Per-row
+    /// presence counts are recomputed and all caches marked dirty.
+    pub fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.tag(b"ARNA")?;
+        let pos = r.position();
+        let n = r.seq_len(1)?;
+        if n != self.entries.len() {
+            return Err(SnapError::Malformed { pos, what: "arena edge count mismatch" });
+        }
+        for e in &mut self.entries {
+            e.present = r.bool()?;
+            e.info = if e.present {
+                NeighborInfo {
+                    slot: r.opt_u16()?,
+                    occupied: SlotSet::from_bits(r.u128()?),
+                    gateway_dist: r.u16()?,
+                    last_heard_frame: r.u64()?,
+                }
+            } else {
+                EdgeEntry::vacant().info
+            };
+        }
+        for i in 0..self.present.len() {
+            let (lo, hi) = (self.row_offsets[i] as usize, self.row_offsets[i + 1] as usize);
+            self.present[i] = self.entries[lo..hi].iter().filter(|e| e.present).count() as u32;
+            self.occ_cache[i].set(None);
+            self.gw_cache[i].set(None);
+        }
+        Ok(())
     }
 
     /// Row-disjoint raw mutation handle (see the module docs). The caller

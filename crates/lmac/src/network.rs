@@ -53,6 +53,7 @@ use std::collections::VecDeque;
 
 use dirq_net::{EnergyLedger, NodeBits, NodeId, Topology};
 use dirq_sim::runner::WorkerPool;
+use dirq_sim::snap::{SnapError, SnapReader, SnapWriter};
 use dirq_sim::SimRng;
 use rand::Rng;
 
@@ -649,6 +650,146 @@ impl<P> LmacNetwork<P> {
             self.arena.reset_row(node);
             self.alive_mask.remove(node);
         }
+    }
+
+    /// Write the dynamic MAC state (clock, statistics, ledgers, per-node
+    /// join/queue state, slot ownership, neighbour knowledge) to `w`.
+    /// `encode` serializes one queued payload; the MAC never inspects
+    /// payloads, so their codec belongs to the upper layer.
+    pub fn snap(&self, w: &mut SnapWriter, mut encode: impl FnMut(&mut SnapWriter, &P)) {
+        w.tag(b"LMAC");
+        w.u64(self.frame);
+        w.u16(self.slot);
+        for v in [
+            self.stats.delivered,
+            self.stats.undeliverable,
+            self.stats.collisions,
+            self.stats.slots_surrendered,
+            self.stats.slots_picked,
+            self.stats.no_free_slot,
+            self.stats.deaths_detected,
+            self.stats.new_neighbors_detected,
+        ] {
+            w.u64(v);
+        }
+        self.data_ledger.snap(w);
+        self.control_ledger.snap(w);
+        w.len_of(self.nodes.len());
+        for node in &self.nodes {
+            w.bool(node.alive);
+            w.opt_u16(node.my_slot);
+            w.u32(node.listen_remaining);
+            w.len_of(node.tx_queue.len());
+            for (dest, payload) in &node.tx_queue {
+                match dest {
+                    Destination::Broadcast => w.u8(0),
+                    Destination::Multicast(list) => {
+                        w.u8(1);
+                        w.len_of(list.len());
+                        for id in list.as_slice() {
+                            w.u32(id.index() as u32);
+                        }
+                    }
+                }
+                encode(w, payload);
+            }
+        }
+        w.len_of(self.slot_owners.len());
+        for owners in &self.slot_owners {
+            w.len_of(owners.len());
+            for id in owners {
+                w.u32(id.index() as u32);
+            }
+        }
+        self.arena.snap(w);
+    }
+
+    /// Overlay state captured by [`LmacNetwork::snap`] onto this network,
+    /// which must be freshly built over the same configuration and
+    /// topology. The liveness bitmap and unslotted-alive count are
+    /// recomputed; slot advancement resumes exactly where the snapshot
+    /// left off.
+    pub fn restore(
+        &mut self,
+        r: &mut SnapReader<'_>,
+        mut decode: impl FnMut(&mut SnapReader<'_>) -> Result<P, SnapError>,
+    ) -> Result<(), SnapError> {
+        r.tag(b"LMAC")?;
+        self.frame = r.u64()?;
+        self.slot = r.u16()?;
+        self.stats.delivered = r.u64()?;
+        self.stats.undeliverable = r.u64()?;
+        self.stats.collisions = r.u64()?;
+        self.stats.slots_surrendered = r.u64()?;
+        self.stats.slots_picked = r.u64()?;
+        self.stats.no_free_slot = r.u64()?;
+        self.stats.deaths_detected = r.u64()?;
+        self.stats.new_neighbors_detected = r.u64()?;
+        self.data_ledger.restore(r)?;
+        self.control_ledger.restore(r)?;
+        let n = self.nodes.len();
+        let pos = r.position();
+        if r.seq_len(3)? != n {
+            return Err(SnapError::Malformed { pos, what: "MAC node count mismatch" });
+        }
+        let read_node_id = |r: &mut SnapReader<'_>| -> Result<NodeId, SnapError> {
+            let pos = r.position();
+            let idx = r.u32()? as usize;
+            if idx >= n {
+                return Err(SnapError::Malformed { pos, what: "node id out of range" });
+            }
+            Ok(NodeId::from_index(idx))
+        };
+        for node in self.nodes.iter_mut() {
+            node.alive = r.bool()?;
+            node.my_slot = r.opt_u16()?;
+            node.listen_remaining = r.u32()?;
+            node.tx_queue.clear();
+            let q = r.seq_len(2)?;
+            for _ in 0..q {
+                let dest = match r.u8()? {
+                    0 => Destination::Broadcast,
+                    1 => {
+                        let m = r.seq_len(4)?;
+                        let mut list = dirq_net::NodeList::new();
+                        for _ in 0..m {
+                            list.push(read_node_id(r)?);
+                        }
+                        Destination::Multicast(list)
+                    }
+                    _ => {
+                        return Err(SnapError::Malformed {
+                            pos: r.position(),
+                            what: "unknown destination kind",
+                        })
+                    }
+                };
+                node.tx_queue.push_back((dest, PayloadHandle::new(decode(r)?)));
+            }
+        }
+        let pos = r.position();
+        if r.seq_len(8)? != self.slot_owners.len() {
+            return Err(SnapError::Malformed { pos, what: "slot count mismatch" });
+        }
+        for owners in self.slot_owners.iter_mut() {
+            owners.clear();
+            let m = r.seq_len(4)?;
+            for _ in 0..m {
+                owners.push(read_node_id(r)?);
+            }
+        }
+        self.arena.restore(r)?;
+        self.alive_mask = NodeBits::new(n);
+        self.unslotted_alive = 0;
+        for i in 0..n {
+            if self.nodes[i].alive {
+                self.alive_mask.insert(NodeId::from_index(i));
+                if self.nodes[i].my_slot.is_none() {
+                    self.unslotted_alive += 1;
+                }
+            }
+        }
+        Ok(())
     }
 }
 

@@ -43,6 +43,18 @@ impl SlotSet {
         slot < MAX_SLOTS && (self.0 >> slot) & 1 == 1
     }
 
+    /// The raw bitmap, for checkpointing.
+    #[inline]
+    pub fn bits(&self) -> u128 {
+        self.0
+    }
+
+    /// Rebuild from a [`SlotSet::bits`] bitmap.
+    #[inline]
+    pub fn from_bits(bits: u128) -> SlotSet {
+        SlotSet(bits)
+    }
+
     /// Union with another set.
     #[inline]
     pub fn union(&self, other: SlotSet) -> SlotSet {

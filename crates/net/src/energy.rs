@@ -5,6 +5,7 @@
 //! ledger keeps per-node tallies so experiments can also report hotspots.
 
 use crate::ids::NodeId;
+use dirq_sim::snap::{SnapError, SnapReader, SnapWriter};
 
 /// Per-node transmission/reception tallies under a unit cost model.
 #[derive(Clone, Debug)]
@@ -90,6 +91,29 @@ impl EnergyLedger {
     pub fn reset(&mut self) {
         self.tx.fill(0);
         self.rx.fill(0);
+    }
+
+    /// Write the per-node tallies to `w` (costs are configuration, not
+    /// state — the restored ledger keeps its own).
+    pub fn snap(&self, w: &mut SnapWriter) {
+        w.tag(b"ELDG");
+        w.u64s(&self.tx);
+        w.u64s(&self.rx);
+    }
+
+    /// Overlay tallies captured by [`EnergyLedger::snap`] onto this
+    /// ledger. The node count must match.
+    pub fn restore(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        r.tag(b"ELDG")?;
+        let pos = r.position();
+        let tx = r.u64s()?;
+        let rx = r.u64s()?;
+        if tx.len() != self.tx.len() || rx.len() != self.rx.len() {
+            return Err(SnapError::Malformed { pos, what: "ledger node count mismatch" });
+        }
+        self.tx = tx;
+        self.rx = rx;
+        Ok(())
     }
 
     /// Add another ledger's tallies into this one (sizes must match).

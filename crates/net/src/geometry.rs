@@ -33,6 +33,17 @@ impl Position {
     pub fn midpoint(&self, other: &Position) -> Position {
         Position::new((self.x + other.x) * 0.5, (self.y + other.y) * 0.5)
     }
+
+    /// Write both coordinates to `w` by bit pattern.
+    pub fn snap(&self, w: &mut dirq_sim::SnapWriter) {
+        w.f64(self.x);
+        w.f64(self.y);
+    }
+
+    /// Rebuild a position captured by [`Position::snap`].
+    pub fn unsnap(r: &mut dirq_sim::SnapReader<'_>) -> Result<Self, dirq_sim::SnapError> {
+        Ok(Position { x: r.f64()?, y: r.f64()? })
+    }
 }
 
 /// An axis-aligned rectangle (bounding box) in the deployment plane.
@@ -97,6 +108,19 @@ impl Rect {
     /// Width × height.
     pub fn area(&self) -> f64 {
         (self.x_max - self.x_min).max(0.0) * (self.y_max - self.y_min).max(0.0)
+    }
+
+    /// Write the four bounds to `w` by bit pattern.
+    pub fn snap(&self, w: &mut dirq_sim::SnapWriter) {
+        w.f64(self.x_min);
+        w.f64(self.y_min);
+        w.f64(self.x_max);
+        w.f64(self.y_max);
+    }
+
+    /// Rebuild a rectangle captured by [`Rect::snap`].
+    pub fn unsnap(r: &mut dirq_sim::SnapReader<'_>) -> Result<Self, dirq_sim::SnapError> {
+        Ok(Rect { x_min: r.f64()?, y_min: r.f64()?, x_max: r.f64()?, y_max: r.f64()? })
     }
 }
 

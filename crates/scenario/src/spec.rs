@@ -36,6 +36,19 @@ impl Scheme {
         }
     }
 
+    /// Invert [`Scheme::label`] — the daemon wire protocol and the
+    /// `BENCH_3.json` staleness check both name schemes by label.
+    pub fn parse(label: &str) -> Option<Scheme> {
+        match label {
+            "dirq-atc" => Some(Scheme::DirqAtc),
+            "flooding" => Some(Scheme::Flooding),
+            other => {
+                let delta: f64 = other.strip_prefix("dirq-delta")?.parse().ok()?;
+                (delta.is_finite() && delta > 0.0).then_some(Scheme::DirqFixed(delta))
+            }
+        }
+    }
+
     fn apply(&self, cfg: &mut ScenarioConfig) {
         match *self {
             Scheme::DirqFixed(d) => {

@@ -117,16 +117,39 @@ impl Json {
 
     /// Parse a complete JSON document (trailing garbage is an error).
     pub fn parse(text: &str) -> Result<Json, ParseError> {
-        let bytes = text.as_bytes();
+        Json::parse_bytes(text.as_bytes())
+    }
+
+    /// Parse a document from raw bytes (e.g. a wire-protocol line that has
+    /// not been UTF-8-validated). Invalid or truncated UTF-8 inside
+    /// strings is a [`ParseError`], never a panic, and nesting deeper than
+    /// [`MAX_PARSE_DEPTH`] is rejected (bounding recursion on hostile
+    /// input).
+    pub fn parse_bytes(bytes: &[u8]) -> Result<Json, ParseError> {
         let mut pos = 0;
-        let value = parse_value(bytes, &mut pos)?;
+        let value = parse_value(bytes, &mut pos, 0)?;
         skip_ws(bytes, &mut pos);
         if pos != bytes.len() {
             return Err(ParseError { pos, what: "trailing characters after document" });
         }
         Ok(value)
     }
+
+    /// [`Json::parse_bytes`] with an input size cap, for line protocols
+    /// where a peer controls the input: documents longer than `max_bytes`
+    /// are rejected up front with a typed error.
+    pub fn parse_bounded(bytes: &[u8], max_bytes: usize) -> Result<Json, ParseError> {
+        if bytes.len() > max_bytes {
+            return Err(ParseError { pos: max_bytes, what: "document exceeds size limit" });
+        }
+        Json::parse_bytes(bytes)
+    }
 }
+
+/// Maximum container nesting depth [`Json::parse_bytes`] accepts. Real
+/// artifacts nest a handful of levels; the cap exists so hostile input
+/// (e.g. a megabyte of `[`) cannot overflow the parser's stack.
+pub const MAX_PARSE_DEPTH: usize = 128;
 
 /// A parse failure: byte offset plus a static description.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -230,7 +253,10 @@ fn expect(
     }
 }
 
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, ParseError> {
+    if depth > MAX_PARSE_DEPTH {
+        return Err(ParseError { pos: *pos, what: "nesting too deep" });
+    }
     skip_ws(bytes, pos);
     match bytes.get(*pos) {
         None => Err(ParseError { pos: *pos, what: "unexpected end of input" }),
@@ -247,7 +273,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
                 return Ok(Json::Arr(items));
             }
             loop {
-                items.push(parse_value(bytes, pos)?);
+                items.push(parse_value(bytes, pos, depth + 1)?);
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
                     Some(b',') => *pos += 1,
@@ -275,7 +301,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
                     return Err(ParseError { pos: *pos, what: "expected ':' after object key" });
                 }
                 *pos += 1;
-                fields.push((key, parse_value(bytes, pos)?));
+                fields.push((key, parse_value(bytes, pos, depth + 1)?));
                 skip_ws(bytes, pos);
                 match bytes.get(*pos) {
                     Some(b',') => *pos += 1,
@@ -332,7 +358,9 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, ParseError> {
                 }
             }
             Some(_) => {
-                // Consume one UTF-8 scalar (input is a &str, so this is safe).
+                // Consume one UTF-8 scalar. The input may be raw wire
+                // bytes, so both a truncated tail and an invalid sequence
+                // must surface as errors rather than slicing out of range.
                 let rest = &bytes[*pos..];
                 let ch_len = match rest[0] {
                     b if b < 0x80 => 1,
@@ -340,8 +368,11 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, ParseError> {
                     b if b >= 0xE0 => 3,
                     _ => 2,
                 };
+                let scalar = rest
+                    .get(..ch_len)
+                    .ok_or(ParseError { pos: *pos, what: "truncated UTF-8 in string" })?;
                 out.push_str(
-                    std::str::from_utf8(&rest[..ch_len])
+                    std::str::from_utf8(scalar)
                         .map_err(|_| ParseError { pos: *pos, what: "invalid UTF-8 in string" })?,
                 );
                 *pos += ch_len;
@@ -414,6 +445,55 @@ mod tests {
         for bad in ["", "{", "{\"a\":}", "[1,]", "truex", "{\"a\":1} trailing", "\"open"] {
             assert!(Json::parse(bad).is_err(), "accepted malformed: {bad:?}");
         }
+    }
+
+    #[test]
+    fn parse_bytes_rejects_truncated_and_invalid_utf8() {
+        // A string cut off mid-way through a three-byte scalar ("€").
+        let truncated = b"\"\xE2\x82";
+        let err = Json::parse_bytes(truncated).unwrap_err();
+        assert_eq!(err.what, "truncated UTF-8 in string");
+        // A bare continuation byte inside a string.
+        let invalid = b"\"\x80\"";
+        let err = Json::parse_bytes(invalid).unwrap_err();
+        assert_eq!(err.what, "invalid UTF-8 in string");
+        // A complete document with a dangling multi-byte head at the end.
+        let tail = b"\"abc\xF0";
+        assert!(Json::parse_bytes(tail).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_truncated_escapes() {
+        for bad in ["\"\\", "\"\\u", "\"\\u12", "\"\\u12G4\"", "\"\\q\"", "\"\\uD800\""] {
+            assert!(Json::parse(bad).is_err(), "accepted malformed escape: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_excessive_nesting() {
+        let mut deep = String::new();
+        for _ in 0..=MAX_PARSE_DEPTH + 1 {
+            deep.push('[');
+        }
+        let err = Json::parse(&deep).unwrap_err();
+        assert_eq!(err.what, "nesting too deep");
+        // Depth at the limit still parses.
+        let mut ok = String::new();
+        for _ in 0..MAX_PARSE_DEPTH {
+            ok.push('[');
+        }
+        for _ in 0..MAX_PARSE_DEPTH {
+            ok.push(']');
+        }
+        assert!(Json::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn parse_bounded_enforces_size_limit() {
+        let doc = b"{\"a\":[1,2,3]}";
+        assert!(Json::parse_bounded(doc, doc.len()).is_ok());
+        let err = Json::parse_bounded(doc, doc.len() - 1).unwrap_err();
+        assert_eq!(err.what, "document exceeds size limit");
     }
 
     #[test]

@@ -18,8 +18,10 @@
 //!   simulation per thread, deterministic output ordering, seed
 //!   replication).
 //! * [`report`] — tiny CSV/ASCII-table emitters for experiment output.
-//! * [`json`] — a deterministic JSON writer/parser for bench artifacts and
-//!   scenario reports.
+//! * [`json`] — a deterministic JSON writer/parser for bench artifacts,
+//!   scenario reports and the daemon wire protocol.
+//! * [`snap`] — the versioned binary snapshot codec behind engine
+//!   checkpoint/restore (and the on-disk image framing).
 //! * [`fingerprint`] — the FNV-1a hasher behind every determinism golden.
 //!
 //! The kernel is deliberately minimal: single-threaded event processing per
@@ -36,6 +38,7 @@ pub mod queue;
 pub mod report;
 pub mod rng;
 pub mod runner;
+pub mod snap;
 pub mod stats;
 pub mod time;
 pub mod trace;
@@ -45,4 +48,5 @@ pub use fingerprint::Fnv;
 pub use json::Json;
 pub use queue::EventQueue;
 pub use rng::{split_key, RngFactory, SimRng, StreamRng};
+pub use snap::{SnapError, SnapReader, SnapWriter};
 pub use time::{SimDuration, SimTime};

@@ -1,5 +1,7 @@
 //! Exponentially weighted moving average.
 
+use crate::snap::{SnapError, SnapReader, SnapWriter};
+
 /// EWMA with smoothing factor `alpha` ∈ (0, 1].
 ///
 /// The ATC controller uses EWMAs for two locally observable signals the
@@ -53,6 +55,19 @@ impl Ewma {
     /// Forget all history.
     pub fn reset(&mut self) {
         self.value = None;
+    }
+
+    /// Write the full state (smoothing factor and estimate) to `w`.
+    pub fn snap(&self, w: &mut SnapWriter) {
+        w.f64(self.alpha);
+        w.opt_f64(self.value);
+    }
+
+    /// Rebuild from a [`Ewma::snap`] record.
+    pub fn unsnap(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let alpha = r.f64()?;
+        let value = r.opt_f64()?;
+        Ok(Ewma { alpha, value })
     }
 }
 

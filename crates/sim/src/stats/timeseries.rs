@@ -81,6 +81,31 @@ impl TimeSeries {
     pub fn total(&self) -> f64 {
         self.sums.iter().sum()
     }
+
+    /// Write the full series state to `w`.
+    pub fn snap(&self, w: &mut crate::snap::SnapWriter) {
+        w.u64(self.bucket_width);
+        w.f64s(&self.sums);
+        w.u64s(&self.counts);
+    }
+
+    /// Rebuild from a [`TimeSeries::snap`] record.
+    pub fn unsnap(r: &mut crate::snap::SnapReader<'_>) -> Result<Self, crate::snap::SnapError> {
+        let pos = r.position();
+        let bucket_width = r.u64()?;
+        if bucket_width == 0 {
+            return Err(crate::snap::SnapError::Malformed { pos, what: "zero bucket width" });
+        }
+        let sums = r.f64s()?;
+        let counts = r.u64s()?;
+        if sums.len() != counts.len() {
+            return Err(crate::snap::SnapError::Malformed {
+                pos,
+                what: "sum/count bucket mismatch",
+            });
+        }
+        Ok(TimeSeries { bucket_width, sums, counts })
+    }
 }
 
 #[cfg(test)]

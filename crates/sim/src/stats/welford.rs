@@ -14,6 +14,22 @@ pub struct Welford {
 }
 
 impl Welford {
+    /// Write the full accumulator state to `w`.
+    pub fn snap(&self, w: &mut crate::snap::SnapWriter) {
+        w.u64(self.n);
+        w.f64(self.mean);
+        w.f64(self.m2);
+        w.f64(self.min);
+        w.f64(self.max);
+    }
+
+    /// Rebuild from a [`Welford::snap`] record.
+    pub fn unsnap(r: &mut crate::snap::SnapReader<'_>) -> Result<Self, crate::snap::SnapError> {
+        Ok(Welford { n: r.u64()?, mean: r.f64()?, m2: r.f64()?, min: r.f64()?, max: r.f64()? })
+    }
+}
+
+impl Welford {
     /// An empty accumulator.
     pub fn new() -> Self {
         Welford { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }

@@ -84,6 +84,33 @@ pub fn stress_50000_scenario() -> ScenarioConfig {
     preset_scenario("stress_50000", 24)
 }
 
+/// Scenario under the snapshot-codec pin: ATC + churn over the small
+/// paper deployment, stepped 90 epochs — deep enough that the MAC, the
+/// pending-query set, the repair timers and the EHr loop all carry
+/// non-trivial state into the snapshot.
+pub fn snapshot_scenario() -> ScenarioConfig {
+    ScenarioConfig {
+        n_nodes: 50,
+        epochs: 240,
+        measure_from_epoch: 48,
+        delta_policy: DeltaPolicy::Adaptive(AtcConfig::default()),
+        churn: ChurnSpec::RandomDeaths { deaths: 3, from_epoch: 40, until_epoch: 120 },
+        ..ScenarioConfig::paper_small(50_001)
+    }
+}
+
+/// Fresh [`Engine::state_fingerprint`](crate::core::Engine) of
+/// [`snapshot_scenario`] at epoch 90 — the recording convention behind
+/// [`GOLDEN_SNAPSHOT_STATE`]. Any change to the snapshot byte layout (or
+/// to engine behaviour feeding it) moves this value.
+pub fn snapshot_state_fingerprint() -> u64 {
+    let mut engine = dirq_core::Engine::new(snapshot_scenario());
+    for _ in 0..90 {
+        engine.step_epoch();
+    }
+    engine.state_fingerprint()
+}
+
 // --- report-level pins (tests/scenario_golden.rs) ------------------------
 
 /// Small: the CI smoke preset — 100-node jittered grid, 400 epochs.
@@ -155,6 +182,10 @@ pub const GOLDEN_STRESS_20000: u64 = 0x6AD73625527CF480;
 /// Golden fingerprint of [`stress_50000_scenario`].
 pub const GOLDEN_STRESS_50000: u64 = 0x9551369E79F990A7;
 
+/// Golden fingerprint of [`snapshot_state_fingerprint`] — the snapshot
+/// codec pin (`tests/snapshot_differential.rs`).
+pub const GOLDEN_SNAPSHOT_STATE: u64 = 0x5778F391E49DF93C;
+
 /// Golden fingerprint of the [`medium_spec`] sweep report.
 pub const GOLDEN_MEDIUM: u64 = 0x889291EC21F8E973;
 
@@ -211,6 +242,12 @@ pub fn pins() -> Vec<GoldenPin> {
             file: GOLDENS_FILE,
             recorded: GOLDEN_ATC_CHURN,
             compute: || run_scenario(atc_churn_scenario()).stable_fingerprint(),
+        },
+        GoldenPin {
+            name: "GOLDEN_SNAPSHOT_STATE",
+            file: GOLDENS_FILE,
+            recorded: GOLDEN_SNAPSHOT_STATE,
+            compute: snapshot_state_fingerprint,
         },
         GoldenPin {
             name: "SMOKE_GOLDEN_FINGERPRINT",

@@ -1,0 +1,303 @@
+//! Differential proof of the snapshot/restore contract: interrupting a
+//! run at **any** epoch, serialising the engine, restoring the body onto
+//! a freshly built engine and finishing the run must be bit-identical to
+//! never having stopped — across protocol schemes, churn regimes,
+//! sampling strategies and spatial workloads, with split points landing
+//! mid-churn-window and mid-query-flight.
+//!
+//! Also pins the image format (magic + version + header round-trip) and
+//! exercises the typed error paths: malformed input must never panic.
+
+use dirq::prelude::*;
+use dirq::sim::json::Json;
+use dirq::sim::snap::{frame_image, parse_image, IMAGE_MAGIC, SNAP_FORMAT_VERSION};
+use dirq::sim::SnapError;
+use proptest::prelude::*;
+
+/// One scenario family per axis the snapshot must cover. `variant`
+/// selects the family; every family keeps the 50-node paper deployment
+/// so a proptest case stays debug-mode fast.
+fn variant_config(seed: u64, variant: u8, epochs: u64) -> ScenarioConfig {
+    let base = ScenarioConfig {
+        epochs,
+        measure_from_epoch: epochs / 5,
+        delta_policy: DeltaPolicy::Fixed(5.0),
+        ..ScenarioConfig::paper_small(seed)
+    };
+    match variant {
+        // Fixed δ on the steady-state hot path.
+        0 => base,
+        // Adaptive Threshold Control: EHr loop, budget multiplier, δ trace.
+        1 => ScenarioConfig { delta_policy: DeltaPolicy::Adaptive(AtcConfig::default()), ..base },
+        // The flooding baseline (per-node rebroadcast dedup state).
+        2 => ScenarioConfig { protocol: Protocol::Flooding, ..base },
+        // Mid-run deaths: splits inside `[from, until)` land mid-churn,
+        // with detachment timers and repair state in flight.
+        3 => ScenarioConfig {
+            churn: ChurnSpec::RandomDeaths {
+                deaths: 4,
+                from_epoch: epochs / 4,
+                until_epoch: epochs / 2,
+            },
+            ..base
+        },
+        // Predictive sampling: per-(node, type) sampler models.
+        4 => ScenarioConfig {
+            sampling: SamplingStrategy::Predictive(PredictiveConfig::default()),
+            ..base
+        },
+        // The location extension with a spatially scoped workload.
+        5 => ScenarioConfig { location_enabled: true, spatial_query_fraction: 0.6, ..base },
+        _ => unreachable!("variant out of range"),
+    }
+}
+
+/// Step `engine` to its epoch budget, then compare the two halves of the
+/// differential: snapshot bytes (the strongest equality) and the final
+/// run reports.
+fn assert_resume_matches(cfg: ScenarioConfig, split: u64) {
+    let epochs = cfg.epochs;
+    let mut straight = Engine::new(cfg.clone());
+    for _ in 0..split {
+        straight.step_epoch();
+    }
+    let body = straight.snapshot();
+
+    let mut resumed = Engine::new(cfg);
+    resumed.restore(&body).expect("restore onto a same-config engine");
+    assert_eq!(
+        straight.state_fingerprint(),
+        resumed.state_fingerprint(),
+        "restored state must fingerprint-equal the snapshotted engine"
+    );
+
+    while straight.epoch() < epochs {
+        straight.step_epoch();
+    }
+    while resumed.epoch() < epochs {
+        resumed.step_epoch();
+    }
+    assert_eq!(
+        straight.snapshot(),
+        resumed.snapshot(),
+        "final dynamic state diverged after resume (split at {split}/{epochs})"
+    );
+    let (a, b) = (straight.run(), resumed.run());
+    assert_eq!(
+        a.stable_fingerprint(),
+        b.stable_fingerprint(),
+        "run reports diverged after resume (split at {split}/{epochs})"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// The 256-case differential: N epochs + snapshot + restore + M
+    /// epochs ≡ N+M epochs straight, across every scenario family and an
+    /// arbitrary split point (including epoch 0 and the final epoch).
+    #[test]
+    fn snapshot_resume_is_bit_identical(
+        seed in 0u64..1_000_000,
+        variant in 0u8..6,
+        extra in 0u64..4,
+        split_permille in 0u64..=1000,
+    ) {
+        let epochs = 60 + 20 * extra;
+        let split = split_permille * epochs / 1000;
+        assert_resume_matches(variant_config(seed, variant, epochs), split);
+    }
+
+    /// Arbitrary byte bodies must decode to a typed error, never panic,
+    /// and never "succeed" into a half-restored engine.
+    #[test]
+    fn restore_never_panics_on_garbage(bytes in proptest::collection::vec(0u8..=255, 0..64)) {
+        let mut engine = Engine::new(variant_config(7, 0, 60));
+        prop_assert!(engine.restore(&bytes).is_err());
+    }
+}
+
+/// Fixed mid-complexity pin of the same property at a longer budget than
+/// the proptest sweep: ATC + churn with the split inside the churn
+/// window and queries in flight.
+#[test]
+fn atc_churn_resume_long_run() {
+    let cfg = ScenarioConfig {
+        epochs: 400,
+        measure_from_epoch: 80,
+        delta_policy: DeltaPolicy::Adaptive(AtcConfig::default()),
+        churn: ChurnSpec::RandomDeaths { deaths: 5, from_epoch: 100, until_epoch: 250 },
+        ..ScenarioConfig::paper_small(40_417)
+    };
+    assert_resume_matches(cfg, 177);
+}
+
+/// The recorded snapshot-state golden: any change to the snapshot byte
+/// layout (or to engine behaviour feeding it) must show up here and be
+/// re-recorded deliberately via `record_goldens`.
+#[test]
+fn snapshot_state_fingerprint_is_pinned() {
+    assert_eq!(
+        dirq::goldens::snapshot_state_fingerprint(),
+        dirq::goldens::GOLDEN_SNAPSHOT_STATE,
+        "snapshot codec drifted; re-record with \
+         `cargo run --release -p dirq-bench --bin record_goldens`"
+    );
+}
+
+/// External queries share the generator id space, resolve through the
+/// completed log, and leave the engine on the same deterministic
+/// trajectory as an engine that received the identical call sequence.
+#[test]
+fn external_queries_complete_and_stay_deterministic() {
+    let cfg = variant_config(91, 0, 120);
+    let run_once = || {
+        let mut e = Engine::new(cfg.clone());
+        e.enable_completed_log();
+        for _ in 0..30 {
+            e.step_epoch();
+        }
+        let id = e.submit_external_query(SensorType(0), 10.0, 28.0, None);
+        let mut seen = Vec::new();
+        while e.epoch() < 120 {
+            e.step_epoch();
+            seen.extend(e.take_completed());
+        }
+        (id, seen, e.state_fingerprint())
+    };
+    let (id_a, completed_a, fp_a) = run_once();
+    let (id_b, completed_b, fp_b) = run_once();
+    assert_eq!(id_a, id_b);
+    assert_eq!(fp_a, fp_b, "identical call sequences must be deterministic");
+    assert_eq!(completed_a.len(), completed_b.len());
+    assert!(completed_a.iter().any(|c| c.outcome.id == id_a), "the external query never completed");
+    // The log is observational: an engine with the log disabled follows
+    // the exact same trajectory.
+    let mut silent = Engine::new(cfg.clone());
+    for _ in 0..30 {
+        silent.step_epoch();
+    }
+    let silent_id = silent.submit_external_query(SensorType(0), 10.0, 28.0, None);
+    assert_eq!(silent_id, id_a);
+    while silent.epoch() < 120 {
+        silent.step_epoch();
+    }
+    assert!(silent.take_completed().is_empty(), "log must stay off until enabled");
+    assert_eq!(silent.state_fingerprint(), fp_a);
+}
+
+/// Restoring into an engine built from a *different* configuration is a
+/// typed error wherever the body carries enough shape to notice.
+#[test]
+fn restore_rejects_mismatched_configs() {
+    let mut donor = Engine::new(variant_config(11, 0, 60));
+    for _ in 0..20 {
+        donor.step_epoch();
+    }
+    let body = donor.snapshot();
+
+    // Different node count.
+    let cfg = ScenarioConfig { n_nodes: 30, ..variant_config(11, 0, 60) };
+    assert!(Engine::new(cfg).restore(&body).is_err(), "node-count mismatch accepted");
+
+    // Different measurement window.
+    let cfg = ScenarioConfig { measure_from_epoch: 5, ..variant_config(11, 0, 60) };
+    assert!(
+        matches!(
+            Engine::new(cfg).restore(&body),
+            Err(SnapError::Malformed { what: "measurement window mismatch", .. })
+        ),
+        "measurement-window mismatch accepted"
+    );
+
+    // Predictive sampling expects sampler rows the donor never wrote.
+    let cfg = ScenarioConfig {
+        sampling: SamplingStrategy::Predictive(PredictiveConfig::default()),
+        ..variant_config(11, 0, 60)
+    };
+    assert!(
+        matches!(
+            Engine::new(cfg).restore(&body),
+            Err(SnapError::Malformed {
+                what: "sampler presence disagrees with the sampling strategy",
+                ..
+            })
+        ),
+        "sampler-presence mismatch accepted"
+    );
+}
+
+/// Every truncation of a valid body fails loudly; a valid body with
+/// trailing bytes fails as [`SnapError::TrailingBytes`]; a corrupted
+/// leading tag fails as [`SnapError::BadTag`].
+#[test]
+fn malformed_bodies_fail_loudly() {
+    let mut donor = Engine::new(variant_config(23, 1, 60));
+    for _ in 0..25 {
+        donor.step_epoch();
+    }
+    let body = donor.snapshot();
+
+    let fresh = || Engine::new(variant_config(23, 1, 60));
+    // Sparse truncation sweep (every prefix would be slow in debug).
+    for cut in (0..body.len()).step_by(97).chain([body.len() - 1]) {
+        assert!(fresh().restore(&body[..cut]).is_err(), "truncation at {cut} accepted");
+    }
+
+    let mut long = body.clone();
+    long.push(0);
+    assert!(matches!(fresh().restore(&long), Err(SnapError::TrailingBytes { .. })));
+
+    let mut bad_tag = body.clone();
+    bad_tag[0] ^= 0xFF;
+    assert!(matches!(fresh().restore(&bad_tag), Err(SnapError::BadTag { .. })));
+
+    // And the round trip itself holds.
+    let mut ok = fresh();
+    ok.restore(&body).expect("unmodified body restores");
+    assert_eq!(ok.state_fingerprint(), donor.state_fingerprint());
+}
+
+/// The on-disk image format: magic, version, JSON header, byte-exact
+/// body recovery, and typed rejection of foreign or future files.
+#[test]
+fn image_format_is_pinned() {
+    // The wire constants are a compatibility promise; bumping them must
+    // be a conscious act (update this test + the daemon docs together).
+    assert_eq!(IMAGE_MAGIC, b"DIRQSNAP");
+    assert_eq!(SNAP_FORMAT_VERSION, 1);
+
+    let mut engine = Engine::new(variant_config(5, 0, 60));
+    for _ in 0..15 {
+        engine.step_epoch();
+    }
+    let body = engine.snapshot();
+    let mut header = Json::object();
+    header.set("preset", Json::Str("paper_small".into()));
+    header.set("scheme", Json::Str("fixed:5".into()));
+    header.set("seed", Json::Num(5.0));
+    header.set("epoch", Json::Num(15.0));
+    let image = frame_image(&header, &body);
+    assert!(image.starts_with(IMAGE_MAGIC));
+
+    let (parsed, parsed_body) = parse_image(&image).expect("well-formed image");
+    assert_eq!(parsed.get("preset").and_then(Json::as_str), Some("paper_small"));
+    assert_eq!(parsed.get("epoch").and_then(Json::as_f64), Some(15.0));
+    assert_eq!(parsed_body, &body[..], "body must survive framing byte-exact");
+    let mut restored = Engine::new(variant_config(5, 0, 60));
+    restored.restore(parsed_body).expect("framed body restores");
+    assert_eq!(restored.state_fingerprint(), engine.state_fingerprint());
+
+    // Foreign magic.
+    let mut foreign = image.clone();
+    foreign[0] = b'X';
+    assert_eq!(parse_image(&foreign).unwrap_err(), SnapError::BadMagic);
+    // A future format version.
+    let mut future = image.clone();
+    future[8..12].copy_from_slice(&(SNAP_FORMAT_VERSION + 1).to_le_bytes());
+    assert!(matches!(parse_image(&future), Err(SnapError::BadVersion { .. })));
+    // Truncations never panic.
+    for cut in 0..image.len().min(64) {
+        assert!(parse_image(&image[..cut]).is_err());
+    }
+}
