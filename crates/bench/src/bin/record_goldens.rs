@@ -57,14 +57,19 @@ fn bench2_fingerprint(path: &Path) -> Option<String> {
 }
 
 /// Staleness check for the loadgen artifact: the wall-clock numbers
-/// (qps, latencies) are machine-specific, but every `state_fingerprint`
-/// in `BENCH_3.json` is a deterministic function of its recorded
-/// deployment recipe — recompute each one fresh and report drift. Also
-/// pins the recorded image format version. Returns problem strings
-/// (empty = current). Re-record with
+/// (qps, latencies) are machine-specific, but the `state_fingerprint`
+/// and `epochs_to_answer` fields in `BENCH_3.json` are deterministic
+/// functions of the recorded deployment recipe — recompute both fresh
+/// (the latter through the [`dirqd::loadmodel`] replay the loadgen
+/// itself asserts against) and report drift. Also pins the recorded
+/// schema and image format version. Returns problem strings (empty =
+/// current). Re-record with
 /// `cargo run --release -p dirq-dirqd --bin loadgen`.
 fn bench3_stale_entries(path: &Path) -> Vec<String> {
     use dirq_scenario::Scheme;
+    use dirqd::loadmodel::{histogram_counts, reference_epochs_histogram};
+
+    const SCHEMA: &str = "dirqd-loadgen/2";
 
     let name = "BENCH_3.json";
     let Ok(text) = std::fs::read_to_string(path) else {
@@ -74,6 +79,10 @@ fn bench3_stale_entries(path: &Path) -> Vec<String> {
         return vec![format!("{name}: unparseable")];
     };
     let mut problems = Vec::new();
+    let schema = doc.get("schema").and_then(Json::as_str);
+    if schema != Some(SCHEMA) {
+        problems.push(format!("{name}: schema {schema:?}, this build writes {SCHEMA:?}"));
+    }
     let version = doc.get("image_format_version").and_then(Json::as_f64);
     if version != Some(f64::from(dirq_sim::snap::SNAP_FORMAT_VERSION)) {
         problems.push(format!(
@@ -91,17 +100,19 @@ fn bench3_stale_entries(path: &Path) -> Vec<String> {
     for row in rows {
         let label = row.get("name").and_then(Json::as_str).unwrap_or("<unnamed>").to_string();
         let fields = (|| {
-            let preset_name = row.get("preset")?.as_str()?;
+            let preset_name = row.get("preset")?.as_str()?.to_string();
             let scale = row.get("scale")?.as_f64()?;
             let scheme = Scheme::parse(row.get("scheme")?.as_str()?)?;
-            let seed = row.get("seed")?.as_f64()? as u64;
-            let warmup = row.get("warmup_epochs")?.as_f64()? as u64;
+            // Seeds are u64s carried losslessly; `as_u64` rejects what
+            // `as_f64 as u64` used to round.
+            let seed = row.get("seed")?.as_u64()?;
+            let warmup = row.get("warmup_epochs")?.as_u64()?;
             let recorded = row.get("state_fingerprint")?.as_str()?.to_string();
-            let spec = dirq_scenario::preset(preset_name)?;
+            let spec = dirq_scenario::preset(&preset_name)?;
             let spec = if scale == 1.0 { spec } else { spec.scaled(scale) };
-            Some((spec, scheme, seed, warmup, recorded))
+            Some((preset_name, scale, spec, scheme, seed, warmup, recorded))
         })();
-        let Some((spec, scheme, seed, warmup, recorded)) = fields else {
+        let Some((preset_name, scale, spec, scheme, seed, warmup, recorded)) = fields else {
             problems.push(format!("{name}: {label}: missing/invalid deployment fields"));
             continue;
         };
@@ -114,6 +125,41 @@ fn bench3_stale_entries(path: &Path) -> Vec<String> {
         println!("  {:<26} {fresh}  {status}", format!("BENCH_3:{label}"));
         if fresh != recorded {
             problems.push(format!("{name}: {label}: records {recorded}, fresh is {fresh}"));
+        }
+
+        // The epochs-to-answer histogram is deterministic (unlike the
+        // wall-ms percentiles beside it): replay the barriered phase
+        // engine-level and compare the `(epochs, count)` pairs. Only
+        // default-seed recipes can be replayed — the loadgen always
+        // deploys with the preset default.
+        let recorded_hist = (|| {
+            row.get("epochs_to_answer")?
+                .as_array()?
+                .iter()
+                .map(|pair| {
+                    let pair = pair.as_array()?;
+                    Some((pair.first()?.as_u64()?, pair.get(1)?.as_u64()?))
+                })
+                .collect::<Option<Vec<_>>>()
+        })();
+        let Some(recorded_hist) = recorded_hist else {
+            problems.push(format!("{name}: {label}: missing/invalid epochs_to_answer"));
+            continue;
+        };
+        if seed != spec.seed {
+            problems.push(format!(
+                "{name}: {label}: non-default seed {seed}; cannot replay epochs_to_answer"
+            ));
+            continue;
+        }
+        let fresh_hist = histogram_counts(&reference_epochs_histogram(&preset_name, scale, warmup));
+        let status = if fresh_hist == recorded_hist { "ok" } else { "DRIFTED" };
+        println!("  {:<26} {fresh_hist:?}  {status}", format!("BENCH_3:{label}:epochs"));
+        if fresh_hist != recorded_hist {
+            problems.push(format!(
+                "{name}: {label}: records epochs_to_answer {recorded_hist:?}, fresh is \
+                 {fresh_hist:?}"
+            ));
         }
     }
     problems

@@ -407,9 +407,10 @@ pub struct Engine {
     delta_trace: Vec<(u64, f64)>,
     queries_injected: usize,
     /// Finalised-query log for external consumers (the daemon); `None`
-    /// until [`Engine::enable_completed_log`]. Transient — drained between
-    /// epochs, never snapshotted.
-    completed: Option<Vec<CompletedQuery>>,
+    /// until [`Engine::enable_completed_log`]. Transient — never
+    /// snapshotted; cursor-addressed so several consumers can read it
+    /// independently (see [`Engine::completed_since`]).
+    completed: Option<CompletedLog>,
 }
 
 /// A finalised query as reported to external consumers: the scored
@@ -418,11 +419,46 @@ pub struct Engine {
 pub struct CompletedQuery {
     /// The scored outcome (same record the metrics collector keeps).
     pub outcome: QueryOutcome,
+    /// The epoch during which the query finalised (`outcome.epoch` is the
+    /// injection epoch, so `answered_epoch - outcome.epoch` is the
+    /// epochs-to-answer latency).
+    pub answered_epoch: u64,
     /// Transmissions attributed to this query while it was in flight.
     pub tx: u64,
     /// Receptions attributed to this query while it was in flight.
     pub rx: u64,
 }
+
+/// Retention bound for the completed-query log: beyond this many
+/// undrained entries the oldest are discarded (their sequence numbers
+/// stay burnt, so cursors remain monotone).
+pub const COMPLETED_LOG_CAP: usize = 65_536;
+
+/// Bounded completed-query log addressed by monotone sequence numbers:
+/// entry `i` of `entries` has sequence `first_seq + i`.
+#[derive(Default)]
+struct CompletedLog {
+    entries: std::collections::VecDeque<CompletedQuery>,
+    first_seq: u64,
+}
+
+impl CompletedLog {
+    fn push(&mut self, entry: CompletedQuery) {
+        if self.entries.len() == COMPLETED_LOG_CAP {
+            self.entries.pop_front();
+            self.first_seq += 1;
+        }
+        self.entries.push_back(entry);
+    }
+
+    fn next_seq(&self) -> u64 {
+        self.first_seq + self.entries.len() as u64
+    }
+}
+
+/// Borrow target for [`Engine::completed_since`] when the log is off.
+static EMPTY_COMPLETED: std::collections::VecDeque<CompletedQuery> =
+    std::collections::VecDeque::new();
 
 impl Engine {
     /// Build a fully initialised engine (topology deployed, tree built,
@@ -794,13 +830,49 @@ impl Engine {
     /// [`Engine::take_completed`]). Purely observational — the log never
     /// feeds back into the simulation.
     pub fn enable_completed_log(&mut self) {
-        self.completed.get_or_insert_with(Vec::new);
+        self.completed.get_or_insert_with(CompletedLog::default);
     }
 
     /// Drain the completed-query log (empty unless
-    /// [`Engine::enable_completed_log`] was called).
+    /// [`Engine::enable_completed_log`] was called). Drained entries burn
+    /// their sequence numbers: [`Engine::completed_next_seq`] keeps
+    /// advancing, so mixing `take_completed` with cursor reads is safe.
     pub fn take_completed(&mut self) -> Vec<CompletedQuery> {
-        self.completed.as_mut().map(std::mem::take).unwrap_or_default()
+        match &mut self.completed {
+            Some(log) => {
+                log.first_seq = log.next_seq();
+                std::mem::take(&mut log.entries).into()
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// The sequence number the next finalised query will receive — the
+    /// cursor a consumer starts from to observe only future completions.
+    pub fn completed_next_seq(&self) -> u64 {
+        self.completed.as_ref().map_or(0, CompletedLog::next_seq)
+    }
+
+    /// Every retained completed-log entry with sequence `>= cursor`, in
+    /// sequence order, paired with its sequence number. Entries older
+    /// than the retention bound ([`COMPLETED_LOG_CAP`]) are gone; callers
+    /// detect the gap by comparing the first returned sequence (or
+    /// [`Engine::completed_next_seq`]) against their cursor.
+    pub fn completed_since(&self, cursor: u64) -> impl Iterator<Item = (u64, &CompletedQuery)> {
+        let (first_seq, entries) = match &self.completed {
+            Some(log) => (log.first_seq, &log.entries),
+            None => (0, &EMPTY_COMPLETED),
+        };
+        let skip = cursor.saturating_sub(first_seq).min(entries.len() as u64) as usize;
+        entries.iter().enumerate().skip(skip).map(move |(i, e)| (first_seq + i as u64, e))
+    }
+
+    /// Look up a retained completed-log entry by query id (most recent
+    /// first, though external ids are unique in practice).
+    pub fn completed_by_id(&self, id: u64) -> Option<&CompletedQuery> {
+        self.completed
+            .as_ref()
+            .and_then(|log| log.entries.iter().rev().find(|e| e.outcome.id.0 == id))
     }
 
     /// Inject an externally supplied range query (the daemon's client
@@ -1718,7 +1790,12 @@ impl Engine {
             n_nodes: self.topo.len(),
         };
         if let Some(log) = &mut self.completed {
-            log.push(CompletedQuery { outcome: outcome.clone(), tx: p.tx, rx: p.rx });
+            log.push(CompletedQuery {
+                outcome: outcome.clone(),
+                answered_epoch: self.epoch,
+                tx: p.tx,
+                rx: p.rx,
+            });
         }
         self.metrics.on_query_done(outcome);
     }

@@ -5,7 +5,11 @@
 //!
 //! commands:
 //!   deploy NAME PRESET [--scale F] [--scheme LABEL] [--seed N]
-//!   query DEPLOYMENT STYPE LO HI [--region X0 Y0 X1 Y1]
+//!          [--policy fifo|rr] [--queue-cap N] [--admit-per-epoch N]
+//!          [--checkpoint-every EPOCHS --checkpoint-dir DIR]
+//!   query DEPLOYMENT STYPE LO HI [--region X0 Y0 X1 Y1] [--async] [--client TAG]
+//!   poll DEPLOYMENT ID
+//!   drain DEPLOYMENT [CURSOR]
 //!   step DEPLOYMENT EPOCHS
 //!   status
 //!   fingerprint DEPLOYMENT
@@ -23,7 +27,11 @@ use dirqd::Client;
 const USAGE: &str = "usage: dirq-cli [--addr HOST:PORT] <command> [args…]
 commands:
   deploy NAME PRESET [--scale F] [--scheme LABEL] [--seed N]
-  query DEPLOYMENT STYPE LO HI [--region X0 Y0 X1 Y1]
+         [--policy fifo|rr] [--queue-cap N] [--admit-per-epoch N]
+         [--checkpoint-every EPOCHS --checkpoint-dir DIR]
+  query DEPLOYMENT STYPE LO HI [--region X0 Y0 X1 Y1] [--async] [--client TAG]
+  poll DEPLOYMENT ID
+  drain DEPLOYMENT [CURSOR]
   step DEPLOYMENT EPOCHS
   status
   fingerprint DEPLOYMENT
@@ -41,6 +49,16 @@ fn parse_num(arg: &str, what: &str) -> f64 {
         eprintln!("dirq-cli: {what} must be a number, got {arg:?}");
         std::process::exit(2);
     })
+}
+
+/// Parse an unsigned integer and wrap it losslessly for the wire —
+/// seeds and query ids are u64s and must not round through `f64`.
+fn parse_u64(arg: &str, what: &str) -> Json {
+    let v: u64 = arg.parse().unwrap_or_else(|_| {
+        eprintln!("dirq-cli: {what} must be an unsigned integer, got {arg:?}");
+        std::process::exit(2);
+    });
+    Json::from_u64(v)
 }
 
 fn main() {
@@ -74,7 +92,16 @@ fn main() {
                 match flag.as_str() {
                     "--scale" => req.set("scale", Json::Num(parse_num(value, "--scale"))),
                     "--scheme" => req.set("scheme", Json::Str(value.clone())),
-                    "--seed" => req.set("seed", Json::Num(parse_num(value, "--seed"))),
+                    "--seed" => req.set("seed", parse_u64(value, "--seed")),
+                    "--policy" => req.set("policy", Json::Str(value.clone())),
+                    "--queue-cap" => req.set("queue_cap", parse_u64(value, "--queue-cap")),
+                    "--admit-per-epoch" => {
+                        req.set("admit_per_epoch", parse_u64(value, "--admit-per-epoch"))
+                    }
+                    "--checkpoint-every" => {
+                        req.set("checkpoint_every_epochs", parse_u64(value, "--checkpoint-every"))
+                    }
+                    "--checkpoint-dir" => req.set("checkpoint_dir", Json::Str(value.clone())),
                     _ => usage_exit(),
                 };
             }
@@ -87,16 +114,43 @@ fn main() {
             req.set("stype", Json::Num(parse_num(&args[1], "STYPE")));
             req.set("lo", Json::Num(parse_num(&args[2], "LO")));
             req.set("hi", Json::Num(parse_num(&args[3], "HI")));
-            match args.get(4).map(String::as_str) {
-                None => {}
-                Some("--region") if args.len() == 9 => {
-                    let corners: Vec<Json> = args[5..9]
-                        .iter()
-                        .map(|a| Json::Num(parse_num(a, "--region corner")))
-                        .collect();
-                    req.set("region", Json::Arr(corners));
+            let mut rest = args[4..].iter();
+            while let Some(flag) = rest.next() {
+                match flag.as_str() {
+                    "--async" => {
+                        req.set("async", Json::Bool(true));
+                    }
+                    "--client" => {
+                        let tag = rest.next().unwrap_or_else(|| usage_exit());
+                        req.set("client", Json::Str(tag.clone()));
+                    }
+                    "--region" => {
+                        let corners: Vec<Json> = (0..4)
+                            .map(|_| {
+                                let c = rest.next().unwrap_or_else(|| usage_exit());
+                                Json::Num(parse_num(c, "--region corner"))
+                            })
+                            .collect();
+                        req.set("region", Json::Arr(corners));
+                    }
+                    _ => usage_exit(),
                 }
-                _ => usage_exit(),
+            }
+        }
+        "poll" => {
+            if args.len() != 2 {
+                usage_exit();
+            }
+            req.set("deployment", Json::Str(args[0].clone()));
+            req.set("id", parse_u64(&args[1], "ID"));
+        }
+        "drain" => {
+            if args.is_empty() || args.len() > 2 {
+                usage_exit();
+            }
+            req.set("deployment", Json::Str(args[0].clone()));
+            if let Some(cursor) = args.get(1) {
+                req.set("cursor", parse_u64(cursor, "CURSOR"));
             }
         }
         "step" => {

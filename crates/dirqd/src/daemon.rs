@@ -2,24 +2,39 @@
 //!
 //! Each deployment owns one [`Engine`] on a dedicated thread, driven by
 //! a command channel. Connection handlers never touch an engine
-//! directly — they translate protocol lines into commands and wait for
-//! the engine thread's reply, so every deployment processes exactly one
-//! command stream in a deterministic order.
+//! directly — they translate protocol lines into commands and wait (with
+//! a deadline) for the engine thread's reply, so every deployment
+//! processes exactly one command stream in a deterministic order and a
+//! wedged deployment costs its caller a typed `timeout` error, not a
+//! hung connection.
 //!
-//! External queries batch at epoch boundaries: all submissions waiting
-//! when the engine thread wakes are ordered **by content** (sensor
-//! type, window bounds, region) rather than arrival time, injected
-//! together, and the engine steps until the whole batch has completed.
-//! Clients that barrier between batches therefore observe a reproducible
-//! engine trajectory regardless of socket scheduling.
+//! ## The serving loop
+//!
+//! External queries pass through a per-deployment **admission queue**
+//! (bounded at [`ServingOptions::queue_cap`]; beyond it submissions are
+//! rejected with `queue_full`). While any query is queued or in flight
+//! the engine thread runs one epoch per iteration: admit a scheduling
+//! round from the queue (policy `fifo` or per-client round-robin),
+//! inject the round ordered **by content** (sensor type, window bounds,
+//! region, client tag) rather than arrival time, step one epoch, sweep
+//! completions, then service whatever read-only commands arrived in the
+//! meantime. Blocking queries reply at completion; `async` queries reply
+//! with their id at injection and resolve later through `poll`/`drain`.
+//!
+//! Because every admission round is injected content-ordered, a fixed
+//! sequence of barriered rounds drives the engine along a reproducible
+//! trajectory regardless of socket scheduling, submission policy, or
+//! when results are polled — the property the load generator's
+//! fingerprint checks pin.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use dirq_core::{CompletedQuery, Engine, Protocol};
 use dirq_data::SensorType;
@@ -29,22 +44,102 @@ use dirq_sim::json::Json;
 use dirq_sim::snap::{frame_image, parse_image};
 
 use crate::protocol::{
-    err_response, fingerprint_hex, ok_response, read_line, resolve_deployment, write_line,
-    ImageHeader,
+    err_response, fingerprint_hex, kind, ok_response, read_line, request_timeout,
+    resolve_deployment, write_line, ImageHeader,
 };
 
-/// One query waiting for the next epoch-boundary batch.
+/// Default admission-queue bound when `deploy` doesn't set `queue_cap`.
+pub const DEFAULT_QUEUE_CAP: usize = 4096;
+
+/// Most results one `drain` response returns (the client loops).
+pub const DRAIN_MAX_RESULTS: usize = 512;
+
+/// Completed external results retained for `poll`/`drain` before the
+/// oldest are evicted.
+pub const RESULTS_LOG_CAP: usize = 65_536;
+
+/// Rotating auto-checkpoint slots per deployment.
+pub const CHECKPOINT_SLOTS: u64 = 2;
+
+/// How query submissions are drawn from the admission queue at each
+/// epoch boundary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Arrival order across all clients.
+    Fifo,
+    /// One per client per turn, clients visited in sorted-name order
+    /// from a start position that rotates each round, so no client name
+    /// is structurally favoured.
+    RoundRobin,
+}
+
+impl AdmissionPolicy {
+    /// Wire label.
+    pub fn label(self) -> &'static str {
+        match self {
+            AdmissionPolicy::Fifo => "fifo",
+            AdmissionPolicy::RoundRobin => "rr",
+        }
+    }
+
+    /// Parse a wire label.
+    pub fn parse(s: &str) -> Option<AdmissionPolicy> {
+        match s {
+            "fifo" => Some(AdmissionPolicy::Fifo),
+            "rr" => Some(AdmissionPolicy::RoundRobin),
+            _ => None,
+        }
+    }
+}
+
+/// Per-deployment serving knobs, set at `deploy`/`restore` time.
+#[derive(Clone, Debug)]
+pub struct ServingOptions {
+    /// Admission scheduling policy.
+    pub policy: AdmissionPolicy,
+    /// Admission-queue bound; `0` rejects every submission (useful as a
+    /// deterministic `queue_full` probe).
+    pub queue_cap: usize,
+    /// Submissions admitted per epoch boundary; `0` admits everything
+    /// waiting.
+    pub admit_per_epoch: usize,
+    /// Auto-checkpoint period in epochs; `0` disables.
+    pub checkpoint_every_epochs: u64,
+    /// Directory rotating checkpoint images are written into (required
+    /// when `checkpoint_every_epochs > 0`).
+    pub checkpoint_dir: Option<String>,
+}
+
+impl Default for ServingOptions {
+    fn default() -> ServingOptions {
+        ServingOptions {
+            policy: AdmissionPolicy::Fifo,
+            queue_cap: DEFAULT_QUEUE_CAP,
+            admit_per_epoch: 0,
+            checkpoint_every_epochs: 0,
+            checkpoint_dir: None,
+        }
+    }
+}
+
+/// One query waiting in the admission queue.
 struct Submission {
     stype: u8,
     lo: f64,
     hi: f64,
     region: Option<[f64; 4]>,
+    /// Client tag for round-robin scheduling (empty when the request
+    /// carried none).
+    client: String,
+    /// Async submissions get their id at injection; blocking ones get
+    /// the full outcome at completion.
+    is_async: bool,
     reply: Sender<Json>,
 }
 
 impl Submission {
-    /// Content ordering key — batch order must not depend on socket
-    /// arrival time.
+    /// Content ordering key — injection order within an admission round
+    /// must not depend on socket arrival time.
     fn key(&self) -> (u8, u64, u64, u8, [u64; 4]) {
         let region_bits = self.region.map_or([0; 4], |r| r.map(f64::to_bits));
         (
@@ -60,9 +155,31 @@ impl Submission {
 /// Commands a connection handler can send to an engine thread.
 enum EngineCmd {
     Submit(Submission),
-    Step { epochs: u64, reply: Sender<Json> },
-    Fingerprint { reply: Sender<Json> },
-    SnapshotTo { path: String, reply: Sender<Json> },
+    Poll {
+        id: u64,
+        reply: Sender<Json>,
+    },
+    Drain {
+        cursor: u64,
+        reply: Sender<Json>,
+    },
+    Step {
+        epochs: u64,
+        reply: Sender<Json>,
+    },
+    Fingerprint {
+        reply: Sender<Json>,
+    },
+    SnapshotTo {
+        path: String,
+        reply: Sender<Json>,
+    },
+    /// Diagnostics: occupy the engine thread for `ms` (bounded) — the
+    /// deterministic wedge the timeout tests use.
+    Stall {
+        ms: u64,
+        reply: Sender<Json>,
+    },
     Stop,
 }
 
@@ -85,6 +202,8 @@ pub struct DeploymentInfo {
     pub epochs: u64,
     /// Whether nodes carry positions (spatially scoped queries allowed).
     pub location_enabled: bool,
+    /// Serving knobs this deployment was installed with.
+    pub serving: ServingOptions,
 }
 
 impl DeploymentInfo {
@@ -94,10 +213,14 @@ impl DeploymentInfo {
         obj.set("preset", Json::Str(self.preset.clone()));
         obj.set("scale", Json::Num(self.scale));
         obj.set("scheme", Json::Str(self.scheme.clone()));
-        obj.set("seed", Json::Num(self.seed as f64));
-        obj.set("nodes", Json::Num(self.nodes as f64));
-        obj.set("epochs", Json::Num(self.epochs as f64));
-        obj.set("epoch", Json::Num(epoch as f64));
+        obj.set("seed", Json::from_u64(self.seed));
+        obj.set("nodes", Json::from_u64(self.nodes as u64));
+        obj.set("epochs", Json::from_u64(self.epochs));
+        obj.set("epoch", Json::from_u64(epoch));
+        obj.set("policy", Json::Str(self.serving.policy.label().to_string()));
+        obj.set("queue_cap", Json::from_u64(self.serving.queue_cap as u64));
+        obj.set("admit_per_epoch", Json::from_u64(self.serving.admit_per_epoch as u64));
+        obj.set("checkpoint_every_epochs", Json::from_u64(self.serving.checkpoint_every_epochs));
         obj
     }
 }
@@ -197,7 +320,7 @@ fn handle_connection(
             Err(e) if e.kind() == io::ErrorKind::InvalidData => {
                 // Report the broken line and drop the connection — the
                 // stream may be desynchronised.
-                let _ = write_line(&mut writer, &err_response(&e.to_string()));
+                let _ = write_line(&mut writer, &err_response(kind::BAD_LINE, &e.to_string()));
                 return Ok(());
             }
             Err(e) => return Err(e),
@@ -206,18 +329,21 @@ fn handle_connection(
         let response = match cmd.as_str() {
             "deploy" => handle_deploy(&request, shared),
             "query" => handle_query(&request, shared),
+            "poll" => handle_poll(&request, shared),
+            "drain" => handle_drain(&request, shared),
             "step" => handle_step(&request, shared),
             "status" => handle_status(shared),
             "fingerprint" => handle_fingerprint(&request, shared),
             "snapshot" => handle_snapshot(&request, shared),
             "restore" => handle_restore(&request, shared),
+            "debug_stall" => handle_stall(&request, shared),
             "shutdown" => {
                 write_line(&mut writer, &ok_response())?;
                 initiate_shutdown(shared, daemon_addr);
                 return Ok(());
             }
-            "" => err_response("missing \"cmd\" field"),
-            other => err_response(&format!("unknown command {other:?}")),
+            "" => err_response(kind::BAD_REQUEST, "missing \"cmd\" field"),
+            other => err_response(kind::BAD_REQUEST, &format!("unknown command {other:?}")),
         };
         write_line(&mut writer, &response)?;
     }
@@ -232,17 +358,68 @@ fn initiate_shutdown(shared: &Shared, daemon_addr: SocketAddr) {
     }
 }
 
+fn bad(msg: &str) -> Json {
+    err_response(kind::BAD_REQUEST, msg)
+}
+
 fn str_field(doc: &Json, key: &str) -> Result<String, Json> {
     doc.get(key)
         .and_then(Json::as_str)
         .map(str::to_string)
-        .ok_or_else(|| err_response(&format!("missing string field {key:?}")))
+        .ok_or_else(|| bad(&format!("missing string field {key:?}")))
 }
 
 fn num_field(doc: &Json, key: &str) -> Result<f64, Json> {
     doc.get(key)
         .and_then(Json::as_f64)
-        .ok_or_else(|| err_response(&format!("missing numeric field {key:?}")))
+        .ok_or_else(|| bad(&format!("missing numeric field {key:?}")))
+}
+
+/// An optional field that must be the right type *when present* —
+/// absent and `null` mean "default", anything else mistyped is a typed
+/// error rather than a silent fallback.
+fn opt_field<T>(
+    doc: &Json,
+    key: &str,
+    expect: &str,
+    get: impl Fn(&Json) -> Option<T>,
+) -> Result<Option<T>, Json> {
+    match doc.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => get(v).map(Some).ok_or_else(|| bad(&format!("{key} must be {expect}"))),
+    }
+}
+
+fn opt_u64_field(doc: &Json, key: &str) -> Result<Option<u64>, Json> {
+    opt_field(doc, key, "a non-negative integer", Json::as_u64)
+}
+
+fn opt_str_field(doc: &Json, key: &str) -> Result<Option<String>, Json> {
+    opt_field(doc, key, "a string", |v| v.as_str().map(str::to_string))
+}
+
+/// Parse the serving knobs a `deploy`/`restore` request may carry.
+fn serving_options(request: &Json) -> Result<ServingOptions, Json> {
+    let mut opts = ServingOptions::default();
+    if let Some(label) = opt_str_field(request, "policy")? {
+        opts.policy = AdmissionPolicy::parse(&label)
+            .ok_or_else(|| bad(&format!("unknown admission policy {label:?} (fifo|rr)")))?;
+    }
+    if let Some(cap) = opt_u64_field(request, "queue_cap")? {
+        opts.queue_cap = usize::try_from(cap).map_err(|_| bad("queue_cap out of range"))?;
+    }
+    if let Some(n) = opt_u64_field(request, "admit_per_epoch")? {
+        opts.admit_per_epoch =
+            usize::try_from(n).map_err(|_| bad("admit_per_epoch out of range"))?;
+    }
+    if let Some(every) = opt_u64_field(request, "checkpoint_every_epochs")? {
+        opts.checkpoint_every_epochs = every;
+    }
+    opts.checkpoint_dir = opt_str_field(request, "checkpoint_dir")?;
+    if opts.checkpoint_every_epochs > 0 && opts.checkpoint_dir.is_none() {
+        return Err(bad("checkpoint_every_epochs requires checkpoint_dir"));
+    }
+    Ok(opts)
 }
 
 /// Clone the channel/epoch handles of a deployment under the map lock.
@@ -254,15 +431,31 @@ fn lookup(
     deployments
         .get(name)
         .map(|d| (d.info.clone(), Arc::clone(&d.epoch), d.tx.clone()))
-        .ok_or_else(|| err_response(&format!("no deployment named {name:?}")))
+        .ok_or_else(|| err_response(kind::NOT_FOUND, &format!("no deployment named {name:?}")))
 }
 
-/// Send `cmd` and wait for the engine thread's reply.
-fn round_trip(tx: &Sender<EngineCmd>, cmd: EngineCmd, rx: Receiver<Json>) -> Json {
+/// Send `cmd` and wait for the engine thread's reply, bounded by
+/// `timeout` — a wedged deployment yields a typed `timeout` error
+/// instead of hanging the connection handler.
+fn round_trip(
+    tx: &Sender<EngineCmd>,
+    cmd: EngineCmd,
+    rx: Receiver<Json>,
+    timeout: Duration,
+) -> Json {
     if tx.send(cmd).is_err() {
-        return err_response("deployment is shutting down");
+        return err_response(kind::SHUTDOWN, "deployment is shutting down");
     }
-    rx.recv().unwrap_or_else(|_| err_response("deployment engine stopped"))
+    match rx.recv_timeout(timeout) {
+        Ok(doc) => doc,
+        Err(RecvTimeoutError::Timeout) => err_response(
+            kind::TIMEOUT,
+            &format!("deployment did not answer within {}ms", timeout.as_millis()),
+        ),
+        Err(RecvTimeoutError::Disconnected) => {
+            err_response(kind::SHUTDOWN, "deployment engine stopped")
+        }
+    }
 }
 
 fn handle_deploy(request: &Json, shared: &Shared) -> Json {
@@ -274,14 +467,39 @@ fn handle_deploy(request: &Json, shared: &Shared) -> Json {
         Ok(v) => v,
         Err(e) => return e,
     };
-    let scale = request.get("scale").and_then(Json::as_f64).unwrap_or(1.0);
-    let scheme_label = request.get("scheme").and_then(Json::as_str).map(str::to_string);
+    let scale = match opt_field(request, "scale", "a number", Json::as_f64) {
+        Ok(v) => v.unwrap_or(1.0),
+        Err(e) => return e,
+    };
+    let scheme_label = match opt_str_field(request, "scheme") {
+        Ok(v) => v,
+        Err(e) => return e,
+    };
     let (spec, scheme) = match resolve_deployment(&preset, scale, scheme_label.as_deref()) {
         Ok(v) => v,
-        Err(msg) => return err_response(&msg),
+        Err(msg) => return deployment_resolution_error(&msg),
     };
-    let seed = request.get("seed").and_then(Json::as_f64).map_or(spec.seed, |s| s as u64);
-    install(shared, &name, &preset, scale, spec, scheme, seed, None)
+    // Seeds are u64s: parse losslessly, and reject (rather than round)
+    // negative or fractional values.
+    let seed = match opt_u64_field(request, "seed") {
+        Ok(v) => v.unwrap_or(spec.seed),
+        Err(e) => return e,
+    };
+    let serving = match serving_options(request) {
+        Ok(v) => v,
+        Err(e) => return e,
+    };
+    install(shared, &name, &preset, scale, spec, scheme, seed, serving, None)
+}
+
+/// [`resolve_deployment`] reports both lookup misses and bad parameters
+/// as strings; map the lookup misses to `not_found`.
+fn deployment_resolution_error(msg: &str) -> Json {
+    if msg.starts_with("unknown") {
+        err_response(kind::NOT_FOUND, msg)
+    } else {
+        bad(msg)
+    }
 }
 
 fn handle_restore(request: &Json, shared: &Shared) -> Json {
@@ -293,29 +511,46 @@ fn handle_restore(request: &Json, shared: &Shared) -> Json {
         Ok(v) => v,
         Err(e) => return e,
     };
+    let serving = match serving_options(request) {
+        Ok(v) => v,
+        Err(e) => return e,
+    };
     let bytes = match std::fs::read(&path) {
         Ok(b) => b,
-        Err(e) => return err_response(&format!("read {path:?}: {e}")),
+        Err(e) => return err_response(kind::IO, &format!("read {path:?}: {e}")),
     };
     let (header_json, body) = match parse_image(&bytes) {
         Ok(v) => v,
-        Err(e) => return err_response(&format!("parse {path:?}: {e}")),
+        Err(e) => return err_response(kind::BAD_IMAGE, &format!("parse {path:?}: {e}")),
     };
     let header = match ImageHeader::from_json(&header_json) {
         Ok(h) => h,
-        Err(msg) => return err_response(&msg),
+        Err(msg) => return err_response(kind::BAD_IMAGE, &msg),
     };
     let (spec, scheme) = match header.resolve() {
         Ok(v) => v,
-        Err(msg) => return err_response(&msg),
+        Err(msg) => return err_response(kind::BAD_IMAGE, &msg),
     };
     if spec.n_nodes != header.nodes {
-        return err_response(&format!(
-            "image header claims {} nodes but preset {:?} deploys {}",
-            header.nodes, header.preset, spec.n_nodes
-        ));
+        return err_response(
+            kind::BAD_IMAGE,
+            &format!(
+                "image header claims {} nodes but preset {:?} deploys {}",
+                header.nodes, header.preset, spec.n_nodes
+            ),
+        );
     }
-    install(shared, &name, &header.preset, header.scale, spec, scheme, header.seed, Some(body))
+    install(
+        shared,
+        &name,
+        &header.preset,
+        header.scale,
+        spec,
+        scheme,
+        header.seed,
+        serving,
+        Some(body),
+    )
 }
 
 /// Build the engine (outside the map lock — deployment can take a
@@ -330,12 +565,13 @@ fn install(
     spec: dirq_scenario::ScenarioSpec,
     scheme: Scheme,
     seed: u64,
+    serving: ServingOptions,
     body: Option<&[u8]>,
 ) -> Json {
     {
         let deployments = shared.deployments.lock().expect("deployment map");
         if deployments.contains_key(name) {
-            return err_response(&format!("deployment {name:?} already exists"));
+            return err_response(kind::EXISTS, &format!("deployment {name:?} already exists"));
         }
     }
     let cfg = spec.config(scheme, seed);
@@ -348,11 +584,12 @@ fn install(
         nodes: cfg.n_nodes,
         epochs: cfg.epochs,
         location_enabled: cfg.location_enabled,
+        serving,
     };
     let mut engine = Engine::new(cfg);
     if let Some(body) = body {
         if let Err(e) = engine.restore(body) {
-            return err_response(&format!("restore: {e}"));
+            return err_response(kind::BAD_IMAGE, &format!("restore: {e}"));
         }
     }
     engine.enable_completed_log();
@@ -371,7 +608,7 @@ fn install(
         drop(deployments);
         let _ = tx.send(EngineCmd::Stop);
         let _ = thread.join();
-        return err_response(&format!("deployment {name:?} already exists"));
+        return err_response(kind::EXISTS, &format!("deployment {name:?} already exists"));
     }
     let response = info.to_json(current);
     deployments.insert(name.to_string(), Deployment { info, epoch, tx, thread: Some(thread) });
@@ -388,8 +625,11 @@ fn handle_query(request: &Json, shared: &Shared) -> Json {
         Ok(v) => v,
         Err(e) => return e,
     };
+    // Sensor types are u8s on the engine side: reject out-of-range
+    // values instead of silently wrapping them.
     let stype = match num_field(request, "stype") {
-        Ok(v) => v as u8,
+        Ok(v) if v.fract() == 0.0 && (0.0..=255.0).contains(&v) => v as u8,
+        Ok(v) => return bad(&format!("stype must be an integer in 0..=255, got {v}")),
         Err(e) => return e,
     };
     let (lo, hi) = match (num_field(request, "lo"), num_field(request, "hi")) {
@@ -403,33 +643,92 @@ fn handle_query(request: &Json, shared: &Shared) -> Json {
                 let mut corners = [0.0; 4];
                 for (slot, item) in corners.iter_mut().zip(v) {
                     match item.as_f64() {
-                        Some(x) => *slot = x,
-                        None => return err_response("region must be [x0, y0, x1, y1]"),
+                        Some(x) if x.is_finite() => *slot = x,
+                        _ => return bad("region must be [x0, y0, x1, y1] (finite numbers)"),
                     }
                 }
                 Some(corners)
             }
-            _ => return err_response("region must be [x0, y0, x1, y1]"),
+            _ => return bad("region must be [x0, y0, x1, y1] (finite numbers)"),
         },
+    };
+    let is_async = match opt_field(request, "async", "a boolean", Json::as_bool) {
+        Ok(v) => v.unwrap_or(false),
+        Err(e) => return e,
+    };
+    let client = match opt_str_field(request, "client") {
+        Ok(v) => v.unwrap_or_default(),
+        Err(e) => return e,
+    };
+    let timeout = match request_timeout(request) {
+        Ok(v) => v,
+        Err(msg) => return bad(&msg),
     };
     let (info, _, tx) = match lookup(shared, &deployment) {
         Ok(v) => v,
         Err(e) => return e,
     };
     if region.is_some() && !info.location_enabled {
-        return err_response(&format!(
-            "deployment {deployment:?} has no location extension; spatial queries unsupported"
-        ));
+        return err_response(
+            kind::UNSUPPORTED,
+            &format!(
+                "deployment {deployment:?} has no location extension; spatial queries unsupported"
+            ),
+        );
     }
     if !(lo.is_finite() && hi.is_finite() && lo <= hi) {
-        return err_response("query window must satisfy lo <= hi (finite)");
+        return bad("query window must satisfy lo <= hi (finite)");
     }
     let (reply_tx, reply_rx) = channel();
     round_trip(
         &tx,
-        EngineCmd::Submit(Submission { stype, lo, hi, region, reply: reply_tx }),
+        EngineCmd::Submit(Submission { stype, lo, hi, region, client, is_async, reply: reply_tx }),
         reply_rx,
+        timeout,
     )
+}
+
+fn handle_poll(request: &Json, shared: &Shared) -> Json {
+    let deployment = match str_field(request, "deployment") {
+        Ok(v) => v,
+        Err(e) => return e,
+    };
+    let id = match opt_u64_field(request, "id") {
+        Ok(Some(v)) => v,
+        Ok(None) => return bad("missing integer field \"id\""),
+        Err(e) => return e,
+    };
+    let timeout = match request_timeout(request) {
+        Ok(v) => v,
+        Err(msg) => return bad(&msg),
+    };
+    let (_, _, tx) = match lookup(shared, &deployment) {
+        Ok(v) => v,
+        Err(e) => return e,
+    };
+    let (reply_tx, reply_rx) = channel();
+    round_trip(&tx, EngineCmd::Poll { id, reply: reply_tx }, reply_rx, timeout)
+}
+
+fn handle_drain(request: &Json, shared: &Shared) -> Json {
+    let deployment = match str_field(request, "deployment") {
+        Ok(v) => v,
+        Err(e) => return e,
+    };
+    let cursor = match opt_u64_field(request, "cursor") {
+        Ok(v) => v.unwrap_or(0),
+        Err(e) => return e,
+    };
+    let timeout = match request_timeout(request) {
+        Ok(v) => v,
+        Err(msg) => return bad(&msg),
+    };
+    let (_, _, tx) = match lookup(shared, &deployment) {
+        Ok(v) => v,
+        Err(e) => return e,
+    };
+    let (reply_tx, reply_rx) = channel();
+    round_trip(&tx, EngineCmd::Drain { cursor, reply: reply_tx }, reply_rx, timeout)
 }
 
 fn handle_step(request: &Json, shared: &Shared) -> Json {
@@ -437,17 +736,21 @@ fn handle_step(request: &Json, shared: &Shared) -> Json {
         Ok(v) => v,
         Err(e) => return e,
     };
-    let epochs = match num_field(request, "epochs") {
-        Ok(v) if v >= 0.0 => v as u64,
-        Ok(_) => return err_response("epochs must be non-negative"),
+    let epochs = match opt_u64_field(request, "epochs") {
+        Ok(Some(v)) => v,
+        Ok(None) => return bad("missing integer field \"epochs\""),
         Err(e) => return e,
+    };
+    let timeout = match request_timeout(request) {
+        Ok(v) => v,
+        Err(msg) => return bad(&msg),
     };
     let (_, _, tx) = match lookup(shared, &deployment) {
         Ok(v) => v,
         Err(e) => return e,
     };
     let (reply_tx, reply_rx) = channel();
-    round_trip(&tx, EngineCmd::Step { epochs, reply: reply_tx }, reply_rx)
+    round_trip(&tx, EngineCmd::Step { epochs, reply: reply_tx }, reply_rx, timeout)
 }
 
 fn handle_status(shared: &Shared) -> Json {
@@ -467,12 +770,16 @@ fn handle_fingerprint(request: &Json, shared: &Shared) -> Json {
         Ok(v) => v,
         Err(e) => return e,
     };
+    let timeout = match request_timeout(request) {
+        Ok(v) => v,
+        Err(msg) => return bad(&msg),
+    };
     let (_, _, tx) = match lookup(shared, &deployment) {
         Ok(v) => v,
         Err(e) => return e,
     };
     let (reply_tx, reply_rx) = channel();
-    round_trip(&tx, EngineCmd::Fingerprint { reply: reply_tx }, reply_rx)
+    round_trip(&tx, EngineCmd::Fingerprint { reply: reply_tx }, reply_rx, timeout)
 }
 
 fn handle_snapshot(request: &Json, shared: &Shared) -> Json {
@@ -484,67 +791,324 @@ fn handle_snapshot(request: &Json, shared: &Shared) -> Json {
         Ok(v) => v,
         Err(e) => return e,
     };
+    let timeout = match request_timeout(request) {
+        Ok(v) => v,
+        Err(msg) => return bad(&msg),
+    };
     let (_, _, tx) = match lookup(shared, &deployment) {
         Ok(v) => v,
         Err(e) => return e,
     };
     let (reply_tx, reply_rx) = channel();
-    round_trip(&tx, EngineCmd::SnapshotTo { path, reply: reply_tx }, reply_rx)
+    round_trip(&tx, EngineCmd::SnapshotTo { path, reply: reply_tx }, reply_rx, timeout)
+}
+
+fn handle_stall(request: &Json, shared: &Shared) -> Json {
+    let deployment = match str_field(request, "deployment") {
+        Ok(v) => v,
+        Err(e) => return e,
+    };
+    let ms = match opt_u64_field(request, "ms") {
+        Ok(Some(v)) => v.min(10_000),
+        Ok(None) => return bad("missing integer field \"ms\""),
+        Err(e) => return e,
+    };
+    let timeout = match request_timeout(request) {
+        Ok(v) => v,
+        Err(msg) => return bad(&msg),
+    };
+    let (_, _, tx) = match lookup(shared, &deployment) {
+        Ok(v) => v,
+        Err(e) => return e,
+    };
+    let (reply_tx, reply_rx) = channel();
+    round_trip(&tx, EngineCmd::Stall { ms, reply: reply_tx }, reply_rx, timeout)
 }
 
 // --- the engine thread ----------------------------------------------------
 
-/// Drain the command channel, batching query submissions; control
-/// commands reply immediately, batches resolve by stepping epochs until
-/// every query in the batch has finalised.
+/// A query injected into the engine and not yet finalised. `Some` holds
+/// the blocking caller's reply channel; async callers were answered at
+/// injection and resolve through the results log.
+type Inflight = Option<Sender<Json>>;
+
+/// The engine thread's serving state: admission queue, in-flight set,
+/// and the bounded results log `poll`/`drain` read.
+struct Serving {
+    engine: Engine,
+    info: DeploymentInfo,
+    /// Published epoch-boundary mirror for lock-free `status` reads.
+    epoch: Arc<AtomicU64>,
+    /// Bounded admission queue, arrival order.
+    queue: VecDeque<Submission>,
+    /// Injected, not yet finalised, by query id.
+    inflight: HashMap<u64, Inflight>,
+    /// Rotating start index for round-robin admission.
+    rr_round: u64,
+    /// Cursor into the engine's completed log (internal workload
+    /// completions are swept past; external ones land in `results`).
+    sweep_cursor: u64,
+    /// Completed external queries: `(seq, query id, outcome fields)`.
+    results: VecDeque<(u64, u64, Json)>,
+    /// Sequence number the next completed result will receive.
+    next_result_seq: u64,
+}
+
+impl Serving {
+    /// Queued + in-flight work; the thread steps epochs while non-zero.
+    fn backlog(&self) -> usize {
+        self.queue.len() + self.inflight.len()
+    }
+
+    /// Handle one command; `true` means stop.
+    fn process(&mut self, cmd: EngineCmd) -> bool {
+        match cmd {
+            EngineCmd::Submit(s) => {
+                if self.queue.len() >= self.info.serving.queue_cap {
+                    let _ = s.reply.send(err_response(
+                        kind::QUEUE_FULL,
+                        &format!(
+                            "admission queue at capacity ({}); resubmit later",
+                            self.info.serving.queue_cap
+                        ),
+                    ));
+                } else {
+                    self.queue.push_back(s);
+                }
+            }
+            EngineCmd::Poll { id, reply } => {
+                let _ = reply.send(self.poll(id));
+            }
+            EngineCmd::Drain { cursor, reply } => {
+                let _ = reply.send(self.drain(cursor));
+            }
+            EngineCmd::Step { epochs, reply } => {
+                // An explicit step never admits queued submissions —
+                // they inject after it, whenever they arrived.
+                for _ in 0..epochs {
+                    self.engine.step_epoch();
+                    self.post_step();
+                }
+                let mut ok = ok_response();
+                ok.set("epoch", Json::from_u64(self.engine.epoch()));
+                let _ = reply.send(ok);
+            }
+            EngineCmd::Fingerprint { reply } => {
+                let mut ok = ok_response();
+                ok.set("epoch", Json::from_u64(self.engine.epoch()));
+                ok.set("fingerprint", Json::Str(fingerprint_hex(self.engine.state_fingerprint())));
+                let _ = reply.send(ok);
+            }
+            EngineCmd::SnapshotTo { path, reply } => {
+                let _ = reply.send(write_snapshot(&self.engine, &self.info, &path));
+            }
+            EngineCmd::Stall { ms, reply } => {
+                std::thread::sleep(Duration::from_millis(ms));
+                let mut ok = ok_response();
+                ok.set("epoch", Json::from_u64(self.engine.epoch()));
+                let _ = reply.send(ok);
+            }
+            EngineCmd::Stop => return true,
+        }
+        false
+    }
+
+    /// Draw one admission round from the queue under the deployment's
+    /// policy.
+    fn admit(&mut self) -> Vec<Submission> {
+        let cap = self.info.serving.admit_per_epoch;
+        let take = if cap == 0 { self.queue.len() } else { cap.min(self.queue.len()) };
+        if take == 0 {
+            return Vec::new();
+        }
+        match self.info.serving.policy {
+            AdmissionPolicy::Fifo => self.queue.drain(..take).collect(),
+            AdmissionPolicy::RoundRobin => {
+                // One per client per turn, clients visited in sorted-name
+                // order; the start position rotates round-by-round so the
+                // alphabetically first client is not structurally ahead.
+                let clients: Vec<String> = self
+                    .queue
+                    .iter()
+                    .map(|s| s.client.clone())
+                    .collect::<BTreeSet<_>>()
+                    .into_iter()
+                    .collect();
+                let start = (self.rr_round % clients.len() as u64) as usize;
+                self.rr_round = self.rr_round.wrapping_add(1);
+                let mut admitted = Vec::with_capacity(take);
+                let mut turn = 0usize;
+                while admitted.len() < take {
+                    let client = &clients[(start + turn) % clients.len()];
+                    turn += 1;
+                    if let Some(pos) = self.queue.iter().position(|s| &s.client == client) {
+                        admitted.push(self.queue.remove(pos).expect("position just found"));
+                    }
+                }
+                admitted
+            }
+        }
+    }
+
+    /// Admit one round and inject it, ordered by content (client tag as
+    /// tiebreak) so the trajectory is arrival-order-invariant. Async
+    /// submissions are answered here with their assigned id.
+    fn admit_and_inject(&mut self) {
+        let mut admitted = self.admit();
+        if admitted.is_empty() {
+            return;
+        }
+        admitted.sort_by(|a, b| a.key().cmp(&b.key()).then_with(|| a.client.cmp(&b.client)));
+        let boundary = self.engine.epoch();
+        for s in admitted {
+            let region = s.region.map(|[x0, y0, x1, y1]| {
+                Rect::new(Position { x: x0, y: y0 }, Position { x: x1, y: y1 })
+            });
+            let id = self.engine.submit_external_query(SensorType(s.stype), s.lo, s.hi, region);
+            if s.is_async {
+                let mut ok = ok_response();
+                ok.set("id", Json::from_u64(id.0));
+                ok.set("epoch", Json::from_u64(boundary));
+                let _ = s.reply.send(ok);
+                self.inflight.insert(id.0, None);
+            } else {
+                self.inflight.insert(id.0, Some(s.reply));
+            }
+        }
+    }
+
+    /// After every `step_epoch`, wherever it happens: publish the epoch,
+    /// sweep newly finalised queries out of the engine's completed log
+    /// (blocking callers are answered, everything external lands in the
+    /// results log), and maybe write an auto-checkpoint.
+    fn post_step(&mut self) {
+        let now = self.engine.epoch();
+        self.epoch.store(now, Ordering::SeqCst);
+        let mut finished: Vec<(u64, Json)> = Vec::new();
+        for (seq, done) in self.engine.completed_since(self.sweep_cursor) {
+            self.sweep_cursor = seq + 1;
+            // The engine also finalises its own workload queries; only
+            // externally submitted ids leave the sweep.
+            if self.inflight.contains_key(&done.outcome.id.0) {
+                finished.push((done.outcome.id.0, outcome_fields(done)));
+            }
+        }
+        for (id, fields) in finished {
+            if let Some(Some(reply)) = self.inflight.remove(&id) {
+                let mut ok = ok_response();
+                merge_fields(&mut ok, &fields);
+                let _ = reply.send(ok);
+            }
+            if self.results.len() == RESULTS_LOG_CAP {
+                self.results.pop_front();
+            }
+            self.results.push_back((self.next_result_seq, id, fields));
+            self.next_result_seq += 1;
+        }
+        let every = self.info.serving.checkpoint_every_epochs;
+        if every > 0 && now.is_multiple_of(every) {
+            self.write_checkpoint(now / every % CHECKPOINT_SLOTS);
+        }
+    }
+
+    /// Write one rotating checkpoint image. Failures are logged, never
+    /// fatal — checkpointing is a recovery aid, not a serving dependency.
+    fn write_checkpoint(&self, slot: u64) {
+        let dir = self.info.serving.checkpoint_dir.as_deref().unwrap_or(".");
+        let path = format!(
+            "{dir}/{name}.{slot}.{ext}",
+            name = self.info.name,
+            ext = crate::protocol::IMAGE_EXTENSION
+        );
+        let result = write_snapshot(&self.engine, &self.info, &path);
+        if result.get("ok") != Some(&Json::Bool(true)) {
+            let why = result.get("error").and_then(Json::as_str).unwrap_or("unknown error");
+            eprintln!("dirqd: checkpoint {path:?} failed: {why}");
+        }
+    }
+
+    fn poll(&self, id: u64) -> Json {
+        if let Some((_, _, fields)) = self.results.iter().rev().find(|(_, rid, _)| *rid == id) {
+            let mut ok = ok_response();
+            ok.set("done", Json::Bool(true));
+            merge_fields(&mut ok, fields);
+            return ok;
+        }
+        if self.inflight.contains_key(&id) {
+            let mut ok = ok_response();
+            ok.set("done", Json::Bool(false));
+            ok.set("epoch", Json::from_u64(self.engine.epoch()));
+            return ok;
+        }
+        err_response(kind::NOT_FOUND, &format!("unknown or expired query id {id}"))
+    }
+
+    fn drain(&self, cursor: u64) -> Json {
+        let first_seq = self.next_result_seq - self.results.len() as u64;
+        let skip = cursor.saturating_sub(first_seq).min(self.results.len() as u64) as usize;
+        let mut out = Vec::new();
+        let mut next_cursor = cursor.max(first_seq).min(self.next_result_seq);
+        for (seq, _, fields) in self.results.iter().skip(skip).take(DRAIN_MAX_RESULTS) {
+            let mut item = fields.clone();
+            item.set("seq", Json::from_u64(*seq));
+            out.push(item);
+            next_cursor = seq + 1;
+        }
+        let mut ok = ok_response();
+        ok.set("results", Json::Arr(out));
+        ok.set("cursor", Json::from_u64(next_cursor));
+        ok.set("pending", Json::from_u64(self.backlog() as u64));
+        ok.set("epoch", Json::from_u64(self.engine.epoch()));
+        ok
+    }
+}
+
+/// The serving loop: block when idle; while any query is queued or in
+/// flight, run one epoch per iteration — drain arrived commands, admit
+/// and inject a scheduling round, step, sweep completions.
 fn engine_thread(
-    mut engine: Engine,
+    engine: Engine,
     info: DeploymentInfo,
     epoch: Arc<AtomicU64>,
     rx: Receiver<EngineCmd>,
 ) {
-    let mut batch: Vec<Submission> = Vec::new();
-    loop {
-        let first = match rx.recv() {
-            Ok(cmd) => cmd,
-            Err(_) => break,
-        };
-        let mut stop = false;
-        let mut pending = vec![first];
-        while let Ok(cmd) = rx.try_recv() {
-            pending.push(cmd);
-        }
-        for cmd in pending {
-            match cmd {
-                EngineCmd::Submit(s) => batch.push(s),
-                EngineCmd::Step { epochs, reply } => {
-                    for _ in 0..epochs {
-                        engine.step_epoch();
+    let mut s = Serving {
+        sweep_cursor: engine.completed_next_seq(),
+        engine,
+        info,
+        epoch,
+        queue: VecDeque::new(),
+        inflight: HashMap::new(),
+        rr_round: 0,
+        results: VecDeque::new(),
+        next_result_seq: 0,
+    };
+    'serve: loop {
+        if s.backlog() == 0 {
+            match rx.recv() {
+                Ok(cmd) => {
+                    if s.process(cmd) {
+                        break 'serve;
                     }
-                    engine.take_completed();
-                    epoch.store(engine.epoch(), Ordering::SeqCst);
-                    let mut ok = ok_response();
-                    ok.set("epoch", Json::Num(engine.epoch() as f64));
-                    let _ = reply.send(ok);
                 }
-                EngineCmd::Fingerprint { reply } => {
-                    let mut ok = ok_response();
-                    ok.set("epoch", Json::Num(engine.epoch() as f64));
-                    ok.set("fingerprint", Json::Str(fingerprint_hex(engine.state_fingerprint())));
-                    let _ = reply.send(ok);
-                }
-                EngineCmd::SnapshotTo { path, reply } => {
-                    let _ = reply.send(write_snapshot(&engine, &info, &path));
-                }
-                EngineCmd::Stop => stop = true,
+                Err(_) => break 'serve,
             }
         }
-        if !batch.is_empty() && !stop {
-            resolve_batch(&mut engine, &mut batch);
-            epoch.store(engine.epoch(), Ordering::SeqCst);
+        loop {
+            match rx.try_recv() {
+                Ok(cmd) => {
+                    if s.process(cmd) {
+                        break 'serve;
+                    }
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => break 'serve,
+            }
         }
-        if stop {
-            break;
+        if s.backlog() > 0 {
+            s.admit_and_inject();
+            s.engine.step_epoch();
+            s.post_step();
         }
     }
 }
@@ -561,55 +1125,43 @@ fn write_snapshot(engine: &Engine, info: &DeploymentInfo, path: &str) -> Json {
     };
     let image = frame_image(&header.to_json(), &engine.snapshot());
     if let Err(e) = std::fs::write(path, &image) {
-        return err_response(&format!("write {path:?}: {e}"));
+        return err_response(kind::IO, &format!("write {path:?}: {e}"));
     }
     let mut ok = ok_response();
     ok.set("path", Json::Str(path.to_string()));
-    ok.set("bytes", Json::Num(image.len() as f64));
-    ok.set("epoch", Json::Num(engine.epoch() as f64));
+    ok.set("bytes", Json::from_u64(image.len() as u64));
+    ok.set("epoch", Json::from_u64(engine.epoch()));
     ok.set("fingerprint", Json::Str(fingerprint_hex(engine.state_fingerprint())));
     ok
 }
 
-/// Inject the waiting batch (content-ordered) at the current epoch
-/// boundary and step until every member has completed.
-fn resolve_batch(engine: &mut Engine, batch: &mut Vec<Submission>) {
-    batch.sort_by_key(Submission::key);
-    let mut waiting: HashMap<u64, (Sender<Json>, u64)> = HashMap::new();
-    for s in batch.drain(..) {
-        let region = s.region.map(|[x0, y0, x1, y1]| {
-            Rect::new(Position { x: x0, y: y0 }, Position { x: x1, y: y1 })
-        });
-        let injected_at = engine.epoch();
-        let id = engine.submit_external_query(SensorType(s.stype), s.lo, s.hi, region);
-        waiting.insert(id.0, (s.reply, injected_at));
-    }
-    while !waiting.is_empty() {
-        engine.step_epoch();
-        for done in engine.take_completed() {
-            if let Some((reply, injected_at)) = waiting.remove(&done.outcome.id.0) {
-                let _ = reply.send(outcome_json(&done, injected_at, engine.epoch()));
-            }
-        }
-    }
+/// Render one completed query's result fields (no `ok` envelope — the
+/// caller wraps for `query`/`poll` replies or embeds for `drain`).
+fn outcome_fields(done: &CompletedQuery) -> Json {
+    let o = &done.outcome;
+    let mut fields = Json::object();
+    fields.set("id", Json::from_u64(o.id.0));
+    fields.set("epoch", Json::from_u64(o.epoch));
+    fields.set("answered_epoch", Json::from_u64(done.answered_epoch));
+    fields.set("epochs_to_answer", Json::from_u64(done.answered_epoch.saturating_sub(o.epoch)));
+    fields.set("true_sources", Json::from_u64(o.true_sources as u64));
+    fields.set("sources_reached", Json::from_u64(o.sources_reached as u64));
+    fields.set("should_receive", Json::from_u64(o.should_receive as u64));
+    fields.set("received_should", Json::from_u64(o.received_should as u64));
+    fields.set("received_should_not", Json::from_u64(o.received_should_not as u64));
+    fields.set("recall", Json::Num(o.source_recall()));
+    fields.set("tx", Json::from_u64(done.tx));
+    fields.set("rx", Json::from_u64(done.rx));
+    fields
 }
 
-/// Render one completed query for the wire.
-fn outcome_json(done: &CompletedQuery, injected_at: u64, answered_epoch: u64) -> Json {
-    let o = &done.outcome;
-    let mut ok = ok_response();
-    ok.set("id", Json::Num(o.id.0 as f64));
-    ok.set("epoch", Json::Num(injected_at as f64));
-    ok.set("answered_epoch", Json::Num(answered_epoch as f64));
-    ok.set("true_sources", Json::Num(o.true_sources as f64));
-    ok.set("sources_reached", Json::Num(o.sources_reached as f64));
-    ok.set("should_receive", Json::Num(o.should_receive as f64));
-    ok.set("received_should", Json::Num(o.received_should as f64));
-    ok.set("received_should_not", Json::Num(o.received_should_not as f64));
-    ok.set("recall", Json::Num(o.source_recall()));
-    ok.set("tx", Json::Num(done.tx as f64));
-    ok.set("rx", Json::Num(done.rx as f64));
-    ok
+/// Copy every field of `src` (an object) onto `dst`.
+fn merge_fields(dst: &mut Json, src: &Json) {
+    if let Json::Obj(fields) = src {
+        for (k, v) in fields {
+            dst.set(k, v.clone());
+        }
+    }
 }
 
 /// The protocol scheme label of an engine's configured protocol — a

@@ -34,8 +34,11 @@
 
 pub mod client;
 pub mod daemon;
+pub mod loadmodel;
 pub mod protocol;
 
-pub use client::{Client, ClientError, DeploySummary, QueryReport, SnapshotReport};
-pub use daemon::{Daemon, DeploymentInfo};
+pub use client::{
+    Client, ClientError, DeployOptions, DeploySummary, DrainReport, QueryReport, SnapshotReport,
+};
+pub use daemon::{AdmissionPolicy, Daemon, DeploymentInfo, ServingOptions};
 pub use protocol::{ImageHeader, MAX_LINE_BYTES};

@@ -1,0 +1,113 @@
+//! The deterministic query-load model shared by the load generator and
+//! the golden recorder.
+//!
+//! The loadgen's latency-histogram phase drives [`HIST_QUERIES`]
+//! barriered queries (submit, wait for completion, submit the next)
+//! with content from [`hist_query`]. Because the daemon injects each
+//! barriered submission at the next epoch boundary and steps until it
+//! finalises, the *epochs-to-answer* of every query is a deterministic
+//! function of the deployment recipe — [`reference_epochs_histogram`]
+//! reproduces it engine-level, with no daemon involved, which is what
+//! lets `record_goldens --check` gate the recorded histogram while the
+//! wall-clock percentiles beside it stay machine-specific.
+
+use dirq_core::Engine;
+use dirq_data::SensorType;
+
+use crate::protocol::resolve_deployment;
+
+/// Queries in the barriered histogram phase.
+pub const HIST_QUERIES: usize = 24;
+
+/// Content of the `k`-th histogram query: `(stype, lo, hi)`. Windows
+/// sweep the value range of both sensor types so latencies are sampled
+/// across differently sized result sets, without RNG.
+pub fn hist_query(k: usize) -> (u8, f64, f64) {
+    let stype = (k % 2) as u8;
+    let lo = 12.0 + ((k * 7) % 9) as f64;
+    let hi = lo + 6.0 + (k % 4) as f64;
+    (stype, lo, hi)
+}
+
+/// Replay the histogram phase engine-level: build the preset's default
+/// deployment, step `warmup` epochs, then run the barriered sequence,
+/// returning each query's epochs-to-answer in submission order.
+///
+/// This mirrors the daemon's serving loop exactly — a barriered
+/// submission injects at the current epoch boundary and the engine
+/// steps until it finalises, stopping on the boundary after the
+/// finalising epoch.
+pub fn reference_epochs_histogram(preset: &str, scale: f64, warmup: u64) -> Vec<u64> {
+    let (spec, scheme) =
+        resolve_deployment(preset, scale, None).unwrap_or_else(|e| panic!("resolve {preset}: {e}"));
+    let seed = spec.seed;
+    let mut engine = Engine::new(spec.config(scheme, seed));
+    engine.enable_completed_log();
+    for _ in 0..warmup {
+        engine.step_epoch();
+    }
+    let mut latencies = Vec::with_capacity(HIST_QUERIES);
+    for k in 0..HIST_QUERIES {
+        let (stype, lo, hi) = hist_query(k);
+        let id = engine.submit_external_query(SensorType(stype), lo, hi, None);
+        loop {
+            engine.step_epoch();
+            if let Some(done) = engine.completed_by_id(id.0) {
+                latencies.push(done.answered_epoch - done.outcome.epoch);
+                break;
+            }
+        }
+    }
+    latencies
+}
+
+/// Collapse per-query latencies into sorted `(epochs, count)` pairs —
+/// the shape BENCH_3.json records.
+pub fn histogram_counts(latencies: &[u64]) -> Vec<(u64, u64)> {
+    let mut counts = std::collections::BTreeMap::new();
+    for &l in latencies {
+        *counts.entry(l).or_insert(0u64) += 1;
+    }
+    counts.into_iter().collect()
+}
+
+/// The `p`-th percentile (0–100) of a sample, nearest-rank on a sorted
+/// copy. Returns 0.0 on an empty sample.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latency samples"));
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_counts_accumulate_sorted() {
+        assert_eq!(histogram_counts(&[3, 1, 3, 3, 2]), vec![(1, 1), (2, 1), (3, 3)]);
+        assert!(histogram_counts(&[]).is_empty());
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let s = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile(&s, 50.0), 2.0);
+        assert_eq!(percentile(&s, 100.0), 4.0);
+        assert_eq!(percentile(&s, 1.0), 1.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn reference_histogram_is_deterministic() {
+        let a = reference_epochs_histogram("dense_grid_100", 0.1, 8);
+        let b = reference_epochs_histogram("dense_grid_100", 0.1, 8);
+        assert_eq!(a.len(), HIST_QUERIES);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&l| l > 0), "every query needs at least one epoch to answer");
+    }
+}

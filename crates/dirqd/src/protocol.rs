@@ -10,21 +10,50 @@
 //!
 //! | `cmd`         | request fields                                              | response fields |
 //! |---------------|-------------------------------------------------------------|-----------------|
-//! | `deploy`      | `name`, `preset`, [`scale`], [`scheme`], [`seed`]           | `name`, `preset`, `scheme`, `seed`, `scale`, `nodes`, `epochs`, `epoch` |
-//! | `query`       | `deployment`, `stype`, `lo`, `hi`, [`region`: `[x0,y0,x1,y1]`] | `id`, `epoch`, `answered_epoch`, `true_sources`, `sources_reached`, `should_receive`, `received_should`, `received_should_not`, `recall`, `tx`, `rx` |
-//! | `step`        | `deployment`, `epochs`                                      | `epoch` |
+//! | `deploy`      | `name`, `preset`, [`scale`], [`scheme`], [`seed`], [`policy`], [`queue_cap`], [`admit_per_epoch`], [`checkpoint_every_epochs`], [`checkpoint_dir`] | `name`, `preset`, `scheme`, `seed`, `scale`, `nodes`, `epochs`, `epoch`, `policy`, `queue_cap`, `admit_per_epoch`, `checkpoint_every_epochs` |
+//! | `query`       | `deployment`, `stype`, `lo`, `hi`, [`region`: `[x0,y0,x1,y1]`], [`async`: bool], [`client`], [`timeout_ms`] | blocking: `id`, `epoch`, `answered_epoch`, `epochs_to_answer`, `true_sources`, `sources_reached`, `should_receive`, `received_should`, `received_should_not`, `recall`, `tx`, `rx`; async: `id`, `epoch` |
+//! | `poll`        | `deployment`, `id`, [`timeout_ms`]                          | `done` (+ the blocking-query fields when `done` is true, else `epoch`) |
+//! | `drain`       | `deployment`, [`cursor`], [`timeout_ms`]                    | `results` (array of completed queries, each + `seq`), `cursor`, `pending`, `epoch` |
+//! | `step`        | `deployment`, `epochs`, [`timeout_ms`]                      | `epoch` |
 //! | `status`      | —                                                           | `deployments`: array of deploy summaries |
-//! | `fingerprint` | `deployment`                                                | `epoch`, `fingerprint` (hex string) |
-//! | `snapshot`    | `deployment`, `path`                                        | `path`, `bytes`, `epoch`, `fingerprint` |
-//! | `restore`     | `name`, `path`                                              | like `deploy`, at the captured `epoch` |
+//! | `fingerprint` | `deployment`, [`timeout_ms`]                                | `epoch`, `fingerprint` (hex string) |
+//! | `snapshot`    | `deployment`, `path`, [`timeout_ms`]                        | `path`, `bytes`, `epoch`, `fingerprint` |
+//! | `restore`     | `name`, `path`, [`policy`], [`queue_cap`], [`admit_per_epoch`], [`checkpoint_every_epochs`], [`checkpoint_dir`] | like `deploy`, at the captured `epoch` |
+//! | `debug_stall` | `deployment`, `ms`, [`timeout_ms`]                          | `epoch` (diagnostics: occupies the engine thread for `ms`) |
 //! | `shutdown`    | —                                                           | — |
 //!
-//! Query submissions are **batched at epoch boundaries**: the engine
-//! collects every query waiting at the start of its next epoch, orders
-//! the batch by content (not arrival time), injects it, and steps epochs
-//! until all of the batch has completed. A fixed sequence of barriered
-//! batches therefore drives the engine along a reproducible trajectory —
-//! the property the load generator's fingerprint checks pin.
+//! Query submissions pass through a per-deployment **admission
+//! scheduler**: submissions wait in a bounded queue (`queue_cap`,
+//! rejected with a `queue_full` error beyond it) and are admitted at
+//! epoch boundaries — up to `admit_per_epoch` per boundary (0 = all) —
+//! under the deployment's `policy` (`fifo` or `rr`, per-client
+//! round-robin keyed by the request's `client` tag). Each admitted set
+//! is injected ordered by **content** (not arrival time), so a fixed
+//! sequence of barriered batches drives the engine along a reproducible
+//! trajectory regardless of socket scheduling — the property the load
+//! generator's fingerprint checks pin. Blocking queries reply once the
+//! query completes; `async: true` queries reply with the assigned id at
+//! injection, and the outcome is fetched later via `poll` (one id) or
+//! `drain` (every completion since a client-held cursor, backed by the
+//! engine's bounded completed-query log).
+//!
+//! ## Typed errors
+//!
+//! Error responses are `{"ok": false, "kind": …, "error": …}`; `kind`
+//! is machine-matchable, `error` human-readable:
+//!
+//! | `kind`        | meaning |
+//! |---------------|---------|
+//! | `bad_request` | missing/mistyped/out-of-range request field |
+//! | `not_found`   | unknown deployment, preset, scheme, or query id |
+//! | `exists`      | deployment name already taken |
+//! | `unsupported` | operation the deployment cannot serve (e.g. spatial query without the location extension) |
+//! | `queue_full`  | admission queue at `queue_cap`; resubmit later |
+//! | `timeout`     | the engine thread missed the command deadline (`timeout_ms`, default [`DEFAULT_TIMEOUT_MS`]) |
+//! | `shutdown`    | deployment or daemon is stopping |
+//! | `io`          | filesystem failure (snapshot write, image read) |
+//! | `bad_image`   | snapshot image failed to parse or mismatches its header |
+//! | `bad_line`    | request line oversized or not valid JSON (connection drops) |
 //!
 //! Snapshot images are [`dirq_sim::snap::frame_image`] files: magic,
 //! format version, a JSON header carrying the deployment recipe
@@ -44,6 +73,40 @@ pub const MAX_LINE_BYTES: usize = 1 << 20;
 /// File extension the tools use for snapshot images.
 pub const IMAGE_EXTENSION: &str = "dirqsnap";
 
+/// Default engine round-trip deadline when a request carries no
+/// `timeout_ms`. Generous: a legitimate blocking query on the largest
+/// preset completes in well under a second.
+pub const DEFAULT_TIMEOUT_MS: u64 = 60_000;
+
+/// Hard ceiling a request's `timeout_ms` is clamped to (10 minutes).
+pub const MAX_TIMEOUT_MS: u64 = 600_000;
+
+/// Machine-matchable error kinds (the `kind` field of an error
+/// response). Kept as `&str` constants rather than an enum so client
+/// and daemon stay wire-compatible with kinds they don't know yet.
+pub mod kind {
+    /// Missing, mistyped, or out-of-range request field.
+    pub const BAD_REQUEST: &str = "bad_request";
+    /// Unknown deployment, preset, scheme, or query id.
+    pub const NOT_FOUND: &str = "not_found";
+    /// Deployment name already taken.
+    pub const EXISTS: &str = "exists";
+    /// Operation the deployment cannot serve.
+    pub const UNSUPPORTED: &str = "unsupported";
+    /// Admission queue at capacity; resubmit later.
+    pub const QUEUE_FULL: &str = "queue_full";
+    /// The engine thread missed the command deadline.
+    pub const TIMEOUT: &str = "timeout";
+    /// Deployment or daemon is stopping.
+    pub const SHUTDOWN: &str = "shutdown";
+    /// Filesystem failure.
+    pub const IO: &str = "io";
+    /// Snapshot image failed to parse or mismatches its header.
+    pub const BAD_IMAGE: &str = "bad_image";
+    /// Request line oversized or not valid JSON.
+    pub const BAD_LINE: &str = "bad_line";
+}
+
 /// Render a fingerprint the way the protocol carries it (`u64` does not
 /// survive a JSON `f64` number, so fingerprints travel as hex strings).
 pub fn fingerprint_hex(fp: u64) -> String {
@@ -62,12 +125,28 @@ pub fn ok_response() -> Json {
     obj
 }
 
-/// An error response.
-pub fn err_response(message: &str) -> Json {
+/// An error response: `{ok: false, kind, error}`. `kind` should be one
+/// of the [`kind`] constants.
+pub fn err_response(kind: &str, message: &str) -> Json {
     let mut obj = Json::object();
     obj.set("ok", Json::Bool(false));
+    obj.set("kind", Json::Str(kind.to_string()));
     obj.set("error", Json::Str(message.to_string()));
     obj
+}
+
+/// Resolve a request's engine round-trip deadline: the optional
+/// `timeout_ms` field clamped to `[1, MAX_TIMEOUT_MS]`, defaulting to
+/// [`DEFAULT_TIMEOUT_MS`]. A non-numeric `timeout_ms` is a typed error.
+pub fn request_timeout(req: &Json) -> Result<std::time::Duration, String> {
+    let ms = match req.get("timeout_ms") {
+        None | Some(Json::Null) => DEFAULT_TIMEOUT_MS,
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| "timeout_ms must be a non-negative integer".to_string())?
+            .clamp(1, MAX_TIMEOUT_MS),
+    };
+    Ok(std::time::Duration::from_millis(ms))
 }
 
 /// Write `doc` as one protocol line.
@@ -129,8 +208,8 @@ impl ImageHeader {
         obj.set("preset", Json::Str(self.preset.clone()));
         obj.set("scale", Json::Num(self.scale));
         obj.set("scheme", Json::Str(self.scheme.clone()));
-        obj.set("seed", Json::Num(self.seed as f64));
-        obj.set("epoch", Json::Num(self.epoch as f64));
+        obj.set("seed", Json::from_u64(self.seed));
+        obj.set("epoch", Json::from_u64(self.epoch));
         obj.set("nodes", Json::Num(self.nodes as f64));
         obj
     }
@@ -148,13 +227,19 @@ impl ImageHeader {
                 .and_then(Json::as_f64)
                 .ok_or_else(|| format!("image header: missing numeric field {k:?}"))
         };
+        // Seeds and epochs are u64s and must not round through f64.
+        let u64_field = |k: &str| {
+            doc.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("image header: missing integer field {k:?}"))
+        };
         Ok(ImageHeader {
             preset: str_field("preset")?,
             scale: num_field("scale")?,
             scheme: str_field("scheme")?,
-            seed: num_field("seed")? as u64,
-            epoch: num_field("epoch")? as u64,
-            nodes: num_field("nodes")? as usize,
+            seed: u64_field("seed")?,
+            epoch: u64_field("epoch")?,
+            nodes: u64_field("nodes")? as usize,
         })
     }
 
@@ -212,6 +297,40 @@ mod tests {
         let (spec, scheme) = header.resolve().unwrap();
         assert_eq!(spec.n_nodes, 100);
         assert_eq!(scheme, Scheme::DirqAtc);
+    }
+
+    #[test]
+    fn image_headers_keep_huge_seeds_exact() {
+        // Above 2^53: a float round trip would silently round this.
+        let header = ImageHeader {
+            preset: "dense_grid_100".into(),
+            scale: 1.0,
+            scheme: "dirq-atc".into(),
+            seed: u64::MAX - 12,
+            epoch: 3,
+            nodes: 100,
+        };
+        let wire = header.to_json().render();
+        let reparsed = Json::parse(&wire).unwrap();
+        assert_eq!(ImageHeader::from_json(&reparsed).unwrap(), header);
+    }
+
+    #[test]
+    fn request_timeouts_parse_and_clamp() {
+        use std::time::Duration;
+        let req = |s: &str| Json::parse(s).unwrap();
+        assert_eq!(request_timeout(&req("{}")).unwrap(), Duration::from_millis(DEFAULT_TIMEOUT_MS));
+        assert_eq!(
+            request_timeout(&req("{\"timeout_ms\": 250}")).unwrap(),
+            Duration::from_millis(250)
+        );
+        assert_eq!(request_timeout(&req("{\"timeout_ms\": 0}")).unwrap(), Duration::from_millis(1));
+        assert_eq!(
+            request_timeout(&req("{\"timeout_ms\": 1e12}")).unwrap(),
+            Duration::from_millis(MAX_TIMEOUT_MS)
+        );
+        assert!(request_timeout(&req("{\"timeout_ms\": \"soon\"}")).is_err());
+        assert!(request_timeout(&req("{\"timeout_ms\": -5}")).is_err());
     }
 
     #[test]

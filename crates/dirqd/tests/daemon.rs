@@ -1,131 +1,413 @@
-//! End-to-end daemon test over a real TCP socket: deploy, step, query,
-//! snapshot, restore, fingerprint equality, protocol error paths and a
-//! clean shutdown — the same invariants `loadgen --smoke` gates in CI,
-//! at debug-tier scale.
+//! End-to-end daemon tests over real TCP sockets: deploy, step, query
+//! (blocking and async), poll/drain, snapshot, restore, fingerprint
+//! equality, the typed protocol error surface and clean shutdowns — the
+//! same invariants `loadgen --smoke` gates in CI, at debug-tier scale.
+
+use std::time::Duration;
 
 use dirq_sim::json::Json;
-use dirqd::{Client, ClientError, Daemon};
+use dirqd::{Client, ClientError, Daemon, DeployOptions};
 
-/// Everything shares one daemon: TCP listeners are cheap but test
-/// processes should not leak serving threads.
-#[test]
-fn daemon_end_to_end() {
+/// Spawn a daemon, run `body` against a fresh client, then shut the
+/// daemon down and join its serving thread.
+fn with_daemon(body: impl FnOnce(std::net::SocketAddr, &mut Client)) {
     let (addr, daemon) = Daemon::spawn("127.0.0.1:0").expect("spawn daemon");
     let mut c = Client::connect(addr).expect("connect");
+    body(addr, &mut c);
+    c.shutdown().expect("shutdown");
+    daemon.join().expect("join daemon thread").expect("daemon serve");
+}
 
-    // --- deploy + step + status ------------------------------------------
-    let info = c.deploy("a", "dense_grid_100", Some(0.1), None, None).expect("deploy");
-    assert_eq!(info.nodes, 100);
-    assert_eq!(info.epoch, 0);
-    assert_eq!(info.epochs, 400, "dense_grid_100 at 0.1 scale");
-    assert_eq!(c.step("a", 25).expect("step"), 25);
+/// The remote error kind of a failed call, or a panic if it succeeded
+/// (or failed client-side).
+fn remote_kind<T>(r: Result<T, ClientError>, what: &str) -> String {
+    match r {
+        Ok(_) => panic!("{what}: accepted"),
+        Err(e) => e.kind().unwrap_or_else(|| panic!("{what}: not a remote error")).to_string(),
+    }
+}
 
-    // Deterministic: a second identical deployment fingerprints equal.
-    c.deploy("b", "dense_grid_100", Some(0.1), None, None).expect("deploy twin");
-    c.step("b", 25).expect("step twin");
-    let (_, fp_a) = c.fingerprint("a").expect("fingerprint");
-    let (_, fp_b) = c.fingerprint("b").expect("fingerprint");
-    assert_eq!(fp_a, fp_b, "identical call sequences must produce identical engines");
+fn scaled(scale: f64) -> DeployOptions {
+    DeployOptions { scale: Some(scale), ..DeployOptions::default() }
+}
 
-    let status = c.status().expect("status");
-    assert_eq!(status.len(), 2);
-    assert!(status.iter().all(|d| d.epoch == 25));
+#[test]
+fn daemon_end_to_end() {
+    with_daemon(|_addr, c| {
+        // --- deploy + step + status --------------------------------------
+        let info = c.deploy("a", "dense_grid_100", &scaled(0.1)).expect("deploy");
+        assert_eq!(info.nodes, 100);
+        assert_eq!(info.epoch, 0);
+        assert_eq!(info.epochs, 400, "dense_grid_100 at 0.1 scale");
+        assert_eq!(info.policy, "fifo", "default admission policy");
+        assert_eq!(c.step("a", 25).expect("step"), 25);
 
-    // --- queries: batching, determinism, outcomes ------------------------
-    let q1 = c.query("a", 0, 12.0, 26.0, None).expect("query");
-    assert!(q1.answered_epoch > q1.epoch, "a batch must step the engine");
-    let q2 = c.query("b", 0, 12.0, 26.0, None).expect("query twin");
-    assert_eq!(q1.id, q2.id);
-    assert_eq!(q1.answered_epoch, q2.answered_epoch);
-    assert_eq!(q1.sources_reached, q2.sources_reached);
-    assert_eq!(q1.tx, q2.tx);
-    let (_, fp_a) = c.fingerprint("a").expect("fingerprint");
-    let (_, fp_b) = c.fingerprint("b").expect("fingerprint");
-    assert_eq!(fp_a, fp_b, "twins diverged after identical queries");
+        // Deterministic: a second identical deployment fingerprints equal.
+        c.deploy("b", "dense_grid_100", &scaled(0.1)).expect("deploy twin");
+        c.step("b", 25).expect("step twin");
+        let (_, fp_a) = c.fingerprint("a").expect("fingerprint");
+        let (_, fp_b) = c.fingerprint("b").expect("fingerprint");
+        assert_eq!(fp_a, fp_b, "identical call sequences must produce identical engines");
 
-    // --- snapshot / restore ----------------------------------------------
-    let image = std::env::temp_dir().join("dirqd-test-a.dirqsnap");
-    let image = image.to_str().expect("utf-8 temp path");
-    let snap = c.snapshot("a", image).expect("snapshot");
-    assert_eq!(snap.fingerprint, fp_a);
-    assert!(snap.bytes > 0);
+        let status = c.status().expect("status");
+        assert_eq!(status.len(), 2);
+        assert!(status.iter().all(|d| d.epoch == 25));
 
-    let restored = c.restore("a2", image).expect("restore");
-    assert_eq!(restored.epoch, snap.epoch);
-    assert_eq!(restored.preset, "dense_grid_100");
-    let (_, fp_restored) = c.fingerprint("a2").expect("fingerprint");
-    assert_eq!(fp_restored, fp_a, "restored engine must fingerprint-equal the original");
+        // --- queries: batching, determinism, outcomes --------------------
+        let q1 = c.query("a", 0, 12.0, 26.0, None).expect("query");
+        assert!(q1.answered_epoch > q1.epoch, "a batch must step the engine");
+        assert_eq!(q1.epochs_to_answer, q1.answered_epoch - q1.epoch);
+        let q2 = c.query("b", 0, 12.0, 26.0, None).expect("query twin");
+        assert_eq!(q1.id, q2.id);
+        assert_eq!(q1.answered_epoch, q2.answered_epoch);
+        assert_eq!(q1.sources_reached, q2.sources_reached);
+        assert_eq!(q1.tx, q2.tx);
+        let (_, fp_a) = c.fingerprint("a").expect("fingerprint");
+        let (_, fp_b) = c.fingerprint("b").expect("fingerprint");
+        assert_eq!(fp_a, fp_b, "twins diverged after identical queries");
 
-    // The restored engine *behaves* identically too, not just at rest.
-    let qa = c.query("a", 1, 40.0, 55.0, None).expect("query original");
-    let qr = c.query("a2", 1, 40.0, 55.0, None).expect("query restored");
-    assert_eq!(
-        (qa.id, qa.answered_epoch, qa.sources_reached),
-        (qr.id, qr.answered_epoch, qr.sources_reached)
-    );
-    let (_, fp_after_a) = c.fingerprint("a").expect("fingerprint");
-    let (_, fp_after_r) = c.fingerprint("a2").expect("fingerprint");
-    assert_eq!(fp_after_a, fp_after_r);
+        // --- snapshot / restore ------------------------------------------
+        let image = std::env::temp_dir().join("dirqd-test-a.dirqsnap");
+        let image = image.to_str().expect("utf-8 temp path");
+        let snap = c.snapshot("a", image).expect("snapshot");
+        assert_eq!(snap.fingerprint, fp_a);
+        assert!(snap.bytes > 0);
 
-    // --- error paths ------------------------------------------------------
-    let is_remote = |r: Result<_, ClientError>| matches!(r, Err(ClientError::Remote(_)));
-    assert!(
-        is_remote(c.deploy("a", "dense_grid_100", None, None, None).map(|_| ())),
-        "duplicate name accepted"
-    );
-    assert!(
-        is_remote(c.deploy("x", "no_such_preset", None, None, None).map(|_| ())),
-        "unknown preset accepted"
-    );
-    assert!(
-        is_remote(c.deploy("x", "dense_grid_100", Some(-1.0), None, None).map(|_| ())),
-        "negative scale accepted"
-    );
-    assert!(
-        is_remote(c.deploy("x", "dense_grid_100", None, Some("bogus"), None).map(|_| ())),
-        "unknown scheme accepted"
-    );
-    assert!(
-        is_remote(c.query("missing", 0, 0.0, 1.0, None).map(|_| ())),
-        "unknown deployment accepted"
-    );
-    assert!(is_remote(c.query("a", 0, 5.0, 1.0, None).map(|_| ())), "inverted window accepted");
-    assert!(
-        is_remote(c.query("a", 0, 10.0, 20.0, Some([0.0, 0.0, 50.0, 50.0])).map(|_| ())),
-        "spatial query accepted without the location extension"
-    );
-    assert!(is_remote(c.restore("x", "/no/such/image").map(|_| ())), "missing image accepted");
-    // A non-image file is rejected by magic.
-    let junk = std::env::temp_dir().join("dirqd-test-junk.dirqsnap");
-    std::fs::write(&junk, b"not a snapshot").expect("write junk");
-    assert!(is_remote(c.restore("x", junk.to_str().unwrap()).map(|_| ())), "junk image accepted");
-    // Unknown command and missing cmd field.
-    let mut raw = Json::object();
-    raw.set("cmd", Json::Str("frobnicate".into()));
-    assert!(is_remote(c.call(&raw).map(|_| ())));
-    assert!(is_remote(c.call(&Json::object()).map(|_| ())));
+        let restored = c.restore("a2", image, &DeployOptions::default()).expect("restore");
+        assert_eq!(restored.epoch, snap.epoch);
+        assert_eq!(restored.preset, "dense_grid_100");
+        let (_, fp_restored) = c.fingerprint("a2").expect("fingerprint");
+        assert_eq!(fp_restored, fp_a, "restored engine must fingerprint-equal the original");
 
-    // A deployment whose preset enables the location extension takes
-    // spatially scoped queries.
-    c.deploy("spatial", "hotspot_workload_200", Some(0.1), None, None).expect("deploy spatial");
-    c.step("spatial", 12).expect("step spatial");
-    let q =
-        c.query("spatial", 0, 5.0, 60.0, Some([0.0, 0.0, 150.0, 150.0])).expect("spatial query");
-    assert!(q.answered_epoch > q.epoch);
+        // The restored engine *behaves* identically too, not just at rest.
+        let qa = c.query("a", 1, 40.0, 55.0, None).expect("query original");
+        let qr = c.query("a2", 1, 40.0, 55.0, None).expect("query restored");
+        assert_eq!(
+            (qa.id, qa.answered_epoch, qa.sources_reached),
+            (qr.id, qr.answered_epoch, qr.sources_reached)
+        );
+        let (_, fp_after_a) = c.fingerprint("a").expect("fingerprint");
+        let (_, fp_after_r) = c.fingerprint("a2").expect("fingerprint");
+        assert_eq!(fp_after_a, fp_after_r);
 
-    // --- shutdown ---------------------------------------------------------
+        // --- error paths, each with its machine-matchable kind -----------
+        let none = DeployOptions::default();
+        assert_eq!(remote_kind(c.deploy("a", "dense_grid_100", &none), "duplicate name"), "exists");
+        assert_eq!(
+            remote_kind(c.deploy("x", "no_such_preset", &none), "unknown preset"),
+            "not_found"
+        );
+        assert_eq!(
+            remote_kind(c.deploy("x", "dense_grid_100", &scaled(-1.0)), "negative scale"),
+            "bad_request"
+        );
+        let bogus_scheme =
+            DeployOptions { scheme: Some("bogus".into()), ..DeployOptions::default() };
+        assert_eq!(
+            remote_kind(c.deploy("x", "dense_grid_100", &bogus_scheme), "unknown scheme"),
+            "not_found"
+        );
+        assert_eq!(
+            remote_kind(c.query("missing", 0, 0.0, 1.0, None), "unknown deployment"),
+            "not_found"
+        );
+        assert_eq!(remote_kind(c.query("a", 0, 5.0, 1.0, None), "inverted window"), "bad_request");
+        assert_eq!(
+            remote_kind(
+                c.query("a", 0, 10.0, 20.0, Some([0.0, 0.0, 50.0, 50.0])),
+                "spatial query without the location extension"
+            ),
+            "unsupported"
+        );
+        assert_eq!(remote_kind(c.restore("x", "/no/such/image", &none), "missing image"), "io");
+        // A non-image file is rejected by magic.
+        let junk = std::env::temp_dir().join("dirqd-test-junk.dirqsnap");
+        std::fs::write(&junk, b"not a snapshot").expect("write junk");
+        assert_eq!(
+            remote_kind(c.restore("x", junk.to_str().unwrap(), &none), "junk image"),
+            "bad_image"
+        );
+        // Unknown command and missing cmd field.
+        let mut raw = Json::object();
+        raw.set("cmd", Json::Str("frobnicate".into()));
+        assert_eq!(remote_kind(c.call(&raw), "unknown command"), "bad_request");
+        assert_eq!(remote_kind(c.call(&Json::object()), "missing cmd"), "bad_request");
+
+        // A deployment whose preset enables the location extension takes
+        // spatially scoped queries.
+        c.deploy("spatial", "hotspot_workload_200", &scaled(0.1)).expect("deploy spatial");
+        c.step("spatial", 12).expect("step spatial");
+        let q = c
+            .query("spatial", 0, 5.0, 60.0, Some([0.0, 0.0, 150.0, 150.0]))
+            .expect("spatial query");
+        assert!(q.answered_epoch > q.epoch);
+
+        let _ = std::fs::remove_file(image);
+        let _ = std::fs::remove_file(junk);
+    });
+
+    // with_daemon joined the serving thread; the port must be dead.
+    // (The OS may accept a queued connection briefly; a call must fail
+    // either way.)
+    let (addr, daemon) = Daemon::spawn("127.0.0.1:0").expect("spawn daemon");
+    let mut c = Client::connect(addr).expect("connect");
     c.shutdown().expect("shutdown");
     daemon.join().expect("join daemon thread").expect("daemon serve");
     assert!(
         Client::connect(addr).is_err() || {
-            // The OS may accept a queued connection briefly; a call must
-            // fail either way.
             let mut late = Client::connect(addr).unwrap();
             late.status().is_err()
         },
         "daemon still serving after shutdown"
     );
+}
 
-    let _ = std::fs::remove_file(image);
-    let _ = std::fs::remove_file(junk);
+/// Seeds are u64s; 2^53-plus values must survive deploy → status →
+/// snapshot header → restore without rounding through `f64`.
+#[test]
+fn huge_seeds_survive_the_wire_and_the_image_header() {
+    let seed = u64::MAX - 12;
+    with_daemon(|_, c| {
+        let opts = DeployOptions { scale: Some(0.1), seed: Some(seed), ..DeployOptions::default() };
+        let info = c.deploy("big", "dense_grid_100", &opts).expect("deploy");
+        assert_eq!(info.seed, seed, "deploy reply rounded the seed");
+
+        let status = c.status().expect("status");
+        assert_eq!(status[0].seed, seed, "status rounded the seed");
+
+        c.step("big", 8).expect("step");
+        let image = std::env::temp_dir().join("dirqd-test-hugeseed.dirqsnap");
+        let image = image.to_str().expect("utf-8 temp path");
+        c.snapshot("big", image).expect("snapshot");
+        let restored = c.restore("big2", image, &DeployOptions::default()).expect("restore");
+        assert_eq!(restored.seed, seed, "image header rounded the seed");
+        let (_, fp_a) = c.fingerprint("big").expect("fingerprint");
+        let (_, fp_b) = c.fingerprint("big2").expect("fingerprint");
+        assert_eq!(fp_a, fp_b);
+        let _ = std::fs::remove_file(image);
+    });
+}
+
+/// Malformed fields that previously truncated or wrapped silently are
+/// now typed `bad_request` errors.
+#[test]
+fn wire_validation_rejects_what_it_used_to_truncate() {
+    with_daemon(|_, c| {
+        c.deploy("a", "dense_grid_100", &scaled(0.1)).expect("deploy");
+
+        let query = |mutate: &dyn Fn(&mut Json)| {
+            let mut req = Json::object();
+            req.set("cmd", Json::Str("query".into()));
+            req.set("deployment", Json::Str("a".into()));
+            req.set("stype", Json::Num(0.0));
+            req.set("lo", Json::Num(10.0));
+            req.set("hi", Json::Num(20.0));
+            mutate(&mut req);
+            req
+        };
+        // stype used to go through `as u8` (300 wrapped to 44; 1.5
+        // truncated to 1).
+        for (bad_stype, what) in [(Json::Num(300.0), "stype 300"), (Json::Num(1.5), "stype 1.5")] {
+            let req = query(&|r: &mut Json| {
+                r.set("stype", bad_stype.clone());
+            });
+            assert_eq!(remote_kind(c.call(&req), what), "bad_request");
+        }
+        // Regions must be exactly four finite numbers.
+        let req = query(&|r: &mut Json| {
+            r.set("region", Json::Arr(vec![Json::Num(0.0), Json::Num(0.0), Json::Num(9.0)]));
+        });
+        assert_eq!(remote_kind(c.call(&req), "3-corner region"), "bad_request");
+        let req = query(&|r: &mut Json| {
+            r.set(
+                "region",
+                Json::Arr(vec![
+                    Json::Num(0.0),
+                    Json::Str("oops".into()),
+                    Json::Num(9.0),
+                    Json::Num(9.0),
+                ]),
+            );
+        });
+        assert_eq!(remote_kind(c.call(&req), "non-numeric region"), "bad_request");
+        // Mistyped async flag and timeout.
+        let req = query(&|r: &mut Json| {
+            r.set("async", Json::Str("yes".into()));
+        });
+        assert_eq!(remote_kind(c.call(&req), "string async"), "bad_request");
+        let req = query(&|r: &mut Json| {
+            r.set("timeout_ms", Json::Num(-5.0));
+        });
+        assert_eq!(remote_kind(c.call(&req), "negative timeout"), "bad_request");
+
+        let deploy = |mutate: &dyn Fn(&mut Json)| {
+            let mut req = Json::object();
+            req.set("cmd", Json::Str("deploy".into()));
+            req.set("name", Json::Str("x".into()));
+            req.set("preset", Json::Str("dense_grid_100".into()));
+            req.set("scale", Json::Num(0.1));
+            mutate(&mut req);
+            req
+        };
+        // Seeds used to round through f64; now they must be unsigned
+        // integers, rejected otherwise rather than truncated.
+        for (bad_seed, what) in
+            [(Json::Num(-5.0), "negative seed"), (Json::Num(1.5), "fractional seed")]
+        {
+            let req = deploy(&|r: &mut Json| {
+                r.set("seed", bad_seed.clone());
+            });
+            assert_eq!(remote_kind(c.call(&req), what), "bad_request");
+        }
+        // Scale zero was accepted and asserted deep in the engine.
+        let req = deploy(&|r: &mut Json| {
+            r.set("scale", Json::Num(0.0));
+        });
+        assert_eq!(remote_kind(c.call(&req), "zero scale"), "bad_request");
+        // Serving knobs validate at deploy time.
+        let req = deploy(&|r: &mut Json| {
+            r.set("policy", Json::Str("lifo".into()));
+        });
+        assert_eq!(remote_kind(c.call(&req), "unknown policy"), "bad_request");
+        let req = deploy(&|r: &mut Json| {
+            r.set("checkpoint_every_epochs", Json::from_u64(10));
+        });
+        assert_eq!(
+            remote_kind(c.call(&req), "checkpoint period without a directory"),
+            "bad_request"
+        );
+        // None of the rejected deploys may have registered a deployment.
+        assert_eq!(c.status().expect("status").len(), 1);
+    });
+}
+
+/// The non-blocking path: submit returns an id immediately, `poll`
+/// resolves it, `drain` hands every completion to a cursored reader
+/// exactly once, and unknown ids are typed `not_found`.
+#[test]
+fn async_submissions_resolve_through_poll_and_drain() {
+    with_daemon(|_, c| {
+        c.deploy("a", "dense_grid_100", &scaled(0.1)).expect("deploy");
+        c.step("a", 10).expect("warmup");
+
+        // Polling an id the deployment never assigned is not_found.
+        assert_eq!(remote_kind(c.poll("a", 999_999), "unknown id"), "not_found");
+
+        // Submit a burst, then resolve each id by polling.
+        let mut ids = Vec::new();
+        for k in 0..6u8 {
+            let lo = 10.0 + f64::from(k);
+            let (id, epoch) =
+                c.query_async("a", k % 2, lo, lo + 8.0, None, Some("t")).expect("submit");
+            assert!(epoch >= 10, "injection epoch precedes the warmup");
+            ids.push(id);
+        }
+        assert!(ids.windows(2).all(|w| w[0] < w[1]), "ids must be assigned in order");
+        let mut reports = Vec::new();
+        for &id in &ids {
+            let report = loop {
+                match c.poll("a", id).expect("poll") {
+                    Some(r) => break r,
+                    None => std::thread::sleep(Duration::from_millis(1)),
+                }
+            };
+            assert_eq!(report.id, id);
+            assert!(report.answered_epoch > report.epoch);
+            assert_eq!(report.epochs_to_answer, report.answered_epoch - report.epoch);
+            reports.push(report);
+        }
+        // Poll is a read: asking again returns the same answer.
+        let again = c.poll("a", ids[0]).expect("re-poll").expect("still done");
+        assert_eq!((again.id, again.answered_epoch), (reports[0].id, reports[0].answered_epoch));
+
+        // Drain from cursor 0 sees the same completions, exactly once,
+        // with strictly increasing sequence numbers and a monotone
+        // cursor.
+        let mut cursor = 0;
+        let mut drained = Vec::new();
+        loop {
+            let batch = c.drain("a", cursor).expect("drain");
+            assert!(batch.cursor >= cursor, "drain cursor went backwards");
+            if batch.results.is_empty() {
+                assert_eq!(batch.pending, 0);
+                break;
+            }
+            drained.extend(batch.results.iter().map(|&(seq, r)| (seq, r.id)));
+            cursor = batch.cursor;
+        }
+        assert!(drained.windows(2).all(|w| w[0].0 < w[1].0), "sequence numbers not increasing");
+        assert_eq!(drained.iter().map(|&(_, id)| id).collect::<Vec<_>>(), ids);
+        // A re-drain from the final cursor stays empty: exactly-once.
+        assert!(c.drain("a", cursor).expect("re-drain").results.is_empty());
+
+        // A zero-capacity admission queue is a deterministic queue_full.
+        let zero =
+            DeployOptions { scale: Some(0.1), queue_cap: Some(0), ..DeployOptions::default() };
+        c.deploy("full", "dense_grid_100", &zero).expect("deploy zero-cap");
+        assert_eq!(
+            remote_kind(c.query_async("full", 0, 10.0, 20.0, None, None), "zero-cap submit"),
+            "queue_full"
+        );
+        assert_eq!(
+            remote_kind(c.query("full", 0, 10.0, 20.0, None), "zero-cap blocking submit"),
+            "queue_full"
+        );
+    });
+}
+
+/// Queries against a deployment whose preset epoch budget has been
+/// spent still answer: the serving loop steps the engine past the
+/// budget rather than wedging the caller.
+#[test]
+fn queries_complete_past_the_epoch_budget() {
+    with_daemon(|_, c| {
+        // dense_grid_100 at 0.01 scale floors at 4 query periods = 80
+        // epochs.
+        let info = c.deploy("tiny", "dense_grid_100", &scaled(0.01)).expect("deploy");
+        assert_eq!(info.epochs, 80);
+        let past = info.epochs + 10;
+        assert_eq!(c.step("tiny", past).expect("step"), past);
+        let q = c.query("tiny", 0, 12.0, 26.0, None).expect("query past budget");
+        assert!(q.epoch >= past);
+        assert!(q.answered_epoch > q.epoch, "query must still step to completion");
+    });
+}
+
+/// Engine round trips are bounded: a wedged deployment produces an
+/// orderly remote `timeout` error and the connection stays usable; a
+/// client-side deadline surfaces as [`ClientError::Timeout`].
+#[test]
+fn stalled_deployments_time_out_instead_of_blocking() {
+    with_daemon(|addr, c| {
+        c.deploy("a", "dense_grid_100", &scaled(0.1)).expect("deploy");
+
+        // Daemon-side deadline: the handler gives up after timeout_ms
+        // while the engine thread is still stalled.
+        let mut stall = Json::object();
+        stall.set("cmd", Json::Str("debug_stall".into()));
+        stall.set("deployment", Json::Str("a".into()));
+        stall.set("ms", Json::from_u64(400));
+        stall.set("timeout_ms", Json::from_u64(50));
+        assert_eq!(remote_kind(c.call(&stall), "stalled round trip"), "timeout");
+        // The connection survived; once the stall clears, calls answer.
+        c.fingerprint("a").expect("fingerprint after daemon-side timeout");
+
+        // Client-side deadline: a generous daemon timeout but a 50 ms
+        // socket deadline. This connection is dead afterwards (its reply
+        // may still arrive), so use a throwaway client.
+        let mut throwaway = Client::connect(addr).expect("connect throwaway");
+        throwaway.set_timeout(Some(Duration::from_millis(50))).expect("set timeout");
+        let mut stall = Json::object();
+        stall.set("cmd", Json::Str("debug_stall".into()));
+        stall.set("deployment", Json::Str("a".into()));
+        stall.set("ms", Json::from_u64(400));
+        stall.set("timeout_ms", Json::from_u64(5_000));
+        assert!(
+            matches!(throwaway.call(&stall), Err(ClientError::Timeout)),
+            "socket deadline must surface as ClientError::Timeout"
+        );
+        drop(throwaway);
+        // Give the stall time to clear so shutdown is prompt.
+        std::thread::sleep(Duration::from_millis(400));
+    });
 }

@@ -19,6 +19,11 @@ pub enum Json {
     Bool(bool),
     /// A finite number (rendered with up to 17 significant digits).
     Num(f64),
+    /// An integer outside `f64`'s exact range (|value| > 2^53). The
+    /// parser produces this variant only for such literals — smaller
+    /// integers stay [`Json::Num`] — so `u64` seeds and ids survive the
+    /// wire losslessly while ordinary documents round-trip unchanged.
+    Int(i128),
     /// A string.
     Str(String),
     /// An array.
@@ -52,10 +57,44 @@ impl Json {
         }
     }
 
-    /// The numeric value, if this is a number.
+    /// The numeric value, if this is a number. [`Json::Int`] values are
+    /// converted (lossy beyond 2^53 — use [`Json::as_u64`] when exactness
+    /// matters).
     pub fn as_f64(&self) -> Option<f64> {
         match *self {
             Json::Num(x) => Some(x),
+            Json::Int(i) => Some(i as f64),
+            _ => None,
+        }
+    }
+
+    /// The exact non-negative integer value, if this holds one losslessly:
+    /// an [`Json::Int`] in `u64` range, or a [`Json::Num`] that is
+    /// integral and within `f64`'s exact range. Negative values,
+    /// fractional values, and anything that would round return `None`.
+    pub fn as_u64(&self) -> Option<u64> {
+        const EXACT: f64 = 9_007_199_254_740_992.0; // 2^53
+        match *self {
+            Json::Int(i) => u64::try_from(i).ok(),
+            Json::Num(x) if x.fract() == 0.0 && (0.0..=EXACT).contains(&x) => Some(x as u64),
+            _ => None,
+        }
+    }
+
+    /// Wrap a `u64` so it round-trips exactly: values in `f64`'s exact
+    /// range stay ordinary numbers, larger ones become [`Json::Int`].
+    pub fn from_u64(v: u64) -> Json {
+        if v <= (1u64 << 53) {
+            Json::Num(v as f64)
+        } else {
+            Json::Int(v as i128)
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Json::Bool(b) => Some(b),
             _ => None,
         }
     }
@@ -96,6 +135,9 @@ impl Json {
             Json::Null => out.push_str("null"),
             Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
             Json::Num(x) => write_number(out, *x),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
             Json::Str(s) => write_string(out, s),
             Json::Arr(items) => {
                 write_seq(out, indent, depth, '[', ']', items.len(), |out, i, d| {
@@ -388,9 +430,24 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, ParseError> {
     {
         *pos += 1;
     }
-    std::str::from_utf8(&bytes[start..*pos])
+    let token = std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|_| ParseError { pos: start, what: "expected a value" })?;
+    // Integer literals parse losslessly: beyond f64's exact range they
+    // become `Json::Int` (u64 seeds/ids must not be rounded by the wire);
+    // within it they stay `Json::Num` so writer output round-trips as-is.
+    let digits = token.strip_prefix('-').unwrap_or(token);
+    if !digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit()) {
+        if let Ok(v) = token.parse::<i128>() {
+            return Ok(if v.unsigned_abs() > 1u128 << 53 {
+                Json::Int(v)
+            } else {
+                Json::Num(v as f64)
+            });
+        }
+    }
+    token
+        .parse::<f64>()
         .ok()
-        .and_then(|s| s.parse::<f64>().ok())
         .map(Json::Num)
         .ok_or(ParseError { pos: start, what: "expected a value" })
 }
@@ -504,6 +561,30 @@ mod tests {
         // formats, we just store strings.
         let j = Json::Str(format!("{fp:#018X}"));
         assert_eq!(j.render(), "\"0x9736B37FDB35FBA2\"");
+    }
+
+    #[test]
+    fn big_integers_parse_and_render_losslessly() {
+        // Above 2^53: must come back exact through parse → as_u64.
+        for v in [u64::MAX, u64::MAX - 3, (1u64 << 53) + 1, 1 << 60] {
+            let parsed = Json::parse(&v.to_string()).unwrap();
+            assert_eq!(parsed, Json::Int(v as i128), "lossless variant for {v}");
+            assert_eq!(parsed.as_u64(), Some(v));
+            assert_eq!(parsed.render(), v.to_string(), "render round-trips {v}");
+            assert_eq!(Json::from_u64(v), parsed, "writer helper matches the parser");
+        }
+        // At or below 2^53: stays a plain number, so writer-produced
+        // documents round-trip with derived equality.
+        for v in [0u64, 42, 1 << 53] {
+            assert_eq!(Json::parse(&v.to_string()).unwrap(), Json::Num(v as f64));
+            assert_eq!(Json::from_u64(v), Json::Num(v as f64));
+        }
+        // Negative and fractional values never masquerade as u64.
+        assert_eq!(Json::parse("-9007199254740995").unwrap().as_u64(), None);
+        assert_eq!(Json::parse("-5").unwrap().as_u64(), None);
+        assert_eq!(Json::parse("1.5").unwrap().as_u64(), None);
+        // Beyond i128 the literal degrades to f64 (and is not exact).
+        assert!(matches!(Json::parse("1e300").unwrap(), Json::Num(_)));
     }
 
     #[test]
