@@ -2,13 +2,15 @@
 //!
 //! Runs a registry preset with the engine's phase-timing instrumentation
 //! enabled and reports how the epoch budget splits between the synthetic
-//! world advance, protocol-plane upkeep, the MAC slot loop, indication
+//! world advance, the protocol-upkeep sub-phases (churn, tree repair,
+//! EHr, sensor sampling, query injection), the MAC slot loop, indication
 //! dispatch and end-of-epoch finalisation — the measurement behind the
-//! ROADMAP's "protocol dispatch is the remaining serial wall" figures.
-//! Re-run it (before/after, serial vs sharded) when the dispatch path
-//! changes; the PR-by-PR history lives in PERFORMANCE.md.
+//! ROADMAP's "remaining serial wall" figures. Re-run it (before/after,
+//! serial vs sharded) when the dispatch or upkeep paths change; the
+//! PR-by-PR history lives in PERFORMANCE.md.
 //!
-//! Usage: `dispatch_probe [--preset NAME] [--epochs N] [--dispatch-workers W]`
+//! Usage: `dispatch_probe [--preset NAME] [--epochs N]
+//! [--dispatch-workers W] [--upkeep-workers W]`
 
 use std::time::Instant;
 
@@ -18,6 +20,7 @@ fn main() {
     let mut preset = String::from("stress_5000");
     let mut epochs: u64 = 60;
     let mut dispatch_workers: usize = 1;
+    let mut upkeep_workers: usize = 1;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -31,6 +34,12 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--dispatch-workers needs a count")
             }
+            "--upkeep-workers" => {
+                upkeep_workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--upkeep-workers needs a count")
+            }
             other => panic!("unknown argument {other:?}"),
         }
     }
@@ -41,6 +50,7 @@ fn main() {
     cfg.epochs = epochs;
     cfg.measure_from_epoch = epochs / 5;
     cfg.dispatch_workers = dispatch_workers;
+    cfg.upkeep_workers = upkeep_workers;
 
     let mut engine = Engine::new(cfg.clone());
     engine.enable_phase_timing();
@@ -54,20 +64,31 @@ fn main() {
 
     let phases = [
         ("world advance", ph.world),
-        ("protocol upkeep", ph.protocol),
+        ("churn", ph.churn),
+        ("tree repair", ph.repair),
+        ("EHr broadcast", ph.ehr),
+        ("sensor sampling", ph.sampling),
+        ("query injection", ph.injection),
         ("MAC slot loop", ph.mac),
         ("indication dispatch", ph.dispatch),
         ("finalisation", ph.finalize),
     ];
     let accounted: f64 = phases.iter().map(|(_, s)| s).sum();
     println!(
-        "preset {preset}: {epochs} epochs, {} nodes, {dispatch_workers} dispatch workers",
+        "preset {preset}: {epochs} epochs, {} nodes, {dispatch_workers} dispatch workers, \
+         {upkeep_workers} upkeep workers",
         cfg.n_nodes
     );
     println!("run loop: {eps:.0} epochs/s ({wall:.2}s wall)");
     for (name, secs) in phases {
         println!("  {name:<20} {:>6.2}s  {:>5.1}% of epoch", secs, secs / wall * 100.0);
     }
+    println!(
+        "  {:<20} {:>6.2}s  {:>5.1}% of epoch",
+        "protocol upkeep Σ",
+        ph.protocol(),
+        ph.protocol() / wall * 100.0
+    );
     println!(
         "  {:<20} {:>6.2}s  {:>5.1}% of epoch",
         "unattributed",

@@ -28,8 +28,8 @@
 //!
 //! Usage: `scenario_matrix [--preset NAME] [--epoch-scale F] [--quick]
 //! [--threads T] [--mac-workers W] [--world-workers W]
-//! [--dispatch-workers W] [--replicates R] [--perf-floor F] [--out PATH]
-//! [--smoke] [--list]`
+//! [--dispatch-workers W] [--upkeep-workers W] [--replicates R]
+//! [--perf-floor F] [--out PATH] [--smoke] [--list]`
 
 use dirq_bench::matrix;
 use dirq_scenario::{registry, run_matrix_report, ScenarioSpec, SweepConfig};
@@ -42,7 +42,8 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: scenario_matrix [--preset NAME] [--epoch-scale F] [--quick] \
          [--threads T] [--mac-workers W] [--world-workers W] [--dispatch-workers W] \
-         [--replicates R] [--perf-floor F] [--out PATH] [--smoke] [--list]"
+         [--upkeep-workers W] [--replicates R] [--perf-floor F] [--out PATH] \
+         [--smoke] [--list]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -100,6 +101,12 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--dispatch-workers needs a number"))
+            }
+            "--upkeep-workers" => {
+                cfg.upkeep_workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--upkeep-workers needs a number"))
             }
             "--replicates" => {
                 cfg.replicates = args
@@ -162,9 +169,10 @@ fn main() {
 /// the perf-trajectory tripwire. Any failure exits non-zero.
 ///
 /// Only the worker knobs (`--mac-workers`/`--world-workers`/
-/// `--dispatch-workers`) flow in from the command line — the CI worker
-/// matrix exercises the parallel MAC, world-generation and protocol
-/// dispatch paths, and none may move a fingerprint. Budget knobs
+/// `--dispatch-workers`/`--upkeep-workers`) flow in from the command
+/// line — the CI worker matrix exercises the parallel MAC,
+/// world-generation, protocol dispatch and protocol upkeep paths, and
+/// none may move a fingerprint. Budget knobs
 /// (`--epoch-scale`, `--quick`, `--replicates`) are deliberately
 /// ignored: the smoke goldens are recorded at fixed budgets.
 fn run_smoke(out: &str, cli_cfg: &SweepConfig, floor: f64) {
@@ -172,6 +180,7 @@ fn run_smoke(out: &str, cli_cfg: &SweepConfig, floor: f64) {
         mac_workers: cli_cfg.mac_workers,
         world_workers: cli_cfg.world_workers,
         dispatch_workers: cli_cfg.dispatch_workers,
+        upkeep_workers: cli_cfg.upkeep_workers,
         ..SweepConfig::default()
     };
     // The recorded artifact must match the registry golden — catching PRs
@@ -222,14 +231,19 @@ fn run_smoke(out: &str, cli_cfg: &SweepConfig, floor: f64) {
         );
         std::process::exit(1);
     }
-    // Golden worker-invariance gate for the parallel MAC, world and
-    // protocol-dispatch paths: the whole registry (scaled to smoke
+    // Golden worker-invariance gate for the parallel MAC, world,
+    // protocol-dispatch and protocol-upkeep paths: the whole registry
+    // (scaled to smoke
     // budgets) serial vs with the requested intra-run worker knobs
     // engaged — identical report fingerprints. Only meaningful when a
     // worker knob is > 1, so the serial CI matrix leg skips the two
     // extra registry sweeps.
-    let workers =
-        base_cfg.mac_workers.max(base_cfg.world_workers).max(base_cfg.dispatch_workers).max(1);
+    let workers = base_cfg
+        .mac_workers
+        .max(base_cfg.world_workers)
+        .max(base_cfg.dispatch_workers)
+        .max(base_cfg.upkeep_workers)
+        .max(1);
     if workers > 1 {
         let registry_scale = 0.1;
         let reg1 = run_matrix_report(
@@ -239,6 +253,7 @@ fn run_smoke(out: &str, cli_cfg: &SweepConfig, floor: f64) {
                 mac_workers: 1,
                 world_workers: 1,
                 dispatch_workers: 1,
+                upkeep_workers: 1,
                 epoch_scale: registry_scale,
                 ..SweepConfig::default()
             },
@@ -250,6 +265,7 @@ fn run_smoke(out: &str, cli_cfg: &SweepConfig, floor: f64) {
                 mac_workers: base_cfg.mac_workers.max(1),
                 world_workers: base_cfg.world_workers.max(1),
                 dispatch_workers: base_cfg.dispatch_workers.max(1),
+                upkeep_workers: base_cfg.upkeep_workers.max(1),
                 epoch_scale: registry_scale,
                 ..SweepConfig::default()
             },
@@ -258,12 +274,13 @@ fn run_smoke(out: &str, cli_cfg: &SweepConfig, floor: f64) {
             eprintln!(
                 "FAIL: registry diverges across worker counts: {:#018X} (serial) vs \
                  {:#018X} (4 sweep threads x {} MAC workers x {} world workers x {} \
-                 dispatch workers)",
+                 dispatch workers x {} upkeep workers)",
                 reg1.stable_fingerprint(),
                 reg_sharded.stable_fingerprint(),
                 base_cfg.mac_workers.max(1),
                 base_cfg.world_workers.max(1),
                 base_cfg.dispatch_workers.max(1),
+                base_cfg.upkeep_workers.max(1),
             );
             std::process::exit(1);
         }

@@ -171,6 +171,12 @@ pub struct ScenarioConfig {
     /// effects replayed in slot order). Like `lmac.workers`, never affects
     /// results — the sharded dispatch is bit-identical at any count.
     pub dispatch_workers: usize,
+    /// Worker threads for the per-node protocol-upkeep passes (sensor
+    /// sampling and tree-repair scans shard over contiguous node ranges,
+    /// with the shared-state mutations replayed in chunk order). Like
+    /// `lmac.workers`, never affects results — the sharded upkeep is
+    /// bit-identical at any count.
+    pub upkeep_workers: usize,
     /// Epochs to wait after injection before scoring a query.
     pub completion_window: u64,
     /// Warm-up epochs excluded from aggregate statistics.
@@ -219,6 +225,7 @@ impl ScenarioConfig {
             world: None,
             world_workers: 1,
             dispatch_workers: 1,
+            upkeep_workers: 1,
             completion_window: 16,
             measure_from_epoch: 400,
             atc_band_center: 0.5,
@@ -337,15 +344,33 @@ impl RunResult {
 pub struct PhaseTimings {
     /// Seconds advancing the synthetic world.
     pub world: f64,
-    /// Seconds in protocol-plane upkeep: churn, tree repair, EHr
-    /// broadcast, sensor sampling and query injection.
-    pub protocol: f64,
+    /// Seconds applying scripted churn events.
+    pub churn: f64,
+    /// Seconds in tree repair: attachment recompute, orphan adoption and
+    /// the detach fallback.
+    pub repair: f64,
+    /// Seconds computing and flooding the hourly `EHr` budget.
+    pub ehr: f64,
+    /// Seconds in sensor sampling: the adaptive gate, world reads and the
+    /// resulting Update flow.
+    pub sampling: f64,
+    /// Seconds generating, calibrating and injecting queries.
+    pub injection: f64,
     /// Seconds advancing MAC slots.
     pub mac: f64,
     /// Seconds dispatching MAC indications to the protocol handlers.
     pub dispatch: f64,
     /// Seconds in end-of-epoch housekeeping, including query finalisation.
     pub finalize: f64,
+}
+
+impl PhaseTimings {
+    /// Total protocol-plane upkeep — the sum of the churn, repair, EHr,
+    /// sampling and injection sub-phases (the single `protocol` bucket
+    /// before the split).
+    pub fn protocol(&self) -> f64 {
+        self.churn + self.repair + self.ehr + self.sampling + self.injection
+    }
 }
 
 /// The simulation engine.
@@ -400,6 +425,26 @@ pub struct Engine {
     dispatch_chunks: Vec<(u32, u32)>,
     /// Test hook: shard every slot regardless of the size thresholds.
     force_sharded: bool,
+    /// Worker pool for the sharded protocol-upkeep passes (sampling and
+    /// repair scans); `None` = serial. Resolved from the `upkeep_workers`
+    /// knob like `dispatch_pool`.
+    upkeep_pool: Option<WorkerPool>,
+    /// Per-worker decision/effect buffers for sharded upkeep; empty when
+    /// serial.
+    upkeep_shards: Vec<UpkeepShard>,
+    /// Scratch: `[start, end)` chunk bounds per upkeep worker.
+    upkeep_chunks: Vec<(u32, u32)>,
+    /// Test hook: shard the upkeep passes regardless of size thresholds.
+    force_upkeep: bool,
+    /// Scratch: churn events due this epoch (reused across epochs).
+    churn_buf: Vec<dirq_net::churn::ChurnEvent>,
+    /// Scratch: per-orphan `(gateway_dist, neighbour)` candidates for the
+    /// serial repair path (reused across orphans and epochs).
+    repair_candidates: Vec<(u16, NodeId)>,
+    /// Scratch: pre-pass parent snapshot for the sharded repair scan.
+    parent_snapshot: Vec<Option<NodeId>>,
+    /// Carrier index over the sensor assignment (see [`SampleIndex`]).
+    sample_index: SampleIndex,
     /// Per-phase wall-clock accumulators (`None` = timing off).
     timing: Option<Box<PhaseTimings>>,
     u_max_per_hour: f64,
@@ -672,6 +717,14 @@ impl Engine {
             Some(p) => (0..p.workers()).map(|_| DispatchShard::default()).collect(),
             None => Vec::new(),
         };
+        // Same engagement rule for the protocol-upkeep passes.
+        let upkeep_pool = (cfg.upkeep_workers.max(1) > 1 && n >= UPKEEP_MIN_NODES)
+            .then(|| WorkerPool::new(cfg.upkeep_workers))
+            .filter(|p| p.workers() > 1);
+        let upkeep_shards: Vec<UpkeepShard> = match &upkeep_pool {
+            Some(p) => (0..p.workers()).map(|_| UpkeepShard::default()).collect(),
+            None => Vec::new(),
+        };
 
         Engine {
             metrics: Metrics::new(cfg.measure_from_epoch),
@@ -698,6 +751,14 @@ impl Engine {
             dispatch_shards,
             dispatch_chunks: Vec::new(),
             force_sharded: false,
+            upkeep_pool,
+            upkeep_shards,
+            upkeep_chunks: Vec::new(),
+            force_upkeep: false,
+            churn_buf: Vec::new(),
+            repair_candidates: Vec::new(),
+            parent_snapshot: Vec::new(),
+            sample_index: SampleIndex::default(),
             timing: None,
             delta_trace: Vec::new(),
             pending: PendingSet::new(cfg.completion_window),
@@ -769,6 +830,49 @@ impl Engine {
         self.dispatch_pool = Some(WorkerPool::new(workers));
         self.dispatch_shards = (0..workers).map(|_| DispatchShard::default()).collect();
         self.force_sharded = true;
+    }
+
+    /// Test hook: shard the protocol-upkeep passes (sampling + repair)
+    /// over `workers` shards every epoch, bypassing the size thresholds
+    /// (the upkeep differential suite pins this path bit-equal to the
+    /// serial reference). On hosts with fewer cores the pool degrades to
+    /// the caller draining all chunks — the chunk/merge logic still runs
+    /// in full.
+    #[doc(hidden)]
+    pub fn force_sharded_upkeep(&mut self, workers: usize) {
+        assert!(workers > 1, "forcing sharded upkeep requires at least two shards");
+        self.upkeep_pool = Some(WorkerPool::new(workers));
+        self.upkeep_shards = (0..workers).map(|_| UpkeepShard::default()).collect();
+        self.force_upkeep = true;
+    }
+
+    /// Test observability: per-node upkeep state — `(parent + 1, children
+    /// fingerprint, detached_since + 1, samples taken, samples skipped)`
+    /// tuples — so the upkeep differential suite can compare the repair
+    /// and sampling outcomes epoch by epoch.
+    #[doc(hidden)]
+    pub fn upkeep_snapshot(&self) -> Vec<(u64, u64, u64, u64, u64)> {
+        (0..self.nodes.len())
+            .map(|i| {
+                let mut h = crate::metrics::Fnv::new();
+                for &c in self.nodes[i].children() {
+                    h.u64(c.index() as u64);
+                }
+                let (taken, skipped) = match &self.samplers {
+                    Some(rows) => rows[i]
+                        .iter()
+                        .fold((0, 0), |(t, k), s| (t + s.samples_taken(), k + s.samples_skipped())),
+                    None => (0, 0),
+                };
+                (
+                    self.nodes[i].parent().map_or(0, |p| p.index() as u64 + 1),
+                    h.finish(),
+                    self.detached_since[i].map_or(0, |e| e + 1),
+                    taken,
+                    skipped,
+                )
+            })
+            .collect()
     }
 
     /// Test observability: the in-flight query set in finalisation order as
@@ -1061,6 +1165,9 @@ impl Engine {
         self.delta_trace =
             (0..traces).map(|_| Ok((r.u64()?, r.f64()?))).collect::<Result<_, SnapError>>()?;
         self.queries_injected = r.u64()? as usize;
+        // The restored assignment may differ from the one the carrier
+        // index was built against; force a rebuild on the next sample.
+        self.sample_index.version = None;
         r.expect_eof()
     }
 
@@ -1133,7 +1240,9 @@ impl Engine {
 
         let t0 = self.phase_start();
         self.apply_churn();
+        self.phase_lap(t0, |t| &mut t.churn);
         if self.cfg.protocol == Protocol::Dirq {
+            let t0 = self.phase_start();
             if self.epoch == 0 && self.cfg.location_enabled {
                 // Localisation bootstrap: every node learns its position and
                 // the bounding-box adverts converge through the first frames.
@@ -1147,15 +1256,21 @@ impl Engine {
                 }
             }
             self.repair_orphans();
+            self.phase_lap(t0, |t| &mut t.repair);
             if self.epoch.is_multiple_of(self.cfg.hour_epochs) {
+                let t0 = self.phase_start();
                 self.broadcast_ehr();
+                self.phase_lap(t0, |t| &mut t.ehr);
             }
+            let t0 = self.phase_start();
             self.sample_sensors();
+            self.phase_lap(t0, |t| &mut t.sampling);
         }
         if self.qgen.should_fire(self.epoch) {
+            let t0 = self.phase_start();
             self.inject_query();
+            self.phase_lap(t0, |t| &mut t.injection);
         }
-        self.phase_lap(t0, |t| &mut t.protocol);
         self.run_mac_frame();
         let t0 = self.phase_start();
         self.end_epoch_housekeeping();
@@ -1183,8 +1298,17 @@ impl Engine {
     // --- epoch phases -----------------------------------------------------------
 
     fn apply_churn(&mut self) {
-        let events: Vec<dirq_net::churn::ChurnEvent> = self.churn.at_epoch(self.epoch).collect();
-        for ev in events {
+        // Fast path: churn-free scenarios (most presets) pay one branch.
+        if self.churn.is_empty() {
+            return;
+        }
+        // The events are staged through an engine-owned scratch buffer so
+        // the plan's borrow ends before the mutations below (and quiet
+        // epochs allocate nothing).
+        let mut events = std::mem::take(&mut self.churn_buf);
+        events.clear();
+        events.extend(self.churn.at_epoch(self.epoch));
+        for ev in events.drain(..) {
             match ev {
                 dirq_net::churn::ChurnEvent::Death(node) => {
                     self.alive[node.index()] = false;
@@ -1216,6 +1340,7 @@ impl Engine {
                 }
             }
         }
+        self.churn_buf = events;
     }
 
     /// Re-attach detached nodes.
@@ -1233,7 +1358,18 @@ impl Engine {
     /// deployment the same information comes from LMAC's gateway-distance
     /// field aging out; the simulator takes the direct route.
     fn repair_orphans(&mut self) {
-        const DETACH_FALLBACK_EPOCHS: u64 = 25;
+        if self.upkeep_shards.len() > 1
+            && (self.force_upkeep || self.nodes.len() >= UPKEEP_MIN_ITEMS)
+        {
+            self.repair_orphans_sharded();
+        } else {
+            self.repair_orphans_serial();
+        }
+    }
+
+    /// The serial repair loop — the production path at one worker and the
+    /// differential reference the sharded path is pinned against.
+    fn repair_orphans_serial(&mut self) {
         self.compute_attachment();
 
         // Track how long each alive node has been detached from the root.
@@ -1246,19 +1382,20 @@ impl Engine {
         }
 
         // Primary: orphans (no parent at all) use the MAC gateway metric.
+        // The candidate list reuses an engine-owned scratch buffer across
+        // orphans and epochs.
+        let mut candidates = std::mem::take(&mut self.repair_candidates);
         for i in 1..self.nodes.len() {
             let node = NodeId::from_index(i);
             if !self.alive[i] || self.nodes[i].parent().is_some() {
                 continue;
             }
             let table = self.mac.neighbor_table(node);
-            let mut candidates: Vec<(u16, NodeId)> = table
-                .nodes()
-                .filter_map(|nb| {
-                    let info = table.get(nb).expect("listed neighbour");
-                    (info.gateway_dist != u16::MAX).then_some((info.gateway_dist, nb))
-                })
-                .collect();
+            candidates.clear();
+            candidates.extend(table.nodes().filter_map(|nb| {
+                let info = table.get(nb).expect("listed neighbour");
+                (info.gateway_dist != u16::MAX).then_some((info.gateway_dist, nb))
+            }));
             candidates.sort_unstable();
             let Some(parent) =
                 candidates.iter().map(|&(_, c)| c).find(|&c| !self.would_cycle(node, c))
@@ -1268,6 +1405,7 @@ impl Engine {
             let outs = self.nodes[i].set_parent(Some(parent));
             self.dispatch_outgoing(node, outs);
         }
+        self.repair_candidates = candidates;
 
         // Fallback: long-detached nodes (orphan heads without usable
         // metrics, or interiors of dangling regions) adopt an attached
@@ -1304,6 +1442,89 @@ impl Engine {
             let outs = self.nodes[i].set_parent(Some(new_parent));
             self.dispatch_outgoing(node, outs);
         }
+    }
+
+    /// Sharded repair: the read-only scans — detached-since tracking,
+    /// per-orphan candidate selection and the fallback choice — run over
+    /// contiguous node chunks on the upkeep pool; the adoptions replay
+    /// serially in ascending node order.
+    ///
+    /// Bit-equality with [`Engine::repair_orphans_serial`] rests on one
+    /// invariant: during the primary loop, parent pointers change only
+    /// `None → Some` (an orphan adopting), so every `Some` edge in the
+    /// pre-pass snapshot is also a live edge when the serial loop reaches
+    /// the same node. A candidate the snapshot walk rejects as a cycle is
+    /// therefore rejected by the live walk too — the replay only has to
+    /// re-validate from the first snapshot-acceptable candidate onwards.
+    /// The fallback choice depends only on pre-pass state (attach depths
+    /// and the neighbour tables, neither touched by adoptions); its live
+    /// checks — the same-parent skip and the Detach notice — replay
+    /// serially after all primary adoptions, exactly like the serial
+    /// phase order.
+    fn repair_orphans_sharded(&mut self) {
+        self.compute_attachment();
+        self.parent_snapshot.clear();
+        self.parent_snapshot.extend(self.nodes.iter().map(|nd| nd.parent()));
+
+        let mut chunks = std::mem::take(&mut self.upkeep_chunks);
+        fill_chunks(&mut chunks, self.nodes.len() - 1, self.upkeep_shards.len());
+        let nchunks = chunks.len();
+        let mut shards = std::mem::take(&mut self.upkeep_shards);
+        let mut pool = self.upkeep_pool.take().expect("sharded upkeep requires a pool");
+        {
+            let phase = RepairPhase {
+                detached: self.detached_since.as_mut_ptr(),
+                shards: shards.as_mut_ptr(),
+                mac: &self.mac,
+                alive: &self.alive,
+                attach_depth: &self.attach_depth,
+                parents: &self.parent_snapshot,
+                epoch: self.epoch,
+                chunks: &chunks,
+            };
+            pool.run(nchunks, &|k| unsafe { phase.run_chunk(k) });
+        }
+        self.upkeep_pool = Some(pool);
+
+        // Primary adoptions in ascending node order, re-validated against
+        // the live parent chains.
+        for shard in shards.iter().take(nchunks) {
+            for plan in &shard.orphans {
+                let node = plan.node;
+                let cands = &shard.cand_pool[plan.first_ok as usize..plan.cand_end as usize];
+                let Some(parent) =
+                    cands.iter().map(|&(_, c)| c).find(|&c| !self.would_cycle(node, c))
+                else {
+                    continue;
+                };
+                let outs = self.nodes[node.index()].set_parent(Some(parent));
+                self.dispatch_outgoing(node, outs);
+            }
+        }
+
+        // Fallback adoptions after every primary adoption is visible,
+        // mirroring the serial loop body verbatim.
+        for shard in shards.iter().take(nchunks) {
+            for &(node, new_parent) in &shard.fallbacks {
+                let i = node.index();
+                if self.nodes[i].parent() == Some(new_parent) {
+                    continue;
+                }
+                // Tell the old parent (if any, still alive) to drop us.
+                if let Some(old) = self.nodes[i].parent() {
+                    if self.alive[old.index()]
+                        && self.mac.enqueue(node, Destination::unicast(old), DirqMessage::Detach)
+                    {
+                        self.record_tx(&DirqMessage::Detach);
+                    }
+                }
+                self.detached_since[i] = None;
+                let outs = self.nodes[i].set_parent(Some(new_parent));
+                self.dispatch_outgoing(node, outs);
+            }
+        }
+        self.upkeep_shards = shards;
+        self.upkeep_chunks = chunks;
     }
 
     /// Recompute the protocol tree's attachment depths into the scratch
@@ -1389,8 +1610,126 @@ impl Engine {
     }
 
     fn sample_sensors(&mut self) {
-        // The mask covers the first 64 type ids; catalogs beyond that (the
-        // u8 id space allows up to 256) fall back to the per-pair lookup.
+        // The carrier mask (and so the index) covers the first 64 type
+        // ids; catalogs beyond that (the u8 id space allows up to 256)
+        // fall back to the original full scan with per-pair lookups.
+        if self.world.catalog().len() > 64 {
+            self.sample_sensors_unindexed();
+            return;
+        }
+        self.refresh_sample_index();
+        if self.upkeep_shards.len() > 1
+            && (self.force_upkeep || self.sample_index.carriers.len() >= UPKEEP_MIN_ITEMS)
+        {
+            self.sample_sensors_sharded();
+        } else {
+            self.sample_sensors_serial();
+        }
+    }
+
+    /// Rebuild the carrier index when the sensor assignment has changed
+    /// (runtime `add_sensor`/`remove_sensor`; one version probe otherwise).
+    fn refresh_sample_index(&mut self) {
+        let version = self.world.assignment().version();
+        if self.sample_index.version == Some(version) {
+            return;
+        }
+        let n = self.nodes.len();
+        self.sample_index.masks.clear();
+        self.sample_index.masks.resize(n, 0);
+        self.sample_index.carriers.clear();
+        for i in 1..n {
+            let mask = self.world.assignment().carried_mask(i);
+            self.sample_index.masks[i] = mask;
+            if mask != 0 {
+                self.sample_index.carriers.push(i as u32);
+            }
+        }
+        self.sample_index.version = Some(version);
+    }
+
+    /// The serial sampling loop over the carrier index — the production
+    /// path at one worker and the differential reference for the sharded
+    /// path. Visits exactly the `(node, type)` pairs the full scan in
+    /// [`Engine::sample_sensors_unindexed`] visits, in the same order.
+    fn sample_sensors_serial(&mut self) {
+        let index = std::mem::take(&mut self.sample_index);
+        for &ci in &index.carriers {
+            let i = ci as usize;
+            if !self.alive[i] {
+                continue;
+            }
+            let node = NodeId::from_index(i);
+            let mut mask = index.masks[i];
+            while mask != 0 {
+                let idx = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                let stype = dirq_data::SensorType(idx as u8);
+                if let Some(samplers) = &mut self.samplers {
+                    if !samplers[i][idx].should_sample() {
+                        continue;
+                    }
+                }
+                let Some(reading) = self.world.reading(i, stype) else { continue };
+                let outs = self.nodes[i].sample(stype, reading);
+                self.dispatch_outgoing(node, outs);
+                if let Some(samplers) = &mut self.samplers {
+                    let window =
+                        self.nodes[i].table(stype).and_then(|t| t.own()).map(|e| (e.min, e.max));
+                    samplers[i][idx].on_sampled(reading, window);
+                }
+            }
+        }
+        self.sample_index = index;
+    }
+
+    /// Sharded sampling: carrier chunks run the full per-node decision
+    /// path (adaptive gate, world read, node state update) in place —
+    /// samplers and nodes are per-node-disjoint — and defer the
+    /// shared-state mutations (MAC enqueues + tallies) as [`Effect`]s
+    /// replayed in chunk order, i.e. exactly the serial order.
+    fn sample_sensors_sharded(&mut self) {
+        let index = std::mem::take(&mut self.sample_index);
+        let mut chunks = std::mem::take(&mut self.upkeep_chunks);
+        fill_chunks(&mut chunks, index.carriers.len(), self.upkeep_shards.len());
+        let nchunks = chunks.len();
+        let types: Vec<dirq_data::SensorType> = self.world.catalog().types().collect();
+        let rows: Vec<&[f64]> = types.iter().map(|&t| self.world.readings(t)).collect();
+        let mut shards = std::mem::take(&mut self.upkeep_shards);
+        let mut pool = self.upkeep_pool.take().expect("sharded upkeep requires a pool");
+        {
+            let phase = SamplePhase {
+                nodes: self.nodes.as_mut_ptr(),
+                samplers: self
+                    .samplers
+                    .as_mut()
+                    .map_or(std::ptr::null_mut(), |rows| rows.as_mut_ptr()),
+                shards: shards.as_mut_ptr(),
+                carriers: &index.carriers,
+                masks: &index.masks,
+                alive: &self.alive,
+                rows: &rows,
+                types: &types,
+                chunks: &chunks,
+            };
+            pool.run(nchunks, &|k| unsafe { phase.run_chunk(k) });
+        }
+        self.upkeep_pool = Some(pool);
+        for shard in shards.iter_mut().take(nchunks) {
+            let mut effects = std::mem::take(&mut shard.effects);
+            for e in effects.drain(..) {
+                self.apply_effect(e);
+            }
+            shard.effects = effects;
+        }
+        self.upkeep_shards = shards;
+        self.upkeep_chunks = chunks;
+        self.sample_index = index;
+    }
+
+    /// The original full-scan sampling loop, kept for catalogs past the
+    /// 64-type mask space.
+    fn sample_sensors_unindexed(&mut self) {
         let small_catalog = self.world.catalog().len() <= 64;
         for i in 1..self.nodes.len() {
             let node = NodeId::from_index(i);
@@ -2020,6 +2359,271 @@ fn queue_outgoing(node: &DirqNode, from: NodeId, outs: Vec<Outgoing>, effects: &
                 // Same as the serial arm: source accounting happens at
                 // finalisation against ground truth.
             }
+        }
+    }
+}
+
+// --- sharded protocol upkeep -------------------------------------------------
+//
+// The per-node upkeep passes — sensor sampling and the tree-repair scans —
+// are per-node-disjoint exactly like the world advance: each node's
+// decisions read shared state (the world, the MAC neighbour tables, the
+// pre-pass attachment) but mutate only its own protocol/sampler state.
+// Sampling shards run the real decision path in place and defer the
+// shared-state mutations as [`Effect`]s replayed in chunk order (the PR 6
+// dispatch pattern). Repair shards compute per-node *decisions* only —
+// the adoptions replay serially in ascending node order with a live
+// cycle re-validate. Both serial loops stay as the reference
+// implementations; `tests/upkeep_differential.rs` pins the paths against
+// each other.
+
+/// Epochs a node stays detached before the repair fallback adopts an
+/// attached MAC neighbour directly.
+const DETACH_FALLBACK_EPOCHS: u64 = 25;
+
+/// Deployments below this node count never have upkeep passes dense
+/// enough to shard; skip even creating the pool.
+const UPKEEP_MIN_NODES: usize = 512;
+
+/// Below this many per-pass work items (carrier nodes to sample, nodes to
+/// scan for repair) the fan-out costs more than the work; the serial
+/// loops run even when an upkeep pool exists.
+const UPKEEP_MIN_ITEMS: usize = 256;
+
+/// One worker's buffers for the upkeep passes, reused across epochs:
+/// deferred sampling effects plus the repair scan's per-node decisions.
+#[derive(Default)]
+struct UpkeepShard {
+    /// Sampling: shared-state mutations to replay in chunk order.
+    effects: Vec<Effect>,
+    /// Repair: flat `(gateway_dist, neighbour)` candidate storage, sorted
+    /// per orphan; [`OrphanPlan`]s index ranges of it.
+    cand_pool: Vec<(u16, NodeId)>,
+    /// Repair: per-orphan adoption plans, in ascending node order.
+    orphans: Vec<OrphanPlan>,
+    /// Repair: long-detached nodes and their chosen attached neighbour,
+    /// in ascending node order.
+    fallbacks: Vec<(NodeId, NodeId)>,
+}
+
+/// One orphan's candidate scan result: `cand_pool[first_ok..cand_end]`
+/// holds its sorted candidates from the first one the pre-pass snapshot
+/// accepts (everything before that is rejected by the live walk too —
+/// see [`Engine::repair_orphans_sharded`]).
+struct OrphanPlan {
+    node: NodeId,
+    cand_end: u32,
+    first_ok: u32,
+}
+
+/// Carrier index over the sensor assignment: the ascending list of nodes
+/// carrying at least one sensor plus their carried-type masks, rebuilt
+/// only when the assignment version changes. Iterating carriers node-outer
+/// with mask bits ascending visits exactly the `(node, type)` pairs the
+/// full `1..n` × catalog scan visits, in the same order — so the indexed
+/// paths stay bit-identical to the original loop while skipping
+/// non-carriers entirely.
+#[derive(Default)]
+struct SampleIndex {
+    /// Assignment version the index was built against.
+    version: Option<u64>,
+    /// Carried-type mask per node (bit `t.index()`, first 64 type ids).
+    masks: Vec<u64>,
+    /// Ascending node indices with a non-zero mask (the root excluded).
+    carriers: Vec<u32>,
+}
+
+/// Shared view of the engine state a sampling fan-out needs. Raw pointers
+/// because chunks write disjoint `nodes`/`samplers`/`shards` elements —
+/// the carrier chunks partition the node set.
+struct SamplePhase<'a> {
+    nodes: *mut DirqNode,
+    /// Per-node sampler rows; null under [`SamplingStrategy::EveryEpoch`].
+    samplers: *mut Vec<Sampler>,
+    shards: *mut UpkeepShard,
+    carriers: &'a [u32],
+    masks: &'a [u64],
+    alive: &'a [bool],
+    /// Current readings per type id (`NaN` = no reading), mirroring
+    /// `SensorWorld::reading`.
+    rows: &'a [&'a [f64]],
+    types: &'a [dirq_data::SensorType],
+    chunks: &'a [(u32, u32)],
+}
+
+// SAFETY: `run_chunk(k)` for distinct `k` touches disjoint state — the
+// chunks partition the carrier list and carriers are distinct node
+// indices, so the node/sampler entries written by different chunks never
+// alias, and shard `k` is written by chunk `k` alone.
+unsafe impl Sync for SamplePhase<'_> {}
+
+impl SamplePhase<'_> {
+    /// Run chunk `k`'s carriers through the sampling decision path,
+    /// deferring shared-state mutations into shard `k`.
+    ///
+    /// SAFETY: the caller must run each `k < chunks.len()` at most once
+    /// per phase, with `chunks` a partition of `carriers`.
+    unsafe fn run_chunk(&self, k: usize) {
+        let (start, end) = self.chunks[k];
+        let shard = &mut *self.shards.add(k);
+        shard.effects.clear();
+        for &ci in &self.carriers[start as usize..end as usize] {
+            let i = ci as usize;
+            if !self.alive[i] {
+                continue;
+            }
+            let node_id = NodeId::from_index(i);
+            let node = &mut *self.nodes.add(i);
+            let mut sampler_row = (!self.samplers.is_null()).then(|| &mut *self.samplers.add(i));
+            let mut mask = self.masks[i];
+            while mask != 0 {
+                let idx = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                if let Some(row) = sampler_row.as_deref_mut() {
+                    if !row[idx].should_sample() {
+                        continue;
+                    }
+                }
+                let reading = self.rows[idx][i];
+                if reading.is_nan() {
+                    continue;
+                }
+                let stype = self.types[idx];
+                let outs = node.sample(stype, reading);
+                queue_outgoing(node, node_id, outs, &mut shard.effects);
+                if let Some(row) = sampler_row.as_deref_mut() {
+                    let window = node.table(stype).and_then(|t| t.own()).map(|e| (e.min, e.max));
+                    row[idx].on_sampled(reading, window);
+                }
+            }
+        }
+    }
+}
+
+/// Shared view of the engine state the repair scan needs. The MAC goes in
+/// as a raw pointer because `NeighborArena` holds per-node `Cell` caches
+/// that make it `!Sync`; the scan only calls `neighbor_table(..).nodes()`
+/// / `.get(..)`, which never touch those cells. `detached` entries are
+/// written by the owning node's chunk alone.
+struct RepairPhase<'a> {
+    detached: *mut Option<u64>,
+    shards: *mut UpkeepShard,
+    mac: *const LmacNetwork<DirqMessage>,
+    alive: &'a [bool],
+    attach_depth: &'a [Option<u32>],
+    /// Pre-pass parent snapshot (the live parents at phase start).
+    parents: &'a [Option<NodeId>],
+    epoch: u64,
+    chunks: &'a [(u32, u32)],
+}
+
+// SAFETY: chunks cover disjoint node ranges, each node's `detached` slot
+// is written only by its own chunk, shard `k` is written by chunk `k`
+// alone, and the MAC access is restricted to the Cell-free read-only
+// neighbour-view methods (see the struct doc).
+unsafe impl Sync for RepairPhase<'_> {}
+
+impl RepairPhase<'_> {
+    /// Scan chunk `k`'s nodes (`1 + start .. 1 + end`): detached-since
+    /// tracking plus the orphan/fallback decisions, recorded into shard
+    /// `k` in ascending node order.
+    ///
+    /// SAFETY: the caller must run each `k < chunks.len()` at most once
+    /// per phase, with `chunks` a partition of `0..n-1` (offset by the
+    /// root).
+    unsafe fn run_chunk(&self, k: usize) {
+        let (start, end) = self.chunks[k];
+        let shard = &mut *self.shards.add(k);
+        shard.cand_pool.clear();
+        shard.orphans.clear();
+        shard.fallbacks.clear();
+        for i in (1 + start as usize)..(1 + end as usize) {
+            let node = NodeId::from_index(i);
+            let detached = &mut *self.detached.add(i);
+            // Tracking: the same per-node rule as the serial loop (safe to
+            // fuse — no later repair step reads another node's slot).
+            if !self.alive[i] || self.attach_depth[i].is_some() {
+                *detached = None;
+            } else if detached.is_none() {
+                *detached = Some(self.epoch);
+            }
+            if !self.alive[i] {
+                continue;
+            }
+            // Primary scan: orphan candidates against the parent snapshot.
+            if self.parents[i].is_none() {
+                let table = (*self.mac).neighbor_table(node);
+                let cand_start = shard.cand_pool.len() as u32;
+                shard.cand_pool.extend(table.nodes().filter_map(|nb| {
+                    let info = table.get(nb).expect("listed neighbour");
+                    (info.gateway_dist != u16::MAX).then_some((info.gateway_dist, nb))
+                }));
+                let cands = &mut shard.cand_pool[cand_start as usize..];
+                cands.sort_unstable();
+                let first_ok = cands
+                    .iter()
+                    .position(|&(_, c)| !snapshot_would_cycle(self.parents, node, c))
+                    .unwrap_or(cands.len());
+                shard.orphans.push(OrphanPlan {
+                    node,
+                    cand_end: shard.cand_pool.len() as u32,
+                    first_ok: cand_start + first_ok as u32,
+                });
+            }
+            // Fallback scan: the choice depends only on pre-pass state;
+            // the live checks replay serially.
+            if let Some(since) = *detached {
+                if self.epoch.saturating_sub(since) >= DETACH_FALLBACK_EPOCHS {
+                    let attach_depth = self.attach_depth;
+                    let choice = (*self.mac)
+                        .neighbor_table(node)
+                        .nodes()
+                        .filter(|&nb| attach_depth[nb.index()].is_some())
+                        .min_by_key(|&nb| (attach_depth[nb.index()].unwrap_or(u32::MAX), nb));
+                    if let Some(new_parent) = choice {
+                        shard.fallbacks.push((node, new_parent));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// [`Engine::would_cycle`] against a parent snapshot instead of the live
+/// nodes. Because parents only change `None → Some` during the primary
+/// adoptions, every `Some` edge here is also a live edge — so a `true`
+/// from this walk implies a `true` from the live walk at any later point
+/// in the pass.
+fn snapshot_would_cycle(
+    parents: &[Option<NodeId>],
+    node: NodeId,
+    candidate_parent: NodeId,
+) -> bool {
+    let mut cur = Some(candidate_parent);
+    let mut steps = 0;
+    while let Some(p) = cur {
+        if p == node {
+            return true;
+        }
+        steps += 1;
+        if steps > parents.len() {
+            return true;
+        }
+        cur = parents[p.index()];
+    }
+    false
+}
+
+/// Split `items` work items into at most `nshards` contiguous non-empty
+/// `[start, end)` chunks of near-equal size.
+fn fill_chunks(chunks: &mut Vec<(u32, u32)>, items: usize, nshards: usize) {
+    chunks.clear();
+    let mut start = 0usize;
+    for k in 0..nshards {
+        let end = items * (k + 1) / nshards;
+        if end > start {
+            chunks.push((start as u32, end as u32));
+            start = end;
         }
     }
 }

@@ -108,6 +108,10 @@ pub struct ServingOptions {
     /// Directory rotating checkpoint images are written into (required
     /// when `checkpoint_every_epochs > 0`).
     pub checkpoint_dir: Option<String>,
+    /// Intra-engine protocol-upkeep workers
+    /// ([`dirq_core::ScenarioConfig::upkeep_workers`]); never affects
+    /// results, only epoch wall time.
+    pub upkeep_workers: usize,
 }
 
 impl Default for ServingOptions {
@@ -118,6 +122,7 @@ impl Default for ServingOptions {
             admit_per_epoch: 0,
             checkpoint_every_epochs: 0,
             checkpoint_dir: None,
+            upkeep_workers: 1,
         }
     }
 }
@@ -221,6 +226,7 @@ impl DeploymentInfo {
         obj.set("queue_cap", Json::from_u64(self.serving.queue_cap as u64));
         obj.set("admit_per_epoch", Json::from_u64(self.serving.admit_per_epoch as u64));
         obj.set("checkpoint_every_epochs", Json::from_u64(self.serving.checkpoint_every_epochs));
+        obj.set("upkeep_workers", Json::from_u64(self.serving.upkeep_workers as u64));
         obj
     }
 }
@@ -419,6 +425,10 @@ fn serving_options(request: &Json) -> Result<ServingOptions, Json> {
     if opts.checkpoint_every_epochs > 0 && opts.checkpoint_dir.is_none() {
         return Err(bad("checkpoint_every_epochs requires checkpoint_dir"));
     }
+    if let Some(w) = opt_u64_field(request, "upkeep_workers")? {
+        opts.upkeep_workers =
+            usize::try_from(w).map_err(|_| bad("upkeep_workers out of range"))?.max(1);
+    }
     Ok(opts)
 }
 
@@ -574,7 +584,8 @@ fn install(
             return err_response(kind::EXISTS, &format!("deployment {name:?} already exists"));
         }
     }
-    let cfg = spec.config(scheme, seed);
+    let mut cfg = spec.config(scheme, seed);
+    cfg.upkeep_workers = serving.upkeep_workers.max(1);
     let info = DeploymentInfo {
         name: name.to_string(),
         preset: preset.to_string(),

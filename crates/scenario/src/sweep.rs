@@ -40,6 +40,12 @@ pub struct SweepConfig {
     /// Never affects results — bit-identical at any count, enforced by
     /// the CI smoke worker matrix and the dispatch differential suite.
     pub dispatch_workers: usize,
+    /// Intra-run protocol-upkeep workers
+    /// ([`dirq_core::ScenarioConfig::upkeep_workers`]): sharded sensor
+    /// sampling and tree-repair scans inside each simulation. Never
+    /// affects results — bit-identical at any count, enforced by the CI
+    /// smoke worker matrix and the upkeep differential suite.
+    pub upkeep_workers: usize,
 }
 
 impl Default for SweepConfig {
@@ -51,6 +57,7 @@ impl Default for SweepConfig {
             mac_workers: 1,
             world_workers: 1,
             dispatch_workers: 1,
+            upkeep_workers: 1,
         }
     }
 }
@@ -79,6 +86,7 @@ pub fn run_matrix_report(specs: &[ScenarioSpec], cfg: &SweepConfig) -> ScenarioR
         run_cfg.lmac.workers = cfg.mac_workers.max(1);
         run_cfg.world_workers = cfg.world_workers.max(1);
         run_cfg.dispatch_workers = cfg.dispatch_workers.max(1);
+        run_cfg.upkeep_workers = cfg.upkeep_workers.max(1);
         let run = run_scenario(run_cfg);
         ScenarioOutcome::from_run(&spec.name, &scheme.label(), seed, &run)
     });
@@ -174,6 +182,21 @@ mod tests {
             &specs,
             &SweepConfig { dispatch_workers: 4, ..SweepConfig::default() },
         );
+        assert_eq!(serial.stable_fingerprint(), sharded.stable_fingerprint());
+    }
+
+    #[test]
+    fn upkeep_workers_are_result_invariant() {
+        // The upkeep_workers knob must never change a report: same
+        // fingerprint serial and with 4 upkeep workers. (The tiny matrix
+        // sits below the upkeep sharding node floor, so this pins the
+        // knob's serial resolution; the sharded passes themselves are
+        // pinned by tests/upkeep_differential.rs and the scenario_matrix
+        // smoke.)
+        let specs = vec![tiny_matrix().remove(1)];
+        let serial = run_matrix_report(&specs, &SweepConfig::default());
+        let sharded =
+            run_matrix_report(&specs, &SweepConfig { upkeep_workers: 4, ..SweepConfig::default() });
         assert_eq!(serial.stable_fingerprint(), sharded.stable_fingerprint());
     }
 
