@@ -1,7 +1,7 @@
 //! One-shot protocol calls from the shell.
 //!
 //! ```text
-//! dirq-cli [--addr HOST:PORT] <command> [args…]
+//! dirq-cli [--addr HOST:PORT] [--raw FIELD] <command> [args…]
 //!
 //! commands:
 //!   deploy NAME PRESET [--scale F] [--scheme LABEL] [--seed N]
@@ -20,12 +20,17 @@
 //! ```
 //!
 //! Prints the daemon's JSON response (pretty) on success; exits
-//! non-zero with the error on stderr otherwise.
+//! non-zero with the error on stderr otherwise. `--raw FIELD` instead
+//! prints just that top-level response field — strings unquoted,
+//! everything else as compact JSON — so scripts capture ids, cursors
+//! and fingerprints without scraping pretty output; a missing field is
+//! an error.
 
 use dirq_sim::json::Json;
 use dirqd::Client;
 
-const USAGE: &str = "usage: dirq-cli [--addr HOST:PORT] <command> [args…]
+const USAGE: &str = "usage: dirq-cli [--addr HOST:PORT] [--raw FIELD] <command> [args…]
+  --raw FIELD   print only that top-level response field (for scripts)
 commands:
   deploy NAME PRESET [--scale F] [--scheme LABEL] [--seed N]
          [--policy fifo|rr] [--queue-cap N] [--admit-per-epoch N]
@@ -65,13 +70,26 @@ fn parse_u64(arg: &str, what: &str) -> Json {
 
 fn main() {
     let mut addr = String::from("127.0.0.1:4710");
+    let mut raw: Option<String> = None;
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) == Some("--addr") {
-        args.remove(0);
-        if args.is_empty() {
-            usage_exit();
+    loop {
+        match args.first().map(String::as_str) {
+            Some("--addr") => {
+                args.remove(0);
+                if args.is_empty() {
+                    usage_exit();
+                }
+                addr = args.remove(0);
+            }
+            Some("--raw") => {
+                args.remove(0);
+                if args.is_empty() {
+                    usage_exit();
+                }
+                raw = Some(args.remove(0));
+            }
+            _ => break,
         }
-        addr = args.remove(0);
     }
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
         usage_exit();
@@ -201,7 +219,17 @@ fn main() {
         }
     };
     match client.call(&req) {
-        Ok(response) => print!("{}", response.render_pretty()),
+        Ok(response) => match raw {
+            None => print!("{}", response.render_pretty()),
+            Some(field) => match response.get(&field) {
+                Some(Json::Str(s)) => println!("{s}"),
+                Some(v) => println!("{}", v.render()),
+                None => {
+                    eprintln!("dirq-cli: response has no field {field:?}");
+                    std::process::exit(1);
+                }
+            },
+        },
         Err(e) => {
             eprintln!("dirq-cli: {e}");
             std::process::exit(1);

@@ -3,23 +3,43 @@
 //!
 //! ```text
 //! dirqd [--addr 127.0.0.1:4710] [--print-addr]
+//!       [--serving-threads N] [--recover DIR]
 //! ```
 //!
 //! `--addr 127.0.0.1:0` picks an ephemeral port; `--print-addr` writes
 //! the bound address to stdout (first line) so scripts can connect.
+//! `--serving-threads N` sizes the serving pool deployments are
+//! multiplexed over (default: one worker per available hardware
+//! thread). `--recover DIR` scans `DIR` for rotating auto-checkpoint
+//! images and resumes every recoverable deployment before accepting
+//! connections.
 
-use dirqd::Daemon;
+use dirqd::{Daemon, DaemonOptions};
 
 fn main() {
     let mut addr = String::from("127.0.0.1:4710");
     let mut print_addr = false;
+    let mut options = DaemonOptions::default();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--addr" => addr = args.next().expect("--addr needs HOST:PORT"),
             "--print-addr" => print_addr = true,
+            "--serving-threads" => {
+                let n = args.next().expect("--serving-threads needs a count");
+                options.serving_threads = n.parse().unwrap_or_else(|_| {
+                    eprintln!("dirqd: --serving-threads must be an unsigned integer, got {n:?}");
+                    std::process::exit(2);
+                });
+            }
+            "--recover" => {
+                options.recover = Some(args.next().expect("--recover needs a directory"));
+            }
             "--help" | "-h" => {
-                eprintln!("usage: dirqd [--addr HOST:PORT] [--print-addr]");
+                eprintln!(
+                    "usage: dirqd [--addr HOST:PORT] [--print-addr] \
+                     [--serving-threads N] [--recover DIR]"
+                );
                 return;
             }
             other => {
@@ -28,7 +48,7 @@ fn main() {
             }
         }
     }
-    let daemon = match Daemon::bind(&addr) {
+    let daemon = match Daemon::bind_with(&addr, options) {
         Ok(d) => d,
         Err(e) => {
             eprintln!("dirqd: bind {addr}: {e}");

@@ -28,7 +28,9 @@
 //! the original and the restored deployment (trajectories must stay
 //! fingerprint-identical regardless of poll timing), a pipelined
 //! drain-completeness check (every submitted id drained exactly once),
-//! a deterministic `queue_full` probe, a clean shutdown, and no
+//! a deterministic `queue_full` probe, a many-deployments fleet probe
+//! (64 deployments multiplexed over a 4-thread serving pool, each
+//! drain returning only its own completions), a clean shutdown, and no
 //! artifact write — any violated invariant exits non-zero.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -41,7 +43,7 @@ use dirqd::loadmodel::{
     hist_query, histogram_counts, percentile, reference_epochs_histogram, HIST_QUERIES,
 };
 use dirqd::protocol::fingerprint_hex;
-use dirqd::{Client, Daemon, DeployOptions};
+use dirqd::{Client, Daemon, DaemonOptions, DeployOptions};
 
 /// The benchmarked deployments: `(preset, epoch-budget scale)`. Scaled
 /// to ~10 % so a full loadgen pass stays in CI seconds while the
@@ -50,6 +52,12 @@ const DEPLOYMENTS: &[(&str, f64)] = &[("dense_grid_100", 0.1), ("hotspot_workloa
 
 /// Ids submitted by the smoke mode's pipelined drain-completeness check.
 const SMOKE_PIPELINE_QUERIES: usize = 16;
+
+/// Deployments in the smoke mode's many-deployments fleet probe.
+const FLEET_SIZE: usize = 64;
+
+/// Serving-pool size the fleet probe multiplexes the fleet over.
+const FLEET_THREADS: usize = 4;
 
 struct Args {
     smoke: bool,
@@ -211,6 +219,79 @@ fn run_smoke_checks(control: &mut Client, preset: &str, restored_name: &str) {
         "loadgen: {preset} smoke ok ({SMOKE_PIPELINE_QUERIES} pipelined ids drained exactly \
          once, post-batch fingerprint {})",
         fingerprint_hex(fp_a)
+    );
+}
+
+/// The smoke mode's many-deployments probe: a dedicated in-process
+/// daemon with a [`FLEET_THREADS`]-worker serving pool hosting
+/// [`FLEET_SIZE`] scaled-down deployments (distinct seeds). `status`
+/// must list the whole fleet, and an async query submitted to each
+/// deployment must come back from *that deployment's* drain exactly
+/// once — no cross-deployment bleed through the shared pool.
+fn run_fleet_probe() {
+    let (addr, handle) = Daemon::spawn_with(
+        "127.0.0.1:0",
+        DaemonOptions { serving_threads: FLEET_THREADS, recover: None },
+    )
+    .expect("spawn fleet daemon");
+    let addr = addr.to_string();
+    let mut control = Client::connect(&addr).expect("connect fleet control");
+    let names: Vec<String> = (0..FLEET_SIZE).map(|i| format!("fleet-{i:02}")).collect();
+    for (i, name) in names.iter().enumerate() {
+        control
+            .deploy(
+                name,
+                DEPLOYMENTS[0].0,
+                &DeployOptions {
+                    scale: Some(0.05),
+                    seed: Some(1000 + i as u64),
+                    ..Default::default()
+                },
+            )
+            .unwrap_or_else(|e| panic!("deploy {name}: {e}"));
+    }
+    let status = control.status_full().expect("fleet status");
+    assert_eq!(status.serving_threads, FLEET_THREADS as u64, "pool size must be reported");
+    assert_eq!(status.deployments.len(), FLEET_SIZE, "status must list the whole fleet");
+    for (row, name) in status.deployments.iter().zip(&names) {
+        assert_eq!(&row.name, name, "status rows must be name-ascending");
+    }
+
+    // One async query per deployment, all pipelined before any drain so
+    // the pool is saturated with concurrent turns, then drain each
+    // deployment and require exactly its own submission back.
+    let mut submitted = Vec::with_capacity(FLEET_SIZE);
+    for (i, name) in names.iter().enumerate() {
+        let (lo, hi) = query_window(i, 0);
+        let (id, _) =
+            control.query_async(name, 0, lo, hi, None, Some("fleet")).expect("fleet submit");
+        submitted.push(id);
+    }
+    for (name, &expect_id) in names.iter().zip(&submitted) {
+        let mut cursor = 0;
+        let mut got = Vec::new();
+        loop {
+            let drained = control.drain(name, cursor).expect("fleet drain");
+            cursor = drained.cursor;
+            got.extend(drained.results.iter().map(|(_, r)| r.id));
+            if drained.pending == 0 && drained.results.is_empty() {
+                break;
+            }
+            if drained.results.is_empty() {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }
+        assert_eq!(
+            got,
+            vec![expect_id],
+            "{name}: drain must return exactly its own completion, exactly once"
+        );
+    }
+    control.shutdown().expect("fleet shutdown");
+    handle.join().expect("fleet daemon thread").expect("fleet daemon serve");
+    eprintln!(
+        "loadgen: fleet probe ok ({FLEET_SIZE} deployments over {FLEET_THREADS} serving threads, \
+         no cross-deployment bleed)"
     );
 }
 
@@ -486,6 +567,7 @@ fn main() {
     }
 
     if args.smoke {
+        run_fleet_probe();
         println!("loadgen --smoke: all invariants held");
         return;
     }

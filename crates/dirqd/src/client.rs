@@ -159,6 +159,9 @@ pub struct DeploySummary {
     pub epoch: u64,
     /// Admission policy label.
     pub policy: String,
+    /// `(slot, epoch)` of the checkpoint image this deployment was
+    /// resumed from, when the daemon recovered it at startup.
+    pub recovered: Option<(u64, u64)>,
 }
 
 impl DeploySummary {
@@ -183,8 +186,27 @@ impl DeploySummary {
             epochs: int("epochs")?,
             epoch: int("epoch")?,
             policy: text("policy").unwrap_or_else(|_| "fifo".to_string()),
+            recovered: doc.get("recovered").and_then(|r| {
+                Some((
+                    r.get("slot").and_then(Json::as_u64)?,
+                    r.get("epoch").and_then(Json::as_u64)?,
+                ))
+            }),
         })
     }
+}
+
+/// The full `status` response: pool size, deployments, and anything the
+/// recovery scan could not resume.
+#[derive(Clone, Debug)]
+pub struct StatusReport {
+    /// Serving-pool worker count the daemon was started with.
+    pub serving_threads: u64,
+    /// Every live deployment, name-ascending.
+    pub deployments: Vec<DeploySummary>,
+    /// `(name, error)` for each deployment `--recover` found but could
+    /// not resume from any checkpoint slot.
+    pub unrecoverable: Vec<(String, String)>,
 }
 
 /// The scored outcome of one client query.
@@ -448,13 +470,40 @@ impl Client {
 
     /// List every deployment.
     pub fn status(&mut self) -> Result<Vec<DeploySummary>> {
+        Ok(self.status_full()?.deployments)
+    }
+
+    /// The full `status` response, including the serving-pool size and
+    /// the recovery scan's `unrecoverable` list.
+    pub fn status_full(&mut self) -> Result<StatusReport> {
         let doc = self.call(&Self::request("status"))?;
-        doc.get("deployments")
+        let deployments = doc
+            .get("deployments")
             .and_then(Json::as_array)
             .ok_or_else(|| ClientError::Protocol("missing field \"deployments\"".into()))?
             .iter()
             .map(DeploySummary::from_json)
-            .collect()
+            .collect::<Result<Vec<_>>>()?;
+        let unrecoverable = doc
+            .get("unrecoverable")
+            .and_then(Json::as_array)
+            .map(|items| {
+                items
+                    .iter()
+                    .map(|u| {
+                        let text = |k: &str| {
+                            u.get(k).and_then(Json::as_str).map(str::to_string).unwrap_or_default()
+                        };
+                        (text("name"), text("error"))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        Ok(StatusReport {
+            serving_threads: doc.get("serving_threads").and_then(Json::as_u64).unwrap_or(0),
+            deployments,
+            unrecoverable,
+        })
     }
 
     /// The engine-state fingerprint of a deployment, with its epoch.

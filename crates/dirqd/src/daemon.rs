@@ -1,38 +1,60 @@
 //! The daemon: named live deployments behind a TCP protocol endpoint.
 //!
-//! Each deployment owns one [`Engine`] on a dedicated thread, driven by
-//! a command channel. Connection handlers never touch an engine
-//! directly — they translate protocol lines into commands and wait (with
-//! a deadline) for the engine thread's reply, so every deployment
-//! processes exactly one command stream in a deterministic order and a
-//! wedged deployment costs its caller a typed `timeout` error, not a
-//! hung connection.
+//! Deployments are passive [`Slot`] state objects multiplexed over a
+//! fixed-size **serving pool** (`--serving-threads N`, default one
+//! worker per available hardware thread), so thousands of deployments
+//! cost thousands of structs, not thousands of OS threads. Connection
+//! handlers never touch an engine directly — they push commands into a
+//! slot's mailbox, schedule the slot onto the pool, and wait (with a
+//! deadline) for the reply, so every deployment still processes exactly
+//! one command stream in a deterministic order and a wedged deployment
+//! costs its caller a typed `timeout` error, not a hung connection.
+//!
+//! ## Scheduled turns
+//!
+//! A pool worker runs one deployment **turn** at a time: drain the
+//! mailbox in arrival order, process every command, and — while any
+//! query is queued or in flight — admit a scheduling round, inject it
+//! ordered **by content** (sensor type, window bounds, region, client
+//! tag) rather than arrival time, step one epoch, and sweep
+//! completions. A slot reschedules itself while it has backlog and goes
+//! idle otherwise; a tiny CAS state machine (idle → queued → running →
+//! dirty) guarantees a slot occupies at most one worker at a time and
+//! that a command arriving mid-turn re-queues it. Because a turn is the
+//! old engine-thread loop iteration verbatim, per-deployment
+//! trajectories are bit-identical to the thread-per-deployment daemon
+//! at **any** `--serving-threads` count — the property the differential
+//! tests pin against [`crate::loadmodel::replay_serving`].
 //!
 //! ## The serving loop
 //!
 //! External queries pass through a per-deployment **admission queue**
 //! (bounded at [`ServingOptions::queue_cap`]; beyond it submissions are
-//! rejected with `queue_full`). While any query is queued or in flight
-//! the engine thread runs one epoch per iteration: admit a scheduling
-//! round from the queue (policy `fifo` or per-client round-robin),
-//! inject the round ordered **by content** (sensor type, window bounds,
-//! region, client tag) rather than arrival time, step one epoch, sweep
-//! completions, then service whatever read-only commands arrived in the
-//! meantime. Blocking queries reply at completion; `async` queries reply
-//! with their id at injection and resolve later through `poll`/`drain`.
+//! rejected with `queue_full`). Blocking queries reply at completion;
+//! `async` queries reply with their id at injection and resolve later
+//! through `poll`/`drain`. Because every admission round is injected
+//! content-ordered, a fixed sequence of barriered rounds drives the
+//! engine along a reproducible trajectory regardless of socket
+//! scheduling, submission policy, or when results are polled.
 //!
-//! Because every admission round is injected content-ordered, a fixed
-//! sequence of barriered rounds drives the engine along a reproducible
-//! trajectory regardless of socket scheduling, submission policy, or
-//! when results are polled — the property the load generator's
-//! fingerprint checks pin.
+//! ## Crash recovery
+//!
+//! `--recover <dir>` scans the rotating auto-checkpoint slots
+//! (`<name>.<slot>.dirqsnap`) at startup, validates every frame, and
+//! resumes each deployment from its newest valid image — a torn or
+//! truncated newest slot (the expected wreckage of `kill -9` mid-write)
+//! falls back to the older slot. Deployments whose slots are all
+//! unreadable are reported under `unrecoverable` in `status` instead of
+//! aborting startup; recovered ones carry a `recovered` object naming
+//! the slot and epoch they resumed from.
 
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
-use std::sync::{Arc, Mutex};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -41,15 +63,14 @@ use dirq_data::SensorType;
 use dirq_net::{Position, Rect};
 use dirq_scenario::Scheme;
 use dirq_sim::json::Json;
-use dirq_sim::snap::{frame_image, parse_image};
+use dirq_sim::snap::{check_image, frame_image, parse_image};
 
 use crate::protocol::{
     err_response, fingerprint_hex, kind, ok_response, read_line, request_timeout,
-    resolve_deployment, write_line, ImageHeader,
+    resolve_deployment, write_line, ImageHeader, IMAGE_EXTENSION,
 };
 
-/// Default admission-queue bound when `deploy` doesn't set `queue_cap`.
-pub const DEFAULT_QUEUE_CAP: usize = 4096;
+pub use crate::protocol::{AdmissionPolicy, ServingOptions, DEFAULT_QUEUE_CAP};
 
 /// Most results one `drain` response returns (the client loops).
 pub const DRAIN_MAX_RESULTS: usize = 512;
@@ -60,72 +81,6 @@ pub const RESULTS_LOG_CAP: usize = 65_536;
 
 /// Rotating auto-checkpoint slots per deployment.
 pub const CHECKPOINT_SLOTS: u64 = 2;
-
-/// How query submissions are drawn from the admission queue at each
-/// epoch boundary.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum AdmissionPolicy {
-    /// Arrival order across all clients.
-    Fifo,
-    /// One per client per turn, clients visited in sorted-name order
-    /// from a start position that rotates each round, so no client name
-    /// is structurally favoured.
-    RoundRobin,
-}
-
-impl AdmissionPolicy {
-    /// Wire label.
-    pub fn label(self) -> &'static str {
-        match self {
-            AdmissionPolicy::Fifo => "fifo",
-            AdmissionPolicy::RoundRobin => "rr",
-        }
-    }
-
-    /// Parse a wire label.
-    pub fn parse(s: &str) -> Option<AdmissionPolicy> {
-        match s {
-            "fifo" => Some(AdmissionPolicy::Fifo),
-            "rr" => Some(AdmissionPolicy::RoundRobin),
-            _ => None,
-        }
-    }
-}
-
-/// Per-deployment serving knobs, set at `deploy`/`restore` time.
-#[derive(Clone, Debug)]
-pub struct ServingOptions {
-    /// Admission scheduling policy.
-    pub policy: AdmissionPolicy,
-    /// Admission-queue bound; `0` rejects every submission (useful as a
-    /// deterministic `queue_full` probe).
-    pub queue_cap: usize,
-    /// Submissions admitted per epoch boundary; `0` admits everything
-    /// waiting.
-    pub admit_per_epoch: usize,
-    /// Auto-checkpoint period in epochs; `0` disables.
-    pub checkpoint_every_epochs: u64,
-    /// Directory rotating checkpoint images are written into (required
-    /// when `checkpoint_every_epochs > 0`).
-    pub checkpoint_dir: Option<String>,
-    /// Intra-engine protocol-upkeep workers
-    /// ([`dirq_core::ScenarioConfig::upkeep_workers`]); never affects
-    /// results, only epoch wall time.
-    pub upkeep_workers: usize,
-}
-
-impl Default for ServingOptions {
-    fn default() -> ServingOptions {
-        ServingOptions {
-            policy: AdmissionPolicy::Fifo,
-            queue_cap: DEFAULT_QUEUE_CAP,
-            admit_per_epoch: 0,
-            checkpoint_every_epochs: 0,
-            checkpoint_dir: None,
-            upkeep_workers: 1,
-        }
-    }
-}
 
 /// One query waiting in the admission queue.
 struct Submission {
@@ -157,7 +112,7 @@ impl Submission {
     }
 }
 
-/// Commands a connection handler can send to an engine thread.
+/// Commands a connection handler can push into a slot's mailbox.
 enum EngineCmd {
     Submit(Submission),
     Poll {
@@ -179,13 +134,21 @@ enum EngineCmd {
         path: String,
         reply: Sender<Json>,
     },
-    /// Diagnostics: occupy the engine thread for `ms` (bounded) — the
+    /// Diagnostics: occupy the slot's turn for `ms` (bounded) — the
     /// deterministic wedge the timeout tests use.
     Stall {
         ms: u64,
         reply: Sender<Json>,
     },
-    Stop,
+}
+
+/// Where a recovered deployment resumed from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoveredFrom {
+    /// Rotation slot index of the image used.
+    pub slot: u64,
+    /// Epoch the image was captured at.
+    pub epoch: u64,
 }
 
 /// Static facts about a deployment, shared with `status` handlers.
@@ -209,6 +172,8 @@ pub struct DeploymentInfo {
     pub location_enabled: bool,
     /// Serving knobs this deployment was installed with.
     pub serving: ServingOptions,
+    /// Set when this deployment was resumed by `--recover`.
+    pub recovered: Option<RecoveredFrom>,
 }
 
 impl DeploymentInfo {
@@ -227,40 +192,119 @@ impl DeploymentInfo {
         obj.set("admit_per_epoch", Json::from_u64(self.serving.admit_per_epoch as u64));
         obj.set("checkpoint_every_epochs", Json::from_u64(self.serving.checkpoint_every_epochs));
         obj.set("upkeep_workers", Json::from_u64(self.serving.upkeep_workers as u64));
+        if let Some(r) = &self.recovered {
+            let mut rec = Json::object();
+            rec.set("slot", Json::from_u64(r.slot));
+            rec.set("epoch", Json::from_u64(r.epoch));
+            obj.set("recovered", rec);
+        }
         obj
     }
 }
 
-struct Deployment {
+// Slot scheduling states: a slot occupies at most one pool worker, and
+// a command arriving mid-turn marks it dirty so the finishing worker
+// re-queues it instead of dropping the wakeup.
+const SCHED_IDLE: u8 = 0;
+const SCHED_QUEUED: u8 = 1;
+const SCHED_RUNNING: u8 = 2;
+const SCHED_DIRTY: u8 = 3;
+
+/// One deployment: passive state scheduled onto pool workers in turns.
+struct Slot {
     info: DeploymentInfo,
-    /// Last epoch boundary the engine thread published.
+    /// Last epoch boundary a turn published (lock-free `status` reads).
     epoch: Arc<AtomicU64>,
-    tx: Sender<EngineCmd>,
-    thread: Option<JoinHandle<()>>,
+    /// Commands pushed by connection handlers, drained at turn start in
+    /// arrival order.
+    mailbox: Mutex<VecDeque<EngineCmd>>,
+    /// Engine + admission queue + results log; locked only by the one
+    /// worker running this slot's turn.
+    serving: Mutex<Serving>,
+    /// [`SCHED_IDLE`]/[`SCHED_QUEUED`]/[`SCHED_RUNNING`]/[`SCHED_DIRTY`].
+    sched: AtomicU8,
+}
+
+/// A deployment with all its checkpoint slots unreadable at `--recover`.
+#[derive(Clone, Debug)]
+pub struct Unrecoverable {
+    /// Deployment name parsed from the image filenames.
+    pub name: String,
+    /// Per-slot failure detail, newest candidate first.
+    pub error: String,
 }
 
 struct Shared {
-    deployments: Mutex<HashMap<String, Deployment>>,
+    deployments: Mutex<HashMap<String, Arc<Slot>>>,
+    /// Deployments `--recover` found but could not resume.
+    unrecoverable: Mutex<Vec<Unrecoverable>>,
+    /// Slots with work, awaiting a pool worker.
+    ready: Mutex<VecDeque<Arc<Slot>>>,
+    /// Wakes pool workers when `ready` gains a slot or at shutdown.
+    work: Condvar,
+    /// Serving-pool size (surfaced via `status`).
+    serving_threads: usize,
+    /// Tells pool workers to exit; set at shutdown.
+    stopping: AtomicBool,
     shutting_down: AtomicBool,
+}
+
+/// Daemon-wide construction options ([`Daemon::bind_with`]).
+#[derive(Clone, Debug, Default)]
+pub struct DaemonOptions {
+    /// Serving-pool worker threads; `0` means one per available
+    /// hardware thread.
+    pub serving_threads: usize,
+    /// Checkpoint directory to scan at startup: every deployment with a
+    /// valid rotating image is resumed before the daemon accepts
+    /// connections.
+    pub recover: Option<String>,
 }
 
 /// A running daemon bound to a local TCP port.
 pub struct Daemon {
     listener: TcpListener,
     shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl Daemon {
-    /// Bind to `addr` (use port 0 for an ephemeral port; see
-    /// [`Daemon::local_addr`]).
+    /// Bind to `addr` with default options (use port 0 for an ephemeral
+    /// port; see [`Daemon::local_addr`]).
     pub fn bind(addr: &str) -> io::Result<Daemon> {
-        Ok(Daemon {
-            listener: TcpListener::bind(addr)?,
-            shared: Arc::new(Shared {
-                deployments: Mutex::new(HashMap::new()),
-                shutting_down: AtomicBool::new(false),
-            }),
-        })
+        Daemon::bind_with(addr, DaemonOptions::default())
+    }
+
+    /// Bind to `addr`, size the serving pool, and run the `--recover`
+    /// scan (if any) before any connection is accepted.
+    pub fn bind_with(addr: &str, options: DaemonOptions) -> io::Result<Daemon> {
+        let listener = TcpListener::bind(addr)?;
+        let threads = match options.serving_threads {
+            0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            n => n,
+        };
+        let shared = Arc::new(Shared {
+            deployments: Mutex::new(HashMap::new()),
+            unrecoverable: Mutex::new(Vec::new()),
+            ready: Mutex::new(VecDeque::new()),
+            work: Condvar::new(),
+            serving_threads: threads,
+            stopping: AtomicBool::new(false),
+            shutting_down: AtomicBool::new(false),
+        });
+        if let Some(dir) = &options.recover {
+            recover_from_dir(&shared, dir)?;
+        }
+        let workers = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("dirqd-pool-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Ok(Daemon { listener, shared, workers })
     }
 
     /// The bound address.
@@ -272,7 +316,15 @@ impl Daemon {
     /// load generator and the integration tests use. Returns the bound
     /// address and the serving thread's handle (joins after `shutdown`).
     pub fn spawn(addr: &str) -> io::Result<(SocketAddr, JoinHandle<io::Result<()>>)> {
-        let daemon = Daemon::bind(addr)?;
+        Daemon::spawn_with(addr, DaemonOptions::default())
+    }
+
+    /// [`Daemon::spawn`] with explicit [`DaemonOptions`].
+    pub fn spawn_with(
+        addr: &str,
+        options: DaemonOptions,
+    ) -> io::Result<(SocketAddr, JoinHandle<io::Result<()>>)> {
+        let daemon = Daemon::bind_with(addr, options)?;
         let local = daemon.local_addr()?;
         let handle = std::thread::Builder::new()
             .name("dirqd-accept".into())
@@ -298,18 +350,140 @@ impl Daemon {
                 let _ = handle_connection(stream, &shared, addr);
             });
         }
-        // Join every engine thread so serve() returning means the
-        // daemon's state is fully torn down.
-        let mut deployments = self.shared.deployments.lock().expect("deployment map");
-        for (_, mut d) in deployments.drain() {
-            let _ = d.tx.send(EngineCmd::Stop);
-            if let Some(t) = d.thread.take() {
-                let _ = t.join();
-            }
+        // Stop the pool (under the ready lock so no worker misses the
+        // flag between checking it and blocking on the condvar), join
+        // every worker, and drop the slots so serve() returning means
+        // the daemon's state is fully torn down.
+        {
+            let _ready = self.shared.ready.lock().expect("ready queue");
+            self.shared.stopping.store(true, Ordering::SeqCst);
+            self.shared.work.notify_all();
         }
+        for w in self.workers {
+            let _ = w.join();
+        }
+        self.shared.deployments.lock().expect("deployment map").clear();
         Ok(())
     }
 }
+
+// --- the serving pool -----------------------------------------------------
+
+/// A pool worker: pop a ready slot, run one turn, re-queue it if it
+/// still wants the CPU (backlog, or commands that arrived mid-turn).
+fn worker_loop(shared: &Shared) {
+    loop {
+        let slot = {
+            let mut ready = shared.ready.lock().expect("ready queue");
+            loop {
+                if shared.stopping.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(s) = ready.pop_front() {
+                    break s;
+                }
+                ready = shared.work.wait(ready).expect("ready queue");
+            }
+        };
+        slot.sched.store(SCHED_RUNNING, Ordering::SeqCst);
+        let wants_more = run_turn(&slot);
+        finish_turn(shared, slot, wants_more);
+    }
+}
+
+/// One scheduled turn — exactly one iteration of the old
+/// thread-per-deployment serving loop: drain the mailbox in arrival
+/// order, process every command, then (with backlog) admit + inject a
+/// content-ordered round, step one epoch, and sweep completions.
+/// Returns whether the slot still has backlog and wants rescheduling.
+fn run_turn(slot: &Slot) -> bool {
+    let mut serving = slot.serving.lock().expect("slot serving state");
+    let cmds: Vec<EngineCmd> = {
+        let mut mailbox = slot.mailbox.lock().expect("slot mailbox");
+        mailbox.drain(..).collect()
+    };
+    for cmd in cmds {
+        serving.process(cmd);
+    }
+    if serving.backlog() > 0 {
+        serving.admit_and_inject();
+        serving.engine.step_epoch();
+        serving.post_step();
+    }
+    serving.backlog() > 0
+}
+
+/// Post-turn state transition. The running worker owns the RUNNING /
+/// DIRTY state; enqueuers can only flip RUNNING → DIRTY, so the CAS
+/// loop here terminates after at most one retry.
+fn finish_turn(shared: &Shared, slot: Arc<Slot>, wants_more: bool) {
+    loop {
+        let seen = slot.sched.load(Ordering::SeqCst);
+        let requeue = wants_more || seen == SCHED_DIRTY;
+        let target = if requeue { SCHED_QUEUED } else { SCHED_IDLE };
+        if slot.sched.compare_exchange(seen, target, Ordering::SeqCst, Ordering::SeqCst).is_ok() {
+            if requeue {
+                if shared.stopping.load(Ordering::SeqCst) {
+                    // Shutdown: park the slot instead of spinning the
+                    // pool forever on leftover backlog.
+                    slot.sched.store(SCHED_IDLE, Ordering::SeqCst);
+                    return;
+                }
+                let mut ready = shared.ready.lock().expect("ready queue");
+                ready.push_back(slot);
+                shared.work.notify_one();
+            }
+            return;
+        }
+    }
+}
+
+/// Make sure `slot` is (or will be) scheduled: idle slots are pushed
+/// onto the ready queue; a slot mid-turn is marked dirty so the worker
+/// re-queues it. Safe against lost wakeups because callers push into
+/// the mailbox *before* calling this, and `run_turn` drains the mailbox
+/// after the worker publishes RUNNING.
+fn schedule(shared: &Shared, slot: &Arc<Slot>) {
+    loop {
+        match slot.sched.load(Ordering::SeqCst) {
+            SCHED_QUEUED | SCHED_DIRTY => return,
+            SCHED_IDLE => {
+                if slot
+                    .sched
+                    .compare_exchange(SCHED_IDLE, SCHED_QUEUED, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+                {
+                    let mut ready = shared.ready.lock().expect("ready queue");
+                    ready.push_back(Arc::clone(slot));
+                    shared.work.notify_one();
+                    return;
+                }
+            }
+            _ => {
+                if slot
+                    .sched
+                    .compare_exchange(
+                        SCHED_RUNNING,
+                        SCHED_DIRTY,
+                        Ordering::SeqCst,
+                        Ordering::SeqCst,
+                    )
+                    .is_ok()
+                {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Push `cmd` into the slot's mailbox and schedule it.
+fn enqueue(shared: &Shared, slot: &Arc<Slot>, cmd: EngineCmd) {
+    slot.mailbox.lock().expect("slot mailbox").push_back(cmd);
+    schedule(shared, slot);
+}
+
+// --- connection handling --------------------------------------------------
 
 /// One client connection: a request/response loop over protocol lines.
 fn handle_connection(
@@ -432,30 +606,29 @@ fn serving_options(request: &Json) -> Result<ServingOptions, Json> {
     Ok(opts)
 }
 
-/// Clone the channel/epoch handles of a deployment under the map lock.
-fn lookup(
-    shared: &Shared,
-    name: &str,
-) -> Result<(DeploymentInfo, Arc<AtomicU64>, Sender<EngineCmd>), Json> {
+/// Clone a deployment's slot handle under the map lock.
+fn lookup(shared: &Shared, name: &str) -> Result<Arc<Slot>, Json> {
     let deployments = shared.deployments.lock().expect("deployment map");
     deployments
         .get(name)
-        .map(|d| (d.info.clone(), Arc::clone(&d.epoch), d.tx.clone()))
+        .map(Arc::clone)
         .ok_or_else(|| err_response(kind::NOT_FOUND, &format!("no deployment named {name:?}")))
 }
 
-/// Send `cmd` and wait for the engine thread's reply, bounded by
-/// `timeout` — a wedged deployment yields a typed `timeout` error
-/// instead of hanging the connection handler.
+/// Enqueue `cmd` and wait for the slot's reply, bounded by `timeout` —
+/// a wedged deployment yields a typed `timeout` error instead of
+/// hanging the connection handler.
 fn round_trip(
-    tx: &Sender<EngineCmd>,
+    shared: &Shared,
+    slot: &Arc<Slot>,
     cmd: EngineCmd,
     rx: Receiver<Json>,
     timeout: Duration,
 ) -> Json {
-    if tx.send(cmd).is_err() {
+    if shared.stopping.load(Ordering::SeqCst) {
         return err_response(kind::SHUTDOWN, "deployment is shutting down");
     }
+    enqueue(shared, slot, cmd);
     match rx.recv_timeout(timeout) {
         Ok(doc) => doc,
         Err(RecvTimeoutError::Timeout) => err_response(
@@ -499,7 +672,7 @@ fn handle_deploy(request: &Json, shared: &Shared) -> Json {
         Ok(v) => v,
         Err(e) => return e,
     };
-    install(shared, &name, &preset, scale, spec, scheme, seed, serving, None)
+    install(shared, &name, &preset, scale, spec, scheme, seed, serving, None, None)
 }
 
 /// [`resolve_deployment`] reports both lookup misses and bad parameters
@@ -560,12 +733,13 @@ fn handle_restore(request: &Json, shared: &Shared) -> Json {
         header.seed,
         serving,
         Some(body),
+        None,
     )
 }
 
 /// Build the engine (outside the map lock — deployment can take a
-/// while), optionally overlay a snapshot body, and register the engine
-/// thread under `name`.
+/// while), optionally overlay a snapshot body, and register the slot
+/// under `name`.
 #[allow(clippy::too_many_arguments)]
 fn install(
     shared: &Shared,
@@ -577,6 +751,7 @@ fn install(
     seed: u64,
     serving: ServingOptions,
     body: Option<&[u8]>,
+    recovered: Option<RecoveredFrom>,
 ) -> Json {
     {
         let deployments = shared.deployments.lock().expect("deployment map");
@@ -596,6 +771,7 @@ fn install(
         epochs: cfg.epochs,
         location_enabled: cfg.location_enabled,
         serving,
+        recovered,
     };
     let mut engine = Engine::new(cfg);
     if let Some(body) = body {
@@ -605,29 +781,32 @@ fn install(
     }
     engine.enable_completed_log();
     let epoch = Arc::new(AtomicU64::new(engine.epoch()));
-    let (tx, rx) = channel();
-    let thread_epoch = Arc::clone(&epoch);
-    let thread_info = info.clone();
-    let thread = std::thread::Builder::new()
-        .name(format!("dirqd-{name}"))
-        .spawn(move || engine_thread(engine, thread_info, thread_epoch, rx))
-        .expect("spawn engine thread");
     let current = epoch.load(Ordering::SeqCst);
+    let slot = Arc::new(Slot {
+        serving: Mutex::new(Serving {
+            sweep_cursor: engine.completed_next_seq(),
+            engine,
+            info: info.clone(),
+            epoch: Arc::clone(&epoch),
+            queue: VecDeque::new(),
+            inflight: HashMap::new(),
+            rr_round: 0,
+            results: VecDeque::new(),
+            next_result_seq: 0,
+        }),
+        info: info.clone(),
+        epoch,
+        mailbox: Mutex::new(VecDeque::new()),
+        sched: AtomicU8::new(SCHED_IDLE),
+    });
     let mut deployments = shared.deployments.lock().expect("deployment map");
     if deployments.contains_key(name) {
-        // Raced another deploy of the same name; tear ours down.
-        drop(deployments);
-        let _ = tx.send(EngineCmd::Stop);
-        let _ = thread.join();
+        // Raced another deploy of the same name; ours simply drops.
         return err_response(kind::EXISTS, &format!("deployment {name:?} already exists"));
     }
-    let response = info.to_json(current);
-    deployments.insert(name.to_string(), Deployment { info, epoch, tx, thread: Some(thread) });
+    deployments.insert(name.to_string(), slot);
     let mut ok = ok_response();
-    let Json::Obj(fields) = response else { unreachable!("info renders an object") };
-    for (k, v) in fields {
-        ok.set(&k, v);
-    }
+    merge_fields(&mut ok, &info.to_json(current));
     ok
 }
 
@@ -675,11 +854,11 @@ fn handle_query(request: &Json, shared: &Shared) -> Json {
         Ok(v) => v,
         Err(msg) => return bad(&msg),
     };
-    let (info, _, tx) = match lookup(shared, &deployment) {
+    let slot = match lookup(shared, &deployment) {
         Ok(v) => v,
         Err(e) => return e,
     };
-    if region.is_some() && !info.location_enabled {
+    if region.is_some() && !slot.info.location_enabled {
         return err_response(
             kind::UNSUPPORTED,
             &format!(
@@ -692,7 +871,8 @@ fn handle_query(request: &Json, shared: &Shared) -> Json {
     }
     let (reply_tx, reply_rx) = channel();
     round_trip(
-        &tx,
+        shared,
+        &slot,
         EngineCmd::Submit(Submission { stype, lo, hi, region, client, is_async, reply: reply_tx }),
         reply_rx,
         timeout,
@@ -713,12 +893,12 @@ fn handle_poll(request: &Json, shared: &Shared) -> Json {
         Ok(v) => v,
         Err(msg) => return bad(&msg),
     };
-    let (_, _, tx) = match lookup(shared, &deployment) {
+    let slot = match lookup(shared, &deployment) {
         Ok(v) => v,
         Err(e) => return e,
     };
     let (reply_tx, reply_rx) = channel();
-    round_trip(&tx, EngineCmd::Poll { id, reply: reply_tx }, reply_rx, timeout)
+    round_trip(shared, &slot, EngineCmd::Poll { id, reply: reply_tx }, reply_rx, timeout)
 }
 
 fn handle_drain(request: &Json, shared: &Shared) -> Json {
@@ -734,12 +914,12 @@ fn handle_drain(request: &Json, shared: &Shared) -> Json {
         Ok(v) => v,
         Err(msg) => return bad(&msg),
     };
-    let (_, _, tx) = match lookup(shared, &deployment) {
+    let slot = match lookup(shared, &deployment) {
         Ok(v) => v,
         Err(e) => return e,
     };
     let (reply_tx, reply_rx) = channel();
-    round_trip(&tx, EngineCmd::Drain { cursor, reply: reply_tx }, reply_rx, timeout)
+    round_trip(shared, &slot, EngineCmd::Drain { cursor, reply: reply_tx }, reply_rx, timeout)
 }
 
 fn handle_step(request: &Json, shared: &Shared) -> Json {
@@ -756,23 +936,40 @@ fn handle_step(request: &Json, shared: &Shared) -> Json {
         Ok(v) => v,
         Err(msg) => return bad(&msg),
     };
-    let (_, _, tx) = match lookup(shared, &deployment) {
+    let slot = match lookup(shared, &deployment) {
         Ok(v) => v,
         Err(e) => return e,
     };
     let (reply_tx, reply_rx) = channel();
-    round_trip(&tx, EngineCmd::Step { epochs, reply: reply_tx }, reply_rx, timeout)
+    round_trip(shared, &slot, EngineCmd::Step { epochs, reply: reply_tx }, reply_rx, timeout)
 }
 
 fn handle_status(shared: &Shared) -> Json {
-    let deployments = shared.deployments.lock().expect("deployment map");
-    let mut rows: Vec<(String, Json)> = deployments
-        .values()
-        .map(|d| (d.info.name.clone(), d.info.to_json(d.epoch.load(Ordering::SeqCst))))
-        .collect();
-    rows.sort_by(|a, b| a.0.cmp(&b.0));
+    let rows: Vec<Json> = {
+        let deployments = shared.deployments.lock().expect("deployment map");
+        let mut rows: Vec<(String, Json)> = deployments
+            .values()
+            .map(|d| (d.info.name.clone(), d.info.to_json(d.epoch.load(Ordering::SeqCst))))
+            .collect();
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        rows.into_iter().map(|(_, j)| j).collect()
+    };
+    let unrecoverable: Vec<Json> = {
+        let failed = shared.unrecoverable.lock().expect("unrecoverable list");
+        failed
+            .iter()
+            .map(|u| {
+                let mut obj = Json::object();
+                obj.set("name", Json::Str(u.name.clone()));
+                obj.set("error", Json::Str(u.error.clone()));
+                obj
+            })
+            .collect()
+    };
     let mut ok = ok_response();
-    ok.set("deployments", Json::Arr(rows.into_iter().map(|(_, j)| j).collect()));
+    ok.set("serving_threads", Json::from_u64(shared.serving_threads as u64));
+    ok.set("deployments", Json::Arr(rows));
+    ok.set("unrecoverable", Json::Arr(unrecoverable));
     ok
 }
 
@@ -785,12 +982,12 @@ fn handle_fingerprint(request: &Json, shared: &Shared) -> Json {
         Ok(v) => v,
         Err(msg) => return bad(&msg),
     };
-    let (_, _, tx) = match lookup(shared, &deployment) {
+    let slot = match lookup(shared, &deployment) {
         Ok(v) => v,
         Err(e) => return e,
     };
     let (reply_tx, reply_rx) = channel();
-    round_trip(&tx, EngineCmd::Fingerprint { reply: reply_tx }, reply_rx, timeout)
+    round_trip(shared, &slot, EngineCmd::Fingerprint { reply: reply_tx }, reply_rx, timeout)
 }
 
 fn handle_snapshot(request: &Json, shared: &Shared) -> Json {
@@ -806,12 +1003,12 @@ fn handle_snapshot(request: &Json, shared: &Shared) -> Json {
         Ok(v) => v,
         Err(msg) => return bad(&msg),
     };
-    let (_, _, tx) = match lookup(shared, &deployment) {
+    let slot = match lookup(shared, &deployment) {
         Ok(v) => v,
         Err(e) => return e,
     };
     let (reply_tx, reply_rx) = channel();
-    round_trip(&tx, EngineCmd::SnapshotTo { path, reply: reply_tx }, reply_rx, timeout)
+    round_trip(shared, &slot, EngineCmd::SnapshotTo { path, reply: reply_tx }, reply_rx, timeout)
 }
 
 fn handle_stall(request: &Json, shared: &Shared) -> Json {
@@ -828,23 +1025,159 @@ fn handle_stall(request: &Json, shared: &Shared) -> Json {
         Ok(v) => v,
         Err(msg) => return bad(&msg),
     };
-    let (_, _, tx) = match lookup(shared, &deployment) {
+    let slot = match lookup(shared, &deployment) {
         Ok(v) => v,
         Err(e) => return e,
     };
     let (reply_tx, reply_rx) = channel();
-    round_trip(&tx, EngineCmd::Stall { ms, reply: reply_tx }, reply_rx, timeout)
+    round_trip(shared, &slot, EngineCmd::Stall { ms, reply: reply_tx }, reply_rx, timeout)
 }
 
-// --- the engine thread ----------------------------------------------------
+// --- crash recovery -------------------------------------------------------
+
+/// One rotating checkpoint image found by [`scan_checkpoint_dir`].
+#[derive(Clone, Debug)]
+pub struct CheckpointSlot {
+    /// Deployment name encoded in the filename.
+    pub name: String,
+    /// Rotation slot index encoded in the filename.
+    pub slot: u64,
+    /// Full path of the image file.
+    pub path: PathBuf,
+    /// Parsed image header, or why this slot is unusable (torn write,
+    /// bad magic, wrong format version, broken header).
+    pub header: Result<ImageHeader, String>,
+}
+
+/// Parse `<name>.<slot>.dirqsnap`, splitting the slot off the *right*
+/// so deployment names may themselves contain dots.
+fn parse_checkpoint_filename(file: &str) -> Option<(String, u64)> {
+    let stem = file.strip_suffix(IMAGE_EXTENSION)?.strip_suffix('.')?;
+    let (name, slot) = stem.rsplit_once('.')?;
+    if name.is_empty() {
+        return None;
+    }
+    Some((name.to_string(), slot.parse().ok()?))
+}
+
+/// Scan `dir` for rotating checkpoint images and validate each frame.
+/// Files not matching `<name>.<slot>.dirqsnap` are ignored. The result
+/// is ordered name-ascending, and within a name best-candidate first:
+/// valid slots by epoch (then slot index) descending, unreadable slots
+/// last — so recovery tries the newest valid image and falls back in
+/// order.
+pub fn scan_checkpoint_dir(dir: &Path) -> io::Result<Vec<CheckpointSlot>> {
+    let mut found = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let file_name = entry.file_name();
+        let Some((name, slot)) = parse_checkpoint_filename(&file_name.to_string_lossy()) else {
+            continue;
+        };
+        let header = std::fs::read(entry.path())
+            .map_err(|e| format!("read: {e}"))
+            .and_then(|bytes| check_image(&bytes).map_err(|e| e.to_string()))
+            .and_then(|doc| ImageHeader::from_json(&doc));
+        found.push(CheckpointSlot { name, slot, path: entry.path(), header });
+    }
+    // Rank: valid beats invalid, then epoch, then slot index. Reverse
+    // within a name so the best candidate sorts first.
+    let rank = |s: &CheckpointSlot| match &s.header {
+        Ok(h) => (1u8, h.epoch, s.slot),
+        Err(_) => (0, 0, s.slot),
+    };
+    found.sort_by(|a, b| a.name.cmp(&b.name).then_with(|| rank(b).cmp(&rank(a))));
+    Ok(found)
+}
+
+/// The `--recover` pass: resume every deployment in `dir` from its
+/// newest valid checkpoint image, falling back slot-by-slot on torn or
+/// stale frames. Runs before the daemon accepts connections; a
+/// deployment with no usable slot lands in `unrecoverable` (surfaced
+/// via `status`) instead of failing startup. Only scan-level I/O errors
+/// (e.g. the directory is missing) abort.
+fn recover_from_dir(shared: &Shared, dir: &str) -> io::Result<()> {
+    let mut by_name: BTreeMap<String, Vec<CheckpointSlot>> = BTreeMap::new();
+    for slot in scan_checkpoint_dir(Path::new(dir))? {
+        by_name.entry(slot.name.clone()).or_default().push(slot);
+    }
+    for (name, candidates) in by_name {
+        let mut failures: Vec<String> = Vec::new();
+        let mut resumed = false;
+        for candidate in candidates {
+            match try_resume(shared, &name, &candidate, dir) {
+                Ok(()) => {
+                    resumed = true;
+                    break;
+                }
+                Err(msg) => failures.push(format!("slot {}: {msg}", candidate.slot)),
+            }
+        }
+        if !resumed {
+            shared
+                .unrecoverable
+                .lock()
+                .expect("unrecoverable list")
+                .push(Unrecoverable { name, error: failures.join("; ") });
+        }
+    }
+    Ok(())
+}
+
+/// Resume one deployment from one checkpoint candidate. The serving
+/// recipe embedded in the image header is resumed verbatim except for
+/// `checkpoint_dir`, which is re-pointed at the recovery directory so
+/// the resumed deployment keeps rotating its checkpoints in place.
+fn try_resume(
+    shared: &Shared,
+    name: &str,
+    candidate: &CheckpointSlot,
+    dir: &str,
+) -> Result<(), String> {
+    let header = candidate.header.as_ref().map_err(String::clone)?;
+    let (spec, scheme) = header.resolve()?;
+    if spec.n_nodes != header.nodes {
+        return Err(format!(
+            "image header claims {} nodes but preset {:?} deploys {}",
+            header.nodes, header.preset, spec.n_nodes
+        ));
+    }
+    let mut serving = header.serving.clone().unwrap_or_default();
+    if serving.checkpoint_every_epochs > 0 {
+        serving.checkpoint_dir = Some(dir.to_string());
+    }
+    // Re-read: the scan only validated and kept the header.
+    let bytes = std::fs::read(&candidate.path).map_err(|e| format!("read: {e}"))?;
+    let (_, body) = parse_image(&bytes).map_err(|e| e.to_string())?;
+    let recovered = RecoveredFrom { slot: candidate.slot, epoch: header.epoch };
+    let response = install(
+        shared,
+        name,
+        &header.preset,
+        header.scale,
+        spec,
+        scheme,
+        header.seed,
+        serving,
+        Some(body),
+        Some(recovered),
+    );
+    if response.get("ok") == Some(&Json::Bool(true)) {
+        Ok(())
+    } else {
+        Err(response.get("error").and_then(Json::as_str).unwrap_or("install failed").to_string())
+    }
+}
+
+// --- per-deployment serving state -----------------------------------------
 
 /// A query injected into the engine and not yet finalised. `Some` holds
 /// the blocking caller's reply channel; async callers were answered at
 /// injection and resolve through the results log.
 type Inflight = Option<Sender<Json>>;
 
-/// The engine thread's serving state: admission queue, in-flight set,
-/// and the bounded results log `poll`/`drain` read.
+/// A slot's serving state: engine, admission queue, in-flight set, and
+/// the bounded results log `poll`/`drain` read.
 struct Serving {
     engine: Engine,
     info: DeploymentInfo,
@@ -866,13 +1199,14 @@ struct Serving {
 }
 
 impl Serving {
-    /// Queued + in-flight work; the thread steps epochs while non-zero.
+    /// Queued + in-flight work; the slot keeps rescheduling itself
+    /// while non-zero.
     fn backlog(&self) -> usize {
         self.queue.len() + self.inflight.len()
     }
 
-    /// Handle one command; `true` means stop.
-    fn process(&mut self, cmd: EngineCmd) -> bool {
+    /// Handle one command.
+    fn process(&mut self, cmd: EngineCmd) {
         match cmd {
             EngineCmd::Submit(s) => {
                 if self.queue.len() >= self.info.serving.queue_cap {
@@ -919,9 +1253,7 @@ impl Serving {
                 ok.set("epoch", Json::from_u64(self.engine.epoch()));
                 let _ = reply.send(ok);
             }
-            EngineCmd::Stop => return true,
         }
-        false
     }
 
     /// Draw one admission round from the queue under the deployment's
@@ -1026,11 +1358,7 @@ impl Serving {
     /// fatal — checkpointing is a recovery aid, not a serving dependency.
     fn write_checkpoint(&self, slot: u64) {
         let dir = self.info.serving.checkpoint_dir.as_deref().unwrap_or(".");
-        let path = format!(
-            "{dir}/{name}.{slot}.{ext}",
-            name = self.info.name,
-            ext = crate::protocol::IMAGE_EXTENSION
-        );
+        let path = format!("{dir}/{name}.{slot}.{IMAGE_EXTENSION}", name = self.info.name);
         let result = write_snapshot(&self.engine, &self.info, &path);
         if result.get("ok") != Some(&Json::Bool(true)) {
             let why = result.get("error").and_then(Json::as_str).unwrap_or("unknown error");
@@ -1074,57 +1402,9 @@ impl Serving {
     }
 }
 
-/// The serving loop: block when idle; while any query is queued or in
-/// flight, run one epoch per iteration — drain arrived commands, admit
-/// and inject a scheduling round, step, sweep completions.
-fn engine_thread(
-    engine: Engine,
-    info: DeploymentInfo,
-    epoch: Arc<AtomicU64>,
-    rx: Receiver<EngineCmd>,
-) {
-    let mut s = Serving {
-        sweep_cursor: engine.completed_next_seq(),
-        engine,
-        info,
-        epoch,
-        queue: VecDeque::new(),
-        inflight: HashMap::new(),
-        rr_round: 0,
-        results: VecDeque::new(),
-        next_result_seq: 0,
-    };
-    'serve: loop {
-        if s.backlog() == 0 {
-            match rx.recv() {
-                Ok(cmd) => {
-                    if s.process(cmd) {
-                        break 'serve;
-                    }
-                }
-                Err(_) => break 'serve,
-            }
-        }
-        loop {
-            match rx.try_recv() {
-                Ok(cmd) => {
-                    if s.process(cmd) {
-                        break 'serve;
-                    }
-                }
-                Err(TryRecvError::Empty) => break,
-                Err(TryRecvError::Disconnected) => break 'serve,
-            }
-        }
-        if s.backlog() > 0 {
-            s.admit_and_inject();
-            s.engine.step_epoch();
-            s.post_step();
-        }
-    }
-}
-
-/// Serialize, frame and persist a snapshot image.
+/// Serialize, frame and persist a snapshot image. The header embeds the
+/// deployment's serving recipe so `--recover` resumes it under the
+/// knobs it was running with.
 fn write_snapshot(engine: &Engine, info: &DeploymentInfo, path: &str) -> Json {
     let header = ImageHeader {
         preset: info.preset.clone(),
@@ -1133,6 +1413,7 @@ fn write_snapshot(engine: &Engine, info: &DeploymentInfo, path: &str) -> Json {
         seed: info.seed,
         epoch: engine.epoch(),
         nodes: info.nodes,
+        serving: Some(info.serving.clone()),
     };
     let image = frame_image(&header.to_json(), &engine.snapshot());
     if let Err(e) = std::fs::write(path, &image) {
@@ -1181,5 +1462,65 @@ pub fn protocol_label(p: Protocol) -> &'static str {
     match p {
         Protocol::Dirq => "dirq",
         Protocol::Flooding => "flooding",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn image(name: &str, slot: u64, epoch: u64, dir: &Path) -> PathBuf {
+        let header = ImageHeader {
+            preset: "p".into(),
+            scale: 1.0,
+            scheme: "s".into(),
+            seed: 7,
+            epoch,
+            nodes: 3,
+            serving: None,
+        };
+        let path = dir.join(format!("{name}.{slot}.{IMAGE_EXTENSION}"));
+        std::fs::write(&path, frame_image(&header.to_json(), b"body")).expect("write image");
+        path
+    }
+
+    #[test]
+    fn checkpoint_filenames_split_slot_off_the_right() {
+        assert_eq!(parse_checkpoint_filename("a.0.dirqsnap"), Some(("a".into(), 0)));
+        assert_eq!(parse_checkpoint_filename("a.b.12.dirqsnap"), Some(("a.b".into(), 12)));
+        assert_eq!(parse_checkpoint_filename("a.dirqsnap"), None, "no slot component");
+        assert_eq!(parse_checkpoint_filename(".0.dirqsnap"), None, "empty name");
+        assert_eq!(parse_checkpoint_filename("a.x.dirqsnap"), None, "non-numeric slot");
+        assert_eq!(parse_checkpoint_filename("a.0.snap"), None, "wrong extension");
+    }
+
+    #[test]
+    fn scan_orders_candidates_newest_valid_first() {
+        let dir = std::env::temp_dir().join(format!("dirqd-scan-{:x}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        // "a": slot 0 newer than slot 1 (rotation wrapped).
+        image("a", 0, 40, &dir);
+        image("a", 1, 20, &dir);
+        // "b": newest slot torn mid-write; older slot intact.
+        let torn = image("b", 1, 60, &dir);
+        let bytes = std::fs::read(&torn).expect("read image");
+        std::fs::write(&torn, &bytes[..bytes.len() / 2]).expect("truncate image");
+        image("b", 0, 30, &dir);
+        std::fs::write(dir.join("notes.txt"), b"ignored").expect("write stray file");
+
+        let slots = scan_checkpoint_dir(&dir).expect("scan");
+        let order: Vec<(String, u64, bool)> =
+            slots.iter().map(|s| (s.name.clone(), s.slot, s.header.is_ok())).collect();
+        assert_eq!(
+            order,
+            vec![
+                ("a".into(), 0, true),
+                ("a".into(), 1, true),
+                ("b".into(), 0, true),
+                ("b".into(), 1, false),
+            ],
+            "valid slots epoch-descending, torn slot last"
+        );
+        std::fs::remove_dir_all(&dir).expect("cleanup");
     }
 }

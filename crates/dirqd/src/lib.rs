@@ -9,9 +9,10 @@
 //!
 //! Three pieces:
 //!
-//! * [`daemon`] — the server: one engine thread per deployment,
-//!   epoch-boundary batching of client queries, snapshot/restore of the
-//!   full engine state to versioned image files.
+//! * [`daemon`] — the server: deployments multiplexed over a fixed-size
+//!   serving pool, epoch-boundary batching of client queries,
+//!   snapshot/restore of the full engine state to versioned image
+//!   files, and crash recovery from rotating auto-checkpoints.
 //! * [`client`] — a blocking protocol client ([`Client`]).
 //! * [`protocol`] — the wire format: bounded newline-JSON lines and the
 //!   snapshot image header.
@@ -39,6 +40,7 @@ pub mod protocol;
 
 pub use client::{
     Client, ClientError, DeployOptions, DeploySummary, DrainReport, QueryReport, SnapshotReport,
+    StatusReport,
 };
-pub use daemon::{AdmissionPolicy, Daemon, DeploymentInfo, ServingOptions};
-pub use protocol::{ImageHeader, MAX_LINE_BYTES};
+pub use daemon::{Daemon, DaemonOptions, DeploymentInfo, RecoveredFrom};
+pub use protocol::{AdmissionPolicy, ImageHeader, ServingOptions, MAX_LINE_BYTES};

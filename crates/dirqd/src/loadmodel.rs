@@ -61,6 +61,57 @@ pub fn reference_epochs_histogram(preset: &str, scale: f64, warmup: u64) -> Vec<
     latencies
 }
 
+/// One step of a barriered serving script ([`replay_serving`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ServingOp {
+    /// An explicit `step` command: advance this many epochs.
+    Step(u64),
+    /// A blocking range query `(stype, lo, hi)`: inject at the current
+    /// epoch boundary, then step until it finalises.
+    Query(u8, f64, f64),
+}
+
+/// Replay a barriered op sequence engine-level, with no daemon
+/// involved, and return the final `(epoch, state_fingerprint)`.
+///
+/// This mirrors one deployment's scheduled turns in the serving pool
+/// exactly: a blocking query is admitted and injected at the current
+/// epoch boundary, the engine steps one epoch per turn until the query
+/// finalises, and an explicit `step` never admits anything. The daemon
+/// differential tests pin that a deployment multiplexed over any
+/// `--serving-threads` count walks this exact trajectory.
+pub fn replay_serving(
+    preset: &str,
+    scale: f64,
+    seed: Option<u64>,
+    ops: &[ServingOp],
+) -> (u64, u64) {
+    let (spec, scheme) =
+        resolve_deployment(preset, scale, None).unwrap_or_else(|e| panic!("resolve {preset}: {e}"));
+    let seed = seed.unwrap_or(spec.seed);
+    let mut engine = Engine::new(spec.config(scheme, seed));
+    engine.enable_completed_log();
+    for op in ops {
+        match *op {
+            ServingOp::Step(epochs) => {
+                for _ in 0..epochs {
+                    engine.step_epoch();
+                }
+            }
+            ServingOp::Query(stype, lo, hi) => {
+                let id = engine.submit_external_query(SensorType(stype), lo, hi, None);
+                loop {
+                    engine.step_epoch();
+                    if engine.completed_by_id(id.0).is_some() {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    (engine.epoch(), engine.state_fingerprint())
+}
+
 /// Collapse per-query latencies into sorted `(epochs, count)` pairs —
 /// the shape BENCH_3.json records.
 pub fn histogram_counts(latencies: &[u64]) -> Vec<(u64, u64)> {

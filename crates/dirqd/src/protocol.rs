@@ -70,6 +70,9 @@ use dirq_sim::json::Json;
 /// Upper bound for one request or response line, both directions.
 pub const MAX_LINE_BYTES: usize = 1 << 20;
 
+/// Default admission-queue bound when `deploy` doesn't set `queue_cap`.
+pub const DEFAULT_QUEUE_CAP: usize = 4096;
+
 /// File extension the tools use for snapshot images.
 pub const IMAGE_EXTENSION: &str = "dirqsnap";
 
@@ -183,6 +186,112 @@ pub fn read_line(r: &mut impl BufRead) -> io::Result<Option<Json>> {
     }
 }
 
+/// How query submissions are drawn from the admission queue at each
+/// epoch boundary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Arrival order across all clients.
+    Fifo,
+    /// One per client per turn, clients visited in sorted-name order
+    /// from a start position that rotates each round, so no client name
+    /// is structurally favoured.
+    RoundRobin,
+}
+
+impl AdmissionPolicy {
+    /// Wire label.
+    pub fn label(self) -> &'static str {
+        match self {
+            AdmissionPolicy::Fifo => "fifo",
+            AdmissionPolicy::RoundRobin => "rr",
+        }
+    }
+
+    /// Parse a wire label.
+    pub fn parse(s: &str) -> Option<AdmissionPolicy> {
+        match s {
+            "fifo" => Some(AdmissionPolicy::Fifo),
+            "rr" => Some(AdmissionPolicy::RoundRobin),
+            _ => None,
+        }
+    }
+}
+
+/// Per-deployment serving knobs, set at `deploy`/`restore` time and
+/// embedded in auto-checkpoint image headers so `--recover` can resume
+/// a deployment under the knobs it was running with.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServingOptions {
+    /// Admission scheduling policy.
+    pub policy: AdmissionPolicy,
+    /// Admission-queue bound; `0` rejects every submission (useful as a
+    /// deterministic `queue_full` probe).
+    pub queue_cap: usize,
+    /// Submissions admitted per epoch boundary; `0` admits everything
+    /// waiting.
+    pub admit_per_epoch: usize,
+    /// Auto-checkpoint period in epochs; `0` disables.
+    pub checkpoint_every_epochs: u64,
+    /// Directory rotating checkpoint images are written into (required
+    /// when `checkpoint_every_epochs > 0`).
+    pub checkpoint_dir: Option<String>,
+    /// Intra-engine protocol-upkeep workers
+    /// ([`dirq_core::ScenarioConfig::upkeep_workers`]); never affects
+    /// results, only epoch wall time.
+    pub upkeep_workers: usize,
+}
+
+impl Default for ServingOptions {
+    fn default() -> ServingOptions {
+        ServingOptions {
+            policy: AdmissionPolicy::Fifo,
+            queue_cap: DEFAULT_QUEUE_CAP,
+            admit_per_epoch: 0,
+            checkpoint_every_epochs: 0,
+            checkpoint_dir: None,
+            upkeep_workers: 1,
+        }
+    }
+}
+
+impl ServingOptions {
+    /// Render as the `serving` object an image header embeds.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        obj.set("policy", Json::Str(self.policy.label().to_string()));
+        obj.set("queue_cap", Json::from_u64(self.queue_cap as u64));
+        obj.set("admit_per_epoch", Json::from_u64(self.admit_per_epoch as u64));
+        obj.set("checkpoint_every_epochs", Json::from_u64(self.checkpoint_every_epochs));
+        if let Some(dir) = &self.checkpoint_dir {
+            obj.set("checkpoint_dir", Json::Str(dir.clone()));
+        }
+        obj.set("upkeep_workers", Json::from_u64(self.upkeep_workers as u64));
+        obj
+    }
+
+    /// Parse a `serving` object written by [`ServingOptions::to_json`].
+    pub fn from_json(doc: &Json) -> Result<ServingOptions, String> {
+        let u64_field = |k: &str| {
+            doc.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("serving recipe: missing integer field {k:?}"))
+        };
+        let label = doc
+            .get("policy")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "serving recipe: missing string field \"policy\"".to_string())?;
+        Ok(ServingOptions {
+            policy: AdmissionPolicy::parse(label)
+                .ok_or_else(|| format!("serving recipe: unknown policy {label:?}"))?,
+            queue_cap: u64_field("queue_cap")? as usize,
+            admit_per_epoch: u64_field("admit_per_epoch")? as usize,
+            checkpoint_every_epochs: u64_field("checkpoint_every_epochs")?,
+            checkpoint_dir: doc.get("checkpoint_dir").and_then(Json::as_str).map(str::to_string),
+            upkeep_workers: u64_field("upkeep_workers")?.max(1) as usize,
+        })
+    }
+}
+
 /// The deployment recipe a snapshot image header carries — everything
 /// needed to rebuild the static engine structure the body overlays.
 #[derive(Clone, Debug, PartialEq)]
@@ -199,6 +308,11 @@ pub struct ImageHeader {
     pub epoch: u64,
     /// Node count (redundant with the preset; a cheap sanity field).
     pub nodes: usize,
+    /// Serving knobs the deployment ran with — written since the
+    /// serving-pool refactor, absent in older images. `--recover` uses
+    /// it to resume a deployment under its original admission and
+    /// checkpoint configuration.
+    pub serving: Option<ServingOptions>,
 }
 
 impl ImageHeader {
@@ -211,6 +325,9 @@ impl ImageHeader {
         obj.set("seed", Json::from_u64(self.seed));
         obj.set("epoch", Json::from_u64(self.epoch));
         obj.set("nodes", Json::Num(self.nodes as f64));
+        if let Some(serving) = &self.serving {
+            obj.set("serving", serving.to_json());
+        }
         obj
     }
 
@@ -240,6 +357,10 @@ impl ImageHeader {
             seed: u64_field("seed")?,
             epoch: u64_field("epoch")?,
             nodes: u64_field("nodes")? as usize,
+            serving: match doc.get("serving") {
+                None | Some(Json::Null) => None,
+                Some(s) => Some(ServingOptions::from_json(s)?),
+            },
         })
     }
 
@@ -292,11 +413,45 @@ mod tests {
             seed: 1_001,
             epoch: 37,
             nodes: 100,
+            serving: None,
         };
         assert_eq!(ImageHeader::from_json(&header.to_json()).unwrap(), header);
         let (spec, scheme) = header.resolve().unwrap();
         assert_eq!(spec.n_nodes, 100);
         assert_eq!(scheme, Scheme::DirqAtc);
+    }
+
+    #[test]
+    fn image_headers_round_trip_the_serving_recipe() {
+        let serving = ServingOptions {
+            policy: AdmissionPolicy::RoundRobin,
+            queue_cap: 17,
+            admit_per_epoch: 3,
+            checkpoint_every_epochs: 10,
+            checkpoint_dir: Some("/tmp/ckpt".into()),
+            upkeep_workers: 2,
+        };
+        let header = ImageHeader {
+            preset: "dense_grid_100".into(),
+            scale: 0.1,
+            scheme: "dirq-atc".into(),
+            seed: 7,
+            epoch: 20,
+            nodes: 100,
+            serving: Some(serving.clone()),
+        };
+        let wire = header.to_json().render();
+        let reparsed = ImageHeader::from_json(&Json::parse(&wire).unwrap()).unwrap();
+        assert_eq!(reparsed, header);
+        assert_eq!(reparsed.serving, Some(serving));
+        // Headers written before the serving recipe existed still parse.
+        let mut bare = header.to_json();
+        bare.set("serving", Json::Null);
+        assert_eq!(ImageHeader::from_json(&bare).unwrap().serving, None);
+        // A mistyped recipe is an error, not a silent default.
+        let mut broken = header.to_json();
+        broken.set("serving", Json::Str("fifo".into()));
+        assert!(ImageHeader::from_json(&broken).is_err());
     }
 
     #[test]
@@ -309,6 +464,7 @@ mod tests {
             seed: u64::MAX - 12,
             epoch: 3,
             nodes: 100,
+            serving: None,
         };
         let wire = header.to_json().render();
         let reparsed = Json::parse(&wire).unwrap();

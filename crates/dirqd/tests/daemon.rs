@@ -6,12 +6,19 @@
 use std::time::Duration;
 
 use dirq_sim::json::Json;
-use dirqd::{Client, ClientError, Daemon, DeployOptions};
+use dirqd::loadmodel::{replay_serving, ServingOp};
+use dirqd::{Client, ClientError, Daemon, DaemonOptions, DeployOptions};
 
 /// Spawn a daemon, run `body` against a fresh client, then shut the
 /// daemon down and join its serving thread.
 fn with_daemon(body: impl FnOnce(std::net::SocketAddr, &mut Client)) {
-    let (addr, daemon) = Daemon::spawn("127.0.0.1:0").expect("spawn daemon");
+    with_daemon_opts(DaemonOptions::default(), body);
+}
+
+/// [`with_daemon`] with explicit [`DaemonOptions`] (pool size,
+/// recovery directory).
+fn with_daemon_opts(options: DaemonOptions, body: impl FnOnce(std::net::SocketAddr, &mut Client)) {
+    let (addr, daemon) = Daemon::spawn_with("127.0.0.1:0", options).expect("spawn daemon");
     let mut c = Client::connect(addr).expect("connect");
     body(addr, &mut c);
     c.shutdown().expect("shutdown");
@@ -371,6 +378,280 @@ fn queries_complete_past_the_epoch_budget() {
         assert!(q.epoch >= past);
         assert!(q.answered_epoch > q.epoch, "query must still step to completion");
     });
+}
+
+// --- the serving pool ------------------------------------------------------
+
+/// Run one deployment's barriered op script against a daemon.
+fn run_ops(c: &mut Client, name: &str, ops: &[ServingOp]) {
+    for op in ops {
+        match *op {
+            ServingOp::Step(epochs) => {
+                c.step(name, epochs).expect("step");
+            }
+            ServingOp::Query(stype, lo, hi) => {
+                c.query(name, stype, lo, hi, None).expect("query");
+            }
+        }
+    }
+}
+
+/// The tentpole differential test: several deployments with interleaved
+/// barriered op scripts, served by pools of 1, 2 and 4 workers, must
+/// all walk the exact trajectory of the engine-level replay — the pool
+/// size (and therefore which worker runs which turn, and how turns of
+/// different deployments interleave in time) is invisible to results.
+#[test]
+fn pool_trajectories_match_the_engine_replay_at_any_thread_count() {
+    let scripts: &[(&str, u64, &[ServingOp])] = &[
+        (
+            "d0",
+            11,
+            &[
+                ServingOp::Step(10),
+                ServingOp::Query(0, 12.0, 26.0),
+                ServingOp::Query(1, 40.0, 55.0),
+                ServingOp::Step(5),
+            ],
+        ),
+        (
+            "d1",
+            22,
+            &[
+                ServingOp::Step(7),
+                ServingOp::Query(0, 14.0, 22.0),
+                ServingOp::Step(3),
+                ServingOp::Query(1, 41.0, 50.0),
+            ],
+        ),
+        ("d2", 33, &[ServingOp::Query(0, 12.0, 20.0), ServingOp::Query(0, 13.0, 21.0)]),
+    ];
+    let reference: Vec<(u64, u64)> = scripts
+        .iter()
+        .map(|&(_, seed, ops)| replay_serving("dense_grid_100", 0.05, Some(seed), ops))
+        .collect();
+    for threads in [1, 2, 4] {
+        let mut observed = Vec::new();
+        with_daemon_opts(
+            DaemonOptions { serving_threads: threads, ..DaemonOptions::default() },
+            |_, c| {
+                for &(name, seed, _) in scripts {
+                    let opts = DeployOptions {
+                        scale: Some(0.05),
+                        seed: Some(seed),
+                        ..DeployOptions::default()
+                    };
+                    c.deploy(name, "dense_grid_100", &opts).expect("deploy");
+                }
+                // Interleave: one op per deployment per round, so turns
+                // of different deployments genuinely contend for the
+                // pool.
+                let longest = scripts.iter().map(|&(_, _, ops)| ops.len()).max().unwrap();
+                for k in 0..longest {
+                    for &(name, _, ops) in scripts {
+                        if let Some(op) = ops.get(k) {
+                            run_ops(c, name, std::slice::from_ref(op));
+                        }
+                    }
+                }
+                for &(name, _, _) in scripts {
+                    observed.push(c.fingerprint(name).expect("fingerprint"));
+                }
+            },
+        );
+        assert_eq!(
+            observed, reference,
+            "serving_threads={threads}: trajectories diverged from the engine replay"
+        );
+    }
+}
+
+/// Decode a deterministic op script from one sampled integer — mixes
+/// explicit steps and blocking queries of varying content.
+fn script_from(mut code: u64) -> Vec<ServingOp> {
+    let len = 2 + (code % 3) as usize;
+    code /= 3;
+    let mut ops = Vec::with_capacity(len);
+    for _ in 0..len {
+        let kind = code % 2;
+        code /= 2;
+        if kind == 0 {
+            ops.push(ServingOp::Step(1 + code % 9));
+            code /= 9;
+        } else {
+            let stype = (code % 2) as u8;
+            code /= 2;
+            let lo = 10.0 + (code % 10) as f64;
+            code /= 10;
+            let hi = lo + 4.0 + (code % 6) as f64;
+            code /= 6;
+            ops.push(ServingOp::Query(stype, lo, hi));
+        }
+    }
+    ops
+}
+
+/// Run one sampled script against a pooled daemon and return the final
+/// `(epoch, fingerprint)`.
+fn run_pooled_script(threads: usize, seed: u64, ops: &[ServingOp]) -> (u64, u64) {
+    let mut result = (0, 0);
+    with_daemon_opts(
+        DaemonOptions { serving_threads: threads, ..DaemonOptions::default() },
+        |_, c| {
+            let opts =
+                DeployOptions { scale: Some(0.01), seed: Some(seed), ..DeployOptions::default() };
+            c.deploy("p", "dense_grid_100", &opts).expect("deploy");
+            run_ops(c, "p", ops);
+            result = c.fingerprint("p").expect("fingerprint");
+        },
+    );
+    result
+}
+
+mod pool_invariance {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+        /// Pool-scheduled stepping is result-invariant in
+        /// `--serving-threads`, and both pool sizes match the
+        /// engine-level replay, across random barriered op scripts.
+        #[test]
+        fn pool_size_never_changes_results(seed in 0u64..1_000, code in 0u64..u64::MAX) {
+            let ops = script_from(code);
+            let one = run_pooled_script(1, seed, &ops);
+            let four = run_pooled_script(4, seed, &ops);
+            prop_assert_eq!(one, four, "threads 1 vs 4 diverged on {:?}", ops);
+            let reference = replay_serving("dense_grid_100", 0.01, Some(seed), &ops);
+            prop_assert_eq!(one, reference, "daemon diverged from the replay on {:?}", ops);
+        }
+    }
+}
+
+// --- crash recovery --------------------------------------------------------
+
+/// Checkpoint-writing deployment options.
+fn checkpointed(scale: f64, every: u64, dir: &std::path::Path, seed: u64) -> DeployOptions {
+    DeployOptions {
+        scale: Some(scale),
+        seed: Some(seed),
+        checkpoint_every_epochs: Some(every),
+        checkpoint_dir: Some(dir.to_string_lossy().into_owned()),
+        ..DeployOptions::default()
+    }
+}
+
+fn fresh_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("dirqd-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create checkpoint dir");
+    dir
+}
+
+/// `--recover` resumes a deployment from the newest valid rotating
+/// image at a fingerprint equal to an uninterrupted run to the same
+/// epoch, reports the slot it used, keeps checkpointing from where it
+/// resumed — and a deployment whose slots are all corrupt lands in
+/// `unrecoverable` without failing startup.
+#[test]
+fn recovery_resumes_from_the_newest_valid_checkpoint() {
+    let dir = fresh_dir("recov");
+    // Phase 1: a daemon checkpointing every 10 epochs, stepped to 25 —
+    // the rotation leaves slot 1 at epoch 10 and slot 0 at epoch 20.
+    with_daemon(|_, c| {
+        c.deploy("r1", "dense_grid_100", &checkpointed(0.05, 10, &dir, 5)).expect("deploy r1");
+        c.deploy("r2", "dense_grid_100", &checkpointed(0.05, 10, &dir, 77)).expect("deploy r2");
+        c.step("r1", 25).expect("step r1");
+        c.step("r2", 25).expect("step r2");
+    });
+    // Wreck every slot of r2: one torn mid-write, one overwritten with
+    // garbage.
+    let r2_slot0 = dir.join("r2.0.dirqsnap");
+    let bytes = std::fs::read(&r2_slot0).expect("read r2 slot 0");
+    std::fs::write(&r2_slot0, &bytes[..bytes.len() / 2]).expect("tear r2 slot 0");
+    std::fs::write(dir.join("r2.1.dirqsnap"), b"garbage").expect("wreck r2 slot 1");
+
+    let recover = DaemonOptions {
+        recover: Some(dir.to_string_lossy().into_owned()),
+        ..DaemonOptions::default()
+    };
+    with_daemon_opts(recover, |_, c| {
+        let status = c.status_full().expect("status");
+        assert!(status.serving_threads >= 1, "pool size must be reported");
+        assert_eq!(status.deployments.len(), 1, "only r1 is recoverable");
+        let r1 = &status.deployments[0];
+        assert_eq!(r1.name, "r1");
+        assert_eq!(r1.epoch, 20, "must resume from the newest image");
+        assert_eq!(r1.recovered, Some((0, 20)), "slot 0 held the newest image");
+        assert_eq!(status.unrecoverable.len(), 1);
+        assert_eq!(status.unrecoverable[0].0, "r2");
+        assert!(
+            status.unrecoverable[0].1.contains("slot"),
+            "error should name the failing slots: {}",
+            status.unrecoverable[0].1
+        );
+
+        // Fingerprint equality with an uninterrupted run to the same
+        // epoch.
+        let clean = DeployOptions { scale: Some(0.05), seed: Some(5), ..DeployOptions::default() };
+        c.deploy("clean", "dense_grid_100", &clean).expect("deploy clean");
+        c.step("clean", 20).expect("step clean");
+        let (_, fp_recovered) = c.fingerprint("r1").expect("fingerprint r1");
+        let (_, fp_clean) = c.fingerprint("clean").expect("fingerprint clean");
+        assert_eq!(fp_recovered, fp_clean, "recovered state diverged from a straight run");
+
+        // The resumed deployment keeps checkpointing under its original
+        // recipe: stepping to epoch 30 must rotate a new image in.
+        assert_eq!(c.step("r1", 10).expect("step r1"), 30);
+        let best = dirqd::daemon::scan_checkpoint_dir(&dir)
+            .expect("scan")
+            .into_iter()
+            .find(|s| s.name == "r1")
+            .expect("r1 images");
+        assert_eq!(best.header.expect("valid image").epoch, 30, "checkpointing must resume");
+
+        // The recovered deployment still serves queries.
+        let q = c.query("r1", 0, 12.0, 26.0, None).expect("query recovered");
+        assert!(q.answered_epoch > q.epoch);
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A torn newest slot (the expected wreckage of `kill -9` mid-write)
+/// falls back to the older intact slot.
+#[test]
+fn torn_newest_checkpoint_falls_back_to_the_older_slot() {
+    let dir = fresh_dir("fallback");
+    with_daemon(|_, c| {
+        c.deploy("t", "dense_grid_100", &checkpointed(0.05, 10, &dir, 9)).expect("deploy");
+        c.step("t", 25).expect("step");
+    });
+    // Slot 0 (epoch 20) is the newest; tear it. Slot 1 (epoch 10)
+    // stays intact.
+    let newest = dir.join("t.0.dirqsnap");
+    let bytes = std::fs::read(&newest).expect("read newest");
+    std::fs::write(&newest, &bytes[..bytes.len() / 3]).expect("tear newest");
+
+    let recover = DaemonOptions {
+        recover: Some(dir.to_string_lossy().into_owned()),
+        ..DaemonOptions::default()
+    };
+    with_daemon_opts(recover, |_, c| {
+        let status = c.status_full().expect("status");
+        assert!(status.unrecoverable.is_empty(), "the older slot must rescue the deployment");
+        assert_eq!(status.deployments.len(), 1);
+        assert_eq!(status.deployments[0].epoch, 10, "must fall back to the older image");
+        assert_eq!(status.deployments[0].recovered, Some((1, 10)));
+
+        let clean = DeployOptions { scale: Some(0.05), seed: Some(9), ..DeployOptions::default() };
+        c.deploy("clean", "dense_grid_100", &clean).expect("deploy clean");
+        c.step("clean", 10).expect("step clean");
+        let (_, fp_t) = c.fingerprint("t").expect("fingerprint t");
+        let (_, fp_clean) = c.fingerprint("clean").expect("fingerprint clean");
+        assert_eq!(fp_t, fp_clean, "fallback state diverged from a straight run");
+    });
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Engine round trips are bounded: a wedged deployment produces an

@@ -411,6 +411,16 @@ pub fn frame_image(header: &Json, body: &[u8]) -> Vec<u8> {
     out
 }
 
+/// Structurally validate an image and return just its header: magic,
+/// version, header JSON and framing lengths are checked (so a torn or
+/// truncated write is detected), but the body is not decoded — deep
+/// validation happens at engine restore. This is what the daemon's
+/// crash-recovery scan uses to rank rotating checkpoint slots without
+/// rebuilding an engine per candidate.
+pub fn check_image(bytes: &[u8]) -> Result<Json, SnapError> {
+    parse_image(bytes).map(|(header, _)| header)
+}
+
 /// Split an image back into its JSON header and snapshot body. Verifies
 /// magic, version and framing; the body itself is decoded by the engine.
 pub fn parse_image(bytes: &[u8]) -> Result<(Json, &[u8]), SnapError> {
@@ -520,6 +530,31 @@ mod tests {
         assert_eq!(h.get("preset").and_then(Json::as_str), Some("smoke"));
         assert_eq!(h.get("epoch").and_then(Json::as_f64), Some(17.0));
         assert_eq!(b, &body[..]);
+    }
+
+    #[test]
+    fn every_truncation_prefix_is_a_typed_error() {
+        // A kill -9 mid-checkpoint leaves an arbitrary prefix of a valid
+        // image on disk; the recovery scan must classify every one of
+        // them as unusable without panicking.
+        let mut header = Json::object();
+        header.set("preset", Json::Str("dense_grid_100".into()));
+        header.set("epoch", Json::Num(20.0));
+        let body: Vec<u8> = (0..64u8).collect();
+        let image = frame_image(&header, &body);
+        for cut in 0..image.len() {
+            assert!(
+                check_image(&image[..cut]).is_err(),
+                "a {cut}-byte prefix of a {}-byte image must not validate",
+                image.len()
+            );
+        }
+        assert!(check_image(&image).is_ok());
+        // Trailing garbage (a torn overwrite of a longer older image) is
+        // rejected too.
+        let mut padded = image.clone();
+        padded.extend_from_slice(b"stale tail");
+        assert!(matches!(check_image(&padded), Err(SnapError::TrailingBytes { .. })));
     }
 
     #[test]
